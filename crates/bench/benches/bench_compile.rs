@@ -1,0 +1,43 @@
+//! Benchmarks for the Colog compilation pipeline (Table 2 / Sec. 6 overhead
+//! paragraphs): parsing, analysis, localization and imperative code
+//! generation for each of the five shipped programs. The paper reports
+//! compilation times between 0.5 s and 1.6 s for its (C++-emitting) compiler.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cologne_colog::{analyze, generate_cpp, localize_rules, parse_program};
+use cologne_usecases::programs::table2_programs;
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile/parse");
+    for (name, source) in table2_programs() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &source, |b, src| {
+            b.iter(|| parse_program(black_box(src)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile/full_pipeline");
+    for (name, source) in table2_programs() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &source, |b, src| {
+            b.iter(|| {
+                let program = parse_program(black_box(src)).unwrap();
+                let analysis = analyze(&program).unwrap();
+                let localized = localize_rules(&program.rules).unwrap();
+                let code = generate_cpp(&program, &analysis, "bench");
+                black_box((localized.len(), code.loc()))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_parse, bench_full_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Benchmarks of the incremental Datalog engine (the RapidNet stand-in):
+//! bulk derivation, incremental maintenance on single-tuple updates, and
+//! aggregate maintenance — the machinery behind Cologne's continuous,
+//! long-running rule execution (Sec. 5.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cologne_datalog::{
+    AggFunc, Atom, BodyItem, Engine, Head, HeadArg, NodeId, Rule, Term, Value,
+};
+
+fn transitive_closure_engine() -> Engine {
+    let mut e = Engine::new(NodeId(0));
+    e.add_rule(Rule::new(
+        "r1",
+        Head::simple("path", vec![Term::var("X"), Term::var("Y")]),
+        vec![BodyItem::Atom(Atom::new("link", vec![Term::var("X"), Term::var("Y")]))],
+    ));
+    e.add_rule(Rule::new(
+        "r2",
+        Head::simple("path", vec![Term::var("X"), Term::var("Z")]),
+        vec![
+            BodyItem::Atom(Atom::new("link", vec![Term::var("X"), Term::var("Y")])),
+            BodyItem::Atom(Atom::new("path", vec![Term::var("Y"), Term::var("Z")])),
+        ],
+    ));
+    e
+}
+
+fn bench_bulk_derivation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datalog/transitive_closure_chain");
+    for n in [20usize, 50, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut e = transitive_closure_engine();
+                for i in 0..n as i64 {
+                    e.insert("link", vec![Value::Int(i), Value::Int(i + 1)]);
+                }
+                e.run();
+                black_box(e.relation_len("path"))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_incremental_update(c: &mut Criterion) {
+    c.bench_function("datalog/incremental_single_link_update", |b| {
+        let mut e = transitive_closure_engine();
+        for i in 0..60i64 {
+            e.insert("link", vec![Value::Int(i), Value::Int(i + 1)]);
+        }
+        e.run();
+        let mut toggle = true;
+        b.iter(|| {
+            // PSN-style pipelined update: one tuple changes, the view is
+            // maintained incrementally rather than recomputed.
+            if toggle {
+                e.delete("link", vec![Value::Int(30), Value::Int(31)]);
+            } else {
+                e.insert("link", vec![Value::Int(30), Value::Int(31)]);
+            }
+            toggle = !toggle;
+            black_box(e.run())
+        });
+    });
+}
+
+fn bench_aggregate_maintenance(c: &mut Criterion) {
+    c.bench_function("datalog/aggregate_refresh_hostCpu", |b| {
+        let mut e = Engine::new(NodeId(0));
+        e.add_rule(Rule::new(
+            "d1",
+            Head {
+                relation: "hostCpu".into(),
+                args: vec![HeadArg::Term(Term::var("H")), HeadArg::Agg(AggFunc::Sum, "C".into())],
+                located: false,
+            },
+            vec![BodyItem::Atom(Atom::new(
+                "assign",
+                vec![Term::var("V"), Term::var("H"), Term::var("C")],
+            ))],
+        ));
+        for v in 0..200i64 {
+            e.insert("assign", vec![Value::Int(v), Value::Int(v % 10), Value::Int(v % 50)]);
+        }
+        e.run();
+        let mut i = 0i64;
+        b.iter(|| {
+            i += 1;
+            e.delete("assign", vec![Value::Int(i % 200), Value::Int((i % 200) % 10), Value::Int((i % 200) % 50)]);
+            e.insert("assign", vec![Value::Int(i % 200), Value::Int((i % 200) % 10), Value::Int((i % 200) % 50)]);
+            black_box(e.run())
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_bulk_derivation, bench_incremental_update, bench_aggregate_maintenance
+}
+criterion_main!(benches);

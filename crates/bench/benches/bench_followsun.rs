@@ -1,0 +1,32 @@
+//! End-to-end benchmark for the Follow-the-Sun use case (Fig. 4 / Fig. 5
+//! machinery): full distributed executions at several network sizes. The
+//! paper reports per-link negotiations completing within ~0.5 s on its
+//! hardware; here the relevant shape is how the work grows with the number
+//! of data centers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cologne_usecases::{run_followsun, FollowSunConfig};
+
+fn bench_distributed_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("followsun/distributed_execution");
+    for n in [2u32, 4, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{n}_dcs")), &n, |b, &n| {
+            let config = FollowSunConfig {
+                data_centers: n,
+                solver_node_limit: 10_000,
+                ..FollowSunConfig::default()
+            };
+            b.iter(|| black_box(run_followsun(&config).final_cost));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_distributed_convergence
+}
+criterion_main!(benches);

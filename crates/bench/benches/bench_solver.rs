@@ -1,0 +1,72 @@
+//! Benchmarks of the constraint-solver substrate (the Gecode stand-in):
+//! propagation throughput and branch-and-bound search on COP shapes that the
+//! Colog use cases generate (assignment with balancing objective, bounded
+//! migration planning).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cologne_solver::{Model, SearchConfig};
+
+/// Balance `vms` binary assignment rows over `hosts` hosts (the ACloud COP
+/// core shape).
+fn balance_model(vms: usize, hosts: usize) -> (Model, cologne_solver::VarId) {
+    let mut m = Model::new();
+    let loads: Vec<i64> = (0..vms).map(|i| 20 + (i as i64 * 7) % 60).collect();
+    let mut host_terms: Vec<Vec<(i64, cologne_solver::VarId)>> = vec![Vec::new(); hosts];
+    for (i, &load) in loads.iter().enumerate() {
+        let mut row = Vec::with_capacity(hosts);
+        for h in 0..hosts {
+            let v = m.new_bool();
+            host_terms[h].push((load, v));
+            row.push((1, v));
+        }
+        let _ = i;
+        m.linear_eq(&row, 1);
+    }
+    let host_loads: Vec<_> = host_terms.iter().map(|t| m.linear_var(t, 0)).collect();
+    let obj = m.scaled_variance_var(&host_loads);
+    (m, obj)
+}
+
+fn bench_branch_and_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver/branch_and_bound");
+    for (vms, hosts) in [(6usize, 3usize), (8, 4), (10, 4)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{vms}vms_{hosts}hosts")),
+            &(vms, hosts),
+            |b, &(vms, hosts)| {
+                b.iter(|| {
+                    let (m, obj) = balance_model(vms, hosts);
+                    let cfg = SearchConfig { node_limit: Some(20_000), ..Default::default() };
+                    black_box(m.minimize(obj, &cfg).best_objective)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_propagation(c: &mut Criterion) {
+    c.bench_function("solver/root_propagation_200_constraints", |b| {
+        b.iter(|| {
+            let mut m = Model::new();
+            let vars: Vec<_> = (0..100).map(|_| m.new_var(0, 100)).collect();
+            for w in vars.windows(2) {
+                m.linear_le(&[(1, w[0]), (-1, w[1])], 0);
+            }
+            for (i, &v) in vars.iter().enumerate() {
+                m.linear_le(&[(1, v)], 100 - (i as i64 % 7));
+            }
+            m.propagate_root().unwrap();
+            black_box(m.domain(vars[0]).max())
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_branch_and_bound, bench_propagation
+}
+criterion_main!(benches);

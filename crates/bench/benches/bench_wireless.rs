@@ -1,0 +1,62 @@
+//! End-to-end benchmark for the wireless channel-selection use case
+//! (Fig. 6 / Fig. 7 machinery): centralized vs distributed channel
+//! assignment on small meshes, and the throughput model itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cologne_usecases::wireless::{
+    aggregate_throughput, centralized_assignment, distributed_assignment, MeshNetwork,
+};
+use cologne_usecases::WirelessConfig;
+
+fn bench_channel_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wireless/channel_selection");
+    for (rows, cols) in [(3u32, 3u32), (4, 4)] {
+        let config = WirelessConfig {
+            rows,
+            cols,
+            solver_node_limit: 5_000,
+            ..WirelessConfig::tiny()
+        };
+        let mesh = MeshNetwork::generate(&config);
+        group.bench_with_input(
+            BenchmarkId::new("centralized", format!("{rows}x{cols}")),
+            &mesh,
+            |b, mesh| {
+                b.iter(|| black_box(centralized_assignment(mesh, &mesh.available_channels(0)).len()));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("distributed", format!("{rows}x{cols}")),
+            &mesh,
+            |b, mesh| {
+                b.iter(|| {
+                    black_box(distributed_assignment(mesh, &[1, 2, 3, 4]).len())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_throughput_model(c: &mut Criterion) {
+    c.bench_function("wireless/throughput_model_30_nodes", |b| {
+        let config = WirelessConfig::default();
+        let mesh = MeshNetwork::generate(&config);
+        let assignment: std::collections::BTreeMap<_, _> = mesh
+            .links()
+            .into_iter()
+            .enumerate()
+            .map(|(i, l)| (l, 1 + (i as i64 % 6)))
+            .collect();
+        b.iter(|| black_box(aggregate_throughput(&mesh, &assignment, 6.0, true)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_channel_selection, bench_throughput_model
+}
+criterion_main!(benches);

@@ -1,0 +1,500 @@
+//! Static analysis of Colog programs (Sec. 5.2 of the paper).
+//!
+//! The compiler must know, for every rule, whether it is a regular Datalog
+//! rule (executed by the incremental engine), a solver derivation rule or a
+//! solver constraint rule (both compiled into constraint-solver primitives).
+//! The analysis starts from the `var` declarations, propagates "solver
+//! attribute" marks through derivation rules until a fixpoint, and then
+//! classifies each rule. It also rejects programs that join on solver
+//! attributes, which Cologne disallows (Sec. 5.3).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ast::{Arg, BodyElem, Program, RuleArrow, RuleDecl};
+
+/// Classification of a rule after analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleClass {
+    /// Plain distributed-Datalog rule.
+    Regular,
+    /// Solver derivation rule (`<-` involving solver tables).
+    SolverDerivation,
+    /// Solver constraint rule (`->`).
+    SolverConstraint,
+}
+
+/// Per-relation solver-attribute information.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SolverTables {
+    /// relation name → per-position flag (true = solver attribute).
+    tables: BTreeMap<String, Vec<bool>>,
+}
+
+impl SolverTables {
+    /// True if the relation contains at least one solver attribute.
+    pub fn is_solver_table(&self, relation: &str) -> bool {
+        self.tables.get(relation).is_some_and(|ps| ps.iter().any(|&b| b))
+    }
+
+    /// Solver-attribute flags for a relation (empty if not a solver table).
+    pub fn positions(&self, relation: &str) -> Vec<bool> {
+        self.tables.get(relation).cloned().unwrap_or_default()
+    }
+
+    /// Names of all solver tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables
+            .iter()
+            .filter(|(_, ps)| ps.iter().any(|&b| b))
+            .map(|(n, _)| n.clone())
+            .collect()
+    }
+
+    fn mark(&mut self, relation: &str, position: usize, arity: usize) -> bool {
+        let entry = self.tables.entry(relation.to_string()).or_insert_with(|| vec![false; arity]);
+        if entry.len() < arity {
+            entry.resize(arity, false);
+        }
+        if !entry[position] {
+            entry[position] = true;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Result of analysing a program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Analysis {
+    /// One class per rule, parallel to `program.rules`.
+    pub classes: Vec<RuleClass>,
+    /// Solver-attribute information per relation.
+    pub solver_tables: SolverTables,
+}
+
+impl Analysis {
+    /// Class of the rule at `index`.
+    pub fn class_of(&self, index: usize) -> RuleClass {
+        self.classes[index]
+    }
+
+    /// Number of rules per class: `(regular, derivation, constraint)`.
+    pub fn class_counts(&self) -> (usize, usize, usize) {
+        let mut counts = (0, 0, 0);
+        for c in &self.classes {
+            match c {
+                RuleClass::Regular => counts.0 += 1,
+                RuleClass::SolverDerivation => counts.1 += 1,
+                RuleClass::SolverConstraint => counts.2 += 1,
+            }
+        }
+        counts
+    }
+}
+
+/// Errors detected by the static analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalysisError {
+    /// The goal variable does not appear in the goal relation's arguments.
+    GoalVariableNotInRelation { variable: String, relation: String },
+    /// A `forall` predicate references a variable that does not appear in the
+    /// declared solver table.
+    ForallVariableUnknown { variable: String, table: String },
+    /// A constraint rule (`->`) does not reference any solver table.
+    ConstraintWithoutSolverTable { label: String },
+    /// Two body predicates join on a solver attribute, which Cologne forbids
+    /// (Sec. 5.3).
+    JoinOnSolverAttribute { label: String, variable: String },
+    /// A body predicate uses an aggregate argument (aggregates are only
+    /// allowed in rule heads).
+    AggregateInBody { label: String, relation: String },
+}
+
+impl std::fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalysisError::GoalVariableNotInRelation { variable, relation } => {
+                write!(f, "goal variable {variable} does not appear in {relation}")
+            }
+            AnalysisError::ForallVariableUnknown { variable, table } => {
+                write!(f, "forall variable {variable} does not appear in solver table {table}")
+            }
+            AnalysisError::ConstraintWithoutSolverTable { label } => {
+                write!(f, "constraint rule {label} references no solver table")
+            }
+            AnalysisError::JoinOnSolverAttribute { label, variable } => {
+                write!(f, "rule {label} joins on solver attribute {variable}")
+            }
+            AnalysisError::AggregateInBody { label, relation } => {
+                write!(f, "rule {label} uses an aggregate inside body predicate {relation}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+/// Run the static analysis over a program.
+pub fn analyze(program: &Program) -> Result<Analysis, AnalysisError> {
+    validate_declarations(program)?;
+
+    let mut tables = SolverTables::default();
+    // Step 1: initial solver variables from `var` declarations.
+    for var in &program.vars {
+        let arity = var.table.args.len();
+        for pos in var.solver_positions() {
+            tables.mark(&var.table.name, pos, arity);
+        }
+    }
+
+    // Step 2: propagate through derivation rules until fixpoint.
+    loop {
+        let mut changed = false;
+        for rule in &program.rules {
+            if rule.arrow != RuleArrow::Derivation {
+                continue;
+            }
+            let symbolic = symbolic_variables(rule, &tables);
+            let arity = rule.head.args.len();
+            for (i, arg) in rule.head.args.iter().enumerate() {
+                let is_solver = match arg {
+                    Arg::Var(v) => symbolic.contains(v),
+                    Arg::Agg(_, v) => symbolic.contains(v),
+                    Arg::Loc(_) | Arg::Const(_) => false,
+                };
+                if is_solver {
+                    changed |= tables.mark(&rule.head.name, i, arity);
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Step 3: classification + error checks.
+    let mut classes = Vec::with_capacity(program.rules.len());
+    for rule in &program.rules {
+        check_no_body_aggregates(rule)?;
+        let body_touches_solver = rule
+            .body
+            .iter()
+            .any(|b| matches!(b, BodyElem::Pred(p) if tables.is_solver_table(&p.name)));
+        let head_is_solver = tables.is_solver_table(&rule.head.name);
+        let class = match rule.arrow {
+            RuleArrow::Constraint => {
+                if !body_touches_solver && !head_is_solver {
+                    return Err(AnalysisError::ConstraintWithoutSolverTable {
+                        label: rule.label.clone(),
+                    });
+                }
+                RuleClass::SolverConstraint
+            }
+            RuleArrow::Derivation => {
+                if head_is_solver || body_touches_solver {
+                    check_no_solver_join(rule, &tables)?;
+                    RuleClass::SolverDerivation
+                } else {
+                    RuleClass::Regular
+                }
+            }
+        };
+        classes.push(class);
+    }
+
+    Ok(Analysis { classes, solver_tables: tables })
+}
+
+fn validate_declarations(program: &Program) -> Result<(), AnalysisError> {
+    if let Some(goal) = &program.goal {
+        let vars = goal.relation.variables();
+        if !vars.iter().any(|v| v == &goal.var) {
+            return Err(AnalysisError::GoalVariableNotInRelation {
+                variable: goal.var.clone(),
+                relation: goal.relation.name.clone(),
+            });
+        }
+    }
+    for var in &program.vars {
+        let table_vars = var.table.variables();
+        for fv in var.forall.variables() {
+            if !table_vars.contains(&fv) {
+                return Err(AnalysisError::ForallVariableUnknown {
+                    variable: fv,
+                    table: var.table.name.clone(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_no_body_aggregates(rule: &RuleDecl) -> Result<(), AnalysisError> {
+    for b in &rule.body {
+        if let BodyElem::Pred(p) = b {
+            if p.has_aggregate() {
+                return Err(AnalysisError::AggregateInBody {
+                    label: rule.label.clone(),
+                    relation: p.name.clone(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Variables of the rule whose values are solver expressions.
+///
+/// A variable is symbolic if it is bound by a solver-attribute position of a
+/// body predicate, or if it appears in a comparison expression together with
+/// a symbolic variable while not being bound by any regular position (the
+/// transitive case of Sec. 5.2: `C` in `C == V*Cpu`).
+pub fn symbolic_variables(rule: &RuleDecl, tables: &SolverTables) -> BTreeSet<String> {
+    let mut symbolic: BTreeSet<String> = BTreeSet::new();
+    let mut regular_bound: BTreeSet<String> = BTreeSet::new();
+    for b in &rule.body {
+        if let BodyElem::Pred(p) = b {
+            let flags = tables.positions(&p.name);
+            for (i, arg) in p.args.iter().enumerate() {
+                if let Some(v) = arg.var_name() {
+                    if flags.get(i).copied().unwrap_or(false) {
+                        symbolic.insert(v.to_string());
+                    } else {
+                        regular_bound.insert(v.to_string());
+                    }
+                }
+            }
+        }
+    }
+    // A variable bound by a regular position is never symbolic, even if it
+    // also appears next to solver attributes.
+    symbolic.retain(|v| !regular_bound.contains(v));
+    // Transitive marking through expressions.
+    loop {
+        let mut changed = false;
+        for b in &rule.body {
+            if let BodyElem::Expr(e) = b {
+                let vars = e.variables();
+                if vars.iter().any(|v| symbolic.contains(v)) {
+                    for v in vars {
+                        if !regular_bound.contains(&v) && symbolic.insert(v) {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    symbolic
+}
+
+fn check_no_solver_join(rule: &RuleDecl, tables: &SolverTables) -> Result<(), AnalysisError> {
+    // A join on a solver attribute means the same variable appears in
+    // solver-attribute positions of two different body predicates.
+    let mut seen: BTreeMap<String, usize> = BTreeMap::new();
+    for (pi, b) in rule.body.iter().enumerate() {
+        if let BodyElem::Pred(p) = b {
+            let flags = tables.positions(&p.name);
+            for (i, arg) in p.args.iter().enumerate() {
+                if !flags.get(i).copied().unwrap_or(false) {
+                    continue;
+                }
+                if let Some(v) = arg.var_name() {
+                    if let Some(&prev) = seen.get(v) {
+                        if prev != pi {
+                            return Err(AnalysisError::JoinOnSolverAttribute {
+                                label: rule.label.clone(),
+                                variable: v.to_string(),
+                            });
+                        }
+                    } else {
+                        seen.insert(v.to_string(), pi);
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    const ACLOUD: &str = r#"
+        goal minimize C in hostStdevCpu(C).
+        var assign(Vid,Hid,V) forall toAssign(Vid,Hid).
+        r1 toAssign(Vid,Hid) <- vm(Vid,Cpu,Mem), host(Hid,Cpu2,Mem2).
+        d1 hostCpu(Hid,SUM<C>) <- assign(Vid,Hid,V), vm(Vid,Cpu,Mem), C==V*Cpu.
+        d2 hostStdevCpu(STDEV<C>) <- host(Hid,Cpu,Mem), hostCpu(Hid,Cpu2), C==Cpu+Cpu2.
+        d3 assignCount(Vid,SUM<V>) <- assign(Vid,Hid,V).
+        c1 assignCount(Vid,V) -> V==1.
+        d4 hostMem(Hid,SUM<M>) <- assign(Vid,Hid,V), vm(Vid,Cpu,Mem), M==V*Mem.
+        c2 hostMem(Hid,Mem) -> hostMemThres(Hid,M), Mem<=M.
+    "#;
+
+    #[test]
+    fn acloud_solver_tables_match_paper() {
+        // Sec. 5.2: assign, hostCpu, hostStdevCpu, assignCount, hostMem are
+        // identified as solver tables.
+        let program = parse_program(ACLOUD).unwrap();
+        let analysis = analyze(&program).unwrap();
+        let names = analysis.solver_tables.table_names();
+        assert_eq!(
+            names,
+            vec!["assign", "assignCount", "hostCpu", "hostMem", "hostStdevCpu"]
+        );
+        // toAssign, vm, host are regular
+        assert!(!analysis.solver_tables.is_solver_table("toAssign"));
+        assert!(!analysis.solver_tables.is_solver_table("vm"));
+    }
+
+    #[test]
+    fn acloud_rule_classification_matches_paper() {
+        let program = parse_program(ACLOUD).unwrap();
+        let analysis = analyze(&program).unwrap();
+        let class = |label: &str| {
+            let idx = program.rules.iter().position(|r| r.label == label).unwrap();
+            analysis.class_of(idx)
+        };
+        assert_eq!(class("r1"), RuleClass::Regular);
+        for d in ["d1", "d2", "d3", "d4"] {
+            assert_eq!(class(d), RuleClass::SolverDerivation, "{d}");
+        }
+        for c in ["c1", "c2"] {
+            assert_eq!(class(c), RuleClass::SolverConstraint, "{c}");
+        }
+        assert_eq!(analysis.class_counts(), (1, 4, 2));
+    }
+
+    #[test]
+    fn acloud_solver_positions() {
+        let program = parse_program(ACLOUD).unwrap();
+        let analysis = analyze(&program).unwrap();
+        // assign(Vid,Hid,V): only V
+        assert_eq!(analysis.solver_tables.positions("assign"), vec![false, false, true]);
+        // hostCpu(Hid,SUM<C>): C symbolic through C==V*Cpu
+        assert_eq!(analysis.solver_tables.positions("hostCpu"), vec![false, true]);
+        // hostStdevCpu(STDEV<C>)
+        assert_eq!(analysis.solver_tables.positions("hostStdevCpu"), vec![true]);
+        // assignCount(Vid,SUM<V>)
+        assert_eq!(analysis.solver_tables.positions("assignCount"), vec![false, true]);
+    }
+
+    #[test]
+    fn migration_extension_rules_are_solver_rules() {
+        let src = format!(
+            "{ACLOUD}
+            d5 migrate(Vid,Hid1,Hid2,C) <- assign(Vid,Hid1,V), origin(Vid,Hid2), Hid1!=Hid2, (V==1)==(C==1).
+            d6 migrateCount(SUM<C>) <- migrate(Vid,Hid1,Hid2,C).
+            c3 migrateCount(C) -> C<=max_migrates.
+        "
+        );
+        let program = parse_program(&src).unwrap();
+        let analysis = analyze(&program).unwrap();
+        assert!(analysis.solver_tables.is_solver_table("migrate"));
+        assert!(analysis.solver_tables.is_solver_table("migrateCount"));
+        // C in migrate is position 3
+        assert_eq!(
+            analysis.solver_tables.positions("migrate"),
+            vec![false, false, false, true]
+        );
+        let c3_idx = program.rules.iter().position(|r| r.label == "c3").unwrap();
+        assert_eq!(analysis.class_of(c3_idx), RuleClass::SolverConstraint);
+    }
+
+    #[test]
+    fn goal_variable_must_appear() {
+        let src = "goal minimize X in cost(C).";
+        let program = parse_program(src).unwrap();
+        assert!(matches!(
+            analyze(&program),
+            Err(AnalysisError::GoalVariableNotInRelation { .. })
+        ));
+    }
+
+    #[test]
+    fn forall_variables_must_be_subset() {
+        let src = "var assign(X,V) forall toAssign(X,Y).";
+        let program = parse_program(src).unwrap();
+        assert!(matches!(
+            analyze(&program),
+            Err(AnalysisError::ForallVariableUnknown { .. })
+        ));
+    }
+
+    #[test]
+    fn constraint_without_solver_table_rejected() {
+        let src = "c1 load(X) -> X==1.";
+        let program = parse_program(src).unwrap();
+        assert!(matches!(
+            analyze(&program),
+            Err(AnalysisError::ConstraintWithoutSolverTable { .. })
+        ));
+    }
+
+    #[test]
+    fn join_on_solver_attribute_rejected() {
+        let src = r#"
+            var assign(X,V) forall nodes(X).
+            d1 bad(X,Y) <- assign(X,V), other(Y,V).
+            d0 other(Y,V) <- assign(Y,V).
+        "#;
+        let program = parse_program(src).unwrap();
+        assert!(matches!(
+            analyze(&program),
+            Err(AnalysisError::JoinOnSolverAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn pure_datalog_program_is_all_regular() {
+        let src = r#"
+            r1 path(X,Y) <- link(X,Y).
+            r2 path(X,Z) <- link(X,Y), path(Y,Z).
+        "#;
+        let program = parse_program(src).unwrap();
+        let analysis = analyze(&program).unwrap();
+        assert_eq!(analysis.class_counts(), (2, 0, 0));
+        assert!(analysis.solver_tables.table_names().is_empty());
+    }
+
+    #[test]
+    fn wireless_distributed_program_analysis() {
+        let src = r#"
+            goal minimize C in totalCost(@X,C).
+            var assign(@X,Y,C) forall setLink(@X,Y).
+            d1 cost(@X,Y,Z,W,C) <- assign(@X,Y,C1), link(@Z,X), assign(@Z,W,C2),
+               X!=W, Y!=W, Y!=Z, (C==1)==(|C1-C2|<F_mindiff).
+            d2 totalCost(@X,SUM<C>) <- cost(@X,Y,Z,W,C).
+            c1 assign(@X,Y,C) -> primaryUser(@X,C2), C!=C2.
+            r1 assign(@Y,X,C) <- assign(@X,Y,C).
+        "#;
+        let program = parse_program(src).unwrap();
+        let analysis = analyze(&program).unwrap();
+        assert!(analysis.solver_tables.is_solver_table("assign"));
+        assert!(analysis.solver_tables.is_solver_table("cost"));
+        assert!(analysis.solver_tables.is_solver_table("totalCost"));
+        // r1 propagates channels: head is a solver table so it is a solver rule
+        let r1_idx = program.rules.iter().position(|r| r.label == "r1").unwrap();
+        assert_eq!(analysis.class_of(r1_idx), RuleClass::SolverDerivation);
+        let (_, deriv, constr) = analysis.class_counts();
+        assert_eq!(deriv, 3);
+        assert_eq!(constr, 1);
+    }
+
+    #[test]
+    fn aggregate_in_body_rejected() {
+        let src = r#"
+            var assign(X,V) forall nodes(X).
+            d1 out(X) <- assign(X,SUM<V>).
+        "#;
+        let program = parse_program(src).unwrap();
+        assert!(matches!(analyze(&program), Err(AnalysisError::AggregateInBody { .. })));
+    }
+}

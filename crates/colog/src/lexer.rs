@@ -1,0 +1,334 @@
+//! Tokenizer for Colog source text.
+//!
+//! The surface syntax follows the Datalog conventions of the paper
+//! (Sec. 4.1): predicate and function names start with a lowercase letter,
+//! attribute (variable) names with an uppercase letter, aggregates are
+//! written `SUM<C>`, rules end with a period, `//` starts a line comment, and
+//! the two rule arrows are `<-` (derivation) and `->` (constraint).
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier starting with a lowercase letter (predicate names, named
+    /// parameters, keywords such as `goal`, `var`, `minimize`, `forall`).
+    LowerIdent(String),
+    /// Identifier starting with an uppercase letter (variables, aggregate
+    /// keywords).
+    UpperIdent(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// `@`
+    At,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Period,
+    /// `<-`
+    DeriveArrow,
+    /// `->`
+    ConstraintArrow,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<=`
+    LessEq,
+    /// `>=`
+    GreaterEq,
+    /// `<`
+    Less,
+    /// `>`
+    Greater,
+    /// `:=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `|`
+    Pipe,
+}
+
+/// A token together with its position (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub col: usize,
+}
+
+/// A lexing error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Description of the problem.
+    pub message: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub col: usize,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize Colog source.
+pub fn tokenize(source: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    let err = |message: &str, line: usize, col: usize| LexError {
+        message: message.to_string(),
+        line,
+        col,
+    };
+
+    while i < chars.len() {
+        let c = chars[i];
+        let (tline, tcol) = (line, col);
+        let advance = |i: &mut usize, line: &mut usize, col: &mut usize, n: usize| {
+            for k in 0..n {
+                if chars[*i + k] == '\n' {
+                    *line += 1;
+                    *col = 1;
+                } else {
+                    *col += 1;
+                }
+            }
+            *i += n;
+        };
+
+        if c.is_whitespace() {
+            advance(&mut i, &mut line, &mut col, 1);
+            continue;
+        }
+        // line comments
+        if c == '/' && i + 1 < chars.len() && chars[i + 1] == '/' {
+            while i < chars.len() && chars[i] != '\n' {
+                advance(&mut i, &mut line, &mut col, 1);
+            }
+            continue;
+        }
+        // identifiers
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                advance(&mut i, &mut line, &mut col, 1);
+            }
+            let word: String = chars[start..i].iter().collect();
+            let token = if word.chars().next().unwrap().is_ascii_uppercase() {
+                Token::UpperIdent(word)
+            } else {
+                Token::LowerIdent(word)
+            };
+            out.push(Spanned { token, line: tline, col: tcol });
+            continue;
+        }
+        // numbers
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut is_float = false;
+            while i < chars.len() && chars[i].is_ascii_digit() {
+                advance(&mut i, &mut line, &mut col, 1);
+            }
+            if i + 1 < chars.len() && chars[i] == '.' && chars[i + 1].is_ascii_digit() {
+                is_float = true;
+                advance(&mut i, &mut line, &mut col, 1);
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    advance(&mut i, &mut line, &mut col, 1);
+                }
+            }
+            let text: String = chars[start..i].iter().collect();
+            let token = if is_float {
+                Token::Float(text.parse().map_err(|_| err("invalid float", tline, tcol))?)
+            } else {
+                Token::Int(text.parse().map_err(|_| err("invalid integer", tline, tcol))?)
+            };
+            out.push(Spanned { token, line: tline, col: tcol });
+            continue;
+        }
+        // string literals
+        if c == '"' {
+            advance(&mut i, &mut line, &mut col, 1);
+            let start = i;
+            while i < chars.len() && chars[i] != '"' {
+                advance(&mut i, &mut line, &mut col, 1);
+            }
+            if i >= chars.len() {
+                return Err(err("unterminated string literal", tline, tcol));
+            }
+            let text: String = chars[start..i].iter().collect();
+            advance(&mut i, &mut line, &mut col, 1); // closing quote
+            out.push(Spanned { token: Token::Str(text), line: tline, col: tcol });
+            continue;
+        }
+        // multi-char operators
+        let two: Option<Token> = if i + 1 < chars.len() {
+            match (c, chars[i + 1]) {
+                ('<', '-') => Some(Token::DeriveArrow),
+                ('-', '>') => Some(Token::ConstraintArrow),
+                ('=', '=') => Some(Token::EqEq),
+                ('!', '=') => Some(Token::NotEq),
+                ('<', '=') => Some(Token::LessEq),
+                ('>', '=') => Some(Token::GreaterEq),
+                (':', '=') => Some(Token::Assign),
+                _ => None,
+            }
+        } else {
+            None
+        };
+        if let Some(tok) = two {
+            advance(&mut i, &mut line, &mut col, 2);
+            out.push(Spanned { token: tok, line: tline, col: tcol });
+            continue;
+        }
+        let single = match c {
+            '@' => Token::At,
+            '(' => Token::LParen,
+            ')' => Token::RParen,
+            ',' => Token::Comma,
+            '.' => Token::Period,
+            '<' => Token::Less,
+            '>' => Token::Greater,
+            '+' => Token::Plus,
+            '-' => Token::Minus,
+            '*' => Token::Star,
+            '/' => Token::Slash,
+            '|' => Token::Pipe,
+            other => return Err(err(&format!("unexpected character '{other}'"), tline, tcol)),
+        };
+        advance(&mut i, &mut line, &mut col, 1);
+        out.push(Spanned { token: single, line: tline, col: tcol });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        tokenize(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn identifiers_case_split() {
+        assert_eq!(
+            toks("vm Vid hostCpu SUM"),
+            vec![
+                Token::LowerIdent("vm".into()),
+                Token::UpperIdent("Vid".into()),
+                Token::LowerIdent("hostCpu".into()),
+                Token::UpperIdent("SUM".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        assert_eq!(
+            toks("42 3.5 \"abc\""),
+            vec![Token::Int(42), Token::Float(3.5), Token::Str("abc".into())]
+        );
+    }
+
+    #[test]
+    fn operators_including_arrows() {
+        assert_eq!(
+            toks("<- -> == != <= >= < > := + - * / | @ ( ) , ."),
+            vec![
+                Token::DeriveArrow,
+                Token::ConstraintArrow,
+                Token::EqEq,
+                Token::NotEq,
+                Token::LessEq,
+                Token::GreaterEq,
+                Token::Less,
+                Token::Greater,
+                Token::Assign,
+                Token::Plus,
+                Token::Minus,
+                Token::Star,
+                Token::Slash,
+                Token::Pipe,
+                Token::At,
+                Token::LParen,
+                Token::RParen,
+                Token::Comma,
+                Token::Period,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("// first\nvm(Vid) // rest\n"),
+            vec![
+                Token::LowerIdent("vm".into()),
+                Token::LParen,
+                Token::UpperIdent("Vid".into()),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn rule_snippet_round_trips() {
+        let src = "d1 hostCpu(Hid,SUM<C>) <- assign(Vid,Hid,V), C==V*Cpu.";
+        let tokens = toks(src);
+        assert!(tokens.contains(&Token::DeriveArrow));
+        assert!(tokens.contains(&Token::LowerIdent("assign".into())));
+        assert!(tokens.contains(&Token::UpperIdent("SUM".into())));
+        assert_eq!(tokens.last(), Some(&Token::Period));
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let spanned = tokenize("vm\n  host").unwrap();
+        assert_eq!((spanned[0].line, spanned[0].col), (1, 1));
+        assert_eq!((spanned[1].line, spanned[1].col), (2, 3));
+    }
+
+    #[test]
+    fn errors_reported_with_position() {
+        let e = tokenize("vm # host").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.to_string().contains("unexpected character"));
+        let unterminated = tokenize("\"abc").unwrap_err();
+        assert!(unterminated.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn integer_then_period_is_not_a_float() {
+        // rule terminators directly after numbers must stay periods
+        assert_eq!(toks("C<=3."), vec![
+            Token::UpperIdent("C".into()),
+            Token::LessEq,
+            Token::Int(3),
+            Token::Period,
+        ]);
+    }
+}

@@ -1,0 +1,254 @@
+//! Localization rewrite for distributed rules (Sec. 5.5 of the paper).
+//!
+//! A rule whose body predicates live at more than one location cannot be
+//! evaluated locally. The rewrite splits it into (a) one *shipping* rule per
+//! remote location, which gathers the remote body predicates into an
+//! intermediate `tmp` relation addressed to the rule's home location, and
+//! (b) a *local* rule identical to the original but with the remote
+//! predicates replaced by the `tmp` relation. The paper's example:
+//!
+//! ```text
+//! d2  nborNextVm(@X,Y,D,R) <- link(@Y,X), curVm(@Y,D,R1), migVm(@X,Y,D,R2), R==R1+R2.
+//! ```
+//!
+//! becomes
+//!
+//! ```text
+//! d21 tmp_d2(@X,Y,D,R1)    <- link(@Y,X), curVm(@Y,D,R1).
+//! d22 nborNextVm(@X,Y,D,R) <- tmp_d2(@X,Y,D,R1), migVm(@X,Y,D,R2), R==R1+R2.
+//! ```
+
+use crate::ast::{Arg, BodyElem, Predicate, RuleArrow, RuleDecl};
+
+/// Errors raised by the localization rewrite.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LocalizeError {
+    /// The rule spans multiple locations but its head carries no location
+    /// specifier, so there is no home location to ship data to.
+    NoHomeLocation { label: String },
+    /// The remote group of predicates does not bind the home location
+    /// variable, so the shipping rule cannot address its output.
+    HomeNotBoundRemotely { label: String, location: String },
+}
+
+impl std::fmt::Display for LocalizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LocalizeError::NoHomeLocation { label } => {
+                write!(f, "distributed rule {label} has no location specifier on its head")
+            }
+            LocalizeError::HomeNotBoundRemotely { label, location } => write!(
+                f,
+                "rule {label}: remote predicates do not bind home location {location}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LocalizeError {}
+
+/// Rewrite one rule. Non-distributed rules are returned unchanged (as a
+/// single-element vector). Distributed rules are returned as
+/// `[shipping rules..., local rule]`.
+pub fn localize_rule(rule: &RuleDecl) -> Result<Vec<RuleDecl>, LocalizeError> {
+    if !rule.is_distributed() {
+        return Ok(vec![rule.clone()]);
+    }
+    // Distinct locations appearing in the *body*.
+    let mut body_locations: Vec<String> = Vec::new();
+    for elem in &rule.body {
+        if let BodyElem::Pred(p) = elem {
+            if let Some(l) = p.location() {
+                if !body_locations.iter().any(|x| x == l) {
+                    body_locations.push(l.to_string());
+                }
+            }
+        }
+    }
+    if body_locations.len() <= 1 && rule.arrow == RuleArrow::Derivation {
+        // The body is evaluable at a single location; a remotely-addressed
+        // head is handled by the engine's tuple shipping, no rewrite needed.
+        return Ok(vec![rule.clone()]);
+    }
+    let home = match rule.head.location() {
+        Some(l) => l.to_string(),
+        None => {
+            // A body-only distributed rule: use the first body location as home.
+            body_locations
+                .first()
+                .cloned()
+                .ok_or_else(|| LocalizeError::NoHomeLocation { label: rule.label.clone() })?
+        }
+    };
+
+    // Partition body predicates by location; non-predicates and home-located
+    // (or unlocated) predicates stay in the local rule.
+    let mut local_body: Vec<BodyElem> = Vec::new();
+    let mut remote_groups: Vec<(String, Vec<Predicate>)> = Vec::new();
+    for elem in &rule.body {
+        match elem {
+            BodyElem::Pred(p) => match p.location() {
+                Some(loc) if loc != home => {
+                    match remote_groups.iter_mut().find(|(l, _)| l == loc) {
+                        Some((_, preds)) => preds.push(p.clone()),
+                        None => remote_groups.push((loc.to_string(), vec![p.clone()])),
+                    }
+                }
+                _ => local_body.push(elem.clone()),
+            },
+            other => local_body.push(other.clone()),
+        }
+    }
+    if remote_groups.is_empty() {
+        // Head addressed elsewhere but body is single-location: the engine
+        // handles this directly (located head -> remote send).
+        return Ok(vec![rule.clone()]);
+    }
+
+    let mut out = Vec::new();
+    let mut local_inserts: Vec<BodyElem> = Vec::new();
+    for (idx, (remote_loc, preds)) in remote_groups.iter().enumerate() {
+        // Variables produced by the remote group (deduplicated, stable order),
+        // excluding the home location variable which becomes the address.
+        let mut vars: Vec<String> = Vec::new();
+        for p in preds {
+            for v in p.variables() {
+                if v != home && !vars.contains(&v) {
+                    vars.push(v);
+                }
+            }
+        }
+        let home_bound = preds.iter().any(|p| p.variables().contains(&home));
+        if !home_bound {
+            return Err(LocalizeError::HomeNotBoundRemotely {
+                label: rule.label.clone(),
+                location: home.clone(),
+            });
+        }
+        let tmp_name = if remote_groups.len() == 1 {
+            format!("tmp_{}", rule.label)
+        } else {
+            format!("tmp_{}_{}", rule.label, idx)
+        };
+        let mut tmp_args: Vec<Arg> = vec![Arg::Loc(home.clone())];
+        tmp_args.extend(vars.iter().map(|v| Arg::Var(v.clone())));
+        let tmp_head = Predicate::new(&tmp_name, tmp_args.clone());
+
+        let shipping = RuleDecl {
+            label: format!("{}_ship{}", rule.label, idx + 1),
+            arrow: RuleArrow::Derivation,
+            head: tmp_head,
+            body: preds.iter().cloned().map(BodyElem::Pred).collect(),
+        };
+        out.push(shipping);
+        local_inserts.push(BodyElem::Pred(Predicate::new(&tmp_name, tmp_args)));
+        let _ = remote_loc;
+    }
+
+    // Local rule: tmp predicates first (they bind the home location), then
+    // the remaining local body.
+    let mut body = local_inserts;
+    body.extend(local_body);
+    out.push(RuleDecl {
+        label: format!("{}_local", rule.label),
+        arrow: rule.arrow,
+        head: rule.head.clone(),
+        body,
+    });
+    Ok(out)
+}
+
+/// Localize every rule of a program, preserving order.
+pub fn localize_rules(rules: &[RuleDecl]) -> Result<Vec<RuleDecl>, LocalizeError> {
+    let mut out = Vec::with_capacity(rules.len());
+    for r in rules {
+        out.extend(localize_rule(r)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn non_distributed_rule_unchanged() {
+        let p = parse_program("r1 toAssign(Vid,Hid) <- vm(Vid,C,M), host(Hid,C2,M2).").unwrap();
+        let out = localize_rule(&p.rules[0]).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0], p.rules[0]);
+    }
+
+    #[test]
+    fn paper_example_d2_rewrite() {
+        let p = parse_program(
+            "d2 nborNextVm(@X,Y,D,R) <- link(@Y,X), curVm(@Y,D,R1), migVm(@X,Y,D,R2), R==R1+R2.",
+        )
+        .unwrap();
+        let out = localize_rule(&p.rules[0]).unwrap();
+        assert_eq!(out.len(), 2);
+        let ship = &out[0];
+        let local = &out[1];
+        // shipping rule gathers link and curVm at Y and addresses @X
+        assert_eq!(ship.head.name, "tmp_d2");
+        assert_eq!(ship.head.location(), Some("X"));
+        assert_eq!(ship.body.len(), 2);
+        assert!(!ship.is_distributed() || ship.locations() == vec!["X".to_string(), "Y".to_string()]);
+        // variables shipped: Y, D, R1 (order of first appearance)
+        let shipped_vars = ship.head.variables();
+        assert_eq!(shipped_vars, vec!["X", "Y", "D", "R1"]);
+        // the local rule joins tmp with migVm and keeps the expression
+        assert_eq!(local.head.name, "nborNextVm");
+        assert_eq!(local.body.len(), 3);
+        assert!(matches!(&local.body[0], BodyElem::Pred(p) if p.name == "tmp_d2"));
+        assert!(matches!(&local.body[2], BodyElem::Expr(_)));
+        assert!(!local.is_distributed());
+    }
+
+    #[test]
+    fn constraint_rule_keeps_arrow() {
+        let p = parse_program(
+            "c2 aggNborNextVm(@X,Y,R1) -> link(@Y,X), resource(@Y,R2), R1<=R2.",
+        )
+        .unwrap();
+        let out = localize_rule(&p.rules[0]).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].arrow, RuleArrow::Derivation); // shipping is a plain rule
+        assert_eq!(out[1].arrow, RuleArrow::Constraint);
+    }
+
+    #[test]
+    fn head_only_remote_is_left_to_engine() {
+        // body entirely at X, head addressed to Y: no rewrite needed, the
+        // engine ships the head tuple.
+        let p = parse_program("r2 migVm(@Y,X,D,R2) <- setLink(@X,Y), migVm2(@X,Y,D,R1), R2:=-R1.")
+            .unwrap();
+        let out = localize_rule(&p.rules[0]).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn error_when_home_not_bound_by_remote_group() {
+        let p = parse_program("r1 out(@X,V) <- local(@X,W), remote(@Y,V).").unwrap();
+        let err = localize_rule(&p.rules[0]).unwrap_err();
+        assert!(matches!(err, LocalizeError::HomeNotBoundRemotely { .. }));
+        assert!(err.to_string().contains("remote predicates"));
+    }
+
+    #[test]
+    fn localize_rules_expands_in_place() {
+        let p = parse_program(
+            r#"
+            r1 a(@X,Y) <- b(@X,Y).
+            d2 nborNextVm(@X,Y,D,R) <- link(@Y,X), curVm(@Y,D,R1), migVm(@X,Y,D,R2), R==R1+R2.
+            "#,
+        )
+        .unwrap();
+        let out = localize_rules(&p.rules).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].label, "r1");
+        assert_eq!(out[1].label, "d2_ship1");
+        assert_eq!(out[2].label, "d2_local");
+    }
+}

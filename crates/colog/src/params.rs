@@ -1,0 +1,145 @@
+//! Program parameters.
+//!
+//! Colog programs reference named constants (`max_migrates`, `F_mindiff`,
+//! `cost_thres`, ...) and leave the domains of solver variables to the
+//! generated Gecode model. [`ProgramParams`] carries both, mirroring the
+//! knobs the paper exposes (`SOLVER_MAX_TIME`, policy thresholds) without
+//! changing the Colog surface syntax.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Domain `[lo, hi]` for the solver variables of one `var`-declared table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VarDomain {
+    /// Smallest allowed value.
+    pub lo: i64,
+    /// Largest allowed value.
+    pub hi: i64,
+}
+
+impl VarDomain {
+    /// A 0/1 domain (the default, used for assignment variables).
+    pub const BOOL: VarDomain = VarDomain { lo: 0, hi: 1 };
+
+    /// Build a domain.
+    pub fn new(lo: i64, hi: i64) -> Self {
+        assert!(lo <= hi, "empty var domain [{lo}, {hi}]");
+        VarDomain { lo, hi }
+    }
+}
+
+impl Default for VarDomain {
+    fn default() -> Self {
+        VarDomain::BOOL
+    }
+}
+
+/// Compile/run-time parameters for a Colog program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramParams {
+    /// Values for named constants appearing in the program.
+    constants: BTreeMap<String, i64>,
+    /// Domain of the solver variables declared by each `var` statement,
+    /// keyed by solver-table name. Tables not listed use [`VarDomain::BOOL`].
+    var_domains: BTreeMap<String, VarDomain>,
+    /// The paper's `SOLVER_MAX_TIME`: wall-clock budget per COP execution.
+    pub solver_max_time: Option<Duration>,
+    /// Cap on branch-and-bound search nodes per COP execution (a
+    /// deterministic alternative to the wall-clock limit, useful in tests
+    /// and benchmarks).
+    pub solver_node_limit: Option<u64>,
+}
+
+impl Default for ProgramParams {
+    fn default() -> Self {
+        ProgramParams {
+            constants: BTreeMap::new(),
+            var_domains: BTreeMap::new(),
+            // Sec. 6.2: "we limit each solver's COP execution time to 10 seconds".
+            solver_max_time: Some(Duration::from_secs(10)),
+            solver_node_limit: None,
+        }
+    }
+}
+
+impl ProgramParams {
+    /// Empty parameter set with the paper's default solver time limit.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set a named constant (builder style).
+    pub fn with_constant(mut self, name: &str, value: i64) -> Self {
+        self.constants.insert(name.to_string(), value);
+        self
+    }
+
+    /// Set the domain for a `var`-declared table (builder style).
+    pub fn with_var_domain(mut self, table: &str, domain: VarDomain) -> Self {
+        self.var_domains.insert(table.to_string(), domain);
+        self
+    }
+
+    /// Set the solver time limit (builder style).
+    pub fn with_solver_max_time(mut self, limit: Option<Duration>) -> Self {
+        self.solver_max_time = limit;
+        self
+    }
+
+    /// Set the solver node limit (builder style).
+    pub fn with_solver_node_limit(mut self, limit: Option<u64>) -> Self {
+        self.solver_node_limit = limit;
+        self
+    }
+
+    /// Look up a named constant.
+    pub fn constant(&self, name: &str) -> Option<i64> {
+        self.constants.get(name).copied()
+    }
+
+    /// Domain for a solver table (defaults to 0/1).
+    pub fn var_domain(&self, table: &str) -> VarDomain {
+        self.var_domains.get(table).copied().unwrap_or_default()
+    }
+
+    /// Names of all declared constants.
+    pub fn constant_names(&self) -> Vec<&str> {
+        self.constants.keys().map(|s| s.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let p = ProgramParams::default();
+        assert_eq!(p.solver_max_time, Some(Duration::from_secs(10)));
+        assert_eq!(p.var_domain("assign"), VarDomain::BOOL);
+        assert_eq!(p.constant("max_migrates"), None);
+    }
+
+    #[test]
+    fn builder_sets_values() {
+        let p = ProgramParams::new()
+            .with_constant("max_migrates", 3)
+            .with_constant("F_mindiff", 2)
+            .with_var_domain("migVm", VarDomain::new(-60, 60))
+            .with_solver_max_time(Some(Duration::from_secs(1)))
+            .with_solver_node_limit(Some(10_000));
+        assert_eq!(p.constant("max_migrates"), Some(3));
+        assert_eq!(p.var_domain("migVm"), VarDomain::new(-60, 60));
+        assert_eq!(p.var_domain("assign"), VarDomain::BOOL);
+        assert_eq!(p.solver_max_time, Some(Duration::from_secs(1)));
+        assert_eq!(p.solver_node_limit, Some(10_000));
+        assert_eq!(p.constant_names(), vec!["F_mindiff", "max_migrates"]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_domain_rejected() {
+        let _ = VarDomain::new(5, 4);
+    }
+}

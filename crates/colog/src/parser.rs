@@ -1,0 +1,526 @@
+//! Recursive-descent parser for Colog.
+//!
+//! The accepted syntax is exactly the one used in the paper's program
+//! listings (Sec. 4.2, 4.3 and Appendix A): `goal`/`var` declarations,
+//! labelled rules with `<-`/`->` arrows, predicates with optional `@Loc`
+//! location specifiers and aggregate arguments, and arithmetic/comparison
+//! expressions including the absolute-value form `|C1-C2|` and reified
+//! comparisons such as `(C==1)==(|C1-C2|<F_mindiff)`.
+
+use cologne_datalog::AggFunc;
+
+use crate::ast::{
+    Arg, BodyElem, CExpr, COp, GoalDecl, GoalKind, Literal, Predicate, Program, RuleArrow,
+    RuleDecl, VarDecl,
+};
+use crate::lexer::{tokenize, LexError, Spanned, Token};
+
+/// A parsing error with source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Description of the problem.
+    pub message: String,
+    /// 1-based line (0 when at end of input).
+    pub line: usize,
+    /// 1-based column (0 when at end of input).
+    pub col: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { message: e.message, line: e.line, col: e.col }
+    }
+}
+
+/// Parse a full Colog program.
+pub fn parse_program(source: &str) -> Result<Program, ParseError> {
+    let tokens = tokenize(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    parser.program()
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|s| &s.token)
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<&Token> {
+        self.tokens.get(self.pos + offset).map(|s| &s.token)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|s| s.token.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        let (line, col) = self
+            .tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|s| (s.line, s.col))
+            .unwrap_or((0, 0));
+        ParseError { message: message.into(), line, col }
+    }
+
+    fn expect(&mut self, expected: &Token) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t == expected => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(t) => Err(self.error(format!("expected {expected:?}, found {t:?}"))),
+            None => Err(self.error(format!("expected {expected:?}, found end of input"))),
+        }
+    }
+
+    fn eat_period(&mut self) {
+        if matches!(self.peek(), Some(Token::Period)) {
+            self.pos += 1;
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut program = Program::default();
+        while let Some(token) = self.peek() {
+            match token {
+                Token::LowerIdent(word) if word == "goal" => {
+                    let goal = self.goal_decl()?;
+                    if program.goal.is_some() {
+                        return Err(self.error("multiple goal declarations"));
+                    }
+                    program.goal = Some(goal);
+                }
+                Token::LowerIdent(word) if word == "var" => {
+                    program.vars.push(self.var_decl()?);
+                }
+                Token::LowerIdent(_) => {
+                    program.rules.push(self.rule()?);
+                }
+                other => {
+                    return Err(self.error(format!("expected a declaration or rule, found {other:?}")))
+                }
+            }
+        }
+        Ok(program)
+    }
+
+    fn goal_decl(&mut self) -> Result<GoalDecl, ParseError> {
+        self.next(); // 'goal'
+        let kind = match self.next() {
+            Some(Token::LowerIdent(w)) if w == "minimize" => GoalKind::Minimize,
+            Some(Token::LowerIdent(w)) if w == "maximize" => GoalKind::Maximize,
+            Some(Token::LowerIdent(w)) if w == "satisfy" => GoalKind::Satisfy,
+            other => return Err(self.error(format!("expected goal kind, found {other:?}"))),
+        };
+        let var = match self.next() {
+            Some(Token::UpperIdent(v)) => v,
+            other => return Err(self.error(format!("expected goal variable, found {other:?}"))),
+        };
+        match self.next() {
+            Some(Token::LowerIdent(w)) if w == "in" => {}
+            other => return Err(self.error(format!("expected 'in', found {other:?}"))),
+        }
+        let relation = self.predicate()?;
+        self.eat_period();
+        Ok(GoalDecl { kind, var, relation })
+    }
+
+    fn var_decl(&mut self) -> Result<VarDecl, ParseError> {
+        self.next(); // 'var'
+        let table = self.predicate()?;
+        match self.next() {
+            Some(Token::LowerIdent(w)) if w == "forall" => {}
+            other => return Err(self.error(format!("expected 'forall', found {other:?}"))),
+        }
+        let forall = self.predicate()?;
+        self.eat_period();
+        Ok(VarDecl { table, forall })
+    }
+
+    fn rule(&mut self) -> Result<RuleDecl, ParseError> {
+        let label = match self.next() {
+            Some(Token::LowerIdent(l)) => l,
+            other => return Err(self.error(format!("expected rule label, found {other:?}"))),
+        };
+        let head = self.predicate()?;
+        let arrow = match self.next() {
+            Some(Token::DeriveArrow) => RuleArrow::Derivation,
+            Some(Token::ConstraintArrow) => RuleArrow::Constraint,
+            other => return Err(self.error(format!("expected '<-' or '->', found {other:?}"))),
+        };
+        let mut body = Vec::new();
+        loop {
+            body.push(self.body_elem()?);
+            match self.peek() {
+                Some(Token::Comma) => {
+                    self.pos += 1;
+                }
+                Some(Token::Period) => {
+                    self.pos += 1;
+                    break;
+                }
+                None => break,
+                other => {
+                    return Err(self.error(format!("expected ',' or '.', found {other:?}")))
+                }
+            }
+        }
+        Ok(RuleDecl { label, arrow, head, body })
+    }
+
+    fn body_elem(&mut self) -> Result<BodyElem, ParseError> {
+        // predicate: lowercase identifier followed by '('
+        if let (Some(Token::LowerIdent(_)), Some(Token::LParen)) = (self.peek(), self.peek_at(1)) {
+            return Ok(BodyElem::Pred(self.predicate()?));
+        }
+        // assignment: Upper ':=' expr
+        if let (Some(Token::UpperIdent(name)), Some(Token::Assign)) = (self.peek(), self.peek_at(1))
+        {
+            let name = name.clone();
+            self.pos += 2;
+            let expr = self.comparison()?;
+            return Ok(BodyElem::Assign(name, expr));
+        }
+        Ok(BodyElem::Expr(self.comparison()?))
+    }
+
+    fn predicate(&mut self) -> Result<Predicate, ParseError> {
+        let name = match self.next() {
+            Some(Token::LowerIdent(n)) => n,
+            other => return Err(self.error(format!("expected predicate name, found {other:?}"))),
+        };
+        self.expect(&Token::LParen)?;
+        let mut args = Vec::new();
+        if !matches!(self.peek(), Some(Token::RParen)) {
+            loop {
+                args.push(self.arg()?);
+                match self.peek() {
+                    Some(Token::Comma) => {
+                        self.pos += 1;
+                    }
+                    Some(Token::RParen) => break,
+                    other => {
+                        return Err(self.error(format!("expected ',' or ')', found {other:?}")))
+                    }
+                }
+            }
+        }
+        self.expect(&Token::RParen)?;
+        Ok(Predicate { name, args })
+    }
+
+    fn arg(&mut self) -> Result<Arg, ParseError> {
+        match self.peek().cloned() {
+            Some(Token::At) => {
+                self.pos += 1;
+                match self.next() {
+                    Some(Token::UpperIdent(v)) => Ok(Arg::Loc(v)),
+                    other => Err(self.error(format!("expected location variable, found {other:?}"))),
+                }
+            }
+            Some(Token::UpperIdent(word)) => {
+                // aggregate keyword followed by '<'
+                if let Some(func) = AggFunc::from_keyword(&word) {
+                    if matches!(self.peek_at(1), Some(Token::Less)) {
+                        self.pos += 2;
+                        let inner = match self.next() {
+                            Some(Token::UpperIdent(v)) => v,
+                            other => {
+                                return Err(self
+                                    .error(format!("expected aggregate variable, found {other:?}")))
+                            }
+                        };
+                        self.expect(&Token::Greater)?;
+                        return Ok(Arg::Agg(func, inner));
+                    }
+                }
+                self.pos += 1;
+                Ok(Arg::Var(word))
+            }
+            Some(Token::Int(i)) => {
+                self.pos += 1;
+                Ok(Arg::Const(Literal::Int(i)))
+            }
+            Some(Token::Float(f)) => {
+                self.pos += 1;
+                Ok(Arg::Const(Literal::Float(f)))
+            }
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Ok(Arg::Const(Literal::Str(s)))
+            }
+            Some(Token::LowerIdent(p)) => {
+                self.pos += 1;
+                Ok(Arg::Const(Literal::Param(p)))
+            }
+            other => Err(self.error(format!("expected predicate argument, found {other:?}"))),
+        }
+    }
+
+    // expression parsing ----------------------------------------------------
+
+    fn comparison(&mut self) -> Result<CExpr, ParseError> {
+        let mut lhs = self.additive()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::EqEq) => COp::Eq,
+                Some(Token::NotEq) => COp::Ne,
+                Some(Token::LessEq) => COp::Le,
+                Some(Token::GreaterEq) => COp::Ge,
+                Some(Token::Less) => COp::Lt,
+                Some(Token::Greater) => COp::Gt,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.additive()?;
+            lhs = CExpr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn additive(&mut self) -> Result<CExpr, ParseError> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => COp::Add,
+                Some(Token::Minus) => COp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.term()?;
+            lhs = CExpr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn term(&mut self) -> Result<CExpr, ParseError> {
+        let mut lhs = self.factor()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => COp::Mul,
+                Some(Token::Slash) => COp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.factor()?;
+            lhs = CExpr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn factor(&mut self) -> Result<CExpr, ParseError> {
+        match self.peek().cloned() {
+            Some(Token::Minus) => {
+                self.pos += 1;
+                Ok(CExpr::Neg(Box::new(self.factor()?)))
+            }
+            Some(Token::Pipe) => {
+                self.pos += 1;
+                let inner = self.comparison()?;
+                self.expect(&Token::Pipe)?;
+                Ok(CExpr::Abs(Box::new(inner)))
+            }
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let inner = self.comparison()?;
+                self.expect(&Token::RParen)?;
+                Ok(inner)
+            }
+            Some(Token::UpperIdent(v)) => {
+                self.pos += 1;
+                Ok(CExpr::Var(v))
+            }
+            Some(Token::LowerIdent(p)) => {
+                self.pos += 1;
+                Ok(CExpr::Lit(Literal::Param(p)))
+            }
+            Some(Token::Int(i)) => {
+                self.pos += 1;
+                Ok(CExpr::Lit(Literal::Int(i)))
+            }
+            Some(Token::Float(f)) => {
+                self.pos += 1;
+                Ok(CExpr::Lit(Literal::Float(f)))
+            }
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Ok(CExpr::Lit(Literal::Str(s)))
+            }
+            other => Err(self.error(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The centralized ACloud program exactly as listed in Sec. 4.2.
+    pub const ACLOUD_SNIPPET: &str = r#"
+        goal minimize C in hostStdevCpu(C).
+        var assign(Vid,Hid,V) forall toAssign(Vid,Hid).
+
+        r1 toAssign(Vid,Hid) <- vm(Vid,Cpu,Mem), host(Hid,Cpu2,Mem2).
+        d1 hostCpu(Hid,SUM<C>) <- assign(Vid,Hid,V), vm(Vid,Cpu,Mem), C==V*Cpu.
+        d2 hostStdevCpu(STDEV<C>) <- host(Hid,Cpu,Mem), hostCpu(Hid,Cpu2), C==Cpu+Cpu2.
+        d3 assignCount(Vid,SUM<V>) <- assign(Vid,Hid,V).
+        c1 assignCount(Vid,V) -> V==1.
+        d4 hostMem(Hid,SUM<M>) <- assign(Vid,Hid,V), vm(Vid,Cpu,Mem), M==V*Mem.
+        c2 hostMem(Hid,Mem) -> hostMemThres(Hid,M), Mem<=M.
+    "#;
+
+    #[test]
+    fn parses_acloud_program() {
+        let p = parse_program(ACLOUD_SNIPPET).unwrap();
+        assert_eq!(p.rules.len(), 7);
+        assert_eq!(p.vars.len(), 1);
+        let goal = p.goal.as_ref().unwrap();
+        assert_eq!(goal.kind, GoalKind::Minimize);
+        assert_eq!(goal.var, "C");
+        assert_eq!(goal.relation.name, "hostStdevCpu");
+        assert_eq!(p.vars[0].solver_positions(), vec![2]);
+        // d1 has an aggregate head and three body elements
+        let d1 = p.rule("d1").unwrap();
+        assert!(d1.head.has_aggregate());
+        assert_eq!(d1.body.len(), 3);
+        assert!(matches!(d1.body[2], BodyElem::Expr(_)));
+        // c1 is a constraint rule
+        assert_eq!(p.rule("c1").unwrap().arrow, RuleArrow::Constraint);
+        assert_eq!(p.num_rules(), 9);
+    }
+
+    #[test]
+    fn parses_location_specifiers_and_assignment() {
+        let src = r#"
+            r2 migVm(@Y,X,D,R2) <- setLink(@X,Y), migVm(@X,Y,D,R1), R2:=-R1.
+        "#;
+        let p = parse_program(src).unwrap();
+        let r2 = &p.rules[0];
+        assert_eq!(r2.head.location(), Some("Y"));
+        assert!(r2.is_distributed());
+        match &r2.body[2] {
+            BodyElem::Assign(v, expr) => {
+                assert_eq!(v, "R2");
+                assert!(matches!(expr, CExpr::Neg(_)));
+            }
+            other => panic!("expected assignment, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_reified_equivalence_and_abs() {
+        let src = r#"
+            d1 cost(X,Y,Z,C) <- assign(X,Y,C1), assign(X,Z,C2),
+               Y!=Z, (C==1)==(|C1-C2|<F_mindiff).
+        "#;
+        let p = parse_program(src).unwrap();
+        let d1 = &p.rules[0];
+        assert_eq!(d1.body.len(), 4);
+        match &d1.body[3] {
+            BodyElem::Expr(CExpr::Bin(COp::Eq, lhs, rhs)) => {
+                assert!(lhs.is_comparison());
+                match rhs.as_ref() {
+                    CExpr::Bin(COp::Lt, abs, param) => {
+                        assert!(matches!(abs.as_ref(), CExpr::Abs(_)));
+                        // `F_mindiff` starts with an uppercase letter, so it
+                        // lexes as a variable; the runtime resolves it as a
+                        // named parameter because it is never bound by a
+                        // body predicate.
+                        assert!(matches!(param.as_ref(), CExpr::Var(p) if p == "F_mindiff"));
+                    }
+                    other => panic!("unexpected rhs {other:?}"),
+                }
+            }
+            other => panic!("expected reified equivalence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_aggregates_sumabs_unique() {
+        let src = r#"
+            d7 aggMigCost(@X,SUMABS<Cost>) <- migVm(@X,Y,D,R), migCost(@X,Y,C), Cost==R*C.
+            d3 uniqueChannel(X,UNIQUE<C>) <- assign(X,Y,C).
+        "#;
+        let p = parse_program(src).unwrap();
+        assert!(matches!(p.rules[0].head.args[1], Arg::Agg(AggFunc::SumAbs, _)));
+        assert!(matches!(p.rules[1].head.args[1], Arg::Agg(AggFunc::Unique, _)));
+    }
+
+    #[test]
+    fn parses_named_parameters_in_constraints() {
+        let src = "c3 migrateCount(C) -> C<=max_migrates.";
+        let p = parse_program(src).unwrap();
+        match &p.rules[0].body[0] {
+            BodyElem::Expr(CExpr::Bin(COp::Le, _, rhs)) => {
+                assert!(matches!(rhs.as_ref(), CExpr::Lit(Literal::Param(m)) if m == "max_migrates"));
+            }
+            other => panic!("unexpected body {other:?}"),
+        }
+    }
+
+    #[test]
+    fn operator_precedence_mul_before_add() {
+        let src = "d8 aggCost(X,C) <- a(X,C1), b(X,C2), C==C1+C2*2.";
+        let p = parse_program(src).unwrap();
+        match &p.rules[0].body[2] {
+            BodyElem::Expr(CExpr::Bin(COp::Eq, _, rhs)) => match rhs.as_ref() {
+                CExpr::Bin(COp::Add, _, mul) => {
+                    assert!(matches!(mul.as_ref(), CExpr::Bin(COp::Mul, _, _)));
+                }
+                other => panic!("precedence broken: {other:?}"),
+            },
+            other => panic!("unexpected body {other:?}"),
+        }
+    }
+
+    #[test]
+    fn satisfy_goal_and_empty_args() {
+        let src = "goal satisfy X in feasible(X).\nr1 feasible(X) <- input(X), ok().";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.goal.as_ref().unwrap().kind, GoalKind::Satisfy);
+        let r1 = &p.rules[0];
+        match &r1.body[1] {
+            BodyElem::Pred(pr) => assert!(pr.args.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_messages_point_at_problem() {
+        let err = parse_program("r1 foo(X) <- bar(X), .").unwrap_err();
+        assert!(err.to_string().contains("expected"));
+        let err2 = parse_program("goal shrink C in t(C).").unwrap_err();
+        assert!(err2.message.contains("goal kind"));
+        let err3 = parse_program("r1 foo(X) <= bar(X).").unwrap_err();
+        assert!(err3.message.contains("'<-' or '->'"));
+        let err4 = parse_program("goal minimize C in t(C). goal minimize D in u(D).").unwrap_err();
+        assert!(err4.message.contains("multiple goal"));
+    }
+
+    #[test]
+    fn multiple_var_decls_allowed() {
+        let src = r#"
+            var assign(X,Y,C) forall setLink(X,Y).
+            var extra(X,V) forall nodes(X).
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.vars.len(), 2);
+        assert_eq!(p.vars[1].solver_positions(), vec![1]);
+    }
+}

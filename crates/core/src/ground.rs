@@ -1,0 +1,1013 @@
+//! Grounding of Colog solver rules into a constraint-optimization model.
+//!
+//! This is the core of the Cologne query processor (Sec. 5.3–5.4 of the
+//! paper): solver derivation and constraint rules are evaluated bottom-up
+//! against the materialized regular tables, but the attributes whose values
+//! the solver must determine flow through the evaluation *symbolically* —
+//! each one is (or maps to) an integer variable of the [`cologne_solver`]
+//! model, and the selection/aggregation expressions that mention them are
+//! translated into solver constraints instead of being evaluated.
+
+use std::collections::BTreeMap;
+
+use cologne_colog::{
+    Analysis, Arg, BodyElem, CExpr, COp, GoalKind, Predicate, Program, ProgramParams, RuleClass,
+    RuleDecl,
+};
+use cologne_datalog::{AggFunc, Bindings, Engine, SymId, Tuple, Value};
+use cologne_solver::{LinExpr, Model, VarId};
+
+use crate::error::CologneError;
+
+/// The result of grounding one COP invocation.
+pub struct GroundedCop {
+    /// The constraint model, ready to be solved.
+    pub model: Model,
+    /// Mapping from symbolic attribute ids ([`Value::Sym`]) to model variables.
+    pub syms: Vec<VarId>,
+    /// Contents of every solver table produced during grounding. Tuples may
+    /// contain `Value::Sym` attributes referring into `syms`.
+    pub solver_tables: BTreeMap<String, Vec<Tuple>>,
+    /// The optimization objective, if the program declares one and the goal
+    /// relation is non-empty.
+    pub objective: Option<(GoalKind, VarId)>,
+    /// Name of the goal relation (for materialization).
+    pub goal_relation: Option<String>,
+}
+
+impl GroundedCop {
+    /// True when the COP has no decision variables (nothing to solve).
+    pub fn is_trivial(&self) -> bool {
+        self.model.num_vars() == 0
+    }
+
+    /// Resolve a grounded value against a solver assignment.
+    pub fn resolve(
+        &self,
+        value: &Value,
+        assignment: &cologne_solver::Assignment,
+    ) -> Value {
+        match value {
+            Value::Sym(sym) => Value::Int(assignment.value(self.syms[sym.0 as usize])),
+            other => other.clone(),
+        }
+    }
+}
+
+/// Ground the solver rules of `program` against the current state of
+/// `engine`, producing a constraint model.
+pub fn ground(
+    program: &Program,
+    analysis: &Analysis,
+    params: &ProgramParams,
+    engine: &Engine,
+) -> Result<GroundedCop, CologneError> {
+    let mut g = Grounder {
+        program,
+        analysis,
+        params,
+        engine,
+        model: Model::new(),
+        syms: Vec::new(),
+        solver_tables: BTreeMap::new(),
+    };
+    g.ground_var_decls()?;
+    g.ground_derivation_rules()?;
+    g.ground_constraint_rules()?;
+    let (objective, goal_relation) = g.build_objective()?;
+    Ok(GroundedCop {
+        model: g.model,
+        syms: g.syms,
+        solver_tables: g.solver_tables,
+        objective,
+        goal_relation,
+    })
+}
+
+/// Intermediate translation result for an expression over (possibly
+/// symbolic) bindings.
+enum SymVal {
+    /// A fully-known integer.
+    Concrete(i64),
+    /// A linear expression over solver variables.
+    Linear(LinExpr),
+    /// A 0/1 solver variable carrying the truth value of a comparison.
+    Bool(VarId),
+}
+
+struct Grounder<'a> {
+    program: &'a Program,
+    analysis: &'a Analysis,
+    params: &'a ProgramParams,
+    engine: &'a Engine,
+    model: Model,
+    syms: Vec<VarId>,
+    solver_tables: BTreeMap<String, Vec<Tuple>>,
+}
+
+impl<'a> Grounder<'a> {
+    fn new_sym(&mut self, var: VarId) -> Value {
+        self.syms.push(var);
+        Value::Sym(SymId((self.syms.len() - 1) as u32))
+    }
+
+    fn sym_var(&self, id: SymId) -> VarId {
+        self.syms[id.0 as usize]
+    }
+
+    fn is_solver_table(&self, relation: &str) -> bool {
+        self.analysis.solver_tables.is_solver_table(relation)
+            || self.solver_tables.contains_key(relation)
+    }
+
+    fn table_tuples(&self, relation: &str) -> Vec<Tuple> {
+        if self.is_solver_table(relation) {
+            self.solver_tables.get(relation).cloned().unwrap_or_default()
+        } else {
+            self.engine.tuples(relation)
+        }
+    }
+
+    // ----- var declarations -------------------------------------------------
+
+    fn ground_var_decls(&mut self) -> Result<(), CologneError> {
+        for vd in &self.program.vars {
+            let domain = self.params.var_domain(&vd.table.name);
+            let solver_positions = vd.solver_positions();
+            let forall_tuples = self.engine.tuples(&vd.forall.name);
+            for tuple in forall_tuples {
+                let mut bindings = Bindings::new();
+                if !match_predicate(&vd.forall, &tuple, &mut bindings, self.params) {
+                    continue;
+                }
+                let mut row = Vec::with_capacity(vd.table.args.len());
+                for (i, arg) in vd.table.args.iter().enumerate() {
+                    if solver_positions.contains(&i) {
+                        let name = format!(
+                            "{}[{}]",
+                            vd.table.name,
+                            tuple.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(",")
+                        );
+                        let var = self.model.new_named_var(domain.lo, domain.hi, Some(name));
+                        row.push(self.new_sym(var));
+                    } else {
+                        match arg {
+                            Arg::Loc(v) | Arg::Var(v) => match bindings.get(v) {
+                                Some(val) => row.push(val.clone()),
+                                None => {
+                                    return Err(CologneError::UnboundVariable {
+                                        rule: format!("var {}", vd.table.name),
+                                        variable: v.clone(),
+                                    })
+                                }
+                            },
+                            Arg::Const(lit) => {
+                                row.push(crate::translate::literal_to_value(lit, self.params)?)
+                            }
+                            Arg::Agg(_, _) => {
+                                return Err(CologneError::UnsupportedExpression {
+                                    rule: format!("var {}", vd.table.name),
+                                    detail: "aggregate in var declaration".into(),
+                                })
+                            }
+                        }
+                    }
+                }
+                self.solver_tables.entry(vd.table.name.clone()).or_default().push(row);
+            }
+            // Make sure the table exists even if the forall relation is empty.
+            self.solver_tables.entry(vd.table.name.clone()).or_default();
+        }
+        Ok(())
+    }
+
+    // ----- solver derivation rules -------------------------------------------
+
+    fn derivation_rule_order(&self) -> Vec<usize> {
+        // Topological order of solver derivation rules by head/body relation
+        // dependencies; falls back to source order inside cycles.
+        let deriv: Vec<usize> = (0..self.program.rules.len())
+            .filter(|&i| self.analysis.class_of(i) == RuleClass::SolverDerivation)
+            .collect();
+        let head_of = |i: usize| self.program.rules[i].head.name.clone();
+        let mut order: Vec<usize> = Vec::new();
+        let mut remaining: Vec<usize> = deriv.clone();
+        while !remaining.is_empty() {
+            let mut progressed = false;
+            let mut next_remaining = Vec::new();
+            for &i in &remaining {
+                let body_rels = self.program.rules[i].body_relations();
+                let depends_on_pending = remaining.iter().any(|&j| {
+                    j != i && body_rels.contains(&head_of(j).as_str())
+                });
+                if depends_on_pending {
+                    next_remaining.push(i);
+                } else {
+                    order.push(i);
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                // cycle: keep source order for what is left
+                order.extend(next_remaining.iter().copied());
+                break;
+            }
+            remaining = next_remaining;
+        }
+        order
+    }
+
+    fn ground_derivation_rules(&mut self) -> Result<(), CologneError> {
+        for idx in self.derivation_rule_order() {
+            let rule = self.program.rules[idx].clone();
+            self.ground_derivation(&rule)?;
+        }
+        Ok(())
+    }
+
+    fn ground_derivation(&mut self, rule: &RuleDecl) -> Result<(), CologneError> {
+        let bindings_list = self.join_body(rule, &rule.body, false)?;
+        if rule.head.has_aggregate() {
+            self.emit_aggregate_head(rule, &bindings_list)?;
+        } else {
+            let mut rows = Vec::new();
+            for b in &bindings_list {
+                rows.push(self.instantiate_head(rule, b)?);
+            }
+            self.solver_tables.entry(rule.head.name.clone()).or_default().extend(rows);
+        }
+        Ok(())
+    }
+
+    fn instantiate_head(
+        &mut self,
+        rule: &RuleDecl,
+        bindings: &Bindings,
+    ) -> Result<Tuple, CologneError> {
+        let mut row = Vec::with_capacity(rule.head.args.len());
+        for arg in &rule.head.args {
+            match arg {
+                Arg::Loc(v) | Arg::Var(v) => match bindings.get(v) {
+                    Some(val) => row.push(val.clone()),
+                    None => {
+                        return Err(CologneError::UnboundVariable {
+                            rule: rule.label.clone(),
+                            variable: v.clone(),
+                        })
+                    }
+                },
+                Arg::Const(lit) => row.push(crate::translate::literal_to_value(lit, self.params)?),
+                Arg::Agg(_, _) => unreachable!("aggregate heads handled separately"),
+            }
+        }
+        Ok(row)
+    }
+
+    fn emit_aggregate_head(
+        &mut self,
+        rule: &RuleDecl,
+        bindings_list: &[Bindings],
+    ) -> Result<(), CologneError> {
+        // group key -> per-aggregate-column operand values
+        let agg_args: Vec<(usize, AggFunc, String)> = rule
+            .head
+            .args
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| match a {
+                Arg::Agg(f, v) => Some((i, *f, v.clone())),
+                _ => None,
+            })
+            .collect();
+        let mut groups: BTreeMap<Tuple, Vec<Vec<Value>>> = BTreeMap::new();
+        for b in bindings_list {
+            let mut key = Vec::new();
+            let mut operands: Vec<Value> = Vec::with_capacity(agg_args.len());
+            let mut ok = true;
+            for arg in &rule.head.args {
+                match arg {
+                    Arg::Loc(v) | Arg::Var(v) => match b.get(v) {
+                        Some(val) => key.push(val.clone()),
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    },
+                    Arg::Const(lit) => {
+                        key.push(crate::translate::literal_to_value(lit, self.params)?)
+                    }
+                    Arg::Agg(_, v) => match b.get(v) {
+                        Some(val) => operands.push(val.clone()),
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    },
+                }
+            }
+            if !ok {
+                return Err(CologneError::UnboundVariable {
+                    rule: rule.label.clone(),
+                    variable: "<head>".into(),
+                });
+            }
+            let entry = groups.entry(key).or_insert_with(|| vec![Vec::new(); agg_args.len()]);
+            for (slot, v) in entry.iter_mut().zip(operands.into_iter()) {
+                slot.push(v);
+            }
+        }
+        let mut rows = Vec::with_capacity(groups.len());
+        for (key, operand_lists) in groups {
+            let mut agg_values: Vec<Value> = Vec::with_capacity(agg_args.len());
+            for ((_, func, _), operands) in agg_args.iter().zip(operand_lists.iter()) {
+                agg_values.push(self.compute_aggregate(*func, operands)?);
+            }
+            // Interleave key values and aggregate values back into head order.
+            let mut row = Vec::with_capacity(rule.head.args.len());
+            let mut key_iter = key.into_iter();
+            let mut agg_iter = agg_values.into_iter();
+            for arg in &rule.head.args {
+                match arg {
+                    Arg::Agg(_, _) => row.push(agg_iter.next().expect("aggregate arity")),
+                    _ => row.push(key_iter.next().expect("group-by arity")),
+                }
+            }
+            rows.push(row);
+        }
+        self.solver_tables.entry(rule.head.name.clone()).or_default().extend(rows);
+        Ok(())
+    }
+
+    fn compute_aggregate(
+        &mut self,
+        func: AggFunc,
+        operands: &[Value],
+    ) -> Result<Value, CologneError> {
+        let all_concrete = operands.iter().all(|v| !v.is_symbolic());
+        if all_concrete {
+            return Ok(func.compute(operands));
+        }
+        // Convert operands to solver variables (constants become fixed vars).
+        let vars: Vec<VarId> = operands
+            .iter()
+            .map(|v| match v {
+                Value::Sym(s) => self.sym_var(*s),
+                other => {
+                    let c = other.as_f64().unwrap_or(0.0).round() as i64;
+                    self.model.new_const(c)
+                }
+            })
+            .collect();
+        let result_var = match func {
+            AggFunc::Sum => {
+                let terms: Vec<(i64, VarId)> = vars.iter().map(|&v| (1, v)).collect();
+                self.model.linear_var(&terms, 0)
+            }
+            AggFunc::SumAbs => self.model.sum_abs_var(&vars),
+            AggFunc::Count => return Ok(Value::Int(operands.len() as i64)),
+            AggFunc::Unique => self.model.nvalues_var(&vars),
+            AggFunc::Min => self.model.min_var(&vars),
+            AggFunc::Max => self.model.max_var(&vars),
+            // STDEV is lowered to the scaled integer variance
+            // n·Σx² − (Σx)², which has the same argmin (see DESIGN.md).
+            AggFunc::Stdev => self.model.scaled_variance_var(&vars),
+        };
+        Ok(self.new_sym(result_var))
+    }
+
+    // ----- solver constraint rules -------------------------------------------
+
+    fn ground_constraint_rules(&mut self) -> Result<(), CologneError> {
+        for idx in 0..self.program.rules.len() {
+            if self.analysis.class_of(idx) != RuleClass::SolverConstraint {
+                continue;
+            }
+            let rule = self.program.rules[idx].clone();
+            // head -> body : for every grounding of the head joined with the
+            // body predicates, the body expressions must hold.
+            let mut elems: Vec<BodyElem> = vec![BodyElem::Pred(rule.head.clone())];
+            elems.extend(rule.body.iter().cloned());
+            let bindings_list = self.join_body(&rule, &elems, true)?;
+            // Expressions were already posted as hard constraints during the
+            // join (force=true); nothing further to do.
+            let _ = bindings_list;
+        }
+        Ok(())
+    }
+
+    // ----- body evaluation ----------------------------------------------------
+
+    /// Join body elements against the database. `force` selects constraint
+    /// semantics: expressions over solver attributes are posted as *hard*
+    /// constraints and symbolic join conflicts become equality constraints.
+    fn join_body(
+        &mut self,
+        rule: &RuleDecl,
+        elems: &[BodyElem],
+        force: bool,
+    ) -> Result<Vec<Bindings>, CologneError> {
+        let mut frontier = vec![Bindings::new()];
+        for elem in elems {
+            if frontier.is_empty() {
+                break;
+            }
+            let mut next = Vec::new();
+            match elem {
+                BodyElem::Pred(pred) => {
+                    let tuples = self.table_tuples(&pred.name);
+                    for b in &frontier {
+                        for t in &tuples {
+                            let mut nb = b.clone();
+                            if self.match_with_symbolic(pred, t, &mut nb, force) {
+                                next.push(nb);
+                            }
+                        }
+                    }
+                }
+                BodyElem::Expr(expr) => {
+                    for b in &frontier {
+                        let mut nb = b.clone();
+                        if self.apply_expression(rule, expr, &mut nb, force)? {
+                            next.push(nb);
+                        }
+                    }
+                }
+                BodyElem::Assign(var, expr) => {
+                    for b in &frontier {
+                        let mut nb = b.clone();
+                        let val = self.translate(rule, expr, &nb)?;
+                        let value = self.symval_to_value(val);
+                        nb.set(var, value);
+                        next.push(nb);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        Ok(frontier)
+    }
+
+    /// Match a predicate against a tuple. With `equate_symbolic` (constraint
+    /// rules), a clash between an already-bound value and a tuple value where
+    /// at least one side is symbolic is accepted and turned into an equality
+    /// constraint — this is how `assign(X,Y,C) -> assign(Y,X,C)` (channel
+    /// symmetry) is enforced.
+    fn match_with_symbolic(
+        &mut self,
+        pred: &Predicate,
+        tuple: &Tuple,
+        bindings: &mut Bindings,
+        equate_symbolic: bool,
+    ) -> bool {
+        if tuple.len() != pred.args.len() {
+            return false;
+        }
+        for (arg, value) in pred.args.iter().zip(tuple.iter()) {
+            match arg {
+                Arg::Const(lit) => {
+                    let Ok(expected) = crate::translate::literal_to_value(lit, self.params) else {
+                        return false;
+                    };
+                    if &expected != value {
+                        return false;
+                    }
+                }
+                Arg::Loc(v) | Arg::Var(v) => {
+                    match bindings.get(v).cloned() {
+                        None => bindings.set(v, value.clone()),
+                        Some(existing) if &existing == value => {}
+                        Some(existing) => {
+                            let symbolic = existing.is_symbolic() || value.is_symbolic();
+                            if equate_symbolic && symbolic {
+                                self.post_value_equality(&existing, value);
+                            } else {
+                                return false;
+                            }
+                        }
+                    }
+                }
+                Arg::Agg(_, _) => return false,
+            }
+        }
+        true
+    }
+
+    fn post_value_equality(&mut self, a: &Value, b: &Value) {
+        let to_expr = |g: &Self, v: &Value| -> LinExpr {
+            match v {
+                Value::Sym(s) => LinExpr::var(g.sym_var(*s)),
+                other => LinExpr::constant(other.as_f64().unwrap_or(0.0).round() as i64),
+            }
+        };
+        let diff = to_expr(self, a).minus(&to_expr(self, b)).normalized();
+        self.model.linear_eq(&diff.terms, -diff.constant);
+    }
+
+    // ----- expression translation ----------------------------------------------
+
+    fn symval_to_value(&mut self, val: SymVal) -> Value {
+        match val {
+            SymVal::Concrete(c) => Value::Int(c),
+            SymVal::Bool(v) => self.new_sym(v),
+            SymVal::Linear(l) => {
+                let n = l.normalized();
+                if n.terms.is_empty() {
+                    Value::Int(n.constant)
+                } else if n.terms.len() == 1 && n.terms[0].0 == 1 && n.constant == 0 {
+                    // Reuse the existing variable instead of creating an alias.
+                    let var = n.terms[0].1;
+                    self.new_sym(var)
+                } else {
+                    let var = self.model.expr_var(&n);
+                    self.new_sym(var)
+                }
+            }
+        }
+    }
+
+    fn symval_to_linear(&mut self, val: SymVal) -> LinExpr {
+        match val {
+            SymVal::Concrete(c) => LinExpr::constant(c),
+            SymVal::Linear(l) => l,
+            SymVal::Bool(v) => LinExpr::var(v),
+        }
+    }
+
+    /// Apply a body expression to a binding. Returns whether the binding
+    /// survives (concrete filters may reject it). Symbolic expressions either
+    /// bind new solver variables (derivation rules, `C == V*Cpu`) or are
+    /// posted as constraints.
+    fn apply_expression(
+        &mut self,
+        rule: &RuleDecl,
+        expr: &CExpr,
+        bindings: &mut Bindings,
+        force: bool,
+    ) -> Result<bool, CologneError> {
+        // Pattern 1: X == rhs with X unbound — bind X.
+        if let CExpr::Bin(COp::Eq, lhs, rhs) = expr {
+            for (var_side, other) in [(lhs, rhs), (rhs, lhs)] {
+                if let CExpr::Var(x) = var_side.as_ref() {
+                    if bindings.get(x).is_none() && self.params.constant(x).is_none() {
+                        let val = self.translate(rule, other, bindings)?;
+                        let bound = self.symval_to_value(val);
+                        bindings.set(x, bound);
+                        return Ok(true);
+                    }
+                }
+            }
+            // Pattern 2: (X == k) == rhs with X unbound — indicator variable.
+            for (ind_side, other) in [(lhs, rhs), (rhs, lhs)] {
+                if let CExpr::Bin(COp::Eq, a, b) = ind_side.as_ref() {
+                    let (x, k) = match (a.as_ref(), b.as_ref()) {
+                        (CExpr::Var(x), other_side) => (x, other_side),
+                        (other_side, CExpr::Var(x)) => (x, other_side),
+                        _ => continue,
+                    };
+                    if bindings.get(x).is_some() || self.params.constant(x).is_some() {
+                        continue;
+                    }
+                    let k_val = match self.translate(rule, k, bindings)? {
+                        SymVal::Concrete(c) => c,
+                        _ => continue,
+                    };
+                    // X ranges over {0, k}; b <=> X == k; b <=> rhs.
+                    let values = if k_val == 0 { vec![0, 1] } else { vec![0, k_val] };
+                    let x_var = self.model.new_var_from_values(&values);
+                    let b = self.model.new_bool();
+                    self.model.reif_linear_eq(b, &[(1, x_var)], k_val);
+                    let cond = self.translate(rule, other, bindings)?;
+                    let cond_lin = self.symval_to_linear(cond);
+                    let mut terms = vec![(1i64, b)];
+                    for &(c, v) in &cond_lin.terms {
+                        terms.push((-c, v));
+                    }
+                    self.model.linear_eq(&terms, cond_lin.constant);
+                    let sym = self.new_sym(x_var);
+                    bindings.set(x, sym);
+                    return Ok(true);
+                }
+            }
+        }
+        // Pattern 3: fully translatable expression.
+        let val = self.translate(rule, expr, bindings)?;
+        match val {
+            SymVal::Concrete(c) => {
+                if c != 0 {
+                    Ok(true)
+                } else if force {
+                    // Constraint rule with a violated concrete body: the model
+                    // is infeasible.
+                    self.model.linear_eq(&[], 1);
+                    Ok(true)
+                } else {
+                    Ok(false)
+                }
+            }
+            SymVal::Bool(b) => {
+                // The expression must hold.
+                self.model.linear_eq(&[(1, b)], 1);
+                Ok(true)
+            }
+            SymVal::Linear(_) => Err(CologneError::UnsupportedExpression {
+                rule: rule.label.clone(),
+                detail: "non-boolean expression used as a condition".into(),
+            }),
+        }
+    }
+
+    /// Translate an expression to a [`SymVal`] under the given bindings.
+    fn translate(
+        &mut self,
+        rule: &RuleDecl,
+        expr: &CExpr,
+        bindings: &Bindings,
+    ) -> Result<SymVal, CologneError> {
+        match expr {
+            CExpr::Var(v) => match bindings.get(v) {
+                Some(Value::Sym(s)) => Ok(SymVal::Linear(LinExpr::var(self.sym_var(*s)))),
+                Some(Value::Int(i)) => Ok(SymVal::Concrete(*i)),
+                Some(Value::Bool(b)) => Ok(SymVal::Concrete(i64::from(*b))),
+                Some(Value::Float(f)) => Ok(SymVal::Concrete(f.0.round() as i64)),
+                // Node addresses may be compared for (in)equality in rule
+                // bodies (e.g. `Y != Z` in the wireless cost rules); their
+                // numeric id is the natural integer view.
+                Some(Value::Addr(n)) => Ok(SymVal::Concrete(n.0 as i64)),
+                Some(other) => Err(CologneError::UnsupportedExpression {
+                    rule: rule.label.clone(),
+                    detail: format!("value {other} in arithmetic expression"),
+                }),
+                None => self
+                    .params
+                    .constant(v)
+                    .map(SymVal::Concrete)
+                    .ok_or_else(|| CologneError::UnboundVariable {
+                        rule: rule.label.clone(),
+                        variable: v.clone(),
+                    }),
+            },
+            CExpr::Lit(lit) => {
+                let value = crate::translate::literal_to_value(lit, self.params)?;
+                Ok(SymVal::Concrete(value.as_f64().unwrap_or(0.0).round() as i64))
+            }
+            CExpr::Neg(inner) => {
+                let v = self.translate(rule, inner, bindings)?;
+                Ok(match v {
+                    SymVal::Concrete(c) => SymVal::Concrete(-c),
+                    other => SymVal::Linear(self.symval_to_linear(other).scale(-1)),
+                })
+            }
+            CExpr::Abs(inner) => {
+                let v = self.translate(rule, inner, bindings)?;
+                match v {
+                    SymVal::Concrete(c) => Ok(SymVal::Concrete(c.abs())),
+                    other => {
+                        let lin = self.symval_to_linear(other);
+                        let base = self.model.expr_var(&lin);
+                        let abs = self.model.abs_var(base);
+                        Ok(SymVal::Linear(LinExpr::var(abs)))
+                    }
+                }
+            }
+            CExpr::Bin(op, a, b) => {
+                let lhs = self.translate(rule, a, bindings)?;
+                let rhs = self.translate(rule, b, bindings)?;
+                self.translate_binop(rule, *op, lhs, rhs)
+            }
+        }
+    }
+
+    fn translate_binop(
+        &mut self,
+        rule: &RuleDecl,
+        op: COp,
+        lhs: SymVal,
+        rhs: SymVal,
+    ) -> Result<SymVal, CologneError> {
+        use COp::*;
+        match op {
+            Add | Sub => {
+                if let (SymVal::Concrete(a), SymVal::Concrete(b)) = (&lhs, &rhs) {
+                    return Ok(SymVal::Concrete(if op == Add { a + b } else { a - b }));
+                }
+                let l = self.symval_to_linear(lhs);
+                let r = self.symval_to_linear(rhs);
+                Ok(SymVal::Linear(if op == Add { l.plus(&r) } else { l.minus(&r) }))
+            }
+            Mul => match (lhs, rhs) {
+                (SymVal::Concrete(a), SymVal::Concrete(b)) => Ok(SymVal::Concrete(a * b)),
+                (SymVal::Concrete(a), other) | (other, SymVal::Concrete(a)) => {
+                    let l = self.symval_to_linear(other);
+                    Ok(SymVal::Linear(l.scale(a)))
+                }
+                (a, b) => {
+                    let la = self.symval_to_linear(a);
+                    let lb = self.symval_to_linear(b);
+                    let va = self.model.expr_var(&la);
+                    let vb = self.model.expr_var(&lb);
+                    let prod = self.model.mul_var(va, vb);
+                    Ok(SymVal::Linear(LinExpr::var(prod)))
+                }
+            },
+            Div => match (lhs, rhs) {
+                (SymVal::Concrete(a), SymVal::Concrete(b)) if b != 0 => {
+                    Ok(SymVal::Concrete(a / b))
+                }
+                _ => Err(CologneError::UnsupportedExpression {
+                    rule: rule.label.clone(),
+                    detail: "division involving solver variables".into(),
+                }),
+            },
+            Eq | Ne | Lt | Le | Gt | Ge => {
+                if let (SymVal::Concrete(a), SymVal::Concrete(b)) = (&lhs, &rhs) {
+                    let holds = match op {
+                        Eq => a == b,
+                        Ne => a != b,
+                        Lt => a < b,
+                        Le => a <= b,
+                        Gt => a > b,
+                        Ge => a >= b,
+                        _ => unreachable!(),
+                    };
+                    return Ok(SymVal::Concrete(i64::from(holds)));
+                }
+                let l = self.symval_to_linear(lhs);
+                let r = self.symval_to_linear(rhs);
+                let diff = l.minus(&r).normalized();
+                let b = self.model.new_bool();
+                match op {
+                    Eq => self.model.reif_linear_eq(b, &diff.terms, -diff.constant),
+                    Ne => {
+                        let beq = self.model.new_bool();
+                        self.model.reif_linear_eq(beq, &diff.terms, -diff.constant);
+                        // b = 1 - beq
+                        self.model.linear_eq(&[(1, b), (1, beq)], 1);
+                    }
+                    Le => self.model.reif_linear_le(b, &diff.terms, -diff.constant),
+                    Lt => self.model.reif_linear_le(b, &diff.terms, -diff.constant - 1),
+                    Ge => {
+                        let neg: Vec<(i64, VarId)> =
+                            diff.terms.iter().map(|&(c, v)| (-c, v)).collect();
+                        self.model.reif_linear_le(b, &neg, diff.constant);
+                    }
+                    Gt => {
+                        let neg: Vec<(i64, VarId)> =
+                            diff.terms.iter().map(|&(c, v)| (-c, v)).collect();
+                        self.model.reif_linear_le(b, &neg, diff.constant - 1);
+                    }
+                    _ => unreachable!(),
+                }
+                Ok(SymVal::Bool(b))
+            }
+        }
+    }
+
+    // ----- goal -----------------------------------------------------------------
+
+    fn build_objective(
+        &mut self,
+    ) -> Result<(Option<(GoalKind, VarId)>, Option<String>), CologneError> {
+        let Some(goal) = &self.program.goal else {
+            return Ok((None, None));
+        };
+        if goal.kind == GoalKind::Satisfy {
+            return Ok((None, Some(goal.relation.name.clone())));
+        }
+        let position = goal
+            .relation
+            .args
+            .iter()
+            .position(|a| a.var_name() == Some(goal.var.as_str()))
+            .expect("validated by analysis");
+        let tuples = self.table_tuples(&goal.relation.name);
+        let mut terms: Vec<(i64, VarId)> = Vec::new();
+        let mut constant = 0i64;
+        for t in &tuples {
+            match t.get(position) {
+                Some(Value::Sym(s)) => terms.push((1, self.sym_var(*s))),
+                Some(other) => constant += other.as_f64().unwrap_or(0.0).round() as i64,
+                None => {}
+            }
+        }
+        if terms.is_empty() && tuples.is_empty() {
+            // Nothing to optimize: leave the objective out; the caller treats
+            // the COP as trivially solved.
+            return Ok((None, Some(goal.relation.name.clone())));
+        }
+        let objective = if terms.len() == 1 && constant == 0 {
+            terms[0].1
+        } else {
+            self.model.linear_var(&terms, constant)
+        };
+        Ok((Some((goal.kind, objective)), Some(goal.relation.name.clone())))
+    }
+}
+
+/// Match a predicate's arguments against a concrete tuple (no symbolic
+/// handling; used for `forall` bindings).
+fn match_predicate(
+    pred: &Predicate,
+    tuple: &Tuple,
+    bindings: &mut Bindings,
+    params: &ProgramParams,
+) -> bool {
+    if tuple.len() != pred.args.len() {
+        return false;
+    }
+    for (arg, value) in pred.args.iter().zip(tuple.iter()) {
+        match arg {
+            Arg::Const(lit) => match crate::translate::literal_to_value(lit, params) {
+                Ok(expected) if &expected == value => {}
+                _ => return false,
+            },
+            Arg::Loc(v) | Arg::Var(v) => match bindings.get(v).cloned() {
+                None => bindings.set(v, value.clone()),
+                Some(existing) if &existing == value => {}
+                Some(_) => return false,
+            },
+            Arg::Agg(_, _) => return false,
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cologne_colog::{analyze, parse_program, VarDomain};
+    use cologne_datalog::NodeId;
+    use cologne_solver::SearchConfig;
+
+    const MINI_ACLOUD: &str = r#"
+        goal minimize C in hostStdevCpu(C).
+        var assign(Vid,Hid,V) forall toAssign(Vid,Hid).
+        r1 toAssign(Vid,Hid) <- vm(Vid,Cpu,Mem), host(Hid,Cpu2,Mem2).
+        d1 hostCpu(Hid,SUM<C>) <- assign(Vid,Hid,V), vm(Vid,Cpu,Mem), C==V*Cpu.
+        d2 hostStdevCpu(STDEV<C>) <- host(Hid,Cpu,Mem), hostCpu(Hid,Cpu2), C==Cpu+Cpu2.
+        d3 assignCount(Vid,SUM<V>) <- assign(Vid,Hid,V).
+        c1 assignCount(Vid,V) -> V==1.
+        d4 hostMem(Hid,SUM<M>) <- assign(Vid,Hid,V), vm(Vid,Cpu,Mem), M==V*Mem.
+        c2 hostMem(Hid,Mem) -> hostMemThres(Hid,M), Mem<=M.
+    "#;
+
+    fn mini_acloud_engine() -> Engine {
+        // two hosts (idle), two VMs of 40 and 20 CPU units, plenty of memory
+        let mut e = Engine::new(NodeId(0));
+        for (vid, cpu, mem) in [(1, 40, 4), (2, 20, 4)] {
+            e.insert("vm", vec![Value::Int(vid), Value::Int(cpu), Value::Int(mem)]);
+        }
+        for hid in [10, 11] {
+            e.insert("host", vec![Value::Int(hid), Value::Int(0), Value::Int(0)]);
+            e.insert("hostMemThres", vec![Value::Int(hid), Value::Int(8)]);
+        }
+        e
+    }
+
+    fn ground_mini_acloud(engine: &mut Engine, program_src: &str) -> GroundedCop {
+        let program = parse_program(program_src).unwrap();
+        let analysis = analyze(&program).unwrap();
+        let params = ProgramParams::new().with_var_domain("assign", VarDomain::BOOL);
+        // install the regular rule so toAssign is materialized
+        for (idx, rule) in program.rules.iter().enumerate() {
+            if analysis.class_of(idx) == RuleClass::Regular {
+                engine
+                    .add_rule(crate::translate::rule_to_datalog(rule, &params).unwrap());
+            }
+        }
+        engine.run();
+        ground(&program, &analysis, &params, engine).unwrap()
+    }
+
+    #[test]
+    fn acloud_grounding_creates_expected_structure() {
+        let mut engine = mini_acloud_engine();
+        let cop = ground_mini_acloud(&mut engine, MINI_ACLOUD);
+        // 2 VMs x 2 hosts = 4 assignment variables
+        assert_eq!(cop.solver_tables["assign"].len(), 4);
+        assert_eq!(cop.solver_tables["hostCpu"].len(), 2);
+        assert_eq!(cop.solver_tables["hostStdevCpu"].len(), 1);
+        assert_eq!(cop.solver_tables["assignCount"].len(), 2);
+        assert!(cop.objective.is_some());
+        assert!(!cop.is_trivial());
+    }
+
+    #[test]
+    fn acloud_optimum_balances_load() {
+        let mut engine = mini_acloud_engine();
+        let cop = ground_mini_acloud(&mut engine, MINI_ACLOUD);
+        let (kind, obj) = cop.objective.unwrap();
+        assert_eq!(kind, GoalKind::Minimize);
+        let outcome = cop.model.minimize(obj, &SearchConfig::default());
+        let best = outcome.best.expect("feasible");
+        // each VM on its own host (load 40 vs 20 beats 60 vs 0)
+        let mut per_host = std::collections::BTreeMap::new();
+        for row in &cop.solver_tables["assign"] {
+            let vid = row[0].as_int().unwrap();
+            let hid = row[1].as_int().unwrap();
+            let v = cop.resolve(&row[2], &best).as_int().unwrap();
+            if v == 1 {
+                let cpu = if vid == 1 { 40 } else { 20 };
+                *per_host.entry(hid).or_insert(0) += cpu;
+            }
+        }
+        let loads: Vec<i64> = per_host.values().copied().collect();
+        assert_eq!(loads.len(), 2);
+        assert_eq!(loads.iter().sum::<i64>(), 60);
+        assert!((loads[0] - loads[1]).abs() == 20, "loads {loads:?}");
+    }
+
+    #[test]
+    fn memory_constraint_forces_spread() {
+        // Hosts only have 4 memory units, each VM needs 4: VMs must spread.
+        let mut e = Engine::new(NodeId(0));
+        for (vid, cpu, mem) in [(1, 10, 4), (2, 10, 4)] {
+            e.insert("vm", vec![Value::Int(vid), Value::Int(cpu), Value::Int(mem)]);
+        }
+        for hid in [10, 11] {
+            e.insert("host", vec![Value::Int(hid), Value::Int(0), Value::Int(0)]);
+            e.insert("hostMemThres", vec![Value::Int(hid), Value::Int(4)]);
+        }
+        let cop = ground_mini_acloud(&mut e, MINI_ACLOUD);
+        let (_, obj) = cop.objective.unwrap();
+        let outcome = cop.model.minimize(obj, &SearchConfig::default());
+        let best = outcome.best.expect("feasible");
+        for hid in [10i64, 11] {
+            let mem: i64 = cop.solver_tables["assign"]
+                .iter()
+                .filter(|r| r[1].as_int() == Some(hid))
+                .map(|r| cop.resolve(&r[2], &best).as_int().unwrap() * 4)
+                .sum();
+            assert!(mem <= 4, "host {hid} over memory: {mem}");
+        }
+    }
+
+    #[test]
+    fn empty_workload_is_trivial() {
+        let mut engine = Engine::new(NodeId(0));
+        let cop = ground_mini_acloud(&mut engine, MINI_ACLOUD);
+        assert!(cop.is_trivial());
+        assert!(cop.objective.is_none());
+    }
+
+    #[test]
+    fn indicator_pattern_counts_migrations() {
+        // Reproduces rules d5/d6/c3 from Sec. 4.2: limit migrations to 0 so
+        // the optimal balanced placement is forbidden and VMs stay put.
+        let src = format!(
+            "{MINI_ACLOUD}
+            d5 migrate(Vid,Hid1,Hid2,C) <- assign(Vid,Hid1,V), origin(Vid,Hid2), Hid1!=Hid2, (V==1)==(C==1).
+            d6 migrateCount(SUM<C>) <- migrate(Vid,Hid1,Hid2,C).
+            c3 migrateCount(C) -> C<=max_migrates.
+            "
+        );
+        let program = parse_program(&src).unwrap();
+        let analysis = analyze(&program).unwrap();
+        let params = ProgramParams::new()
+            .with_var_domain("assign", VarDomain::BOOL)
+            .with_constant("max_migrates", 0);
+        let mut engine = mini_acloud_engine();
+        // both VMs currently on host 10
+        engine.insert("origin", vec![Value::Int(1), Value::Int(10)]);
+        engine.insert("origin", vec![Value::Int(2), Value::Int(10)]);
+        for (idx, rule) in program.rules.iter().enumerate() {
+            if analysis.class_of(idx) == RuleClass::Regular {
+                engine.add_rule(crate::translate::rule_to_datalog(rule, &params).unwrap());
+            }
+        }
+        engine.run();
+        let cop = ground(&program, &analysis, &params, &engine).unwrap();
+        let (_, obj) = cop.objective.unwrap();
+        let best = cop.model.minimize(obj, &SearchConfig::default()).best.expect("feasible");
+        // With zero migrations allowed, both VMs must remain on host 10.
+        for row in &cop.solver_tables["assign"] {
+            let hid = row[1].as_int().unwrap();
+            let v = cop.resolve(&row[2], &best).as_int().unwrap();
+            assert_eq!(v, i64::from(hid == 10), "row {row:?}");
+        }
+    }
+
+    #[test]
+    fn missing_parameter_is_reported() {
+        let src = format!(
+            "{MINI_ACLOUD}
+            d6 migrateCount(SUM<V>) <- assign(Vid,Hid,V).
+            c3 migrateCount(C) -> C<=max_migrates.
+            "
+        );
+        let program = parse_program(&src).unwrap();
+        let analysis = analyze(&program).unwrap();
+        let params = ProgramParams::new();
+        let mut engine = mini_acloud_engine();
+        for (idx, rule) in program.rules.iter().enumerate() {
+            if analysis.class_of(idx) == RuleClass::Regular {
+                engine.add_rule(crate::translate::rule_to_datalog(rule, &params).unwrap());
+            }
+        }
+        engine.run();
+        let err = match ground(&program, &analysis, &params, &engine) {
+            Err(e) => e,
+            Ok(_) => panic!("grounding should fail without max_migrates"),
+        };
+        assert!(matches!(err, CologneError::UnboundVariable { .. } | CologneError::MissingParameter(_)));
+    }
+}

@@ -1,0 +1,411 @@
+//! The per-node Cologne instance.
+//!
+//! A [`CologneInstance`] is one box in Figure 1 of the paper: it couples a
+//! distributed query engine (the incremental Datalog engine of
+//! `cologne-datalog`) with a constraint solver (`cologne-solver`). Regular
+//! Colog rules run continuously and incrementally on the engine; when the
+//! solver is invoked (the paper's `invokeSolver` event), the solver rules are
+//! grounded against the current tables, the COP is solved under the
+//! configured time budget, and the optimization output (`var` tables and the
+//! goal relation) is materialized back into the engine, possibly triggering
+//! further rule evaluation and distributed messages.
+
+use std::collections::BTreeMap;
+
+use cologne_colog::{
+    analyze, localize_rules, parse_program, Analysis, GoalKind, Program, ProgramParams, RuleClass,
+};
+use cologne_datalog::{Engine, NodeId, RemoteTuple, Tuple};
+use cologne_solver::{SearchConfig, SearchStats};
+
+use crate::error::CologneError;
+use crate::ground::{ground, GroundedCop};
+use crate::translate::rule_to_datalog;
+
+/// Result of one `invokeSolver` execution.
+#[derive(Debug, Clone)]
+pub struct SolveReport {
+    /// False when the constraints could not be satisfied.
+    pub feasible: bool,
+    /// True when there was nothing to solve (no solver variables grounded).
+    pub trivial: bool,
+    /// Objective value of the best solution found (integer objective; for
+    /// `STDEV` goals this is the scaled variance, see DESIGN.md).
+    pub objective: Option<i64>,
+    /// True if the search proved optimality / exhausted the space before any
+    /// limit was reached.
+    pub proven_optimal: bool,
+    /// Search statistics for this invocation.
+    pub stats: SearchStats,
+    /// Materialized solver tables (symbolic attributes resolved to integers).
+    pub assignments: BTreeMap<String, Vec<Tuple>>,
+    /// Tuples addressed to other nodes produced while re-running the regular
+    /// rules after materialization.
+    pub outgoing: Vec<RemoteTuple>,
+}
+
+impl SolveReport {
+    fn empty(trivial: bool) -> Self {
+        SolveReport {
+            feasible: true,
+            trivial,
+            objective: None,
+            proven_optimal: true,
+            stats: SearchStats::default(),
+            assignments: BTreeMap::new(),
+            outgoing: Vec::new(),
+        }
+    }
+
+    /// Rows of one materialized solver table.
+    pub fn table(&self, name: &str) -> &[Tuple] {
+        self.assignments.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// A single Cologne node: compiled program + Datalog engine + solver glue.
+pub struct CologneInstance {
+    node: NodeId,
+    program: Program,
+    analysis: Analysis,
+    params: ProgramParams,
+    engine: Engine,
+    cumulative_stats: SearchStats,
+    solver_invocations: u64,
+}
+
+impl CologneInstance {
+    /// Compile a Colog program and set up the engine for `node`.
+    ///
+    /// Distributed rules are localized (Sec. 5.5), regular rules (including
+    /// the shipping rules produced by localization) are installed on the
+    /// incremental engine, and solver rules are kept for per-invocation
+    /// grounding.
+    pub fn new(node: NodeId, source: &str, params: ProgramParams) -> Result<Self, CologneError> {
+        let parsed = parse_program(source)?;
+        let localized_rules = localize_rules(&parsed.rules)?;
+        let program = Program { goal: parsed.goal, vars: parsed.vars, rules: localized_rules };
+        let analysis = analyze(&program)?;
+        let mut engine = Engine::new(node);
+        for (idx, rule) in program.rules.iter().enumerate() {
+            if analysis.class_of(idx) == RuleClass::Regular {
+                engine.add_rule(rule_to_datalog(rule, &params)?);
+            }
+        }
+        Ok(CologneInstance {
+            node,
+            program,
+            analysis,
+            params,
+            engine,
+            cumulative_stats: SearchStats::default(),
+            solver_invocations: 0,
+        })
+    }
+
+    /// The node this instance runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The compiled program (after localization).
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The program analysis (rule classes, solver tables).
+    pub fn analysis(&self) -> &Analysis {
+        &self.analysis
+    }
+
+    /// Program parameters in effect.
+    pub fn params(&self) -> &ProgramParams {
+        &self.params
+    }
+
+    /// Mutable access to the parameters (e.g. to change thresholds between
+    /// solver invocations when exploring policy variants).
+    pub fn params_mut(&mut self) -> &mut ProgramParams {
+        &mut self.params
+    }
+
+    /// Total solver statistics accumulated over all invocations.
+    pub fn cumulative_solver_stats(&self) -> &SearchStats {
+        &self.cumulative_stats
+    }
+
+    /// Number of times the solver has been invoked.
+    pub fn solver_invocations(&self) -> u64 {
+        self.solver_invocations
+    }
+
+    /// Statistics of the underlying Datalog engine.
+    pub fn engine_stats(&self) -> &cologne_datalog::EngineStats {
+        self.engine.stats()
+    }
+
+    // ----- facts ------------------------------------------------------------
+
+    /// Insert a base fact.
+    pub fn insert_fact(&mut self, relation: &str, tuple: Tuple) {
+        self.engine.insert(relation, tuple);
+    }
+
+    /// Delete a base fact.
+    pub fn delete_fact(&mut self, relation: &str, tuple: Tuple) {
+        self.engine.delete(relation, tuple);
+    }
+
+    /// Replace the contents of a base relation (monitoring refresh).
+    pub fn set_table(&mut self, relation: &str, tuples: Vec<Tuple>) {
+        self.engine.set_relation(relation, tuples);
+    }
+
+    /// Visible tuples of a relation.
+    pub fn tuples(&self, relation: &str) -> Vec<Tuple> {
+        self.engine.tuples(relation)
+    }
+
+    /// True if a relation contains the tuple.
+    pub fn contains(&self, relation: &str, tuple: &Tuple) -> bool {
+        self.engine.contains(relation, tuple)
+    }
+
+    /// Accept a tuple shipped from another node.
+    pub fn receive(&mut self, remote: &RemoteTuple) {
+        if remote.insert {
+            self.engine.insert(&remote.relation, remote.tuple.clone());
+        } else {
+            self.engine.delete(&remote.relation, remote.tuple.clone());
+        }
+    }
+
+    /// Run the regular rules to a local fixpoint and return any tuples
+    /// addressed to other nodes.
+    pub fn run_rules(&mut self) -> Vec<RemoteTuple> {
+        self.engine.run();
+        self.engine.take_outbox()
+    }
+
+    // ----- solver invocation --------------------------------------------------
+
+    fn search_config(&self) -> SearchConfig {
+        SearchConfig {
+            time_limit: self.params.solver_max_time,
+            node_limit: self.params.solver_node_limit,
+            ..Default::default()
+        }
+    }
+
+    /// Ground the solver rules against the current tables without solving
+    /// (useful for inspection and benchmarking of the grounding step alone).
+    pub fn ground_only(&mut self) -> Result<GroundedCop, CologneError> {
+        self.engine.run();
+        ground(&self.program, &self.analysis, &self.params, &self.engine)
+    }
+
+    /// The paper's `invokeSolver`: ground the COP, run branch-and-bound under
+    /// the configured limits, materialize the result and re-run the rules.
+    pub fn invoke_solver(&mut self) -> Result<SolveReport, CologneError> {
+        self.engine.run();
+        let cop = ground(&self.program, &self.analysis, &self.params, &self.engine)?;
+        self.solver_invocations += 1;
+        if cop.is_trivial() {
+            return Ok(SolveReport::empty(true));
+        }
+        let config = self.search_config();
+        let outcome = match cop.objective {
+            Some((GoalKind::Minimize, obj)) => cop.model.minimize(obj, &config),
+            Some((GoalKind::Maximize, obj)) => cop.model.maximize(obj, &config),
+            Some((GoalKind::Satisfy, _)) | None => cop.model.satisfy(&config),
+        };
+        self.cumulative_stats.merge(&outcome.stats);
+        let Some(best) = outcome.best else {
+            return Ok(SolveReport {
+                feasible: false,
+                trivial: false,
+                objective: None,
+                proven_optimal: outcome.complete,
+                stats: outcome.stats,
+                assignments: BTreeMap::new(),
+                outgoing: Vec::new(),
+            });
+        };
+
+        // Materialize solver tables with concrete values and push the `var`
+        // tables + goal relation back into the engine.
+        let mut assignments: BTreeMap<String, Vec<Tuple>> = BTreeMap::new();
+        for (name, rows) in &cop.solver_tables {
+            let resolved: Vec<Tuple> = rows
+                .iter()
+                .map(|row| row.iter().map(|v| cop.resolve(v, &best)).collect())
+                .collect();
+            assignments.insert(name.clone(), resolved);
+        }
+        let mut to_materialize: Vec<String> =
+            self.program.vars.iter().map(|v| v.table.name.clone()).collect();
+        if let Some(goal_rel) = &cop.goal_relation {
+            to_materialize.push(goal_rel.clone());
+        }
+        for name in to_materialize {
+            if let Some(rows) = assignments.get(&name) {
+                self.engine.set_relation(&name, rows.clone());
+            }
+        }
+        self.engine.run();
+        let outgoing = self.engine.take_outbox();
+
+        Ok(SolveReport {
+            feasible: true,
+            trivial: false,
+            objective: outcome.best_objective.or_else(|| {
+                cop.objective.map(|(_, obj)| best.value(obj))
+            }),
+            proven_optimal: outcome.complete,
+            stats: outcome.stats,
+            assignments,
+            outgoing,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cologne_colog::VarDomain;
+    use cologne_datalog::Value;
+
+    const ACLOUD: &str = r#"
+        goal minimize C in hostStdevCpu(C).
+        var assign(Vid,Hid,V) forall toAssign(Vid,Hid).
+        r1 toAssign(Vid,Hid) <- vm(Vid,Cpu,Mem), host(Hid,Cpu2,Mem2).
+        d1 hostCpu(Hid,SUM<C>) <- assign(Vid,Hid,V), vm(Vid,Cpu,Mem), C==V*Cpu.
+        d2 hostStdevCpu(STDEV<C>) <- host(Hid,Cpu,Mem), hostCpu(Hid,Cpu2), C==Cpu+Cpu2.
+        d3 assignCount(Vid,SUM<V>) <- assign(Vid,Hid,V).
+        c1 assignCount(Vid,V) -> V==1.
+        d4 hostMem(Hid,SUM<M>) <- assign(Vid,Hid,V), vm(Vid,Cpu,Mem), M==V*Mem.
+        c2 hostMem(Hid,Mem) -> hostMemThres(Hid,M), Mem<=M.
+    "#;
+
+    fn acloud_instance() -> CologneInstance {
+        let params = ProgramParams::new().with_var_domain("assign", VarDomain::BOOL);
+        let mut inst = CologneInstance::new(NodeId(0), ACLOUD, params).unwrap();
+        for (vid, cpu, mem) in [(1, 40, 4), (2, 20, 4), (3, 30, 4)] {
+            inst.insert_fact("vm", vec![Value::Int(vid), Value::Int(cpu), Value::Int(mem)]);
+        }
+        for hid in [10, 11, 12] {
+            inst.insert_fact("host", vec![Value::Int(hid), Value::Int(0), Value::Int(0)]);
+            inst.insert_fact("hostMemThres", vec![Value::Int(hid), Value::Int(16)]);
+        }
+        inst
+    }
+
+    #[test]
+    fn compiles_and_installs_regular_rules() {
+        let inst = acloud_instance();
+        assert_eq!(inst.node(), NodeId(0));
+        // only r1 is a regular rule
+        assert_eq!(inst.analysis().class_counts(), (1, 4, 2));
+        assert_eq!(inst.program().rules.len(), 7);
+    }
+
+    #[test]
+    fn invoke_solver_assigns_each_vm_exactly_once() {
+        let mut inst = acloud_instance();
+        let report = inst.invoke_solver().unwrap();
+        assert!(report.feasible);
+        assert!(!report.trivial);
+        assert!(report.proven_optimal);
+        let assign = report.table("assign");
+        assert_eq!(assign.len(), 9); // 3 VMs x 3 hosts
+        for vid in [1i64, 2, 3] {
+            let placements: i64 = assign
+                .iter()
+                .filter(|r| r[0].as_int() == Some(vid))
+                .map(|r| r[2].as_int().unwrap())
+                .sum();
+            assert_eq!(placements, 1, "VM {vid} must run on exactly one host");
+        }
+        // the optimum spreads the three VMs over three hosts
+        let used_hosts: std::collections::BTreeSet<i64> = assign
+            .iter()
+            .filter(|r| r[2].as_int() == Some(1))
+            .map(|r| r[1].as_int().unwrap())
+            .collect();
+        assert_eq!(used_hosts.len(), 3);
+        // the assignment was materialized back into the engine
+        assert_eq!(inst.tuples("assign").len(), 9);
+        assert_eq!(inst.solver_invocations(), 1);
+        assert!(inst.cumulative_solver_stats().nodes > 0);
+    }
+
+    #[test]
+    fn solver_respects_workload_changes_incrementally() {
+        let mut inst = acloud_instance();
+        inst.invoke_solver().unwrap();
+        // a new VM arrives
+        inst.insert_fact("vm", vec![Value::Int(4), Value::Int(50), Value::Int(4)]);
+        let report = inst.invoke_solver().unwrap();
+        let assign = report.table("assign");
+        assert_eq!(assign.len(), 12); // 4 VMs x 3 hosts
+        let vm4: i64 = assign
+            .iter()
+            .filter(|r| r[0].as_int() == Some(4))
+            .map(|r| r[2].as_int().unwrap())
+            .sum();
+        assert_eq!(vm4, 1);
+    }
+
+    #[test]
+    fn empty_workload_is_trivial() {
+        let params = ProgramParams::new();
+        let mut inst = CologneInstance::new(NodeId(0), ACLOUD, params).unwrap();
+        let report = inst.invoke_solver().unwrap();
+        assert!(report.trivial);
+        assert!(report.feasible);
+    }
+
+    #[test]
+    fn infeasible_constraints_reported() {
+        // memory threshold 0: no VM can be placed anywhere, but each VM must
+        // be assigned exactly once -> infeasible.
+        let params = ProgramParams::new();
+        let mut inst = CologneInstance::new(NodeId(0), ACLOUD, params).unwrap();
+        inst.insert_fact("vm", vec![Value::Int(1), Value::Int(40), Value::Int(4)]);
+        inst.insert_fact("host", vec![Value::Int(10), Value::Int(0), Value::Int(0)]);
+        inst.insert_fact("hostMemThres", vec![Value::Int(10), Value::Int(0)]);
+        let report = inst.invoke_solver().unwrap();
+        assert!(!report.feasible);
+        assert!(report.assignments.is_empty());
+    }
+
+    #[test]
+    fn node_limit_prevents_optimality_proof() {
+        let params = ProgramParams::new().with_solver_node_limit(Some(3));
+        let mut inst = CologneInstance::new(NodeId(0), ACLOUD, params).unwrap();
+        for vid in 0..6i64 {
+            inst.insert_fact("vm", vec![Value::Int(vid), Value::Int(10 + vid), Value::Int(1)]);
+        }
+        for hid in [10, 11] {
+            inst.insert_fact("host", vec![Value::Int(hid), Value::Int(0), Value::Int(0)]);
+            inst.insert_fact("hostMemThres", vec![Value::Int(hid), Value::Int(100)]);
+        }
+        let report = inst.invoke_solver().unwrap();
+        assert!(!report.proven_optimal);
+    }
+
+    #[test]
+    fn facts_can_be_updated_and_queried() {
+        let mut inst = acloud_instance();
+        inst.run_rules();
+        assert_eq!(inst.tuples("vm").len(), 3);
+        inst.delete_fact("vm", vec![Value::Int(3), Value::Int(30), Value::Int(4)]);
+        inst.run_rules();
+        assert_eq!(inst.tuples("vm").len(), 2);
+        inst.set_table("vm", vec![vec![Value::Int(9), Value::Int(5), Value::Int(1)]]);
+        inst.run_rules();
+        assert_eq!(inst.tuples("vm").len(), 1);
+        assert!(inst.contains("vm", &vec![Value::Int(9), Value::Int(5), Value::Int(1)]));
+        assert!(inst.engine_stats().external_deltas > 0);
+    }
+}

@@ -1,0 +1,96 @@
+//! # cologne
+//!
+//! A reproduction of **Cologne: A Declarative Distributed Constraint
+//! Optimization Platform** (Liu, Ren, Loo, Mao, Basu — PVLDB 5(8), 2012).
+//!
+//! Cologne lets distributed-systems policies be written as constraint
+//! optimization problems in **Colog**, a distributed Datalog dialect extended
+//! with `goal`/`var` declarations and solver rules, and executes them by
+//! integrating an incremental declarative-networking engine (RapidNet in the
+//! paper, [`cologne_datalog`] here) with a constraint solver (Gecode in the
+//! paper, [`cologne_solver`] here).
+//!
+//! This crate is the runtime that glues those pieces together:
+//!
+//! * [`CologneInstance`] — a per-node engine+solver pair: compiles a Colog
+//!   program, runs its regular rules incrementally, and on `invokeSolver`
+//!   grounds the solver rules into a COP, solves it under the configured
+//!   time budget and materializes the result back into the tables
+//!   (Sec. 5.1–5.4 of the paper).
+//! * [`DistributedCologne`] — several instances connected by the simulated
+//!   network of [`cologne_net`], exchanging located tuples and solver
+//!   outputs (Sec. 5.5, "simulation mode" of Sec. 6).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cologne::{CologneInstance, ProgramParams, VarDomain};
+//! use cologne::datalog::{NodeId, Value};
+//!
+//! // The ACloud load-balancing policy from Sec. 4.2, verbatim.
+//! let program = r#"
+//!     goal minimize C in hostStdevCpu(C).
+//!     var assign(Vid,Hid,V) forall toAssign(Vid,Hid).
+//!     r1 toAssign(Vid,Hid) <- vm(Vid,Cpu,Mem), host(Hid,Cpu2,Mem2).
+//!     d1 hostCpu(Hid,SUM<C>) <- assign(Vid,Hid,V), vm(Vid,Cpu,Mem), C==V*Cpu.
+//!     d2 hostStdevCpu(STDEV<C>) <- host(Hid,Cpu,Mem), hostCpu(Hid,Cpu2), C==Cpu+Cpu2.
+//!     d3 assignCount(Vid,SUM<V>) <- assign(Vid,Hid,V).
+//!     c1 assignCount(Vid,V) -> V==1.
+//!     d4 hostMem(Hid,SUM<M>) <- assign(Vid,Hid,V), vm(Vid,Cpu,Mem), M==V*Mem.
+//!     c2 hostMem(Hid,Mem) -> hostMemThres(Hid,M), Mem<=M.
+//! "#;
+//!
+//! let params = ProgramParams::new().with_var_domain("assign", VarDomain::BOOL);
+//! let mut node = CologneInstance::new(NodeId(0), program, params).unwrap();
+//! node.insert_fact("vm", vec![Value::Int(1), Value::Int(40), Value::Int(2)]);
+//! node.insert_fact("vm", vec![Value::Int(2), Value::Int(20), Value::Int(2)]);
+//! node.insert_fact("host", vec![Value::Int(10), Value::Int(0), Value::Int(0)]);
+//! node.insert_fact("host", vec![Value::Int(11), Value::Int(0), Value::Int(0)]);
+//! node.insert_fact("hostMemThres", vec![Value::Int(10), Value::Int(8)]);
+//! node.insert_fact("hostMemThres", vec![Value::Int(11), Value::Int(8)]);
+//!
+//! let report = node.invoke_solver().unwrap();
+//! assert!(report.feasible);
+//! // every VM placed exactly once
+//! for vid in [1i64, 2] {
+//!     let count: i64 = report.table("assign").iter()
+//!         .filter(|row| row[0] == Value::Int(vid))
+//!         .map(|row| row[2].as_int().unwrap())
+//!         .sum();
+//!     assert_eq!(count, 1);
+//! }
+//! ```
+
+pub mod distributed;
+pub mod error;
+pub mod ground;
+pub mod instance;
+pub mod translate;
+
+pub use distributed::{DistributedCologne, TimerOutcome};
+pub use error::CologneError;
+pub use ground::{ground, GroundedCop};
+pub use instance::{CologneInstance, SolveReport};
+
+// Re-export the compiler-facing types users need to drive the runtime.
+pub use cologne_colog::{GoalKind, Program, ProgramParams, RuleClass, VarDomain};
+
+/// Re-export of the Datalog substrate (values, tuples, engine).
+pub mod datalog {
+    pub use cologne_datalog::*;
+}
+
+/// Re-export of the constraint-solver substrate.
+pub mod solver {
+    pub use cologne_solver::*;
+}
+
+/// Re-export of the network-simulation substrate.
+pub mod net {
+    pub use cologne_net::*;
+}
+
+/// Re-export of the Colog compiler (parser, analysis, localization, codegen).
+pub mod colog {
+    pub use cologne_colog::*;
+}

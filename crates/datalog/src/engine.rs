@@ -1,0 +1,752 @@
+//! The incremental Datalog evaluation engine.
+//!
+//! This reproduces the slice of RapidNet the paper relies on (Sec. 5.1):
+//! *pipelined semi-naïve* (PSN) evaluation, in which tuples are processed one
+//! delta at a time and rule heads are maintained incrementally via counting
+//! view maintenance, plus the distributed convention that a rule head with a
+//! location specifier addressed to another node is shipped over the network
+//! instead of being materialized locally.
+//!
+//! Rules whose head contains aggregates (or whose body repeats a relation)
+//! are maintained by full re-evaluation followed by diffing — semantically
+//! identical, and the affected rules in the paper's programs are tiny.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::expr::{Bindings, Term};
+use crate::rule::{BodyItem, HeadArg, Rule};
+use crate::tuple::{Relation, Tuple};
+use crate::value::{NodeId, Value};
+
+/// A tuple addressed to another Cologne instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemoteTuple {
+    /// Destination node.
+    pub dest: NodeId,
+    /// Relation name at the destination.
+    pub relation: String,
+    /// The tuple payload (including the location attribute).
+    pub tuple: Tuple,
+    /// True for insertion, false for deletion.
+    pub insert: bool,
+}
+
+impl RemoteTuple {
+    /// Size in bytes used for the communication-overhead accounting of
+    /// Fig. 5: 4 bytes per attribute plus a small per-message header, an
+    /// approximation of RapidNet's wire format.
+    pub fn wire_size(&self) -> usize {
+        20 + self.relation.len() + 4 * self.tuple.len()
+    }
+}
+
+/// Counters describing engine activity.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Number of externally inserted/deleted tuples processed.
+    pub external_deltas: u64,
+    /// Number of rule firings (derivations attempted).
+    pub derivations: u64,
+    /// Number of head tuples that changed visibility.
+    pub updates: u64,
+    /// Number of tuples addressed to remote nodes.
+    pub remote_sends: u64,
+    /// Number of full aggregate re-evaluations.
+    pub aggregate_recomputes: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Delta {
+    relation: String,
+    tuple: Tuple,
+    insert: bool,
+}
+
+/// The per-node Datalog engine.
+pub struct Engine {
+    node: NodeId,
+    relations: HashMap<String, Relation>,
+    rules: Vec<Rule>,
+    /// relation name -> indices of rules that mention it in their body
+    trigger: HashMap<String, Vec<usize>>,
+    /// rules maintained by recompute-and-diff (aggregates, repeated body
+    /// relations)
+    recompute_rules: HashSet<usize>,
+    /// previous output of recompute rules
+    prev_output: HashMap<usize, Vec<Tuple>>,
+    pending: VecDeque<Delta>,
+    outbox: Vec<RemoteTuple>,
+    stats: EngineStats,
+}
+
+impl Engine {
+    /// Create an engine for the given node.
+    pub fn new(node: NodeId) -> Self {
+        Engine {
+            node,
+            relations: HashMap::new(),
+            rules: Vec::new(),
+            trigger: HashMap::new(),
+            recompute_rules: HashSet::new(),
+            prev_output: HashMap::new(),
+            pending: VecDeque::new(),
+            outbox: Vec::new(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The node this engine runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Engine statistics so far.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Install a rule. Rules may be added before or after facts.
+    pub fn add_rule(&mut self, rule: Rule) {
+        let idx = self.rules.len();
+        let mut body_rels: Vec<&str> = rule.body_relations();
+        let repeats = {
+            let mut sorted = body_rels.clone();
+            sorted.sort_unstable();
+            sorted.windows(2).any(|w| w[0] == w[1])
+        };
+        if rule.is_aggregate() || repeats {
+            self.recompute_rules.insert(idx);
+        }
+        body_rels.sort_unstable();
+        body_rels.dedup();
+        for rel in body_rels {
+            self.trigger.entry(rel.to_string()).or_default().push(idx);
+        }
+        self.rules.push(rule);
+    }
+
+    /// Install several rules.
+    pub fn add_rules(&mut self, rules: impl IntoIterator<Item = Rule>) {
+        for r in rules {
+            self.add_rule(r);
+        }
+    }
+
+    /// Number of installed rules.
+    pub fn num_rules(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Queue an insertion of a base (or received) tuple.
+    pub fn insert(&mut self, relation: &str, tuple: Tuple) {
+        self.pending.push_back(Delta { relation: relation.to_string(), tuple, insert: true });
+    }
+
+    /// Queue a deletion of a base (or received) tuple.
+    pub fn delete(&mut self, relation: &str, tuple: Tuple) {
+        self.pending.push_back(Delta { relation: relation.to_string(), tuple, insert: false });
+    }
+
+    /// Replace the contents of a base relation with `tuples`, queueing the
+    /// necessary insertions and deletions (used when a monitoring layer
+    /// refreshes tables such as `vm` or `host`).
+    pub fn set_relation(&mut self, relation: &str, tuples: Vec<Tuple>) {
+        let current: Vec<Tuple> = self
+            .relations
+            .get(relation)
+            .map(|r| r.sorted_tuples())
+            .unwrap_or_default();
+        let new_set: HashSet<&Tuple> = tuples.iter().collect();
+        let old_set: HashSet<&Tuple> = current.iter().collect();
+        for t in &current {
+            if !new_set.contains(t) {
+                self.delete(relation, t.clone());
+            }
+        }
+        for t in &tuples {
+            if !old_set.contains(t) {
+                self.insert(relation, t.clone());
+            }
+        }
+    }
+
+    /// Visible tuples of a relation (sorted, deterministic).
+    pub fn tuples(&self, relation: &str) -> Vec<Tuple> {
+        self.relations.get(relation).map(|r| r.sorted_tuples()).unwrap_or_default()
+    }
+
+    /// True if the relation currently contains the tuple.
+    pub fn contains(&self, relation: &str, tuple: &Tuple) -> bool {
+        self.relations.get(relation).is_some_and(|r| r.contains(tuple))
+    }
+
+    /// Number of visible tuples in a relation.
+    pub fn relation_len(&self, relation: &str) -> usize {
+        self.relations.get(relation).map(|r| r.iter().count()).unwrap_or(0)
+    }
+
+    /// Names of all relations that currently exist.
+    pub fn relation_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.relations.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Drain tuples addressed to other nodes (produced by located rule heads).
+    pub fn take_outbox(&mut self) -> Vec<RemoteTuple> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Process all pending deltas to a local fixpoint.
+    ///
+    /// Returns the number of head updates applied. Remote tuples produced by
+    /// located heads are collected in the outbox (see [`Engine::take_outbox`]).
+    pub fn run(&mut self) -> u64 {
+        let before = self.stats.updates;
+        loop {
+            let mut dirty: HashSet<usize> = HashSet::new();
+            while let Some(delta) = self.pending.pop_front() {
+                self.stats.external_deltas += 1;
+                self.apply_delta(delta, &mut dirty);
+            }
+            if dirty.is_empty() {
+                break;
+            }
+            let mut dirty_list: Vec<usize> = dirty.into_iter().collect();
+            dirty_list.sort_unstable();
+            for rule_idx in dirty_list {
+                self.recompute_rule(rule_idx);
+            }
+            if self.pending.is_empty() {
+                break;
+            }
+        }
+        self.stats.updates - before
+    }
+
+    fn apply_delta(&mut self, delta: Delta, dirty: &mut HashSet<usize>) {
+        let rel = self.relations.entry(delta.relation.clone()).or_default();
+        let change = rel.adjust(delta.tuple.clone(), if delta.insert { 1 } else { -1 });
+        let became_visible = match change {
+            Some(v) => v,
+            None => return, // multiplicity changed but visibility did not
+        };
+        self.stats.updates += 1;
+
+        let rule_indices: Vec<usize> = self
+            .trigger
+            .get(&delta.relation)
+            .cloned()
+            .unwrap_or_default();
+        for rule_idx in rule_indices {
+            if self.recompute_rules.contains(&rule_idx) {
+                dirty.insert(rule_idx);
+                continue;
+            }
+            self.fire_incremental(rule_idx, &delta.relation, &delta.tuple, became_visible);
+        }
+    }
+
+    /// Fire a non-aggregate rule with the delta tuple pinned at its (unique)
+    /// occurrence of `relation`.
+    fn fire_incremental(
+        &mut self,
+        rule_idx: usize,
+        relation: &str,
+        tuple: &Tuple,
+        insert: bool,
+    ) {
+        let rule = self.rules[rule_idx].clone();
+        let pin_pos = rule.body.iter().position(|b| match b {
+            BodyItem::Atom(a) => a.relation == relation,
+            _ => false,
+        });
+        let pin_pos = match pin_pos {
+            Some(p) => p,
+            None => return,
+        };
+        let bindings_list = self.join_body(&rule.body, Some((pin_pos, tuple)));
+        let mut head_changes: Vec<(Tuple, bool)> = Vec::new();
+        for b in bindings_list {
+            self.stats.derivations += 1;
+            if let Ok(head_tuple) = self.instantiate_simple_head(&rule, &b) {
+                head_changes.push((head_tuple, insert));
+            }
+        }
+        for (head_tuple, ins) in head_changes {
+            self.emit(&rule, head_tuple, ins);
+        }
+    }
+
+    /// Recompute an aggregate (or repeated-relation) rule from scratch and
+    /// apply the diff against its previous output.
+    fn recompute_rule(&mut self, rule_idx: usize) {
+        self.stats.aggregate_recomputes += 1;
+        let rule = self.rules[rule_idx].clone();
+        let bindings_list = self.join_body(&rule.body, None);
+        let new_output: Vec<Tuple> = if rule.is_aggregate() {
+            self.aggregate_head(&rule, &bindings_list)
+        } else {
+            let mut out = Vec::new();
+            for b in &bindings_list {
+                self.stats.derivations += 1;
+                if let Ok(t) = self.instantiate_simple_head(&rule, b) {
+                    out.push(t);
+                }
+            }
+            out.sort();
+            out.dedup();
+            out
+        };
+        let prev = self.prev_output.insert(rule_idx, new_output.clone()).unwrap_or_default();
+        let prev_set: HashSet<&Tuple> = prev.iter().collect();
+        let new_set: HashSet<&Tuple> = new_output.iter().collect();
+        let deletions: Vec<Tuple> =
+            prev.iter().filter(|t| !new_set.contains(*t)).cloned().collect();
+        let insertions: Vec<Tuple> =
+            new_output.iter().filter(|t| !prev_set.contains(*t)).cloned().collect();
+        for t in deletions {
+            self.emit(&rule, t, false);
+        }
+        for t in insertions {
+            self.emit(&rule, t, true);
+        }
+    }
+
+    /// Compute the grouped, aggregated head tuples of a rule.
+    fn aggregate_head(&mut self, rule: &Rule, bindings_list: &[Bindings]) -> Vec<Tuple> {
+        // group key -> per-aggregate collected values
+        let mut groups: HashMap<Vec<Value>, Vec<Vec<Value>>> = HashMap::new();
+        let agg_count = rule
+            .head
+            .args
+            .iter()
+            .filter(|a| matches!(a, HeadArg::Agg(_, _)))
+            .count();
+        for b in bindings_list {
+            self.stats.derivations += 1;
+            let mut key = Vec::new();
+            let mut ok = true;
+            let mut collected: Vec<Value> = Vec::with_capacity(agg_count);
+            for arg in &rule.head.args {
+                match arg {
+                    HeadArg::Term(Term::Const(c)) => key.push(c.clone()),
+                    HeadArg::Term(Term::Var(v)) => match b.get(v) {
+                        Some(val) => key.push(val.clone()),
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    },
+                    HeadArg::Agg(_, over) => match b.get(over) {
+                        Some(val) => collected.push(val.clone()),
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    },
+                }
+            }
+            if !ok {
+                continue;
+            }
+            let entry = groups.entry(key).or_insert_with(|| vec![Vec::new(); agg_count]);
+            for (slot, v) in entry.iter_mut().zip(collected.into_iter()) {
+                slot.push(v);
+            }
+        }
+        let mut out = Vec::with_capacity(groups.len());
+        for (key, values_per_agg) in groups {
+            let mut tuple = Vec::with_capacity(rule.head.args.len());
+            let mut key_iter = key.into_iter();
+            let mut agg_iter = values_per_agg.into_iter();
+            for arg in &rule.head.args {
+                match arg {
+                    HeadArg::Term(_) => tuple.push(key_iter.next().expect("group key arity")),
+                    HeadArg::Agg(func, _) => {
+                        let vals = agg_iter.next().expect("aggregate arity");
+                        tuple.push(func.compute(&vals));
+                    }
+                }
+            }
+            out.push(tuple);
+        }
+        out.sort();
+        out
+    }
+
+    fn instantiate_simple_head(
+        &self,
+        rule: &Rule,
+        bindings: &Bindings,
+    ) -> Result<Tuple, crate::expr::EvalError> {
+        let mut out = Vec::with_capacity(rule.head.args.len());
+        for arg in &rule.head.args {
+            match arg {
+                HeadArg::Term(Term::Const(c)) => out.push(c.clone()),
+                HeadArg::Term(Term::Var(v)) => match bindings.get(v) {
+                    Some(val) => out.push(val.clone()),
+                    None => {
+                        return Err(crate::expr::EvalError::UnboundVariable(v.clone()));
+                    }
+                },
+                HeadArg::Agg(_, _) => {
+                    unreachable!("aggregate heads are handled by recompute_rule")
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Apply a head-tuple change: local insert/delete, or remote send when
+    /// the head is located at another node.
+    fn emit(&mut self, rule: &Rule, tuple: Tuple, insert: bool) {
+        if rule.head.located {
+            if let Some(Value::Addr(dest)) = tuple.first() {
+                if *dest != self.node {
+                    self.stats.remote_sends += 1;
+                    self.outbox.push(RemoteTuple {
+                        dest: *dest,
+                        relation: rule.head.relation.clone(),
+                        tuple,
+                        insert,
+                    });
+                    return;
+                }
+            }
+        }
+        self.pending.push_back(Delta { relation: rule.head.relation.clone(), tuple, insert });
+    }
+
+    /// Join the body items against the current database. If `pin` is given,
+    /// the atom at that body position matches only the pinned tuple.
+    fn join_body(&self, body: &[BodyItem], pin: Option<(usize, &Tuple)>) -> Vec<Bindings> {
+        let mut frontier = vec![Bindings::new()];
+        for (idx, item) in body.iter().enumerate() {
+            if frontier.is_empty() {
+                return frontier;
+            }
+            let mut next = Vec::with_capacity(frontier.len());
+            match item {
+                BodyItem::Atom(atom) => {
+                    if let Some((pinned_idx, pinned_tuple)) = pin {
+                        if pinned_idx == idx {
+                            for b in &frontier {
+                                let mut nb = b.clone();
+                                if atom.match_tuple(pinned_tuple, &mut nb) {
+                                    next.push(nb);
+                                }
+                            }
+                            frontier = next;
+                            continue;
+                        }
+                    }
+                    let empty = Relation::new();
+                    let rel = self.relations.get(&atom.relation).unwrap_or(&empty);
+                    for b in &frontier {
+                        for t in rel.iter() {
+                            let mut nb = b.clone();
+                            if atom.match_tuple(t, &mut nb) {
+                                next.push(nb);
+                            }
+                        }
+                    }
+                }
+                BodyItem::Filter(expr) => {
+                    for b in &frontier {
+                        if expr.eval_bool(b).unwrap_or(false) {
+                            next.push(b.clone());
+                        }
+                    }
+                }
+                BodyItem::Assign(var, expr) => {
+                    for b in &frontier {
+                        if let Ok(v) = expr.eval(b) {
+                            let mut nb = b.clone();
+                            nb.set(var, v);
+                            next.push(nb);
+                        }
+                    }
+                }
+            }
+            frontier = next;
+        }
+        frontier
+    }
+
+    /// Evaluate an ad-hoc body (query) against the current database and
+    /// return the resulting bindings. Used by the Cologne runtime when
+    /// grounding solver rules.
+    pub fn query(&self, body: &[BodyItem]) -> Vec<Bindings> {
+        self.join_body(body, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{Expr, Op};
+    use crate::rule::{AggFunc, Atom, Head};
+
+    fn int_tuple(vals: &[i64]) -> Tuple {
+        vals.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    fn engine() -> Engine {
+        Engine::new(NodeId(0))
+    }
+
+    /// path(X,Y) <- link(X,Y);  path(X,Z) <- link(X,Y), path(Y,Z)
+    fn transitive_closure_rules() -> Vec<Rule> {
+        vec![
+            Rule::new(
+                "r1",
+                Head::simple("path", vec![Term::var("X"), Term::var("Y")]),
+                vec![BodyItem::Atom(Atom::new("link", vec![Term::var("X"), Term::var("Y")]))],
+            ),
+            Rule::new(
+                "r2",
+                Head::simple("path", vec![Term::var("X"), Term::var("Z")]),
+                vec![
+                    BodyItem::Atom(Atom::new("link", vec![Term::var("X"), Term::var("Y")])),
+                    BodyItem::Atom(Atom::new("path", vec![Term::var("Y"), Term::var("Z")])),
+                ],
+            ),
+        ]
+    }
+
+    #[test]
+    fn transitive_closure_incremental_insert() {
+        let mut e = engine();
+        e.add_rules(transitive_closure_rules());
+        e.insert("link", int_tuple(&[1, 2]));
+        e.insert("link", int_tuple(&[2, 3]));
+        e.run();
+        assert!(e.contains("path", &int_tuple(&[1, 2])));
+        assert!(e.contains("path", &int_tuple(&[2, 3])));
+        assert!(e.contains("path", &int_tuple(&[1, 3])));
+        // now extend the chain
+        e.insert("link", int_tuple(&[3, 4]));
+        e.run();
+        assert!(e.contains("path", &int_tuple(&[1, 4])));
+        assert!(e.contains("path", &int_tuple(&[2, 4])));
+    }
+
+    #[test]
+    fn transitive_closure_incremental_delete() {
+        let mut e = engine();
+        e.add_rules(transitive_closure_rules());
+        for l in [[1, 2], [2, 3], [3, 4]] {
+            e.insert("link", int_tuple(&l));
+        }
+        e.run();
+        assert!(e.contains("path", &int_tuple(&[1, 4])));
+        e.delete("link", int_tuple(&[2, 3]));
+        e.run();
+        assert!(e.contains("path", &int_tuple(&[1, 2])));
+        assert!(e.contains("path", &int_tuple(&[3, 4])));
+        assert!(!e.contains("path", &int_tuple(&[1, 3])));
+        assert!(!e.contains("path", &int_tuple(&[1, 4])));
+        assert!(!e.contains("path", &int_tuple(&[2, 4])));
+    }
+
+    #[test]
+    fn filters_and_assignments() {
+        // big(X, Y2) <- item(X, Y), Y > 10, Y2 := Y * 2
+        let mut e = engine();
+        e.add_rule(Rule::new(
+            "r1",
+            Head::simple("big", vec![Term::var("X"), Term::var("Y2")]),
+            vec![
+                BodyItem::Atom(Atom::new("item", vec![Term::var("X"), Term::var("Y")])),
+                BodyItem::Filter(Expr::bin(Op::Gt, Expr::var("Y"), Expr::int(10))),
+                BodyItem::Assign("Y2".into(), Expr::bin(Op::Mul, Expr::var("Y"), Expr::int(2))),
+            ],
+        ));
+        e.insert("item", int_tuple(&[1, 5]));
+        e.insert("item", int_tuple(&[2, 20]));
+        e.run();
+        assert_eq!(e.relation_len("big"), 1);
+        assert!(e.contains("big", &int_tuple(&[2, 40])));
+    }
+
+    #[test]
+    fn aggregate_sum_maintained_incrementally() {
+        // hostCpu(H, SUM<C>) <- assign(V, H, C)
+        let mut e = engine();
+        e.add_rule(Rule::new(
+            "d1",
+            Head {
+                relation: "hostCpu".into(),
+                args: vec![HeadArg::Term(Term::var("H")), HeadArg::Agg(AggFunc::Sum, "C".into())],
+                located: false,
+            },
+            vec![BodyItem::Atom(Atom::new(
+                "assign",
+                vec![Term::var("V"), Term::var("H"), Term::var("C")],
+            ))],
+        ));
+        e.insert("assign", int_tuple(&[1, 10, 30]));
+        e.insert("assign", int_tuple(&[2, 10, 20]));
+        e.insert("assign", int_tuple(&[3, 11, 40]));
+        e.run();
+        assert!(e.contains("hostCpu", &int_tuple(&[10, 50])));
+        assert!(e.contains("hostCpu", &int_tuple(&[11, 40])));
+        // deletion updates the aggregate
+        e.delete("assign", int_tuple(&[2, 10, 20]));
+        e.run();
+        assert!(e.contains("hostCpu", &int_tuple(&[10, 30])));
+        assert!(!e.contains("hostCpu", &int_tuple(&[10, 50])));
+        assert_eq!(e.relation_len("hostCpu"), 2);
+    }
+
+    #[test]
+    fn aggregate_feeding_another_rule() {
+        // count(C) <- x(V);  alarm(C) <- count(C), C >= 2
+        let mut e = engine();
+        e.add_rule(Rule::new(
+            "d1",
+            Head {
+                relation: "count".into(),
+                args: vec![HeadArg::Agg(AggFunc::Count, "V".into())],
+                located: false,
+            },
+            vec![BodyItem::Atom(Atom::new("x", vec![Term::var("V")]))],
+        ));
+        e.add_rule(Rule::new(
+            "r1",
+            Head::simple("alarm", vec![Term::var("C")]),
+            vec![
+                BodyItem::Atom(Atom::new("count", vec![Term::var("C")])),
+                BodyItem::Filter(Expr::bin(Op::Ge, Expr::var("C"), Expr::int(2))),
+            ],
+        ));
+        e.insert("x", int_tuple(&[1]));
+        e.run();
+        assert_eq!(e.relation_len("alarm"), 0);
+        e.insert("x", int_tuple(&[2]));
+        e.run();
+        assert!(e.contains("alarm", &int_tuple(&[2])));
+        e.delete("x", int_tuple(&[1]));
+        e.run();
+        assert_eq!(e.relation_len("alarm"), 0);
+    }
+
+    #[test]
+    fn located_head_goes_to_outbox() {
+        // ping(@Y, X) <- link(@X, Y)
+        let mut e = engine();
+        e.add_rule(Rule::new(
+            "r1",
+            Head {
+                relation: "ping".into(),
+                args: vec![HeadArg::Term(Term::var("Y")), HeadArg::Term(Term::var("X"))],
+                located: true,
+            },
+            vec![BodyItem::Atom(Atom::located(
+                "link",
+                vec![Term::var("X"), Term::var("Y")],
+            ))],
+        ));
+        e.insert("link", vec![Value::Addr(NodeId(0)), Value::Addr(NodeId(7))]);
+        e.run();
+        let out = e.take_outbox();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].dest, NodeId(7));
+        assert_eq!(out[0].relation, "ping");
+        assert!(out[0].insert);
+        assert!(out[0].wire_size() > 0);
+        // nothing materialized locally
+        assert_eq!(e.relation_len("ping"), 0);
+        assert_eq!(e.stats().remote_sends, 1);
+    }
+
+    #[test]
+    fn located_head_to_self_stays_local() {
+        let mut e = engine();
+        e.add_rule(Rule::new(
+            "r1",
+            Head {
+                relation: "echo".into(),
+                args: vec![HeadArg::Term(Term::var("X"))],
+                located: true,
+            },
+            vec![BodyItem::Atom(Atom::located("link", vec![Term::var("X"), Term::var("Y")]))],
+        ));
+        e.insert("link", vec![Value::Addr(NodeId(0)), Value::Addr(NodeId(7))]);
+        e.run();
+        assert!(e.take_outbox().is_empty());
+        assert!(e.contains("echo", &vec![Value::Addr(NodeId(0))]));
+    }
+
+    #[test]
+    fn set_relation_diffs() {
+        let mut e = engine();
+        e.insert("vm", int_tuple(&[1, 50]));
+        e.insert("vm", int_tuple(&[2, 60]));
+        e.run();
+        e.set_relation("vm", vec![int_tuple(&[2, 65]), int_tuple(&[3, 10])]);
+        e.run();
+        let tuples = e.tuples("vm");
+        assert_eq!(tuples, vec![int_tuple(&[2, 65]), int_tuple(&[3, 10])]);
+    }
+
+    #[test]
+    fn query_evaluates_ad_hoc_bodies() {
+        let mut e = engine();
+        e.insert("vm", int_tuple(&[1, 50]));
+        e.insert("host", int_tuple(&[10, 20]));
+        e.run();
+        let body = vec![
+            BodyItem::Atom(Atom::new("vm", vec![Term::var("V"), Term::var("C")])),
+            BodyItem::Atom(Atom::new("host", vec![Term::var("H"), Term::var("HC")])),
+        ];
+        let results = e.query(&body);
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].get("V"), Some(&Value::Int(1)));
+        assert_eq!(results[0].get("H"), Some(&Value::Int(10)));
+    }
+
+    #[test]
+    fn duplicate_inserts_do_not_double_derive() {
+        let mut e = engine();
+        e.add_rule(Rule::new(
+            "r1",
+            Head::simple("out", vec![Term::var("X")]),
+            vec![BodyItem::Atom(Atom::new("in", vec![Term::var("X")]))],
+        ));
+        e.insert("in", int_tuple(&[1]));
+        e.insert("in", int_tuple(&[1]));
+        e.run();
+        assert_eq!(e.relation_len("out"), 1);
+        // removing one copy keeps the fact visible; removing both hides it
+        e.delete("in", int_tuple(&[1]));
+        e.run();
+        assert!(e.contains("out", &int_tuple(&[1])));
+        e.delete("in", int_tuple(&[1]));
+        e.run();
+        assert!(!e.contains("out", &int_tuple(&[1])));
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let mut e = engine();
+        e.add_rules(transitive_closure_rules());
+        e.insert("link", int_tuple(&[1, 2]));
+        e.insert("link", int_tuple(&[2, 3]));
+        e.run();
+        let s = e.stats();
+        assert!(s.external_deltas >= 2);
+        assert!(s.derivations > 0);
+        assert!(s.updates > 0);
+    }
+
+    #[test]
+    fn relation_names_sorted() {
+        let mut e = engine();
+        e.insert("b", int_tuple(&[1]));
+        e.insert("a", int_tuple(&[1]));
+        e.run();
+        assert_eq!(e.relation_names(), vec!["a".to_string(), "b".to_string()]);
+    }
+}

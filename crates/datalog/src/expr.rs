@@ -1,0 +1,431 @@
+//! Expressions appearing in rule bodies.
+//!
+//! Colog rule bodies contain, besides predicates, boolean expressions
+//! (selections such as `Hid1 != Hid2` or `Mem <= M`) and assignments
+//! (`R2 := -R1`). Both are built from [`Expr`] trees and evaluated against
+//! the variable [`Bindings`] accumulated while joining the body predicates.
+
+use crate::value::Value;
+
+/// A term: either a named rule variable or a constant value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A rule variable (`Vid`, `Cpu`, ...). By Datalog convention these start
+    /// with an uppercase letter in the surface syntax.
+    Var(String),
+    /// A constant.
+    Const(Value),
+}
+
+impl Term {
+    /// Convenience constructor for a variable term.
+    pub fn var(name: &str) -> Term {
+        Term::Var(name.to_string())
+    }
+
+    /// Convenience constructor for an integer constant term.
+    pub fn int(v: i64) -> Term {
+        Term::Const(Value::Int(v))
+    }
+}
+
+/// Binary operators usable in Colog expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+impl Op {
+    /// True for operators producing booleans.
+    pub fn is_comparison(&self) -> bool {
+        matches!(self, Op::Eq | Op::Ne | Op::Lt | Op::Le | Op::Gt | Op::Ge)
+    }
+}
+
+/// An expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A leaf term.
+    Term(Term),
+    /// Binary operation.
+    BinOp(Op, Box<Expr>, Box<Expr>),
+    /// Absolute value `|e|`.
+    Abs(Box<Expr>),
+    /// Negation `-e`.
+    Neg(Box<Expr>),
+    /// Logical not.
+    Not(Box<Expr>),
+}
+
+impl Expr {
+    /// Leaf variable expression.
+    pub fn var(name: &str) -> Expr {
+        Expr::Term(Term::var(name))
+    }
+
+    /// Leaf integer expression.
+    pub fn int(v: i64) -> Expr {
+        Expr::Term(Term::int(v))
+    }
+
+    /// Leaf constant expression.
+    pub fn value(v: Value) -> Expr {
+        Expr::Term(Term::Const(v))
+    }
+
+    /// Build `lhs op rhs`.
+    pub fn bin(op: Op, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::BinOp(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Collect the names of all variables referenced by the expression.
+    pub fn variables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Term(Term::Var(v)) => {
+                if !out.contains(v) {
+                    out.push(v.clone());
+                }
+            }
+            Expr::Term(Term::Const(_)) => {}
+            Expr::BinOp(_, a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Expr::Abs(e) | Expr::Neg(e) | Expr::Not(e) => e.collect_vars(out),
+        }
+    }
+
+    /// Evaluate against bindings; fails on unbound variables, type errors or
+    /// symbolic (solver) values, which regular Datalog evaluation must never
+    /// encounter.
+    pub fn eval(&self, bindings: &Bindings) -> Result<Value, EvalError> {
+        match self {
+            Expr::Term(Term::Const(v)) => {
+                if v.is_symbolic() {
+                    Err(EvalError::SymbolicValue)
+                } else {
+                    Ok(v.clone())
+                }
+            }
+            Expr::Term(Term::Var(name)) => match bindings.get(name) {
+                Some(v) if v.is_symbolic() => Err(EvalError::SymbolicValue),
+                Some(v) => Ok(v.clone()),
+                None => Err(EvalError::UnboundVariable(name.clone())),
+            },
+            Expr::Neg(e) => match e.eval(bindings)? {
+                Value::Int(i) => Ok(Value::Int(-i)),
+                Value::Float(f) => Ok(Value::float(-f.0)),
+                other => Err(EvalError::TypeMismatch(format!("cannot negate {other}"))),
+            },
+            Expr::Abs(e) => match e.eval(bindings)? {
+                Value::Int(i) => Ok(Value::Int(i.abs())),
+                Value::Float(f) => Ok(Value::float(f.0.abs())),
+                other => Err(EvalError::TypeMismatch(format!("cannot take |{other}|"))),
+            },
+            Expr::Not(e) => {
+                let v = e.eval(bindings)?;
+                match v.as_bool() {
+                    Some(b) => Ok(Value::Bool(!b)),
+                    None => Err(EvalError::TypeMismatch(format!("cannot negate {v}"))),
+                }
+            }
+            Expr::BinOp(op, a, b) => {
+                let va = a.eval(bindings)?;
+                let vb = b.eval(bindings)?;
+                eval_binop(*op, &va, &vb)
+            }
+        }
+    }
+
+    /// Evaluate and coerce to a boolean (for selection predicates).
+    pub fn eval_bool(&self, bindings: &Bindings) -> Result<bool, EvalError> {
+        let v = self.eval(bindings)?;
+        v.as_bool()
+            .ok_or_else(|| EvalError::TypeMismatch(format!("expected boolean, got {v}")))
+    }
+}
+
+fn eval_binop(op: Op, a: &Value, b: &Value) -> Result<Value, EvalError> {
+    use Op::*;
+    match op {
+        And | Or => {
+            let (ba, bb) = match (a.as_bool(), b.as_bool()) {
+                (Some(x), Some(y)) => (x, y),
+                _ => {
+                    return Err(EvalError::TypeMismatch(format!(
+                        "boolean operator on {a} and {b}"
+                    )))
+                }
+            };
+            Ok(Value::Bool(if op == And { ba && bb } else { ba || bb }))
+        }
+        Eq | Ne => {
+            // Numeric comparison when both are numeric; structural otherwise.
+            let equal = match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => x == y,
+                _ => a == b,
+            };
+            Ok(Value::Bool(if op == Eq { equal } else { !equal }))
+        }
+        Lt | Le | Gt | Ge => {
+            let (x, y) = match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => (x, y),
+                _ => {
+                    return Err(EvalError::TypeMismatch(format!(
+                        "ordering comparison on {a} and {b}"
+                    )))
+                }
+            };
+            let r = match op {
+                Lt => x < y,
+                Le => x <= y,
+                Gt => x > y,
+                Ge => x >= y,
+                _ => unreachable!(),
+            };
+            Ok(Value::Bool(r))
+        }
+        Add | Sub | Mul | Div => match (a, b) {
+            (Value::Int(x), Value::Int(y)) => {
+                let r = match op {
+                    Add => x + y,
+                    Sub => x - y,
+                    Mul => x * y,
+                    Div => {
+                        if *y == 0 {
+                            return Err(EvalError::DivisionByZero);
+                        }
+                        x / y
+                    }
+                    _ => unreachable!(),
+                };
+                Ok(Value::Int(r))
+            }
+            _ => {
+                let (x, y) = match (a.as_f64(), b.as_f64()) {
+                    (Some(x), Some(y)) => (x, y),
+                    _ => {
+                        return Err(EvalError::TypeMismatch(format!(
+                            "arithmetic on {a} and {b}"
+                        )))
+                    }
+                };
+                let r = match op {
+                    Add => x + y,
+                    Sub => x - y,
+                    Mul => x * y,
+                    Div => {
+                        if y == 0.0 {
+                            return Err(EvalError::DivisionByZero);
+                        }
+                        x / y
+                    }
+                    _ => unreachable!(),
+                };
+                Ok(Value::float(r))
+            }
+        },
+    }
+}
+
+/// Errors raised while evaluating expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A variable was not bound by the body predicates evaluated so far.
+    UnboundVariable(String),
+    /// Operation applied to incompatible value types.
+    TypeMismatch(String),
+    /// Integer or float division by zero.
+    DivisionByZero,
+    /// A symbolic (solver) value reached regular Datalog evaluation; such
+    /// rules must be routed to the constraint-solver grounding path instead.
+    SymbolicValue,
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::UnboundVariable(v) => write!(f, "unbound variable {v}"),
+            EvalError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            EvalError::DivisionByZero => write!(f, "division by zero"),
+            EvalError::SymbolicValue => write!(f, "symbolic solver value in regular evaluation"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Variable bindings built up while matching body predicates.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Bindings {
+    entries: Vec<(String, Value)>,
+}
+
+impl Bindings {
+    /// Empty bindings.
+    pub fn new() -> Self {
+        Bindings { entries: Vec::new() }
+    }
+
+    /// Look up a variable.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Bind a variable; if already bound, returns whether the values agree
+    /// (join semantics).
+    pub fn bind(&mut self, name: &str, value: Value) -> bool {
+        match self.get(name) {
+            Some(existing) => existing == &value,
+            None => {
+                self.entries.push((name.to_string(), value));
+                true
+            }
+        }
+    }
+
+    /// Overwrite or insert a binding unconditionally (used by `:=`).
+    pub fn set(&mut self, name: &str, value: Value) {
+        if let Some(slot) = self.entries.iter_mut().find(|(n, _)| n == name) {
+            slot.1 = value;
+        } else {
+            self.entries.push((name.to_string(), value));
+        }
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over `(name, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{NodeId, SymId};
+
+    fn bind(pairs: &[(&str, Value)]) -> Bindings {
+        let mut b = Bindings::new();
+        for (n, v) in pairs {
+            b.bind(n, v.clone());
+        }
+        b
+    }
+
+    #[test]
+    fn arithmetic_int_and_float() {
+        let b = bind(&[("X", Value::Int(6)), ("Y", Value::float(1.5))]);
+        let e = Expr::bin(Op::Mul, Expr::var("X"), Expr::int(2));
+        assert_eq!(e.eval(&b).unwrap(), Value::Int(12));
+        let f = Expr::bin(Op::Add, Expr::var("X"), Expr::var("Y"));
+        assert_eq!(f.eval(&b).unwrap(), Value::float(7.5));
+        let d = Expr::bin(Op::Div, Expr::var("X"), Expr::int(4));
+        assert_eq!(d.eval(&b).unwrap(), Value::Int(1)); // integer division
+    }
+
+    #[test]
+    fn division_by_zero_reported() {
+        let b = Bindings::new();
+        let e = Expr::bin(Op::Div, Expr::int(4), Expr::int(0));
+        assert_eq!(e.eval(&b), Err(EvalError::DivisionByZero));
+    }
+
+    #[test]
+    fn comparisons_and_boolean_ops() {
+        let b = bind(&[("A", Value::Int(3)), ("B", Value::Int(5))]);
+        let lt = Expr::bin(Op::Lt, Expr::var("A"), Expr::var("B"));
+        assert_eq!(lt.eval_bool(&b), Ok(true));
+        let ne = Expr::bin(Op::Ne, Expr::var("A"), Expr::var("B"));
+        let both = Expr::bin(Op::And, lt, ne);
+        assert_eq!(both.eval_bool(&b), Ok(true));
+        let not = Expr::Not(Box::new(Expr::bin(Op::Ge, Expr::var("A"), Expr::var("B"))));
+        assert_eq!(not.eval_bool(&b), Ok(true));
+    }
+
+    #[test]
+    fn equality_is_numeric_across_types_but_structural_otherwise() {
+        let b = Bindings::new();
+        let num = Expr::bin(Op::Eq, Expr::int(2), Expr::value(Value::float(2.0)));
+        assert_eq!(num.eval_bool(&b), Ok(true));
+        let strs = Expr::bin(Op::Eq, Expr::value("a".into()), Expr::value("b".into()));
+        assert_eq!(strs.eval_bool(&b), Ok(false));
+    }
+
+    #[test]
+    fn abs_and_neg() {
+        let b = bind(&[("X", Value::Int(-4))]);
+        assert_eq!(Expr::Abs(Box::new(Expr::var("X"))).eval(&b).unwrap(), Value::Int(4));
+        assert_eq!(Expr::Neg(Box::new(Expr::var("X"))).eval(&b).unwrap(), Value::Int(4));
+        let f = bind(&[("X", Value::float(-2.5))]);
+        assert_eq!(Expr::Abs(Box::new(Expr::var("X"))).eval(&f).unwrap(), Value::float(2.5));
+    }
+
+    #[test]
+    fn unbound_and_symbolic_errors() {
+        let b = Bindings::new();
+        assert_eq!(
+            Expr::var("Missing").eval(&b),
+            Err(EvalError::UnboundVariable("Missing".into()))
+        );
+        let s = bind(&[("S", Value::Sym(SymId(1)))]);
+        assert_eq!(Expr::var("S").eval(&s), Err(EvalError::SymbolicValue));
+    }
+
+    #[test]
+    fn type_errors_reported() {
+        let b = bind(&[("N", Value::Addr(NodeId(1)))]);
+        let e = Expr::bin(Op::Add, Expr::var("N"), Expr::int(1));
+        assert!(matches!(e.eval(&b), Err(EvalError::TypeMismatch(_))));
+        let c = Expr::bin(Op::Lt, Expr::value("a".into()), Expr::int(1));
+        assert!(matches!(c.eval(&b), Err(EvalError::TypeMismatch(_))));
+    }
+
+    #[test]
+    fn bindings_join_semantics() {
+        let mut b = Bindings::new();
+        assert!(b.bind("X", Value::Int(1)));
+        assert!(b.bind("X", Value::Int(1)));
+        assert!(!b.bind("X", Value::Int(2)));
+        b.set("X", Value::Int(9));
+        assert_eq!(b.get("X"), Some(&Value::Int(9)));
+        assert_eq!(b.len(), 1);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn variables_collection_is_deduplicated() {
+        let e = Expr::bin(
+            Op::Add,
+            Expr::bin(Op::Mul, Expr::var("V"), Expr::var("Cpu")),
+            Expr::var("V"),
+        );
+        assert_eq!(e.variables(), vec!["V".to_string(), "Cpu".to_string()]);
+    }
+}

@@ -1,0 +1,366 @@
+//! Rule representation (the engine's intermediate form).
+//!
+//! The Colog compiler (crate `cologne-colog`) lowers regular Datalog rules to
+//! this IR; solver rules are instead grounded by the Cologne runtime. A rule
+//! is `head <- body` where the body is an ordered list of predicate atoms,
+//! boolean filters and assignments, and the head may carry aggregate
+//! functions over grouped variables (e.g. `hostCpu(Hid, SUM<C>)`).
+
+use crate::expr::{Bindings, EvalError, Expr, Term};
+use crate::value::Value;
+
+/// A predicate occurrence `rel(arg1, ..., argn)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Atom {
+    /// Relation name.
+    pub relation: String,
+    /// Argument terms (variables or constants).
+    pub args: Vec<Term>,
+    /// True if this predicate carries a location specifier (`@X` as its first
+    /// argument) — the distributed-Colog convention from Sec. 4.3.
+    pub located: bool,
+}
+
+impl Atom {
+    /// Build an atom without a location specifier.
+    pub fn new(relation: &str, args: Vec<Term>) -> Atom {
+        Atom { relation: relation.to_string(), args, located: false }
+    }
+
+    /// Build a located atom (first argument is the node address).
+    pub fn located(relation: &str, args: Vec<Term>) -> Atom {
+        Atom { relation: relation.to_string(), args, located: true }
+    }
+
+    /// Match a tuple against this atom, extending `bindings`.
+    /// Returns false if arity or already-bound variables disagree.
+    pub fn match_tuple(&self, tuple: &[Value], bindings: &mut Bindings) -> bool {
+        if tuple.len() != self.args.len() {
+            return false;
+        }
+        for (term, value) in self.args.iter().zip(tuple.iter()) {
+            match term {
+                Term::Const(c) => {
+                    if c != value {
+                        return false;
+                    }
+                }
+                Term::Var(name) => {
+                    if !bindings.bind(name, value.clone()) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Instantiate the atom into a tuple using bindings. Fails on unbound
+    /// variables.
+    pub fn instantiate(&self, bindings: &Bindings) -> Result<Vec<Value>, EvalError> {
+        self.args
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => Ok(c.clone()),
+                Term::Var(name) => bindings
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| EvalError::UnboundVariable(name.clone())),
+            })
+            .collect()
+    }
+
+    /// Variable names appearing in the atom, in order of first appearance.
+    pub fn variables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for t in &self.args {
+            if let Term::Var(v) = t {
+                if !out.contains(v) {
+                    out.push(v.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One element of a rule body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BodyItem {
+    /// A predicate to join with.
+    Atom(Atom),
+    /// A boolean selection over already-bound variables.
+    Filter(Expr),
+    /// An assignment `Var := Expr` binding a new variable.
+    Assign(String, Expr),
+}
+
+/// Aggregate functions supported in rule heads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// `SUM<X>`
+    Sum,
+    /// `COUNT<X>`
+    Count,
+    /// `MIN<X>`
+    Min,
+    /// `MAX<X>`
+    Max,
+    /// `SUMABS<X>` — sum of absolute values (Follow-the-Sun migration cost).
+    SumAbs,
+    /// `STDEV<X>` — standard deviation (ACloud load-balancing goal).
+    Stdev,
+    /// `UNIQUE<X>` — number of distinct values (wireless interface count).
+    Unique,
+}
+
+impl AggFunc {
+    /// Parse an aggregate keyword as it appears in Colog source.
+    pub fn from_keyword(kw: &str) -> Option<AggFunc> {
+        match kw.to_ascii_uppercase().as_str() {
+            "SUM" => Some(AggFunc::Sum),
+            "COUNT" => Some(AggFunc::Count),
+            "MIN" => Some(AggFunc::Min),
+            "MAX" => Some(AggFunc::Max),
+            "SUMABS" => Some(AggFunc::SumAbs),
+            "STDEV" => Some(AggFunc::Stdev),
+            "UNIQUE" => Some(AggFunc::Unique),
+            _ => None,
+        }
+    }
+
+    /// The Colog keyword for this aggregate.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            AggFunc::Sum => "SUM",
+            AggFunc::Count => "COUNT",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::SumAbs => "SUMABS",
+            AggFunc::Stdev => "STDEV",
+            AggFunc::Unique => "UNIQUE",
+        }
+    }
+
+    /// Compute the aggregate over concrete values.
+    pub fn compute(&self, values: &[Value]) -> Value {
+        match self {
+            AggFunc::Count => Value::Int(values.len() as i64),
+            AggFunc::Unique => {
+                let mut distinct: Vec<&Value> = values.iter().collect();
+                distinct.sort();
+                distinct.dedup();
+                Value::Int(distinct.len() as i64)
+            }
+            AggFunc::Min => values.iter().min().cloned().unwrap_or(Value::Int(0)),
+            AggFunc::Max => values.iter().max().cloned().unwrap_or(Value::Int(0)),
+            AggFunc::Sum | AggFunc::SumAbs => {
+                let all_int = values.iter().all(|v| matches!(v, Value::Int(_) | Value::Bool(_)));
+                if all_int {
+                    let mut s = 0i64;
+                    for v in values {
+                        let i = v.as_int().unwrap_or(0);
+                        s += if *self == AggFunc::SumAbs { i.abs() } else { i };
+                    }
+                    Value::Int(s)
+                } else {
+                    let mut s = 0.0f64;
+                    for v in values {
+                        let x = v.as_f64().unwrap_or(0.0);
+                        s += if *self == AggFunc::SumAbs { x.abs() } else { x };
+                    }
+                    Value::float(s)
+                }
+            }
+            AggFunc::Stdev => {
+                if values.is_empty() {
+                    return Value::float(0.0);
+                }
+                let xs: Vec<f64> = values.iter().map(|v| v.as_f64().unwrap_or(0.0)).collect();
+                let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+                let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+                Value::float(var.sqrt())
+            }
+        }
+    }
+}
+
+/// One argument position of a rule head.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HeadArg {
+    /// A plain term (group-by attribute or constant).
+    Term(Term),
+    /// An aggregate over a body variable, e.g. `SUM<C>`.
+    Agg(AggFunc, String),
+}
+
+/// A rule head `rel(args...)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Head {
+    /// Relation produced by the rule.
+    pub relation: String,
+    /// Head arguments.
+    pub args: Vec<HeadArg>,
+    /// True if the head carries a location specifier (first argument is the
+    /// destination node address).
+    pub located: bool,
+}
+
+impl Head {
+    /// Head with only plain terms.
+    pub fn simple(relation: &str, args: Vec<Term>) -> Head {
+        Head {
+            relation: relation.to_string(),
+            args: args.into_iter().map(HeadArg::Term).collect(),
+            located: false,
+        }
+    }
+
+    /// True if any head argument is an aggregate.
+    pub fn has_aggregate(&self) -> bool {
+        self.args.iter().any(|a| matches!(a, HeadArg::Agg(_, _)))
+    }
+
+    /// The group-by terms (non-aggregate head arguments), in order.
+    pub fn group_by(&self) -> Vec<&Term> {
+        self.args
+            .iter()
+            .filter_map(|a| match a {
+                HeadArg::Term(t) => Some(t),
+                HeadArg::Agg(_, _) => None,
+            })
+            .collect()
+    }
+}
+
+/// A complete rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// Rule label (`r1`, `d2`, `c3`, ... in the paper's programs).
+    pub label: String,
+    /// Head.
+    pub head: Head,
+    /// Body items, evaluated left to right.
+    pub body: Vec<BodyItem>,
+}
+
+impl Rule {
+    /// Create a rule.
+    pub fn new(label: &str, head: Head, body: Vec<BodyItem>) -> Rule {
+        Rule { label: label.to_string(), head, body }
+    }
+
+    /// Names of the relations referenced in the body.
+    pub fn body_relations(&self) -> Vec<&str> {
+        self.body
+            .iter()
+            .filter_map(|b| match b {
+                BodyItem::Atom(a) => Some(a.relation.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// True if the head contains aggregates.
+    pub fn is_aggregate(&self) -> bool {
+        self.head.has_aggregate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Op;
+
+    #[test]
+    fn atom_matching_binds_and_checks() {
+        let atom = Atom::new("vm", vec![Term::var("Vid"), Term::var("Cpu"), Term::int(4)]);
+        let mut b = Bindings::new();
+        assert!(atom.match_tuple(&[Value::Int(1), Value::Int(50), Value::Int(4)], &mut b));
+        assert_eq!(b.get("Vid"), Some(&Value::Int(1)));
+        // constant mismatch
+        let mut b2 = Bindings::new();
+        assert!(!atom.match_tuple(&[Value::Int(1), Value::Int(50), Value::Int(8)], &mut b2));
+        // arity mismatch
+        let mut b3 = Bindings::new();
+        assert!(!atom.match_tuple(&[Value::Int(1)], &mut b3));
+        // join conflict on repeated variable
+        let dup = Atom::new("link", vec![Term::var("X"), Term::var("X")]);
+        let mut b4 = Bindings::new();
+        assert!(!dup.match_tuple(&[Value::Int(1), Value::Int(2)], &mut b4));
+    }
+
+    #[test]
+    fn atom_instantiation() {
+        let atom = Atom::new("host", vec![Term::var("Hid"), Term::int(0)]);
+        let mut b = Bindings::new();
+        b.bind("Hid", Value::Int(9));
+        assert_eq!(atom.instantiate(&b).unwrap(), vec![Value::Int(9), Value::Int(0)]);
+        let missing = Atom::new("host", vec![Term::var("Nope")]);
+        assert!(missing.instantiate(&b).is_err());
+    }
+
+    #[test]
+    fn aggregate_computations() {
+        let ints = vec![Value::Int(3), Value::Int(-1), Value::Int(4)];
+        assert_eq!(AggFunc::Sum.compute(&ints), Value::Int(6));
+        assert_eq!(AggFunc::SumAbs.compute(&ints), Value::Int(8));
+        assert_eq!(AggFunc::Count.compute(&ints), Value::Int(3));
+        assert_eq!(AggFunc::Min.compute(&ints), Value::Int(-1));
+        assert_eq!(AggFunc::Max.compute(&ints), Value::Int(4));
+        assert_eq!(
+            AggFunc::Unique.compute(&[Value::Int(1), Value::Int(1), Value::Int(2)]),
+            Value::Int(2)
+        );
+        let st = AggFunc::Stdev.compute(&[Value::Int(2), Value::Int(4)]);
+        assert_eq!(st, Value::float(1.0));
+        assert_eq!(AggFunc::Stdev.compute(&[]), Value::float(0.0));
+    }
+
+    #[test]
+    fn aggregate_sum_switches_to_float() {
+        let mixed = vec![Value::Int(1), Value::float(2.5)];
+        assert_eq!(AggFunc::Sum.compute(&mixed), Value::float(3.5));
+    }
+
+    #[test]
+    fn agg_keyword_roundtrip() {
+        for f in [
+            AggFunc::Sum,
+            AggFunc::Count,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::SumAbs,
+            AggFunc::Stdev,
+            AggFunc::Unique,
+        ] {
+            assert_eq!(AggFunc::from_keyword(f.keyword()), Some(f));
+        }
+        assert_eq!(AggFunc::from_keyword("AVERAGE"), None);
+    }
+
+    #[test]
+    fn head_and_rule_helpers() {
+        let head = Head {
+            relation: "hostCpu".into(),
+            args: vec![HeadArg::Term(Term::var("Hid")), HeadArg::Agg(AggFunc::Sum, "C".into())],
+            located: false,
+        };
+        assert!(head.has_aggregate());
+        assert_eq!(head.group_by().len(), 1);
+        let rule = Rule::new(
+            "d1",
+            head,
+            vec![
+                BodyItem::Atom(Atom::new("assign", vec![Term::var("Vid"), Term::var("Hid"), Term::var("V")])),
+                BodyItem::Atom(Atom::new("vm", vec![Term::var("Vid"), Term::var("Cpu"), Term::var("Mem")])),
+                BodyItem::Assign(
+                    "C".into(),
+                    Expr::bin(Op::Mul, Expr::var("V"), Expr::var("Cpu")),
+                ),
+            ],
+        );
+        assert!(rule.is_aggregate());
+        assert_eq!(rule.body_relations(), vec!["assign", "vm"]);
+    }
+}

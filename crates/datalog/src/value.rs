@@ -1,0 +1,251 @@
+//! Runtime values stored in Datalog tuples.
+//!
+//! Colog attributes are integers, strings, addresses (node identifiers used
+//! by the `@Loc` location specifier), booleans and floating-point
+//! measurements (e.g. CPU utilisation sampled from the data-center trace).
+//! Solver attributes — whose values are only determined by the constraint
+//! solver (Sec. 4.2 of the paper) — are carried through rule evaluation as
+//! symbolic references ([`Value::Sym`]) into the runtime's expression store.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Identifier of a node (a Cologne instance) in the distributed deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a symbolic solver expression held by the Cologne runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SymId(pub u32);
+
+/// A totally-ordered, hashable wrapper around `f64`.
+///
+/// Datalog tables must support equality and hashing; IEEE floats do not, so
+/// measurements are wrapped. NaN is not a meaningful measurement value and is
+/// normalised to a single bit pattern.
+#[derive(Debug, Clone, Copy)]
+pub struct F64(pub f64);
+
+impl F64 {
+    fn canonical_bits(self) -> u64 {
+        if self.0.is_nan() {
+            f64::NAN.to_bits()
+        } else if self.0 == 0.0 {
+            0u64 // +0.0 and -0.0 compare equal
+        } else {
+            self.0.to_bits()
+        }
+    }
+}
+
+impl PartialEq for F64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.canonical_bits() == other.canonical_bits()
+    }
+}
+impl Eq for F64 {}
+
+impl Hash for F64 {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.canonical_bits().hash(state);
+    }
+}
+
+impl PartialOrd for F64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for F64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// A Datalog attribute value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// Signed integer.
+    Int(i64),
+    /// Floating-point measurement.
+    Float(F64),
+    /// String constant.
+    Str(String),
+    /// Node address (the value of a location-specifier attribute).
+    Addr(NodeId),
+    /// Boolean.
+    Bool(bool),
+    /// Reference to a symbolic solver expression (a solver attribute whose
+    /// concrete value is produced by the constraint solver).
+    Sym(SymId),
+}
+
+impl Value {
+    /// Build a float value.
+    pub fn float(v: f64) -> Value {
+        Value::Float(F64(v))
+    }
+
+    /// Integer view, if this is an `Int` or an exactly-integral `Float`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Bool(b) => Some(i64::from(*b)),
+            Value::Float(F64(f)) if f.fract() == 0.0 => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(F64(f)) => Some(*f),
+            Value::Bool(b) => Some(f64::from(u8::from(*b))),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            Value::Int(i) => Some(*i != 0),
+            _ => None,
+        }
+    }
+
+    /// Address view.
+    pub fn as_addr(&self) -> Option<NodeId> {
+        match self {
+            Value::Addr(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Symbolic-expression view.
+    pub fn as_sym(&self) -> Option<SymId> {
+        match self {
+            Value::Sym(s) => Some(*s),
+            _ => None,
+        }
+    }
+
+    /// True if this value refers to a solver expression.
+    pub fn is_symbolic(&self) -> bool {
+        matches!(self, Value::Sym(_))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(F64(x)) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "\"{s}\""),
+            Value::Addr(n) => write!(f, "@{n}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Sym(s) => write!(f, "$sym{}", s.0),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<NodeId> for Value {
+    fn from(v: NodeId) -> Self {
+        Value::Addr(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn float_equality_and_hashing() {
+        let mut set = HashSet::new();
+        set.insert(Value::float(1.5));
+        set.insert(Value::float(1.5));
+        set.insert(Value::float(-0.0));
+        set.insert(Value::float(0.0));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn nan_is_normalised() {
+        assert_eq!(Value::float(f64::NAN), Value::float(-f64::NAN));
+    }
+
+    #[test]
+    fn numeric_views() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::float(7.0).as_int(), Some(7));
+        assert_eq!(Value::float(7.5).as_int(), None);
+        assert_eq!(Value::Int(7).as_f64(), Some(7.0));
+        assert_eq!(Value::Bool(true).as_int(), Some(1));
+        assert_eq!(Value::Str("x".into()).as_int(), None);
+    }
+
+    #[test]
+    fn address_and_sym_views() {
+        let v = Value::Addr(NodeId(3));
+        assert_eq!(v.as_addr(), Some(NodeId(3)));
+        assert_eq!(Value::Int(3).as_addr(), None);
+        let s = Value::Sym(SymId(9));
+        assert!(s.is_symbolic());
+        assert_eq!(s.as_sym(), Some(SymId(9)));
+    }
+
+    #[test]
+    fn conversions_and_display() {
+        assert_eq!(Value::from(5i64), Value::Int(5));
+        assert_eq!(Value::from("hi"), Value::Str("hi".into()));
+        assert_eq!(Value::from(NodeId(1)).to_string(), "@n1");
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert_eq!(Value::Int(0).as_bool(), Some(false));
+        assert_eq!(Value::Sym(SymId(2)).to_string(), "$sym2");
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut values = vec![Value::Int(3), Value::Int(1), Value::Int(2)];
+        values.sort();
+        assert_eq!(values, vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+    }
+}

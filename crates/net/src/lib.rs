@@ -1,0 +1,35 @@
+//! # cologne-net
+//!
+//! A deterministic discrete-event network simulator — the reproduction's
+//! substitute for ns-3 in the Cologne paper (Liu et al., VLDB 2012).
+//!
+//! The paper's "simulation mode" runs Cologne instances inside ns-3 so that
+//! distributed executions can be evaluated in a controllable environment
+//! (Sec. 6): messages travel over simulated 10 Mbps links, convergence time
+//! is measured on the virtual clock, and per-node communication overhead is
+//! read off per-node byte counters. This crate provides exactly those
+//! facilities:
+//!
+//! * [`Topology`] — nodes and point-to-point links with latency/bandwidth,
+//!   plus the builders used by the evaluation (random degree-3 topologies for
+//!   Follow-the-Sun, grids for the wireless testbed, lines/rings/meshes for
+//!   tests);
+//! * [`Simulator`] — a virtual clock, an event queue, message delivery with
+//!   latency + transmission delay, per-node timers, and per-node traffic
+//!   statistics.
+//!
+//! ```
+//! use cologne_net::{Simulator, Topology, LinkProps, SimTime, Event};
+//!
+//! let mut sim: Simulator<&str> = Simulator::new(Topology::line(2, LinkProps::default()));
+//! sim.send_message(0, 1, "hello", 128);
+//! let (when, event) = sim.next_event().unwrap();
+//! assert!(when > SimTime::ZERO);
+//! assert!(matches!(event, Event::Message { dest: 1, .. }));
+//! ```
+
+pub mod sim;
+pub mod topology;
+
+pub use sim::{Event, NodeTraffic, SimTime, Simulator};
+pub use topology::{LinkProps, NodeIdx, Topology};

@@ -1,0 +1,315 @@
+//! Discrete-event simulation core.
+//!
+//! The paper evaluates distributed Cologne deployments inside ns-3
+//! ("simulation mode", Sec. 6): Cologne instances exchange UDP messages over
+//! simulated 10 Mbps links, and the evaluation reports convergence time
+//! (Fig. 4) and per-node communication overhead (Fig. 5). This module
+//! provides the equivalent substrate: a virtual clock, an event queue,
+//! message delivery with link latency + transmission delay, per-node timers,
+//! and per-node traffic accounting.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::topology::{LinkProps, NodeIdx, Topology};
+
+/// Virtual time in microseconds since the start of the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Hash)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Build from whole seconds.
+    pub fn from_secs(s: u64) -> SimTime {
+        SimTime(s * 1_000_000)
+    }
+
+    /// Build from milliseconds.
+    pub fn from_millis(ms: u64) -> SimTime {
+        SimTime(ms * 1_000)
+    }
+
+    /// Value in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Add a duration in microseconds.
+    pub fn plus_us(self, us: u64) -> SimTime {
+        SimTime(self.0 + us)
+    }
+}
+
+/// An event delivered by the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event<P> {
+    /// A message arriving at `dest`.
+    Message {
+        /// Sender.
+        src: NodeIdx,
+        /// Receiver.
+        dest: NodeIdx,
+        /// Application payload.
+        payload: P,
+    },
+    /// A timer firing at `node`.
+    Timer {
+        /// Node owning the timer.
+        node: NodeIdx,
+        /// Application-defined tag distinguishing timer kinds.
+        tag: u64,
+    },
+}
+
+/// Per-node traffic counters (the raw data behind Fig. 5).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeTraffic {
+    /// Bytes sent by the node.
+    pub bytes_sent: u64,
+    /// Bytes received by the node.
+    pub bytes_received: u64,
+    /// Messages sent.
+    pub messages_sent: u64,
+    /// Messages received.
+    pub messages_received: u64,
+}
+
+#[derive(Debug)]
+struct Scheduled<P> {
+    time: SimTime,
+    seq: u64,
+    event: Event<P>,
+}
+
+/// The discrete-event simulator.
+#[derive(Debug)]
+pub struct Simulator<P> {
+    topology: Topology,
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<(SimTime, u64)>>,
+    pending: HashMap<(SimTime, u64), Scheduled<P>>,
+    traffic: HashMap<NodeIdx, NodeTraffic>,
+    default_link: LinkProps,
+    delivered: u64,
+}
+
+impl<P> Simulator<P> {
+    /// Create a simulator over a topology.
+    pub fn new(topology: Topology) -> Self {
+        Simulator {
+            topology,
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            pending: HashMap::new(),
+            traffic: HashMap::new(),
+            default_link: LinkProps::default(),
+            delivered: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The topology being simulated.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Number of events delivered so far.
+    pub fn events_delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Number of events still scheduled.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Per-node traffic counters.
+    pub fn traffic(&self, node: NodeIdx) -> NodeTraffic {
+        self.traffic.get(&node).copied().unwrap_or_default()
+    }
+
+    /// Average per-node communication overhead in KB/s over the elapsed
+    /// simulated time (counts bytes sent, as Fig. 5 does).
+    pub fn per_node_overhead_kbps(&self) -> f64 {
+        let secs = self.now.as_secs_f64();
+        let n = self.topology.num_nodes();
+        if secs <= 0.0 || n == 0 {
+            return 0.0;
+        }
+        let total_sent: u64 = self.traffic.values().map(|t| t.bytes_sent).sum();
+        (total_sent as f64 / 1024.0) / secs / n as f64
+    }
+
+    fn push(&mut self, time: SimTime, event: Event<P>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse((time, seq)));
+        self.pending.insert((time, seq), Scheduled { time, seq, event });
+    }
+
+    /// Schedule delivery of a message of `size_bytes` from `src` to `dest`.
+    ///
+    /// Delivery time = link latency + transmission delay (`size / bandwidth`).
+    /// If the two nodes are not directly connected the default link profile is
+    /// used (the paper's distributed programs only ever message direct
+    /// neighbours, so this is a convenience for tests).
+    pub fn send_message(&mut self, src: NodeIdx, dest: NodeIdx, payload: P, size_bytes: usize) {
+        let props = self.topology.link(src, dest).unwrap_or(self.default_link);
+        let tx_us = if props.bandwidth_bps == 0 {
+            0
+        } else {
+            (size_bytes as u64 * 8 * 1_000_000) / props.bandwidth_bps
+        };
+        let arrival = self.now.plus_us(props.latency_us + tx_us);
+        let sent = self.traffic.entry(src).or_default();
+        sent.bytes_sent += size_bytes as u64;
+        sent.messages_sent += 1;
+        let recv = self.traffic.entry(dest).or_default();
+        recv.bytes_received += size_bytes as u64;
+        recv.messages_received += 1;
+        self.push(arrival, Event::Message { src, dest, payload });
+    }
+
+    /// Schedule a timer to fire at `node` after `delay`.
+    pub fn schedule_timer(&mut self, node: NodeIdx, delay: SimTime, tag: u64) {
+        let at = self.now.plus_us(delay.0);
+        self.push(at, Event::Timer { node, tag });
+    }
+
+    /// Pop the next event, advancing the virtual clock.
+    pub fn next_event(&mut self) -> Option<(SimTime, Event<P>)> {
+        let Reverse((time, seq)) = self.queue.pop()?;
+        let scheduled = self.pending.remove(&(time, seq)).expect("queued event exists");
+        debug_assert_eq!(scheduled.time, time);
+        debug_assert_eq!(scheduled.seq, seq);
+        self.now = time;
+        self.delivered += 1;
+        Some((time, scheduled.event))
+    }
+
+    /// Run until the queue is empty or `limit` is reached, invoking the
+    /// handler for every event. The handler may schedule further events
+    /// through the mutable simulator reference it receives.
+    pub fn run_until<F>(&mut self, limit: SimTime, mut handler: F) -> u64
+    where
+        F: FnMut(&mut Simulator<P>, SimTime, Event<P>),
+    {
+        let mut handled = 0;
+        while let Some(Reverse((t, _))) = self.queue.peek() {
+            if *t > limit {
+                break;
+            }
+            let (time, event) = self.next_event().expect("peeked event exists");
+            handler(self, time, event);
+            handled += 1;
+        }
+        handled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_node_sim() -> Simulator<&'static str> {
+        let mut topo = Topology::new();
+        topo.add_link(0, 1, LinkProps { latency_us: 1000, bandwidth_bps: 8_000_000 });
+        Simulator::new(topo)
+    }
+
+    #[test]
+    fn message_delivery_accounts_latency_and_transmission() {
+        let mut sim = two_node_sim();
+        // 1000 bytes at 8 Mbps = 1 ms transmission + 1 ms latency = 2 ms
+        sim.send_message(0, 1, "hello", 1000);
+        let (t, ev) = sim.next_event().unwrap();
+        assert_eq!(t, SimTime::from_millis(2));
+        match ev {
+            Event::Message { src, dest, payload } => {
+                assert_eq!((src, dest, payload), (0, 1, "hello"));
+            }
+            _ => panic!("expected message"),
+        }
+        assert_eq!(sim.now(), SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn events_ordered_by_time_then_fifo() {
+        let mut sim = two_node_sim();
+        sim.schedule_timer(0, SimTime::from_millis(5), 1);
+        sim.schedule_timer(0, SimTime::from_millis(1), 2);
+        sim.schedule_timer(0, SimTime::from_millis(5), 3);
+        let order: Vec<u64> = std::iter::from_fn(|| sim.next_event())
+            .map(|(_, e)| match e {
+                Event::Timer { tag, .. } => tag,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![2, 1, 3]);
+    }
+
+    #[test]
+    fn traffic_counters_accumulate() {
+        let mut sim = two_node_sim();
+        sim.send_message(0, 1, "a", 500);
+        sim.send_message(1, 0, "b", 300);
+        while sim.next_event().is_some() {}
+        assert_eq!(sim.traffic(0).bytes_sent, 500);
+        assert_eq!(sim.traffic(0).bytes_received, 300);
+        assert_eq!(sim.traffic(1).messages_sent, 1);
+        assert_eq!(sim.traffic(1).messages_received, 1);
+        assert_eq!(sim.events_delivered(), 2);
+        assert!(sim.per_node_overhead_kbps() > 0.0);
+    }
+
+    #[test]
+    fn run_until_respects_limit_and_allows_rescheduling() {
+        let mut sim: Simulator<()> = Simulator::new(Topology::line(2, LinkProps::default()));
+        sim.schedule_timer(0, SimTime::from_secs(1), 0);
+        let mut fired = 0;
+        sim.run_until(SimTime::from_secs(10), |sim, _, ev| {
+            if let Event::Timer { node, tag } = ev {
+                fired += 1;
+                if tag < 5 {
+                    sim.schedule_timer(node, SimTime::from_secs(1), tag + 1);
+                }
+            }
+        });
+        // timers at t=1..=6, tag 0..=5; all within limit
+        assert_eq!(fired, 6);
+        assert_eq!(sim.pending_events(), 0);
+
+        // an event beyond the limit is not handled
+        sim.schedule_timer(0, SimTime::from_secs(100), 99);
+        let handled = sim.run_until(SimTime::from_secs(50), |_, _, _| {});
+        assert_eq!(handled, 0);
+        assert_eq!(sim.pending_events(), 1);
+    }
+
+    #[test]
+    fn unlinked_nodes_use_default_profile() {
+        let mut topo = Topology::new();
+        topo.add_node(0);
+        topo.add_node(9);
+        let mut sim: Simulator<u32> = Simulator::new(topo);
+        sim.send_message(0, 9, 7, 100);
+        let (t, _) = sim.next_event().unwrap();
+        assert!(t > SimTime::ZERO);
+    }
+
+    #[test]
+    fn simtime_conversions() {
+        assert_eq!(SimTime::from_secs(2).0, 2_000_000);
+        assert_eq!(SimTime::from_millis(5).0, 5_000);
+        assert!((SimTime::from_millis(1500).as_secs_f64() - 1.5).abs() < 1e-9);
+        assert_eq!(SimTime::from_secs(1).plus_us(5), SimTime(1_000_005));
+    }
+}

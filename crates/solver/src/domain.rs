@@ -1,0 +1,334 @@
+//! Integer variable domains.
+//!
+//! A [`Domain`] is a finite set of `i64` values represented as an inclusive
+//! interval `[lo, hi]` together with an explicit sorted list of interior
+//! "holes" (values strictly between `lo` and `hi` that have been removed).
+//! This representation supports the two kinds of pruning the Cologne
+//! propagators need: cheap bounds tightening (for linear arithmetic) and
+//! individual value removal (for disequalities such as the primary-user
+//! constraint `C != C2` in the wireless use case).
+
+/// A finite integer domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Domain {
+    lo: i64,
+    hi: i64,
+    /// Values strictly inside `(lo, hi)` that are excluded, kept sorted.
+    holes: Vec<i64>,
+}
+
+impl Domain {
+    /// Create the interval domain `[lo, hi]`. Panics if `lo > hi`.
+    pub fn new(lo: i64, hi: i64) -> Self {
+        assert!(lo <= hi, "empty initial domain [{lo}, {hi}]");
+        Domain { lo, hi, holes: Vec::new() }
+    }
+
+    /// Create a singleton domain `{v}`.
+    pub fn singleton(v: i64) -> Self {
+        Domain { lo: v, hi: v, holes: Vec::new() }
+    }
+
+    /// Create a domain from an explicit set of values. Panics if empty.
+    pub fn from_values(values: &[i64]) -> Self {
+        assert!(!values.is_empty(), "domain must contain at least one value");
+        let mut sorted: Vec<i64> = values.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let lo = sorted[0];
+        let hi = *sorted.last().unwrap();
+        let mut holes = Vec::new();
+        let mut expect = lo;
+        for &v in &sorted {
+            while expect < v {
+                holes.push(expect);
+                expect += 1;
+            }
+            expect = v + 1;
+        }
+        Domain { lo, hi, holes }
+    }
+
+    /// Smallest value in the domain.
+    #[inline]
+    pub fn min(&self) -> i64 {
+        self.lo
+    }
+
+    /// Largest value in the domain.
+    #[inline]
+    pub fn max(&self) -> i64 {
+        self.hi
+    }
+
+    /// Number of values in the domain.
+    #[inline]
+    pub fn size(&self) -> u64 {
+        (self.hi - self.lo + 1) as u64 - self.holes.len() as u64
+    }
+
+    /// True if the domain contains exactly one value.
+    #[inline]
+    pub fn is_fixed(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// The single value of a fixed domain, or `None`.
+    #[inline]
+    pub fn fixed_value(&self) -> Option<i64> {
+        if self.is_fixed() {
+            Some(self.lo)
+        } else {
+            None
+        }
+    }
+
+    /// True if `v` belongs to the domain.
+    pub fn contains(&self, v: i64) -> bool {
+        v >= self.lo && v <= self.hi && self.holes.binary_search(&v).is_err()
+    }
+
+    /// Iterate over all values in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = i64> + '_ {
+        (self.lo..=self.hi).filter(move |v| self.holes.binary_search(v).is_err())
+    }
+
+    fn normalize(&mut self) {
+        // Pull lo up / hi down over holes so bounds are always members.
+        loop {
+            if self.lo > self.hi {
+                return;
+            }
+            if let Ok(idx) = self.holes.binary_search(&self.lo) {
+                self.holes.remove(idx);
+                self.lo += 1;
+            } else {
+                break;
+            }
+        }
+        loop {
+            if self.lo > self.hi {
+                return;
+            }
+            if let Ok(idx) = self.holes.binary_search(&self.hi) {
+                self.holes.remove(idx);
+                self.hi -= 1;
+            } else {
+                break;
+            }
+        }
+        // Drop holes that fell outside the bounds.
+        self.holes.retain(|&h| h > self.lo && h < self.hi);
+    }
+
+    /// Remove every value `< bound`. Returns `true` if the domain changed,
+    /// `Err(())` if it became empty.
+    pub fn remove_below(&mut self, bound: i64) -> Result<bool, ()> {
+        if bound <= self.lo {
+            return Ok(false);
+        }
+        self.lo = bound;
+        self.normalize();
+        if self.lo > self.hi {
+            Err(())
+        } else {
+            Ok(true)
+        }
+    }
+
+    /// Remove every value `> bound`. Returns `true` if the domain changed,
+    /// `Err(())` if it became empty.
+    pub fn remove_above(&mut self, bound: i64) -> Result<bool, ()> {
+        if bound >= self.hi {
+            return Ok(false);
+        }
+        self.hi = bound;
+        self.normalize();
+        if self.lo > self.hi {
+            Err(())
+        } else {
+            Ok(true)
+        }
+    }
+
+    /// Remove a single value. Returns `true` if the domain changed,
+    /// `Err(())` if it became empty.
+    pub fn remove_value(&mut self, v: i64) -> Result<bool, ()> {
+        if !self.contains(v) {
+            return Ok(false);
+        }
+        if self.is_fixed() {
+            return Err(());
+        }
+        if v == self.lo {
+            self.lo += 1;
+            self.normalize();
+        } else if v == self.hi {
+            self.hi -= 1;
+            self.normalize();
+        } else {
+            let idx = self.holes.binary_search(&v).unwrap_err();
+            self.holes.insert(idx, v);
+        }
+        if self.lo > self.hi {
+            Err(())
+        } else {
+            Ok(true)
+        }
+    }
+
+    /// Reduce the domain to the single value `v`. Returns `true` if the
+    /// domain changed, `Err(())` if `v` is not a member.
+    pub fn assign(&mut self, v: i64) -> Result<bool, ()> {
+        if !self.contains(v) {
+            return Err(());
+        }
+        if self.is_fixed() {
+            return Ok(false);
+        }
+        self.lo = v;
+        self.hi = v;
+        self.holes.clear();
+        Ok(true)
+    }
+
+    /// Intersect with the interval `[lo, hi]`.
+    pub fn intersect_bounds(&mut self, lo: i64, hi: i64) -> Result<bool, ()> {
+        let a = self.remove_below(lo)?;
+        let b = self.remove_above(hi)?;
+        Ok(a || b)
+    }
+
+    /// Median value of the current bounds, used for domain bisection.
+    pub fn median(&self) -> i64 {
+        // Midpoint of bounds; always a valid split point for bisection
+        // (`<= mid` / `> mid`) even if it happens to be a hole.
+        self.lo + (self.hi - self.lo) / 2
+    }
+}
+
+impl std::fmt::Display for Domain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_fixed() {
+            write!(f, "{{{}}}", self.lo)
+        } else if self.holes.is_empty() {
+            write!(f, "[{}, {}]", self.lo, self.hi)
+        } else {
+            write!(f, "[{}, {}]\\{:?}", self.lo, self.hi, self.holes)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_interval_basics() {
+        let d = Domain::new(-3, 4);
+        assert_eq!(d.min(), -3);
+        assert_eq!(d.max(), 4);
+        assert_eq!(d.size(), 8);
+        assert!(!d.is_fixed());
+        assert!(d.contains(0));
+        assert!(!d.contains(5));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_interval_panics() {
+        let _ = Domain::new(2, 1);
+    }
+
+    #[test]
+    fn singleton_is_fixed() {
+        let d = Domain::singleton(7);
+        assert!(d.is_fixed());
+        assert_eq!(d.fixed_value(), Some(7));
+        assert_eq!(d.size(), 1);
+    }
+
+    #[test]
+    fn from_values_builds_holes() {
+        let d = Domain::from_values(&[1, 3, 6, 3]);
+        assert_eq!(d.min(), 1);
+        assert_eq!(d.max(), 6);
+        assert_eq!(d.size(), 3);
+        assert!(d.contains(3));
+        assert!(!d.contains(2));
+        assert!(!d.contains(4));
+        let values: Vec<i64> = d.iter().collect();
+        assert_eq!(values, vec![1, 3, 6]);
+    }
+
+    #[test]
+    fn remove_below_above() {
+        let mut d = Domain::new(0, 10);
+        assert_eq!(d.remove_below(3), Ok(true));
+        assert_eq!(d.remove_above(7), Ok(true));
+        assert_eq!(d.min(), 3);
+        assert_eq!(d.max(), 7);
+        assert_eq!(d.remove_below(3), Ok(false));
+        assert!(d.remove_below(8).is_err());
+    }
+
+    #[test]
+    fn remove_value_creates_hole_and_adjusts_bounds() {
+        let mut d = Domain::new(0, 4);
+        assert_eq!(d.remove_value(2), Ok(true));
+        assert!(!d.contains(2));
+        assert_eq!(d.size(), 4);
+        // removing the bound shifts it over existing holes
+        assert_eq!(d.remove_value(0), Ok(true));
+        assert_eq!(d.min(), 1);
+        assert_eq!(d.remove_value(1), Ok(true));
+        assert_eq!(d.min(), 3); // 2 was a hole, skipped
+        assert_eq!(d.remove_value(4), Ok(true));
+        assert!(d.is_fixed());
+        assert_eq!(d.fixed_value(), Some(3));
+        assert!(d.remove_value(3).is_err());
+    }
+
+    #[test]
+    fn assign_behaviour() {
+        let mut d = Domain::new(0, 9);
+        assert_eq!(d.assign(5), Ok(true));
+        assert_eq!(d.fixed_value(), Some(5));
+        assert_eq!(d.assign(5), Ok(false));
+        let mut d2 = Domain::from_values(&[1, 3, 5]);
+        assert!(d2.assign(2).is_err());
+    }
+
+    #[test]
+    fn intersect_bounds_combines() {
+        let mut d = Domain::new(0, 100);
+        assert_eq!(d.intersect_bounds(10, 20), Ok(true));
+        assert_eq!(d.min(), 10);
+        assert_eq!(d.max(), 20);
+        assert!(d.intersect_bounds(30, 40).is_err());
+    }
+
+    #[test]
+    fn median_is_within_bounds() {
+        let d = Domain::new(-10, 11);
+        let m = d.median();
+        assert!(m >= d.min() && m <= d.max());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Domain::singleton(3).to_string(), "{3}");
+        assert_eq!(Domain::new(1, 4).to_string(), "[1, 4]");
+    }
+
+    #[test]
+    fn iter_skips_holes_after_bound_updates() {
+        let mut d = Domain::new(0, 6);
+        d.remove_value(3).unwrap();
+        d.remove_below(1).unwrap();
+        d.remove_above(5).unwrap();
+        let values: Vec<i64> = d.iter().collect();
+        assert_eq!(values, vec![1, 2, 4, 5]);
+        assert_eq!(d.size(), 4);
+    }
+}

@@ -1,0 +1,479 @@
+//! The constraint model: variables, propagators and the propagation engine.
+
+use crate::domain::Domain;
+use crate::expr::LinExpr;
+use crate::propagator::{Conflict, PropagatorContext};
+use crate::propagators::{
+    AbsVal, LinearEq, LinearLe, LinearNe, MaxOfArray, MinOfArray, MulVar, NValues, ReifLinearEq,
+    ReifLinearLe, Square,
+};
+use crate::search::{self, Objective, SearchConfig, SearchOutcome};
+use crate::stats::SearchStats;
+use crate::Propagator;
+
+/// Handle to an integer decision variable in a [`Model`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(u32);
+
+impl VarId {
+    /// Index of the variable inside the model's storage.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Build a `VarId` from a raw index (used by the engine and tests).
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        VarId(i as u32)
+    }
+}
+
+/// A constraint optimization model.
+///
+/// Mirrors the role of a Gecode `Space` in the paper: the Cologne runtime
+/// creates one `Model` per COP invocation, posts variables and constraints
+/// derived from the Colog program, then runs branch-and-bound search.
+pub struct Model {
+    domains: Vec<Domain>,
+    names: Vec<Option<String>>,
+    propagators: Vec<Box<dyn Propagator>>,
+    /// var index -> propagator indices subscribed to it
+    subscriptions: Vec<Vec<usize>>,
+}
+
+impl Default for Model {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Model {
+    /// Create an empty model.
+    pub fn new() -> Self {
+        Model {
+            domains: Vec::new(),
+            names: Vec::new(),
+            propagators: Vec::new(),
+            subscriptions: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Number of posted propagators.
+    pub fn num_propagators(&self) -> usize {
+        self.propagators.len()
+    }
+
+    /// Create a new variable with domain `[lo, hi]`.
+    pub fn new_var(&mut self, lo: i64, hi: i64) -> VarId {
+        self.new_named_var(lo, hi, None)
+    }
+
+    /// Create a new variable with an explicit name (useful for debugging and
+    /// for mapping Colog solver attributes back to tuples).
+    pub fn new_named_var(&mut self, lo: i64, hi: i64, name: Option<String>) -> VarId {
+        let id = VarId(self.domains.len() as u32);
+        self.domains.push(Domain::new(lo, hi));
+        self.names.push(name);
+        self.subscriptions.push(Vec::new());
+        id
+    }
+
+    /// Create a 0/1 boolean variable.
+    pub fn new_bool(&mut self) -> VarId {
+        self.new_var(0, 1)
+    }
+
+    /// Create a variable constrained to an explicit value set.
+    pub fn new_var_from_values(&mut self, values: &[i64]) -> VarId {
+        let id = VarId(self.domains.len() as u32);
+        self.domains.push(Domain::from_values(values));
+        self.names.push(None);
+        self.subscriptions.push(Vec::new());
+        id
+    }
+
+    /// Create a variable already fixed to `v`.
+    pub fn new_const(&mut self, v: i64) -> VarId {
+        self.new_var(v, v)
+    }
+
+    /// Name of a variable, if set.
+    pub fn var_name(&self, v: VarId) -> Option<&str> {
+        self.names[v.index()].as_deref()
+    }
+
+    /// Current (root) domain of a variable.
+    pub fn domain(&self, v: VarId) -> &Domain {
+        &self.domains[v.index()]
+    }
+
+    pub(crate) fn domains(&self) -> &[Domain] {
+        &self.domains
+    }
+
+    /// The posted propagators. Exposed so callers (tests, validators) can
+    /// re-check a complete assignment against every constraint.
+    pub fn propagators(&self) -> &[Box<dyn Propagator>] {
+        &self.propagators
+    }
+
+    /// Post a propagator.
+    pub fn post<P: Propagator + 'static>(&mut self, p: P) {
+        let idx = self.propagators.len();
+        for v in p.dependencies() {
+            assert!(
+                v.index() < self.domains.len(),
+                "propagator references unknown variable {v:?}"
+            );
+            self.subscriptions[v.index()].push(idx);
+        }
+        self.propagators.push(Box::new(p));
+    }
+
+    // ----- convenience constraint posting ---------------------------------
+
+    /// `Σ terms <= bound`
+    pub fn linear_le(&mut self, terms: &[(i64, VarId)], bound: i64) {
+        self.post(LinearLe::new(terms.to_vec(), bound));
+    }
+
+    /// `Σ terms >= bound`
+    pub fn linear_ge(&mut self, terms: &[(i64, VarId)], bound: i64) {
+        let neg: Vec<(i64, VarId)> = terms.iter().map(|&(c, v)| (-c, v)).collect();
+        self.post(LinearLe::new(neg, -bound));
+    }
+
+    /// `Σ terms == bound`
+    pub fn linear_eq(&mut self, terms: &[(i64, VarId)], bound: i64) {
+        self.post(LinearEq::new(terms.to_vec(), bound));
+    }
+
+    /// `Σ terms != bound`
+    pub fn linear_ne(&mut self, terms: &[(i64, VarId)], bound: i64) {
+        self.post(LinearNe::new(terms.to_vec(), bound));
+    }
+
+    /// `b <=> (Σ terms <= bound)`
+    pub fn reif_linear_le(&mut self, b: VarId, terms: &[(i64, VarId)], bound: i64) {
+        self.post(ReifLinearLe::new(b, terms.to_vec(), bound));
+    }
+
+    /// `b <=> (Σ terms == bound)`
+    pub fn reif_linear_eq(&mut self, b: VarId, terms: &[(i64, VarId)], bound: i64) {
+        self.post(ReifLinearEq::new(b, terms.to_vec(), bound));
+    }
+
+    /// Returns a fresh variable constrained to equal the linear expression
+    /// `Σ terms + constant`.
+    pub fn linear_var(&mut self, terms: &[(i64, VarId)], constant: i64) -> VarId {
+        let mut lo = constant;
+        let mut hi = constant;
+        for &(c, v) in terms {
+            let (dl, dh) = (self.domain(v).min(), self.domain(v).max());
+            if c >= 0 {
+                lo += c * dl;
+                hi += c * dh;
+            } else {
+                lo += c * dh;
+                hi += c * dl;
+            }
+        }
+        let z = self.new_var(lo, hi);
+        // z - Σ terms == constant
+        let mut eq_terms = vec![(1i64, z)];
+        for &(c, v) in terms {
+            eq_terms.push((-c, v));
+        }
+        self.linear_eq(&eq_terms, constant);
+        z
+    }
+
+    /// Returns a fresh variable constrained to equal `expr`.
+    pub fn expr_var(&mut self, expr: &LinExpr) -> VarId {
+        let n = expr.normalized();
+        self.linear_var(&n.terms, n.constant)
+    }
+
+    /// Returns a fresh variable `z == |x|`.
+    pub fn abs_var(&mut self, x: VarId) -> VarId {
+        let (l, h) = (self.domain(x).min(), self.domain(x).max());
+        let hi = l.abs().max(h.abs());
+        let z = self.new_var(0, hi);
+        self.post(AbsVal::new(z, x));
+        z
+    }
+
+    /// Returns a fresh variable `z == x * y`.
+    pub fn mul_var(&mut self, x: VarId, y: VarId) -> VarId {
+        let (xl, xu) = (self.domain(x).min(), self.domain(x).max());
+        let (yl, yu) = (self.domain(y).min(), self.domain(y).max());
+        let cands = [xl * yl, xl * yu, xu * yl, xu * yu];
+        let z = self.new_var(*cands.iter().min().unwrap(), *cands.iter().max().unwrap());
+        self.post(MulVar::new(z, x, y));
+        z
+    }
+
+    /// Returns a fresh variable `z == x²`.
+    pub fn square_var(&mut self, x: VarId) -> VarId {
+        let (l, h) = (self.domain(x).min(), self.domain(x).max());
+        let hi = (l * l).max(h * h);
+        let lo = if l <= 0 && h >= 0 { 0 } else { (l * l).min(h * h) };
+        let z = self.new_var(lo, hi);
+        self.post(Square::new(z, x));
+        z
+    }
+
+    /// Returns a fresh variable equal to `Σ |x_i|` (the `SUMABS` aggregate).
+    pub fn sum_abs_var(&mut self, xs: &[VarId]) -> VarId {
+        let abs_vars: Vec<VarId> = xs.iter().map(|&x| self.abs_var(x)).collect();
+        let terms: Vec<(i64, VarId)> = abs_vars.into_iter().map(|v| (1, v)).collect();
+        self.linear_var(&terms, 0)
+    }
+
+    /// Returns a fresh variable equal to the number of distinct values among
+    /// `xs` (the `UNIQUE` aggregate).
+    pub fn nvalues_var(&mut self, xs: &[VarId]) -> VarId {
+        let n = self.new_var(1, xs.len() as i64);
+        self.post(NValues::new(n, xs.to_vec()));
+        n
+    }
+
+    /// Returns a fresh variable equal to `max(xs)`.
+    pub fn max_var(&mut self, xs: &[VarId]) -> VarId {
+        let lo = xs.iter().map(|&x| self.domain(x).min()).max().unwrap();
+        let hi = xs.iter().map(|&x| self.domain(x).max()).max().unwrap();
+        let z = self.new_var(lo.min(hi), hi);
+        self.post(MaxOfArray::new(z, xs.to_vec()));
+        z
+    }
+
+    /// Returns a fresh variable equal to `min(xs)`.
+    pub fn min_var(&mut self, xs: &[VarId]) -> VarId {
+        let lo = xs.iter().map(|&x| self.domain(x).min()).min().unwrap();
+        let hi = xs.iter().map(|&x| self.domain(x).max()).min().unwrap();
+        let z = self.new_var(lo, hi.max(lo));
+        self.post(MinOfArray::new(z, xs.to_vec()));
+        z
+    }
+
+    /// Returns a fresh variable equal to the scaled variance
+    /// `k·Σ x_i² − (Σ x_i)²` where `k = xs.len()`.
+    ///
+    /// Minimizing this integer expression is equivalent to minimizing the
+    /// standard deviation of `xs`; it is how the Colog `STDEV` goal of the
+    /// ACloud program (rule `d2`) is lowered onto an integer solver.
+    pub fn scaled_variance_var(&mut self, xs: &[VarId]) -> VarId {
+        assert!(!xs.is_empty());
+        let n = xs.len() as i64;
+        let squares: Vec<VarId> = xs.iter().map(|&x| self.square_var(x)).collect();
+        let sum = self.linear_var(&xs.iter().map(|&x| (1, x)).collect::<Vec<_>>(), 0);
+        let sum_sq = self.square_var(sum);
+        let mut terms: Vec<(i64, VarId)> = squares.into_iter().map(|v| (n, v)).collect();
+        terms.push((-1, sum_sq));
+        self.linear_var(&terms, 0)
+    }
+
+    // ----- propagation -----------------------------------------------------
+
+    /// Run the propagation fixpoint on an external copy of the domains.
+    pub(crate) fn propagate(
+        &self,
+        domains: &mut [Domain],
+        stats: &mut SearchStats,
+        seed: Option<&[usize]>,
+    ) -> Result<(), Conflict> {
+        let mut queue: Vec<usize> = match seed {
+            Some(s) => s.to_vec(),
+            None => (0..self.propagators.len()).collect(),
+        };
+        let mut queued: Vec<bool> = vec![false; self.propagators.len()];
+        for &p in &queue {
+            queued[p] = true;
+        }
+        let mut changed: Vec<VarId> = Vec::new();
+        while let Some(pidx) = queue.pop() {
+            queued[pidx] = false;
+            stats.propagations += 1;
+            changed.clear();
+            {
+                let mut ctx =
+                    PropagatorContext::new(domains, &mut changed, &mut stats.prunings);
+                self.propagators[pidx].prune(&mut ctx)?;
+            }
+            for v in changed.drain(..) {
+                for &dep in &self.subscriptions[v.index()] {
+                    if !queued[dep] {
+                        queued[dep] = true;
+                        queue.push(dep);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Propagate directly on the model's root domains (used by tests and to
+    /// detect root infeasibility before search).
+    pub fn propagate_root(&mut self) -> Result<(), Conflict> {
+        let mut stats = SearchStats::default();
+        let mut domains = std::mem::take(&mut self.domains);
+        let result = self.propagate(&mut domains, &mut stats, None);
+        self.domains = domains;
+        result
+    }
+
+    // ----- search entry points ---------------------------------------------
+
+    /// Minimize the variable `obj` under the model's constraints.
+    pub fn minimize(&self, obj: VarId, config: &SearchConfig) -> SearchOutcome {
+        search::solve(self, Objective::Minimize(obj), config)
+    }
+
+    /// Maximize the variable `obj` under the model's constraints.
+    pub fn maximize(&self, obj: VarId, config: &SearchConfig) -> SearchOutcome {
+        search::solve(self, Objective::Maximize(obj), config)
+    }
+
+    /// Find one solution satisfying the constraints (the `goal satisfy` form).
+    pub fn satisfy(&self, config: &SearchConfig) -> SearchOutcome {
+        let cfg = SearchConfig { max_solutions: Some(config.max_solutions.unwrap_or(1)), ..config.clone() };
+        search::solve(self, Objective::Satisfy, &cfg)
+    }
+
+    /// Enumerate solutions (bounded by `config.max_solutions` if set).
+    pub fn solve_all(&self, config: &SearchConfig) -> SearchOutcome {
+        search::solve(self, Objective::Satisfy, config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SearchConfig;
+
+    #[test]
+    fn var_creation_and_lookup() {
+        let mut m = Model::new();
+        let a = m.new_named_var(0, 5, Some("a".into()));
+        let b = m.new_bool();
+        let c = m.new_const(42);
+        let d = m.new_var_from_values(&[2, 4, 8]);
+        assert_eq!(m.num_vars(), 4);
+        assert_eq!(m.var_name(a), Some("a"));
+        assert_eq!(m.var_name(b), None);
+        assert_eq!(m.domain(c).fixed_value(), Some(42));
+        assert_eq!(m.domain(d).size(), 3);
+    }
+
+    #[test]
+    fn linear_var_bounds_are_tight() {
+        let mut m = Model::new();
+        let x = m.new_var(0, 3);
+        let y = m.new_var(-2, 2);
+        let z = m.linear_var(&[(2, x), (-3, y)], 1);
+        assert_eq!(m.domain(z).min(), 1 + 0 - 6);
+        assert_eq!(m.domain(z).max(), 1 + 6 + 6);
+    }
+
+    #[test]
+    fn expr_var_matches_linear_var() {
+        let mut m = Model::new();
+        let x = m.new_var(0, 3);
+        let e = LinExpr::scaled_var(2, x).plus(&LinExpr::constant(5));
+        let z = m.expr_var(&e);
+        m.propagate_root().unwrap();
+        assert_eq!(m.domain(z).min(), 5);
+        assert_eq!(m.domain(z).max(), 11);
+    }
+
+    #[test]
+    fn scaled_variance_minimized_by_balanced_assignment() {
+        // Two hosts, total load 10 split x + y = 10; variance minimal at 5/5.
+        let mut m = Model::new();
+        let x = m.new_var(0, 10);
+        let y = m.new_var(0, 10);
+        m.linear_eq(&[(1, x), (1, y)], 10);
+        let var = m.scaled_variance_var(&[x, y]);
+        let out = m.minimize(var, &SearchConfig::default());
+        let best = out.best.unwrap();
+        assert_eq!(best.value(x), 5);
+        assert_eq!(best.value(y), 5);
+        assert_eq!(best.value(var), 0);
+    }
+
+    #[test]
+    fn satisfy_returns_single_solution() {
+        let mut m = Model::new();
+        let x = m.new_var(0, 3);
+        let y = m.new_var(0, 3);
+        m.linear_eq(&[(1, x), (1, y)], 3);
+        let out = m.satisfy(&SearchConfig::default());
+        assert_eq!(out.solutions.len(), 1);
+        let s = &out.solutions[0];
+        assert_eq!(s.value(x) + s.value(y), 3);
+    }
+
+    #[test]
+    fn solve_all_enumerates_everything() {
+        let mut m = Model::new();
+        let x = m.new_var(0, 2);
+        let y = m.new_var(0, 2);
+        m.linear_le(&[(1, x), (1, y)], 2);
+        let out = m.solve_all(&SearchConfig::default());
+        // pairs with x+y<=2: (0,0)(0,1)(0,2)(1,0)(1,1)(2,0) = 6
+        assert_eq!(out.solutions.len(), 6);
+        assert!(out.complete);
+    }
+
+    #[test]
+    fn root_infeasible_detected() {
+        let mut m = Model::new();
+        let x = m.new_var(0, 1);
+        m.linear_ge(&[(1, x)], 5);
+        assert!(m.propagate_root().is_err());
+        let out = m.satisfy(&SearchConfig::default());
+        assert!(out.solutions.is_empty());
+        assert!(out.best.is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn posting_unknown_variable_panics() {
+        let mut m = Model::new();
+        let mut other = Model::new();
+        let _x = m.new_var(0, 1);
+        let y = other.new_var(0, 1);
+        let z = other.new_var(0, 1);
+        let _ = (y, z);
+        // y/z do not exist in m (index out of bounds)
+        m.linear_le(&[(1, VarId::from_index(5))], 1);
+    }
+
+    #[test]
+    fn max_min_helper_vars() {
+        let mut m = Model::new();
+        let a = m.new_var(1, 3);
+        let b = m.new_var(2, 5);
+        let mx = m.max_var(&[a, b]);
+        let mn = m.min_var(&[a, b]);
+        m.propagate_root().unwrap();
+        assert!(m.domain(mx).min() >= 2);
+        assert!(m.domain(mn).max() <= 3);
+    }
+
+    #[test]
+    fn sum_abs_var_over_mixed_signs() {
+        let mut m = Model::new();
+        let a = m.new_var(-3, -3);
+        let b = m.new_var(4, 4);
+        let s = m.sum_abs_var(&[a, b]);
+        m.propagate_root().unwrap();
+        assert_eq!(m.domain(s).fixed_value(), Some(7));
+    }
+}

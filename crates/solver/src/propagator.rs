@@ -1,0 +1,172 @@
+//! The propagator interface.
+//!
+//! A propagator observes a set of variables and prunes values that cannot
+//! appear in any solution of its constraint. Propagators are scheduled on a
+//! fixpoint queue by the [`crate::Model`]: whenever a variable's domain
+//! changes, every propagator subscribed to that variable is re-run until no
+//! further pruning happens.
+
+use crate::domain::Domain;
+use crate::model::VarId;
+
+/// Result of a successful propagation step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PropStatus {
+    /// The propagator may still prune more in the future and must stay
+    /// subscribed.
+    Active,
+    /// The constraint is now entailed (always satisfied regardless of how the
+    /// remaining variables are fixed); the propagator never needs to run
+    /// again on this subtree.
+    Entailed,
+}
+
+/// Signals that a propagator detected an inconsistency (some domain became
+/// empty or the constraint cannot be satisfied).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conflict;
+
+/// View over the variable domains handed to a propagator.
+///
+/// All mutation goes through this context so the engine can track which
+/// variables changed and schedule dependent propagators.
+pub struct PropagatorContext<'a> {
+    domains: &'a mut [Domain],
+    changed: &'a mut Vec<VarId>,
+    prunings: &'a mut u64,
+}
+
+impl<'a> PropagatorContext<'a> {
+    pub(crate) fn new(
+        domains: &'a mut [Domain],
+        changed: &'a mut Vec<VarId>,
+        prunings: &'a mut u64,
+    ) -> Self {
+        PropagatorContext { domains, changed, prunings }
+    }
+
+    /// Immutable view of a variable's domain.
+    #[inline]
+    pub fn domain(&self, v: VarId) -> &Domain {
+        &self.domains[v.index()]
+    }
+
+    /// Current lower bound of `v`.
+    #[inline]
+    pub fn min(&self, v: VarId) -> i64 {
+        self.domains[v.index()].min()
+    }
+
+    /// Current upper bound of `v`.
+    #[inline]
+    pub fn max(&self, v: VarId) -> i64 {
+        self.domains[v.index()].max()
+    }
+
+    /// True if `v` is fixed to a single value.
+    #[inline]
+    pub fn is_fixed(&self, v: VarId) -> bool {
+        self.domains[v.index()].is_fixed()
+    }
+
+    /// The value of `v` if fixed.
+    #[inline]
+    pub fn fixed_value(&self, v: VarId) -> Option<i64> {
+        self.domains[v.index()].fixed_value()
+    }
+
+    fn record(&mut self, v: VarId, changed: Result<bool, ()>) -> Result<bool, Conflict> {
+        match changed {
+            Ok(true) => {
+                *self.prunings += 1;
+                self.changed.push(v);
+                Ok(true)
+            }
+            Ok(false) => Ok(false),
+            Err(()) => Err(Conflict),
+        }
+    }
+
+    /// Enforce `v >= bound`.
+    pub fn set_min(&mut self, v: VarId, bound: i64) -> Result<bool, Conflict> {
+        let r = self.domains[v.index()].remove_below(bound);
+        self.record(v, r)
+    }
+
+    /// Enforce `v <= bound`.
+    pub fn set_max(&mut self, v: VarId, bound: i64) -> Result<bool, Conflict> {
+        let r = self.domains[v.index()].remove_above(bound);
+        self.record(v, r)
+    }
+
+    /// Enforce `v == value`.
+    pub fn assign(&mut self, v: VarId, value: i64) -> Result<bool, Conflict> {
+        let r = self.domains[v.index()].assign(value);
+        self.record(v, r)
+    }
+
+    /// Enforce `v != value`.
+    pub fn remove_value(&mut self, v: VarId, value: i64) -> Result<bool, Conflict> {
+        let r = self.domains[v.index()].remove_value(value);
+        self.record(v, r)
+    }
+
+    /// Enforce `lo <= v <= hi`.
+    pub fn intersect(&mut self, v: VarId, lo: i64, hi: i64) -> Result<bool, Conflict> {
+        let r = self.domains[v.index()].intersect_bounds(lo, hi);
+        self.record(v, r)
+    }
+}
+
+/// A constraint propagator.
+pub trait Propagator: Send + Sync {
+    /// Human-readable name used in debug output.
+    fn name(&self) -> &'static str;
+
+    /// Variables whose domain changes should wake this propagator.
+    fn dependencies(&self) -> Vec<VarId>;
+
+    /// Prune domains. Returns the propagator status or a conflict.
+    fn prune(&self, ctx: &mut PropagatorContext<'_>) -> Result<PropStatus, Conflict>;
+
+    /// Check the constraint on a complete assignment (all dependency
+    /// variables fixed). Used by tests and by the final solution validator.
+    fn check(&self, values: &dyn Fn(VarId) -> i64) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_tracks_changes_and_conflicts() {
+        let mut domains = vec![Domain::new(0, 10), Domain::new(0, 10)];
+        let mut changed = Vec::new();
+        let mut prunings = 0u64;
+        let mut ctx = PropagatorContext::new(&mut domains, &mut changed, &mut prunings);
+        let a = VarId::from_index(0);
+        let b = VarId::from_index(1);
+        assert_eq!(ctx.set_min(a, 5), Ok(true));
+        assert_eq!(ctx.set_min(a, 3), Ok(false));
+        assert_eq!(ctx.assign(b, 2), Ok(true));
+        assert!(ctx.is_fixed(b));
+        assert_eq!(ctx.fixed_value(b), Some(2));
+        assert_eq!(ctx.set_min(b, 7), Err(Conflict));
+        assert_eq!(changed, vec![a, b]);
+        assert_eq!(prunings, 2);
+    }
+
+    #[test]
+    fn context_remove_value_and_intersect() {
+        let mut domains = vec![Domain::new(0, 5)];
+        let mut changed = Vec::new();
+        let mut prunings = 0u64;
+        let mut ctx = PropagatorContext::new(&mut domains, &mut changed, &mut prunings);
+        let v = VarId::from_index(0);
+        assert_eq!(ctx.remove_value(v, 3), Ok(true));
+        assert_eq!(ctx.intersect(v, 2, 4), Ok(true));
+        assert_eq!(ctx.min(v), 2);
+        assert_eq!(ctx.max(v), 4);
+        assert!(!ctx.domain(v).contains(3));
+    }
+}

@@ -1,0 +1,174 @@
+//! Counting propagators.
+//!
+//! [`NValues`] constrains a variable `n` to equal the number of distinct
+//! values taken by an array of variables. It backs Colog's `UNIQUE<...>`
+//! aggregate, e.g. the wireless interface constraint
+//! `uniqueChannel(X,UNIQUE<C>) ... Count <= K` (rule `d3`/`c3` in Appendix
+//! A.2 of the paper).
+
+use std::collections::BTreeSet;
+
+use crate::model::VarId;
+use crate::propagator::{Conflict, PropStatus, Propagator, PropagatorContext};
+
+/// `n == |{ x_1, ..., x_k }|` (number of distinct values).
+#[derive(Debug, Clone)]
+pub struct NValues {
+    pub n: VarId,
+    pub xs: Vec<VarId>,
+}
+
+impl NValues {
+    pub fn new(n: VarId, xs: Vec<VarId>) -> Self {
+        assert!(!xs.is_empty());
+        NValues { n, xs }
+    }
+}
+
+impl Propagator for NValues {
+    fn name(&self) -> &'static str {
+        "n_values"
+    }
+
+    fn dependencies(&self) -> Vec<VarId> {
+        let mut v = self.xs.clone();
+        v.push(self.n);
+        v
+    }
+
+    fn prune(&self, ctx: &mut PropagatorContext<'_>) -> Result<PropStatus, Conflict> {
+        // Lower bound: number of distinct values among the already-fixed
+        // variables. Upper bound: distinct fixed values plus the number of
+        // unfixed variables (each could introduce a fresh value), capped by
+        // the total number of variables.
+        let mut fixed_values: BTreeSet<i64> = BTreeSet::new();
+        let mut unfixed = 0usize;
+        for &x in &self.xs {
+            match ctx.fixed_value(x) {
+                Some(v) => {
+                    fixed_values.insert(v);
+                }
+                None => unfixed += 1,
+            }
+        }
+        let lower = fixed_values.len() as i64;
+        let upper = (fixed_values.len() + unfixed).min(self.xs.len()) as i64;
+        ctx.intersect(self.n, 1.max(lower.min(1).max(lower)), upper)?;
+        ctx.set_min(self.n, lower.max(1))?;
+        ctx.set_max(self.n, upper)?;
+
+        // If n is forced to its lower bound and every value is already
+        // represented, the unfixed variables may only take existing values.
+        if unfixed > 0 && ctx.max(self.n) == lower && lower > 0 {
+            for &x in &self.xs {
+                if ctx.fixed_value(x).is_none() {
+                    // Restrict x to the interval hull of the fixed values;
+                    // remove any value in its domain not among fixed_values.
+                    let to_remove: Vec<i64> = ctx
+                        .domain(x)
+                        .iter()
+                        .filter(|v| !fixed_values.contains(v))
+                        .collect();
+                    for v in to_remove {
+                        ctx.remove_value(x, v)?;
+                    }
+                }
+            }
+        }
+        if unfixed == 0 {
+            ctx.assign(self.n, lower)?;
+            return Ok(PropStatus::Entailed);
+        }
+        Ok(PropStatus::Active)
+    }
+
+    fn check(&self, values: &dyn Fn(VarId) -> i64) -> bool {
+        let distinct: BTreeSet<i64> = self.xs.iter().map(|&x| values(x)).collect();
+        values(self.n) == distinct.len() as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Model, SearchConfig};
+
+    #[test]
+    fn nvalues_all_fixed() {
+        let mut m = Model::new();
+        let a = m.new_var(2, 2);
+        let b = m.new_var(2, 2);
+        let c = m.new_var(5, 5);
+        let n = m.new_var(0, 10);
+        m.post(NValues::new(n, vec![a, b, c]));
+        m.propagate_root().unwrap();
+        assert_eq!(m.domain(n).fixed_value(), Some(2));
+    }
+
+    #[test]
+    fn nvalues_bounds_partial() {
+        let mut m = Model::new();
+        let a = m.new_var(1, 1);
+        let b = m.new_var(4, 4);
+        let c = m.new_var(0, 9);
+        let n = m.new_var(1, 10);
+        m.post(NValues::new(n, vec![a, b, c]));
+        m.propagate_root().unwrap();
+        assert_eq!(m.domain(n).min(), 2);
+        assert_eq!(m.domain(n).max(), 3);
+    }
+
+    #[test]
+    fn nvalues_upper_bound_forces_reuse() {
+        // Two channels already used; limiting distinct count to 2 forces the
+        // third link onto one of them (interface constraint in the paper).
+        let mut m = Model::new();
+        let a = m.new_var(1, 1);
+        let b = m.new_var(4, 4);
+        let c = m.new_var(0, 9);
+        let n = m.new_var(1, 2);
+        m.post(NValues::new(n, vec![a, b, c]));
+        m.propagate_root().unwrap();
+        let allowed: Vec<i64> = m.domain(c).iter().collect();
+        assert_eq!(allowed, vec![1, 4]);
+    }
+
+    #[test]
+    fn nvalues_search_respects_limit() {
+        let mut m = Model::new();
+        let xs: Vec<_> = (0..4).map(|_| m.new_var(0, 3)).collect();
+        let n = m.new_var(1, 2);
+        m.post(NValues::new(n, xs.clone()));
+        let out = m.solve_all(&SearchConfig { max_solutions: Some(500), ..Default::default() });
+        assert!(!out.solutions.is_empty());
+        for s in &out.solutions {
+            let distinct: std::collections::BTreeSet<i64> =
+                xs.iter().map(|&x| s.value(x)).collect();
+            assert!(distinct.len() <= 2);
+            assert_eq!(s.value(n) as usize, distinct.len());
+        }
+    }
+
+    #[test]
+    fn nvalues_check() {
+        let mut m = Model::new();
+        let a = m.new_var(0, 5);
+        let b = m.new_var(0, 5);
+        let n = m.new_var(0, 5);
+        let p = NValues::new(n, vec![a, b]);
+        let val = |want_a: i64, want_b: i64, want_n: i64| {
+            move |v: VarId| {
+                if v == a {
+                    want_a
+                } else if v == b {
+                    want_b
+                } else {
+                    want_n
+                }
+            }
+        };
+        assert!(p.check(&val(3, 3, 1)));
+        assert!(p.check(&val(3, 4, 2)));
+        assert!(!p.check(&val(3, 4, 1)));
+    }
+}

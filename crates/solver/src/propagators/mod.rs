@@ -1,0 +1,26 @@
+//! Built-in propagators.
+//!
+//! These cover every constraint shape the Colog→COP compilation produces
+//! (Sec. 5.3–5.4 of the paper):
+//!
+//! * [`linear`] — linear equalities/inequalities/disequalities over integer
+//!   variables, the workhorse for `SUM<...>` aggregates and arithmetic
+//!   selection expressions;
+//! * [`arith`] — products, squares and absolute values, used for
+//!   `C == V * Cpu`, the `SUMABS` aggregate and the scaled-variance lowering
+//!   of `STDEV`;
+//! * [`reified`] — boolean reification of linear constraints, used for
+//!   conditional expressions such as `(V==1) == (C==1)` and the interference
+//!   cost `(C==1) == (|C1-C2| < F_mindiff)`;
+//! * [`counting`] — the number-of-distinct-values constraint backing the
+//!   `UNIQUE<...>` aggregate (wireless interface constraint).
+
+pub mod arith;
+pub mod counting;
+pub mod linear;
+pub mod reified;
+
+pub use arith::{AbsVal, MaxOfArray, MinOfArray, MulVar, Square};
+pub use counting::NValues;
+pub use linear::{LinearEq, LinearLe, LinearNe};
+pub use reified::{ReifLinearEq, ReifLinearLe};

@@ -1,0 +1,98 @@
+//! Search statistics.
+//!
+//! The paper reports per-COP solving time, convergence behaviour and the
+//! effect of `SOLVER_MAX_TIME`; these counters are the raw material for the
+//! corresponding rows in `EXPERIMENTS.md`.
+
+use std::time::Duration;
+
+/// Counters accumulated during a search.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Number of search-tree nodes explored.
+    pub nodes: u64,
+    /// Number of failed (inconsistent) nodes.
+    pub fails: u64,
+    /// Number of propagator executions.
+    pub propagations: u64,
+    /// Number of individual domain prunings.
+    pub prunings: u64,
+    /// Number of solutions found.
+    pub solutions: u64,
+    /// Maximum depth reached in the search tree.
+    pub max_depth: u64,
+    /// Wall-clock time spent searching, in microseconds.
+    pub elapsed_micros: u64,
+    /// True if the search stopped because of a limit (time, fails, solutions)
+    /// rather than exhausting the tree.
+    pub limit_reached: bool,
+}
+
+impl SearchStats {
+    /// Wall-clock search time.
+    pub fn elapsed(&self) -> Duration {
+        Duration::from_micros(self.elapsed_micros)
+    }
+
+    /// Merge another stats record into this one (used when a distributed
+    /// execution runs many local COPs and we want aggregate totals).
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.nodes += other.nodes;
+        self.fails += other.fails;
+        self.propagations += other.propagations;
+        self.prunings += other.prunings;
+        self.solutions += other.solutions;
+        self.max_depth = self.max_depth.max(other.max_depth);
+        self.elapsed_micros += other.elapsed_micros;
+        self.limit_reached |= other.limit_reached;
+    }
+}
+
+impl std::fmt::Display for SearchStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "nodes={} fails={} props={} prunings={} solutions={} depth={} time={:?}{}",
+            self.nodes,
+            self.fails,
+            self.propagations,
+            self.prunings,
+            self.solutions,
+            self.max_depth,
+            self.elapsed(),
+            if self.limit_reached { " (limit)" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = SearchStats { nodes: 10, fails: 2, max_depth: 5, ..Default::default() };
+        let b = SearchStats {
+            nodes: 7,
+            fails: 1,
+            max_depth: 9,
+            limit_reached: true,
+            elapsed_micros: 1500,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.nodes, 17);
+        assert_eq!(a.fails, 3);
+        assert_eq!(a.max_depth, 9);
+        assert!(a.limit_reached);
+        assert_eq!(a.elapsed(), Duration::from_micros(1500));
+    }
+
+    #[test]
+    fn display_mentions_limits() {
+        let s = SearchStats { limit_reached: true, ..Default::default() };
+        assert!(s.to_string().contains("limit"));
+        let s2 = SearchStats::default();
+        assert!(!s2.to_string().contains("limit"));
+    }
+}

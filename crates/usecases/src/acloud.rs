@@ -1,0 +1,717 @@
+//! Use case #1: ACloud — adaptive cloud load balancing (Sec. 3.1.1, 4.2, 6.2).
+//!
+//! The paper drives the centralized ACloud Colog program with a data-center
+//! trace from a large hosting company (248 customers, 1740 processors, one
+//! month, 300-second samples) replayed over a hypothetical deployment of 15
+//! hosts in 3 data centers with ~1000 VMs. That trace is proprietary, so this
+//! module generates a synthetic workload with the same structure: customers
+//! with diurnal activity patterns mapped onto pre-allocated VMs, a CPU
+//! high/low threshold driving VM spawn/stop, and 10-minute re-optimization
+//! intervals. Four policies are compared, as in Fig. 2 / Fig. 3:
+//!
+//! * **Default** — VMs stay where they were initially placed.
+//! * **Heuristic** — move VMs from the most-loaded to the least-loaded host
+//!   until the max/min load ratio drops below `K` (1.05 in the paper).
+//! * **ACloud** — the Colog COP of Sec. 4.2 executed per data center.
+//! * **ACloud (M)** — the same COP with the migration-limiting rules
+//!   `d5`/`d6`/`c3` (at most `max_migrates` migrations per data center).
+
+use std::collections::BTreeMap;
+
+use cologne::datalog::{NodeId, Value};
+use cologne::{CologneInstance, ProgramParams, VarDomain};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::programs::{acloud_with_migration_limit, ACLOUD_CENTRALIZED};
+
+/// The four placement policies of Fig. 2 / Fig. 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AcloudPolicy {
+    /// No migration after the initial random placement.
+    Default,
+    /// Threshold-based most-to-least-loaded migration (ratio K).
+    Heuristic,
+    /// The Colog COP (Sec. 4.2).
+    ACloud,
+    /// The Colog COP with a per-data-center migration limit.
+    ACloudM,
+}
+
+impl AcloudPolicy {
+    /// All policies, in the order plotted by the paper.
+    pub fn all() -> [AcloudPolicy; 4] {
+        [AcloudPolicy::Default, AcloudPolicy::Heuristic, AcloudPolicy::ACloud, AcloudPolicy::ACloudM]
+    }
+
+    /// Display name matching the paper's legend.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AcloudPolicy::Default => "Default",
+            AcloudPolicy::Heuristic => "Heuristic",
+            AcloudPolicy::ACloud => "ACloud",
+            AcloudPolicy::ACloudM => "ACloud (M)",
+        }
+    }
+}
+
+/// Configuration of the ACloud experiment.
+#[derive(Debug, Clone)]
+pub struct AcloudConfig {
+    /// Number of data centers (paper: 3).
+    pub data_centers: usize,
+    /// Compute hosts per data center (paper: 5 hosts of which 4 hold VMs).
+    pub hosts_per_dc: usize,
+    /// Pre-allocated (migratable) VMs per host (paper: 80).
+    pub vms_per_host: usize,
+    /// Number of customers driving the diurnal load (paper trace: 248).
+    pub customers: usize,
+    /// CPU utilisation (%) above which a VM is considered for migration
+    /// (paper: 20%).
+    pub cpu_threshold: f64,
+    /// Probability that a customer is in its busy phase at peak time.
+    pub peak_activity: f64,
+    /// Re-optimization interval in seconds (paper: 600).
+    pub interval_secs: u64,
+    /// Experiment duration in hours (paper: 4).
+    pub duration_hours: f64,
+    /// Host physical memory in GB (paper: 32).
+    pub host_mem_gb: i64,
+    /// Memory footprint per VM in GB.
+    pub vm_mem_gb: i64,
+    /// Heuristic imbalance ratio threshold K (paper: 1.05).
+    pub heuristic_k: f64,
+    /// Migration cap per data center per interval for ACloud (M) (paper: 3).
+    pub max_migrations_per_dc: i64,
+    /// Branch-and-bound node budget per COP execution (stands in for the
+    /// paper's 10-second `SOLVER_MAX_TIME` in a deterministic way).
+    pub solver_node_limit: u64,
+    /// RNG seed for the synthetic trace.
+    pub seed: u64,
+}
+
+impl Default for AcloudConfig {
+    fn default() -> Self {
+        AcloudConfig {
+            data_centers: 3,
+            hosts_per_dc: 4,
+            vms_per_host: 80,
+            customers: 248,
+            cpu_threshold: 20.0,
+            peak_activity: 0.06,
+            interval_secs: 600,
+            duration_hours: 4.0,
+            host_mem_gb: 32,
+            vm_mem_gb: 1,
+            heuristic_k: 1.05,
+            max_migrations_per_dc: 3,
+            solver_node_limit: 100_000,
+            seed: 7,
+        }
+    }
+}
+
+impl AcloudConfig {
+    /// A deliberately tiny configuration for unit tests and doc examples.
+    pub fn tiny() -> Self {
+        AcloudConfig {
+            data_centers: 1,
+            hosts_per_dc: 3,
+            vms_per_host: 6,
+            customers: 6,
+            peak_activity: 0.35,
+            duration_hours: 0.5,
+            solver_node_limit: 20_000,
+            ..Default::default()
+        }
+    }
+
+    /// Total number of VMs in the deployment.
+    pub fn total_vms(&self) -> usize {
+        self.data_centers * self.hosts_per_dc * self.vms_per_host
+    }
+
+    /// Number of optimization intervals in the experiment.
+    pub fn intervals(&self) -> usize {
+        ((self.duration_hours * 3600.0) / self.interval_secs as f64).round() as usize
+    }
+}
+
+/// One virtual machine of the synthetic deployment.
+#[derive(Debug, Clone)]
+pub struct Vm {
+    /// Unique id.
+    pub id: i64,
+    /// Data center index.
+    pub dc: usize,
+    /// Owning customer (drives the diurnal load pattern).
+    pub customer: usize,
+    /// Memory footprint in GB.
+    pub mem_gb: i64,
+    /// Current CPU utilisation in percent.
+    pub cpu: f64,
+    /// Whether the VM is currently powered on.
+    pub powered_on: bool,
+}
+
+/// The synthetic trace: per-interval CPU utilisation for every VM, plus the
+/// spawn/stop dynamics described in Sec. 6.2.
+pub struct TraceGenerator {
+    config: AcloudConfig,
+    rng: StdRng,
+    /// Per-customer phase offset of the diurnal pattern.
+    customer_phase: Vec<f64>,
+    /// Per-customer activity multiplier.
+    customer_scale: Vec<f64>,
+}
+
+impl TraceGenerator {
+    /// Create a generator for the given configuration.
+    pub fn new(config: &AcloudConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let customer_phase = (0..config.customers).map(|_| rng.gen_range(0.0..24.0)).collect();
+        let customer_scale = (0..config.customers).map(|_| rng.gen_range(0.5..1.5)).collect();
+        TraceGenerator { config: config.clone(), rng, customer_phase, customer_scale }
+    }
+
+    /// Build the initial VM population (powered on, idle).
+    pub fn initial_vms(&mut self) -> Vec<Vm> {
+        let mut vms = Vec::with_capacity(self.config.total_vms());
+        let mut id = 0i64;
+        for dc in 0..self.config.data_centers {
+            for _host in 0..self.config.hosts_per_dc {
+                for _ in 0..self.config.vms_per_host {
+                    let customer = self.rng.gen_range(0..self.config.customers);
+                    vms.push(Vm {
+                        id,
+                        dc,
+                        customer,
+                        mem_gb: self.config.vm_mem_gb,
+                        cpu: self.rng.gen_range(1.0..8.0),
+                        powered_on: true,
+                    });
+                    id += 1;
+                }
+            }
+        }
+        vms
+    }
+
+    /// Probability that a customer is busy at `hour` (diurnal curve).
+    fn busy_probability(&self, customer: usize, hour: f64) -> f64 {
+        let phase = self.customer_phase[customer];
+        let scale = self.customer_scale[customer];
+        let diurnal = 0.5 + 0.5 * ((hour - phase) / 24.0 * std::f64::consts::TAU).sin();
+        (self.config.peak_activity * scale * (0.3 + 0.7 * diurnal)).clamp(0.0, 1.0)
+    }
+
+    /// Advance the trace by one interval, updating every VM's CPU and the
+    /// power state (spawn/stop) according to the high/low thresholds.
+    pub fn step(&mut self, vms: &mut [Vm], interval_index: usize) {
+        let hour = interval_index as f64 * self.config.interval_secs as f64 / 3600.0;
+        for vm in vms.iter_mut() {
+            let p = self.busy_probability(vm.customer, hour);
+            let busy = self.rng.gen_bool(p);
+            vm.cpu = if busy {
+                self.rng.gen_range(30.0..95.0)
+            } else {
+                self.rng.gen_range(1.0..12.0)
+            };
+            // Sec. 6.2: VMs whose customer's demand drops very low are powered
+            // off; they may be powered back on when demand returns.
+            if vm.cpu < 3.0 && vm.powered_on && self.rng.gen_bool(0.05) {
+                vm.powered_on = false;
+            } else if !vm.powered_on && busy {
+                vm.powered_on = true;
+            }
+            if !vm.powered_on {
+                vm.cpu = 0.0;
+            }
+        }
+    }
+}
+
+/// Placement of VMs onto hosts, for one policy.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// vm id -> global host id.
+    map: BTreeMap<i64, i64>,
+}
+
+impl Placement {
+    /// Random initial placement (each VM on a host of its data center).
+    pub fn initial(config: &AcloudConfig, vms: &[Vm], seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut map = BTreeMap::new();
+        for vm in vms {
+            let host_in_dc = rng.gen_range(0..config.hosts_per_dc);
+            map.insert(vm.id, host_id(config, vm.dc, host_in_dc));
+        }
+        Placement { map }
+    }
+
+    /// Host currently running `vm`.
+    pub fn host_of(&self, vm: i64) -> i64 {
+        self.map[&vm]
+    }
+
+    /// Move a VM to another host. Returns true if the placement changed.
+    pub fn migrate(&mut self, vm: i64, host: i64) -> bool {
+        self.map.insert(vm, host) != Some(host)
+    }
+}
+
+/// Global host id for `(dc, host_in_dc)`.
+pub fn host_id(config: &AcloudConfig, dc: usize, host_in_dc: usize) -> i64 {
+    (dc * config.hosts_per_dc + host_in_dc) as i64
+}
+
+/// All host ids of one data center.
+pub fn dc_hosts(config: &AcloudConfig, dc: usize) -> Vec<i64> {
+    (0..config.hosts_per_dc).map(|h| host_id(config, dc, h)).collect()
+}
+
+/// Per-host CPU load implied by a placement.
+pub fn host_loads(config: &AcloudConfig, vms: &[Vm], placement: &Placement) -> BTreeMap<i64, f64> {
+    let mut loads: BTreeMap<i64, f64> = BTreeMap::new();
+    for dc in 0..config.data_centers {
+        for h in dc_hosts(config, dc) {
+            loads.insert(h, 0.0);
+        }
+    }
+    for vm in vms {
+        if vm.powered_on {
+            *loads.entry(placement.host_of(vm.id)).or_insert(0.0) += vm.cpu;
+        }
+    }
+    loads
+}
+
+/// Population standard deviation of host CPU loads within one data center.
+pub fn dc_cpu_stdev(config: &AcloudConfig, dc: usize, loads: &BTreeMap<i64, f64>) -> f64 {
+    let values: Vec<f64> = dc_hosts(config, dc).iter().map(|h| loads[h]).collect();
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+    var.sqrt()
+}
+
+/// Average of [`dc_cpu_stdev`] across all data centers (Fig. 2's y-axis).
+pub fn average_cpu_stdev(config: &AcloudConfig, vms: &[Vm], placement: &Placement) -> f64 {
+    let loads = host_loads(config, vms, placement);
+    let total: f64 =
+        (0..config.data_centers).map(|dc| dc_cpu_stdev(config, dc, &loads)).sum();
+    total / config.data_centers as f64
+}
+
+/// The Cologne-backed ACloud controller for one data center: one
+/// [`CologneInstance`] whose tables are refreshed incrementally every
+/// interval.
+pub struct AcloudController {
+    instance: CologneInstance,
+    limited: bool,
+}
+
+impl AcloudController {
+    /// Create the controller for one data center.
+    pub fn new(config: &AcloudConfig, dc: usize, limited: bool) -> Self {
+        let source = if limited {
+            acloud_with_migration_limit()
+        } else {
+            ACLOUD_CENTRALIZED.to_string()
+        };
+        let mut params = ProgramParams::new()
+            .with_var_domain("assign", VarDomain::BOOL)
+            .with_solver_node_limit(Some(config.solver_node_limit))
+            .with_solver_max_time(Some(std::time::Duration::from_secs(10)));
+        if limited {
+            params = params.with_constant("max_migrates", config.max_migrations_per_dc);
+        }
+        let instance = CologneInstance::new(NodeId(dc as u32), &source, params)
+            .expect("ACloud program compiles");
+        AcloudController { instance, limited }
+    }
+
+    /// Access the underlying Cologne instance (for statistics).
+    pub fn instance(&self) -> &CologneInstance {
+        &self.instance
+    }
+
+    /// Run one optimization round for this data center. `hot` is the set of
+    /// migratable VMs (CPU above threshold); `background` the per-host load
+    /// from the remaining VMs. Returns the new host for each hot VM.
+    pub fn optimize(
+        &mut self,
+        config: &AcloudConfig,
+        dc: usize,
+        hot: &[&Vm],
+        background: &BTreeMap<i64, f64>,
+        placement: &Placement,
+    ) -> BTreeMap<i64, i64> {
+        // Refresh the monitored tables (incremental deltas inside the engine).
+        let vm_rows: Vec<Vec<Value>> = hot
+            .iter()
+            .map(|vm| {
+                vec![Value::Int(vm.id), Value::Int(vm.cpu.round() as i64), Value::Int(vm.mem_gb)]
+            })
+            .collect();
+        self.instance.set_table("vm", vm_rows);
+        let hosts = dc_hosts(config, dc);
+        let host_rows: Vec<Vec<Value>> = hosts
+            .iter()
+            .map(|h| {
+                vec![
+                    Value::Int(*h),
+                    Value::Int(background.get(h).copied().unwrap_or(0.0).round() as i64),
+                    Value::Int(0),
+                ]
+            })
+            .collect();
+        self.instance.set_table("host", host_rows);
+        let mem_rows: Vec<Vec<Value>> = hosts
+            .iter()
+            .map(|h| vec![Value::Int(*h), Value::Int(config.host_mem_gb)])
+            .collect();
+        self.instance.set_table("hostMemThres", mem_rows);
+        if self.limited {
+            let origin_rows: Vec<Vec<Value>> = hot
+                .iter()
+                .map(|vm| vec![Value::Int(vm.id), Value::Int(placement.host_of(vm.id))])
+                .collect();
+            self.instance.set_table("origin", origin_rows);
+        }
+
+        let report = match self.instance.invoke_solver() {
+            Ok(r) => r,
+            Err(_) => return BTreeMap::new(),
+        };
+        if !report.feasible || report.trivial {
+            return BTreeMap::new();
+        }
+        let mut out = BTreeMap::new();
+        for row in report.table("assign") {
+            let (Some(vid), Some(hid), Some(v)) =
+                (row[0].as_int(), row[1].as_int(), row[2].as_int())
+            else {
+                continue;
+            };
+            if v == 1 {
+                out.insert(vid, hid);
+            }
+        }
+        out
+    }
+}
+
+/// Metrics for one interval of the experiment (one point of Fig. 2 / Fig. 3).
+#[derive(Debug, Clone)]
+pub struct IntervalMetrics {
+    /// Time since the start of the experiment, in hours.
+    pub time_hours: f64,
+    /// Average per-data-center CPU standard deviation, per policy (Fig. 2).
+    pub cpu_stdev: BTreeMap<AcloudPolicy, f64>,
+    /// Number of VM migrations performed in this interval, per policy (Fig. 3).
+    pub migrations: BTreeMap<AcloudPolicy, u64>,
+}
+
+/// Full result of the ACloud experiment.
+#[derive(Debug, Clone)]
+pub struct AcloudResults {
+    /// One entry per interval.
+    pub intervals: Vec<IntervalMetrics>,
+}
+
+impl AcloudResults {
+    /// Mean CPU standard deviation over the whole run, per policy.
+    pub fn mean_stdev(&self, policy: AcloudPolicy) -> f64 {
+        let values: Vec<f64> =
+            self.intervals.iter().filter_map(|i| i.cpu_stdev.get(&policy).copied()).collect();
+        if values.is_empty() {
+            return 0.0;
+        }
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+
+    /// Mean number of migrations per interval, per policy.
+    pub fn mean_migrations(&self, policy: AcloudPolicy) -> f64 {
+        let values: Vec<u64> =
+            self.intervals.iter().filter_map(|i| i.migrations.get(&policy).copied()).collect();
+        if values.is_empty() {
+            return 0.0;
+        }
+        values.iter().sum::<u64>() as f64 / values.len() as f64
+    }
+
+    /// Reduction of load imbalance achieved by `policy` relative to
+    /// `baseline` (the "98.1% / 87.8% reduction" numbers of Sec. 6.2).
+    pub fn imbalance_reduction(&self, policy: AcloudPolicy, baseline: AcloudPolicy) -> f64 {
+        let b = self.mean_stdev(baseline);
+        if b <= f64::EPSILON {
+            return 0.0;
+        }
+        (b - self.mean_stdev(policy)) / b
+    }
+}
+
+/// Apply the threshold heuristic: migrate hot VMs from the most loaded to the
+/// least loaded host until the max/min ratio is below `k`. Returns the number
+/// of migrations performed.
+pub fn heuristic_rebalance(
+    config: &AcloudConfig,
+    dc: usize,
+    vms: &[Vm],
+    placement: &mut Placement,
+    k: f64,
+) -> u64 {
+    let hosts = dc_hosts(config, dc);
+    let mut migrations = 0;
+    for _ in 0..(config.vms_per_host * config.hosts_per_dc) {
+        let loads = host_loads(config, vms, placement);
+        let (max_host, max_load) = hosts
+            .iter()
+            .map(|h| (*h, loads[h]))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        let (min_host, min_load) = hosts
+            .iter()
+            .map(|h| (*h, loads[h]))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        if min_load > 0.0 && max_load / min_load <= k {
+            break;
+        }
+        // pick the hottest migratable VM on the most loaded host
+        let candidate = vms
+            .iter()
+            .filter(|vm| {
+                vm.dc == dc
+                    && vm.powered_on
+                    && vm.cpu > config.cpu_threshold
+                    && placement.host_of(vm.id) == max_host
+            })
+            .max_by(|a, b| a.cpu.total_cmp(&b.cpu));
+        let Some(vm) = candidate else { break };
+        // only move if it actually improves the imbalance
+        if max_load - vm.cpu < min_load {
+            break;
+        }
+        placement.migrate(vm.id, min_host);
+        migrations += 1;
+    }
+    migrations
+}
+
+/// Run the full Fig. 2 / Fig. 3 experiment.
+pub fn run_acloud_experiment(config: &AcloudConfig) -> AcloudResults {
+    let mut tracegen = TraceGenerator::new(config);
+    let mut vms = tracegen.initial_vms();
+
+    let mut placements: BTreeMap<AcloudPolicy, Placement> = AcloudPolicy::all()
+        .into_iter()
+        .map(|p| (p, Placement::initial(config, &vms, config.seed + 1)))
+        .collect();
+    let mut controllers: BTreeMap<(AcloudPolicy, usize), AcloudController> = BTreeMap::new();
+    for dc in 0..config.data_centers {
+        controllers.insert((AcloudPolicy::ACloud, dc), AcloudController::new(config, dc, false));
+        controllers.insert((AcloudPolicy::ACloudM, dc), AcloudController::new(config, dc, true));
+    }
+
+    let mut intervals = Vec::with_capacity(config.intervals());
+    for interval in 0..config.intervals() {
+        tracegen.step(&mut vms, interval);
+        let mut cpu_stdev = BTreeMap::new();
+        let mut migrations = BTreeMap::new();
+
+        for policy in AcloudPolicy::all() {
+            let placement = placements.get_mut(&policy).expect("placement exists");
+            let mut moved = 0u64;
+            match policy {
+                AcloudPolicy::Default => {}
+                AcloudPolicy::Heuristic => {
+                    for dc in 0..config.data_centers {
+                        moved +=
+                            heuristic_rebalance(config, dc, &vms, placement, config.heuristic_k);
+                    }
+                }
+                AcloudPolicy::ACloud | AcloudPolicy::ACloudM => {
+                    for dc in 0..config.data_centers {
+                        let hot: Vec<&Vm> = vms
+                            .iter()
+                            .filter(|vm| {
+                                vm.dc == dc && vm.powered_on && vm.cpu > config.cpu_threshold
+                            })
+                            .collect();
+                        if hot.is_empty() {
+                            continue;
+                        }
+                        // background load: every other VM stays put
+                        let mut background: BTreeMap<i64, f64> = BTreeMap::new();
+                        for h in dc_hosts(config, dc) {
+                            background.insert(h, 0.0);
+                        }
+                        for vm in vms.iter().filter(|vm| {
+                            vm.dc == dc && vm.powered_on && vm.cpu <= config.cpu_threshold
+                        }) {
+                            *background.entry(placement.host_of(vm.id)).or_insert(0.0) += vm.cpu;
+                        }
+                        let controller = controllers
+                            .get_mut(&(policy, dc))
+                            .expect("controller exists");
+                        let new_hosts =
+                            controller.optimize(config, dc, &hot, &background, placement);
+                        for (vid, hid) in new_hosts {
+                            if placement.host_of(vid) != hid {
+                                placement.migrate(vid, hid);
+                                moved += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            cpu_stdev.insert(policy, average_cpu_stdev(config, &vms, placement));
+            migrations.insert(policy, moved);
+        }
+
+        intervals.push(IntervalMetrics {
+            time_hours: (interval as f64 + 1.0) * config.interval_secs as f64 / 3600.0,
+            cpu_stdev,
+            migrations,
+        });
+    }
+    AcloudResults { intervals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_generator_produces_plausible_loads() {
+        let config = AcloudConfig::tiny();
+        let mut g = TraceGenerator::new(&config);
+        let mut vms = g.initial_vms();
+        assert_eq!(vms.len(), config.total_vms());
+        g.step(&mut vms, 0);
+        assert!(vms.iter().all(|vm| (0.0..=100.0).contains(&vm.cpu)));
+        // determinism: same seed, same trace
+        let mut g2 = TraceGenerator::new(&config);
+        let mut vms2 = g2.initial_vms();
+        g2.step(&mut vms2, 0);
+        let cpus: Vec<i64> = vms.iter().map(|v| v.cpu.round() as i64).collect();
+        let cpus2: Vec<i64> = vms2.iter().map(|v| v.cpu.round() as i64).collect();
+        assert_eq!(cpus, cpus2);
+    }
+
+    #[test]
+    fn placement_and_metrics_helpers() {
+        let config = AcloudConfig::tiny();
+        let mut g = TraceGenerator::new(&config);
+        let vms = g.initial_vms();
+        let placement = Placement::initial(&config, &vms, 1);
+        let loads = host_loads(&config, &vms, &placement);
+        assert_eq!(loads.len(), config.data_centers * config.hosts_per_dc);
+        let stdev = average_cpu_stdev(&config, &vms, &placement);
+        assert!(stdev >= 0.0);
+        let total: f64 = loads.values().sum();
+        let cpu_sum: f64 = vms.iter().filter(|v| v.powered_on).map(|v| v.cpu).sum();
+        assert!((total - cpu_sum).abs() < 1e-6);
+    }
+
+    #[test]
+    fn heuristic_reduces_imbalance() {
+        let config = AcloudConfig::tiny();
+        // construct a deliberately imbalanced scenario: all hot VMs on host 0
+        let vms: Vec<Vm> = (0..4)
+            .map(|i| Vm {
+                id: i,
+                dc: 0,
+                customer: 0,
+                mem_gb: 1,
+                cpu: 60.0,
+                powered_on: true,
+            })
+            .collect();
+        let mut placement = Placement::initial(&config, &vms, 3);
+        for vm in &vms {
+            placement.migrate(vm.id, host_id(&config, 0, 0));
+        }
+        let before = average_cpu_stdev(&config, &vms, &placement);
+        let moved = heuristic_rebalance(&config, 0, &vms, &mut placement, config.heuristic_k);
+        let after = average_cpu_stdev(&config, &vms, &placement);
+        assert!(moved > 0);
+        assert!(after < before, "heuristic must reduce imbalance: {before} -> {after}");
+    }
+
+    #[test]
+    fn acloud_controller_balances_better_than_default() {
+        let config = AcloudConfig::tiny();
+        let vms: Vec<Vm> = (0..5)
+            .map(|i| Vm {
+                id: i,
+                dc: 0,
+                customer: 0,
+                mem_gb: 1,
+                cpu: 40.0 + 5.0 * i as f64,
+                powered_on: true,
+            })
+            .collect();
+        let mut placement = Placement::initial(&config, &vms, 3);
+        for vm in &vms {
+            placement.migrate(vm.id, host_id(&config, 0, 0));
+        }
+        let before = average_cpu_stdev(&config, &vms, &placement);
+        let hot: Vec<&Vm> = vms.iter().collect();
+        let background: BTreeMap<i64, f64> =
+            dc_hosts(&config, 0).into_iter().map(|h| (h, 0.0)).collect();
+        let mut controller = AcloudController::new(&config, 0, false);
+        let new_hosts = controller.optimize(&config, 0, &hot, &background, &placement);
+        assert_eq!(new_hosts.len(), vms.len(), "every hot VM gets a host");
+        for (vid, hid) in new_hosts {
+            placement.migrate(vid, hid);
+        }
+        let after = average_cpu_stdev(&config, &vms, &placement);
+        assert!(after < before, "COP must reduce imbalance: {before} -> {after}");
+        assert!(controller.instance().solver_invocations() == 1);
+    }
+
+    #[test]
+    fn migration_limit_is_respected() {
+        let config = AcloudConfig { max_migrations_per_dc: 1, ..AcloudConfig::tiny() };
+        let vms: Vec<Vm> = (0..4)
+            .map(|i| Vm { id: i, dc: 0, customer: 0, mem_gb: 1, cpu: 50.0, powered_on: true })
+            .collect();
+        let mut placement = Placement::initial(&config, &vms, 3);
+        for vm in &vms {
+            placement.migrate(vm.id, host_id(&config, 0, 0));
+        }
+        let hot: Vec<&Vm> = vms.iter().collect();
+        let background: BTreeMap<i64, f64> =
+            dc_hosts(&config, 0).into_iter().map(|h| (h, 0.0)).collect();
+        let mut controller = AcloudController::new(&config, 0, true);
+        let new_hosts = controller.optimize(&config, 0, &hot, &background, &placement);
+        let moved = new_hosts
+            .iter()
+            .filter(|(vid, hid)| placement.host_of(**vid) != **hid)
+            .count();
+        assert!(moved <= 1, "at most one migration allowed, got {moved}");
+    }
+
+    #[test]
+    fn experiment_runs_and_orders_policies() {
+        let config = AcloudConfig {
+            duration_hours: 0.5,
+            ..AcloudConfig::tiny()
+        };
+        let results = run_acloud_experiment(&config);
+        assert_eq!(results.intervals.len(), config.intervals());
+        // The COP-driven policy should not be worse than doing nothing.
+        let acloud = results.mean_stdev(AcloudPolicy::ACloud);
+        let default = results.mean_stdev(AcloudPolicy::Default);
+        assert!(
+            acloud <= default + 1e-9,
+            "ACloud ({acloud:.2}) must not exceed Default ({default:.2})"
+        );
+        // migrations are only reported for migrating policies
+        assert_eq!(results.mean_migrations(AcloudPolicy::Default), 0.0);
+        assert!(results.imbalance_reduction(AcloudPolicy::ACloud, AcloudPolicy::Default) >= 0.0);
+    }
+}

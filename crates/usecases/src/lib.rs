@@ -1,0 +1,30 @@
+//! # cologne-usecases
+//!
+//! The three use cases evaluated by the Cologne paper (Liu et al., VLDB
+//! 2012), implemented on top of the `cologne` runtime, together with their
+//! workload generators, the baselines they are compared against, and the
+//! experiment harnesses that regenerate every table and figure of Sec. 6:
+//!
+//! * [`acloud`] — adaptive cloud load balancing (Fig. 2, Fig. 3) with the
+//!   Default and Heuristic baselines and the ACloud / ACloud (M) Colog
+//!   policies, driven by a synthetic data-center trace;
+//! * [`followsun`] — inter-data-center VM migration (Fig. 4, Fig. 5) with
+//!   the distributed per-link negotiation protocol of Sec. 4.3 running over
+//!   the simulated network;
+//! * [`wireless`] — wireless channel selection (Fig. 6, Fig. 7) with
+//!   centralized, distributed and cross-layer protocols plus the
+//!   Identical-Ch and 1-Interface baselines, evaluated on an
+//!   interference-model grid simulator;
+//! * [`programs`] — the Colog program listings themselves;
+//! * [`table2`] — the code-compactness comparison (Table 2).
+
+pub mod acloud;
+pub mod followsun;
+pub mod programs;
+pub mod table2;
+pub mod wireless;
+
+pub use acloud::{run_acloud_experiment, AcloudConfig, AcloudPolicy, AcloudResults};
+pub use followsun::{run_followsun, run_followsun_sweep, FollowSunConfig, FollowSunOutcome};
+pub use table2::{compactness_table, render_table, CompactnessRow};
+pub use wireless::{run_fig6, run_fig7, WirelessConfig, WirelessPolicy, WirelessProtocol};

@@ -1,0 +1,55 @@
+//! ACloud scenario: run the trace-driven load-balancing experiment of
+//! Sec. 6.2 at a reduced scale and compare the four policies (Default,
+//! Heuristic, ACloud, ACloud (M)).
+//!
+//! ```text
+//! cargo run --release -p cologne-bench --example acloud_load_balancing
+//! ```
+
+use cologne_usecases::{run_acloud_experiment, AcloudConfig, AcloudPolicy};
+
+fn main() {
+    let config = AcloudConfig {
+        data_centers: 2,
+        hosts_per_dc: 4,
+        vms_per_host: 20,
+        customers: 40,
+        duration_hours: 1.0,
+        solver_node_limit: 30_000,
+        ..AcloudConfig::default()
+    };
+    println!(
+        "ACloud experiment: {} data centers, {} hosts each, {} VMs total, {} intervals",
+        config.data_centers,
+        config.hosts_per_dc,
+        config.total_vms(),
+        config.intervals()
+    );
+
+    let results = run_acloud_experiment(&config);
+    println!("\n{:<10} {:>12} {:>12} {:>12} {:>12}", "time (h)", "Default", "Heuristic", "ACloud", "ACloud (M)");
+    for interval in &results.intervals {
+        println!(
+            "{:<10.2} {:>12.1} {:>12.1} {:>12.1} {:>12.1}",
+            interval.time_hours,
+            interval.cpu_stdev[&AcloudPolicy::Default],
+            interval.cpu_stdev[&AcloudPolicy::Heuristic],
+            interval.cpu_stdev[&AcloudPolicy::ACloud],
+            interval.cpu_stdev[&AcloudPolicy::ACloudM],
+        );
+    }
+
+    println!("\nsummary (average CPU standard deviation, %):");
+    for policy in AcloudPolicy::all() {
+        println!(
+            "  {:<12} stdev {:>7.2}   migrations/interval {:>5.1}",
+            policy.name(),
+            results.mean_stdev(policy),
+            results.mean_migrations(policy)
+        );
+    }
+    println!(
+        "\nACloud reduces load imbalance by {:.1}% vs Default",
+        100.0 * results.imbalance_reduction(AcloudPolicy::ACloud, AcloudPolicy::Default)
+    );
+}

@@ -1,0 +1,126 @@
+//! Integration test: the ACloud pipeline end-to-end — Colog source → parser →
+//! analysis → runtime grounding → branch-and-bound → materialized placement →
+//! experiment metrics — spanning `cologne-colog`, `cologne-datalog`,
+//! `cologne-solver`, `cologne-core` and `cologne-usecases`.
+
+use cologne::datalog::{NodeId, Value};
+use cologne::{CologneInstance, ProgramParams, VarDomain};
+use cologne_usecases::programs::{acloud_with_migration_limit, ACLOUD_CENTRALIZED};
+use cologne_usecases::{run_acloud_experiment, AcloudConfig, AcloudPolicy};
+
+fn instance_with(source: &str, params: ProgramParams) -> CologneInstance {
+    CologneInstance::new(NodeId(0), source, params).expect("program compiles")
+}
+
+fn feed_snapshot(inst: &mut CologneInstance, vms: &[(i64, i64, i64)], hosts: &[i64], mem: i64) {
+    for &(vid, cpu, m) in vms {
+        inst.insert_fact("vm", vec![Value::Int(vid), Value::Int(cpu), Value::Int(m)]);
+    }
+    for &hid in hosts {
+        inst.insert_fact("host", vec![Value::Int(hid), Value::Int(0), Value::Int(0)]);
+        inst.insert_fact("hostMemThres", vec![Value::Int(hid), Value::Int(mem)]);
+    }
+}
+
+#[test]
+fn acloud_end_to_end_balances_and_respects_memory() {
+    let params = ProgramParams::new().with_var_domain("assign", VarDomain::BOOL);
+    let mut inst = instance_with(ACLOUD_CENTRALIZED, params);
+    let vms = [(1, 60, 2), (2, 50, 2), (3, 40, 2), (4, 30, 2)];
+    feed_snapshot(&mut inst, &vms, &[10, 11], 4);
+    let report = inst.invoke_solver().expect("solve succeeds");
+    assert!(report.feasible);
+
+    // each VM exactly once, each host at most 2 VMs (4 GB / 2 GB)
+    let assign = report.table("assign");
+    let mut per_host_mem = std::collections::BTreeMap::new();
+    let mut per_host_cpu = std::collections::BTreeMap::new();
+    for row in assign {
+        if row[2].as_int() == Some(1) {
+            let hid = row[1].as_int().unwrap();
+            *per_host_mem.entry(hid).or_insert(0) += 2;
+            let vid = row[0].as_int().unwrap();
+            let cpu = vms.iter().find(|(v, _, _)| *v == vid).unwrap().1;
+            *per_host_cpu.entry(hid).or_insert(0) += cpu;
+        }
+    }
+    for (&hid, &mem) in &per_host_mem {
+        assert!(mem <= 4, "host {hid} exceeds memory: {mem}");
+    }
+    // balanced optimum: 90 / 90 CPU
+    let loads: Vec<i64> = per_host_cpu.values().copied().collect();
+    assert_eq!(loads.iter().sum::<i64>(), 180);
+    assert_eq!(loads[0], 90, "optimal split is 90/90, got {loads:?}");
+}
+
+#[test]
+fn acloud_migration_limit_enforced_end_to_end() {
+    let params = ProgramParams::new()
+        .with_var_domain("assign", VarDomain::BOOL)
+        .with_constant("max_migrates", 1);
+    let mut inst = instance_with(&acloud_with_migration_limit(), params);
+    let vms = [(1, 60, 1), (2, 50, 1), (3, 40, 1), (4, 30, 1)];
+    feed_snapshot(&mut inst, &vms, &[10, 11], 16);
+    // everything currently on host 10
+    for &(vid, _, _) in &vms {
+        inst.insert_fact("origin", vec![Value::Int(vid), Value::Int(10)]);
+    }
+    let report = inst.invoke_solver().expect("solve succeeds");
+    assert!(report.feasible);
+    let moved = report
+        .table("assign")
+        .iter()
+        .filter(|row| row[2].as_int() == Some(1) && row[1].as_int() != Some(10))
+        .count();
+    assert!(moved <= 1, "migration limit violated: {moved} moves");
+}
+
+#[test]
+fn acloud_reoptimizes_incrementally_as_load_changes() {
+    let params = ProgramParams::new().with_var_domain("assign", VarDomain::BOOL);
+    let mut inst = instance_with(ACLOUD_CENTRALIZED, params);
+    feed_snapshot(&mut inst, &[(1, 80, 1), (2, 20, 1)], &[10, 11], 8);
+    let first = inst.invoke_solver().expect("first solve");
+    assert!(first.feasible);
+    // VM 2's load spikes; the monitoring layer refreshes the vm table
+    inst.set_table(
+        "vm",
+        vec![
+            vec![Value::Int(1), Value::Int(80), Value::Int(1)],
+            vec![Value::Int(2), Value::Int(85), Value::Int(1)],
+            vec![Value::Int(3), Value::Int(75), Value::Int(1)],
+        ],
+    );
+    let second = inst.invoke_solver().expect("second solve");
+    assert!(second.feasible);
+    assert_eq!(second.table("assign").len(), 6); // 3 VMs x 2 hosts now
+    // the two heavy VMs must not share a host with each other and VM3
+    let mut hosts_used = std::collections::BTreeSet::new();
+    for row in second.table("assign") {
+        if row[2].as_int() == Some(1) {
+            hosts_used.insert(row[1].as_int().unwrap());
+        }
+    }
+    assert_eq!(hosts_used.len(), 2, "both hosts should be used after the spike");
+}
+
+#[test]
+fn full_experiment_beats_or_matches_default_policy() {
+    let config = AcloudConfig {
+        duration_hours: 0.5,
+        ..AcloudConfig::tiny()
+    };
+    let results = run_acloud_experiment(&config);
+    assert_eq!(results.intervals.len(), config.intervals());
+    let acloud = results.mean_stdev(AcloudPolicy::ACloud);
+    let default = results.mean_stdev(AcloudPolicy::Default);
+    assert!(acloud <= default + 1e-9);
+    // ACloud(M) obeys the per-DC migration cap in every interval
+    for interval in &results.intervals {
+        assert!(
+            interval.migrations[&AcloudPolicy::ACloudM]
+                <= (config.max_migrations_per_dc as u64) * config.data_centers as u64,
+            "ACloud (M) exceeded its migration budget"
+        );
+    }
+}

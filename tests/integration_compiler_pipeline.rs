@@ -1,0 +1,95 @@
+//! Integration test: the compiler pipeline (parse → analyze → localize →
+//! codegen) applied to every shipped program, plus the distributed runtime
+//! executing a localized rule across simulated nodes.
+
+use cologne::datalog::{NodeId, Value};
+use cologne::net::{LinkProps, SimTime, Topology};
+use cologne::{DistributedCologne, ProgramParams, RuleClass, VarDomain};
+use cologne_colog::{analyze, generate_cpp, localize_rules, parse_program};
+use cologne_usecases::compactness_table;
+use cologne_usecases::programs::{table2_programs, FOLLOWSUN_DISTRIBUTED};
+
+#[test]
+fn every_shipped_program_passes_the_whole_pipeline() {
+    for (name, source) in table2_programs() {
+        let program = parse_program(&source).unwrap_or_else(|e| panic!("{name}: parse: {e}"));
+        let analysis = analyze(&program).unwrap_or_else(|e| panic!("{name}: analysis: {e}"));
+        let localized =
+            localize_rules(&program.rules).unwrap_or_else(|e| panic!("{name}: localize: {e}"));
+        assert!(localized.len() >= program.rules.len(), "{name}: localization lost rules");
+        let generated = generate_cpp(&program, &analysis, "pipeline");
+        assert!(generated.loc() > 100, "{name}: suspiciously small generated code");
+        // every rule received a classification
+        assert_eq!(analysis.classes.len(), program.rules.len());
+    }
+}
+
+#[test]
+fn distributed_followsun_rules_ship_neighbour_state() {
+    // Two data centers connected by one link: the localization of rule d2
+    // (and d5/d6/c2) must make node 1's curVm/commCost/resource visible at
+    // node 0 as tmp_* relations, shipped over the simulated network.
+    let params = ProgramParams::new()
+        .with_var_domain("migVm", VarDomain::new(-10, 10))
+        .with_solver_node_limit(Some(5_000));
+    let topo = Topology::line(2, LinkProps::default());
+    let mut driver = DistributedCologne::homogeneous(topo, FOLLOWSUN_DISTRIBUTED, &params).unwrap();
+
+    for node in [0u32, 1] {
+        let x = Value::Addr(NodeId(node));
+        let other = Value::Addr(NodeId(1 - node));
+        driver.insert_fact(NodeId(node), "link", vec![x.clone(), other.clone()]);
+        driver.insert_fact(NodeId(node), "opCost", vec![x.clone(), Value::Int(10)]);
+        driver.insert_fact(NodeId(node), "resource", vec![x.clone(), Value::Int(20)]);
+        driver.insert_fact(NodeId(node), "migCost", vec![x.clone(), other, Value::Int(10)]);
+        for d in 0..2i64 {
+            driver.insert_fact(NodeId(node), "dc", vec![x.clone(), Value::Int(d)]);
+            driver.insert_fact(
+                NodeId(node),
+                "curVm",
+                vec![x.clone(), Value::Int(d), Value::Int(if node == 0 { 6 } else { 1 })],
+            );
+            driver.insert_fact(
+                NodeId(node),
+                "commCost",
+                vec![x.clone(), Value::Int(d), Value::Int(if node as i64 == d { 10 } else { 80 })],
+            );
+        }
+    }
+    driver.run_messages_until(SimTime::from_secs(2));
+
+    // the shipping rules created tmp_* relations at node 0 holding node 1's state
+    let inst0 = driver.instance(NodeId(0)).unwrap();
+    let tmp_relations: Vec<String> = inst0
+        .program()
+        .rules
+        .iter()
+        .map(|r| r.head.name.clone())
+        .filter(|n| n.starts_with("tmp_"))
+        .collect();
+    assert!(!tmp_relations.is_empty(), "localization should introduce tmp_* relations");
+    let populated = tmp_relations.iter().filter(|rel| !inst0.tuples(rel).is_empty()).count();
+    assert!(populated > 0, "neighbour state must arrive at node 0 over the network");
+    assert!(driver.traffic(NodeId(1)).bytes_sent > 0, "node 1 must have sent tuples");
+
+    // and the localized program still classifies the local COP rules as solver rules
+    let analysis = inst0.analysis();
+    let classes: Vec<RuleClass> =
+        (0..inst0.program().rules.len()).map(|i| analysis.class_of(i)).collect();
+    assert!(classes.contains(&RuleClass::SolverDerivation));
+    assert!(classes.contains(&RuleClass::SolverConstraint));
+    assert!(classes.contains(&RuleClass::Regular));
+}
+
+#[test]
+fn table2_rows_are_consistent_with_compiler_output() {
+    let rows = compactness_table();
+    assert_eq!(rows.len(), 5);
+    // the declarative-vs-imperative gap holds for every program
+    for row in &rows {
+        assert!(row.generated_loc > row.colog_rules * 30, "{}", row.protocol);
+    }
+    // and the distributed wireless program is the largest, as in Table 2
+    let max = rows.iter().max_by_key(|r| r.generated_loc).unwrap();
+    assert!(max.protocol.contains("Wireless") || max.protocol.contains("Follow-the-Sun"));
+}

@@ -1,0 +1,68 @@
+//! Integration test: distributed Follow-the-Sun execution across the
+//! simulated network — localization rewrite, cross-node tuple shipping,
+//! per-link COPs, and the Fig. 4 / Fig. 5 metrics.
+
+use cologne_usecases::{run_followsun, run_followsun_sweep, FollowSunConfig};
+
+fn fast_config(n: u32) -> FollowSunConfig {
+    FollowSunConfig {
+        data_centers: n,
+        capacity: 30,
+        max_initial_allocation: 6,
+        solver_node_limit: 15_000,
+        seed: 3,
+        ..FollowSunConfig::default()
+    }
+}
+
+#[test]
+fn distributed_execution_never_increases_total_cost() {
+    let outcome = run_followsun(&fast_config(4));
+    assert_eq!(outcome.cost_series[0].normalized_cost, 100.0);
+    for pair in outcome.cost_series.windows(2) {
+        assert!(
+            pair[1].normalized_cost <= pair[0].normalized_cost + 1e-9,
+            "cost increased: {} -> {}",
+            pair[0].normalized_cost,
+            pair[1].normalized_cost
+        );
+    }
+    assert!(outcome.final_cost <= outcome.initial_cost);
+}
+
+#[test]
+fn communication_overhead_grows_with_network_size() {
+    let results = run_followsun_sweep(&[2, 5], &fast_config(2));
+    let small = &results[0].1;
+    let large = &results[1].1;
+    // more data centers, more links, more negotiation rounds
+    assert!(large.convergence_secs >= small.convergence_secs);
+    // both executions actually exchanged data over the simulated network
+    assert!(small.per_node_overhead_kbps > 0.0);
+    assert!(large.per_node_overhead_kbps > 0.0);
+}
+
+#[test]
+fn migration_limit_policy_composes_with_distribution() {
+    let unrestricted = run_followsun(&fast_config(3));
+    let restricted = run_followsun(&FollowSunConfig {
+        migration_limit: Some(1),
+        ..fast_config(3)
+    });
+    assert!(restricted.migrated_vms <= unrestricted.migrated_vms);
+    // the restricted policy still never worsens total cost
+    assert!(restricted.final_cost <= restricted.initial_cost);
+}
+
+#[test]
+fn larger_networks_converge_with_bounded_relative_gain() {
+    // Fig. 4's qualitative shape: relative cost reduction tends to shrink as
+    // the network grows (distributed solving approximates the global
+    // optimum). We only require the reductions to be non-negative and the
+    // series to be produced for every size.
+    let results = run_followsun_sweep(&[2, 4, 6], &fast_config(2));
+    for (n, outcome) in &results {
+        assert!(outcome.cost_reduction() >= 0.0, "{n} DCs: negative reduction");
+        assert!(outcome.cost_series.len() >= 2, "{n} DCs: missing series");
+    }
+}
