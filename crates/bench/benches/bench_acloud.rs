@@ -5,9 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use cologne_usecases::acloud::{
-    dc_hosts, host_id, AcloudController, AcloudConfig, Placement, Vm,
-};
+use cologne_usecases::acloud::{dc_hosts, host_id, AcloudConfig, AcloudController, Placement, Vm};
 use cologne_usecases::{run_acloud_experiment, AcloudConfig as Config};
 
 fn hot_vms(n: usize) -> Vec<Vm> {
@@ -26,28 +24,44 @@ fn hot_vms(n: usize) -> Vec<Vm> {
 fn bench_single_cop(c: &mut Criterion) {
     let mut group = c.benchmark_group("acloud/single_cop_invocation");
     for n in [4usize, 8, 12] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{n}_hot_vms")), &n, |b, &n| {
-            let config = AcloudConfig { solver_node_limit: 20_000, ..AcloudConfig::tiny() };
-            let vms = hot_vms(n);
-            let mut placement = Placement::initial(&config, &vms, 1);
-            for vm in &vms {
-                placement.migrate(vm.id, host_id(&config, 0, 0));
-            }
-            let background: std::collections::BTreeMap<i64, f64> =
-                dc_hosts(&config, 0).into_iter().map(|h| (h, 10.0)).collect();
-            b.iter(|| {
-                let mut controller = AcloudController::new(&config, 0, false);
-                let hot: Vec<&Vm> = vms.iter().collect();
-                black_box(controller.optimize(&config, 0, &hot, &background, &placement).len())
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}_hot_vms")),
+            &n,
+            |b, &n| {
+                let config = AcloudConfig {
+                    solver_node_limit: 20_000,
+                    ..AcloudConfig::tiny()
+                };
+                let vms = hot_vms(n);
+                let mut placement = Placement::initial(&config, &vms, 1);
+                for vm in &vms {
+                    placement.migrate(vm.id, host_id(&config, 0, 0));
+                }
+                let background: std::collections::BTreeMap<i64, f64> = dc_hosts(&config, 0)
+                    .into_iter()
+                    .map(|h| (h, 10.0))
+                    .collect();
+                b.iter(|| {
+                    let mut controller = AcloudController::new(&config, 0, false);
+                    let hot: Vec<&Vm> = vms.iter().collect();
+                    black_box(
+                        controller
+                            .optimize(&config, 0, &hot, &background, &placement)
+                            .len(),
+                    )
+                });
+            },
+        );
     }
     group.finish();
 }
 
 fn bench_experiment_interval(c: &mut Criterion) {
     c.bench_function("acloud/experiment_half_hour_tiny", |b| {
-        let config = Config { duration_hours: 0.5, ..Config::tiny() };
+        let config = Config {
+            duration_hours: 0.5,
+            ..Config::tiny()
+        };
         b.iter(|| black_box(run_acloud_experiment(&config).intervals.len()));
     });
 }

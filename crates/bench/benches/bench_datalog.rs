@@ -6,16 +6,17 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use cologne_datalog::{
-    AggFunc, Atom, BodyItem, Engine, Head, HeadArg, NodeId, Rule, Term, Value,
-};
+use cologne_datalog::{AggFunc, Atom, BodyItem, Engine, Head, HeadArg, NodeId, Rule, Term, Value};
 
 fn transitive_closure_engine() -> Engine {
     let mut e = Engine::new(NodeId(0));
     e.add_rule(Rule::new(
         "r1",
         Head::simple("path", vec![Term::var("X"), Term::var("Y")]),
-        vec![BodyItem::Atom(Atom::new("link", vec![Term::var("X"), Term::var("Y")]))],
+        vec![BodyItem::Atom(Atom::new(
+            "link",
+            vec![Term::var("X"), Term::var("Y")],
+        ))],
     ));
     e.add_rule(Rule::new(
         "r2",
@@ -74,7 +75,10 @@ fn bench_aggregate_maintenance(c: &mut Criterion) {
             "d1",
             Head {
                 relation: "hostCpu".into(),
-                args: vec![HeadArg::Term(Term::var("H")), HeadArg::Agg(AggFunc::Sum, "C".into())],
+                args: vec![
+                    HeadArg::Term(Term::var("H")),
+                    HeadArg::Agg(AggFunc::Sum, "C".into()),
+                ],
                 located: false,
             },
             vec![BodyItem::Atom(Atom::new(
@@ -83,14 +87,31 @@ fn bench_aggregate_maintenance(c: &mut Criterion) {
             ))],
         ));
         for v in 0..200i64 {
-            e.insert("assign", vec![Value::Int(v), Value::Int(v % 10), Value::Int(v % 50)]);
+            e.insert(
+                "assign",
+                vec![Value::Int(v), Value::Int(v % 10), Value::Int(v % 50)],
+            );
         }
         e.run();
         let mut i = 0i64;
         b.iter(|| {
             i += 1;
-            e.delete("assign", vec![Value::Int(i % 200), Value::Int((i % 200) % 10), Value::Int((i % 200) % 50)]);
-            e.insert("assign", vec![Value::Int(i % 200), Value::Int((i % 200) % 10), Value::Int((i % 200) % 50)]);
+            e.delete(
+                "assign",
+                vec![
+                    Value::Int(i % 200),
+                    Value::Int((i % 200) % 10),
+                    Value::Int((i % 200) % 50),
+                ],
+            );
+            e.insert(
+                "assign",
+                vec![
+                    Value::Int(i % 200),
+                    Value::Int((i % 200) % 10),
+                    Value::Int((i % 200) % 50),
+                ],
+            );
             black_box(e.run())
         });
     });

@@ -12,14 +12,18 @@ use cologne_usecases::{run_followsun, FollowSunConfig};
 fn bench_distributed_convergence(c: &mut Criterion) {
     let mut group = c.benchmark_group("followsun/distributed_execution");
     for n in [2u32, 4, 6] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{n}_dcs")), &n, |b, &n| {
-            let config = FollowSunConfig {
-                data_centers: n,
-                solver_node_limit: 10_000,
-                ..FollowSunConfig::default()
-            };
-            b.iter(|| black_box(run_followsun(&config).final_cost));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}_dcs")),
+            &n,
+            |b, &n| {
+                let config = FollowSunConfig {
+                    data_centers: n,
+                    solver_node_limit: 10_000,
+                    ..FollowSunConfig::default()
+                };
+                b.iter(|| black_box(run_followsun(&config).final_cost));
+            },
+        );
     }
     group.finish();
 }

@@ -1,0 +1,89 @@
+//! Benchmarks of the staged solve pipeline: repeated `invokeSolver`
+//! executions on one instance (cached `GroundingPlan`, recycled model arena)
+//! against the cold path that recompiles and replans per invocation. This is
+//! the loop Sec. 6 of the paper measures — solver invocations recur on every
+//! monitoring epoch — and the reuse delta is the point of the staging.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cologne::datalog::{NodeId, Value};
+use cologne::{CologneInstance, ProgramParams, VarDomain};
+use cologne_usecases::programs::ACLOUD_CENTRALIZED;
+
+fn acloud_instance(vms: usize, hosts: usize) -> CologneInstance {
+    let params = ProgramParams::new()
+        .with_var_domain("assign", VarDomain::BOOL)
+        .with_solver_node_limit(Some(20_000));
+    let mut inst = CologneInstance::new(NodeId(0), ACLOUD_CENTRALIZED, params).unwrap();
+    for vid in 0..vms as i64 {
+        inst.insert_fact(
+            "vm",
+            vec![
+                Value::Int(vid),
+                Value::Int(20 + (vid * 7) % 60),
+                Value::Int(1),
+            ],
+        );
+    }
+    for hid in 0..hosts as i64 {
+        inst.insert_fact("host", vec![Value::Int(hid), Value::Int(0), Value::Int(0)]);
+        inst.insert_fact("hostMemThres", vec![Value::Int(hid), Value::Int(100)]);
+    }
+    inst
+}
+
+fn bench_hot_invocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/invoke_solver_hot");
+    for (vms, hosts) in [(4usize, 2usize), (6, 3)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{vms}vms_{hosts}hosts")),
+            &(vms, hosts),
+            |b, &(vms, hosts)| {
+                let mut inst = acloud_instance(vms, hosts);
+                inst.invoke_solver().unwrap(); // warm the plan + arena
+                b.iter(|| black_box(inst.invoke_solver().unwrap().objective));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cold_invocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/invoke_solver_cold");
+    for (vms, hosts) in [(4usize, 2usize), (6, 3)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{vms}vms_{hosts}hosts")),
+            &(vms, hosts),
+            |b, &(vms, hosts)| {
+                b.iter(|| {
+                    let mut inst = acloud_instance(vms, hosts);
+                    black_box(inst.invoke_solver().unwrap().objective)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_ground_only(c: &mut Criterion) {
+    c.bench_function("pipeline/ground_only_6vms_3hosts", |b| {
+        let mut inst = acloud_instance(6, 3);
+        inst.invoke_solver().unwrap();
+        b.iter(|| {
+            // Ground and hand the COP back, so every iteration exercises the
+            // recycled-arena hot path (as invoke_solver does internally).
+            let cop = inst.ground_only().unwrap();
+            let vars = cop.model.num_vars();
+            inst.recycle(cop);
+            black_box(vars)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_hot_invocation, bench_cold_invocation, bench_ground_only
+}
+criterion_main!(benches);

@@ -14,14 +14,13 @@ fn balance_model(vms: usize, hosts: usize) -> (Model, cologne_solver::VarId) {
     let mut m = Model::new();
     let loads: Vec<i64> = (0..vms).map(|i| 20 + (i as i64 * 7) % 60).collect();
     let mut host_terms: Vec<Vec<(i64, cologne_solver::VarId)>> = vec![Vec::new(); hosts];
-    for (i, &load) in loads.iter().enumerate() {
+    for &load in &loads {
         let mut row = Vec::with_capacity(hosts);
-        for h in 0..hosts {
+        for terms in host_terms.iter_mut() {
             let v = m.new_bool();
-            host_terms[h].push((load, v));
+            terms.push((load, v));
             row.push((1, v));
         }
-        let _ = i;
         m.linear_eq(&row, 1);
     }
     let host_loads: Vec<_> = host_terms.iter().map(|t| m.linear_var(t, 0)).collect();
@@ -38,7 +37,10 @@ fn bench_branch_and_bound(c: &mut Criterion) {
             |b, &(vms, hosts)| {
                 b.iter(|| {
                     let (m, obj) = balance_model(vms, hosts);
-                    let cfg = SearchConfig { node_limit: Some(20_000), ..Default::default() };
+                    let cfg = SearchConfig {
+                        node_limit: Some(20_000),
+                        ..Default::default()
+                    };
                     black_box(m.minimize(obj, &cfg).best_objective)
                 });
             },

@@ -24,16 +24,16 @@ fn bench_channel_selection(c: &mut Criterion) {
             BenchmarkId::new("centralized", format!("{rows}x{cols}")),
             &mesh,
             |b, mesh| {
-                b.iter(|| black_box(centralized_assignment(mesh, &mesh.available_channels(0)).len()));
+                b.iter(|| {
+                    black_box(centralized_assignment(mesh, &mesh.available_channels(0)).len())
+                });
             },
         );
         group.bench_with_input(
             BenchmarkId::new("distributed", format!("{rows}x{cols}")),
             &mesh,
             |b, mesh| {
-                b.iter(|| {
-                    black_box(distributed_assignment(mesh, &[1, 2, 3, 4]).len())
-                });
+                b.iter(|| black_box(distributed_assignment(mesh, &[1, 2, 3, 4]).len()));
             },
         );
     }

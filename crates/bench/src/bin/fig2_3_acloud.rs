@@ -36,20 +36,35 @@ fn main() {
     let names: Vec<&str> = policies.iter().map(|p| p.name()).collect();
     let xs: Vec<f64> = results.intervals.iter().map(|i| i.time_hours).collect();
 
-    println!("Figure 2: average CPU standard deviation (%) of {} data centers", config.data_centers);
+    println!(
+        "Figure 2: average CPU standard deviation (%) of {} data centers",
+        config.data_centers
+    );
     let stdev_series: Vec<Vec<f64>> = policies
         .iter()
         .map(|p| results.intervals.iter().map(|i| i.cpu_stdev[p]).collect())
         .collect();
-    print!("{}", format_multi_series("time (h)", &names, &xs, &stdev_series));
+    print!(
+        "{}",
+        format_multi_series("time (h)", &names, &xs, &stdev_series)
+    );
 
     println!();
     println!("Figure 3: number of VM migrations per interval");
     let mig_series: Vec<Vec<f64>> = policies
         .iter()
-        .map(|p| results.intervals.iter().map(|i| i.migrations[p] as f64).collect())
+        .map(|p| {
+            results
+                .intervals
+                .iter()
+                .map(|i| i.migrations[p] as f64)
+                .collect()
+        })
         .collect();
-    print!("{}", format_multi_series("time (h)", &names, &xs, &mig_series));
+    print!(
+        "{}",
+        format_multi_series("time (h)", &names, &xs, &mig_series)
+    );
 
     println!();
     println!("Summary (Sec. 6.2):");

@@ -11,7 +11,11 @@ use cologne_usecases::{run_followsun_sweep, FollowSunConfig};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let sizes: Vec<u32> = if quick { vec![2, 4, 6] } else { vec![2, 4, 6, 8, 10] };
+    let sizes: Vec<u32> = if quick {
+        vec![2, 4, 6]
+    } else {
+        vec![2, 4, 6, 8, 10]
+    };
     let base = FollowSunConfig {
         solver_node_limit: if quick { 20_000 } else { 50_000 },
         ..FollowSunConfig::default()
@@ -22,8 +26,11 @@ fn main() {
     println!("Figure 4: normalized total cost (%) vs time (s) during distributed solving");
     for (n, outcome) in &results {
         println!("--- {n} data centers ---");
-        let points: Vec<(f64, f64)> =
-            outcome.cost_series.iter().map(|p| (p.time_secs, p.normalized_cost)).collect();
+        let points: Vec<(f64, f64)> = outcome
+            .cost_series
+            .iter()
+            .map(|p| (p.time_secs, p.normalized_cost))
+            .collect();
         print!("{}", format_series("time (s)", "total cost (%)", &points));
         println!(
             "cost reduction: {:.1}%   convergence: {:.0} s   migrated VM units: {}",
@@ -37,8 +44,10 @@ fn main() {
 
     println!();
     println!("Figure 5: per-node communication overhead (KB/s) vs number of data centers");
-    let points: Vec<(f64, f64)> =
-        results.iter().map(|(n, o)| (*n as f64, o.per_node_overhead_kbps)).collect();
+    let points: Vec<(f64, f64)> = results
+        .iter()
+        .map(|(n, o)| (*n as f64, o.per_node_overhead_kbps))
+        .collect();
     print!("{}", format_series("# DCs", "overhead (KB/s)", &points));
     println!("(paper: linear growth, ~3.5 KB/s per node at 10 data centers)");
 }

@@ -12,7 +12,13 @@ use cologne_usecases::{run_fig6, run_fig7, WirelessConfig, WirelessPolicy, Wirel
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let config = if quick {
-        WirelessConfig { rows: 4, cols: 4, flows: 8, solver_node_limit: 10_000, ..WirelessConfig::default() }
+        WirelessConfig {
+            rows: 4,
+            cols: 4,
+            flows: 8,
+            solver_node_limit: 10_000,
+            ..WirelessConfig::default()
+        }
     } else {
         WirelessConfig::default()
     };
@@ -29,15 +35,28 @@ fn main() {
         config.flows
     );
 
-    println!("Figure 6: aggregate throughput (Mbps) vs per-flow data rate (Mbps), {} nodes", config.nodes());
+    println!(
+        "Figure 6: aggregate throughput (Mbps) vs per-flow data rate (Mbps), {} nodes",
+        config.nodes()
+    );
     let fig6 = run_fig6(&config, &data_rates);
     let protocols = WirelessProtocol::all();
     let names: Vec<&str> = protocols.iter().map(|p| p.name()).collect();
-    let series: Vec<Vec<f64>> = protocols.iter().map(|p| fig6[p].throughput.clone()).collect();
-    print!("{}", format_multi_series("rate (Mbps)", &names, &data_rates, &series));
+    let series: Vec<Vec<f64>> = protocols
+        .iter()
+        .map(|p| fig6[p].throughput.clone())
+        .collect();
+    print!(
+        "{}",
+        format_multi_series("rate (Mbps)", &names, &data_rates, &series)
+    );
     println!();
     for p in protocols {
-        println!("  {:<14} peak throughput {:>6.2} Mbps", p.name(), fig6[&p].peak());
+        println!(
+            "  {:<14} peak throughput {:>6.2} Mbps",
+            p.name(),
+            fig6[&p].peak()
+        );
     }
     println!("(paper: Cologne protocols clearly outperform Identical-Ch and 1-Interface;");
     println!(" cross-layer performs best overall)");
@@ -47,8 +66,14 @@ fn main() {
     let fig7 = run_fig7(&config, &data_rates);
     let policies = WirelessPolicy::all();
     let names: Vec<&str> = policies.iter().map(|p| p.name()).collect();
-    let series: Vec<Vec<f64>> = policies.iter().map(|p| fig7[p].throughput.clone()).collect();
-    print!("{}", format_multi_series("rate (Mbps)", &names, &data_rates, &series));
+    let series: Vec<Vec<f64>> = policies
+        .iter()
+        .map(|p| fig7[p].throughput.clone())
+        .collect();
+    print!(
+        "{}",
+        format_multi_series("rate (Mbps)", &names, &data_rates, &series)
+    );
     let two = fig7[&WirelessPolicy::TwoHopInterference].peak();
     let restricted = fig7[&WirelessPolicy::RestrictedChannels].peak();
     let onehop = fig7[&WirelessPolicy::OneHopInterference].peak();

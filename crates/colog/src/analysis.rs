@@ -33,7 +33,9 @@ pub struct SolverTables {
 impl SolverTables {
     /// True if the relation contains at least one solver attribute.
     pub fn is_solver_table(&self, relation: &str) -> bool {
-        self.tables.get(relation).is_some_and(|ps| ps.iter().any(|&b| b))
+        self.tables
+            .get(relation)
+            .is_some_and(|ps| ps.iter().any(|&b| b))
     }
 
     /// Solver-attribute flags for a relation (empty if not a solver table).
@@ -51,7 +53,10 @@ impl SolverTables {
     }
 
     fn mark(&mut self, relation: &str, position: usize, arity: usize) -> bool {
-        let entry = self.tables.entry(relation.to_string()).or_insert_with(|| vec![false; arity]);
+        let entry = self
+            .tables
+            .entry(relation.to_string())
+            .or_insert_with(|| vec![false; arity]);
         if entry.len() < arity {
             entry.resize(arity, false);
         }
@@ -77,6 +82,17 @@ impl Analysis {
     /// Class of the rule at `index`.
     pub fn class_of(&self, index: usize) -> RuleClass {
         self.classes[index]
+    }
+
+    /// Indices of the rules in `class`, in source order. The runtime's
+    /// grounding plan uses this to schedule solver rules without rescanning
+    /// the whole program on every invocation.
+    pub fn rules_in_class(&self, class: RuleClass) -> impl Iterator<Item = usize> + '_ {
+        self.classes
+            .iter()
+            .enumerate()
+            .filter(move |(_, c)| **c == class)
+            .map(|(i, _)| i)
     }
 
     /// Number of rules per class: `(regular, derivation, constraint)`.
@@ -118,7 +134,10 @@ impl std::fmt::Display for AnalysisError {
                 write!(f, "goal variable {variable} does not appear in {relation}")
             }
             AnalysisError::ForallVariableUnknown { variable, table } => {
-                write!(f, "forall variable {variable} does not appear in solver table {table}")
+                write!(
+                    f,
+                    "forall variable {variable} does not appear in solver table {table}"
+                )
             }
             AnalysisError::ConstraintWithoutSolverTable { label } => {
                 write!(f, "constraint rule {label} references no solver table")
@@ -127,7 +146,10 @@ impl std::fmt::Display for AnalysisError {
                 write!(f, "rule {label} joins on solver attribute {variable}")
             }
             AnalysisError::AggregateInBody { label, relation } => {
-                write!(f, "rule {label} uses an aggregate inside body predicate {relation}")
+                write!(
+                    f,
+                    "rule {label} uses an aggregate inside body predicate {relation}"
+                )
             }
         }
     }
@@ -203,7 +225,10 @@ pub fn analyze(program: &Program) -> Result<Analysis, AnalysisError> {
         classes.push(class);
     }
 
-    Ok(Analysis { classes, solver_tables: tables })
+    Ok(Analysis {
+        classes,
+        solver_tables: tables,
+    })
 }
 
 fn validate_declarations(program: &Program) -> Result<(), AnalysisError> {
@@ -347,7 +372,13 @@ mod tests {
         let names = analysis.solver_tables.table_names();
         assert_eq!(
             names,
-            vec!["assign", "assignCount", "hostCpu", "hostMem", "hostStdevCpu"]
+            vec![
+                "assign",
+                "assignCount",
+                "hostCpu",
+                "hostMem",
+                "hostStdevCpu"
+            ]
         );
         // toAssign, vm, host are regular
         assert!(!analysis.solver_tables.is_solver_table("toAssign"));
@@ -377,13 +408,22 @@ mod tests {
         let program = parse_program(ACLOUD).unwrap();
         let analysis = analyze(&program).unwrap();
         // assign(Vid,Hid,V): only V
-        assert_eq!(analysis.solver_tables.positions("assign"), vec![false, false, true]);
+        assert_eq!(
+            analysis.solver_tables.positions("assign"),
+            vec![false, false, true]
+        );
         // hostCpu(Hid,SUM<C>): C symbolic through C==V*Cpu
-        assert_eq!(analysis.solver_tables.positions("hostCpu"), vec![false, true]);
+        assert_eq!(
+            analysis.solver_tables.positions("hostCpu"),
+            vec![false, true]
+        );
         // hostStdevCpu(STDEV<C>)
         assert_eq!(analysis.solver_tables.positions("hostStdevCpu"), vec![true]);
         // assignCount(Vid,SUM<V>)
-        assert_eq!(analysis.solver_tables.positions("assignCount"), vec![false, true]);
+        assert_eq!(
+            analysis.solver_tables.positions("assignCount"),
+            vec![false, true]
+        );
     }
 
     #[test]
@@ -495,6 +535,9 @@ mod tests {
             d1 out(X) <- assign(X,SUM<V>).
         "#;
         let program = parse_program(src).unwrap();
-        assert!(matches!(analyze(&program), Err(AnalysisError::AggregateInBody { .. })));
+        assert!(matches!(
+            analyze(&program),
+            Err(AnalysisError::AggregateInBody { .. })
+        ));
     }
 }

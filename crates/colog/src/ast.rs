@@ -126,7 +126,10 @@ pub struct Predicate {
 impl Predicate {
     /// Build a predicate.
     pub fn new(name: &str, args: Vec<Arg>) -> Predicate {
-        Predicate { name: name.to_string(), args }
+        Predicate {
+            name: name.to_string(),
+            args,
+        }
     }
 
     /// The location variable if the predicate carries a `@Loc` specifier.
@@ -174,7 +177,10 @@ pub enum COp {
 impl COp {
     /// True for comparison operators (which yield booleans).
     pub fn is_comparison(&self) -> bool {
-        matches!(self, COp::Eq | COp::Ne | COp::Lt | COp::Le | COp::Gt | COp::Ge)
+        matches!(
+            self,
+            COp::Eq | COp::Ne | COp::Lt | COp::Le | COp::Gt | COp::Ge
+        )
     }
 }
 
@@ -333,7 +339,11 @@ mod tests {
         VarDecl {
             table: Predicate::new(
                 "assign",
-                vec![Arg::Var("Vid".into()), Arg::Var("Hid".into()), Arg::Var("V".into())],
+                vec![
+                    Arg::Var("Vid".into()),
+                    Arg::Var("Hid".into()),
+                    Arg::Var("V".into()),
+                ],
             ),
             forall: Predicate::new(
                 "toAssign",

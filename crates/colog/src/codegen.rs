@@ -62,7 +62,13 @@ fn relation_names(program: &Program) -> BTreeSet<String> {
 }
 
 fn arity_of(program: &Program, relation: &str) -> usize {
-    let check = |p: &Predicate| if p.name == relation { Some(p.args.len()) } else { None };
+    let check = |p: &Predicate| {
+        if p.name == relation {
+            Some(p.args.len())
+        } else {
+            None
+        }
+    };
     for r in &program.rules {
         if let Some(a) = check(&r.head) {
             return a;
@@ -90,7 +96,9 @@ fn arity_of(program: &Program, relation: &str) -> usize {
 
 fn emit_tuple_class(out: &mut String, relation: &str, arity: usize) {
     let fields: Vec<String> = (0..arity).map(|i| format!("attr{i}")).collect();
-    out.push_str(&format!("class {relation}Tuple : public rapidnet::Tuple {{\n"));
+    out.push_str(&format!(
+        "class {relation}Tuple : public rapidnet::Tuple {{\n"
+    ));
     out.push_str("public:\n");
     for f in &fields {
         out.push_str(&format!("  rapidnet::ValuePtr {f};\n"));
@@ -115,7 +123,9 @@ fn emit_tuple_class(out: &mut String, relation: &str, arity: usize) {
     out.push_str("  bool Equals(const rapidnet::Tuple& other) const;\n");
     out.push_str("  uint32_t HashCode() const;\n");
     out.push_str("};\n\n");
-    out.push_str(&format!("bool {relation}Tuple::Equals(const rapidnet::Tuple& other) const {{\n"));
+    out.push_str(&format!(
+        "bool {relation}Tuple::Equals(const rapidnet::Tuple& other) const {{\n"
+    ));
     out.push_str(&format!(
         "  const {relation}Tuple* o = dynamic_cast<const {relation}Tuple*>(&other);\n"
     ));
@@ -174,7 +184,9 @@ fn emit_regular_rule(out: &mut String, rule: &RuleDecl) {
                 "{indent}RelationIterator<{0}Tuple> it{oi} = m_{0}Table->Begin();\n",
                 other.name
             ));
-            out.push_str(&format!("{indent}for (; !it{oi}.AtEnd(); it{oi}.Next()) {{\n"));
+            out.push_str(&format!(
+                "{indent}for (; !it{oi}.AtEnd(); it{oi}.Next()) {{\n"
+            ));
             indent.push_str("  ");
             out.push_str(&format!(
                 "{indent}Ptr<{0}Tuple> t{oi} = it{oi}.Current();\n",
@@ -203,10 +215,16 @@ fn emit_regular_rule(out: &mut String, rule: &RuleDecl) {
             out.push_str(&format!("{indent}if (dest != GetAddress()) {{\n"));
             out.push_str(&format!("{indent}  SendTuple(dest, head);\n"));
             out.push_str(&format!("{indent}}} else {{\n"));
-            out.push_str(&format!("{indent}  m_{}Table->Insert(head);\n", rule.head.name));
+            out.push_str(&format!(
+                "{indent}  m_{}Table->Insert(head);\n",
+                rule.head.name
+            ));
             out.push_str(&format!("{indent}}}\n"));
         } else {
-            out.push_str(&format!("{indent}m_{}Table->Insert(head);\n", rule.head.name));
+            out.push_str(&format!(
+                "{indent}m_{}Table->Insert(head);\n",
+                rule.head.name
+            ));
         }
         for _ in 1..preds.len() {
             indent.truncate(indent.len() - 2);
@@ -227,7 +245,10 @@ fn emit_regular_rule(out: &mut String, rule: &RuleDecl) {
             rule.head.name
         ));
         out.push_str("  for (size_t i = 0; i < affected.size(); ++i) {\n");
-        out.push_str(&format!("    m_{}Table->DecrementCount(affected[i]);\n", rule.head.name));
+        out.push_str(&format!(
+            "    m_{}Table->DecrementCount(affected[i]);\n",
+            rule.head.name
+        ));
         out.push_str("  }\n");
         out.push_str("}\n\n");
     }
@@ -242,8 +263,11 @@ fn emit_solver_rule(out: &mut String, rule: &RuleDecl, class: RuleClass) {
             _ => None,
         })
         .collect();
-    let exprs: Vec<&BodyElem> =
-        rule.body.iter().filter(|b| matches!(b, BodyElem::Expr(_))).collect();
+    let exprs: Vec<&BodyElem> = rule
+        .body
+        .iter()
+        .filter(|b| matches!(b, BodyElem::Expr(_)))
+        .collect();
     let kind = match class {
         RuleClass::SolverDerivation => "derivation",
         RuleClass::SolverConstraint => "constraint",
@@ -266,9 +290,14 @@ fn emit_solver_rule(out: &mut String, rule: &RuleDecl, class: RuleClass) {
             "{indent}RelationIterator<{0}Tuple> it{oi} = m_{0}Table->Begin();\n",
             p.name
         ));
-        out.push_str(&format!("{indent}for (; !it{oi}.AtEnd(); it{oi}.Next()) {{\n"));
+        out.push_str(&format!(
+            "{indent}for (; !it{oi}.AtEnd(); it{oi}.Next()) {{\n"
+        ));
         indent.push_str("  ");
-        out.push_str(&format!("{indent}Ptr<{0}Tuple> t{oi} = it{oi}.Current();\n", p.name));
+        out.push_str(&format!(
+            "{indent}Ptr<{0}Tuple> t{oi} = it{oi}.Current();\n",
+            p.name
+        ));
         out.push_str(&format!(
             "{indent}Gecode::IntVarArgs vars{oi} = LookupSolverVars(t{oi});\n"
         ));
@@ -298,7 +327,9 @@ fn emit_solver_rule(out: &mut String, rule: &RuleDecl, class: RuleClass) {
             rule.head.name
         ));
     } else {
-        out.push_str(&format!("{indent}Gecode::rel(home, ConstraintExpression(bindings));\n"));
+        out.push_str(&format!(
+            "{indent}Gecode::rel(home, ConstraintExpression(bindings));\n"
+        ));
     }
     for _ in &preds {
         indent.truncate(indent.len() - 2);
@@ -334,11 +365,15 @@ fn rule_class_name(rule: &RuleDecl) -> String {
 /// Generate the equivalent imperative C++ for a Colog program.
 pub fn generate_cpp(program: &Program, analysis: &Analysis, program_name: &str) -> GeneratedCode {
     let mut out = String::new();
-    out.push_str(&format!("// Auto-generated RapidNet + Gecode C++ for program '{program_name}'.\n"));
+    out.push_str(&format!(
+        "// Auto-generated RapidNet + Gecode C++ for program '{program_name}'.\n"
+    ));
     out.push_str("// Equivalent imperative implementation of the Colog specification.\n");
     out.push_str("#include <map>\n#include <set>\n#include <sstream>\n#include <string>\n#include <vector>\n");
     out.push_str("#include \"ns3/rapidnet-module.h\"\n");
-    out.push_str("#include <gecode/int.hh>\n#include <gecode/search.hh>\n#include <gecode/minimodel.hh>\n\n");
+    out.push_str(
+        "#include <gecode/int.hh>\n#include <gecode/search.hh>\n#include <gecode/minimodel.hh>\n\n",
+    );
     out.push_str(&format!("namespace {program_name} {{\n\n"));
 
     // Tuple classes per relation.
@@ -354,7 +389,9 @@ pub fn generate_cpp(program: &Program, analysis: &Analysis, program_name: &str) 
         }
         n
     };
-    out.push_str(&format!("class {class_name}Runtime : public rapidnet::RapidNetApplicationBase {{\n"));
+    out.push_str(&format!(
+        "class {class_name}Runtime : public rapidnet::RapidNetApplicationBase {{\n"
+    ));
     out.push_str("public:\n");
     out.push_str("  static TypeId GetTypeId();\n");
     out.push_str(&format!("  {class_name}Runtime();\n"));
@@ -370,7 +407,9 @@ pub fn generate_cpp(program: &Program, analysis: &Analysis, program_name: &str) 
     out.push_str("  Gecode::Space* m_space;\n");
     out.push_str("  EventId m_periodicTimer;\n");
     out.push_str("};\n\n");
-    out.push_str(&format!("void {class_name}Runtime::StartApplication() {{\n"));
+    out.push_str(&format!(
+        "void {class_name}Runtime::StartApplication() {{\n"
+    ));
     for rel in relation_names(program) {
         out.push_str(&format!(
             "  m_{rel}Table = CreateRelation(\"{rel}\", {});\n",
@@ -378,7 +417,9 @@ pub fn generate_cpp(program: &Program, analysis: &Analysis, program_name: &str) 
         ));
     }
     out.push_str("  m_periodicTimer = Simulator::Schedule(Seconds(PERIODIC_INTERVAL),\n");
-    out.push_str(&format!("      &{class_name}Runtime::PeriodicTimerExpired, this);\n"));
+    out.push_str(&format!(
+        "      &{class_name}Runtime::PeriodicTimerExpired, this);\n"
+    ));
     out.push_str("}\n\n");
 
     // Rules.
@@ -391,7 +432,9 @@ pub fn generate_cpp(program: &Program, analysis: &Analysis, program_name: &str) 
 
     // Goal / solver invocation glue.
     if let Some(goal) = &program.goal {
-        out.push_str(&format!("class {class_name}Model : public Gecode::IntMinimizeSpace {{\n"));
+        out.push_str(&format!(
+            "class {class_name}Model : public Gecode::IntMinimizeSpace {{\n"
+        ));
         out.push_str("public:\n");
         out.push_str("  Gecode::IntVarArray m_decisionVars;\n");
         out.push_str("  Gecode::IntVar m_objective;\n");
@@ -411,7 +454,9 @@ pub fn generate_cpp(program: &Program, analysis: &Analysis, program_name: &str) 
         out.push_str(&format!("{class_name}Model(*this); }}\n"));
         out.push_str("};\n\n");
         out.push_str(&format!("void {class_name}Runtime::InvokeSolver() {{\n"));
-        out.push_str(&format!("  {class_name}Model* model = new {class_name}Model();\n"));
+        out.push_str(&format!(
+            "  {class_name}Model* model = new {class_name}Model();\n"
+        ));
         for v in &program.vars {
             out.push_str(&format!(
                 "  model->Declare_{}(*model, m_{}Table);\n",
@@ -429,9 +474,13 @@ pub fn generate_cpp(program: &Program, analysis: &Analysis, program_name: &str) 
         };
         out.push_str("  Gecode::Search::Options options;\n");
         out.push_str("  options.stop = Gecode::Search::Stop::time(SOLVER_MAX_TIME);\n");
-        out.push_str(&format!("  {engine}<{class_name}Model> search(model, options);\n"));
+        out.push_str(&format!(
+            "  {engine}<{class_name}Model> search(model, options);\n"
+        ));
         out.push_str(&format!("  {class_name}Model* best = NULL;\n"));
-        out.push_str(&format!("  while ({class_name}Model* sol = search.next()) {{\n"));
+        out.push_str(&format!(
+            "  while ({class_name}Model* sol = search.next()) {{\n"
+        ));
         out.push_str("    delete best;\n");
         out.push_str("    best = sol;\n");
         out.push_str("  }\n");

@@ -85,7 +85,11 @@ pub struct LexError {
 
 impl std::fmt::Display for LexError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "lex error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -143,7 +147,11 @@ pub fn tokenize(source: &str) -> Result<Vec<Spanned>, LexError> {
             } else {
                 Token::LowerIdent(word)
             };
-            out.push(Spanned { token, line: tline, col: tcol });
+            out.push(Spanned {
+                token,
+                line: tline,
+                col: tcol,
+            });
             continue;
         }
         // numbers
@@ -162,11 +170,21 @@ pub fn tokenize(source: &str) -> Result<Vec<Spanned>, LexError> {
             }
             let text: String = chars[start..i].iter().collect();
             let token = if is_float {
-                Token::Float(text.parse().map_err(|_| err("invalid float", tline, tcol))?)
+                Token::Float(
+                    text.parse()
+                        .map_err(|_| err("invalid float", tline, tcol))?,
+                )
             } else {
-                Token::Int(text.parse().map_err(|_| err("invalid integer", tline, tcol))?)
+                Token::Int(
+                    text.parse()
+                        .map_err(|_| err("invalid integer", tline, tcol))?,
+                )
             };
-            out.push(Spanned { token, line: tline, col: tcol });
+            out.push(Spanned {
+                token,
+                line: tline,
+                col: tcol,
+            });
             continue;
         }
         // string literals
@@ -181,7 +199,11 @@ pub fn tokenize(source: &str) -> Result<Vec<Spanned>, LexError> {
             }
             let text: String = chars[start..i].iter().collect();
             advance(&mut i, &mut line, &mut col, 1); // closing quote
-            out.push(Spanned { token: Token::Str(text), line: tline, col: tcol });
+            out.push(Spanned {
+                token: Token::Str(text),
+                line: tline,
+                col: tcol,
+            });
             continue;
         }
         // multi-char operators
@@ -201,7 +223,11 @@ pub fn tokenize(source: &str) -> Result<Vec<Spanned>, LexError> {
         };
         if let Some(tok) = two {
             advance(&mut i, &mut line, &mut col, 2);
-            out.push(Spanned { token: tok, line: tline, col: tcol });
+            out.push(Spanned {
+                token: tok,
+                line: tline,
+                col: tcol,
+            });
             continue;
         }
         let single = match c {
@@ -220,7 +246,11 @@ pub fn tokenize(source: &str) -> Result<Vec<Spanned>, LexError> {
             other => return Err(err(&format!("unexpected character '{other}'"), tline, tcol)),
         };
         advance(&mut i, &mut line, &mut col, 1);
-        out.push(Spanned { token: single, line: tline, col: tcol });
+        out.push(Spanned {
+            token: single,
+            line: tline,
+            col: tcol,
+        });
     }
     Ok(out)
 }
@@ -230,7 +260,11 @@ mod tests {
     use super::*;
 
     fn toks(src: &str) -> Vec<Token> {
-        tokenize(src).unwrap().into_iter().map(|s| s.token).collect()
+        tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
     }
 
     #[test]
@@ -324,11 +358,14 @@ mod tests {
     #[test]
     fn integer_then_period_is_not_a_float() {
         // rule terminators directly after numbers must stay periods
-        assert_eq!(toks("C<=3."), vec![
-            Token::UpperIdent("C".into()),
-            Token::LessEq,
-            Token::Int(3),
-            Token::Period,
-        ]);
+        assert_eq!(
+            toks("C<=3."),
+            vec![
+                Token::UpperIdent("C".into()),
+                Token::LessEq,
+                Token::Int(3),
+                Token::Period,
+            ]
+        );
     }
 }

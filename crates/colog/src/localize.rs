@@ -35,7 +35,10 @@ impl std::fmt::Display for LocalizeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LocalizeError::NoHomeLocation { label } => {
-                write!(f, "distributed rule {label} has no location specifier on its head")
+                write!(
+                    f,
+                    "distributed rule {label} has no location specifier on its head"
+                )
             }
             LocalizeError::HomeNotBoundRemotely { label, location } => write!(
                 f,
@@ -77,7 +80,9 @@ pub fn localize_rule(rule: &RuleDecl) -> Result<Vec<RuleDecl>, LocalizeError> {
             body_locations
                 .first()
                 .cloned()
-                .ok_or_else(|| LocalizeError::NoHomeLocation { label: rule.label.clone() })?
+                .ok_or_else(|| LocalizeError::NoHomeLocation {
+                    label: rule.label.clone(),
+                })?
         }
     };
 
@@ -194,7 +199,9 @@ mod tests {
         assert_eq!(ship.head.name, "tmp_d2");
         assert_eq!(ship.head.location(), Some("X"));
         assert_eq!(ship.body.len(), 2);
-        assert!(!ship.is_distributed() || ship.locations() == vec!["X".to_string(), "Y".to_string()]);
+        assert!(
+            !ship.is_distributed() || ship.locations() == vec!["X".to_string(), "Y".to_string()]
+        );
         // variables shipped: Y, D, R1 (order of first appearance)
         let shipped_vars = ship.head.variables();
         assert_eq!(shipped_vars, vec!["X", "Y", "D", "R1"]);
@@ -208,10 +215,8 @@ mod tests {
 
     #[test]
     fn constraint_rule_keeps_arrow() {
-        let p = parse_program(
-            "c2 aggNborNextVm(@X,Y,R1) -> link(@Y,X), resource(@Y,R2), R1<=R2.",
-        )
-        .unwrap();
+        let p = parse_program("c2 aggNborNextVm(@X,Y,R1) -> link(@Y,X), resource(@Y,R2), R1<=R2.")
+            .unwrap();
         let out = localize_rule(&p.rules[0]).unwrap();
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].arrow, RuleArrow::Derivation); // shipping is a plain rule

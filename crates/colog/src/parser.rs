@@ -28,7 +28,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -36,7 +40,11 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { message: e.message, line: e.line, col: e.col }
+        ParseError {
+            message: e.message,
+            line: e.line,
+            col: e.col,
+        }
     }
 }
 
@@ -75,7 +83,11 @@ impl Parser {
             .get(self.pos.min(self.tokens.len().saturating_sub(1)))
             .map(|s| (s.line, s.col))
             .unwrap_or((0, 0));
-        ParseError { message: message.into(), line, col }
+        ParseError {
+            message: message.into(),
+            line,
+            col,
+        }
     }
 
     fn expect(&mut self, expected: &Token) -> Result<(), ParseError> {
@@ -113,7 +125,9 @@ impl Parser {
                     program.rules.push(self.rule()?);
                 }
                 other => {
-                    return Err(self.error(format!("expected a declaration or rule, found {other:?}")))
+                    return Err(
+                        self.error(format!("expected a declaration or rule, found {other:?}"))
+                    )
                 }
             }
         }
@@ -138,7 +152,11 @@ impl Parser {
         }
         let relation = self.predicate()?;
         self.eat_period();
-        Ok(GoalDecl { kind, var, relation })
+        Ok(GoalDecl {
+            kind,
+            var,
+            relation,
+        })
     }
 
     fn var_decl(&mut self) -> Result<VarDecl, ParseError> {
@@ -176,12 +194,15 @@ impl Parser {
                     break;
                 }
                 None => break,
-                other => {
-                    return Err(self.error(format!("expected ',' or '.', found {other:?}")))
-                }
+                other => return Err(self.error(format!("expected ',' or '.', found {other:?}"))),
             }
         }
-        Ok(RuleDecl { label, arrow, head, body })
+        Ok(RuleDecl {
+            label,
+            arrow,
+            head,
+            body,
+        })
     }
 
     fn body_elem(&mut self) -> Result<BodyElem, ParseError> {
@@ -231,7 +252,9 @@ impl Parser {
                 self.pos += 1;
                 match self.next() {
                     Some(Token::UpperIdent(v)) => Ok(Arg::Loc(v)),
-                    other => Err(self.error(format!("expected location variable, found {other:?}"))),
+                    other => {
+                        Err(self.error(format!("expected location variable, found {other:?}")))
+                    }
                 }
             }
             Some(Token::UpperIdent(word)) => {
@@ -242,8 +265,9 @@ impl Parser {
                         let inner = match self.next() {
                             Some(Token::UpperIdent(v)) => v,
                             other => {
-                                return Err(self
-                                    .error(format!("expected aggregate variable, found {other:?}")))
+                                return Err(self.error(format!(
+                                    "expected aggregate variable, found {other:?}"
+                                )))
                             }
                         };
                         self.expect(&Token::Greater)?;
@@ -458,8 +482,14 @@ mod tests {
             d3 uniqueChannel(X,UNIQUE<C>) <- assign(X,Y,C).
         "#;
         let p = parse_program(src).unwrap();
-        assert!(matches!(p.rules[0].head.args[1], Arg::Agg(AggFunc::SumAbs, _)));
-        assert!(matches!(p.rules[1].head.args[1], Arg::Agg(AggFunc::Unique, _)));
+        assert!(matches!(
+            p.rules[0].head.args[1],
+            Arg::Agg(AggFunc::SumAbs, _)
+        ));
+        assert!(matches!(
+            p.rules[1].head.args[1],
+            Arg::Agg(AggFunc::Unique, _)
+        ));
     }
 
     #[test]
@@ -468,7 +498,9 @@ mod tests {
         let p = parse_program(src).unwrap();
         match &p.rules[0].body[0] {
             BodyElem::Expr(CExpr::Bin(COp::Le, _, rhs)) => {
-                assert!(matches!(rhs.as_ref(), CExpr::Lit(Literal::Param(m)) if m == "max_migrates"));
+                assert!(
+                    matches!(rhs.as_ref(), CExpr::Lit(Literal::Param(m)) if m == "max_migrates")
+                );
             }
             other => panic!("unexpected body {other:?}"),
         }

@@ -15,7 +15,7 @@ use cologne_datalog::{NodeId, RemoteTuple, Tuple};
 use cologne_net::{Event, LinkProps, NodeTraffic, SimTime, Simulator, Topology};
 
 use crate::error::CologneError;
-use crate::instance::CologneInstance;
+use crate::instance::{CologneInstance, SolveReport};
 
 /// What a timer handler asks the driver to do next.
 #[derive(Debug, Default)]
@@ -46,7 +46,10 @@ impl DistributedCologne {
             let node = NodeId(n);
             instances.insert(node, CologneInstance::new(node, source, params.clone())?);
         }
-        Ok(DistributedCologne { instances, sim: Simulator::new(topology) })
+        Ok(DistributedCologne {
+            instances,
+            sim: Simulator::new(topology),
+        })
     }
 
     /// Create a deployment from explicitly constructed instances (e.g. with
@@ -54,7 +57,10 @@ impl DistributedCologne {
     /// messages addressed to them are dropped.
     pub fn from_instances(topology: Topology, instances: Vec<CologneInstance>) -> Self {
         let map = instances.into_iter().map(|i| (i.node(), i)).collect();
-        DistributedCologne { instances: map, sim: Simulator::new(topology) }
+        DistributedCologne {
+            instances: map,
+            sim: Simulator::new(topology),
+        }
     }
 
     /// Number of nodes with an instance.
@@ -118,6 +124,72 @@ impl DistributedCologne {
             let size = t.wire_size();
             self.sim.send_message(from.0, t.dest.0, t, size);
         }
+    }
+
+    // ----- per-node solver invocation ---------------------------------------
+
+    /// Invoke every instance's solver, one node after another in ascending
+    /// node order. Solver outputs addressed to other nodes are shipped into
+    /// the simulated network (in node order, after all nodes finished) and
+    /// drained from the returned reports.
+    ///
+    /// Returns the per-node [`SolveReport`]s, or the first error in node
+    /// order. On error nothing is shipped; local materializations that
+    /// already happened on other nodes are kept (identical to the parallel
+    /// path).
+    pub fn invoke_solvers(&mut self) -> Result<BTreeMap<NodeId, SolveReport>, CologneError> {
+        let mut results = Vec::with_capacity(self.instances.len());
+        for (node, inst) in self.instances.iter_mut() {
+            results.push((*node, inst.invoke_solver()));
+        }
+        self.finish_invocations(results)
+    }
+
+    /// [`DistributedCologne::invoke_solvers`], but with the per-node
+    /// grounding and solving running concurrently (one scoped thread per
+    /// node). The per-node COPs of the paper's distributed executions are
+    /// independent, so this is safe parallelism; the discrete-event network
+    /// stays deterministic because solver outputs are shipped only after
+    /// every node finished, in ascending node order — the same schedule as
+    /// the sequential path. Reports (and therefore tables) are bit-identical
+    /// to the sequential path as long as per-node search limits are
+    /// deterministic (node/fail limits rather than wall-clock limits).
+    pub fn invoke_solvers_parallel(
+        &mut self,
+    ) -> Result<BTreeMap<NodeId, SolveReport>, CologneError> {
+        let mut results = Vec::with_capacity(self.instances.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .instances
+                .iter_mut()
+                .map(|(node, inst)| (*node, scope.spawn(move || inst.invoke_solver())))
+                .collect();
+            for (node, handle) in handles {
+                results.push((
+                    node,
+                    handle.join().expect("per-node solver thread panicked"),
+                ));
+            }
+        });
+        self.finish_invocations(results)
+    }
+
+    /// Common tail of the sequential and parallel invocation paths: surface
+    /// the first error in node order, otherwise drain every report's
+    /// outgoing tuples into the network in node order.
+    fn finish_invocations(
+        &mut self,
+        results: Vec<(NodeId, Result<SolveReport, CologneError>)>,
+    ) -> Result<BTreeMap<NodeId, SolveReport>, CologneError> {
+        let mut reports = BTreeMap::new();
+        for (node, result) in results {
+            reports.insert(node, result?);
+        }
+        for (node, report) in reports.iter_mut() {
+            let outgoing = std::mem::take(&mut report.outgoing);
+            self.ship(*node, outgoing);
+        }
+        Ok(reports)
     }
 
     /// Run the event loop until `limit`, delivering messages to instances and
@@ -209,7 +281,10 @@ mod tests {
         let handled = d.run_messages_until(SimTime::from_secs(5));
         assert_eq!(handled, 1);
         let inst1 = d.instance(NodeId(1)).unwrap();
-        assert!(inst1.contains("pong", &vec![Value::Addr(NodeId(1)), Value::Addr(NodeId(0))]));
+        assert!(inst1.contains(
+            "pong",
+            &vec![Value::Addr(NodeId(1)), Value::Addr(NodeId(0))]
+        ));
         // traffic was accounted on both ends
         assert!(d.traffic(NodeId(0)).bytes_sent > 0);
         assert!(d.traffic(NodeId(1)).bytes_received > 0);
@@ -251,7 +326,10 @@ mod tests {
         });
         // node 1 received ping(@1, 0) and derived pong(@0, 1), shipped back to node 0
         let inst0 = d.instance(NodeId(0)).unwrap();
-        assert!(inst0.contains("pong", &vec![Value::Addr(NodeId(0)), Value::Addr(NodeId(1))]));
+        assert!(inst0.contains(
+            "pong",
+            &vec![Value::Addr(NodeId(0)), Value::Addr(NodeId(1))]
+        ));
     }
 
     #[test]
@@ -267,7 +345,11 @@ mod tests {
         assert!(d.instance_mut(NodeId(2)).is_some());
         assert_eq!(d.topology().num_nodes(), 3);
         // a message to the missing node 1 is dropped without panicking
-        d.insert_fact(NodeId(0), "ping", vec![Value::Addr(NodeId(0)), Value::Addr(NodeId(1))]);
+        d.insert_fact(
+            NodeId(0),
+            "ping",
+            vec![Value::Addr(NodeId(0)), Value::Addr(NodeId(1))],
+        );
         d.run_messages_until(SimTime::from_secs(1));
     }
 }

@@ -33,7 +33,10 @@ impl std::fmt::Display for CologneError {
             CologneError::Analysis(e) => write!(f, "{e}"),
             CologneError::Localize(e) => write!(f, "{e}"),
             CologneError::MissingParameter(p) => {
-                write!(f, "program parameter '{p}' has no value; set it in ProgramParams")
+                write!(
+                    f,
+                    "program parameter '{p}' has no value; set it in ProgramParams"
+                )
             }
             CologneError::UnboundVariable { rule, variable } => {
                 write!(f, "rule {rule}: variable {variable} is not bound")
@@ -77,11 +80,17 @@ mod tests {
     fn displays_are_informative() {
         let e = CologneError::MissingParameter("max_migrates".into());
         assert!(e.to_string().contains("max_migrates"));
-        let e = CologneError::UnboundVariable { rule: "d1".into(), variable: "C".into() };
+        let e = CologneError::UnboundVariable {
+            rule: "d1".into(),
+            variable: "C".into(),
+        };
         assert!(e.to_string().contains("d1"));
         let e = CologneError::GoalRelationEmpty("aggCost".into());
         assert!(e.to_string().contains("aggCost"));
-        assert_eq!(CologneError::NoGoal.to_string(), "program has no goal declaration");
+        assert_eq!(
+            CologneError::NoGoal.to_string(),
+            "program has no goal declaration"
+        );
     }
 
     #[test]

@@ -7,15 +7,39 @@
 //! each one is (or maps to) an integer variable of the [`cologne_solver`]
 //! model, and the selection/aggregation expressions that mention them are
 //! translated into solver constraints instead of being evaluated.
+//!
+//! # Plan / Run split
+//!
+//! Solver invocations recur on every monitoring epoch and after every input
+//! delta, so grounding is staged into two explicit phases:
+//!
+//! * [`GroundingPlan`] — the **per-program** stage, built once per compiled
+//!   program (at [`crate::CologneInstance::new`] time) from the static
+//!   [`Analysis`]. It caches everything that does not depend on table
+//!   contents: the topological evaluation order of the solver derivation
+//!   rules, the pre-assembled `head + body` element lists of the constraint
+//!   rules, the solver-variable layout of each `var` declaration (which
+//!   argument positions are solver attributes, and their domain from
+//!   [`ProgramParams`]), and the goal relation/position. The plan is only
+//!   rebuilt when the parameters change.
+//! * [`GroundingRun`] — the **per-invocation** stage: joins the rule bodies
+//!   against the current engine state, allocates solver variables and posts
+//!   constraints, producing a [`GroundedCop`]. Its model and symbol table are
+//!   taken from a [`GroundingScratch`], which recycles the solver arena
+//!   (via [`Model::reset`]) across invocations instead of reallocating it.
+//!
+//! The free function [`ground`] composes the stages for one-shot callers;
+//! [`crate::SolvePipeline`] holds plan + scratch for the repeated-invocation
+//! hot path.
 
 use std::collections::BTreeMap;
 
 use cologne_colog::{
     Analysis, Arg, BodyElem, CExpr, COp, GoalKind, Predicate, Program, ProgramParams, RuleClass,
-    RuleDecl,
+    RuleDecl, VarDomain,
 };
 use cologne_datalog::{AggFunc, Bindings, Engine, SymId, Tuple, Value};
-use cologne_solver::{LinExpr, Model, VarId};
+use cologne_solver::{LinExpr, Model, SearchConfig, SearchOutcome, VarId};
 
 use crate::error::CologneError;
 
@@ -42,47 +66,253 @@ impl GroundedCop {
     }
 
     /// Resolve a grounded value against a solver assignment.
-    pub fn resolve(
-        &self,
-        value: &Value,
-        assignment: &cologne_solver::Assignment,
-    ) -> Value {
+    pub fn resolve(&self, value: &Value, assignment: &cologne_solver::Assignment) -> Value {
         match value {
             Value::Sym(sym) => Value::Int(assignment.value(self.syms[sym.0 as usize])),
             other => other.clone(),
+        }
+    }
+
+    /// Run the search stage appropriate for the grounded objective:
+    /// branch-and-bound for `minimize`/`maximize`, satisfaction search
+    /// otherwise.
+    pub fn solve(&self, config: &SearchConfig) -> SearchOutcome {
+        match self.objective {
+            Some((GoalKind::Minimize, obj)) => self.model.minimize(obj, config),
+            Some((GoalKind::Maximize, obj)) => self.model.maximize(obj, config),
+            Some((GoalKind::Satisfy, _)) | None => self.model.satisfy(config),
         }
     }
 }
 
 /// Ground the solver rules of `program` against the current state of
 /// `engine`, producing a constraint model.
+///
+/// One-shot convenience composing the two stages: builds a fresh
+/// [`GroundingPlan`] and runs it with a fresh [`GroundingScratch`]. Repeated
+/// callers (the `invokeSolver` hot path) should hold a
+/// [`crate::SolvePipeline`] instead, which reuses both across invocations.
 pub fn ground(
     program: &Program,
     analysis: &Analysis,
     params: &ProgramParams,
     engine: &Engine,
 ) -> Result<GroundedCop, CologneError> {
-    let mut g = Grounder {
+    let plan = GroundingPlan::build(program, analysis, params);
+    plan.ground(
         program,
         analysis,
         params,
         engine,
-        model: Model::new(),
-        syms: Vec::new(),
-        solver_tables: BTreeMap::new(),
-    };
-    g.ground_var_decls()?;
-    g.ground_derivation_rules()?;
-    g.ground_constraint_rules()?;
-    let (objective, goal_relation) = g.build_objective()?;
-    Ok(GroundedCop {
-        model: g.model,
-        syms: g.syms,
-        solver_tables: g.solver_tables,
-        objective,
-        goal_relation,
-    })
+        &mut GroundingScratch::default(),
+    )
 }
+
+// ---------------------------------------------------------------------------
+// Per-program stage: the grounding plan
+// ---------------------------------------------------------------------------
+
+/// Per-`var`-declaration layout cached by the plan.
+#[derive(Debug, Clone)]
+struct VarPlan {
+    /// Index into `program.vars`.
+    decl: usize,
+    /// Domain of the declared solver variables (from [`ProgramParams`]).
+    domain: VarDomain,
+    /// For every argument position of the declared table: is it a solver
+    /// attribute (true) or bound by the `forall` predicate (false)?
+    is_solver_position: Vec<bool>,
+}
+
+/// Goal information cached by the plan.
+#[derive(Debug, Clone)]
+struct GoalPlan {
+    kind: GoalKind,
+    relation: String,
+    /// Argument position of the goal variable inside the goal relation
+    /// (`None` for `satisfy` goals, which have no objective attribute).
+    position: Option<usize>,
+}
+
+/// The per-program grounding stage: everything [`GroundingRun`] needs that
+/// does not depend on the current table contents. Built once per compiled
+/// program and reused across `invokeSolver` executions.
+#[derive(Debug, Clone)]
+pub struct GroundingPlan {
+    /// Solver derivation rules, topologically ordered by head/body relation
+    /// dependencies (source order inside cycles).
+    deriv_order: Vec<usize>,
+    /// Solver constraint rules with their pre-assembled `head + body`
+    /// element list (built once instead of per invocation).
+    constraint_elems: Vec<(usize, Vec<BodyElem>)>,
+    /// Layout of each `var` declaration.
+    var_plans: Vec<VarPlan>,
+    /// Goal relation and objective position.
+    goal: Option<GoalPlan>,
+}
+
+impl GroundingPlan {
+    /// Build the plan for a program from its static analysis.
+    pub fn build(program: &Program, analysis: &Analysis, params: &ProgramParams) -> Self {
+        let var_plans = program
+            .vars
+            .iter()
+            .enumerate()
+            .map(|(decl, vd)| {
+                let solver_positions = vd.solver_positions();
+                VarPlan {
+                    decl,
+                    domain: params.var_domain(&vd.table.name),
+                    is_solver_position: (0..vd.table.args.len())
+                        .map(|i| solver_positions.contains(&i))
+                        .collect(),
+                }
+            })
+            .collect();
+        let constraint_elems = analysis
+            .rules_in_class(RuleClass::SolverConstraint)
+            .map(|idx| {
+                let rule = &program.rules[idx];
+                // head -> body : for every grounding of the head joined with
+                // the body predicates, the body expressions must hold.
+                let mut elems: Vec<BodyElem> = Vec::with_capacity(rule.body.len() + 1);
+                elems.push(BodyElem::Pred(rule.head.clone()));
+                elems.extend(rule.body.iter().cloned());
+                (idx, elems)
+            })
+            .collect();
+        let goal = program.goal.as_ref().map(|goal| GoalPlan {
+            kind: goal.kind,
+            relation: goal.relation.name.clone(),
+            position: (goal.kind != GoalKind::Satisfy).then(|| {
+                goal.relation
+                    .args
+                    .iter()
+                    .position(|a| a.var_name() == Some(goal.var.as_str()))
+                    .expect("goal variable validated by analysis")
+            }),
+        });
+        GroundingPlan {
+            deriv_order: derivation_rule_order(program, analysis),
+            constraint_elems,
+            var_plans,
+            goal,
+        }
+    }
+
+    /// Run the per-invocation stage against the current engine state,
+    /// drawing the model and symbol table from `scratch`.
+    ///
+    /// `program`, `analysis` and `params` must be the exact values this plan
+    /// was [`GroundingPlan::build`]t from: the plan caches rule indices,
+    /// var-decl layouts and parameter-derived domains, so passing a
+    /// different program panics (index out of bounds) or grounds stale
+    /// cached layouts. [`crate::SolvePipeline`] maintains this invariant
+    /// automatically — prefer it over calling this directly.
+    pub fn ground(
+        &self,
+        program: &Program,
+        analysis: &Analysis,
+        params: &ProgramParams,
+        engine: &Engine,
+        scratch: &mut GroundingScratch,
+    ) -> Result<GroundedCop, CologneError> {
+        debug_assert!(
+            self.var_plans.len() == program.vars.len()
+                && self
+                    .deriv_order
+                    .iter()
+                    .chain(self.constraint_elems.iter().map(|(i, _)| i))
+                    .all(|&i| i < program.rules.len()),
+            "GroundingPlan used with a program it was not built from"
+        );
+        let mut run = GroundingRun {
+            plan: self,
+            program,
+            analysis,
+            params,
+            engine,
+            model: std::mem::take(&mut scratch.model),
+            syms: std::mem::take(&mut scratch.syms),
+            solver_tables: BTreeMap::new(),
+        };
+        run.ground_var_decls()?;
+        run.ground_derivation_rules()?;
+        run.ground_constraint_rules()?;
+        let (objective, goal_relation) = run.build_objective()?;
+        Ok(GroundedCop {
+            model: run.model,
+            syms: run.syms,
+            solver_tables: run.solver_tables,
+            objective,
+            goal_relation,
+        })
+    }
+}
+
+/// Topological order of solver derivation rules by head/body relation
+/// dependencies; falls back to source order inside cycles.
+fn derivation_rule_order(program: &Program, analysis: &Analysis) -> Vec<usize> {
+    let deriv: Vec<usize> = analysis
+        .rules_in_class(RuleClass::SolverDerivation)
+        .collect();
+    let head_of = |i: usize| program.rules[i].head.name.as_str();
+    let mut order: Vec<usize> = Vec::new();
+    let mut remaining: Vec<usize> = deriv;
+    while !remaining.is_empty() {
+        let mut progressed = false;
+        let mut next_remaining = Vec::new();
+        for &i in &remaining {
+            let body_rels = program.rules[i].body_relations();
+            let depends_on_pending = remaining
+                .iter()
+                .any(|&j| j != i && body_rels.contains(&head_of(j)));
+            if depends_on_pending {
+                next_remaining.push(i);
+            } else {
+                order.push(i);
+                progressed = true;
+            }
+        }
+        if !progressed {
+            // cycle: keep source order for what is left
+            order.extend(next_remaining.iter().copied());
+            break;
+        }
+        remaining = next_remaining;
+    }
+    order
+}
+
+/// Reusable per-invocation allocations: the solver model arena and the
+/// symbolic-attribute table. [`GroundingRun`] takes them at the start of an
+/// invocation; [`GroundingScratch::recycle`] reclaims them (resetting the
+/// model in place) once the caller is done with the [`GroundedCop`].
+#[derive(Default)]
+pub struct GroundingScratch {
+    model: Model,
+    syms: Vec<VarId>,
+}
+
+impl GroundingScratch {
+    /// Reclaim the model and symbol table of a finished invocation so the
+    /// next one reuses their allocations instead of growing fresh ones.
+    pub fn recycle(&mut self, cop: GroundedCop) {
+        let GroundedCop {
+            mut model,
+            mut syms,
+            ..
+        } = cop;
+        model.reset();
+        syms.clear();
+        self.model = model;
+        self.syms = syms;
+    }
+}
+
+/// Objective of a grounded COP (`None` when there is nothing to optimize)
+/// plus the goal relation name for materialization.
+type ObjectiveSpec = (Option<(GoalKind, VarId)>, Option<String>);
 
 /// Intermediate translation result for an expression over (possibly
 /// symbolic) bindings.
@@ -95,7 +325,11 @@ enum SymVal {
     Bool(VarId),
 }
 
-struct Grounder<'a> {
+/// The per-invocation grounding stage: evaluates the plan's rule schedule
+/// against the current engine state, producing model variables, constraints
+/// and solver tables. Short-lived — one value per `invokeSolver` execution.
+struct GroundingRun<'a> {
+    plan: &'a GroundingPlan,
     program: &'a Program,
     analysis: &'a Analysis,
     params: &'a ProgramParams,
@@ -105,7 +339,7 @@ struct Grounder<'a> {
     solver_tables: BTreeMap<String, Vec<Tuple>>,
 }
 
-impl<'a> Grounder<'a> {
+impl<'a> GroundingRun<'a> {
     fn new_sym(&mut self, var: VarId) -> Value {
         self.syms.push(var);
         Value::Sym(SymId((self.syms.len() - 1) as u32))
@@ -122,7 +356,10 @@ impl<'a> Grounder<'a> {
 
     fn table_tuples(&self, relation: &str) -> Vec<Tuple> {
         if self.is_solver_table(relation) {
-            self.solver_tables.get(relation).cloned().unwrap_or_default()
+            self.solver_tables
+                .get(relation)
+                .cloned()
+                .unwrap_or_default()
         } else {
             self.engine.tuples(relation)
         }
@@ -131,9 +368,11 @@ impl<'a> Grounder<'a> {
     // ----- var declarations -------------------------------------------------
 
     fn ground_var_decls(&mut self) -> Result<(), CologneError> {
-        for vd in &self.program.vars {
-            let domain = self.params.var_domain(&vd.table.name);
-            let solver_positions = vd.solver_positions();
+        let plan = self.plan;
+        let program = self.program;
+        for vp in &plan.var_plans {
+            let vd = &program.vars[vp.decl];
+            let domain = vp.domain;
             let forall_tuples = self.engine.tuples(&vd.forall.name);
             for tuple in forall_tuples {
                 let mut bindings = Bindings::new();
@@ -142,11 +381,15 @@ impl<'a> Grounder<'a> {
                 }
                 let mut row = Vec::with_capacity(vd.table.args.len());
                 for (i, arg) in vd.table.args.iter().enumerate() {
-                    if solver_positions.contains(&i) {
+                    if vp.is_solver_position[i] {
                         let name = format!(
                             "{}[{}]",
                             vd.table.name,
-                            tuple.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(",")
+                            tuple
+                                .iter()
+                                .map(|v| v.to_string())
+                                .collect::<Vec<_>>()
+                                .join(",")
                         );
                         let var = self.model.new_named_var(domain.lo, domain.hi, Some(name));
                         row.push(self.new_sym(var));
@@ -173,7 +416,10 @@ impl<'a> Grounder<'a> {
                         }
                     }
                 }
-                self.solver_tables.entry(vd.table.name.clone()).or_default().push(row);
+                self.solver_tables
+                    .entry(vd.table.name.clone())
+                    .or_default()
+                    .push(row);
             }
             // Make sure the table exists even if the forall relation is empty.
             self.solver_tables.entry(vd.table.name.clone()).or_default();
@@ -183,44 +429,11 @@ impl<'a> Grounder<'a> {
 
     // ----- solver derivation rules -------------------------------------------
 
-    fn derivation_rule_order(&self) -> Vec<usize> {
-        // Topological order of solver derivation rules by head/body relation
-        // dependencies; falls back to source order inside cycles.
-        let deriv: Vec<usize> = (0..self.program.rules.len())
-            .filter(|&i| self.analysis.class_of(i) == RuleClass::SolverDerivation)
-            .collect();
-        let head_of = |i: usize| self.program.rules[i].head.name.clone();
-        let mut order: Vec<usize> = Vec::new();
-        let mut remaining: Vec<usize> = deriv.clone();
-        while !remaining.is_empty() {
-            let mut progressed = false;
-            let mut next_remaining = Vec::new();
-            for &i in &remaining {
-                let body_rels = self.program.rules[i].body_relations();
-                let depends_on_pending = remaining.iter().any(|&j| {
-                    j != i && body_rels.contains(&head_of(j).as_str())
-                });
-                if depends_on_pending {
-                    next_remaining.push(i);
-                } else {
-                    order.push(i);
-                    progressed = true;
-                }
-            }
-            if !progressed {
-                // cycle: keep source order for what is left
-                order.extend(next_remaining.iter().copied());
-                break;
-            }
-            remaining = next_remaining;
-        }
-        order
-    }
-
     fn ground_derivation_rules(&mut self) -> Result<(), CologneError> {
-        for idx in self.derivation_rule_order() {
-            let rule = self.program.rules[idx].clone();
-            self.ground_derivation(&rule)?;
+        let plan = self.plan;
+        let program = self.program;
+        for &idx in &plan.deriv_order {
+            self.ground_derivation(&program.rules[idx])?;
         }
         Ok(())
     }
@@ -234,7 +447,10 @@ impl<'a> Grounder<'a> {
             for b in &bindings_list {
                 rows.push(self.instantiate_head(rule, b)?);
             }
-            self.solver_tables.entry(rule.head.name.clone()).or_default().extend(rows);
+            self.solver_tables
+                .entry(rule.head.name.clone())
+                .or_default()
+                .extend(rows);
         }
         Ok(())
     }
@@ -311,8 +527,10 @@ impl<'a> Grounder<'a> {
                     variable: "<head>".into(),
                 });
             }
-            let entry = groups.entry(key).or_insert_with(|| vec![Vec::new(); agg_args.len()]);
-            for (slot, v) in entry.iter_mut().zip(operands.into_iter()) {
+            let entry = groups
+                .entry(key)
+                .or_insert_with(|| vec![Vec::new(); agg_args.len()]);
+            for (slot, v) in entry.iter_mut().zip(operands) {
                 slot.push(v);
             }
         }
@@ -334,7 +552,10 @@ impl<'a> Grounder<'a> {
             }
             rows.push(row);
         }
-        self.solver_tables.entry(rule.head.name.clone()).or_default().extend(rows);
+        self.solver_tables
+            .entry(rule.head.name.clone())
+            .or_default()
+            .extend(rows);
         Ok(())
     }
 
@@ -378,19 +599,13 @@ impl<'a> Grounder<'a> {
     // ----- solver constraint rules -------------------------------------------
 
     fn ground_constraint_rules(&mut self) -> Result<(), CologneError> {
-        for idx in 0..self.program.rules.len() {
-            if self.analysis.class_of(idx) != RuleClass::SolverConstraint {
-                continue;
-            }
-            let rule = self.program.rules[idx].clone();
-            // head -> body : for every grounding of the head joined with the
-            // body predicates, the body expressions must hold.
-            let mut elems: Vec<BodyElem> = vec![BodyElem::Pred(rule.head.clone())];
-            elems.extend(rule.body.iter().cloned());
-            let bindings_list = self.join_body(&rule, &elems, true)?;
-            // Expressions were already posted as hard constraints during the
-            // join (force=true); nothing further to do.
-            let _ = bindings_list;
+        let plan = self.plan;
+        let program = self.program;
+        for (idx, elems) in &plan.constraint_elems {
+            let rule = &program.rules[*idx];
+            // Expressions are posted as hard constraints during the join
+            // (force=true); the surviving bindings themselves are not needed.
+            self.join_body(rule, elems, true)?;
         }
         Ok(())
     }
@@ -472,20 +687,18 @@ impl<'a> Grounder<'a> {
                         return false;
                     }
                 }
-                Arg::Loc(v) | Arg::Var(v) => {
-                    match bindings.get(v).cloned() {
-                        None => bindings.set(v, value.clone()),
-                        Some(existing) if &existing == value => {}
-                        Some(existing) => {
-                            let symbolic = existing.is_symbolic() || value.is_symbolic();
-                            if equate_symbolic && symbolic {
-                                self.post_value_equality(&existing, value);
-                            } else {
-                                return false;
-                            }
+                Arg::Loc(v) | Arg::Var(v) => match bindings.get(v).cloned() {
+                    None => bindings.set(v, value.clone()),
+                    Some(existing) if &existing == value => {}
+                    Some(existing) => {
+                        let symbolic = existing.is_symbolic() || value.is_symbolic();
+                        if equate_symbolic && symbolic {
+                            self.post_value_equality(&existing, value);
+                        } else {
+                            return false;
                         }
                     }
-                }
+                },
                 Arg::Agg(_, _) => return false,
             }
         }
@@ -572,7 +785,11 @@ impl<'a> Grounder<'a> {
                         _ => continue,
                     };
                     // X ranges over {0, k}; b <=> X == k; b <=> rhs.
-                    let values = if k_val == 0 { vec![0, 1] } else { vec![0, k_val] };
+                    let values = if k_val == 0 {
+                        vec![0, 1]
+                    } else {
+                        vec![0, k_val]
+                    };
                     let x_var = self.model.new_var_from_values(&values);
                     let b = self.model.new_bool();
                     self.model.reif_linear_eq(b, &[(1, x_var)], k_val);
@@ -648,7 +865,9 @@ impl<'a> Grounder<'a> {
             },
             CExpr::Lit(lit) => {
                 let value = crate::translate::literal_to_value(lit, self.params)?;
-                Ok(SymVal::Concrete(value.as_f64().unwrap_or(0.0).round() as i64))
+                Ok(SymVal::Concrete(
+                    value.as_f64().unwrap_or(0.0).round() as i64
+                ))
             }
             CExpr::Neg(inner) => {
                 let v = self.translate(rule, inner, bindings)?;
@@ -692,7 +911,11 @@ impl<'a> Grounder<'a> {
                 }
                 let l = self.symval_to_linear(lhs);
                 let r = self.symval_to_linear(rhs);
-                Ok(SymVal::Linear(if op == Add { l.plus(&r) } else { l.minus(&r) }))
+                Ok(SymVal::Linear(if op == Add {
+                    l.plus(&r)
+                } else {
+                    l.minus(&r)
+                }))
             }
             Mul => match (lhs, rhs) {
                 (SymVal::Concrete(a), SymVal::Concrete(b)) => Ok(SymVal::Concrete(a * b)),
@@ -710,9 +933,7 @@ impl<'a> Grounder<'a> {
                 }
             },
             Div => match (lhs, rhs) {
-                (SymVal::Concrete(a), SymVal::Concrete(b)) if b != 0 => {
-                    Ok(SymVal::Concrete(a / b))
-                }
+                (SymVal::Concrete(a), SymVal::Concrete(b)) if b != 0 => Ok(SymVal::Concrete(a / b)),
                 _ => Err(CologneError::UnsupportedExpression {
                     rule: rule.label.clone(),
                     detail: "division involving solver variables".into(),
@@ -744,7 +965,9 @@ impl<'a> Grounder<'a> {
                         self.model.linear_eq(&[(1, b), (1, beq)], 1);
                     }
                     Le => self.model.reif_linear_le(b, &diff.terms, -diff.constant),
-                    Lt => self.model.reif_linear_le(b, &diff.terms, -diff.constant - 1),
+                    Lt => self
+                        .model
+                        .reif_linear_le(b, &diff.terms, -diff.constant - 1),
                     Ge => {
                         let neg: Vec<(i64, VarId)> =
                             diff.terms.iter().map(|&(c, v)| (-c, v)).collect();
@@ -764,22 +987,15 @@ impl<'a> Grounder<'a> {
 
     // ----- goal -----------------------------------------------------------------
 
-    fn build_objective(
-        &mut self,
-    ) -> Result<(Option<(GoalKind, VarId)>, Option<String>), CologneError> {
-        let Some(goal) = &self.program.goal else {
+    fn build_objective(&mut self) -> Result<ObjectiveSpec, CologneError> {
+        let Some(goal) = &self.plan.goal else {
             return Ok((None, None));
         };
         if goal.kind == GoalKind::Satisfy {
-            return Ok((None, Some(goal.relation.name.clone())));
+            return Ok((None, Some(goal.relation.clone())));
         }
-        let position = goal
-            .relation
-            .args
-            .iter()
-            .position(|a| a.var_name() == Some(goal.var.as_str()))
-            .expect("validated by analysis");
-        let tuples = self.table_tuples(&goal.relation.name);
+        let position = goal.position.expect("non-satisfy goals have a position");
+        let tuples = self.table_tuples(&goal.relation);
         let mut terms: Vec<(i64, VarId)> = Vec::new();
         let mut constant = 0i64;
         for t in &tuples {
@@ -792,14 +1008,14 @@ impl<'a> Grounder<'a> {
         if terms.is_empty() && tuples.is_empty() {
             // Nothing to optimize: leave the objective out; the caller treats
             // the COP as trivially solved.
-            return Ok((None, Some(goal.relation.name.clone())));
+            return Ok((None, Some(goal.relation.clone())));
         }
         let objective = if terms.len() == 1 && constant == 0 {
             terms[0].1
         } else {
             self.model.linear_var(&terms, constant)
         };
-        Ok((Some((goal.kind, objective)), Some(goal.relation.name.clone())))
+        Ok((Some((goal.kind, objective)), Some(goal.relation.clone())))
     }
 }
 
@@ -854,7 +1070,10 @@ mod tests {
         // two hosts (idle), two VMs of 40 and 20 CPU units, plenty of memory
         let mut e = Engine::new(NodeId(0));
         for (vid, cpu, mem) in [(1, 40, 4), (2, 20, 4)] {
-            e.insert("vm", vec![Value::Int(vid), Value::Int(cpu), Value::Int(mem)]);
+            e.insert(
+                "vm",
+                vec![Value::Int(vid), Value::Int(cpu), Value::Int(mem)],
+            );
         }
         for hid in [10, 11] {
             e.insert("host", vec![Value::Int(hid), Value::Int(0), Value::Int(0)]);
@@ -870,8 +1089,7 @@ mod tests {
         // install the regular rule so toAssign is materialized
         for (idx, rule) in program.rules.iter().enumerate() {
             if analysis.class_of(idx) == RuleClass::Regular {
-                engine
-                    .add_rule(crate::translate::rule_to_datalog(rule, &params).unwrap());
+                engine.add_rule(crate::translate::rule_to_datalog(rule, &params).unwrap());
             }
         }
         engine.run();
@@ -921,7 +1139,10 @@ mod tests {
         // Hosts only have 4 memory units, each VM needs 4: VMs must spread.
         let mut e = Engine::new(NodeId(0));
         for (vid, cpu, mem) in [(1, 10, 4), (2, 10, 4)] {
-            e.insert("vm", vec![Value::Int(vid), Value::Int(cpu), Value::Int(mem)]);
+            e.insert(
+                "vm",
+                vec![Value::Int(vid), Value::Int(cpu), Value::Int(mem)],
+            );
         }
         for hid in [10, 11] {
             e.insert("host", vec![Value::Int(hid), Value::Int(0), Value::Int(0)]);
@@ -977,7 +1198,11 @@ mod tests {
         engine.run();
         let cop = ground(&program, &analysis, &params, &engine).unwrap();
         let (_, obj) = cop.objective.unwrap();
-        let best = cop.model.minimize(obj, &SearchConfig::default()).best.expect("feasible");
+        let best = cop
+            .model
+            .minimize(obj, &SearchConfig::default())
+            .best
+            .expect("feasible");
         // With zero migrations allowed, both VMs must remain on host 10.
         for row in &cop.solver_tables["assign"] {
             let hid = row[1].as_int().unwrap();
@@ -1008,6 +1233,9 @@ mod tests {
             Err(e) => e,
             Ok(_) => panic!("grounding should fail without max_migrates"),
         };
-        assert!(matches!(err, CologneError::UnboundVariable { .. } | CologneError::MissingParameter(_)));
+        assert!(matches!(
+            err,
+            CologneError::UnboundVariable { .. } | CologneError::MissingParameter(_)
+        ));
     }
 }

@@ -13,13 +13,14 @@
 use std::collections::BTreeMap;
 
 use cologne_colog::{
-    analyze, localize_rules, parse_program, Analysis, GoalKind, Program, ProgramParams, RuleClass,
+    analyze, localize_rules, parse_program, Analysis, Program, ProgramParams, RuleClass,
 };
 use cologne_datalog::{Engine, NodeId, RemoteTuple, Tuple};
 use cologne_solver::{SearchConfig, SearchStats};
 
 use crate::error::CologneError;
-use crate::ground::{ground, GroundedCop};
+use crate::ground::GroundedCop;
+use crate::pipeline::SolvePipeline;
 use crate::translate::rule_to_datalog;
 
 /// Result of one `invokeSolver` execution.
@@ -70,6 +71,7 @@ pub struct CologneInstance {
     analysis: Analysis,
     params: ProgramParams,
     engine: Engine,
+    pipeline: SolvePipeline,
     cumulative_stats: SearchStats,
     solver_invocations: u64,
 }
@@ -84,7 +86,11 @@ impl CologneInstance {
     pub fn new(node: NodeId, source: &str, params: ProgramParams) -> Result<Self, CologneError> {
         let parsed = parse_program(source)?;
         let localized_rules = localize_rules(&parsed.rules)?;
-        let program = Program { goal: parsed.goal, vars: parsed.vars, rules: localized_rules };
+        let program = Program {
+            goal: parsed.goal,
+            vars: parsed.vars,
+            rules: localized_rules,
+        };
         let analysis = analyze(&program)?;
         let mut engine = Engine::new(node);
         for (idx, rule) in program.rules.iter().enumerate() {
@@ -92,12 +98,14 @@ impl CologneInstance {
                 engine.add_rule(rule_to_datalog(rule, &params)?);
             }
         }
+        let pipeline = SolvePipeline::new(&program, &analysis, &params);
         Ok(CologneInstance {
             node,
             program,
             analysis,
             params,
             engine,
+            pipeline,
             cumulative_stats: SearchStats::default(),
             solver_invocations: 0,
         })
@@ -124,9 +132,20 @@ impl CologneInstance {
     }
 
     /// Mutable access to the parameters (e.g. to change thresholds between
-    /// solver invocations when exploring policy variants).
+    /// solver invocations when exploring policy variants). Invalidates the
+    /// cached [`crate::GroundingPlan`], which is rebuilt on the next solver
+    /// invocation.
     pub fn params_mut(&mut self) -> &mut ProgramParams {
+        self.pipeline.invalidate();
         &mut self.params
+    }
+
+    /// Number of grounding-plan builds over the instance's lifetime: 1 after
+    /// construction, +1 for every rebuild forced by a parameter change. A
+    /// constant value across repeated [`CologneInstance::invoke_solver`]
+    /// calls demonstrates plan reuse.
+    pub fn plan_builds(&self) -> u64 {
+        self.pipeline.plan_builds()
     }
 
     /// Total solver statistics accumulated over all invocations.
@@ -166,6 +185,11 @@ impl CologneInstance {
         self.engine.tuples(relation)
     }
 
+    /// Names of every relation the engine has seen, sorted.
+    pub fn relations(&self) -> Vec<String> {
+        self.engine.relation_names()
+    }
+
     /// True if a relation contains the tuple.
     pub fn contains(&self, relation: &str, tuple: &Tuple) -> bool {
         self.engine.contains(relation, tuple)
@@ -199,28 +223,42 @@ impl CologneInstance {
 
     /// Ground the solver rules against the current tables without solving
     /// (useful for inspection and benchmarking of the grounding step alone).
+    /// The returned COP owns its model and can be solved directly with
+    /// [`GroundedCop::solve`]; hand it back via
+    /// [`CologneInstance::recycle`] to keep the arena reuse of the pipeline.
     pub fn ground_only(&mut self) -> Result<GroundedCop, CologneError> {
         self.engine.run();
-        ground(&self.program, &self.analysis, &self.params, &self.engine)
+        self.pipeline
+            .ground(&self.program, &self.analysis, &self.params, &self.engine)
     }
 
-    /// The paper's `invokeSolver`: ground the COP, run branch-and-bound under
-    /// the configured limits, materialize the result and re-run the rules.
+    /// Reclaim a [`GroundedCop`] obtained from
+    /// [`CologneInstance::ground_only`] so the next grounding reuses its
+    /// model arena and symbol table ([`CologneInstance::invoke_solver`] does
+    /// this internally).
+    pub fn recycle(&mut self, cop: GroundedCop) {
+        self.pipeline.recycle(cop);
+    }
+
+    /// The paper's `invokeSolver`, staged through the [`SolvePipeline`]:
+    /// ground the COP (reusing the cached plan and recycled model arena), run
+    /// branch-and-bound under the configured limits, materialize the result
+    /// and re-run the rules.
     pub fn invoke_solver(&mut self) -> Result<SolveReport, CologneError> {
         self.engine.run();
-        let cop = ground(&self.program, &self.analysis, &self.params, &self.engine)?;
+        let cop =
+            self.pipeline
+                .ground(&self.program, &self.analysis, &self.params, &self.engine)?;
         self.solver_invocations += 1;
         if cop.is_trivial() {
+            self.pipeline.recycle(cop);
             return Ok(SolveReport::empty(true));
         }
         let config = self.search_config();
-        let outcome = match cop.objective {
-            Some((GoalKind::Minimize, obj)) => cop.model.minimize(obj, &config),
-            Some((GoalKind::Maximize, obj)) => cop.model.maximize(obj, &config),
-            Some((GoalKind::Satisfy, _)) | None => cop.model.satisfy(&config),
-        };
+        let outcome = cop.solve(&config);
         self.cumulative_stats.merge(&outcome.stats);
         let Some(best) = outcome.best else {
+            self.pipeline.recycle(cop);
             return Ok(SolveReport {
                 feasible: false,
                 trivial: false,
@@ -242,8 +280,12 @@ impl CologneInstance {
                 .collect();
             assignments.insert(name.clone(), resolved);
         }
-        let mut to_materialize: Vec<String> =
-            self.program.vars.iter().map(|v| v.table.name.clone()).collect();
+        let mut to_materialize: Vec<String> = self
+            .program
+            .vars
+            .iter()
+            .map(|v| v.table.name.clone())
+            .collect();
         if let Some(goal_rel) = &cop.goal_relation {
             to_materialize.push(goal_rel.clone());
         }
@@ -255,12 +297,15 @@ impl CologneInstance {
         self.engine.run();
         let outgoing = self.engine.take_outbox();
 
+        let objective = outcome
+            .best_objective
+            .or_else(|| cop.objective.map(|(_, obj)| best.value(obj)));
+        self.pipeline.recycle(cop);
+
         Ok(SolveReport {
             feasible: true,
             trivial: false,
-            objective: outcome.best_objective.or_else(|| {
-                cop.objective.map(|(_, obj)| best.value(obj))
-            }),
+            objective,
             proven_optimal: outcome.complete,
             stats: outcome.stats,
             assignments,
@@ -291,7 +336,10 @@ mod tests {
         let params = ProgramParams::new().with_var_domain("assign", VarDomain::BOOL);
         let mut inst = CologneInstance::new(NodeId(0), ACLOUD, params).unwrap();
         for (vid, cpu, mem) in [(1, 40, 4), (2, 20, 4), (3, 30, 4)] {
-            inst.insert_fact("vm", vec![Value::Int(vid), Value::Int(cpu), Value::Int(mem)]);
+            inst.insert_fact(
+                "vm",
+                vec![Value::Int(vid), Value::Int(cpu), Value::Int(mem)],
+            );
         }
         for hid in [10, 11, 12] {
             inst.insert_fact("host", vec![Value::Int(hid), Value::Int(0), Value::Int(0)]);
@@ -384,7 +432,10 @@ mod tests {
         let params = ProgramParams::new().with_solver_node_limit(Some(3));
         let mut inst = CologneInstance::new(NodeId(0), ACLOUD, params).unwrap();
         for vid in 0..6i64 {
-            inst.insert_fact("vm", vec![Value::Int(vid), Value::Int(10 + vid), Value::Int(1)]);
+            inst.insert_fact(
+                "vm",
+                vec![Value::Int(vid), Value::Int(10 + vid), Value::Int(1)],
+            );
         }
         for hid in [10, 11] {
             inst.insert_fact("host", vec![Value::Int(hid), Value::Int(0), Value::Int(0)]);
@@ -402,7 +453,10 @@ mod tests {
         inst.delete_fact("vm", vec![Value::Int(3), Value::Int(30), Value::Int(4)]);
         inst.run_rules();
         assert_eq!(inst.tuples("vm").len(), 2);
-        inst.set_table("vm", vec![vec![Value::Int(9), Value::Int(5), Value::Int(1)]]);
+        inst.set_table(
+            "vm",
+            vec![vec![Value::Int(9), Value::Int(5), Value::Int(1)]],
+        );
         inst.run_rules();
         assert_eq!(inst.tuples("vm").len(), 1);
         assert!(inst.contains("vm", &vec![Value::Int(9), Value::Int(5), Value::Int(1)]));

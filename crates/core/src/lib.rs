@@ -65,12 +65,14 @@ pub mod distributed;
 pub mod error;
 pub mod ground;
 pub mod instance;
+pub mod pipeline;
 pub mod translate;
 
 pub use distributed::{DistributedCologne, TimerOutcome};
 pub use error::CologneError;
-pub use ground::{ground, GroundedCop};
+pub use ground::{ground, GroundedCop, GroundingPlan, GroundingScratch};
 pub use instance::{CologneInstance, SolveReport};
+pub use pipeline::SolvePipeline;
 
 // Re-export the compiler-facing types users need to drive the runtime.
 pub use cologne_colog::{GoalKind, Program, ProgramParams, RuleClass, VarDomain};

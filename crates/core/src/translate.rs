@@ -60,7 +60,11 @@ pub fn predicate_to_head(pred: &Predicate, params: &ProgramParams) -> Result<Hea
             other => args.push(HeadArg::Term(arg_to_term(other, params)?)),
         }
     }
-    Ok(Head { relation: pred.name.clone(), args, located: pred.location().is_some() })
+    Ok(Head {
+        relation: pred.name.clone(),
+        args,
+        located: pred.location().is_some(),
+    })
 }
 
 fn cop_to_op(op: COp) -> Op {
@@ -114,7 +118,11 @@ pub fn rule_to_datalog(rule: &RuleDecl, params: &ProgramParams) -> Result<Rule, 
             }
         }
     }
-    Ok(Rule { label: rule.label.clone(), head, body })
+    Ok(Rule {
+        label: rule.label.clone(),
+        head,
+        body,
+    })
 }
 
 #[cfg(test)]
@@ -126,7 +134,10 @@ mod tests {
     #[test]
     fn literals_and_parameters_resolve() {
         let params = ProgramParams::new().with_constant("max_migrates", 3);
-        assert_eq!(literal_to_value(&Literal::Int(7), &params).unwrap(), Value::Int(7));
+        assert_eq!(
+            literal_to_value(&Literal::Int(7), &params).unwrap(),
+            Value::Int(7)
+        );
         assert_eq!(
             literal_to_value(&Literal::Param("max_migrates".into()), &params).unwrap(),
             Value::Int(3)
@@ -153,10 +164,9 @@ mod tests {
 
     #[test]
     fn lowered_rule_runs_on_the_engine() {
-        let program = parse_program(
-            "r1 toAssign(Vid,Hid) <- vm(Vid,Cpu,Mem), host(Hid,Cpu2,Mem2), Cpu>20.",
-        )
-        .unwrap();
+        let program =
+            parse_program("r1 toAssign(Vid,Hid) <- vm(Vid,Cpu,Mem), host(Hid,Cpu2,Mem2), Cpu>20.")
+                .unwrap();
         let params = ProgramParams::new();
         let rule = rule_to_datalog(&program.rules[0], &params).unwrap();
         let mut engine = Engine::new(NodeId(0));
@@ -172,8 +182,7 @@ mod tests {
 
     #[test]
     fn located_predicates_keep_their_flag() {
-        let program =
-            parse_program("r2 ping(@Y,X) <- link(@X,Y).").unwrap();
+        let program = parse_program("r2 ping(@Y,X) <- link(@X,Y).").unwrap();
         let rule = rule_to_datalog(&program.rules[0], &ProgramParams::new()).unwrap();
         assert!(rule.head.located);
         match &rule.body[0] {
@@ -200,8 +209,7 @@ mod tests {
 
     #[test]
     fn assignment_and_abs_translate() {
-        let program =
-            parse_program("r3 out(X,R) <- in(X,R1), R:=-R1, |R1-3|<=5.").unwrap();
+        let program = parse_program("r3 out(X,R) <- in(X,R1), R:=-R1, |R1-3|<=5.").unwrap();
         let rule = rule_to_datalog(&program.rules[0], &ProgramParams::new()).unwrap();
         assert!(matches!(rule.body[1], BodyItem::Assign(_, _)));
         assert!(matches!(rule.body[2], BodyItem::Filter(_)));

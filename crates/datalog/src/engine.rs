@@ -139,12 +139,20 @@ impl Engine {
 
     /// Queue an insertion of a base (or received) tuple.
     pub fn insert(&mut self, relation: &str, tuple: Tuple) {
-        self.pending.push_back(Delta { relation: relation.to_string(), tuple, insert: true });
+        self.pending.push_back(Delta {
+            relation: relation.to_string(),
+            tuple,
+            insert: true,
+        });
     }
 
     /// Queue a deletion of a base (or received) tuple.
     pub fn delete(&mut self, relation: &str, tuple: Tuple) {
-        self.pending.push_back(Delta { relation: relation.to_string(), tuple, insert: false });
+        self.pending.push_back(Delta {
+            relation: relation.to_string(),
+            tuple,
+            insert: false,
+        });
     }
 
     /// Replace the contents of a base relation with `tuples`, queueing the
@@ -172,17 +180,25 @@ impl Engine {
 
     /// Visible tuples of a relation (sorted, deterministic).
     pub fn tuples(&self, relation: &str) -> Vec<Tuple> {
-        self.relations.get(relation).map(|r| r.sorted_tuples()).unwrap_or_default()
+        self.relations
+            .get(relation)
+            .map(|r| r.sorted_tuples())
+            .unwrap_or_default()
     }
 
     /// True if the relation currently contains the tuple.
     pub fn contains(&self, relation: &str, tuple: &Tuple) -> bool {
-        self.relations.get(relation).is_some_and(|r| r.contains(tuple))
+        self.relations
+            .get(relation)
+            .is_some_and(|r| r.contains(tuple))
     }
 
     /// Number of visible tuples in a relation.
     pub fn relation_len(&self, relation: &str) -> usize {
-        self.relations.get(relation).map(|r| r.iter().count()).unwrap_or(0)
+        self.relations
+            .get(relation)
+            .map(|r| r.iter().count())
+            .unwrap_or(0)
     }
 
     /// Names of all relations that currently exist.
@@ -249,13 +265,7 @@ impl Engine {
 
     /// Fire a non-aggregate rule with the delta tuple pinned at its (unique)
     /// occurrence of `relation`.
-    fn fire_incremental(
-        &mut self,
-        rule_idx: usize,
-        relation: &str,
-        tuple: &Tuple,
-        insert: bool,
-    ) {
+    fn fire_incremental(&mut self, rule_idx: usize, relation: &str, tuple: &Tuple, insert: bool) {
         let rule = self.rules[rule_idx].clone();
         let pin_pos = rule.body.iter().position(|b| match b {
             BodyItem::Atom(a) => a.relation == relation,
@@ -298,13 +308,22 @@ impl Engine {
             out.dedup();
             out
         };
-        let prev = self.prev_output.insert(rule_idx, new_output.clone()).unwrap_or_default();
+        let prev = self
+            .prev_output
+            .insert(rule_idx, new_output.clone())
+            .unwrap_or_default();
         let prev_set: HashSet<&Tuple> = prev.iter().collect();
         let new_set: HashSet<&Tuple> = new_output.iter().collect();
-        let deletions: Vec<Tuple> =
-            prev.iter().filter(|t| !new_set.contains(*t)).cloned().collect();
-        let insertions: Vec<Tuple> =
-            new_output.iter().filter(|t| !prev_set.contains(*t)).cloned().collect();
+        let deletions: Vec<Tuple> = prev
+            .iter()
+            .filter(|t| !new_set.contains(*t))
+            .cloned()
+            .collect();
+        let insertions: Vec<Tuple> = new_output
+            .iter()
+            .filter(|t| !prev_set.contains(*t))
+            .cloned()
+            .collect();
         for t in deletions {
             self.emit(&rule, t, false);
         }
@@ -350,8 +369,10 @@ impl Engine {
             if !ok {
                 continue;
             }
-            let entry = groups.entry(key).or_insert_with(|| vec![Vec::new(); agg_count]);
-            for (slot, v) in entry.iter_mut().zip(collected.into_iter()) {
+            let entry = groups
+                .entry(key)
+                .or_insert_with(|| vec![Vec::new(); agg_count]);
+            for (slot, v) in entry.iter_mut().zip(collected) {
                 slot.push(v);
             }
         }
@@ -415,7 +436,11 @@ impl Engine {
                 }
             }
         }
-        self.pending.push_back(Delta { relation: rule.head.relation.clone(), tuple, insert });
+        self.pending.push_back(Delta {
+            relation: rule.head.relation.clone(),
+            tuple,
+            insert,
+        });
     }
 
     /// Join the body items against the current database. If `pin` is given,
@@ -502,7 +527,10 @@ mod tests {
             Rule::new(
                 "r1",
                 Head::simple("path", vec![Term::var("X"), Term::var("Y")]),
-                vec![BodyItem::Atom(Atom::new("link", vec![Term::var("X"), Term::var("Y")]))],
+                vec![BodyItem::Atom(Atom::new(
+                    "link",
+                    vec![Term::var("X"), Term::var("Y")],
+                ))],
             ),
             Rule::new(
                 "r2",
@@ -560,7 +588,10 @@ mod tests {
             vec![
                 BodyItem::Atom(Atom::new("item", vec![Term::var("X"), Term::var("Y")])),
                 BodyItem::Filter(Expr::bin(Op::Gt, Expr::var("Y"), Expr::int(10))),
-                BodyItem::Assign("Y2".into(), Expr::bin(Op::Mul, Expr::var("Y"), Expr::int(2))),
+                BodyItem::Assign(
+                    "Y2".into(),
+                    Expr::bin(Op::Mul, Expr::var("Y"), Expr::int(2)),
+                ),
             ],
         ));
         e.insert("item", int_tuple(&[1, 5]));
@@ -578,7 +609,10 @@ mod tests {
             "d1",
             Head {
                 relation: "hostCpu".into(),
-                args: vec![HeadArg::Term(Term::var("H")), HeadArg::Agg(AggFunc::Sum, "C".into())],
+                args: vec![
+                    HeadArg::Term(Term::var("H")),
+                    HeadArg::Agg(AggFunc::Sum, "C".into()),
+                ],
                 located: false,
             },
             vec![BodyItem::Atom(Atom::new(
@@ -671,7 +705,10 @@ mod tests {
                 args: vec![HeadArg::Term(Term::var("X"))],
                 located: true,
             },
-            vec![BodyItem::Atom(Atom::located("link", vec![Term::var("X"), Term::var("Y")]))],
+            vec![BodyItem::Atom(Atom::located(
+                "link",
+                vec![Term::var("X"), Term::var("Y")],
+            ))],
         ));
         e.insert("link", vec![Value::Addr(NodeId(0)), Value::Addr(NodeId(7))]);
         e.run();

@@ -281,7 +281,9 @@ pub struct Bindings {
 impl Bindings {
     /// Empty bindings.
     pub fn new() -> Self {
-        Bindings { entries: Vec::new() }
+        Bindings {
+            entries: Vec::new(),
+        }
     }
 
     /// Look up a variable.
@@ -381,10 +383,19 @@ mod tests {
     #[test]
     fn abs_and_neg() {
         let b = bind(&[("X", Value::Int(-4))]);
-        assert_eq!(Expr::Abs(Box::new(Expr::var("X"))).eval(&b).unwrap(), Value::Int(4));
-        assert_eq!(Expr::Neg(Box::new(Expr::var("X"))).eval(&b).unwrap(), Value::Int(4));
+        assert_eq!(
+            Expr::Abs(Box::new(Expr::var("X"))).eval(&b).unwrap(),
+            Value::Int(4)
+        );
+        assert_eq!(
+            Expr::Neg(Box::new(Expr::var("X"))).eval(&b).unwrap(),
+            Value::Int(4)
+        );
         let f = bind(&[("X", Value::float(-2.5))]);
-        assert_eq!(Expr::Abs(Box::new(Expr::var("X"))).eval(&f).unwrap(), Value::float(2.5));
+        assert_eq!(
+            Expr::Abs(Box::new(Expr::var("X"))).eval(&f).unwrap(),
+            Value::float(2.5)
+        );
     }
 
     #[test]

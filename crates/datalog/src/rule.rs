@@ -24,12 +24,20 @@ pub struct Atom {
 impl Atom {
     /// Build an atom without a location specifier.
     pub fn new(relation: &str, args: Vec<Term>) -> Atom {
-        Atom { relation: relation.to_string(), args, located: false }
+        Atom {
+            relation: relation.to_string(),
+            args,
+            located: false,
+        }
     }
 
     /// Build a located atom (first argument is the node address).
     pub fn located(relation: &str, args: Vec<Term>) -> Atom {
-        Atom { relation: relation.to_string(), args, located: true }
+        Atom {
+            relation: relation.to_string(),
+            args,
+            located: true,
+        }
     }
 
     /// Match a tuple against this atom, extending `bindings`.
@@ -155,7 +163,9 @@ impl AggFunc {
             AggFunc::Min => values.iter().min().cloned().unwrap_or(Value::Int(0)),
             AggFunc::Max => values.iter().max().cloned().unwrap_or(Value::Int(0)),
             AggFunc::Sum | AggFunc::SumAbs => {
-                let all_int = values.iter().all(|v| matches!(v, Value::Int(_) | Value::Bool(_)));
+                let all_int = values
+                    .iter()
+                    .all(|v| matches!(v, Value::Int(_) | Value::Bool(_)));
                 if all_int {
                     let mut s = 0i64;
                     for v in values {
@@ -247,7 +257,11 @@ pub struct Rule {
 impl Rule {
     /// Create a rule.
     pub fn new(label: &str, head: Head, body: Vec<BodyItem>) -> Rule {
-        Rule { label: label.to_string(), head, body }
+        Rule {
+            label: label.to_string(),
+            head,
+            body,
+        }
     }
 
     /// Names of the relations referenced in the body.
@@ -295,7 +309,10 @@ mod tests {
         let atom = Atom::new("host", vec![Term::var("Hid"), Term::int(0)]);
         let mut b = Bindings::new();
         b.bind("Hid", Value::Int(9));
-        assert_eq!(atom.instantiate(&b).unwrap(), vec![Value::Int(9), Value::Int(0)]);
+        assert_eq!(
+            atom.instantiate(&b).unwrap(),
+            vec![Value::Int(9), Value::Int(0)]
+        );
         let missing = Atom::new("host", vec![Term::var("Nope")]);
         assert!(missing.instantiate(&b).is_err());
     }
@@ -343,7 +360,10 @@ mod tests {
     fn head_and_rule_helpers() {
         let head = Head {
             relation: "hostCpu".into(),
-            args: vec![HeadArg::Term(Term::var("Hid")), HeadArg::Agg(AggFunc::Sum, "C".into())],
+            args: vec![
+                HeadArg::Term(Term::var("Hid")),
+                HeadArg::Agg(AggFunc::Sum, "C".into()),
+            ],
             located: false,
         };
         assert!(head.has_aggregate());
@@ -352,8 +372,14 @@ mod tests {
             "d1",
             head,
             vec![
-                BodyItem::Atom(Atom::new("assign", vec![Term::var("Vid"), Term::var("Hid"), Term::var("V")])),
-                BodyItem::Atom(Atom::new("vm", vec![Term::var("Vid"), Term::var("Cpu"), Term::var("Mem")])),
+                BodyItem::Atom(Atom::new(
+                    "assign",
+                    vec![Term::var("Vid"), Term::var("Hid"), Term::var("V")],
+                )),
+                BodyItem::Atom(Atom::new(
+                    "vm",
+                    vec![Term::var("Vid"), Term::var("Cpu"), Term::var("Mem")],
+                )),
                 BodyItem::Assign(
                     "C".into(),
                     Expr::bin(Op::Mul, Expr::var("V"), Expr::var("Cpu")),

@@ -23,7 +23,9 @@ pub struct Relation {
 impl Relation {
     /// Empty relation.
     pub fn new() -> Self {
-        Relation { tuples: HashMap::new() }
+        Relation {
+            tuples: HashMap::new(),
+        }
     }
 
     /// Number of distinct visible tuples.

@@ -152,7 +152,8 @@ impl<P> Simulator<P> {
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Reverse((time, seq)));
-        self.pending.insert((time, seq), Scheduled { time, seq, event });
+        self.pending
+            .insert((time, seq), Scheduled { time, seq, event });
     }
 
     /// Schedule delivery of a message of `size_bytes` from `src` to `dest`.
@@ -163,11 +164,9 @@ impl<P> Simulator<P> {
     /// neighbours, so this is a convenience for tests).
     pub fn send_message(&mut self, src: NodeIdx, dest: NodeIdx, payload: P, size_bytes: usize) {
         let props = self.topology.link(src, dest).unwrap_or(self.default_link);
-        let tx_us = if props.bandwidth_bps == 0 {
-            0
-        } else {
-            (size_bytes as u64 * 8 * 1_000_000) / props.bandwidth_bps
-        };
+        let tx_us = (size_bytes as u64 * 8 * 1_000_000)
+            .checked_div(props.bandwidth_bps)
+            .unwrap_or(0);
         let arrival = self.now.plus_us(props.latency_us + tx_us);
         let sent = self.traffic.entry(src).or_default();
         sent.bytes_sent += size_bytes as u64;
@@ -187,7 +186,10 @@ impl<P> Simulator<P> {
     /// Pop the next event, advancing the virtual clock.
     pub fn next_event(&mut self) -> Option<(SimTime, Event<P>)> {
         let Reverse((time, seq)) = self.queue.pop()?;
-        let scheduled = self.pending.remove(&(time, seq)).expect("queued event exists");
+        let scheduled = self
+            .pending
+            .remove(&(time, seq))
+            .expect("queued event exists");
         debug_assert_eq!(scheduled.time, time);
         debug_assert_eq!(scheduled.seq, seq);
         self.now = time;
@@ -221,7 +223,14 @@ mod tests {
 
     fn two_node_sim() -> Simulator<&'static str> {
         let mut topo = Topology::new();
-        topo.add_link(0, 1, LinkProps { latency_us: 1000, bandwidth_bps: 8_000_000 });
+        topo.add_link(
+            0,
+            1,
+            LinkProps {
+                latency_us: 1000,
+                bandwidth_bps: 8_000_000,
+            },
+        );
         Simulator::new(topo)
     }
 

@@ -24,7 +24,10 @@ impl Default for LinkProps {
     fn default() -> Self {
         // 10 Mbps Ethernet with 1 ms latency: the ns-3 configuration used in
         // the paper's Follow-the-Sun experiments (Sec. 6.3).
-        LinkProps { latency_us: 1_000, bandwidth_bps: 10_000_000 }
+        LinkProps {
+            latency_us: 1_000,
+            bandwidth_bps: 10_000_000,
+        }
     }
 }
 
@@ -274,7 +277,11 @@ mod tests {
             assert!(t.is_connected(), "n={n}");
             assert_eq!(t.num_nodes(), n as usize);
             if n >= 4 {
-                assert!(t.average_degree() >= 2.0, "n={n} degree={}", t.average_degree());
+                assert!(
+                    t.average_degree() >= 2.0,
+                    "n={n} degree={}",
+                    t.average_degree()
+                );
             }
         }
     }
@@ -292,7 +299,14 @@ mod tests {
     #[test]
     fn link_lookup_is_symmetric() {
         let mut t = Topology::new();
-        t.add_link(1, 2, LinkProps { latency_us: 5, bandwidth_bps: 100 });
+        t.add_link(
+            1,
+            2,
+            LinkProps {
+                latency_us: 5,
+                bandwidth_bps: 100,
+            },
+        );
         assert_eq!(t.link(2, 1).unwrap().latency_us, 5);
         assert!(t.has_link(2, 1));
         assert_eq!(t.neighbors(2), vec![1]);

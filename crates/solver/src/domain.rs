@@ -17,16 +17,29 @@ pub struct Domain {
     holes: Vec<i64>,
 }
 
+// The mutating operations signal "domain wiped out" with `Err(())`: the
+// emptiness itself is the entire failure payload (propagators immediately
+// translate it into a `Conflict`), so a dedicated error type would carry no
+// information.
+#[allow(clippy::result_unit_err)]
 impl Domain {
     /// Create the interval domain `[lo, hi]`. Panics if `lo > hi`.
     pub fn new(lo: i64, hi: i64) -> Self {
         assert!(lo <= hi, "empty initial domain [{lo}, {hi}]");
-        Domain { lo, hi, holes: Vec::new() }
+        Domain {
+            lo,
+            hi,
+            holes: Vec::new(),
+        }
     }
 
     /// Create a singleton domain `{v}`.
     pub fn singleton(v: i64) -> Self {
-        Domain { lo: v, hi: v, holes: Vec::new() }
+        Domain {
+            lo: v,
+            hi: v,
+            holes: Vec::new(),
+        }
     }
 
     /// Create a domain from an explicit set of values. Panics if empty.

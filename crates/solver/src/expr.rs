@@ -26,17 +26,26 @@ impl LinExpr {
 
     /// A constant expression.
     pub fn constant(c: i64) -> Self {
-        LinExpr { terms: Vec::new(), constant: c }
+        LinExpr {
+            terms: Vec::new(),
+            constant: c,
+        }
     }
 
     /// The expression `1 · v`.
     pub fn var(v: VarId) -> Self {
-        LinExpr { terms: vec![(1, v)], constant: 0 }
+        LinExpr {
+            terms: vec![(1, v)],
+            constant: 0,
+        }
     }
 
     /// The expression `coeff · v`.
     pub fn scaled_var(coeff: i64, v: VarId) -> Self {
-        LinExpr { terms: vec![(coeff, v)], constant: 0 }
+        LinExpr {
+            terms: vec![(coeff, v)],
+            constant: 0,
+        }
     }
 
     /// Add a term in place.
@@ -97,7 +106,10 @@ impl LinExpr {
             }
         }
         merged.retain(|&(c, _)| c != 0);
-        LinExpr { terms: merged, constant: self.constant }
+        LinExpr {
+            terms: merged,
+            constant: self.constant,
+        }
     }
 }
 

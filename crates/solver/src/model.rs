@@ -69,6 +69,31 @@ impl Model {
         self.propagators.len()
     }
 
+    /// Clear all variables and propagators while keeping the backing
+    /// allocations (domain/name/propagator vectors and the per-variable
+    /// subscription lists), so the arena is recycled across repeated COP
+    /// invocations instead of being reallocated from scratch.
+    pub fn reset(&mut self) {
+        self.domains.clear();
+        self.names.clear();
+        self.propagators.clear();
+        for subs in &mut self.subscriptions {
+            subs.clear();
+        }
+    }
+
+    fn push_var_storage(&mut self, domain: Domain, name: Option<String>) -> VarId {
+        let id = VarId(self.domains.len() as u32);
+        self.domains.push(domain);
+        self.names.push(name);
+        // After a reset, cleared subscription slots from the previous
+        // generation are reused in place.
+        if self.subscriptions.len() < self.domains.len() {
+            self.subscriptions.push(Vec::new());
+        }
+        id
+    }
+
     /// Create a new variable with domain `[lo, hi]`.
     pub fn new_var(&mut self, lo: i64, hi: i64) -> VarId {
         self.new_named_var(lo, hi, None)
@@ -77,11 +102,7 @@ impl Model {
     /// Create a new variable with an explicit name (useful for debugging and
     /// for mapping Colog solver attributes back to tuples).
     pub fn new_named_var(&mut self, lo: i64, hi: i64, name: Option<String>) -> VarId {
-        let id = VarId(self.domains.len() as u32);
-        self.domains.push(Domain::new(lo, hi));
-        self.names.push(name);
-        self.subscriptions.push(Vec::new());
-        id
+        self.push_var_storage(Domain::new(lo, hi), name)
     }
 
     /// Create a 0/1 boolean variable.
@@ -91,11 +112,7 @@ impl Model {
 
     /// Create a variable constrained to an explicit value set.
     pub fn new_var_from_values(&mut self, values: &[i64]) -> VarId {
-        let id = VarId(self.domains.len() as u32);
-        self.domains.push(Domain::from_values(values));
-        self.names.push(None);
-        self.subscriptions.push(Vec::new());
-        id
+        self.push_var_storage(Domain::from_values(values), None)
     }
 
     /// Create a variable already fixed to `v`.
@@ -115,6 +132,13 @@ impl Model {
 
     pub(crate) fn domains(&self) -> &[Domain] {
         &self.domains
+    }
+
+    /// Indices of the propagators subscribed to the variable at `var_idx`
+    /// (used by the search to seed the propagation queue after a branching
+    /// decision without rescanning every propagator's dependencies).
+    pub(crate) fn props_watching(&self, var_idx: usize) -> &[usize] {
+        &self.subscriptions[var_idx]
     }
 
     /// The posted propagators. Exposed so callers (tests, validators) can
@@ -223,7 +247,11 @@ impl Model {
     pub fn square_var(&mut self, x: VarId) -> VarId {
         let (l, h) = (self.domain(x).min(), self.domain(x).max());
         let hi = (l * l).max(h * h);
-        let lo = if l <= 0 && h >= 0 { 0 } else { (l * l).min(h * h) };
+        let lo = if l <= 0 && h >= 0 {
+            0
+        } else {
+            (l * l).min(h * h)
+        };
         let z = self.new_var(lo, hi);
         self.post(Square::new(z, x));
         z
@@ -302,8 +330,7 @@ impl Model {
             stats.propagations += 1;
             changed.clear();
             {
-                let mut ctx =
-                    PropagatorContext::new(domains, &mut changed, &mut stats.prunings);
+                let mut ctx = PropagatorContext::new(domains, &mut changed, &mut stats.prunings);
                 self.propagators[pidx].prune(&mut ctx)?;
             }
             for v in changed.drain(..) {
@@ -342,7 +369,10 @@ impl Model {
 
     /// Find one solution satisfying the constraints (the `goal satisfy` form).
     pub fn satisfy(&self, config: &SearchConfig) -> SearchOutcome {
-        let cfg = SearchConfig { max_solutions: Some(config.max_solutions.unwrap_or(1)), ..config.clone() };
+        let cfg = SearchConfig {
+            max_solutions: Some(config.max_solutions.unwrap_or(1)),
+            ..config.clone()
+        };
         search::solve(self, Objective::Satisfy, &cfg)
     }
 
@@ -377,7 +407,7 @@ mod tests {
         let x = m.new_var(0, 3);
         let y = m.new_var(-2, 2);
         let z = m.linear_var(&[(2, x), (-3, y)], 1);
-        assert_eq!(m.domain(z).min(), 1 + 0 - 6);
+        assert_eq!(m.domain(z).min(), 1 - 6);
         assert_eq!(m.domain(z).max(), 1 + 6 + 6);
     }
 
@@ -453,6 +483,32 @@ mod tests {
         let _ = (y, z);
         // y/z do not exist in m (index out of bounds)
         m.linear_le(&[(1, VarId::from_index(5))], 1);
+    }
+
+    #[test]
+    fn reset_recycles_arena_and_rebuilds_identically() {
+        let build = |m: &mut Model| {
+            let x = m.new_var(0, 9);
+            let y = m.new_var(0, 9);
+            m.linear_eq(&[(1, x), (1, y)], 9);
+            m.linear_var(&[(3, x), (1, y)], 0)
+        };
+        let mut fresh = Model::new();
+        let obj_fresh = build(&mut fresh);
+        let expected = fresh
+            .minimize(obj_fresh, &SearchConfig::default())
+            .best_objective;
+
+        let mut recycled = Model::new();
+        let _ = build(&mut recycled);
+        recycled.reset();
+        assert_eq!(recycled.num_vars(), 0);
+        assert_eq!(recycled.num_propagators(), 0);
+        let obj = build(&mut recycled);
+        assert_eq!(recycled.num_vars(), 3);
+        let out = recycled.minimize(obj, &SearchConfig::default());
+        assert_eq!(out.best_objective, expected);
+        assert!(out.complete);
     }
 
     #[test]

@@ -42,7 +42,11 @@ impl<'a> PropagatorContext<'a> {
         changed: &'a mut Vec<VarId>,
         prunings: &'a mut u64,
     ) -> Self {
-        PropagatorContext { domains, changed, prunings }
+        PropagatorContext {
+            domains,
+            changed,
+            prunings,
+        }
     }
 
     /// Immutable view of a variable's domain.

@@ -37,7 +37,12 @@ impl Propagator for MulVar {
 
     fn prune(&self, ctx: &mut PropagatorContext<'_>) -> Result<PropStatus, Conflict> {
         // z bounds from x, y.
-        let (zl, zu) = product_bounds(ctx.min(self.x), ctx.max(self.x), ctx.min(self.y), ctx.max(self.y));
+        let (zl, zu) = product_bounds(
+            ctx.min(self.x),
+            ctx.max(self.x),
+            ctx.min(self.y),
+            ctx.max(self.y),
+        );
         ctx.intersect(self.z, zl, zu)?;
         // If one factor is fixed and non-zero, tighten the other by division.
         for (fixed, other) in [(self.x, self.y), (self.y, self.x)] {
@@ -116,7 +121,11 @@ impl Propagator for Square {
         let xl = ctx.min(self.x);
         let xu = ctx.max(self.x);
         let zu = (xl * xl).max(xu * xu);
-        let zl = if xl <= 0 && xu >= 0 { 0 } else { (xl * xl).min(xu * xu) };
+        let zl = if xl <= 0 && xu >= 0 {
+            0
+        } else {
+            (xl * xl).min(xu * xu)
+        };
         ctx.intersect(self.z, zl, zu)?;
         // From z's upper bound: |x| <= floor(sqrt(z_max)).
         let zmax = ctx.max(self.z);
@@ -179,7 +188,11 @@ impl Propagator for AbsVal {
     fn prune(&self, ctx: &mut PropagatorContext<'_>) -> Result<PropStatus, Conflict> {
         let xl = ctx.min(self.x);
         let xu = ctx.max(self.x);
-        let zl = if xl <= 0 && xu >= 0 { 0 } else { xl.abs().min(xu.abs()) };
+        let zl = if xl <= 0 && xu >= 0 {
+            0
+        } else {
+            xl.abs().min(xu.abs())
+        };
         let zu = xl.abs().max(xu.abs());
         ctx.intersect(self.z, zl.max(0), zu)?;
         // x is confined to [-z_max, z_max].
@@ -232,7 +245,12 @@ impl Propagator for MaxOfArray {
         }
         let all_fixed = self.xs.iter().all(|&x| ctx.is_fixed(x));
         if all_fixed {
-            let v = self.xs.iter().map(|&x| ctx.fixed_value(x).unwrap()).max().unwrap();
+            let v = self
+                .xs
+                .iter()
+                .map(|&x| ctx.fixed_value(x).unwrap())
+                .max()
+                .unwrap();
             ctx.assign(self.z, v)?;
             return Ok(PropStatus::Entailed);
         }
@@ -279,7 +297,12 @@ impl Propagator for MinOfArray {
         }
         let all_fixed = self.xs.iter().all(|&x| ctx.is_fixed(x));
         if all_fixed {
-            let v = self.xs.iter().map(|&x| ctx.fixed_value(x).unwrap()).min().unwrap();
+            let v = self
+                .xs
+                .iter()
+                .map(|&x| ctx.fixed_value(x).unwrap())
+                .min()
+                .unwrap();
             ctx.assign(self.z, v)?;
             return Ok(PropStatus::Entailed);
         }

@@ -139,7 +139,10 @@ mod tests {
         let xs: Vec<_> = (0..4).map(|_| m.new_var(0, 3)).collect();
         let n = m.new_var(1, 2);
         m.post(NValues::new(n, xs.clone()));
-        let out = m.solve_all(&SearchConfig { max_solutions: Some(500), ..Default::default() });
+        let out = m.solve_all(&SearchConfig {
+            max_solutions: Some(500),
+            ..Default::default()
+        });
         assert!(!out.solutions.is_empty());
         for s in &out.solutions {
             let distinct: std::collections::BTreeSet<i64> =

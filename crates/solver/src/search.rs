@@ -71,7 +71,10 @@ impl SearchConfig {
     /// Convenience constructor with only a time limit, mirroring the paper's
     /// "we limit each solver's COP execution time to 10 seconds".
     pub fn with_time_limit(limit: Duration) -> Self {
-        SearchConfig { time_limit: Some(limit), ..Default::default() }
+        SearchConfig {
+            time_limit: Some(limit),
+            ..Default::default()
+        }
     }
 }
 
@@ -83,7 +86,9 @@ pub struct Assignment {
 
 impl Assignment {
     fn from_domains(domains: &[Domain]) -> Self {
-        Assignment { values: domains.iter().map(|d| d.min()).collect() }
+        Assignment {
+            values: domains.iter().map(|d| d.min()).collect(),
+        }
     }
 
     /// Value assigned to `v`.
@@ -151,7 +156,9 @@ pub fn solve(model: &Model, objective: Objective, config: &SearchConfig) -> Sear
         stopped: false,
     };
     let mut domains: Vec<Domain> = model.domains().to_vec();
-    let root_ok = model.propagate(&mut domains, &mut searcher.stats, None).is_ok();
+    let root_ok = model
+        .propagate(&mut domains, &mut searcher.stats, None)
+        .is_ok();
     if root_ok {
         searcher.dfs(domains, 0);
     }
@@ -205,12 +212,8 @@ impl<'m> Searcher<'m> {
         let unfixed = domains.iter().enumerate().filter(|(_, d)| !d.is_fixed());
         match self.config.branching {
             Branching::InputOrder => unfixed.map(|(i, _)| i).next(),
-            Branching::SmallestDomain => {
-                unfixed.min_by_key(|(_, d)| d.size()).map(|(i, _)| i)
-            }
-            Branching::LargestDomain => {
-                unfixed.max_by_key(|(_, d)| d.size()).map(|(i, _)| i)
-            }
+            Branching::SmallestDomain => unfixed.min_by_key(|(_, d)| d.size()).map(|(i, _)| i),
+            Branching::LargestDomain => unfixed.max_by_key(|(_, d)| d.size()).map(|(i, _)| i),
         }
     }
 
@@ -253,7 +256,11 @@ impl<'m> Searcher<'m> {
                     self.stats.fails += 1;
                     return;
                 }
-                if self.model.propagate(&mut domains, &mut self.stats, None).is_err() {
+                if self
+                    .model
+                    .propagate(&mut domains, &mut self.stats, None)
+                    .is_err()
+                {
                     self.stats.fails += 1;
                     return;
                 }
@@ -263,7 +270,11 @@ impl<'m> Searcher<'m> {
                     self.stats.fails += 1;
                     return;
                 }
-                if self.model.propagate(&mut domains, &mut self.stats, None).is_err() {
+                if self
+                    .model
+                    .propagate(&mut domains, &mut self.stats, None)
+                    .is_err()
+                {
                     self.stats.fails += 1;
                     return;
                 }
@@ -284,9 +295,12 @@ impl<'m> Searcher<'m> {
         };
 
         let domain = domains[var_idx].clone();
-        let seed = self.props_on(var_idx);
-        let use_split = matches!(self.config.value_choice, ValueChoice::Split)
-            || domain.size() > 16;
+        // Borrow the seed list from the model's own lifetime (not through
+        // `self`) so the `&mut self` recursion below stays legal.
+        let model: &'m Model = self.model;
+        let seed = model.props_watching(var_idx);
+        let use_split =
+            matches!(self.config.value_choice, ValueChoice::Split) || domain.size() > 16;
         if use_split && domain.size() > 2 {
             let mid = domain.median();
             // left: x <= mid, right: x > mid (order depends on value choice)
@@ -311,7 +325,7 @@ impl<'m> Searcher<'m> {
                 }
                 if self
                     .model
-                    .propagate(&mut branch, &mut self.stats, Some(&seed))
+                    .propagate(&mut branch, &mut self.stats, Some(seed))
                     .is_err()
                 {
                     self.stats.fails += 1;
@@ -335,7 +349,7 @@ impl<'m> Searcher<'m> {
                 }
                 if self
                     .model
-                    .propagate(&mut branch, &mut self.stats, Some(&seed))
+                    .propagate(&mut branch, &mut self.stats, Some(seed))
                     .is_err()
                 {
                     self.stats.fails += 1;
@@ -347,23 +361,6 @@ impl<'m> Searcher<'m> {
                 }
             }
         }
-    }
-
-    /// Indices of the propagators that watch variable `var_idx`; used to seed
-    /// the propagation queue after a branching decision.
-    fn props_on(&self, var_idx: usize) -> Vec<usize> {
-        // We reuse the model's subscription lists indirectly by scanning
-        // dependencies; the model does not expose subscriptions publicly, so
-        // recompute cheaply from propagator dependencies. Model sizes in the
-        // Cologne workloads are small enough that this is not a bottleneck,
-        // but cache it if profiling says otherwise.
-        self.model
-            .propagators()
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| p.dependencies().iter().any(|d| d.index() == var_idx))
-            .map(|(i, _)| i)
-            .collect()
     }
 }
 
@@ -414,12 +411,24 @@ mod tests {
 
     #[test]
     fn branching_heuristics_agree_on_optimum() {
-        for branching in [Branching::InputOrder, Branching::SmallestDomain, Branching::LargestDomain] {
+        for branching in [
+            Branching::InputOrder,
+            Branching::SmallestDomain,
+            Branching::LargestDomain,
+        ] {
             for value_choice in [ValueChoice::Min, ValueChoice::Max, ValueChoice::Split] {
                 let (m, _, _, obj) = sum_model();
-                let cfg = SearchConfig { branching, value_choice, ..Default::default() };
+                let cfg = SearchConfig {
+                    branching,
+                    value_choice,
+                    ..Default::default()
+                };
                 let out = m.minimize(obj, &cfg);
-                assert_eq!(out.best_objective, Some(9), "{branching:?}/{value_choice:?}");
+                assert_eq!(
+                    out.best_objective,
+                    Some(9),
+                    "{branching:?}/{value_choice:?}"
+                );
             }
         }
     }
@@ -429,7 +438,10 @@ mod tests {
         let mut m = Model::new();
         let xs: Vec<VarId> = (0..20).map(|_| m.new_var(0, 5)).collect();
         let obj = m.linear_var(&xs.iter().map(|&x| (1, x)).collect::<Vec<_>>(), 0);
-        let cfg = SearchConfig { node_limit: Some(5), ..Default::default() };
+        let cfg = SearchConfig {
+            node_limit: Some(5),
+            ..Default::default()
+        };
         let out = m.maximize(obj, &cfg);
         assert!(!out.complete);
         assert!(out.stats.nodes <= 6);
@@ -452,7 +464,10 @@ mod tests {
         let mut m = Model::new();
         let x = m.new_var(0, 100);
         let _ = x;
-        let cfg = SearchConfig { max_solutions: Some(3), ..Default::default() };
+        let cfg = SearchConfig {
+            max_solutions: Some(3),
+            ..Default::default()
+        };
         let out = m.solve_all(&cfg);
         assert_eq!(out.solutions.len(), 3);
     }
@@ -488,7 +503,10 @@ mod tests {
         let b = m.new_bool();
         m.reif_linear_eq(b, &[(1, x), (-1, y)], 0);
         m.linear_le(&[(1, x), (1, y)], 7);
-        let out = m.solve_all(&SearchConfig { max_solutions: Some(50), ..Default::default() });
+        let out = m.solve_all(&SearchConfig {
+            max_solutions: Some(50),
+            ..Default::default()
+        });
         for s in &out.solutions {
             for p in m.propagators() {
                 assert!(p.check(&|v| s.value(v)), "{} violated", p.name());

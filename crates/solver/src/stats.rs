@@ -71,7 +71,12 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = SearchStats { nodes: 10, fails: 2, max_depth: 5, ..Default::default() };
+        let mut a = SearchStats {
+            nodes: 10,
+            fails: 2,
+            max_depth: 5,
+            ..Default::default()
+        };
         let b = SearchStats {
             nodes: 7,
             fails: 1,
@@ -90,7 +95,10 @@ mod tests {
 
     #[test]
     fn display_mentions_limits() {
-        let s = SearchStats { limit_reached: true, ..Default::default() };
+        let s = SearchStats {
+            limit_reached: true,
+            ..Default::default()
+        };
         assert!(s.to_string().contains("limit"));
         let s2 = SearchStats::default();
         assert!(!s2.to_string().contains("limit"));

@@ -41,7 +41,12 @@ pub enum AcloudPolicy {
 impl AcloudPolicy {
     /// All policies, in the order plotted by the paper.
     pub fn all() -> [AcloudPolicy; 4] {
-        [AcloudPolicy::Default, AcloudPolicy::Heuristic, AcloudPolicy::ACloud, AcloudPolicy::ACloudM]
+        [
+            AcloudPolicy::Default,
+            AcloudPolicy::Heuristic,
+            AcloudPolicy::ACloud,
+            AcloudPolicy::ACloudM,
+        ]
     }
 
     /// Display name matching the paper's legend.
@@ -169,9 +174,18 @@ impl TraceGenerator {
     /// Create a generator for the given configuration.
     pub fn new(config: &AcloudConfig) -> Self {
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let customer_phase = (0..config.customers).map(|_| rng.gen_range(0.0..24.0)).collect();
-        let customer_scale = (0..config.customers).map(|_| rng.gen_range(0.5..1.5)).collect();
-        TraceGenerator { config: config.clone(), rng, customer_phase, customer_scale }
+        let customer_phase = (0..config.customers)
+            .map(|_| rng.gen_range(0.0..24.0))
+            .collect();
+        let customer_scale = (0..config.customers)
+            .map(|_| rng.gen_range(0.5..1.5))
+            .collect();
+        TraceGenerator {
+            config: config.clone(),
+            rng,
+            customer_phase,
+            customer_scale,
+        }
     }
 
     /// Build the initial VM population (powered on, idle).
@@ -268,7 +282,9 @@ pub fn host_id(config: &AcloudConfig, dc: usize, host_in_dc: usize) -> i64 {
 
 /// All host ids of one data center.
 pub fn dc_hosts(config: &AcloudConfig, dc: usize) -> Vec<i64> {
-    (0..config.hosts_per_dc).map(|h| host_id(config, dc, h)).collect()
+    (0..config.hosts_per_dc)
+        .map(|h| host_id(config, dc, h))
+        .collect()
 }
 
 /// Per-host CPU load implied by a placement.
@@ -298,8 +314,9 @@ pub fn dc_cpu_stdev(config: &AcloudConfig, dc: usize, loads: &BTreeMap<i64, f64>
 /// Average of [`dc_cpu_stdev`] across all data centers (Fig. 2's y-axis).
 pub fn average_cpu_stdev(config: &AcloudConfig, vms: &[Vm], placement: &Placement) -> f64 {
     let loads = host_loads(config, vms, placement);
-    let total: f64 =
-        (0..config.data_centers).map(|dc| dc_cpu_stdev(config, dc, &loads)).sum();
+    let total: f64 = (0..config.data_centers)
+        .map(|dc| dc_cpu_stdev(config, dc, &loads))
+        .sum();
     total / config.data_centers as f64
 }
 
@@ -351,7 +368,11 @@ impl AcloudController {
         let vm_rows: Vec<Vec<Value>> = hot
             .iter()
             .map(|vm| {
-                vec![Value::Int(vm.id), Value::Int(vm.cpu.round() as i64), Value::Int(vm.mem_gb)]
+                vec![
+                    Value::Int(vm.id),
+                    Value::Int(vm.cpu.round() as i64),
+                    Value::Int(vm.mem_gb),
+                ]
             })
             .collect();
         self.instance.set_table("vm", vm_rows);
@@ -423,8 +444,11 @@ pub struct AcloudResults {
 impl AcloudResults {
     /// Mean CPU standard deviation over the whole run, per policy.
     pub fn mean_stdev(&self, policy: AcloudPolicy) -> f64 {
-        let values: Vec<f64> =
-            self.intervals.iter().filter_map(|i| i.cpu_stdev.get(&policy).copied()).collect();
+        let values: Vec<f64> = self
+            .intervals
+            .iter()
+            .filter_map(|i| i.cpu_stdev.get(&policy).copied())
+            .collect();
         if values.is_empty() {
             return 0.0;
         }
@@ -433,8 +457,11 @@ impl AcloudResults {
 
     /// Mean number of migrations per interval, per policy.
     pub fn mean_migrations(&self, policy: AcloudPolicy) -> f64 {
-        let values: Vec<u64> =
-            self.intervals.iter().filter_map(|i| i.migrations.get(&policy).copied()).collect();
+        let values: Vec<u64> = self
+            .intervals
+            .iter()
+            .filter_map(|i| i.migrations.get(&policy).copied())
+            .collect();
         if values.is_empty() {
             return 0.0;
         }
@@ -511,8 +538,14 @@ pub fn run_acloud_experiment(config: &AcloudConfig) -> AcloudResults {
         .collect();
     let mut controllers: BTreeMap<(AcloudPolicy, usize), AcloudController> = BTreeMap::new();
     for dc in 0..config.data_centers {
-        controllers.insert((AcloudPolicy::ACloud, dc), AcloudController::new(config, dc, false));
-        controllers.insert((AcloudPolicy::ACloudM, dc), AcloudController::new(config, dc, true));
+        controllers.insert(
+            (AcloudPolicy::ACloud, dc),
+            AcloudController::new(config, dc, false),
+        );
+        controllers.insert(
+            (AcloudPolicy::ACloudM, dc),
+            AcloudController::new(config, dc, true),
+        );
     }
 
     let mut intervals = Vec::with_capacity(config.intervals());
@@ -533,6 +566,16 @@ pub fn run_acloud_experiment(config: &AcloudConfig) -> AcloudResults {
                     }
                 }
                 AcloudPolicy::ACloud | AcloudPolicy::ACloudM => {
+                    // Gather every data center's COP inputs first, then run
+                    // the per-DC optimizations concurrently — the paper's
+                    // per-data-center COPs are independent (one controller,
+                    // i.e. one Cologne instance, per DC). Results are applied
+                    // in DC order, matching the sequential loop's application
+                    // order; outcomes are identical to it whenever searches
+                    // are bounded by the node limit rather than the 10 s
+                    // wall-clock `SOLVER_MAX_TIME` (which is inherently
+                    // schedule-dependent, sequentially or not).
+                    let mut inputs: Vec<(usize, Vec<&Vm>, BTreeMap<i64, f64>)> = Vec::new();
                     for dc in 0..config.data_centers {
                         let hot: Vec<&Vm> = vms
                             .iter()
@@ -553,11 +596,39 @@ pub fn run_acloud_experiment(config: &AcloudConfig) -> AcloudResults {
                         }) {
                             *background.entry(placement.host_of(vm.id)).or_insert(0.0) += vm.cpu;
                         }
-                        let controller = controllers
-                            .get_mut(&(policy, dc))
-                            .expect("controller exists");
-                        let new_hosts =
-                            controller.optimize(config, dc, &hot, &background, placement);
+                        inputs.push((dc, hot, background));
+                    }
+                    let mut dc_controllers: BTreeMap<usize, &mut AcloudController> = controllers
+                        .iter_mut()
+                        .filter(|((p, _), _)| *p == policy)
+                        .map(|((_, dc), c)| (*dc, c))
+                        .collect();
+                    let frozen_placement: &Placement = placement;
+                    let mut outcomes: Vec<(usize, BTreeMap<i64, i64>)> = Vec::new();
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = inputs
+                            .into_iter()
+                            .map(|(dc, hot, background)| {
+                                let controller =
+                                    dc_controllers.remove(&dc).expect("controller exists");
+                                let handle = scope.spawn(move || {
+                                    controller.optimize(
+                                        config,
+                                        dc,
+                                        &hot,
+                                        &background,
+                                        frozen_placement,
+                                    )
+                                });
+                                (dc, handle)
+                            })
+                            .collect();
+                        for (dc, handle) in handles {
+                            outcomes
+                                .push((dc, handle.join().expect("per-DC solver thread panicked")));
+                        }
+                    });
+                    for (_, new_hosts) in outcomes {
                         for (vid, hid) in new_hosts {
                             if placement.host_of(vid) != hid {
                                 placement.migrate(vid, hid);
@@ -638,7 +709,10 @@ mod tests {
         let moved = heuristic_rebalance(&config, 0, &vms, &mut placement, config.heuristic_k);
         let after = average_cpu_stdev(&config, &vms, &placement);
         assert!(moved > 0);
-        assert!(after < before, "heuristic must reduce imbalance: {before} -> {after}");
+        assert!(
+            after < before,
+            "heuristic must reduce imbalance: {before} -> {after}"
+        );
     }
 
     #[test]
@@ -669,15 +743,28 @@ mod tests {
             placement.migrate(vid, hid);
         }
         let after = average_cpu_stdev(&config, &vms, &placement);
-        assert!(after < before, "COP must reduce imbalance: {before} -> {after}");
+        assert!(
+            after < before,
+            "COP must reduce imbalance: {before} -> {after}"
+        );
         assert!(controller.instance().solver_invocations() == 1);
     }
 
     #[test]
     fn migration_limit_is_respected() {
-        let config = AcloudConfig { max_migrations_per_dc: 1, ..AcloudConfig::tiny() };
+        let config = AcloudConfig {
+            max_migrations_per_dc: 1,
+            ..AcloudConfig::tiny()
+        };
         let vms: Vec<Vm> = (0..4)
-            .map(|i| Vm { id: i, dc: 0, customer: 0, mem_gb: 1, cpu: 50.0, powered_on: true })
+            .map(|i| Vm {
+                id: i,
+                dc: 0,
+                customer: 0,
+                mem_gb: 1,
+                cpu: 50.0,
+                powered_on: true,
+            })
             .collect();
         let mut placement = Placement::initial(&config, &vms, 3);
         for vm in &vms {

@@ -100,7 +100,11 @@ impl FollowSunWorkload {
             LinkProps::default(),
         );
         let mut alloc: Vec<Vec<i64>> = (0..n)
-            .map(|_| (0..n).map(|_| rng.gen_range(0..=config.max_initial_allocation)).collect())
+            .map(|_| {
+                (0..n)
+                    .map(|_| rng.gen_range(0..=config.max_initial_allocation))
+                    .collect()
+            })
             .collect();
         // Initial allocations must respect the per-data-center capacity
         // (constraint (5) of the paper); trim overloaded nodes.
@@ -207,10 +211,7 @@ impl FollowSunOutcome {
     }
 }
 
-fn node_facts(
-    workload: &FollowSunWorkload,
-    node: u32,
-) -> Vec<(&'static str, Vec<Value>)> {
+fn node_facts(workload: &FollowSunWorkload, node: u32) -> Vec<(&'static str, Vec<Value>)> {
     let n = workload.alloc.len();
     let x = Value::Addr(NodeId(node));
     let mut facts = Vec::new();
@@ -218,7 +219,11 @@ fn node_facts(
         facts.push(("dc", vec![x.clone(), Value::Int(d as i64)]));
         facts.push((
             "curVm",
-            vec![x.clone(), Value::Int(d as i64), Value::Int(workload.alloc[node as usize][d])],
+            vec![
+                x.clone(),
+                Value::Int(d as i64),
+                Value::Int(workload.alloc[node as usize][d]),
+            ],
         ));
         facts.push((
             "commCost",
@@ -264,9 +269,18 @@ fn refresh_curvm(driver: &mut DistributedCologne, workload: &FollowSunWorkload, 
     }
 }
 
-/// Run the distributed Follow-the-Sun execution on a generated workload.
-pub fn run_followsun(config: &FollowSunConfig) -> FollowSunOutcome {
-    let mut workload = FollowSunWorkload::generate(config);
+/// Build the distributed Follow-the-Sun deployment for a workload: one
+/// Cologne instance per data center running the Sec. 4.3 program, with every
+/// node's base facts installed and the localization shipping rules already
+/// exchanged over the simulated network.
+///
+/// `run_followsun` drives the paper's one-link-at-a-time negotiation on top
+/// of this; tests use it to exercise per-node solver invocations directly
+/// (e.g. [`cologne::DistributedCologne::invoke_solvers_parallel`]).
+pub fn build_followsun_deployment(
+    config: &FollowSunConfig,
+    workload: &FollowSunWorkload,
+) -> DistributedCologne {
     let source = match config.migration_limit {
         Some(_) => followsun_with_migration_limit(),
         None => FOLLOWSUN_DISTRIBUTED.to_string(),
@@ -285,11 +299,18 @@ pub fn run_followsun(config: &FollowSunConfig) -> FollowSunOutcome {
     // Install the per-node base facts and let the shipping rules distribute
     // neighbour state.
     for node in workload.topology.nodes() {
-        for (rel, tuple) in node_facts(&workload, node) {
+        for (rel, tuple) in node_facts(workload, node) {
             driver.insert_fact(NodeId(node), rel, tuple);
         }
     }
     driver.run_messages_until(SimTime::from_secs(1));
+    driver
+}
+
+/// Run the distributed Follow-the-Sun execution on a generated workload.
+pub fn run_followsun(config: &FollowSunConfig) -> FollowSunOutcome {
+    let mut workload = FollowSunWorkload::generate(config);
+    let mut driver = build_followsun_deployment(config, &workload);
 
     // Negotiate each link once, on the paper's 5-second cadence; the
     // higher-numbered endpoint initiates (footnote 1 of Sec. 4.3).
@@ -297,14 +318,16 @@ pub fn run_followsun(config: &FollowSunConfig) -> FollowSunOutcome {
     let mut cumulative_migration_cost = 0i64;
     let mut migrated_vms = 0i64;
     let initial_cost = workload.allocation_cost();
-    let mut cost_series = vec![CostPoint { time_secs: 0.0, normalized_cost: 100.0 }];
+    let mut cost_series = vec![CostPoint {
+        time_secs: 0.0,
+        normalized_cost: 100.0,
+    }];
     let mut convergence_secs = 0.0;
 
     for (round, &(a, b)) in links.iter().enumerate() {
         let initiator = a.max(b);
         let peer = a.min(b);
-        let deadline =
-            SimTime::from_secs((round as u64 + 1) * config.negotiation_period_secs);
+        let deadline = SimTime::from_secs((round as u64 + 1) * config.negotiation_period_secs);
         driver.run_messages_until(deadline);
 
         // Start the negotiation: setLink at the initiator triggers r1.
@@ -335,7 +358,9 @@ pub fn run_followsun(config: &FollowSunConfig) -> FollowSunOutcome {
             .invoke_solver();
         let mut outgoing: Vec<RemoteTuple> = Vec::new();
         if let Ok(report) = report {
-            let improves = report.objective.is_some_and(|obj| obj < zero_migration_cost);
+            let improves = report
+                .objective
+                .is_some_and(|obj| obj < zero_migration_cost);
             if report.feasible && !report.trivial && improves {
                 for row in report.table("migVm") {
                     let (Some(y), Some(d), Some(r)) =
@@ -370,7 +395,10 @@ pub fn run_followsun(config: &FollowSunConfig) -> FollowSunOutcome {
         // Paper rule r3: both endpoints update their allocations.
         refresh_curvm(&mut driver, &workload, initiator);
         refresh_curvm(&mut driver, &workload, peer);
-        driver.instance_mut(NodeId(initiator)).expect("initiator").set_table("setLink", vec![]);
+        driver
+            .instance_mut(NodeId(initiator))
+            .expect("initiator")
+            .set_table("setLink", vec![]);
         driver.run_messages_until(deadline);
 
         let total = workload.allocation_cost() + cumulative_migration_cost;
@@ -393,14 +421,14 @@ pub fn run_followsun(config: &FollowSunConfig) -> FollowSunOutcome {
 }
 
 /// Run the Fig. 4 / Fig. 5 sweep over network sizes.
-pub fn run_followsun_sweep(
-    sizes: &[u32],
-    base: &FollowSunConfig,
-) -> Vec<(u32, FollowSunOutcome)> {
+pub fn run_followsun_sweep(sizes: &[u32], base: &FollowSunConfig) -> Vec<(u32, FollowSunOutcome)> {
     sizes
         .iter()
         .map(|&n| {
-            let config = FollowSunConfig { data_centers: n, ..base.clone() };
+            let config = FollowSunConfig {
+                data_centers: n,
+                ..base.clone()
+            };
             (n, run_followsun(&config))
         })
         .collect()
@@ -465,7 +493,10 @@ mod tests {
             outcome.cost_series.first().map(|p| p.normalized_cost),
             Some(100.0)
         );
-        assert!(outcome.final_cost <= outcome.initial_cost, "cost must not increase");
+        assert!(
+            outcome.final_cost <= outcome.initial_cost,
+            "cost must not increase"
+        );
         assert!(outcome.cost_reduction() >= 0.0);
         // cost is non-increasing over the series (each negotiation only
         // accepts improving migrations)
@@ -493,7 +524,10 @@ mod tests {
 
     #[test]
     fn sweep_covers_requested_sizes() {
-        let base = FollowSunConfig { solver_node_limit: 5_000, ..small_config() };
+        let base = FollowSunConfig {
+            solver_node_limit: 5_000,
+            ..small_config()
+        };
         let results = run_followsun_sweep(&[2, 3], &base);
         assert_eq!(results.len(), 2);
         assert_eq!(results[0].0, 2);

@@ -25,6 +25,9 @@ pub mod table2;
 pub mod wireless;
 
 pub use acloud::{run_acloud_experiment, AcloudConfig, AcloudPolicy, AcloudResults};
-pub use followsun::{run_followsun, run_followsun_sweep, FollowSunConfig, FollowSunOutcome};
+pub use followsun::{
+    build_followsun_deployment, run_followsun, run_followsun_sweep, FollowSunConfig,
+    FollowSunOutcome, FollowSunWorkload,
+};
 pub use table2::{compactness_table, render_table, CompactnessRow};
 pub use wireless::{run_fig6, run_fig7, WirelessConfig, WirelessPolicy, WirelessProtocol};

@@ -135,8 +135,14 @@ r4 assign(@Y,X,C) <- assign(@X,Y,C).
 pub fn table2_programs() -> Vec<(&'static str, String)> {
     vec![
         ("ACloud (centralized)", ACLOUD_CENTRALIZED.to_string()),
-        ("Follow-the-Sun (centralized)", FOLLOWSUN_CENTRALIZED.to_string()),
-        ("Follow-the-Sun (distributed)", followsun_with_migration_limit()),
+        (
+            "Follow-the-Sun (centralized)",
+            FOLLOWSUN_CENTRALIZED.to_string(),
+        ),
+        (
+            "Follow-the-Sun (distributed)",
+            followsun_with_migration_limit(),
+        ),
         (
             "Wireless (centralized)",
             format!("{WIRELESS_CENTRALIZED}\n{WIRELESS_CENTRALIZED_TWOHOP_EXTENSION}"),

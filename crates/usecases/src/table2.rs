@@ -37,7 +37,13 @@ pub fn compactness_table() -> Vec<CompactnessRow> {
             let analysis = analyze(&program).expect("shipped programs analyze");
             let slug: String = name
                 .chars()
-                .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() {
+                        c.to_ascii_lowercase()
+                    } else {
+                        '_'
+                    }
+                })
                 .collect();
             let generated = generate_cpp(&program, &analysis, &slug);
             CompactnessRow {
@@ -77,7 +83,12 @@ mod tests {
         let rows = compactness_table();
         assert_eq!(rows.len(), 5);
         for row in &rows {
-            assert!(row.colog_rules >= 7, "{}: {} rules", row.protocol, row.colog_rules);
+            assert!(
+                row.colog_rules >= 7,
+                "{}: {} rules",
+                row.protocol,
+                row.colog_rules
+            );
             assert!(
                 row.ratio() >= 30.0,
                 "{}: ratio {:.1} too small to support the orders-of-magnitude claim",
@@ -91,7 +102,10 @@ mod tests {
     fn distributed_programs_generate_more_code_than_centralized() {
         let rows = compactness_table();
         let get = |name: &str| {
-            rows.iter().find(|r| r.protocol.contains(name)).map(|r| r.generated_loc).unwrap()
+            rows.iter()
+                .find(|r| r.protocol.contains(name))
+                .map(|r| r.generated_loc)
+                .unwrap()
         };
         assert!(
             get("Follow-the-Sun (distributed)") > get("Follow-the-Sun (centralized)"),

@@ -200,7 +200,12 @@ impl MeshNetwork {
                 flows.push((s, d));
             }
         }
-        MeshNetwork { topology, primary_users, flows, config: config.clone() }
+        MeshNetwork {
+            topology,
+            primary_users,
+            flows,
+            config: config.clone(),
+        }
     }
 
     /// Undirected links of the mesh.
@@ -211,7 +216,12 @@ impl MeshNetwork {
     /// Channels available at a node (all channels minus primary-user ones).
     pub fn available_channels(&self, node: u32) -> Vec<i64> {
         let banned = self.primary_users.get(&node).cloned().unwrap_or_default();
-        self.config.channels.iter().copied().filter(|c| !banned.contains(c)).collect()
+        self.config
+            .channels
+            .iter()
+            .copied()
+            .filter(|c| !banned.contains(c))
+            .collect()
     }
 
     /// Shortest path between two nodes (BFS over the grid).
@@ -319,8 +329,7 @@ fn aggregate_throughput_routed(
     // Effective capacity of every assigned link.
     let mut capacity: BTreeMap<Link, f64> = BTreeMap::new();
     for (&link, _) in assignment.iter() {
-        let interferers =
-            interference_count(mesh, assignment, link, config.f_mindiff, 2) as f64;
+        let interferers = interference_count(mesh, assignment, link, config.f_mindiff, 2) as f64;
         capacity.insert(link, config.base_capacity_mbps / (1.0 + interferers));
     }
     // Route flows.
@@ -445,6 +454,13 @@ pub fn centralized_assignment(mesh: &MeshNetwork, channels: &[i64]) -> ChannelAs
 /// Distributed per-link channel negotiation (Appendix A.3): links are
 /// negotiated one at a time; each negotiation solves a local COP at the
 /// initiating node using its neighbourhood's already-chosen channels.
+///
+/// Mirroring the paper's protocol — nodes *periodically* re-initiate
+/// negotiations as neighbour state changes — the first pass over the links is
+/// followed by a refinement pass in which every link is renegotiated with
+/// full knowledge of the completed assignment. The per-node instances are
+/// reused across all negotiations, so the cached `GroundingPlan` of each
+/// instance is built once and amortized over every `invoke_solver` call.
 pub fn distributed_assignment(mesh: &MeshNetwork, channels: &[i64]) -> ChannelAssignment {
     let config = &mesh.config;
     let params = centralized_params(config, channels);
@@ -464,68 +480,99 @@ pub fn distributed_assignment(mesh: &MeshNetwork, channels: &[i64]) -> ChannelAs
         instances.insert(n, inst);
     }
     let mut assignment = ChannelAssignment::new();
-    for (a, b) in mesh.links() {
-        let initiator = a.max(b);
-        let peer = a.min(b);
-        // the initiator learns its neighbours' current choices
-        let mut nbor_rows = Vec::new();
-        let mut nbor_pu_rows = Vec::new();
-        for z in mesh.topology.neighbors(initiator) {
-            for ((la, lb), &c) in &assignment {
-                if *la == z || *lb == z {
-                    let w = if *la == z { *lb } else { *la };
-                    nbor_rows.push(vec![
-                        Value::Addr(NodeId(initiator)),
-                        Value::Addr(NodeId(z)),
-                        Value::Addr(NodeId(w)),
-                        Value::Int(c),
-                    ]);
-                }
-            }
-            for banned in mesh.primary_users.get(&z).cloned().unwrap_or_default() {
-                if channels.contains(&banned) && channels.len() > 1 {
-                    nbor_pu_rows.push(vec![
-                        Value::Addr(NodeId(initiator)),
-                        Value::Addr(NodeId(z)),
-                        Value::Int(banned),
-                    ]);
-                }
-            }
+    // Pass 0: greedy negotiation in link order. Further passes renegotiate
+    // every link against the complete current assignment (each negotiation is
+    // a best-response move of the local COP) until no link changes its
+    // channel — the fixpoint the paper's periodic re-negotiations converge
+    // to — with a small cap as a safety net against oscillation.
+    for pass in 0..6 {
+        let mut changed = false;
+        for (a, b) in mesh.links() {
+            let initiator = a.max(b);
+            let peer = a.min(b);
+            // Renegotiation: the link's previous choice must not constrain
+            // its own new negotiation.
+            let previous = assignment.remove(&link_key(initiator, peer));
+            let channel =
+                negotiate_link(mesh, channels, &mut instances, &assignment, initiator, peer);
+            changed |= previous != Some(channel);
+            assignment.insert(link_key(initiator, peer), channel);
         }
-        // plus its own already-chosen links
-        let mut chosen_rows = Vec::new();
-        for ((la, lb), &c) in &assignment {
-            if *la == initiator || *lb == initiator {
-                let w = if *la == initiator { *lb } else { *la };
-                chosen_rows.push(vec![
+        if pass > 0 && !changed {
+            break;
+        }
+    }
+    assignment
+}
+
+/// One link negotiation of the distributed protocol: the initiator solves a
+/// local COP over its own and its neighbours' currently chosen channels.
+fn negotiate_link(
+    mesh: &MeshNetwork,
+    channels: &[i64],
+    instances: &mut BTreeMap<u32, CologneInstance>,
+    assignment: &ChannelAssignment,
+    initiator: u32,
+    peer: u32,
+) -> i64 {
+    // the initiator learns its neighbours' current choices
+    let mut nbor_rows = Vec::new();
+    let mut nbor_pu_rows = Vec::new();
+    for z in mesh.topology.neighbors(initiator) {
+        for ((la, lb), &c) in assignment {
+            if *la == z || *lb == z {
+                let w = if *la == z { *lb } else { *la };
+                nbor_rows.push(vec![
                     Value::Addr(NodeId(initiator)),
+                    Value::Addr(NodeId(z)),
                     Value::Addr(NodeId(w)),
                     Value::Int(c),
                 ]);
             }
         }
-        let inst = instances.get_mut(&initiator).expect("instance exists");
-        inst.set_table("nborChosen", nbor_rows);
-        inst.set_table("nborPrimaryUser", nbor_pu_rows);
-        inst.set_table("chosen", chosen_rows);
-        inst.set_table(
-            "setLink",
-            vec![vec![Value::Addr(NodeId(initiator)), Value::Addr(NodeId(peer))]],
-        );
-        let channel = inst
-            .invoke_solver()
-            .ok()
-            .filter(|r| r.feasible && !r.trivial)
-            .and_then(|r| {
-                r.table("assign")
-                    .iter()
-                    .find(|row| row[1].as_addr() == Some(NodeId(peer)))
-                    .and_then(|row| row[2].as_int())
-            })
-            .unwrap_or(channels[0]);
-        assignment.insert(link_key(initiator, peer), channel);
+        for banned in mesh.primary_users.get(&z).cloned().unwrap_or_default() {
+            if channels.contains(&banned) && channels.len() > 1 {
+                nbor_pu_rows.push(vec![
+                    Value::Addr(NodeId(initiator)),
+                    Value::Addr(NodeId(z)),
+                    Value::Int(banned),
+                ]);
+            }
+        }
     }
-    assignment
+    // plus its own already-chosen links
+    let mut chosen_rows = Vec::new();
+    for ((la, lb), &c) in assignment {
+        if *la == initiator || *lb == initiator {
+            let w = if *la == initiator { *lb } else { *la };
+            chosen_rows.push(vec![
+                Value::Addr(NodeId(initiator)),
+                Value::Addr(NodeId(w)),
+                Value::Int(c),
+            ]);
+        }
+    }
+    let inst = instances.get_mut(&initiator).expect("instance exists");
+    inst.set_table("nborChosen", nbor_rows);
+    inst.set_table("nborPrimaryUser", nbor_pu_rows);
+    inst.set_table("chosen", chosen_rows);
+    inst.set_table(
+        "setLink",
+        vec![vec![
+            Value::Addr(NodeId(initiator)),
+            Value::Addr(NodeId(peer)),
+        ]],
+    );
+    inst.invoke_solver()
+        .ok()
+        .filter(|r| r.feasible && !r.trivial)
+        .and_then(|r| {
+            r.table("assign")
+                .iter()
+                .find(|row| row[1].as_addr() == Some(NodeId(peer)))
+                .and_then(|row| row[2].as_int())
+        })
+        .unwrap_or(channels[0])
 }
 
 /// Identical-Ch baseline: the same two channels on every node, assigned by
@@ -537,7 +584,10 @@ pub fn identical_channels_assignment(mesh: &MeshNetwork) -> ChannelAssignment {
 
 /// 1-Interface baseline: every link on one common channel.
 pub fn one_interface_assignment(mesh: &MeshNetwork) -> ChannelAssignment {
-    mesh.links().into_iter().map(|l| (l, mesh.config.channels[0])).collect()
+    mesh.links()
+        .into_iter()
+        .map(|l| (l, mesh.config.channels[0]))
+        .collect()
 }
 
 /// Compute the channel assignment used by a protocol.
@@ -584,7 +634,10 @@ pub fn run_fig6(
             .collect();
         out.insert(
             protocol,
-            ThroughputCurve { data_rates: data_rates.to_vec(), throughput },
+            ThroughputCurve {
+                data_rates: data_rates.to_vec(),
+                throughput,
+            },
         );
     }
     out
@@ -614,16 +667,20 @@ pub fn run_fig7(
                 for n in restricted.topology.nodes() {
                     let banned = restricted.primary_users.entry(n).or_default();
                     while banned.len() < per_node_ban {
-                        let ch = mesh.config.channels
-                            [rng.gen_range(0..mesh.config.channels.len())];
+                        let ch = mesh.config.channels[rng.gen_range(0..mesh.config.channels.len())];
                         if !banned.contains(&ch) {
                             banned.push(ch);
                         }
                     }
                 }
                 let keep = ((mesh.config.channels.len() as f64) * 0.8).ceil() as usize;
-                let channels: Vec<i64> =
-                    mesh.config.channels.iter().copied().take(keep.max(1)).collect();
+                let channels: Vec<i64> = mesh
+                    .config
+                    .channels
+                    .iter()
+                    .copied()
+                    .take(keep.max(1))
+                    .collect();
                 distributed_assignment(&restricted, &channels)
             }
             WirelessPolicy::OneHopInterference => {
@@ -638,7 +695,13 @@ pub fn run_fig7(
             .iter()
             .map(|&r| aggregate_throughput(&mesh, &assignment, r, true))
             .collect();
-        out.insert(policy, ThroughputCurve { data_rates: data_rates.to_vec(), throughput });
+        out.insert(
+            policy,
+            ThroughputCurve {
+                data_rates: data_rates.to_vec(),
+                throughput,
+            },
+        );
     }
     out
 }
@@ -655,8 +718,9 @@ pub fn one_hop_assignment(mesh: &MeshNetwork) -> ChannelAssignment {
     for (a, b) in mesh.links() {
         let initiator = a.max(b);
         let peer = a.min(b);
-        let mut inst = CologneInstance::new(NodeId(initiator), WIRELESS_DISTRIBUTED, params.clone())
-            .expect("wireless distributed program compiles");
+        let mut inst =
+            CologneInstance::new(NodeId(initiator), WIRELESS_DISTRIBUTED, params.clone())
+                .expect("wireless distributed program compiles");
         let x = Value::Addr(NodeId(initiator));
         for m in mesh.topology.neighbors(initiator) {
             inst.insert_fact("link", vec![x.clone(), Value::Addr(NodeId(m))]);
@@ -751,7 +815,10 @@ mod tests {
             assert!(config.channels.contains(ch));
             for node in [a, b] {
                 if let Some(banned) = mesh.primary_users.get(node) {
-                    assert!(!banned.contains(ch), "link ({a},{b}) uses banned channel {ch}");
+                    assert!(
+                        !banned.contains(ch),
+                        "link ({a},{b}) uses banned channel {ch}"
+                    );
                 }
             }
         }
@@ -768,7 +835,10 @@ mod tests {
         }
         // diverse channel usage (not everything on one channel)
         let distinct: BTreeSet<i64> = assignment.values().copied().collect();
-        assert!(distinct.len() > 1, "negotiation should use more than one channel");
+        assert!(
+            distinct.len() > 1,
+            "negotiation should use more than one channel"
+        );
     }
 
     #[test]

@@ -27,7 +27,10 @@ fn main() {
     );
 
     let results = run_acloud_experiment(&config);
-    println!("\n{:<10} {:>12} {:>12} {:>12} {:>12}", "time (h)", "Default", "Heuristic", "ACloud", "ACloud (M)");
+    println!(
+        "\n{:<10} {:>12} {:>12} {:>12} {:>12}",
+        "time (h)", "Default", "Heuristic", "ACloud", "ACloud (M)"
+    );
     for interval in &results.intervals {
         println!(
             "{:<10.2} {:>12.1} {:>12.1} {:>12.1} {:>12.1}",

@@ -33,7 +33,10 @@ fn main() {
     //    memory (GB), three hosts with 16 GB of memory each.
     let vms = [(1, 42, 2), (2, 35, 4), (3, 18, 2), (4, 55, 4), (5, 27, 2)];
     for (vid, cpu, mem) in vms {
-        node.insert_fact("vm", vec![Value::Int(vid), Value::Int(cpu), Value::Int(mem)]);
+        node.insert_fact(
+            "vm",
+            vec![Value::Int(vid), Value::Int(cpu), Value::Int(mem)],
+        );
     }
     for hid in [100, 101, 102] {
         node.insert_fact("host", vec![Value::Int(hid), Value::Int(0), Value::Int(0)]);
@@ -48,8 +51,11 @@ fn main() {
     println!("optimal VM placement (CPU-balanced across hosts):");
     let mut per_host: std::collections::BTreeMap<i64, Vec<i64>> = Default::default();
     for row in report.table("assign") {
-        let (vid, hid, assigned) =
-            (row[0].as_int().unwrap(), row[1].as_int().unwrap(), row[2].as_int().unwrap());
+        let (vid, hid, assigned) = (
+            row[0].as_int().unwrap(),
+            row[1].as_int().unwrap(),
+            row[2].as_int().unwrap(),
+        );
         if assigned == 1 {
             per_host.entry(hid).or_default().push(vid);
         }

@@ -29,7 +29,9 @@ fn main() {
     );
 
     let offered = 8.0;
-    println!("\nper-protocol channel assignment and throughput at {offered} Mbps offered per flow:");
+    println!(
+        "\nper-protocol channel assignment and throughput at {offered} Mbps offered per flow:"
+    );
     for protocol in WirelessProtocol::all() {
         let assignment = assignment_for(&mesh, protocol);
         let distinct: std::collections::BTreeSet<i64> = assignment.values().copied().collect();

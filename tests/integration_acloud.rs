@@ -94,14 +94,18 @@ fn acloud_reoptimizes_incrementally_as_load_changes() {
     let second = inst.invoke_solver().expect("second solve");
     assert!(second.feasible);
     assert_eq!(second.table("assign").len(), 6); // 3 VMs x 2 hosts now
-    // the two heavy VMs must not share a host with each other and VM3
+                                                 // the two heavy VMs must not share a host with each other and VM3
     let mut hosts_used = std::collections::BTreeSet::new();
     for row in second.table("assign") {
         if row[2].as_int() == Some(1) {
             hosts_used.insert(row[1].as_int().unwrap());
         }
     }
-    assert_eq!(hosts_used.len(), 2, "both hosts should be used after the spike");
+    assert_eq!(
+        hosts_used.len(),
+        2,
+        "both hosts should be used after the spike"
+    );
 }
 
 #[test]

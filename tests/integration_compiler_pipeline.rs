@@ -16,9 +16,15 @@ fn every_shipped_program_passes_the_whole_pipeline() {
         let analysis = analyze(&program).unwrap_or_else(|e| panic!("{name}: analysis: {e}"));
         let localized =
             localize_rules(&program.rules).unwrap_or_else(|e| panic!("{name}: localize: {e}"));
-        assert!(localized.len() >= program.rules.len(), "{name}: localization lost rules");
+        assert!(
+            localized.len() >= program.rules.len(),
+            "{name}: localization lost rules"
+        );
         let generated = generate_cpp(&program, &analysis, "pipeline");
-        assert!(generated.loc() > 100, "{name}: suspiciously small generated code");
+        assert!(
+            generated.loc() > 100,
+            "{name}: suspiciously small generated code"
+        );
         // every rule received a classification
         assert_eq!(analysis.classes.len(), program.rules.len());
     }
@@ -41,18 +47,30 @@ fn distributed_followsun_rules_ship_neighbour_state() {
         driver.insert_fact(NodeId(node), "link", vec![x.clone(), other.clone()]);
         driver.insert_fact(NodeId(node), "opCost", vec![x.clone(), Value::Int(10)]);
         driver.insert_fact(NodeId(node), "resource", vec![x.clone(), Value::Int(20)]);
-        driver.insert_fact(NodeId(node), "migCost", vec![x.clone(), other, Value::Int(10)]);
+        driver.insert_fact(
+            NodeId(node),
+            "migCost",
+            vec![x.clone(), other, Value::Int(10)],
+        );
         for d in 0..2i64 {
             driver.insert_fact(NodeId(node), "dc", vec![x.clone(), Value::Int(d)]);
             driver.insert_fact(
                 NodeId(node),
                 "curVm",
-                vec![x.clone(), Value::Int(d), Value::Int(if node == 0 { 6 } else { 1 })],
+                vec![
+                    x.clone(),
+                    Value::Int(d),
+                    Value::Int(if node == 0 { 6 } else { 1 }),
+                ],
             );
             driver.insert_fact(
                 NodeId(node),
                 "commCost",
-                vec![x.clone(), Value::Int(d), Value::Int(if node as i64 == d { 10 } else { 80 })],
+                vec![
+                    x.clone(),
+                    Value::Int(d),
+                    Value::Int(if node as i64 == d { 10 } else { 80 }),
+                ],
             );
         }
     }
@@ -67,15 +85,28 @@ fn distributed_followsun_rules_ship_neighbour_state() {
         .map(|r| r.head.name.clone())
         .filter(|n| n.starts_with("tmp_"))
         .collect();
-    assert!(!tmp_relations.is_empty(), "localization should introduce tmp_* relations");
-    let populated = tmp_relations.iter().filter(|rel| !inst0.tuples(rel).is_empty()).count();
-    assert!(populated > 0, "neighbour state must arrive at node 0 over the network");
-    assert!(driver.traffic(NodeId(1)).bytes_sent > 0, "node 1 must have sent tuples");
+    assert!(
+        !tmp_relations.is_empty(),
+        "localization should introduce tmp_* relations"
+    );
+    let populated = tmp_relations
+        .iter()
+        .filter(|rel| !inst0.tuples(rel).is_empty())
+        .count();
+    assert!(
+        populated > 0,
+        "neighbour state must arrive at node 0 over the network"
+    );
+    assert!(
+        driver.traffic(NodeId(1)).bytes_sent > 0,
+        "node 1 must have sent tuples"
+    );
 
     // and the localized program still classifies the local COP rules as solver rules
     let analysis = inst0.analysis();
-    let classes: Vec<RuleClass> =
-        (0..inst0.program().rules.len()).map(|i| analysis.class_of(i)).collect();
+    let classes: Vec<RuleClass> = (0..inst0.program().rules.len())
+        .map(|i| analysis.class_of(i))
+        .collect();
     assert!(classes.contains(&RuleClass::SolverDerivation));
     assert!(classes.contains(&RuleClass::SolverConstraint));
     assert!(classes.contains(&RuleClass::Regular));

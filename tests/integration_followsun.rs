@@ -62,7 +62,10 @@ fn larger_networks_converge_with_bounded_relative_gain() {
     // series to be produced for every size.
     let results = run_followsun_sweep(&[2, 4, 6], &fast_config(2));
     for (n, outcome) in &results {
-        assert!(outcome.cost_reduction() >= 0.0, "{n} DCs: negative reduction");
+        assert!(
+            outcome.cost_reduction() >= 0.0,
+            "{n} DCs: negative reduction"
+        );
         assert!(outcome.cost_series.len() >= 2, "{n} DCs: missing series");
     }
 }

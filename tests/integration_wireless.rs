@@ -30,7 +30,11 @@ fn all_protocols_produce_complete_assignments() {
             protocol.name()
         );
         for channel in assignment.values() {
-            assert!(config.channels.contains(channel), "{}: channel {channel} out of range", protocol.name());
+            assert!(
+                config.channels.contains(channel),
+                "{}: channel {channel} out of range",
+                protocol.name()
+            );
         }
     }
 }
@@ -95,7 +99,10 @@ fn throughput_model_is_monotone_in_offered_load() {
     let mut last = 0.0;
     for rate in [0.5, 1.0, 2.0, 4.0, 8.0, 16.0] {
         let t = aggregate_throughput(&mesh, &assignment, rate, false);
-        assert!(t + 1e-9 >= last, "throughput decreased when offering more load");
+        assert!(
+            t + 1e-9 >= last,
+            "throughput decreased when offering more load"
+        );
         last = t;
     }
 }

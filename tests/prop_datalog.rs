@@ -5,16 +5,17 @@
 
 use proptest::prelude::*;
 
-use cologne_datalog::{
-    AggFunc, Atom, BodyItem, Engine, Head, HeadArg, NodeId, Rule, Term, Value,
-};
+use cologne_datalog::{AggFunc, Atom, BodyItem, Engine, Head, HeadArg, NodeId, Rule, Term, Value};
 
 fn tc_engine() -> Engine {
     let mut e = Engine::new(NodeId(0));
     e.add_rule(Rule::new(
         "r1",
         Head::simple("path", vec![Term::var("X"), Term::var("Y")]),
-        vec![BodyItem::Atom(Atom::new("link", vec![Term::var("X"), Term::var("Y")]))],
+        vec![BodyItem::Atom(Atom::new(
+            "link",
+            vec![Term::var("X"), Term::var("Y")],
+        ))],
     ));
     e.add_rule(Rule::new(
         "r2",
@@ -28,7 +29,9 @@ fn tc_engine() -> Engine {
 }
 
 /// Reference transitive closure.
-fn closure(edges: &std::collections::BTreeSet<(i64, i64)>) -> std::collections::BTreeSet<(i64, i64)> {
+fn closure(
+    edges: &std::collections::BTreeSet<(i64, i64)>,
+) -> std::collections::BTreeSet<(i64, i64)> {
     let mut reach = edges.clone();
     loop {
         let mut added = false;

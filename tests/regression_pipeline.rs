@@ -1,0 +1,224 @@
+//! Regression tests for the staged solve pipeline: grounding-plan reuse
+//! across repeated `invokeSolver` executions, deterministic repeat solves,
+//! and the parallel per-node invocation path producing byte-identical state
+//! to the sequential one on the Follow-the-Sun deployment.
+
+use cologne::datalog::{NodeId, Value};
+use cologne::{CologneInstance, DistributedCologne, ProgramParams, SolveReport, VarDomain};
+use cologne_usecases::{build_followsun_deployment, FollowSunConfig, FollowSunWorkload};
+
+const ACLOUD: &str = r#"
+    goal minimize C in hostStdevCpu(C).
+    var assign(Vid,Hid,V) forall toAssign(Vid,Hid).
+    r1 toAssign(Vid,Hid) <- vm(Vid,Cpu,Mem), host(Hid,Cpu2,Mem2).
+    d1 hostCpu(Hid,SUM<C>) <- assign(Vid,Hid,V), vm(Vid,Cpu,Mem), C==V*Cpu.
+    d2 hostStdevCpu(STDEV<C>) <- host(Hid,Cpu,Mem), hostCpu(Hid,Cpu2), C==Cpu+Cpu2.
+    d3 assignCount(Vid,SUM<V>) <- assign(Vid,Hid,V).
+    c1 assignCount(Vid,V) -> V==1.
+    d4 hostMem(Hid,SUM<M>) <- assign(Vid,Hid,V), vm(Vid,Cpu,Mem), M==V*Mem.
+    c2 hostMem(Hid,Mem) -> hostMemThres(Hid,M), Mem<=M.
+"#;
+
+fn acloud_instance() -> CologneInstance {
+    let params = ProgramParams::new().with_var_domain("assign", VarDomain::BOOL);
+    let mut inst = CologneInstance::new(NodeId(0), ACLOUD, params).unwrap();
+    for (vid, cpu, mem) in [(1, 40, 4), (2, 20, 4), (3, 30, 4)] {
+        inst.insert_fact(
+            "vm",
+            vec![Value::Int(vid), Value::Int(cpu), Value::Int(mem)],
+        );
+    }
+    for hid in [10, 11] {
+        inst.insert_fact("host", vec![Value::Int(hid), Value::Int(0), Value::Int(0)]);
+        inst.insert_fact("hostMemThres", vec![Value::Int(hid), Value::Int(16)]);
+    }
+    inst
+}
+
+/// Everything observable of a `SolveReport` must match; only the wall-clock
+/// component of the search statistics is exempt (all search *counters* are
+/// deterministic and compared).
+fn assert_reports_identical(a: &SolveReport, b: &SolveReport, context: &str) {
+    assert_eq!(a.feasible, b.feasible, "{context}: feasible");
+    assert_eq!(a.trivial, b.trivial, "{context}: trivial");
+    assert_eq!(a.objective, b.objective, "{context}: objective");
+    assert_eq!(
+        a.proven_optimal, b.proven_optimal,
+        "{context}: proven_optimal"
+    );
+    assert_eq!(a.assignments, b.assignments, "{context}: assignments");
+    assert_eq!(a.outgoing, b.outgoing, "{context}: outgoing");
+    assert_eq!(a.stats.nodes, b.stats.nodes, "{context}: stats.nodes");
+    assert_eq!(a.stats.fails, b.stats.fails, "{context}: stats.fails");
+    assert_eq!(
+        a.stats.propagations, b.stats.propagations,
+        "{context}: stats.propagations"
+    );
+    assert_eq!(
+        a.stats.prunings, b.stats.prunings,
+        "{context}: stats.prunings"
+    );
+    assert_eq!(
+        a.stats.solutions, b.stats.solutions,
+        "{context}: stats.solutions"
+    );
+    assert_eq!(
+        a.stats.max_depth, b.stats.max_depth,
+        "{context}: stats.max_depth"
+    );
+}
+
+#[test]
+fn repeated_invocations_reuse_plan_and_repeat_reports() {
+    let mut inst = acloud_instance();
+    assert_eq!(inst.plan_builds(), 1, "plan built once at construction");
+
+    let first = inst.invoke_solver().unwrap();
+    assert!(first.feasible && !first.trivial);
+    let second = inst.invoke_solver().unwrap();
+    let third = inst.invoke_solver().unwrap();
+
+    // Unchanged inputs: every repeat invocation must reproduce the first
+    // report exactly (the second run starts from the materialized tables of
+    // the first, which the first run itself produced as a fixpoint).
+    assert_reports_identical(&first, &second, "second invocation");
+    assert_reports_identical(&first, &third, "third invocation");
+
+    // One plan build across three invocations: the cached GroundingPlan was
+    // reused, never rebuilt.
+    assert_eq!(inst.solver_invocations(), 3);
+    assert_eq!(
+        inst.plan_builds(),
+        1,
+        "plan must not be rebuilt between invocations"
+    );
+}
+
+#[test]
+fn parameter_changes_rebuild_the_plan_lazily() {
+    let mut inst = acloud_instance();
+    inst.invoke_solver().unwrap();
+    assert_eq!(inst.plan_builds(), 1);
+
+    // Touching the parameters invalidates the plan; the rebuild happens on
+    // the next invocation, not immediately.
+    *inst.params_mut() = inst
+        .params()
+        .clone()
+        .with_var_domain("assign", VarDomain::new(0, 1));
+    assert_eq!(inst.plan_builds(), 1, "rebuild is lazy");
+    inst.invoke_solver().unwrap();
+    assert_eq!(inst.plan_builds(), 2, "invalidated plan rebuilt once");
+    inst.invoke_solver().unwrap();
+    assert_eq!(inst.plan_builds(), 2, "clean plan reused again");
+}
+
+fn deployment_with_negotiations() -> DistributedCologne {
+    let config = FollowSunConfig {
+        data_centers: 4,
+        capacity: 30,
+        max_initial_allocation: 6,
+        solver_node_limit: 15_000,
+        seed: 3,
+        ..FollowSunConfig::default()
+    };
+    let workload = FollowSunWorkload::generate(&config);
+    let mut driver = build_followsun_deployment(&config, &workload);
+    // Byte-identical comparison requires fully deterministic searches: drop
+    // the wall-clock limit so only the (deterministic) node limit binds.
+    for node in workload.topology.nodes() {
+        driver
+            .instance_mut(NodeId(node))
+            .unwrap()
+            .params_mut()
+            .solver_max_time = None;
+    }
+    // Start one link negotiation at every node (towards its first
+    // neighbour), so every per-node COP is non-trivial.
+    for node in workload.topology.nodes() {
+        let peer = workload.topology.neighbors(node)[0];
+        driver.insert_fact(
+            NodeId(node),
+            "setLink",
+            vec![Value::Addr(NodeId(node)), Value::Addr(NodeId(peer))],
+        );
+    }
+    driver.run_messages_until(cologne::net::SimTime::from_secs(2));
+    driver
+}
+
+#[test]
+fn parallel_solver_invocation_matches_sequential_byte_for_byte() {
+    // Two identical deployments of the Follow-the-Sun program; one invokes
+    // the per-node solvers sequentially, the other concurrently.
+    let mut sequential = deployment_with_negotiations();
+    let mut parallel = deployment_with_negotiations();
+
+    let seq_reports = sequential
+        .invoke_solvers()
+        .expect("sequential invocation succeeds");
+    let par_reports = parallel
+        .invoke_solvers_parallel()
+        .expect("parallel invocation succeeds");
+
+    assert_eq!(seq_reports.len(), 4);
+    assert_eq!(
+        seq_reports.keys().collect::<Vec<_>>(),
+        par_reports.keys().collect::<Vec<_>>(),
+        "same set of nodes"
+    );
+    let mut solved = 0;
+    for (node, seq) in &seq_reports {
+        let par = &par_reports[node];
+        assert_reports_identical(seq, par, &format!("node {node:?}"));
+        if seq.feasible && !seq.trivial {
+            solved += 1;
+        }
+    }
+    assert!(solved > 0, "at least one node must have solved a real COP");
+
+    // Every table on every node must be byte-identical, including the
+    // materialized solver outputs and anything derived from them.
+    for node in sequential.nodes() {
+        let s = sequential.instance(node).unwrap();
+        let p = parallel.instance(node).unwrap();
+        assert_eq!(s.relations(), p.relations(), "node {node:?}: relation sets");
+        for rel in s.relations() {
+            assert_eq!(
+                s.tuples(&rel),
+                p.tuples(&rel),
+                "node {node:?}: relation {rel} diverged"
+            );
+        }
+    }
+
+    // The deterministic network also stayed in lockstep: same virtual time,
+    // same per-node traffic counters.
+    assert_eq!(sequential.now(), parallel.now());
+    for node in sequential.nodes() {
+        let st = sequential.traffic(node);
+        let pt = parallel.traffic(node);
+        assert_eq!(st.bytes_sent, pt.bytes_sent, "node {node:?}: bytes_sent");
+        assert_eq!(
+            st.bytes_received, pt.bytes_received,
+            "node {node:?}: bytes_received"
+        );
+    }
+}
+
+#[test]
+fn parallel_invocation_ships_solver_outputs_once() {
+    let mut driver = deployment_with_negotiations();
+    let reports = driver
+        .invoke_solvers_parallel()
+        .expect("invocation succeeds");
+    // Outgoing tuples are drained into the network by the call itself.
+    for report in reports.values() {
+        assert!(
+            report.outgoing.is_empty(),
+            "outgoing must be drained after shipping"
+        );
+    }
+    // Delivering the shipped migVm results must not panic and advances time.
+    driver.run_messages_until(cologne::net::SimTime::from_secs(10));
+}

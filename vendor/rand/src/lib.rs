@@ -1,0 +1,165 @@
+//! Minimal, dependency-free stand-in for the `rand` crate.
+//!
+//! This workspace builds fully offline, so the real `rand` cannot be
+//! downloaded. The workload generators in `cologne-usecases` only need a
+//! deterministic seedable RNG with uniform integer/float sampling and a
+//! Bernoulli helper; this crate provides exactly that surface
+//! (`StdRng::seed_from_u64`, `Rng::gen_range`, `Rng::gen_bool`).
+//!
+//! The generator is splitmix64: high-quality enough for synthetic workload
+//! generation, trivially deterministic, and identical on every platform.
+//! Sequences differ from the real `rand::StdRng` (ChaCha12), which is fine —
+//! nothing in the repository depends on a specific stream, only on
+//! reproducibility for a fixed seed.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Namespaced RNG types, mirroring `rand::rngs`.
+pub mod rngs {
+    /// Deterministic seedable RNG (splitmix64 core).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+pub use rngs::StdRng;
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Build an RNG from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Avoid the all-zero fixpoint and decorrelate small seeds.
+        StdRng {
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A range of values that can be sampled uniformly (the subset of
+/// `rand::distributions::uniform::SampleRange` the workspace uses).
+pub trait SampleRange {
+    /// Element type produced by sampling.
+    type Output;
+    /// Draw one uniform sample using `next` as the entropy source.
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> Self::Output;
+}
+
+fn uniform_u64(span: u64, next: &mut dyn FnMut() -> u64) -> u64 {
+    // Modulo bias is below 2^-32 for every span used in this workspace.
+    next() % span
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, next: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + uniform_u64(span, next) as i128) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, next: &mut dyn FnMut() -> u64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + uniform_u64(span, next) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_ranges!(i64, u64, i32, u32, u8, usize);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Sampling methods, mirroring `rand::Rng`.
+pub trait Rng {
+    /// Next raw 64 bits of entropy.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from a range.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        let mut next = || self.next_u64();
+        range.sample(&mut next)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-5i64..7);
+            assert!((-5..7).contains(&v));
+            let w = rng.gen_range(0i64..=3);
+            assert!((0..=3).contains(&w));
+            let u = rng.gen_range(0usize..4);
+            assert!(u < 4);
+            let f = rng.gen_range(0.5f64..1.5);
+            assert!((0.5..1.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!(
+            (2_000..4_000).contains(&hits),
+            "p=0.3 produced {hits}/10000"
+        );
+    }
+}
