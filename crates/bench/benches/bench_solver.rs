@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use cologne_solver::{Model, SearchConfig};
+use cologne_solver::{Model, SearchConfig, SearchSpace};
 
 /// Balance `vms` binary assignment rows over `hosts` hosts (the ACloud COP
 /// core shape).
@@ -35,13 +35,16 @@ fn bench_branch_and_bound(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("{vms}vms_{hosts}hosts")),
             &(vms, hosts),
             |b, &(vms, hosts)| {
+                // One search space across iterations, as the runtime's
+                // grounding scratch holds one across `invokeSolver` calls.
+                let mut space = SearchSpace::new();
                 b.iter(|| {
                     let (m, obj) = balance_model(vms, hosts);
                     let cfg = SearchConfig {
                         node_limit: Some(20_000),
                         ..Default::default()
                     };
-                    black_box(m.minimize(obj, &cfg).best_objective)
+                    black_box(m.minimize_in(obj, &cfg, &mut space).best_objective)
                 });
             },
         );

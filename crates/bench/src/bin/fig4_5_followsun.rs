@@ -38,6 +38,17 @@ fn main() {
             outcome.convergence_secs,
             outcome.migrated_vms
         );
+        // Per-invocation solver effort, mirroring the paper's Table 2
+        // per-COP-execution reporting.
+        let invocations = outcome.solver_invocations.max(1);
+        println!(
+            "solver effort: {} invocations, per invocation avg {} nodes / {} fails / {} propagations (max depth {})",
+            outcome.solver_invocations,
+            outcome.solver_stats.nodes / invocations,
+            outcome.solver_stats.fails / invocations,
+            outcome.solver_stats.propagations / invocations,
+            outcome.solver_stats.max_depth,
+        );
         println!();
     }
     println!("(paper: cost reduction 40.4% at 2 DCs shrinking to 11.2% at 10 DCs)");

@@ -35,6 +35,26 @@ impl Default for VarDomain {
     }
 }
 
+/// Variable-selection heuristic for the branch-and-bound search of a COP
+/// invocation.
+///
+/// This is the compiler-facing mirror of the solver's `Branching` enum (the
+/// compiler crate does not depend on the solver); the runtime maps it onto
+/// the solver's search configuration when an instance is built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverBranching {
+    /// Branch on variables in creation order (the paper's setup).
+    #[default]
+    InputOrder,
+    /// Branch on the unfixed variable with the smallest domain first
+    /// (first-fail). The default for the ACloud and wireless use cases,
+    /// whose 0/1 assignment and channel variables benefit from failing
+    /// early on tightly-constrained rows.
+    FirstFail,
+    /// Branch on the unfixed variable with the largest domain first.
+    LargestDomain,
+}
+
 /// Compile/run-time parameters for a Colog program.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ProgramParams {
@@ -49,6 +69,10 @@ pub struct ProgramParams {
     /// deterministic alternative to the wall-clock limit, useful in tests
     /// and benchmarks).
     pub solver_node_limit: Option<u64>,
+    /// Variable-selection heuristic for the COP search. Seeds the search
+    /// configuration of the runtime's solve pipeline at instance
+    /// construction.
+    pub solver_branching: SolverBranching,
 }
 
 impl Default for ProgramParams {
@@ -59,6 +83,7 @@ impl Default for ProgramParams {
             // Sec. 6.2: "we limit each solver's COP execution time to 10 seconds".
             solver_max_time: Some(Duration::from_secs(10)),
             solver_node_limit: None,
+            solver_branching: SolverBranching::default(),
         }
     }
 }
@@ -93,6 +118,12 @@ impl ProgramParams {
         self
     }
 
+    /// Set the branch-and-bound variable-selection heuristic (builder style).
+    pub fn with_solver_branching(mut self, branching: SolverBranching) -> Self {
+        self.solver_branching = branching;
+        self
+    }
+
     /// Look up a named constant.
     pub fn constant(&self, name: &str) -> Option<i64> {
         self.constants.get(name).copied()
@@ -119,6 +150,13 @@ mod tests {
         assert_eq!(p.solver_max_time, Some(Duration::from_secs(10)));
         assert_eq!(p.var_domain("assign"), VarDomain::BOOL);
         assert_eq!(p.constant("max_migrates"), None);
+        assert_eq!(p.solver_branching, SolverBranching::InputOrder);
+    }
+
+    #[test]
+    fn branching_builder_sets_heuristic() {
+        let p = ProgramParams::new().with_solver_branching(SolverBranching::FirstFail);
+        assert_eq!(p.solver_branching, SolverBranching::FirstFail);
     }
 
     #[test]

@@ -39,7 +39,7 @@ use cologne_colog::{
     RuleDecl, VarDomain,
 };
 use cologne_datalog::{AggFunc, Bindings, Engine, SymId, Tuple, Value};
-use cologne_solver::{LinExpr, Model, SearchConfig, SearchOutcome, VarId};
+use cologne_solver::{LinExpr, Model, SearchConfig, SearchOutcome, SearchSpace, VarId};
 
 use crate::error::CologneError;
 
@@ -77,10 +77,20 @@ impl GroundedCop {
     /// branch-and-bound for `minimize`/`maximize`, satisfaction search
     /// otherwise.
     pub fn solve(&self, config: &SearchConfig) -> SearchOutcome {
+        let mut space = SearchSpace::new();
+        self.solve_in(config, &mut space)
+    }
+
+    /// [`GroundedCop::solve`] reusing a caller-provided [`SearchSpace`]
+    /// (trail-backed domain store, propagation queue, decision stack), so
+    /// repeated COP invocations share one set of search allocations.
+    /// [`crate::SolvePipeline::solve`] drives this with the space held by
+    /// its [`GroundingScratch`].
+    pub fn solve_in(&self, config: &SearchConfig, space: &mut SearchSpace) -> SearchOutcome {
         match self.objective {
-            Some((GoalKind::Minimize, obj)) => self.model.minimize(obj, config),
-            Some((GoalKind::Maximize, obj)) => self.model.maximize(obj, config),
-            Some((GoalKind::Satisfy, _)) | None => self.model.satisfy(config),
+            Some((GoalKind::Minimize, obj)) => self.model.minimize_in(obj, config, space),
+            Some((GoalKind::Maximize, obj)) => self.model.maximize_in(obj, config, space),
+            Some((GoalKind::Satisfy, _)) | None => self.model.satisfy_in(config, space),
         }
     }
 }
@@ -284,19 +294,26 @@ fn derivation_rule_order(program: &Program, analysis: &Analysis) -> Vec<usize> {
     order
 }
 
-/// Reusable per-invocation allocations: the solver model arena and the
-/// symbolic-attribute table. [`GroundingRun`] takes them at the start of an
+/// Reusable per-invocation allocations: the solver model arena, the
+/// symbolic-attribute table, and the [`SearchSpace`] (trail-backed domain
+/// store + propagation queue + decision stack) the COP is searched in.
+/// [`GroundingRun`] takes the model and symbol table at the start of an
 /// invocation; [`GroundingScratch::recycle`] reclaims them (resetting the
-/// model in place) once the caller is done with the [`GroundedCop`].
+/// model in place) once the caller is done with the [`GroundedCop`]. The
+/// search space is lent out per solve by [`crate::SolvePipeline::solve`] and
+/// keeps its trail, store and queue allocations across invocations.
 #[derive(Default)]
 pub struct GroundingScratch {
     model: Model,
     syms: Vec<VarId>,
+    pub(crate) space: SearchSpace,
 }
 
 impl GroundingScratch {
     /// Reclaim the model and symbol table of a finished invocation so the
     /// next one reuses their allocations instead of growing fresh ones.
+    /// (The search space never leaves the scratch, so it needs no explicit
+    /// reclaiming.)
     pub fn recycle(&mut self, cop: GroundedCop) {
         let GroundedCop {
             mut model,

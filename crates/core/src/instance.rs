@@ -16,7 +16,7 @@ use cologne_colog::{
     analyze, localize_rules, parse_program, Analysis, Program, ProgramParams, RuleClass,
 };
 use cologne_datalog::{Engine, NodeId, RemoteTuple, Tuple};
-use cologne_solver::{SearchConfig, SearchStats};
+use cologne_solver::SearchStats;
 
 use crate::error::CologneError;
 use crate::ground::GroundedCop;
@@ -73,6 +73,7 @@ pub struct CologneInstance {
     engine: Engine,
     pipeline: SolvePipeline,
     cumulative_stats: SearchStats,
+    last_stats: Option<SearchStats>,
     solver_invocations: u64,
 }
 
@@ -107,6 +108,7 @@ impl CologneInstance {
             engine,
             pipeline,
             cumulative_stats: SearchStats::default(),
+            last_stats: None,
             solver_invocations: 0,
         })
     }
@@ -153,9 +155,31 @@ impl CologneInstance {
         &self.cumulative_stats
     }
 
+    /// Solver statistics of the most recent [`CologneInstance::invoke_solver`]
+    /// (nodes, fails, propagations, max depth, ...), or `None` before the
+    /// first invocation. Trivial invocations report all-zero stats. This is
+    /// the per-invocation "solver effort" figure the paper's Table 2
+    /// discussion reports alongside each COP execution.
+    pub fn last_solver_stats(&self) -> Option<&SearchStats> {
+        self.last_stats.as_ref()
+    }
+
     /// Number of times the solver has been invoked.
     pub fn solver_invocations(&self) -> u64 {
         self.solver_invocations
+    }
+
+    /// The search configuration (branching/value heuristics) used for COP
+    /// solving. Time and node limits are taken from
+    /// [`CologneInstance::params`] at each invocation, not from here.
+    pub fn search_config(&self) -> &cologne_solver::SearchConfig {
+        self.pipeline.search_config()
+    }
+
+    /// Mutable access to the search configuration, e.g. to switch the
+    /// branching heuristic between invocations.
+    pub fn search_config_mut(&mut self) -> &mut cologne_solver::SearchConfig {
+        self.pipeline.search_config_mut()
     }
 
     /// Statistics of the underlying Datalog engine.
@@ -213,14 +237,6 @@ impl CologneInstance {
 
     // ----- solver invocation --------------------------------------------------
 
-    fn search_config(&self) -> SearchConfig {
-        SearchConfig {
-            time_limit: self.params.solver_max_time,
-            node_limit: self.params.solver_node_limit,
-            ..Default::default()
-        }
-    }
-
     /// Ground the solver rules against the current tables without solving
     /// (useful for inspection and benchmarking of the grounding step alone).
     /// The returned COP owns its model and can be solved directly with
@@ -242,9 +258,15 @@ impl CologneInstance {
 
     /// The paper's `invokeSolver`, staged through the [`SolvePipeline`]:
     /// ground the COP (reusing the cached plan and recycled model arena), run
-    /// branch-and-bound under the configured limits, materialize the result
-    /// and re-run the rules.
+    /// branch-and-bound in the pipeline's reused search space under the
+    /// configured limits, materialize the result and re-run the rules.
     pub fn invoke_solver(&mut self) -> Result<SolveReport, CologneError> {
+        let report = self.invoke_solver_inner()?;
+        self.last_stats = Some(report.stats.clone());
+        Ok(report)
+    }
+
+    fn invoke_solver_inner(&mut self) -> Result<SolveReport, CologneError> {
         self.engine.run();
         let cop =
             self.pipeline
@@ -254,8 +276,7 @@ impl CologneInstance {
             self.pipeline.recycle(cop);
             return Ok(SolveReport::empty(true));
         }
-        let config = self.search_config();
-        let outcome = cop.solve(&config);
+        let outcome = self.pipeline.solve(&cop, &self.params);
         self.cumulative_stats.merge(&outcome.stats);
         let Some(best) = outcome.best else {
             self.pipeline.recycle(cop);

@@ -75,7 +75,7 @@ pub use instance::{CologneInstance, SolveReport};
 pub use pipeline::SolvePipeline;
 
 // Re-export the compiler-facing types users need to drive the runtime.
-pub use cologne_colog::{GoalKind, Program, ProgramParams, RuleClass, VarDomain};
+pub use cologne_colog::{GoalKind, Program, ProgramParams, RuleClass, SolverBranching, VarDomain};
 
 /// Re-export of the Datalog substrate (values, tuples, engine).
 pub mod datalog {

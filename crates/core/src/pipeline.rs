@@ -1,4 +1,5 @@
-//! The staged solve pipeline: cached grounding plan + recycled solver arena.
+//! The staged solve pipeline: cached grounding plan, recycled solver arena,
+//! reusable search space and the per-program search configuration.
 //!
 //! `invokeSolver` executions recur on every epoch and after every input delta
 //! (Sec. 6 of the paper measures exactly this loop), so the runtime splits the
@@ -7,7 +8,7 @@
 //! | stage | lifetime | held by |
 //! |---|---|---|
 //! | [`GroundingPlan`] | per program (until params change) | `SolvePipeline` |
-//! | [`GroundingScratch`] | across invocations (recycled) | `SolvePipeline` |
+//! | [`GroundingScratch`] (model arena + [`cologne_solver::SearchSpace`]) | across invocations (recycled) | `SolvePipeline` |
 //! | grounding run → [`GroundedCop`] | one invocation | caller |
 //!
 //! [`crate::CologneInstance`] owns one `SolvePipeline`; the plan is built
@@ -15,29 +16,55 @@
 //! [`crate::CologneInstance::params_mut`] invalidates it. The number of plan
 //! builds is observable through [`SolvePipeline::plan_builds`] so tests and
 //! benchmarks can assert that the cache actually hits.
+//!
+//! The pipeline is also the [`SearchConfig`] surface for COP solving: the
+//! branching/value heuristics are seeded from
+//! [`ProgramParams::solver_branching`] at construction and adjustable live
+//! through [`SolvePipeline::search_config_mut`]; the time/node limits are
+//! read from the current [`ProgramParams`] at every [`SolvePipeline::solve`]
+//! so that parameter updates (e.g. dropping the wall-clock limit for
+//! deterministic tests) take effect immediately.
 
-use cologne_colog::{Analysis, Program, ProgramParams};
+use cologne_colog::{Analysis, Program, ProgramParams, SolverBranching};
 use cologne_datalog::Engine;
+use cologne_solver::{Branching, SearchConfig, SearchOutcome};
 
 use crate::error::CologneError;
 use crate::ground::{GroundedCop, GroundingPlan, GroundingScratch};
 
-/// Cached grounding state for repeated solver invocations on one program.
+/// Cached grounding + search state for repeated solver invocations on one
+/// program.
 pub struct SolvePipeline {
     plan: GroundingPlan,
     scratch: GroundingScratch,
     plan_builds: u64,
     dirty: bool,
+    search: SearchConfig,
+}
+
+/// Map the compiler-facing branching knob onto the solver heuristic.
+fn branching_of(params: &ProgramParams) -> Branching {
+    match params.solver_branching {
+        SolverBranching::InputOrder => Branching::InputOrder,
+        SolverBranching::FirstFail => Branching::SmallestDomain,
+        SolverBranching::LargestDomain => Branching::LargestDomain,
+    }
 }
 
 impl SolvePipeline {
-    /// Build the pipeline (and its first plan) for a compiled program.
+    /// Build the pipeline (and its first plan) for a compiled program. The
+    /// search configuration is seeded from the parameters' branching
+    /// heuristic.
     pub fn new(program: &Program, analysis: &Analysis, params: &ProgramParams) -> Self {
         SolvePipeline {
             plan: GroundingPlan::build(program, analysis, params),
             scratch: GroundingScratch::default(),
             plan_builds: 1,
             dirty: false,
+            search: SearchConfig {
+                branching: branching_of(params),
+                ..Default::default()
+            },
         }
     }
 
@@ -58,6 +85,20 @@ impl SolvePipeline {
         &self.plan
     }
 
+    /// The search configuration used by [`SolvePipeline::solve`]. Its
+    /// time/node limits are overridden from the live [`ProgramParams`] at
+    /// each solve; the heuristics (branching, value choice, split threshold)
+    /// are authoritative here.
+    pub fn search_config(&self) -> &SearchConfig {
+        &self.search
+    }
+
+    /// Mutable access to the search configuration (e.g. to switch branching
+    /// heuristics between invocations).
+    pub fn search_config_mut(&mut self) -> &mut SearchConfig {
+        &mut self.search
+    }
+
     /// Run the grounding stage against the current engine state, rebuilding
     /// the plan first if it was invalidated.
     pub fn ground(
@@ -69,11 +110,26 @@ impl SolvePipeline {
     ) -> Result<GroundedCop, CologneError> {
         if self.dirty {
             self.plan = GroundingPlan::build(program, analysis, params);
+            // Parameters are the source of truth for the branching heuristic:
+            // a params_mut() change to solver_branching must take effect like
+            // every other parameter change. (Manual search_config_mut edits
+            // persist only until the next invalidation.)
+            self.search.branching = branching_of(params);
             self.plan_builds += 1;
             self.dirty = false;
         }
         self.plan
             .ground(program, analysis, params, engine, &mut self.scratch)
+    }
+
+    /// Solve a grounded COP with the pipeline's search configuration (limits
+    /// taken live from `params`), reusing the scratch's [`cologne_solver::SearchSpace`] so
+    /// repeated invocations share one trail/store/queue allocation.
+    pub fn solve(&mut self, cop: &GroundedCop, params: &ProgramParams) -> SearchOutcome {
+        let mut config = self.search.clone();
+        config.time_limit = params.solver_max_time;
+        config.node_limit = params.solver_node_limit;
+        cop.solve_in(&config, &mut self.scratch.space)
     }
 
     /// Reclaim a finished invocation's model and symbol table for reuse.

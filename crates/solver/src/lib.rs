@@ -39,13 +39,18 @@ pub mod propagator;
 pub mod propagators;
 pub mod search;
 pub mod stats;
+pub mod store;
 
 pub use domain::Domain;
 pub use expr::LinExpr;
 pub use model::{Model, VarId};
 pub use propagator::{PropStatus, Propagator, PropagatorContext};
-pub use search::{Assignment, Branching, Objective, SearchConfig, SearchOutcome, ValueChoice};
+pub use search::{
+    solve_reference, Assignment, Branching, Objective, SearchConfig, SearchOutcome, SearchSpace,
+    ValueChoice, DEFAULT_SPLIT_THRESHOLD,
+};
 pub use stats::SearchStats;
+pub use store::{PropQueue, Store};
 
 /// Errors reported while building or solving a model.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,4 +1,19 @@
 //! The constraint model: variables, propagators and the propagation engine.
+//!
+//! # Propagation-queue semantics
+//!
+//! Propagation runs to a fixpoint on a dedup'd pending set of propagators
+//! (a [`PropQueue`]): whenever a domain changes, every propagator subscribed
+//! to that variable is enqueued (at most once — the queue dedups) and the
+//! loop pops pending propagators FIFO until the set drains or a conflict is
+//! found. The queue is *seeded* either with every propagator (root
+//! propagation, or after the branch-and-bound objective bound tightens) or
+//! with only the propagators watching a just-branched variable
+//! ([`Model::props_watching`]), so a branching decision never rescans
+//! unrelated constraints. All propagation state — the queue itself and the
+//! trail-backed domain [`Store`] it mutates — is owned by the caller (a
+//! [`crate::SearchSpace`]) and reused across nodes and invocations; the
+//! engine performs no per-node allocation.
 
 use crate::domain::Domain;
 use crate::expr::LinExpr;
@@ -7,8 +22,9 @@ use crate::propagators::{
     AbsVal, LinearEq, LinearLe, LinearNe, MaxOfArray, MinOfArray, MulVar, NValues, ReifLinearEq,
     ReifLinearLe, Square,
 };
-use crate::search::{self, Objective, SearchConfig, SearchOutcome};
+use crate::search::{self, Objective, SearchConfig, SearchOutcome, SearchSpace};
 use crate::stats::SearchStats;
+use crate::store::{PropQueue, Store};
 use crate::Propagator;
 
 /// Handle to an integer decision variable in a [`Model`].
@@ -309,36 +325,57 @@ impl Model {
 
     // ----- propagation -----------------------------------------------------
 
-    /// Run the propagation fixpoint on an external copy of the domains.
-    pub(crate) fn propagate(
+    /// Run the propagation fixpoint on a trail-backed store.
+    ///
+    /// The queue is seeded with every propagator (`seed: None`) or with an
+    /// explicit set of propagator indices, then drained to a fixpoint. On a
+    /// conflict the queue is emptied before returning, so it is always clean
+    /// for the next propagation. Prunings performed before the conflict stay
+    /// on the store's trail and are undone by the caller's backtrack.
+    pub(crate) fn propagate_in(
         &self,
-        domains: &mut [Domain],
+        store: &mut Store,
+        queue: &mut PropQueue,
         stats: &mut SearchStats,
         seed: Option<&[usize]>,
     ) -> Result<(), Conflict> {
-        let mut queue: Vec<usize> = match seed {
-            Some(s) => s.to_vec(),
-            None => (0..self.propagators.len()).collect(),
-        };
-        let mut queued: Vec<bool> = vec![false; self.propagators.len()];
-        for &p in &queue {
-            queued[p] = true;
-        }
-        let mut changed: Vec<VarId> = Vec::new();
-        while let Some(pidx) = queue.pop() {
-            queued[pidx] = false;
-            stats.propagations += 1;
-            changed.clear();
-            {
-                let mut ctx = PropagatorContext::new(domains, &mut changed, &mut stats.prunings);
-                self.propagators[pidx].prune(&mut ctx)?;
+        queue.ensure_capacity(self.propagators.len());
+        match seed {
+            None => {
+                for p in 0..self.propagators.len() {
+                    queue.enqueue(p);
+                }
             }
-            for v in changed.drain(..) {
-                for &dep in &self.subscriptions[v.index()] {
-                    if !queued[dep] {
-                        queued[dep] = true;
-                        queue.push(dep);
+            Some(s) => {
+                for &p in s {
+                    queue.enqueue(p);
+                }
+            }
+        }
+        while let Some(pidx) = queue.pop() {
+            stats.propagations += 1;
+            // Temporarily detach the changed-variable scratch so the context
+            // can borrow it alongside the queue's other fields.
+            let mut changed = std::mem::take(&mut queue.changed);
+            changed.clear();
+            let result = {
+                let mut ctx = PropagatorContext::new(store, &mut changed, &mut stats.prunings);
+                self.propagators[pidx].prune(&mut ctx)
+            };
+            match result {
+                Ok(_status) => {
+                    for v in changed.drain(..) {
+                        for &dep in &self.subscriptions[v.index()] {
+                            queue.enqueue(dep);
+                        }
                     }
+                    queue.changed = changed;
+                }
+                Err(conflict) => {
+                    changed.clear();
+                    queue.changed = changed;
+                    queue.clear();
+                    return Err(conflict);
                 }
             }
         }
@@ -349,17 +386,41 @@ impl Model {
     /// detect root infeasibility before search).
     pub fn propagate_root(&mut self) -> Result<(), Conflict> {
         let mut stats = SearchStats::default();
-        let mut domains = std::mem::take(&mut self.domains);
-        let result = self.propagate(&mut domains, &mut stats, None);
-        self.domains = domains;
+        let mut store = Store::from_domains(std::mem::take(&mut self.domains));
+        let mut queue = PropQueue::new();
+        let result = self.propagate_in(&mut store, &mut queue, &mut stats, None);
+        self.domains = store.into_domains();
         result
     }
 
     // ----- search entry points ---------------------------------------------
 
+    /// Run a search for `objective`, reusing the caller's [`SearchSpace`]
+    /// (trail-backed store, propagation queue and decision stack) across
+    /// invocations. This is the repeated-invocation hot path; the
+    /// convenience wrappers below allocate a fresh space per call.
+    pub fn solve_in(
+        &self,
+        objective: Objective,
+        config: &SearchConfig,
+        space: &mut SearchSpace,
+    ) -> SearchOutcome {
+        search::solve_in(self, objective, config, space)
+    }
+
     /// Minimize the variable `obj` under the model's constraints.
     pub fn minimize(&self, obj: VarId, config: &SearchConfig) -> SearchOutcome {
         search::solve(self, Objective::Minimize(obj), config)
+    }
+
+    /// [`Model::minimize`] with a caller-provided reusable [`SearchSpace`].
+    pub fn minimize_in(
+        &self,
+        obj: VarId,
+        config: &SearchConfig,
+        space: &mut SearchSpace,
+    ) -> SearchOutcome {
+        self.solve_in(Objective::Minimize(obj), config, space)
     }
 
     /// Maximize the variable `obj` under the model's constraints.
@@ -367,13 +428,29 @@ impl Model {
         search::solve(self, Objective::Maximize(obj), config)
     }
 
+    /// [`Model::maximize`] with a caller-provided reusable [`SearchSpace`].
+    pub fn maximize_in(
+        &self,
+        obj: VarId,
+        config: &SearchConfig,
+        space: &mut SearchSpace,
+    ) -> SearchOutcome {
+        self.solve_in(Objective::Maximize(obj), config, space)
+    }
+
     /// Find one solution satisfying the constraints (the `goal satisfy` form).
     pub fn satisfy(&self, config: &SearchConfig) -> SearchOutcome {
+        let mut space = SearchSpace::new();
+        self.satisfy_in(config, &mut space)
+    }
+
+    /// [`Model::satisfy`] with a caller-provided reusable [`SearchSpace`].
+    pub fn satisfy_in(&self, config: &SearchConfig, space: &mut SearchSpace) -> SearchOutcome {
         let cfg = SearchConfig {
             max_solutions: Some(config.max_solutions.unwrap_or(1)),
             ..config.clone()
         };
-        search::solve(self, Objective::Satisfy, &cfg)
+        self.solve_in(Objective::Satisfy, &cfg, space)
     }
 
     /// Enumerate solutions (bounded by `config.max_solutions` if set).

@@ -5,9 +5,16 @@
 //! fixpoint queue by the [`crate::Model`]: whenever a variable's domain
 //! changes, every propagator subscribed to that variable is re-run until no
 //! further pruning happens.
+//!
+//! Propagators never touch domains directly: all mutation goes through a
+//! [`PropagatorContext`], a view over the search's trail-based
+//! [`Store`] — so every pruning is automatically recorded on the trail (and
+//! undone on backtrack) and the engine learns which variables changed in
+//! order to schedule dependent propagators.
 
 use crate::domain::Domain;
 use crate::model::VarId;
+use crate::store::Store;
 
 /// Result of a successful propagation step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,21 +36,22 @@ pub struct Conflict;
 /// View over the variable domains handed to a propagator.
 ///
 /// All mutation goes through this context so the engine can track which
-/// variables changed and schedule dependent propagators.
+/// variables changed and schedule dependent propagators, and so the
+/// underlying [`Store`] can trail the previous domains for backtracking.
 pub struct PropagatorContext<'a> {
-    domains: &'a mut [Domain],
+    store: &'a mut Store,
     changed: &'a mut Vec<VarId>,
     prunings: &'a mut u64,
 }
 
 impl<'a> PropagatorContext<'a> {
     pub(crate) fn new(
-        domains: &'a mut [Domain],
+        store: &'a mut Store,
         changed: &'a mut Vec<VarId>,
         prunings: &'a mut u64,
     ) -> Self {
         PropagatorContext {
-            domains,
+            store,
             changed,
             prunings,
         }
@@ -52,31 +60,31 @@ impl<'a> PropagatorContext<'a> {
     /// Immutable view of a variable's domain.
     #[inline]
     pub fn domain(&self, v: VarId) -> &Domain {
-        &self.domains[v.index()]
+        self.store.domain(v.index())
     }
 
     /// Current lower bound of `v`.
     #[inline]
     pub fn min(&self, v: VarId) -> i64 {
-        self.domains[v.index()].min()
+        self.store.domain(v.index()).min()
     }
 
     /// Current upper bound of `v`.
     #[inline]
     pub fn max(&self, v: VarId) -> i64 {
-        self.domains[v.index()].max()
+        self.store.domain(v.index()).max()
     }
 
     /// True if `v` is fixed to a single value.
     #[inline]
     pub fn is_fixed(&self, v: VarId) -> bool {
-        self.domains[v.index()].is_fixed()
+        self.store.domain(v.index()).is_fixed()
     }
 
     /// The value of `v` if fixed.
     #[inline]
     pub fn fixed_value(&self, v: VarId) -> Option<i64> {
-        self.domains[v.index()].fixed_value()
+        self.store.domain(v.index()).fixed_value()
     }
 
     fn record(&mut self, v: VarId, changed: Result<bool, ()>) -> Result<bool, Conflict> {
@@ -93,31 +101,31 @@ impl<'a> PropagatorContext<'a> {
 
     /// Enforce `v >= bound`.
     pub fn set_min(&mut self, v: VarId, bound: i64) -> Result<bool, Conflict> {
-        let r = self.domains[v.index()].remove_below(bound);
+        let r = self.store.remove_below(v.index(), bound);
         self.record(v, r)
     }
 
     /// Enforce `v <= bound`.
     pub fn set_max(&mut self, v: VarId, bound: i64) -> Result<bool, Conflict> {
-        let r = self.domains[v.index()].remove_above(bound);
+        let r = self.store.remove_above(v.index(), bound);
         self.record(v, r)
     }
 
     /// Enforce `v == value`.
     pub fn assign(&mut self, v: VarId, value: i64) -> Result<bool, Conflict> {
-        let r = self.domains[v.index()].assign(value);
+        let r = self.store.assign(v.index(), value);
         self.record(v, r)
     }
 
     /// Enforce `v != value`.
     pub fn remove_value(&mut self, v: VarId, value: i64) -> Result<bool, Conflict> {
-        let r = self.domains[v.index()].remove_value(value);
+        let r = self.store.remove_value(v.index(), value);
         self.record(v, r)
     }
 
     /// Enforce `lo <= v <= hi`.
     pub fn intersect(&mut self, v: VarId, lo: i64, hi: i64) -> Result<bool, Conflict> {
-        let r = self.domains[v.index()].intersect_bounds(lo, hi);
+        let r = self.store.intersect_bounds(v.index(), lo, hi);
         self.record(v, r)
     }
 }
@@ -144,10 +152,10 @@ mod tests {
 
     #[test]
     fn context_tracks_changes_and_conflicts() {
-        let mut domains = vec![Domain::new(0, 10), Domain::new(0, 10)];
+        let mut store = Store::from_domains(vec![Domain::new(0, 10), Domain::new(0, 10)]);
         let mut changed = Vec::new();
         let mut prunings = 0u64;
-        let mut ctx = PropagatorContext::new(&mut domains, &mut changed, &mut prunings);
+        let mut ctx = PropagatorContext::new(&mut store, &mut changed, &mut prunings);
         let a = VarId::from_index(0);
         let b = VarId::from_index(1);
         assert_eq!(ctx.set_min(a, 5), Ok(true));
@@ -162,15 +170,30 @@ mod tests {
 
     #[test]
     fn context_remove_value_and_intersect() {
-        let mut domains = vec![Domain::new(0, 5)];
+        let mut store = Store::from_domains(vec![Domain::new(0, 5)]);
         let mut changed = Vec::new();
         let mut prunings = 0u64;
-        let mut ctx = PropagatorContext::new(&mut domains, &mut changed, &mut prunings);
+        let mut ctx = PropagatorContext::new(&mut store, &mut changed, &mut prunings);
         let v = VarId::from_index(0);
         assert_eq!(ctx.remove_value(v, 3), Ok(true));
         assert_eq!(ctx.intersect(v, 2, 4), Ok(true));
         assert_eq!(ctx.min(v), 2);
         assert_eq!(ctx.max(v), 4);
         assert!(!ctx.domain(v).contains(3));
+    }
+
+    #[test]
+    fn context_prunings_are_trailed() {
+        let mut store = Store::from_domains(vec![Domain::new(0, 10)]);
+        store.push_choice();
+        let mut changed = Vec::new();
+        let mut prunings = 0u64;
+        {
+            let mut ctx = PropagatorContext::new(&mut store, &mut changed, &mut prunings);
+            ctx.set_min(VarId::from_index(0), 4).unwrap();
+        }
+        assert_eq!(store.domain(0).min(), 4);
+        store.backtrack();
+        assert_eq!(store.domain(0).min(), 0);
     }
 }

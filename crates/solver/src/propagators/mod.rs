@@ -14,6 +14,11 @@
 //!   cost `(C==1) == (|C1-C2| < F_mindiff)`;
 //! * [`counting`] — the number-of-distinct-values constraint backing the
 //!   `UNIQUE<...>` aggregate (wireless interface constraint).
+//!
+//! Every propagator prunes through a [`crate::PropagatorContext`], the view
+//! over the search's trail-based [`crate::Store`]: propagators never see the
+//! domain vector directly, so each pruning is recorded on the trail (undone
+//! on backtrack) and reported to the propagation queue's scheduler.
 
 pub mod arith;
 pub mod counting;

@@ -1,16 +1,49 @@
-//! Depth-first search with branch-and-bound.
+//! Depth-first search with branch-and-bound on a trail-based store.
 //!
 //! This mirrors the "standard branch-and-bound searching approach" the paper
 //! attributes to Gecode (Sec. 5.1): depth-first exploration, constraint
 //! propagation at every node, and — for `minimize`/`maximize` goals — a
 //! bound that is tightened every time an improving solution is found.
 //! `SOLVER_MAX_TIME` from the paper maps to [`SearchConfig::time_limit`].
+//!
+//! # State management: trail instead of copy-on-branch
+//!
+//! The searcher keeps **one** mutable [`Store`] of domains for the whole
+//! search. Entering a branch opens a decision level
+//! ([`Store::push_choice`]), applies the branching decision and propagates;
+//! leaving it restores every touched domain from the trail
+//! ([`Store::backtrack`]) in O(changes). Nothing on the per-node path clones
+//! the domain vector. The decision tree itself is walked with an explicit
+//! stack of [`Frame`]s rather than recursion, so arbitrarily deep searches
+//! (e.g. Follow-the-Sun value enumeration over wide migration domains)
+//! cannot overflow the call stack, and all limit checks happen in one place
+//! ([`Searcher::enter_node`]).
+//!
+//! Invariants tying the pieces together:
+//!
+//! * every decision frame below the root owns exactly one open trail level —
+//!   the one pushed when the branch that created it was applied; popping the
+//!   frame backtracks that level;
+//! * before branch `i+1` of a frame is tried, the store is in exactly the
+//!   state the frame was created in (its node state);
+//! * branch-and-bound objective tightening happens at *node entry*, inside
+//!   the node's own trail level, so it is undone with the node.
+//!
+//! All search allocations (store, trail, propagation queue, decision stack,
+//! branch-value arena) live in a [`SearchSpace`] that callers can reuse
+//! across repeated solver invocations.
+//!
+//! [`solve_reference`] retains the previous copy-on-branch implementation
+//! (cloning the whole store at every branch). It exists to pin the trail
+//! searcher's behaviour: both must produce identical incumbents, solution
+//! sets and fail counts on every model.
 
 use std::time::{Duration, Instant};
 
 use crate::domain::Domain;
 use crate::model::{Model, VarId};
 use crate::stats::SearchStats;
+use crate::store::{PropQueue, Store};
 
 /// Variable-selection heuristic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -19,7 +52,8 @@ pub enum Branching {
     #[default]
     InputOrder,
     /// Branch on the unfixed variable with the smallest domain first
-    /// (first-fail, Gecode's `INT_VAR_SIZE_MIN`).
+    /// (first-fail, Gecode's `INT_VAR_SIZE_MIN`). Domain sizes are O(1)
+    /// lookups on the store, so this scan is cheap even on large models.
     SmallestDomain,
     /// Branch on the unfixed variable with the largest domain first.
     LargestDomain,
@@ -48,14 +82,29 @@ pub enum Objective {
     Satisfy,
 }
 
+/// Domain size above which [`ValueChoice::Min`]/[`ValueChoice::Max`] fall
+/// back to domain bisection, unless [`SearchConfig::split_threshold`]
+/// overrides it.
+pub const DEFAULT_SPLIT_THRESHOLD: u64 = 16;
+
 /// Search configuration; the defaults match the paper's setup (input-order
 /// branching, minimum-value-first, no limits).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SearchConfig {
     /// Variable selection heuristic.
     pub branching: Branching,
     /// Value selection heuristic.
     pub value_choice: ValueChoice,
+    /// Domain size above which value enumeration switches to domain
+    /// bisection even when [`SearchConfig::value_choice`] is `Min`/`Max`.
+    ///
+    /// Enumerating a huge domain value-by-value makes the branching factor
+    /// of a single node explode, so by default domains larger than
+    /// [`DEFAULT_SPLIT_THRESHOLD`] are bisected instead. Set to `None` to
+    /// always honor the configured `value_choice` exactly, or pick
+    /// [`ValueChoice::Split`] to bisect unconditionally. (This used to be a
+    /// hidden constant that silently overrode the configured value choice.)
+    pub split_threshold: Option<u64>,
     /// Wall-clock limit for the whole search (the paper's `SOLVER_MAX_TIME`).
     pub time_limit: Option<Duration>,
     /// Stop after this many failures.
@@ -65,6 +114,20 @@ pub struct SearchConfig {
     pub max_solutions: Option<usize>,
     /// Stop after this many search nodes.
     pub node_limit: Option<u64>,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            branching: Branching::default(),
+            value_choice: ValueChoice::default(),
+            split_threshold: Some(DEFAULT_SPLIT_THRESHOLD),
+            time_limit: None,
+            fail_limit: None,
+            max_solutions: None,
+            node_limit: None,
+        }
+    }
 }
 
 impl SearchConfig {
@@ -130,6 +193,81 @@ pub struct SearchOutcome {
     pub complete: bool,
 }
 
+/// How the two branches of a decision frame are generated.
+#[derive(Debug, Clone, Copy)]
+enum BranchKind {
+    /// Branch `i` assigns the `i`-th value of the frame's arena slice.
+    Values,
+    /// Domain bisection at `mid`: one branch keeps `<= mid`, the other
+    /// `> mid`; `hi_first` tries the upper half first ([`ValueChoice::Max`]).
+    Split { mid: i64, hi_first: bool },
+}
+
+/// One concrete branching decision.
+#[derive(Debug, Clone, Copy)]
+enum BranchOp {
+    Assign(i64),
+    Le(i64),
+    Gt(i64),
+}
+
+/// One open node of the explicit decision stack.
+///
+/// A frame is created when its node survives entry (limits, bounding,
+/// propagation) with at least one unfixed variable. Every frame except the
+/// root owns the trail level pushed by the branch that reached it.
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    /// Index of the variable this node branches on.
+    var_idx: usize,
+    /// Next branch to try.
+    next: usize,
+    /// Total number of branches.
+    num_branches: usize,
+    /// Start of this frame's slice of the branch-value arena.
+    values_start: usize,
+    kind: BranchKind,
+}
+
+impl Frame {
+    fn branch_op(&self, i: usize, values: &[i64]) -> BranchOp {
+        match self.kind {
+            BranchKind::Values => BranchOp::Assign(values[self.values_start + i]),
+            BranchKind::Split { mid, hi_first } => {
+                if (i == 0) == hi_first {
+                    BranchOp::Gt(mid)
+                } else {
+                    BranchOp::Le(mid)
+                }
+            }
+        }
+    }
+}
+
+/// Reusable search state: the trail-backed domain [`Store`], the propagation
+/// [`PropQueue`], the explicit decision stack and the branch-value arena.
+///
+/// Holding one `SearchSpace` across repeated solver invocations (as the
+/// Cologne grounding scratch does) means the hot `invokeSolver` path performs
+/// no per-invocation search allocations beyond what the model itself needs.
+#[derive(Debug, Clone, Default)]
+pub struct SearchSpace {
+    store: Store,
+    queue: PropQueue,
+    frames: Vec<Frame>,
+    /// Pending branch values of every open frame, stacked contiguously; a
+    /// frame's slice starts at its `values_start` and is truncated away when
+    /// the frame is popped.
+    values: Vec<i64>,
+}
+
+impl SearchSpace {
+    /// Fresh empty space.
+    pub fn new() -> Self {
+        SearchSpace::default()
+    }
+}
+
 struct Searcher<'m> {
     model: &'m Model,
     objective: Objective,
@@ -144,36 +282,95 @@ struct Searcher<'m> {
 
 /// Run a search over `model` with the given objective.
 pub fn solve(model: &Model, objective: Objective, config: &SearchConfig) -> SearchOutcome {
-    let mut searcher = Searcher {
-        model,
-        objective,
-        config: config.clone(),
-        stats: SearchStats::default(),
-        start: Instant::now(),
-        best: None,
-        best_objective: None,
-        solutions: Vec::new(),
-        stopped: false,
-    };
-    let mut domains: Vec<Domain> = model.domains().to_vec();
+    let mut space = SearchSpace::new();
+    solve_in(model, objective, config, &mut space)
+}
+
+/// Run a search over `model`, reusing the caller's [`SearchSpace`].
+pub fn solve_in(
+    model: &Model,
+    objective: Objective,
+    config: &SearchConfig,
+    space: &mut SearchSpace,
+) -> SearchOutcome {
+    let mut searcher = Searcher::new(model, objective, config.clone());
+    space.store.reset_from(model.domains());
+    space.frames.clear();
+    space.values.clear();
     let root_ok = model
-        .propagate(&mut domains, &mut searcher.stats, None)
+        .propagate_in(
+            &mut space.store,
+            &mut space.queue,
+            &mut searcher.stats,
+            None,
+        )
         .is_ok();
     if root_ok {
-        searcher.dfs(domains, 0);
+        searcher.run(space);
     }
-    searcher.stats.elapsed_micros = searcher.start.elapsed().as_micros() as u64;
-    searcher.stats.limit_reached = searcher.stopped;
-    SearchOutcome {
-        best: searcher.best,
-        best_objective: searcher.best_objective,
-        solutions: searcher.solutions,
-        stats: searcher.stats,
-        complete: !searcher.stopped,
+    searcher.finish()
+}
+
+/// The retained copy-on-branch reference implementation: recursive DFS that
+/// clones the entire domain store at every branch and keeps the pre-trail
+/// bounding semantics — after an incumbent exists, every node tightens the
+/// objective bound and re-propagates seeded with *all* propagators, whether
+/// or not the bound moved.
+///
+/// It shares the propagation engine, heuristics and limit handling with the
+/// trail-based searcher, so the two must return identical incumbents,
+/// solution sets, node counts and fail counts on every model (only
+/// propagation/pruning counters may differ) — the equivalence property and
+/// integration tests assert exactly that. Because the trail searcher instead
+/// skips the no-op bounding propagation and seeds only the objective's
+/// watchers, those tests also pin the argument that the seeding optimization
+/// reaches the same fixpoint. Keep this for those tests (and as executable
+/// documentation of the search semantics); it is not a production path.
+pub fn solve_reference(
+    model: &Model,
+    objective: Objective,
+    config: &SearchConfig,
+) -> SearchOutcome {
+    let mut searcher = Searcher::new(model, objective, config.clone());
+    let mut store = Store::from_domains(model.domains().to_vec());
+    let mut queue = PropQueue::new();
+    let root_ok = model
+        .propagate_in(&mut store, &mut queue, &mut searcher.stats, None)
+        .is_ok();
+    if root_ok {
+        searcher.dfs_cloning(store, &mut queue, 0);
     }
+    searcher.finish()
 }
 
 impl<'m> Searcher<'m> {
+    fn new(model: &'m Model, objective: Objective, config: SearchConfig) -> Self {
+        Searcher {
+            model,
+            objective,
+            config,
+            stats: SearchStats::default(),
+            start: Instant::now(),
+            best: None,
+            best_objective: None,
+            solutions: Vec::new(),
+            stopped: false,
+        }
+    }
+
+    fn finish(self) -> SearchOutcome {
+        let mut stats = self.stats;
+        stats.elapsed_micros = self.start.elapsed().as_micros() as u64;
+        stats.limit_reached = self.stopped;
+        SearchOutcome {
+            best: self.best,
+            best_objective: self.best_objective,
+            solutions: self.solutions,
+            stats,
+            complete: !self.stopped,
+        }
+    }
+
     fn check_limits(&mut self) -> bool {
         if self.stopped {
             return true;
@@ -242,96 +439,244 @@ impl<'m> Searcher<'m> {
         }
     }
 
-    fn dfs(&mut self, mut domains: Vec<Domain>, depth: u64) {
+    /// Should this node bisect the domain instead of enumerating values?
+    fn use_split(&self, size: u64) -> bool {
+        let forced = matches!(self.config.value_choice, ValueChoice::Split);
+        (forced || self.config.split_threshold.is_some_and(|t| size > t)) && size > 2
+    }
+
+    /// Tighten the objective domain with the incumbent bound at node entry.
+    /// Returns whether the bound actually changed (and propagation is
+    /// needed), or `Err` if the tightening wiped the objective domain.
+    fn tighten_bound(&mut self, store: &mut Store) -> Result<bool, ()> {
+        match (self.objective, self.best_objective) {
+            (Objective::Minimize(o), Some(best)) => store.remove_above(o.index(), best - 1),
+            (Objective::Maximize(o), Some(best)) => store.remove_below(o.index(), best + 1),
+            _ => Ok(false),
+        }
+    }
+
+    /// Propagation seed after the objective bound tightened: the store was at
+    /// a fixpoint for *every* propagator at node entry and the tightening
+    /// only changed the objective's domain, so seeding the queue with the
+    /// objective's watchers reaches exactly the same fixpoint (and the same
+    /// conflicts) as seeding with every propagator — without rescanning
+    /// unrelated constraints at every bounded node.
+    fn bound_seed(&self) -> &'m [usize] {
+        match self.objective {
+            Objective::Minimize(o) | Objective::Maximize(o) => self.model.props_watching(o.index()),
+            Objective::Satisfy => &[],
+        }
+    }
+
+    // ----- trail-based search (the production path) -------------------------
+
+    /// Process node entry on the current store state: limit checks, the
+    /// branch-and-bound objective bound, leaf detection and frame creation.
+    /// Returns `true` iff a frame was pushed (the node has branches to try).
+    fn enter_node(&mut self, space: &mut SearchSpace, depth: u64) -> bool {
+        if self.check_limits() || self.solution_limit_hit() {
+            return false;
+        }
+        self.stats.nodes += 1;
+        self.stats.max_depth = self.stats.max_depth.max(depth);
+
+        // Branch-and-bound: tighten the objective with the incumbent. The
+        // tightening happens inside this node's trail level, so it is undone
+        // together with the node. Propagation only runs when the bound
+        // actually moved (the store was already at a fixpoint otherwise).
+        match self.tighten_bound(&mut space.store) {
+            Err(()) => {
+                self.stats.fails += 1;
+                return false;
+            }
+            Ok(true) => {
+                let seed = self.bound_seed();
+                if self
+                    .model
+                    .propagate_in(
+                        &mut space.store,
+                        &mut space.queue,
+                        &mut self.stats,
+                        Some(seed),
+                    )
+                    .is_err()
+                {
+                    self.stats.fails += 1;
+                    return false;
+                }
+            }
+            Ok(false) => {}
+        }
+        if !self.objective_bound_ok(space.store.domains()) {
+            self.stats.fails += 1;
+            return false;
+        }
+
+        let Some(var_idx) = self.select_var(space.store.domains()) else {
+            self.record_solution(space.store.domains());
+            return false;
+        };
+
+        let domain = space.store.domain(var_idx);
+        let values_start = space.values.len();
+        let frame = if self.use_split(domain.size()) {
+            Frame {
+                var_idx,
+                next: 0,
+                num_branches: 2,
+                values_start,
+                kind: BranchKind::Split {
+                    mid: domain.median(),
+                    hi_first: matches!(self.config.value_choice, ValueChoice::Max),
+                },
+            }
+        } else {
+            space.values.extend(domain.iter());
+            if matches!(self.config.value_choice, ValueChoice::Max) {
+                space.values[values_start..].reverse();
+            }
+            Frame {
+                var_idx,
+                next: 0,
+                num_branches: space.values.len() - values_start,
+                values_start,
+                kind: BranchKind::Values,
+            }
+        };
+        space.frames.push(frame);
+        true
+    }
+
+    /// The explicit-stack DFS driver. Precondition: the store holds the
+    /// propagated root state.
+    fn run(&mut self, space: &mut SearchSpace) {
+        if !self.enter_node(space, 0) {
+            return;
+        }
+        while let Some(top) = space.frames.len().checked_sub(1) {
+            if self.stopped || self.solution_limit_hit() {
+                return;
+            }
+            let frame = space.frames[top];
+            if frame.next >= frame.num_branches {
+                // Node exhausted: drop its frame, its arena slice and (below
+                // the root) the trail level of the branch that reached it.
+                space.frames.pop();
+                space.values.truncate(frame.values_start);
+                if top > 0 {
+                    space.store.backtrack();
+                }
+                continue;
+            }
+            space.frames[top].next += 1;
+
+            space.store.push_choice();
+            let applied = match frame.branch_op(frame.next, &space.values) {
+                BranchOp::Assign(v) => space.store.assign(frame.var_idx, v),
+                BranchOp::Le(mid) => space.store.remove_above(frame.var_idx, mid),
+                BranchOp::Gt(mid) => space.store.remove_below(frame.var_idx, mid + 1),
+            };
+            if applied.is_err() {
+                self.stats.fails += 1;
+                space.store.backtrack();
+                continue;
+            }
+            let seed = self.model.props_watching(frame.var_idx);
+            if self
+                .model
+                .propagate_in(
+                    &mut space.store,
+                    &mut space.queue,
+                    &mut self.stats,
+                    Some(seed),
+                )
+                .is_err()
+            {
+                self.stats.fails += 1;
+                space.store.backtrack();
+                continue;
+            }
+            let child_depth = space.frames.len() as u64;
+            if !self.enter_node(space, child_depth) {
+                // The child failed, was a solution, or tripped a limit:
+                // either way it opened no frame, so undo its branch level.
+                space.store.backtrack();
+            }
+        }
+    }
+
+    // ----- copy-on-branch reference implementation ---------------------------
+
+    /// Recursive DFS cloning the whole store at every branch (the
+    /// pre-trail semantics, kept verbatim for equivalence testing).
+    fn dfs_cloning(&mut self, mut store: Store, queue: &mut PropQueue, depth: u64) {
         if self.check_limits() || self.solution_limit_hit() {
             return;
         }
         self.stats.nodes += 1;
         self.stats.max_depth = self.stats.max_depth.max(depth);
 
-        // Branch-and-bound: tighten the objective with the incumbent.
-        match (self.objective, self.best_objective) {
-            (Objective::Minimize(o), Some(best)) => {
-                if domains[o.index()].remove_above(best - 1).is_err() {
-                    self.stats.fails += 1;
-                    return;
-                }
-                if self
-                    .model
-                    .propagate(&mut domains, &mut self.stats, None)
-                    .is_err()
-                {
-                    self.stats.fails += 1;
-                    return;
-                }
+        // Pre-trail bounding semantics: whenever an incumbent exists, tighten
+        // and re-propagate with the full propagator set, even if the bound
+        // did not move. The trail searcher optimizes both away; equivalence
+        // tests comparing the two therefore validate that optimization.
+        let bounding = matches!(
+            (self.objective, self.best_objective),
+            (Objective::Minimize(_), Some(_)) | (Objective::Maximize(_), Some(_))
+        );
+        if bounding {
+            if self.tighten_bound(&mut store).is_err() {
+                self.stats.fails += 1;
+                return;
             }
-            (Objective::Maximize(o), Some(best)) => {
-                if domains[o.index()].remove_below(best + 1).is_err() {
-                    self.stats.fails += 1;
-                    return;
-                }
-                if self
-                    .model
-                    .propagate(&mut domains, &mut self.stats, None)
-                    .is_err()
-                {
-                    self.stats.fails += 1;
-                    return;
-                }
+            if self
+                .model
+                .propagate_in(&mut store, queue, &mut self.stats, None)
+                .is_err()
+            {
+                self.stats.fails += 1;
+                return;
             }
-            _ => {}
         }
-        if !self.objective_bound_ok(&domains) {
+        if !self.objective_bound_ok(store.domains()) {
             self.stats.fails += 1;
             return;
         }
 
-        let var_idx = match self.select_var(&domains) {
+        let var_idx = match self.select_var(store.domains()) {
             None => {
-                self.record_solution(&domains);
+                self.record_solution(store.domains());
                 return;
             }
             Some(i) => i,
         };
 
-        let domain = domains[var_idx].clone();
-        // Borrow the seed list from the model's own lifetime (not through
-        // `self`) so the `&mut self` recursion below stays legal.
+        let domain = store.domain(var_idx).clone();
         let model: &'m Model = self.model;
         let seed = model.props_watching(var_idx);
-        let use_split =
-            matches!(self.config.value_choice, ValueChoice::Split) || domain.size() > 16;
-        if use_split && domain.size() > 2 {
+        if self.use_split(domain.size()) {
             let mid = domain.median();
-            // left: x <= mid, right: x > mid (order depends on value choice)
-            let mut left = domains.clone();
-            let mut right = domains;
-            let branches: [(Vec<Domain>, bool); 2] = match self.config.value_choice {
-                ValueChoice::Max => {
-                    let r_ok = right[var_idx].remove_below(mid + 1).is_ok();
-                    let l_ok = left[var_idx].remove_above(mid).is_ok();
-                    [(right, r_ok), (left, l_ok)]
-                }
-                _ => {
-                    let l_ok = left[var_idx].remove_above(mid).is_ok();
-                    let r_ok = right[var_idx].remove_below(mid + 1).is_ok();
-                    [(left, l_ok), (right, r_ok)]
-                }
-            };
-            for (mut branch, ok) in branches {
-                if !ok {
+            let hi_first = matches!(self.config.value_choice, ValueChoice::Max);
+            for i in 0..2 {
+                let mut branch = store.clone();
+                let ok = if (i == 0) == hi_first {
+                    branch.remove_below(var_idx, mid + 1)
+                } else {
+                    branch.remove_above(var_idx, mid)
+                };
+                if ok.is_err() {
                     self.stats.fails += 1;
                     continue;
                 }
-                if self
-                    .model
-                    .propagate(&mut branch, &mut self.stats, Some(seed))
+                if model
+                    .propagate_in(&mut branch, queue, &mut self.stats, Some(seed))
                     .is_err()
                 {
                     self.stats.fails += 1;
                     continue;
                 }
-                self.dfs(branch, depth + 1);
+                self.dfs_cloning(branch, queue, depth + 1);
                 if self.stopped || self.solution_limit_hit() {
                     return;
                 }
@@ -342,20 +687,19 @@ impl<'m> Searcher<'m> {
                 values.reverse();
             }
             for v in values {
-                let mut branch = domains.clone();
-                if branch[var_idx].assign(v).is_err() {
+                let mut branch = store.clone();
+                if branch.assign(var_idx, v).is_err() {
                     self.stats.fails += 1;
                     continue;
                 }
-                if self
-                    .model
-                    .propagate(&mut branch, &mut self.stats, Some(seed))
+                if model
+                    .propagate_in(&mut branch, queue, &mut self.stats, Some(seed))
                     .is_err()
                 {
                     self.stats.fails += 1;
                     continue;
                 }
-                self.dfs(branch, depth + 1);
+                self.dfs_cloning(branch, queue, depth + 1);
                 if self.stopped || self.solution_limit_hit() {
                     return;
                 }
@@ -510,6 +854,98 @@ mod tests {
         for s in &out.solutions {
             for p in m.propagators() {
                 assert!(p.check(&|v| s.value(v)), "{} violated", p.name());
+            }
+        }
+    }
+
+    #[test]
+    fn search_space_is_reusable_across_solves() {
+        let mut space = SearchSpace::new();
+        let (m, _, _, obj) = sum_model();
+        let first = m.minimize_in(obj, &SearchConfig::default(), &mut space);
+        let second = m.minimize_in(obj, &SearchConfig::default(), &mut space);
+        assert_eq!(first.best_objective, second.best_objective);
+        assert_eq!(first.stats.nodes, second.stats.nodes);
+        assert_eq!(first.stats.fails, second.stats.fails);
+        // and across different models / objectives
+        let mut m2 = Model::new();
+        let z = m2.new_var(0, 4);
+        let out = m2.maximize_in(z, &SearchConfig::default(), &mut space);
+        assert_eq!(out.best_objective, Some(4));
+    }
+
+    #[test]
+    fn split_threshold_none_enumerates_exhaustively() {
+        // With no split threshold, a Min search over a large domain must try
+        // values in ascending order; the first satisfying leaf is the
+        // minimum, so exactly one solution is needed.
+        let mut m = Model::new();
+        let x = m.new_var(0, 200);
+        m.linear_ge(&[(1, x)], 150);
+        let cfg = SearchConfig {
+            split_threshold: None,
+            max_solutions: Some(1),
+            ..Default::default()
+        };
+        let out = m.solve_all(&cfg);
+        assert_eq!(out.solutions[0].value(x), 150);
+    }
+
+    #[test]
+    fn split_threshold_controls_bisection() {
+        let mut m = Model::new();
+        let x = m.new_var(0, 100);
+        let obj = m.linear_var(&[(1, x)], 0);
+        // Tiny threshold: everything bisects; still finds the optimum.
+        let cfg = SearchConfig {
+            split_threshold: Some(2),
+            ..Default::default()
+        };
+        let out = m.minimize(obj, &cfg);
+        assert_eq!(out.best_objective, Some(0));
+    }
+
+    #[test]
+    fn deep_search_does_not_overflow_the_stack() {
+        // 3000 chained variables forced to fix one by one: the explicit
+        // decision stack must handle depth far beyond what recursion could.
+        let mut m = Model::new();
+        let n = 3000;
+        let xs: Vec<VarId> = (0..n).map(|_| m.new_var(0, 1)).collect();
+        for w in xs.windows(2) {
+            // x_{i+1} >= x_i keeps the tree deep but narrow
+            m.linear_le(&[(1, w[0]), (-1, w[1])], 0);
+        }
+        let out = m.solve_all(&SearchConfig {
+            max_solutions: Some(1),
+            ..Default::default()
+        });
+        assert_eq!(out.solutions.len(), 1);
+        assert!(out.stats.max_depth >= 1000);
+    }
+
+    #[test]
+    fn reference_and_trail_searchers_agree() {
+        for branching in [
+            Branching::InputOrder,
+            Branching::SmallestDomain,
+            Branching::LargestDomain,
+        ] {
+            for value_choice in [ValueChoice::Min, ValueChoice::Max, ValueChoice::Split] {
+                let (m, _, _, obj) = sum_model();
+                let cfg = SearchConfig {
+                    branching,
+                    value_choice,
+                    ..Default::default()
+                };
+                let trail = solve(&m, Objective::Minimize(obj), &cfg);
+                let reference = solve_reference(&m, Objective::Minimize(obj), &cfg);
+                let ctx = format!("{branching:?}/{value_choice:?}");
+                assert_eq!(trail.best_objective, reference.best_objective, "{ctx}");
+                assert_eq!(trail.solutions, reference.solutions, "{ctx}");
+                assert_eq!(trail.stats.nodes, reference.stats.nodes, "{ctx}");
+                assert_eq!(trail.stats.fails, reference.stats.fails, "{ctx}");
+                assert_eq!(trail.stats.max_depth, reference.stats.max_depth, "{ctx}");
             }
         }
     }

@@ -19,7 +19,7 @@
 use std::collections::BTreeMap;
 
 use cologne::datalog::{NodeId, Value};
-use cologne::{CologneInstance, ProgramParams, VarDomain};
+use cologne::{CologneInstance, ProgramParams, SolverBranching, VarDomain};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -336,8 +336,12 @@ impl AcloudController {
         } else {
             ACLOUD_CENTRALIZED.to_string()
         };
+        // First-fail branching: the 0/1 assignment variables of constrained
+        // rows (memory-tight hosts, migration budgets) collapse first, so
+        // infeasible placements are abandoned high in the tree.
         let mut params = ProgramParams::new()
             .with_var_domain("assign", VarDomain::BOOL)
+            .with_solver_branching(SolverBranching::FirstFail)
             .with_solver_node_limit(Some(config.solver_node_limit))
             .with_solver_max_time(Some(std::time::Duration::from_secs(10)));
         if limited {

@@ -18,6 +18,7 @@ use std::collections::BTreeMap;
 
 use cologne::datalog::{NodeId, RemoteTuple, Value};
 use cologne::net::{LinkProps, SimTime, Topology};
+use cologne::solver::SearchStats;
 use cologne::{DistributedCologne, ProgramParams, VarDomain};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -198,6 +199,12 @@ pub struct FollowSunOutcome {
     pub initial_cost: i64,
     /// Absolute final cost (allocation + cumulative migration).
     pub final_cost: i64,
+    /// Aggregate solver effort over every per-node COP invocation of the run
+    /// (nodes, fails, propagations, max depth — the paper's Table 2
+    /// per-execution figures, summed across the negotiation).
+    pub solver_stats: SearchStats,
+    /// Total number of `invokeSolver` executions across all nodes.
+    pub solver_invocations: u64,
 }
 
 impl FollowSunOutcome {
@@ -410,6 +417,15 @@ pub fn run_followsun(config: &FollowSunConfig) -> FollowSunOutcome {
         });
     }
 
+    let mut solver_stats = SearchStats::default();
+    let mut solver_invocations = 0;
+    for node in workload.topology.nodes() {
+        if let Some(inst) = driver.instance(NodeId(node)) {
+            solver_stats.merge(inst.cumulative_solver_stats());
+            solver_invocations += inst.solver_invocations();
+        }
+    }
+
     FollowSunOutcome {
         cost_series,
         per_node_overhead_kbps: driver.per_node_overhead_kbps(),
@@ -417,6 +433,8 @@ pub fn run_followsun(config: &FollowSunConfig) -> FollowSunOutcome {
         migrated_vms,
         initial_cost,
         final_cost: workload.allocation_cost() + cumulative_migration_cost,
+        solver_stats,
+        solver_invocations,
     }
 }
 

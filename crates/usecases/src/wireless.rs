@@ -19,7 +19,7 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use cologne::datalog::{NodeId, Value};
 use cologne::net::{LinkProps, Topology};
-use cologne::{CologneInstance, ProgramParams, VarDomain};
+use cologne::{CologneInstance, ProgramParams, SolverBranching, VarDomain};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -402,6 +402,9 @@ fn centralized_params(config: &WirelessConfig, channels: &[i64]) -> ProgramParam
             ),
         )
         .with_constant("F_mindiff", config.f_mindiff)
+        // First-fail branching: channel variables squeezed by primary users
+        // and the interface (UNIQUE) constraint are decided first.
+        .with_solver_branching(SolverBranching::FirstFail)
         .with_solver_node_limit(Some(config.solver_node_limit))
         .with_solver_max_time(Some(std::time::Duration::from_secs(10)))
 }

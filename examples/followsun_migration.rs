@@ -37,4 +37,8 @@ fn main() {
         "convergence time {:.0} s, per-node communication overhead {:.2} KB/s",
         outcome.convergence_secs, outcome.per_node_overhead_kbps
     );
+    println!(
+        "solver effort across {} COP invocations: {}",
+        outcome.solver_invocations, outcome.solver_stats
+    );
 }

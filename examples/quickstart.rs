@@ -73,4 +73,7 @@ fn main() {
         report.stats.elapsed(),
         report.proven_optimal
     );
+    // Per-invocation solver effort is also retained on the instance itself.
+    let effort = node.last_solver_stats().expect("solver was invoked");
+    println!("solver effort: {effort}");
 }

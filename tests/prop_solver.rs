@@ -5,7 +5,9 @@
 
 use proptest::prelude::*;
 
-use cologne_solver::{Domain, Model, SearchConfig};
+use cologne_solver::{
+    solve_reference, Branching, Domain, Model, Objective, SearchConfig, ValueChoice,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -116,6 +118,85 @@ proptest! {
             (None, None) => {}
             (found, expected) => prop_assert!(false, "solver {found:?} vs brute force {expected:?}"),
         }
+    }
+
+    /// The trail-based searcher is behaviorally identical to the retained
+    /// copy-on-branch reference implementation: on random linear /
+    /// disequality models, under every heuristic combination, both must
+    /// produce the same best objective, the same solution/incumbent
+    /// sequence, and the same node, fail and depth counts.
+    #[test]
+    fn trail_searcher_matches_cloning_reference(
+        num_vars in 2usize..5,
+        bounds in prop::collection::vec((-4i64..2, 2i64..14), 2..5),
+        constraints in prop::collection::vec(
+            (prop::collection::vec(-3i64..4, 2..5), -10i64..20, 0u8..4),
+            1..6
+        ),
+        objective_coeffs in prop::collection::vec(-3i64..4, 2..5),
+        heuristics in (0u8..3, 0u8..3, 0u8..3),
+        maximize in prop::bool::ANY,
+    ) {
+        let build = || {
+            let mut m = Model::new();
+            let vars: Vec<_> = (0..num_vars)
+                .map(|i| {
+                    let (lo, hi) = bounds[i % bounds.len()];
+                    m.new_var(lo, hi)
+                })
+                .collect();
+            for (coeffs, bound, kind) in &constraints {
+                let terms: Vec<(i64, _)> = coeffs
+                    .iter()
+                    .zip(vars.iter())
+                    .map(|(&c, &v)| (c, v))
+                    .collect();
+                match kind % 4 {
+                    0 => m.linear_le(&terms, *bound),
+                    1 => m.linear_ge(&terms, *bound),
+                    2 => m.linear_eq(&terms, *bound),
+                    _ => m.linear_ne(&terms, *bound),
+                }
+            }
+            let obj_terms: Vec<(i64, _)> = objective_coeffs
+                .iter()
+                .zip(vars.iter())
+                .map(|(&c, &v)| (c, v))
+                .collect();
+            let obj = m.linear_var(&obj_terms, 0);
+            (m, obj)
+        };
+        let (m, obj) = build();
+        let cfg = SearchConfig {
+            branching: [
+                Branching::InputOrder,
+                Branching::SmallestDomain,
+                Branching::LargestDomain,
+            ][heuristics.0 as usize % 3],
+            value_choice: [ValueChoice::Min, ValueChoice::Max, ValueChoice::Split]
+                [heuristics.1 as usize % 3],
+            split_threshold: [None, Some(4), Some(16)][heuristics.2 as usize % 3],
+            ..Default::default()
+        };
+        let objective = if maximize {
+            Objective::Maximize(obj)
+        } else {
+            Objective::Minimize(obj)
+        };
+        let trail = if maximize {
+            m.maximize(obj, &cfg)
+        } else {
+            m.minimize(obj, &cfg)
+        };
+        let reference = solve_reference(&m, objective, &cfg);
+        prop_assert_eq!(trail.best_objective, reference.best_objective);
+        prop_assert_eq!(trail.solutions.len(), reference.solutions.len());
+        prop_assert_eq!(&trail.solutions, &reference.solutions);
+        prop_assert_eq!(trail.stats.nodes, reference.stats.nodes);
+        prop_assert_eq!(trail.stats.fails, reference.stats.fails);
+        prop_assert_eq!(trail.stats.solutions, reference.stats.solutions);
+        prop_assert_eq!(trail.stats.max_depth, reference.stats.max_depth);
+        prop_assert_eq!(trail.complete, reference.complete);
     }
 
     /// The scaled-variance lowering used for `STDEV` goals always picks a
