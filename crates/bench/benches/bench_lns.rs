@@ -1,0 +1,52 @@
+//! Benchmarks of the LNS solver mode against exact branch-and-bound on the
+//! large ACloud instance, at the same node budget. Both modes spend the same
+//! budget, so the wall-clock numbers are directly comparable; the objective
+//! gap at that budget is pinned by `tests/integration_lns.rs`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cologne::SolverMode;
+use cologne_usecases::{solve_large_acloud, LargeAcloudConfig};
+
+fn scenario(vms: usize, hosts: usize) -> LargeAcloudConfig {
+    LargeAcloudConfig {
+        vms,
+        hosts,
+        node_limit: 6_000,
+        seed: 23,
+    }
+}
+
+fn bench_exact_vs_lns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lns");
+    for (vms, hosts) in [(60usize, 6usize), (120, 10)] {
+        let config = scenario(vms, hosts);
+        group.bench_with_input(
+            BenchmarkId::new("exact_budgeted", format!("{vms}vms_{hosts}hosts")),
+            &config,
+            |b, config| {
+                b.iter(|| black_box(solve_large_acloud(config, SolverMode::Exact).objective));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("destroy_repair", format!("{vms}vms_{hosts}hosts")),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    black_box(
+                        solve_large_acloud(config, SolverMode::Lns(config.lns_params())).objective,
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_exact_vs_lns
+}
+criterion_main!(benches);

@@ -55,6 +55,59 @@ pub enum SolverBranching {
     LargestDomain,
 }
 
+/// Incomplete-search (large neighborhood search) parameters.
+///
+/// Compiler-facing mirror of the solver's `LnsConfig` (the compiler crate
+/// does not depend on the solver); the runtime maps it onto the solver's
+/// search configuration when an instance is built. See the solver's `lns`
+/// module for the semantics of each knob.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LnsParams {
+    /// Seed of the neighborhood-selection RNG (fixed seed = reproducible run).
+    pub seed: u64,
+    /// Fraction of the decision variables destroyed per iteration.
+    pub destroy_fraction: f64,
+    /// Prefer destroying variables whose frozen assignment conflicted with
+    /// the improving bound (`true`), or pick purely at random (`false`).
+    pub conflict_guided: bool,
+    /// Node budget of the initial exact incumbent dive.
+    pub dive_node_limit: u64,
+    /// Base fail budget of one repair search.
+    pub repair_fail_base: u64,
+    /// Geometric growth factor for stalled repair budgets and neighborhoods.
+    pub repair_growth: f64,
+    /// Hard cap on destroy/repair iterations.
+    pub max_iterations: Option<u64>,
+}
+
+impl Default for LnsParams {
+    fn default() -> Self {
+        LnsParams {
+            seed: 0xC010_93E5,
+            destroy_fraction: 0.25,
+            conflict_guided: true,
+            dive_node_limit: 2_000,
+            repair_fail_base: 64,
+            repair_growth: 1.5,
+            max_iterations: None,
+        }
+    }
+}
+
+/// How COP invocations explore the search space: exact branch-and-bound (the
+/// paper's mode) or incomplete large neighborhood search for instances exact
+/// search cannot close within its budget.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum SolverMode {
+    /// Exact branch-and-bound with an optimality proof.
+    #[default]
+    Exact,
+    /// Destroy/repair large neighborhood search (best incumbent under the
+    /// configured budgets; optimization goals only — `satisfy` programs run
+    /// exact regardless).
+    Lns(LnsParams),
+}
+
 /// Compile/run-time parameters for a Colog program.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ProgramParams {
@@ -73,6 +126,10 @@ pub struct ProgramParams {
     /// configuration of the runtime's solve pipeline at instance
     /// construction.
     pub solver_branching: SolverBranching,
+    /// Search mode for COP invocations (exact branch-and-bound or LNS).
+    /// Like the branching heuristic, it seeds the pipeline's search
+    /// configuration and follows parameter updates.
+    pub solver_mode: SolverMode,
 }
 
 impl Default for ProgramParams {
@@ -84,6 +141,7 @@ impl Default for ProgramParams {
             solver_max_time: Some(Duration::from_secs(10)),
             solver_node_limit: None,
             solver_branching: SolverBranching::default(),
+            solver_mode: SolverMode::default(),
         }
     }
 }
@@ -124,6 +182,13 @@ impl ProgramParams {
         self
     }
 
+    /// Set the search mode — exact or LNS — for COP invocations (builder
+    /// style).
+    pub fn with_solver_mode(mut self, mode: SolverMode) -> Self {
+        self.solver_mode = mode;
+        self
+    }
+
     /// Look up a named constant.
     pub fn constant(&self, name: &str) -> Option<i64> {
         self.constants.get(name).copied()
@@ -157,6 +222,19 @@ mod tests {
     fn branching_builder_sets_heuristic() {
         let p = ProgramParams::new().with_solver_branching(SolverBranching::FirstFail);
         assert_eq!(p.solver_branching, SolverBranching::FirstFail);
+    }
+
+    #[test]
+    fn solver_mode_defaults_to_exact_and_builder_selects_lns() {
+        let p = ProgramParams::new();
+        assert_eq!(p.solver_mode, SolverMode::Exact);
+        let lns = LnsParams {
+            seed: 99,
+            max_iterations: Some(10),
+            ..Default::default()
+        };
+        let p = p.with_solver_mode(SolverMode::Lns(lns.clone()));
+        assert_eq!(p.solver_mode, SolverMode::Lns(lns));
     }
 
     #[test]

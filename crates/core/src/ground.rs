@@ -409,6 +409,12 @@ impl<'a> GroundingRun<'a> {
                                 .join(",")
                         );
                         let var = self.model.new_named_var(domain.lo, domain.hi, Some(name));
+                        // `var`-declared solver attributes are the COP's
+                        // decision variables; the LNS mode builds its
+                        // neighborhoods from them (auxiliary variables made
+                        // by aggregates/expressions stay unmarked — they are
+                        // functionally determined by these).
+                        self.model.mark_decision(var);
                         row.push(self.new_sym(var));
                     } else {
                         match arg {

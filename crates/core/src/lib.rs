@@ -75,7 +75,9 @@ pub use instance::{CologneInstance, SolveReport};
 pub use pipeline::SolvePipeline;
 
 // Re-export the compiler-facing types users need to drive the runtime.
-pub use cologne_colog::{GoalKind, Program, ProgramParams, RuleClass, SolverBranching, VarDomain};
+pub use cologne_colog::{
+    GoalKind, LnsParams, Program, ProgramParams, RuleClass, SolverBranching, SolverMode, VarDomain,
+};
 
 /// Re-export of the Datalog substrate (values, tuples, engine).
 pub mod datalog {

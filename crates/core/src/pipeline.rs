@@ -25,9 +25,13 @@
 //! so that parameter updates (e.g. dropping the wall-clock limit for
 //! deterministic tests) take effect immediately.
 
-use cologne_colog::{Analysis, Program, ProgramParams, SolverBranching};
+use cologne_colog::{
+    Analysis, Program, ProgramParams, SolverBranching, SolverMode as ParamsSolverMode,
+};
 use cologne_datalog::Engine;
-use cologne_solver::{Branching, SearchConfig, SearchOutcome};
+use cologne_solver::{
+    Branching, DestroyStrategy, LnsConfig, SearchConfig, SearchOutcome, SolverMode,
+};
 
 use crate::error::CologneError;
 use crate::ground::{GroundedCop, GroundingPlan, GroundingScratch};
@@ -51,6 +55,26 @@ fn branching_of(params: &ProgramParams) -> Branching {
     }
 }
 
+/// Map the compiler-facing solver mode onto the solver's search mode.
+fn mode_of(params: &ProgramParams) -> SolverMode {
+    match &params.solver_mode {
+        ParamsSolverMode::Exact => SolverMode::Exact,
+        ParamsSolverMode::Lns(p) => SolverMode::Lns(LnsConfig {
+            seed: p.seed,
+            destroy_fraction: p.destroy_fraction,
+            destroy_strategy: if p.conflict_guided {
+                DestroyStrategy::ConflictGuided
+            } else {
+                DestroyStrategy::Random
+            },
+            dive_node_limit: p.dive_node_limit,
+            repair_fail_base: p.repair_fail_base,
+            repair_growth: p.repair_growth,
+            max_iterations: p.max_iterations,
+        }),
+    }
+}
+
 impl SolvePipeline {
     /// Build the pipeline (and its first plan) for a compiled program. The
     /// search configuration is seeded from the parameters' branching
@@ -63,6 +87,7 @@ impl SolvePipeline {
             dirty: false,
             search: SearchConfig {
                 branching: branching_of(params),
+                mode: mode_of(params),
                 ..Default::default()
             },
         }
@@ -110,11 +135,13 @@ impl SolvePipeline {
     ) -> Result<GroundedCop, CologneError> {
         if self.dirty {
             self.plan = GroundingPlan::build(program, analysis, params);
-            // Parameters are the source of truth for the branching heuristic:
-            // a params_mut() change to solver_branching must take effect like
-            // every other parameter change. (Manual search_config_mut edits
-            // persist only until the next invalidation.)
+            // Parameters are the source of truth for the branching heuristic
+            // and the solver mode: a params_mut() change to either must take
+            // effect like every other parameter change. (Manual
+            // search_config_mut edits persist only until the next
+            // invalidation.)
             self.search.branching = branching_of(params);
+            self.search.mode = mode_of(params);
             self.plan_builds += 1;
             self.dirty = false;
         }

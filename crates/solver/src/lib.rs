@@ -34,17 +34,21 @@
 
 pub mod domain;
 pub mod expr;
+pub mod lns;
 pub mod model;
 pub mod propagator;
 pub mod propagators;
+pub mod restart;
 pub mod search;
 pub mod stats;
 pub mod store;
 
 pub use domain::Domain;
 pub use expr::LinExpr;
+pub use lns::{DestroyStrategy, LnsConfig, SolverMode};
 pub use model::{Model, VarId};
 pub use propagator::{PropStatus, Propagator, PropagatorContext};
+pub use restart::GeometricRestarts;
 pub use search::{
     solve_reference, Assignment, Branching, Objective, SearchConfig, SearchOutcome, SearchSpace,
     ValueChoice, DEFAULT_SPLIT_THRESHOLD,

@@ -1,0 +1,552 @@
+//! Large neighborhood search (LNS): incomplete optimization for instances
+//! exact branch-and-bound cannot close.
+//!
+//! The paper's evaluation stops where exact search stops — tens of VMs,
+//! small wireless grids — because every solver invocation re-proves
+//! optimality from scratch. LNS trades the optimality proof for scale: take
+//! an incumbent from a bounded exact dive, then loop **destroy** (unfix a
+//! subset of the decision variables) / **repair** (re-solve the resulting
+//! sub-problem under the obligation to strictly improve), keeping the best
+//! assignment seen. Each iteration touches only a neighborhood of the
+//! incumbent, so the cost per iteration stays bounded as the instance grows.
+//!
+//! # The destroy/repair contract against trail levels
+//!
+//! The driver leans directly on the trail store's O(changes) backtracking —
+//! no per-iteration copies of the domain vector are ever made:
+//!
+//! 1. **Frozen root.** Once, at the start of the run, the store is reset to
+//!    the model's root domains and propagated at trail level 0. Level-0
+//!    mutations are permanent, so this root fixpoint is computed exactly
+//!    once for the whole LNS run.
+//! 2. **Freeze.** Every iteration opens one trail level
+//!    ([`crate::Store::push_choice`]), tightens the objective to *strictly
+//!    better than the incumbent*, and re-asserts the incumbent value of
+//!    every *kept* (non-destroyed) decision variable, propagating after each
+//!    assignment. A conflict here means the kept set pins a variable that
+//!    must change for any improvement — the iteration is abandoned and, under
+//!    [`DestroyStrategy::ConflictGuided`], the offending variable is
+//!    force-destroyed next round.
+//! 3. **Repair.** A bounded first-fail exact search
+//!    ([`crate::search::resolve_subtree`]) runs below the freeze level, with
+//!    the incumbent objective seeded as its branch-and-bound bound and a
+//!    fail budget drawn from a geometric restart schedule
+//!    ([`crate::restart::GeometricRestarts`]): the budget grows while
+//!    repairs come back empty and resets on improvement.
+//! 4. **Destroy.** Backtracking every trail level above the frozen root —
+//!    the levels the repair left open plus the freeze level itself — *is*
+//!    the destroy step: all kept assignments and all repair decisions vanish
+//!    in O(changes), and the next iteration starts from the pristine root
+//!    fixpoint.
+//!
+//! # Termination and optimality
+//!
+//! The driver stops on the caller's limits ([`crate::SearchConfig`] node /
+//! fail / time limits, [`LnsConfig::max_iterations`]). Two situations prove
+//! the incumbent *optimal* and set `complete = true` on the outcome: a
+//! repair with the **full** neighborhood destroyed that exhausts its search
+//! without hitting a budget, and a freeze whose improving bound conflicts at
+//! the root with nothing frozen. Stalled iterations grow both the fail
+//! budget and the neighborhood geometrically, so in the absence of limits
+//! the driver always terminates with a proof.
+//!
+//! # Determinism
+//!
+//! Neighborhood selection uses the vendored splitmix64
+//! [`rand::rngs::StdRng`] seeded from [`LnsConfig::seed`]; every other
+//! choice is a deterministic function of the model and configuration. Two
+//! runs with the same model, configuration and seed produce identical
+//! incumbent sequences and identical node/fail/iteration counters, provided
+//! no wall-clock limit is set (a wall-clock limit is the one
+//! schedule-dependent stopping rule; use node limits for reproducible runs).
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::model::{Model, VarId};
+use crate::restart::GeometricRestarts;
+use crate::search::{self, Branching, Objective, SearchConfig, SearchOutcome, SearchSpace};
+use crate::stats::SearchStats;
+use crate::store::Store;
+use crate::Assignment;
+
+/// How [`crate::search::solve_in`] explores the search space.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum SolverMode {
+    /// Exact branch-and-bound (the paper's mode): proves optimality, but
+    /// cost grows with the full search space.
+    #[default]
+    Exact,
+    /// Destroy/repair large neighborhood search: returns the best incumbent
+    /// found under the configured budgets. Applies to `minimize`/`maximize`
+    /// objectives; satisfaction goals fall back to exact search.
+    Lns(LnsConfig),
+}
+
+/// How the destroy step picks the neighborhood to unfix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DestroyStrategy {
+    /// Uniform seeded-random subset of the decision variables.
+    Random,
+    /// Random subset, but variables whose frozen incumbent assignment
+    /// conflicted with the improving bound in the previous iteration are
+    /// destroyed first — they provably must change for any improvement.
+    #[default]
+    ConflictGuided,
+}
+
+/// Configuration of the LNS driver. The overall budget (node / fail / time
+/// limits) still comes from the enclosing [`SearchConfig`]; this structure
+/// only shapes how that budget is spent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LnsConfig {
+    /// Seed of the neighborhood-selection RNG. Everything else being equal,
+    /// the same seed reproduces the same run exactly.
+    pub seed: u64,
+    /// Fraction of the decision variables destroyed per iteration (clamped
+    /// to at least one variable). Stalled iterations grow the neighborhood
+    /// geometrically; an improvement snaps it back to this base.
+    pub destroy_fraction: f64,
+    /// Neighborhood selection policy.
+    pub destroy_strategy: DestroyStrategy,
+    /// Node budget of the initial exact dive that produces the first
+    /// incumbent. If the dive finds nothing, it is retried with
+    /// geometrically larger budgets until a first solution appears or the
+    /// overall budget runs out.
+    pub dive_node_limit: u64,
+    /// Base fail budget of one repair search.
+    pub repair_fail_base: u64,
+    /// Geometric growth factor applied to the repair fail budget and the
+    /// neighborhood size while iterations fail to improve.
+    pub repair_growth: f64,
+    /// Hard cap on destroy/repair iterations (`None` = bounded only by the
+    /// enclosing search limits).
+    pub max_iterations: Option<u64>,
+}
+
+impl Default for LnsConfig {
+    fn default() -> Self {
+        LnsConfig {
+            seed: 0xC010_93E5,
+            destroy_fraction: 0.25,
+            destroy_strategy: DestroyStrategy::ConflictGuided,
+            dive_node_limit: 2_000,
+            repair_fail_base: 64,
+            repair_growth: 1.5,
+            max_iterations: None,
+        }
+    }
+}
+
+/// Tighten the objective domain to values strictly better than `best`.
+fn tighten_to_improve(store: &mut Store, objective: Objective, best: i64) -> Result<bool, ()> {
+    match objective {
+        Objective::Minimize(o) => store.remove_above(o.index(), best.saturating_sub(1)),
+        Objective::Maximize(o) => store.remove_below(o.index(), best.saturating_add(1)),
+        Objective::Satisfy => Ok(false),
+    }
+}
+
+/// Budget still available under an optional limit.
+fn remaining(limit: Option<u64>, spent: u64) -> Option<u64> {
+    limit.map(|l| l.saturating_sub(spent))
+}
+
+/// The LNS driver. `config` carries the overall limits and heuristics,
+/// `lns` the destroy/repair shape. Called through
+/// [`crate::search::solve_in`] when [`SearchConfig::mode`] is
+/// [`SolverMode::Lns`] and the objective is an optimization.
+pub(crate) fn solve_lns(
+    model: &Model,
+    objective: Objective,
+    config: &SearchConfig,
+    lns: &LnsConfig,
+    space: &mut SearchSpace,
+) -> SearchOutcome {
+    let start = Instant::now();
+    let mut stats = SearchStats::default();
+    let mut solutions: Vec<Assignment> = Vec::new();
+
+    let finish = |mut stats: SearchStats,
+                  best: Option<Assignment>,
+                  best_objective: Option<i64>,
+                  solutions: Vec<Assignment>,
+                  complete: bool| {
+        stats.elapsed_micros = start.elapsed().as_micros() as u64;
+        stats.limit_reached = !complete;
+        SearchOutcome {
+            best,
+            best_objective,
+            solutions,
+            stats,
+            complete,
+        }
+    };
+
+    let out_of_time = |stats: &SearchStats| {
+        config.time_limit.is_some_and(|t| start.elapsed() >= t)
+            || remaining(config.node_limit, stats.nodes) == Some(0)
+            || remaining(config.fail_limit, stats.fails) == Some(0)
+    };
+    // `max_solutions` keeps its exact-mode meaning for optimization — stop
+    // improving after this many incumbents — counted across the dive and
+    // every repair.
+    let solution_cap_hit =
+        |solutions: &[Assignment]| config.max_solutions.is_some_and(|k| solutions.len() >= k);
+    let remaining_solutions = |solutions: &[Assignment]| {
+        config
+            .max_solutions
+            .map(|k| k.saturating_sub(solutions.len()))
+    };
+
+    // ----- phase 1: incumbent dive(s) ---------------------------------------
+    //
+    // A node-limited exact dive produces the first incumbent. Re-dives with
+    // geometrically larger budgets re-explore the same deterministic prefix,
+    // which the growth amortizes.
+    let mut dive_budgets = GeometricRestarts::new(lns.dive_node_limit, lns.repair_growth);
+    let (mut incumbent, mut best) = loop {
+        let budget = match remaining(config.node_limit, stats.nodes) {
+            Some(r) => r.min(dive_budgets.budget()),
+            None => dive_budgets.budget(),
+        };
+        let dive_cfg = SearchConfig {
+            mode: SolverMode::Exact,
+            node_limit: Some(budget),
+            time_limit: config.time_limit.map(|t| t.saturating_sub(start.elapsed())),
+            fail_limit: remaining(config.fail_limit, stats.fails),
+            max_solutions: remaining_solutions(&solutions),
+            ..config.clone()
+        };
+        let dive = search::solve_exact_in(model, objective, &dive_cfg, space);
+        stats.merge(&dive.stats);
+        if dive.best.is_some() {
+            solutions.extend(dive.solutions.iter().cloned());
+        }
+        if dive.complete {
+            // The dive already proved optimality (or infeasibility).
+            return finish(stats, dive.best, dive.best_objective, solutions, true);
+        }
+        if let (Some(assignment), Some(value)) = (dive.best, dive.best_objective) {
+            if solution_cap_hit(&solutions) {
+                return finish(stats, Some(assignment), Some(value), solutions, false);
+            }
+            break (assignment, value);
+        }
+        if out_of_time(&stats) {
+            // Budget exhausted before any incumbent appeared.
+            return finish(stats, None, None, solutions, false);
+        }
+        dive_budgets.grow();
+    };
+
+    // ----- phase 2: destroy / repair from a frozen root ---------------------
+    space.frames.clear();
+    space.values.clear();
+    space.store.reset_from(model.domains());
+    if model
+        .propagate_in(&mut space.store, &mut space.queue, &mut stats, None)
+        .is_err()
+    {
+        // Unreachable in practice (the dive found a solution through this
+        // very fixpoint), but degrade gracefully: keep the incumbent.
+        return finish(stats, Some(incumbent), Some(best), solutions, false);
+    }
+
+    // The neighborhood pool: marked decision variables, or every variable
+    // when the model marks none — in both cases restricted to variables the
+    // root fixpoint leaves unfixed (the rest can never move).
+    let candidates: Vec<usize> = if model.decision_vars().is_empty() {
+        (0..model.num_vars())
+            .filter(|&i| !space.store.domain(i).is_fixed())
+            .collect()
+    } else {
+        model
+            .decision_vars()
+            .iter()
+            .map(|v| v.index())
+            .filter(|&i| !space.store.domain(i).is_fixed())
+            .collect()
+    };
+    if candidates.is_empty() {
+        return finish(stats, Some(incumbent), Some(best), solutions, false);
+    }
+
+    let mut rng = StdRng::seed_from_u64(lns.seed);
+    let mut repair_budgets = GeometricRestarts::new(lns.repair_fail_base, lns.repair_growth);
+    let base_destroy = ((candidates.len() as f64 * lns.destroy_fraction).ceil() as usize)
+        .clamp(1, candidates.len());
+    let mut destroy_count = base_destroy;
+    let grow_destroy = |count: usize| {
+        let scaled = (count as f64 * lns.repair_growth.max(1.0)).ceil() as usize;
+        scaled.max(count + 1).min(candidates.len())
+    };
+    // Conflict-guided carry-over: variables whose frozen assignment clashed
+    // with the improving bound last iteration.
+    let mut forced: Vec<usize> = Vec::new();
+    let mut complete = false;
+
+    loop {
+        if out_of_time(&stats)
+            || solution_cap_hit(&solutions)
+            || lns
+                .max_iterations
+                .is_some_and(|m| stats.lns_iterations >= m)
+        {
+            break;
+        }
+        stats.lns_iterations += 1;
+
+        // --- destroy selection ---
+        let mut destroy: BTreeSet<usize> = BTreeSet::new();
+        if lns.destroy_strategy == DestroyStrategy::ConflictGuided {
+            destroy.extend(forced.iter().copied().take(destroy_count));
+        }
+        forced.clear();
+        while destroy.len() < destroy_count {
+            destroy.insert(candidates[rng.gen_range(0..candidates.len())]);
+        }
+
+        // --- freeze: improving bound + incumbent values on the kept set ---
+        space.store.push_choice();
+        // The store is at the frozen-root fixpoint and the tightening only
+        // touches the objective, so seeding its watchers reaches the same
+        // fixpoint as seeding every propagator (the exact searcher's
+        // bound-seed argument).
+        let mut frozen_ok = match tighten_to_improve(&mut space.store, objective, best) {
+            Err(()) => false,
+            Ok(false) => true,
+            Ok(true) => {
+                let seed = match objective {
+                    Objective::Minimize(o) | Objective::Maximize(o) => {
+                        model.props_watching(o.index())
+                    }
+                    Objective::Satisfy => &[],
+                };
+                model
+                    .propagate_in(&mut space.store, &mut space.queue, &mut stats, Some(seed))
+                    .is_ok()
+            }
+        };
+        if frozen_ok {
+            'freeze: for &i in &candidates {
+                if destroy.contains(&i) {
+                    continue;
+                }
+                let value = incumbent.value(VarId::from_index(i));
+                let applied = space.store.assign(i, value);
+                if applied.is_err() {
+                    forced.push(i);
+                    frozen_ok = false;
+                    break 'freeze;
+                }
+                if applied == Ok(true)
+                    && model
+                        .propagate_in(
+                            &mut space.store,
+                            &mut space.queue,
+                            &mut stats,
+                            Some(model.props_watching(i)),
+                        )
+                        .is_err()
+                {
+                    forced.push(i);
+                    frozen_ok = false;
+                    break 'freeze;
+                }
+            }
+        }
+        if !frozen_ok {
+            space.store.backtrack();
+            if destroy.len() >= candidates.len() {
+                // Nothing was frozen, yet demanding an improvement already
+                // conflicts at the root: the incumbent is optimal.
+                complete = true;
+                break;
+            }
+            destroy_count = grow_destroy(destroy_count);
+            repair_budgets.grow();
+            continue;
+        }
+
+        // --- repair: bounded first-fail re-solve below the freeze level ---
+        let repair_cfg = SearchConfig {
+            mode: SolverMode::Exact,
+            branching: Branching::SmallestDomain,
+            value_choice: config.value_choice,
+            split_threshold: config.split_threshold,
+            time_limit: config.time_limit.map(|t| t.saturating_sub(start.elapsed())),
+            fail_limit: Some(
+                remaining(config.fail_limit, stats.fails)
+                    .map_or(repair_budgets.budget(), |r| r.min(repair_budgets.budget())),
+            ),
+            node_limit: remaining(config.node_limit, stats.nodes),
+            max_solutions: remaining_solutions(&solutions),
+        };
+        let repair = search::resolve_subtree(model, objective, &repair_cfg, space, Some(best));
+        stats.merge(&repair.stats);
+
+        // --- destroy (for the next iteration): unwind to the frozen root ---
+        while space.store.level() > 0 {
+            space.store.backtrack();
+        }
+        space.frames.clear();
+        space.values.clear();
+
+        if let (Some(assignment), Some(value)) = (repair.best, repair.best_objective) {
+            stats.lns_improvements += 1;
+            solutions.extend(repair.solutions);
+            incumbent = assignment;
+            best = value;
+            destroy_count = base_destroy;
+            repair_budgets.reset();
+        } else {
+            if repair.complete && destroy.len() >= candidates.len() {
+                // Full neighborhood, search exhausted without a budget stop:
+                // no assignment beats the incumbent.
+                complete = true;
+                break;
+            }
+            destroy_count = grow_destroy(destroy_count);
+            repair_budgets.grow();
+        }
+    }
+
+    finish(stats, Some(incumbent), Some(best), solutions, complete)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Model, SearchConfig};
+
+    fn lns_config(seed: u64) -> SearchConfig {
+        SearchConfig {
+            mode: SolverMode::Lns(LnsConfig {
+                seed,
+                dive_node_limit: 8,
+                repair_fail_base: 8,
+                ..Default::default()
+            }),
+            node_limit: Some(5_000),
+            ..Default::default()
+        }
+    }
+
+    /// A balance model: `n` items of distinct weights split over two bins,
+    /// minimizing the heavier bin.
+    fn balance_model(n: usize) -> (Model, VarId) {
+        let mut m = Model::new();
+        let mut bin0 = Vec::new();
+        let mut bin1 = Vec::new();
+        let total: i64 = (0..n as i64).map(|i| 3 + i).sum();
+        for i in 0..n as i64 {
+            let pick = m.new_bool();
+            m.mark_decision(pick);
+            bin0.push((3 + i, pick));
+            let inv = m.new_bool();
+            m.linear_eq(&[(1, pick), (1, inv)], 1);
+            bin1.push((3 + i, inv));
+        }
+        let load0 = m.linear_var(&bin0, 0);
+        let load1 = m.linear_var(&bin1, 0);
+        let heavier = m.max_var(&[load0, load1]);
+        let _ = total;
+        (m, heavier)
+    }
+
+    #[test]
+    fn lns_reaches_the_exact_optimum_on_small_models() {
+        let (m, obj) = balance_model(8);
+        let exact = m.minimize(obj, &SearchConfig::default());
+        let lns = m.minimize(obj, &lns_config(42));
+        assert_eq!(lns.best_objective, exact.best_objective);
+        assert!(lns.stats.lns_iterations > 0, "LNS iterations must run");
+    }
+
+    #[test]
+    fn lns_improves_monotonically() {
+        let (m, obj) = balance_model(10);
+        let out = m.minimize(obj, &lns_config(7));
+        let objs: Vec<i64> = out.solutions.iter().map(|s| s.value(obj)).collect();
+        for w in objs.windows(2) {
+            assert!(w[1] < w[0], "incumbents must strictly improve: {objs:?}");
+        }
+        assert!(out.best_objective.is_some());
+    }
+
+    #[test]
+    fn lns_is_deterministic_for_a_fixed_seed() {
+        let run = |seed| {
+            let (m, obj) = balance_model(10);
+            let out = m.minimize(obj, &lns_config(seed));
+            (
+                out.best_objective,
+                out.stats.nodes,
+                out.stats.fails,
+                out.stats.lns_iterations,
+                out.stats.lns_improvements,
+                out.solutions.len(),
+            )
+        };
+        assert_eq!(run(3), run(3));
+    }
+
+    #[test]
+    fn lns_proves_optimality_when_budgets_allow() {
+        // Tiny model, generous budgets: the full-neighborhood repair must
+        // eventually exhaust and flip `complete`.
+        let (m, obj) = balance_model(4);
+        let out = m.minimize(obj, &lns_config(1));
+        assert!(out.complete, "small instance must be closed: {}", out.stats);
+    }
+
+    #[test]
+    fn max_solutions_caps_the_incumbent_count() {
+        // `max_solutions` means "stop improving after this many incumbents"
+        // for optimization — LNS must honor it like the exact searcher does.
+        let (m, obj) = balance_model(10);
+        let cfg = SearchConfig {
+            max_solutions: Some(2),
+            ..lns_config(5)
+        };
+        let out = m.minimize(obj, &cfg);
+        assert!(out.solutions.len() <= 2, "got {}", out.solutions.len());
+        assert!(out.best.is_some());
+        let unlimited = m.minimize(obj, &lns_config(5));
+        assert!(
+            unlimited.solutions.len() > 2,
+            "the cap must be the binding constraint in this scenario"
+        );
+    }
+
+    #[test]
+    fn satisfy_falls_back_to_exact() {
+        let mut m = Model::new();
+        let x = m.new_var(0, 3);
+        m.linear_ge(&[(1, x)], 2);
+        let cfg = SearchConfig {
+            mode: SolverMode::Lns(LnsConfig::default()),
+            max_solutions: Some(1),
+            ..Default::default()
+        };
+        let out = m.solve_all(&cfg);
+        assert_eq!(out.solutions.len(), 1);
+        assert_eq!(out.stats.lns_iterations, 0);
+    }
+
+    #[test]
+    fn infeasible_model_reports_no_incumbent() {
+        let mut m = Model::new();
+        let x = m.new_bool();
+        m.mark_decision(x);
+        m.linear_ge(&[(1, x)], 5);
+        let obj = m.linear_var(&[(1, x)], 0);
+        let out = m.minimize(obj, &lns_config(9));
+        assert!(out.best.is_none());
+        assert!(out.complete, "root infeasibility is proved by the dive");
+    }
+}

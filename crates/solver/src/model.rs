@@ -56,6 +56,10 @@ pub struct Model {
     propagators: Vec<Box<dyn Propagator>>,
     /// var index -> propagator indices subscribed to it
     subscriptions: Vec<Vec<usize>>,
+    /// Variables marked as *decision* variables ([`Model::mark_decision`]):
+    /// the neighborhood pool of the LNS mode. Empty means "no marking" —
+    /// LNS then treats every root-unfixed variable as a decision variable.
+    decisions: Vec<VarId>,
 }
 
 impl Default for Model {
@@ -72,6 +76,7 @@ impl Model {
             names: Vec::new(),
             propagators: Vec::new(),
             subscriptions: Vec::new(),
+            decisions: Vec::new(),
         }
     }
 
@@ -93,6 +98,7 @@ impl Model {
         self.domains.clear();
         self.names.clear();
         self.propagators.clear();
+        self.decisions.clear();
         for subs in &mut self.subscriptions {
             subs.clear();
         }
@@ -139,6 +145,22 @@ impl Model {
     /// Name of a variable, if set.
     pub fn var_name(&self, v: VarId) -> Option<&str> {
         self.names[v.index()].as_deref()
+    }
+
+    /// Mark `v` as a *decision* variable: part of the neighborhood pool the
+    /// LNS mode destroys and repairs. Auxiliary variables (linear-expression
+    /// results, reified booleans, aggregate values) are functionally
+    /// determined by the decisions and should stay unmarked — freezing them
+    /// alongside their decisions would pin the very quantities a repair must
+    /// be free to change. A model with no marked variables falls back to
+    /// treating every root-unfixed variable as a decision.
+    pub fn mark_decision(&mut self, v: VarId) {
+        self.decisions.push(v);
+    }
+
+    /// Variables marked with [`Model::mark_decision`], in marking order.
+    pub fn decision_vars(&self) -> &[VarId] {
+        &self.decisions
     }
 
     /// Current (root) domain of a variable.

@@ -182,6 +182,92 @@ mod tests {
         assert!(!ctx.domain(v).contains(3));
     }
 
+    // ----- PropQueue scheduling invariants --------------------------------
+    //
+    // The queue is the fixpoint scheduler every propagator run goes through;
+    // these tests pin the three properties `Model::propagate_in` relies on.
+
+    #[test]
+    fn prop_queue_pops_in_fifo_order() {
+        let mut q = crate::store::PropQueue::new();
+        q.ensure_capacity(8);
+        for p in [5, 2, 7, 0, 3] {
+            q.enqueue(p);
+        }
+        let drained: Vec<usize> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained, vec![5, 2, 7, 0, 3], "strict arrival order");
+    }
+
+    #[test]
+    fn prop_queue_dedups_while_pending_but_not_after_pop() {
+        let mut q = crate::store::PropQueue::new();
+        q.ensure_capacity(4);
+        q.enqueue(1);
+        q.enqueue(2);
+        // Re-enqueueing a pending propagator must be a no-op...
+        q.enqueue(1);
+        q.enqueue(2);
+        assert_eq!(q.pop(), Some(1));
+        // ...but once popped it is runnable again and goes to the *back*
+        // (FIFO: it must wait for everything already pending).
+        q.enqueue(1);
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn prop_queue_clear_mid_drain_leaves_no_stale_entries() {
+        let mut q = crate::store::PropQueue::new();
+        q.ensure_capacity(6);
+        for p in 0..6 {
+            q.enqueue(p);
+        }
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Some(1));
+        // A conflict aborts the fixpoint here; the queue must come back
+        // empty AND with every queued-flag reset, or the next propagation
+        // would silently skip propagators 2..6.
+        q.clear();
+        assert_eq!(q.pop(), None);
+        for p in 0..6 {
+            q.enqueue(p);
+        }
+        let drained: Vec<usize> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn prop_queue_is_clean_across_search_space_reuse() {
+        use crate::{Model, SearchConfig, SearchSpace};
+        // First search ends in heavy conflict traffic (infeasible model):
+        // every propagation aborts through the queue's clear path.
+        let mut space = SearchSpace::new();
+        let mut infeasible = Model::new();
+        let x = infeasible.new_var(0, 3);
+        let y = infeasible.new_var(0, 3);
+        infeasible.linear_eq(&[(1, x), (1, y)], 2);
+        infeasible.linear_ge(&[(1, x), (1, y)], 9);
+        let out = infeasible.satisfy_in(&SearchConfig::default(), &mut space);
+        assert!(out.solutions.is_empty());
+        assert_eq!(space.queue.pop(), None, "queue drained after conflicts");
+
+        // Reusing the same space on a different model must reach the exact
+        // fixpoint a fresh space reaches — any stale pending entry or
+        // queued-flag from the first search would change the counters.
+        let mut m = Model::new();
+        let a = m.new_var(0, 9);
+        let b = m.new_var(0, 9);
+        m.linear_eq(&[(1, a), (1, b)], 9);
+        let obj = m.linear_var(&[(3, a), (1, b)], 0);
+        let reused = m.minimize_in(obj, &SearchConfig::default(), &mut space);
+        let fresh = m.minimize(obj, &SearchConfig::default());
+        assert_eq!(reused.best_objective, fresh.best_objective);
+        assert_eq!(reused.stats.propagations, fresh.stats.propagations);
+        assert_eq!(reused.stats.prunings, fresh.stats.prunings);
+        assert_eq!(space.queue.pop(), None, "queue empty after reuse");
+    }
+
     #[test]
     fn context_prunings_are_trailed() {
         let mut store = Store::from_domains(vec![Domain::new(0, 10)]);

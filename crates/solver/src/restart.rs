@@ -1,0 +1,107 @@
+//! Geometric restart budgets for incomplete search.
+//!
+//! Both phases of the LNS driver ([`crate::lns`]) ration their effort with a
+//! geometrically growing budget: the incumbent dive retries with a larger
+//! node budget until a first solution appears, and every repair gets a fail
+//! budget that grows while iterations keep coming back empty and snaps back
+//! to the base once an improvement lands. The growth keeps stalled phases
+//! from starving (the budget eventually covers whatever the neighborhood
+//! needs, so the driver provably terminates when no other limit applies)
+//! while the reset keeps productive phases cheap.
+//!
+//! The schedule is pure integer state evolved by IEEE-754 multiplications
+//! with the same operands on every platform, so it is exactly reproducible —
+//! a prerequisite for the LNS determinism guarantee.
+
+/// A geometrically growing budget: starts at `base`, multiplied by `factor`
+/// on every [`GeometricRestarts::grow`], snapped back by
+/// [`GeometricRestarts::reset`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeometricRestarts {
+    base: u64,
+    factor: f64,
+    current: u64,
+    restarts: u64,
+}
+
+impl GeometricRestarts {
+    /// Schedule starting at `base` (clamped to at least 1) and growing by
+    /// `factor` (clamped to at least 1.0) per restart.
+    pub fn new(base: u64, factor: f64) -> Self {
+        let base = base.max(1);
+        GeometricRestarts {
+            base,
+            factor: factor.max(1.0),
+            current: base,
+            restarts: 0,
+        }
+    }
+
+    /// The budget of the current restart.
+    pub fn budget(&self) -> u64 {
+        self.current
+    }
+
+    /// Number of times the schedule has grown since the last reset.
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+
+    /// Move to the next restart: the budget grows by the configured factor
+    /// (and by at least 1, so a factor of 1.0 still makes progress).
+    pub fn grow(&mut self) {
+        let scaled = (self.current as f64 * self.factor).ceil() as u64;
+        self.current = scaled.max(self.current + 1);
+        self.restarts += 1;
+    }
+
+    /// Snap back to the base budget (called when an iteration succeeded).
+    pub fn reset(&mut self) {
+        self.current = self.base;
+        self.restarts = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_geometrically_and_resets() {
+        let mut s = GeometricRestarts::new(64, 1.5);
+        assert_eq!(s.budget(), 64);
+        s.grow();
+        assert_eq!(s.budget(), 96);
+        s.grow();
+        assert_eq!(s.budget(), 144);
+        assert_eq!(s.restarts(), 2);
+        s.reset();
+        assert_eq!(s.budget(), 64);
+        assert_eq!(s.restarts(), 0);
+    }
+
+    #[test]
+    fn degenerate_inputs_still_progress() {
+        let mut s = GeometricRestarts::new(0, 0.5);
+        assert_eq!(s.budget(), 1, "base is clamped to 1");
+        s.grow();
+        assert!(s.budget() > 1, "factor below 1.0 must still grow");
+        let before = s.budget();
+        s.grow();
+        assert!(s.budget() > before);
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let run = || {
+            let mut s = GeometricRestarts::new(10, 1.3);
+            let mut seen = Vec::new();
+            for _ in 0..20 {
+                seen.push(s.budget());
+                s.grow();
+            }
+            seen
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -41,6 +41,7 @@
 use std::time::{Duration, Instant};
 
 use crate::domain::Domain;
+use crate::lns::SolverMode;
 use crate::model::{Model, VarId};
 use crate::stats::SearchStats;
 use crate::store::{PropQueue, Store};
@@ -91,6 +92,11 @@ pub const DEFAULT_SPLIT_THRESHOLD: u64 = 16;
 /// branching, minimum-value-first, no limits).
 #[derive(Debug, Clone)]
 pub struct SearchConfig {
+    /// Exploration mode: exact branch-and-bound (the default), or large
+    /// neighborhood search ([`SolverMode::Lns`]) for instances exact search
+    /// cannot close. LNS applies to optimization objectives only;
+    /// satisfaction goals always run exact.
+    pub mode: SolverMode,
     /// Variable selection heuristic.
     pub branching: Branching,
     /// Value selection heuristic.
@@ -119,6 +125,7 @@ pub struct SearchConfig {
 impl Default for SearchConfig {
     fn default() -> Self {
         SearchConfig {
+            mode: SolverMode::default(),
             branching: Branching::default(),
             value_choice: ValueChoice::default(),
             split_threshold: Some(DEFAULT_SPLIT_THRESHOLD),
@@ -217,7 +224,7 @@ enum BranchOp {
 /// propagation) with at least one unfixed variable. Every frame except the
 /// root owns the trail level pushed by the branch that reached it.
 #[derive(Debug, Clone, Copy)]
-struct Frame {
+pub(crate) struct Frame {
     /// Index of the variable this node branches on.
     var_idx: usize,
     /// Next branch to try.
@@ -252,13 +259,13 @@ impl Frame {
 /// no per-invocation search allocations beyond what the model itself needs.
 #[derive(Debug, Clone, Default)]
 pub struct SearchSpace {
-    store: Store,
-    queue: PropQueue,
-    frames: Vec<Frame>,
+    pub(crate) store: Store,
+    pub(crate) queue: PropQueue,
+    pub(crate) frames: Vec<Frame>,
     /// Pending branch values of every open frame, stacked contiguously; a
     /// frame's slice starts at its `values_start` and is truncated away when
     /// the frame is popped.
-    values: Vec<i64>,
+    pub(crate) values: Vec<i64>,
 }
 
 impl SearchSpace {
@@ -287,7 +294,28 @@ pub fn solve(model: &Model, objective: Objective, config: &SearchConfig) -> Sear
 }
 
 /// Run a search over `model`, reusing the caller's [`SearchSpace`].
+///
+/// Dispatches on [`SearchConfig::mode`]: optimization objectives under
+/// [`SolverMode::Lns`] run the destroy/repair driver of [`crate::lns`];
+/// everything else (the default) runs exact branch-and-bound.
 pub fn solve_in(
+    model: &Model,
+    objective: Objective,
+    config: &SearchConfig,
+    space: &mut SearchSpace,
+) -> SearchOutcome {
+    if let SolverMode::Lns(lns) = &config.mode {
+        if !matches!(objective, Objective::Satisfy) {
+            let lns = lns.clone();
+            return crate::lns::solve_lns(model, objective, config, &lns, space);
+        }
+    }
+    solve_exact_in(model, objective, config, space)
+}
+
+/// The exact branch-and-bound search (ignores [`SearchConfig::mode`]); the
+/// LNS driver calls this for its incumbent dives.
+pub(crate) fn solve_exact_in(
     model: &Model,
     objective: Objective,
     config: &SearchConfig,
@@ -340,6 +368,40 @@ pub fn solve_reference(
     if root_ok {
         searcher.dfs_cloning(store, &mut queue, 0);
     }
+    searcher.finish()
+}
+
+/// Run a bounded exact search *below the current store state* — the repair
+/// step of the LNS driver.
+///
+/// Contract with the caller ([`crate::lns::solve_lns`]):
+///
+/// * the caller has opened a trail level (the "freeze" level), applied its
+///   partial assignment plus the improving objective bound, and propagated
+///   the store to a fixpoint;
+/// * `incumbent` is the objective value of the caller's incumbent, seeded as
+///   the searcher's branch-and-bound bound so every solution this search
+///   records is a strict improvement;
+/// * on return, the store holds whatever trail levels an early stop left
+///   open *above* the freeze level; the caller unwinds them (and the freeze
+///   level itself) with [`Store::backtrack`] — that unwind *is* the destroy
+///   step of the next LNS iteration.
+pub(crate) fn resolve_subtree(
+    model: &Model,
+    objective: Objective,
+    config: &SearchConfig,
+    space: &mut SearchSpace,
+    incumbent: Option<i64>,
+) -> SearchOutcome {
+    debug_assert!(
+        space.store.level() > 0,
+        "resolve_subtree requires an open freeze level"
+    );
+    let mut searcher = Searcher::new(model, objective, config.clone());
+    searcher.best_objective = incumbent;
+    space.frames.clear();
+    space.values.clear();
+    searcher.run(space);
     searcher.finish()
 }
 

@@ -21,6 +21,12 @@ pub struct SearchStats {
     pub solutions: u64,
     /// Maximum depth reached in the search tree.
     pub max_depth: u64,
+    /// Number of destroy/repair iterations executed by the LNS driver
+    /// (0 for exact searches).
+    pub lns_iterations: u64,
+    /// Number of LNS iterations whose repair found a strictly better
+    /// incumbent (0 for exact searches).
+    pub lns_improvements: u64,
     /// Wall-clock time spent searching, in microseconds.
     pub elapsed_micros: u64,
     /// True if the search stopped because of a limit (time, fails, solutions)
@@ -43,6 +49,8 @@ impl SearchStats {
         self.prunings += other.prunings;
         self.solutions += other.solutions;
         self.max_depth = self.max_depth.max(other.max_depth);
+        self.lns_iterations += other.lns_iterations;
+        self.lns_improvements += other.lns_improvements;
         self.elapsed_micros += other.elapsed_micros;
         self.limit_reached |= other.limit_reached;
     }
@@ -52,13 +60,24 @@ impl std::fmt::Display for SearchStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "nodes={} fails={} props={} prunings={} solutions={} depth={} time={:?}{}",
+            "nodes={} fails={} props={} prunings={} solutions={} depth={}",
             self.nodes,
             self.fails,
             self.propagations,
             self.prunings,
             self.solutions,
             self.max_depth,
+        )?;
+        if self.lns_iterations > 0 {
+            write!(
+                f,
+                " lns_iters={} lns_improved={}",
+                self.lns_iterations, self.lns_improvements
+            )?;
+        }
+        write!(
+            f,
+            " time={:?}{}",
             self.elapsed(),
             if self.limit_reached { " (limit)" } else { "" }
         )

@@ -24,7 +24,10 @@ pub mod programs;
 pub mod table2;
 pub mod wireless;
 
-pub use acloud::{run_acloud_experiment, AcloudConfig, AcloudPolicy, AcloudResults};
+pub use acloud::{
+    large_acloud_instance, run_acloud_experiment, solve_large_acloud, AcloudConfig, AcloudPolicy,
+    AcloudResults, LargeAcloudConfig,
+};
 pub use followsun::{
     build_followsun_deployment, run_followsun, run_followsun_sweep, FollowSunConfig,
     FollowSunOutcome, FollowSunWorkload,

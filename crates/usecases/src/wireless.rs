@@ -409,6 +409,18 @@ fn centralized_params(config: &WirelessConfig, channels: &[i64]) -> ProgramParam
         .with_solver_max_time(Some(std::time::Duration::from_secs(10)))
 }
 
+/// Parameters for the *distributed* per-link negotiation. Branching is
+/// explicitly per use case: the big first-fail win is on the centralized
+/// whole-mesh COP (96% on the 4x4 bench), but on the tiny per-link COPs it
+/// reorders which channel each best-response move lands on, which makes the
+/// renegotiation fixpoint wander for extra passes — the 3x3/4x4 distributed
+/// regression introduced when first-fail became the wireless default. The
+/// negotiation therefore pins input-order branching while the centralized
+/// solver keeps first-fail.
+fn distributed_params(config: &WirelessConfig, channels: &[i64]) -> ProgramParams {
+    centralized_params(config, channels).with_solver_branching(SolverBranching::InputOrder)
+}
+
 /// Centralized channel selection: one Cologne instance solves the whole mesh
 /// (Appendix A.2). `channels` restricts the candidate channels (used both for
 /// the full protocol and for the Identical-Ch baseline).
@@ -465,8 +477,18 @@ pub fn centralized_assignment(mesh: &MeshNetwork, channels: &[i64]) -> ChannelAs
 /// reused across all negotiations, so the cached `GroundingPlan` of each
 /// instance is built once and amortized over every `invoke_solver` call.
 pub fn distributed_assignment(mesh: &MeshNetwork, channels: &[i64]) -> ChannelAssignment {
+    distributed_assignment_with_stats(mesh, channels).0
+}
+
+/// [`distributed_assignment`], also returning the solver statistics
+/// accumulated across every negotiation of every node — the regression
+/// handle that pins the protocol's total search effort.
+pub fn distributed_assignment_with_stats(
+    mesh: &MeshNetwork,
+    channels: &[i64],
+) -> (ChannelAssignment, cologne::solver::SearchStats) {
     let config = &mesh.config;
-    let params = centralized_params(config, channels);
+    let params = distributed_params(config, channels);
     let mut instances: BTreeMap<u32, CologneInstance> = BTreeMap::new();
     for n in mesh.topology.nodes() {
         let mut inst = CologneInstance::new(NodeId(n), WIRELESS_DISTRIBUTED, params.clone())
@@ -505,7 +527,11 @@ pub fn distributed_assignment(mesh: &MeshNetwork, channels: &[i64]) -> ChannelAs
             break;
         }
     }
-    assignment
+    let mut stats = cologne::solver::SearchStats::default();
+    for inst in instances.values() {
+        stats.merge(inst.cumulative_solver_stats());
+    }
+    (assignment, stats)
 }
 
 /// One link negotiation of the distributed protocol: the initiator solves a
@@ -716,7 +742,7 @@ pub fn one_hop_assignment(mesh: &MeshNetwork) -> ChannelAssignment {
     // Reuse the distributed machinery but hide neighbour information, which
     // reduces the model to one-hop interference.
     let config = &mesh.config;
-    let params = centralized_params(config, &config.channels);
+    let params = distributed_params(config, &config.channels);
     let mut assignment = ChannelAssignment::new();
     for (a, b) in mesh.links() {
         let initiator = a.max(b);

@@ -1,0 +1,87 @@
+//! Integration tests for the LNS solver mode on the large ACloud instance
+//! (the acceptance scenario of the incomplete-search subsystem): exact
+//! branch-and-bound exhausts its node budget without an optimality proof,
+//! while LNS under the *same* budget and a fixed seed returns a feasible
+//! assignment at least as good, improves across several destroy/repair
+//! iterations, and is bit-for-bit deterministic across runs.
+
+use cologne::SolverMode;
+use cologne_usecases::{solve_large_acloud, LargeAcloudConfig};
+
+/// Scaled down from the 120x10 headline scenario only in node budget, so the
+/// test stays fast in debug builds; still 100+ VMs as the workload class
+/// demands.
+fn test_config() -> LargeAcloudConfig {
+    LargeAcloudConfig {
+        vms: 100,
+        hosts: 8,
+        node_limit: 8_000,
+        seed: 23,
+    }
+}
+
+#[test]
+fn lns_beats_exact_at_equal_node_budget() {
+    let config = test_config();
+
+    let exact = solve_large_acloud(&config, SolverMode::Exact);
+    assert!(exact.feasible, "exact finds an incumbent within the budget");
+    assert!(
+        !exact.proven_optimal,
+        "the instance must be too large for the exact node budget"
+    );
+    assert!(exact.stats.nodes >= config.node_limit, "budget exhausted");
+
+    let lns = solve_large_acloud(&config, SolverMode::Lns(config.lns_params()));
+    assert!(lns.feasible, "LNS returns a feasible assignment");
+    let (e, l) = (exact.objective.unwrap(), lns.objective.unwrap());
+    assert!(
+        l <= e,
+        "LNS objective ({l}) must be no worse than the exact incumbent ({e})"
+    );
+    assert!(
+        lns.stats.lns_improvements >= 3,
+        "LNS must improve monotonically across >= 3 iterations, got {} ({})",
+        lns.stats.lns_improvements,
+        lns.stats
+    );
+    assert!(
+        lns.stats.lns_iterations >= lns.stats.lns_improvements,
+        "iterations include the improving ones"
+    );
+
+    // Every hot VM is still placed exactly once — LNS output is a feasible
+    // solution of the same COP, not a relaxation.
+    let assign = lns.table("assign");
+    assert_eq!(assign.len(), config.vms * config.hosts);
+    for vid in 0..config.vms as i64 {
+        let placements: i64 = assign
+            .iter()
+            .filter(|r| r[0].as_int() == Some(vid))
+            .map(|r| r[2].as_int().unwrap())
+            .sum();
+        assert_eq!(placements, 1, "VM {vid} must run on exactly one host");
+    }
+}
+
+#[test]
+fn lns_is_deterministic_across_runs() {
+    let config = test_config();
+    let fingerprint = |report: &cologne::SolveReport| {
+        (
+            report.objective,
+            report.stats.nodes,
+            report.stats.fails,
+            report.stats.lns_iterations,
+            report.stats.lns_improvements,
+            report.assignments.clone(),
+        )
+    };
+    let first = solve_large_acloud(&config, SolverMode::Lns(config.lns_params()));
+    let second = solve_large_acloud(&config, SolverMode::Lns(config.lns_params()));
+    assert_eq!(
+        fingerprint(&first),
+        fingerprint(&second),
+        "same seed, same budget => byte-identical outcome"
+    );
+}

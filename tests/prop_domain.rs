@@ -1,0 +1,146 @@
+//! Property tests for the hole-range [`Domain`] representation: every
+//! operation is checked against a naive `BTreeSet<i64>` reference model on
+//! random operation sequences. The reference treats a domain as an explicit
+//! value set; the hole-range version must agree on membership, bounds,
+//! `size()` (which is cached, so this also guards the cache bookkeeping) and
+//! iteration order after every step, and must report `Err(())` exactly when
+//! the reference set would become empty.
+
+use std::collections::BTreeSet;
+
+use cologne_solver::Domain;
+use proptest::prelude::*;
+
+/// One random mutation; `a`/`b` are interpreted per op kind.
+fn apply(op: u8, a: i64, b: i64, dom: &mut Domain, set: &mut BTreeSet<i64>) -> Result<(), ()> {
+    match op % 5 {
+        0 => {
+            // remove_value(a)
+            let expect_err = set.contains(&a) && set.len() == 1;
+            let res = dom.remove_value(a);
+            assert_eq!(res.is_err(), expect_err, "remove_value({a})");
+            if res.is_err() {
+                return Err(());
+            }
+            set.remove(&a);
+            Ok(())
+        }
+        1 => {
+            // remove_below(a)
+            let expect_err = set.iter().all(|&v| v < a);
+            let res = dom.remove_below(a);
+            assert_eq!(res.is_err(), expect_err, "remove_below({a})");
+            if res.is_err() {
+                return Err(());
+            }
+            set.retain(|&v| v >= a);
+            Ok(())
+        }
+        2 => {
+            // remove_above(a)
+            let expect_err = set.iter().all(|&v| v > a);
+            let res = dom.remove_above(a);
+            assert_eq!(res.is_err(), expect_err, "remove_above({a})");
+            if res.is_err() {
+                return Err(());
+            }
+            set.retain(|&v| v <= a);
+            Ok(())
+        }
+        3 => {
+            // intersect_bounds(min(a,b), max(a,b))
+            let (lo, hi) = (a.min(b), a.max(b));
+            let expect_err = !set.iter().any(|&v| (lo..=hi).contains(&v));
+            let res = dom.intersect_bounds(lo, hi);
+            assert_eq!(res.is_err(), expect_err, "intersect_bounds({lo}, {hi})");
+            if res.is_err() {
+                return Err(());
+            }
+            set.retain(|&v| (lo..=hi).contains(&v));
+            Ok(())
+        }
+        _ => {
+            // assign(a)
+            let expect_err = !set.contains(&a);
+            let res = dom.assign(a);
+            assert_eq!(res.is_err(), expect_err, "assign({a})");
+            if res.is_err() {
+                // A failed assign leaves the domain untouched; keep going.
+                return Ok(());
+            }
+            set.retain(|&v| v == a);
+            Ok(())
+        }
+    }
+}
+
+fn assert_matches_reference(dom: &Domain, set: &BTreeSet<i64>, context: &str) {
+    assert!(!set.is_empty(), "{context}: reference emptied without Err");
+    assert_eq!(dom.size() as usize, set.len(), "{context}: size");
+    assert_eq!(&dom.min(), set.first().unwrap(), "{context}: min");
+    assert_eq!(&dom.max(), set.last().unwrap(), "{context}: max");
+    let values: Vec<i64> = dom.iter().collect();
+    let reference: Vec<i64> = set.iter().copied().collect();
+    assert_eq!(values, reference, "{context}: value set");
+    for v in dom.min() - 1..=dom.max() + 1 {
+        assert_eq!(
+            dom.contains(v),
+            set.contains(&v),
+            "{context}: contains({v})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Random op sequences on an interval domain stay in lockstep with the
+    /// reference set, including the exact point where they become empty.
+    #[test]
+    fn interval_domain_matches_reference_model(
+        lo in -30i64..10,
+        span in 0i64..40,
+        ops in prop::collection::vec((0u8..5, -35i64..35, -35i64..35), 1..40),
+    ) {
+        let hi = lo + span;
+        let mut dom = Domain::new(lo, hi);
+        let mut set: BTreeSet<i64> = (lo..=hi).collect();
+        for (i, &(op, a, b)) in ops.iter().enumerate() {
+            if apply(op, a, b, &mut dom, &mut set).is_err() {
+                return Ok(()); // wiped out, exactly when the reference said so
+            }
+            assert_matches_reference(&dom, &set, &format!("op {i} ({op},{a},{b})"));
+        }
+    }
+
+    /// `from_values` builds the same set the reference holds, for arbitrary
+    /// (unsorted, duplicated, sparse) inputs — and subsequent ops keep
+    /// agreeing, exercising hole-range merging around pre-existing gaps.
+    #[test]
+    fn from_values_domain_matches_reference_model(
+        values in prop::collection::vec(-1000i64..1000, 1..25),
+        ops in prop::collection::vec((0u8..5, -1000i64..1000, -1000i64..1000), 0..25),
+    ) {
+        let mut dom = Domain::from_values(&values);
+        let mut set: BTreeSet<i64> = values.iter().copied().collect();
+        assert_matches_reference(&dom, &set, "from_values");
+        for (i, &(op, a, b)) in ops.iter().enumerate() {
+            if apply(op, a, b, &mut dom, &mut set).is_err() {
+                return Ok(());
+            }
+            assert_matches_reference(&dom, &set, &format!("op {i} ({op},{a},{b})"));
+        }
+    }
+
+    /// Sparse wide-range domains stay compact: `size()` tracks the value
+    /// count, never the bound span.
+    #[test]
+    fn sparse_wide_domains_report_exact_size(
+        values in prop::collection::vec(-1_000_000_000i64..1_000_000_000, 1..12),
+    ) {
+        let dom = Domain::from_values(&values);
+        let set: BTreeSet<i64> = values.iter().copied().collect();
+        prop_assert_eq!(dom.size() as usize, set.len());
+        prop_assert_eq!(dom.iter().count(), set.len());
+    }
+}

@@ -12,6 +12,11 @@
 //!   failing case reproduces on every run without a persistence file;
 //! * there is **no shrinking** — the failure message prints the raw sampled
 //!   inputs instead of a minimized counterexample.
+//!
+//! Like real proptest, the per-test case count can be raised (or lowered)
+//! without touching the sources through the `PROPTEST_CASES` environment
+//! variable; the release-mode CI job uses it to run the same properties with
+//! a hardened case count.
 
 use std::fmt;
 use std::ops::Range;
@@ -27,6 +32,19 @@ impl ProptestConfig {
     /// Run `cases` random cases per test.
     pub fn with_cases(cases: u32) -> Self {
         ProptestConfig { cases }
+    }
+
+    /// The case count actually used by the runner: the configured value,
+    /// overridden by the `PROPTEST_CASES` environment variable when set to a
+    /// positive integer (mirroring real proptest). CI uses this to re-run
+    /// the same property tests with a raised case count without touching the
+    /// sources.
+    pub fn effective_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.trim().parse::<u32>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(self.cases)
     }
 }
 
@@ -239,8 +257,9 @@ macro_rules! __proptest_items {
         $(#[$meta])*
         fn $name() {
             let config: $crate::ProptestConfig = $config;
+            let cases = config.effective_cases();
             let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
-            for case in 0..config.cases {
+            for case in 0..cases {
                 $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
                 let inputs = format!(
                     concat!($(stringify!($arg), " = {:?}; "),+),
@@ -255,7 +274,7 @@ macro_rules! __proptest_items {
                         "property '{}' failed at case {}/{}: {}\ninputs: {}",
                         stringify!($name),
                         case + 1,
-                        config.cases,
+                        cases,
                         e,
                         inputs
                     );
