@@ -1,0 +1,80 @@
+//! CI bench-regression gate: compare a fresh `COLOGNE_BENCH_JSON` run
+//! against a committed `BENCH_pr*.json` baseline and exit nonzero when any
+//! shared benchmark regresses beyond the threshold.
+//!
+//! ```text
+//! bench_compare <current.json> <baseline.json> [--threshold FACTOR]
+//! ```
+//!
+//! The threshold defaults to 3.0 — generous on purpose: the gate catches
+//! order-of-magnitude bitrot on noisy shared runners, not small drifts (see
+//! `cologne_bench::regress`). Benchmarks present on only one side are
+//! printed but never fail the gate.
+
+use std::process::ExitCode;
+
+use cologne_bench::regress::{compare, parse_records};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bench_compare <current.json> <baseline.json> [--threshold FACTOR]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<&String> = Vec::new();
+    let mut threshold = 3.0f64;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--threshold" {
+            let Some(value) = iter.next().and_then(|v| v.parse::<f64>().ok()) else {
+                return usage();
+            };
+            threshold = value;
+        } else {
+            paths.push(arg);
+        }
+    }
+    let [current_path, baseline_path] = paths.as_slice() else {
+        return usage();
+    };
+
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(text) => Some(text),
+        Err(err) => {
+            eprintln!("bench_compare: cannot read {path}: {err}");
+            None
+        }
+    };
+    let (Some(current_text), Some(baseline_text)) = (read(current_path), read(baseline_path))
+    else {
+        return ExitCode::from(2);
+    };
+
+    let current = parse_records(&current_text);
+    let baseline = parse_records(&baseline_text);
+    if current.is_empty() {
+        eprintln!("bench_compare: no bench records in {current_path}");
+        return ExitCode::from(2);
+    }
+
+    let report = compare(&current, &baseline);
+    println!(
+        "comparing {} benchmarks against {} (threshold {threshold}x on min iteration time)",
+        report.comparisons.len(),
+        baseline_path
+    );
+    print!("{}", report.render(threshold));
+
+    let regressions = report.regressions(threshold);
+    if regressions.is_empty() {
+        println!("bench_compare: OK — no benchmark beyond {threshold}x of baseline");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "bench_compare: FAIL — {} benchmark(s) regressed beyond {threshold}x",
+            regressions.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -18,6 +18,8 @@
 
 use std::fmt::Write as _;
 
+pub mod regress;
+
 /// Format a data series as an aligned two-column table for harness output.
 pub fn format_series(x_label: &str, y_label: &str, points: &[(f64, f64)]) -> String {
     let mut out = String::new();

@@ -1,0 +1,235 @@
+//! Bench-regression comparison: parse the JSON-lines emitted by the
+//! vendored criterion stand-in (`COLOGNE_BENCH_JSON`) and compare a fresh
+//! run against a committed baseline (`BENCH_pr*.json`).
+//!
+//! This is the library behind the `bench_compare` binary that gates CI: a
+//! benchmark regresses when its **minimum** per-iteration time exceeds the
+//! baseline's minimum by more than the threshold factor. The minimum is
+//! compared (not the mean) because CI runs use a short wall-clock budget and
+//! few iterations — the minimum is the most noise-resistant statistic such a
+//! sample offers. The threshold is deliberately generous (3x by default):
+//! the gate exists to catch order-of-magnitude bitrot on shared runners,
+//! not 10% drifts.
+//!
+//! Benchmarks present on only one side are reported but never fail the
+//! gate: adding or retiring benchmark groups must not require a baseline
+//! refresh in the same commit.
+
+use std::fmt::Write as _;
+
+/// One benchmark record of a `COLOGNE_BENCH_JSON` file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchRecord {
+    /// Full benchmark name (`group/function/parameter`).
+    pub name: String,
+    /// Timed iterations the statistics are drawn from.
+    pub iters: u64,
+    /// Fastest iteration, in nanoseconds.
+    pub min_ns: u64,
+    /// Mean iteration, in nanoseconds.
+    pub mean_ns: u64,
+    /// Slowest iteration, in nanoseconds.
+    pub max_ns: u64,
+}
+
+/// Extract a string field from a single-line JSON object (the emitter never
+/// escapes quotes inside benchmark names).
+fn string_field(line: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\":\"");
+    let start = line.find(&marker)? + marker.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+/// Extract an unsigned integer field from a single-line JSON object.
+fn u64_field(line: &str, key: &str) -> Option<u64> {
+    let marker = format!("\"{key}\":");
+    let start = line.find(&marker)? + marker.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// Parse a JSON-lines bench file. Lines that are not bench records (blank,
+/// malformed) are skipped silently, so concatenated or hand-edited files
+/// stay usable.
+pub fn parse_records(text: &str) -> Vec<BenchRecord> {
+    text.lines()
+        .filter_map(|line| {
+            Some(BenchRecord {
+                name: string_field(line, "name")?,
+                iters: u64_field(line, "iters")?,
+                min_ns: u64_field(line, "min_ns")?,
+                mean_ns: u64_field(line, "mean_ns")?,
+                max_ns: u64_field(line, "max_ns")?,
+            })
+        })
+        .collect()
+}
+
+/// Comparison of one benchmark present in both runs.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Benchmark name.
+    pub name: String,
+    /// Baseline minimum, nanoseconds.
+    pub baseline_ns: u64,
+    /// Current minimum, nanoseconds.
+    pub current_ns: u64,
+    /// `current / baseline` (lower is faster).
+    pub ratio: f64,
+}
+
+impl Comparison {
+    /// True when the current run exceeds the baseline by more than
+    /// `threshold`.
+    pub fn regressed(&self, threshold: f64) -> bool {
+        self.ratio > threshold
+    }
+}
+
+/// Result of comparing a bench run against a baseline.
+#[derive(Debug, Clone, Default)]
+pub struct CompareReport {
+    /// Benchmarks present in both runs, in baseline order.
+    pub comparisons: Vec<Comparison>,
+    /// Benchmarks only in the current run (new groups — informational).
+    pub only_current: Vec<String>,
+    /// Benchmarks only in the baseline (retired groups — informational).
+    pub only_baseline: Vec<String>,
+}
+
+impl CompareReport {
+    /// Names of the benchmarks regressing beyond `threshold`.
+    pub fn regressions(&self, threshold: f64) -> Vec<&Comparison> {
+        self.comparisons
+            .iter()
+            .filter(|c| c.regressed(threshold))
+            .collect()
+    }
+
+    /// Render the report as an aligned table (plus the one-sided lists).
+    pub fn render(&self, threshold: f64) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<62} {:>12} {:>12} {:>7}",
+            "benchmark", "baseline", "current", "ratio"
+        );
+        for c in &self.comparisons {
+            let flag = if c.regressed(threshold) {
+                "  << REGRESSION"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "{:<62} {:>10}µs {:>10}µs {:>6.2}x{}",
+                c.name,
+                c.baseline_ns / 1_000,
+                c.current_ns / 1_000,
+                c.ratio,
+                flag
+            );
+        }
+        for name in &self.only_current {
+            let _ = writeln!(out, "{name:<62} (new: no baseline)");
+        }
+        for name in &self.only_baseline {
+            let _ = writeln!(out, "{name:<62} (baseline only: not run)");
+        }
+        out
+    }
+}
+
+/// Compare a current run against a baseline on minimum iteration times.
+pub fn compare(current: &[BenchRecord], baseline: &[BenchRecord]) -> CompareReport {
+    let mut report = CompareReport::default();
+    for base in baseline {
+        match current.iter().find(|c| c.name == base.name) {
+            Some(cur) => report.comparisons.push(Comparison {
+                name: base.name.clone(),
+                baseline_ns: base.min_ns,
+                current_ns: cur.min_ns,
+                ratio: cur.min_ns as f64 / base.min_ns.max(1) as f64,
+            }),
+            None => report.only_baseline.push(base.name.clone()),
+        }
+    }
+    for cur in current {
+        if !baseline.iter().any(|b| b.name == cur.name) {
+            report.only_current.push(cur.name.clone());
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = concat!(
+        "{\"name\":\"solver/branch_and_bound/6vms\",\"iters\":15,",
+        "\"min_ns\":1000000,\"mean_ns\":1100000,\"max_ns\":1300000}\n",
+        "not a record\n",
+        "{\"name\":\"datalog/tc/20\",\"iters\":20,",
+        "\"min_ns\":2000,\"mean_ns\":2500,\"max_ns\":9000}\n",
+    );
+
+    #[test]
+    fn parses_json_lines_and_skips_garbage() {
+        let records = parse_records(SAMPLE);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].name, "solver/branch_and_bound/6vms");
+        assert_eq!(records[0].iters, 15);
+        assert_eq!(records[0].min_ns, 1_000_000);
+        assert_eq!(records[1].mean_ns, 2_500);
+    }
+
+    #[test]
+    fn compare_flags_only_regressions_beyond_threshold() {
+        let baseline = parse_records(SAMPLE);
+        let mut current = baseline.clone();
+        current[0].min_ns = 2_500_000; // 2.5x: within a 3x threshold
+        current[1].min_ns = 7_000; // 3.5x: regression
+        let report = compare(&current, &baseline);
+        assert_eq!(report.comparisons.len(), 2);
+        let regressions = report.regressions(3.0);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].name, "datalog/tc/20");
+        assert!(report.render(3.0).contains("REGRESSION"));
+    }
+
+    #[test]
+    fn one_sided_benchmarks_are_informational() {
+        let baseline = parse_records(SAMPLE);
+        let current = vec![
+            baseline[0].clone(),
+            BenchRecord {
+                name: "incremental/new_group".into(),
+                iters: 3,
+                min_ns: 5,
+                mean_ns: 6,
+                max_ns: 7,
+            },
+        ];
+        let report = compare(&current, &baseline);
+        assert_eq!(report.only_current, vec!["incremental/new_group"]);
+        assert_eq!(report.only_baseline, vec!["datalog/tc/20"]);
+        assert!(report.regressions(3.0).is_empty());
+        let rendered = report.render(3.0);
+        assert!(rendered.contains("no baseline"));
+        assert!(rendered.contains("not run"));
+    }
+
+    #[test]
+    fn faster_current_never_regresses() {
+        let baseline = parse_records(SAMPLE);
+        let mut current = baseline.clone();
+        current[0].min_ns = 10;
+        let report = compare(&current, &baseline);
+        assert!(report.regressions(1.0).is_empty());
+    }
+}

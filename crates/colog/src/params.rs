@@ -130,6 +130,20 @@ pub struct ProgramParams {
     /// Like the branching heuristic, it seeds the pipeline's search
     /// configuration and follows parameter updates.
     pub solver_mode: SolverMode,
+    /// Carry the previous invocation's best assignment into the next solve
+    /// (the warm-start half of incremental re-optimization): persisting rows
+    /// seed the initial branch-and-bound bound for exact search and the
+    /// initial incumbent for LNS. On by default; disable to force every
+    /// invocation to cold-start (e.g. for baseline benchmarking).
+    pub warm_start: bool,
+    /// Consult the engine's delta summary when grounding (the grounding half
+    /// of incremental re-optimization): an invocation whose relevant inputs
+    /// are unchanged reuses the previous grounded COP, and clean `var`
+    /// declarations are replayed instead of re-joined. On by default;
+    /// disabling forces a full re-grounding per invocation. Either way the
+    /// grounded COP is identical — this knob only selects how much work it
+    /// takes to build it.
+    pub delta_grounding: bool,
 }
 
 impl Default for ProgramParams {
@@ -142,6 +156,8 @@ impl Default for ProgramParams {
             solver_node_limit: None,
             solver_branching: SolverBranching::default(),
             solver_mode: SolverMode::default(),
+            warm_start: true,
+            delta_grounding: true,
         }
     }
 }
@@ -189,6 +205,18 @@ impl ProgramParams {
         self
     }
 
+    /// Enable or disable warm-started solving (builder style).
+    pub fn with_warm_start(mut self, on: bool) -> Self {
+        self.warm_start = on;
+        self
+    }
+
+    /// Enable or disable delta-aware grounding (builder style).
+    pub fn with_delta_grounding(mut self, on: bool) -> Self {
+        self.delta_grounding = on;
+        self
+    }
+
     /// Look up a named constant.
     pub fn constant(&self, name: &str) -> Option<i64> {
         self.constants.get(name).copied()
@@ -216,6 +244,17 @@ mod tests {
         assert_eq!(p.var_domain("assign"), VarDomain::BOOL);
         assert_eq!(p.constant("max_migrates"), None);
         assert_eq!(p.solver_branching, SolverBranching::InputOrder);
+        assert!(p.warm_start);
+        assert!(p.delta_grounding);
+    }
+
+    #[test]
+    fn reoptimization_knobs_toggle() {
+        let p = ProgramParams::new()
+            .with_warm_start(false)
+            .with_delta_grounding(false);
+        assert!(!p.warm_start);
+        assert!(!p.delta_grounding);
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //!   argument positions are solver attributes, and their domain from
 //!   [`ProgramParams`]), and the goal relation/position. The plan is only
 //!   rebuilt when the parameters change.
-//! * [`GroundingRun`] — the **per-invocation** stage: joins the rule bodies
+//! * `GroundingRun` (private) — the **per-invocation** stage: joins the rule bodies
 //!   against the current engine state, allocates solver variables and posts
 //!   constraints, producing a [`GroundedCop`]. Its model and symbol table are
 //!   taken from a [`GroundingScratch`], which recycles the solver arena
@@ -31,14 +31,49 @@
 //! The free function [`ground`] composes the stages for one-shot callers;
 //! [`crate::SolvePipeline`] holds plan + scratch for the repeated-invocation
 //! hot path.
+//!
+//! # Delta-aware grounding
+//!
+//! Solver invocations recur after every input delta, and most deltas touch a
+//! small slice of the database. The plan therefore records the **relevant
+//! relations** of the program — every engine relation the grounding reads:
+//! the `forall` relations of the `var` declarations, the non-solver-table
+//! body predicates of the solver derivation and constraint rules, and the
+//! goal relation when it is a regular table. Together with the engine's
+//! [`DeltaSummary`] (what changed since the previous grounding) this drives
+//! two reuse levels in [`GroundingPlan::ground`]:
+//!
+//! * **Whole-COP reuse** — when no relevant relation is dirty, the previous
+//!   [`GroundedCop`] is byte-identical to what a re-grounding would produce;
+//!   [`crate::SolvePipeline`] retains it across invocations and hands it
+//!   back without running any stage (see
+//!   [`crate::SolvePipeline::incremental_builds`]).
+//! * **Clean `var`-declaration replay** — a declaration whose `forall`
+//!   relation is clean produces exactly the rows and variables of the
+//!   previous run. The [`GroundingScratch`] caches each declaration's rows
+//!   and variable names; a clean declaration is replayed from the cache
+//!   (re-allocating its variables in the same order, patching the symbolic
+//!   row attributes) instead of re-joining the `forall` table and
+//!   re-formatting variable names. Dirty declarations and all derivation /
+//!   constraint rules are re-grounded live.
+//!
+//! Both levels preserve a hard invariant: **an incremental grounding
+//! produces a model byte-identical to a from-scratch grounding** of the same
+//! engine state — same variables in the same order with the same names and
+//! domains, same constraints, same solver tables. The delta summary only
+//! decides which work can be skipped, never what is produced. Cleanliness is
+//! tracked per relation by visibility (multiplicity-only changes stay
+//! clean), and a parameter change invalidates every cache because domains,
+//! constants and rule layouts may shift (see
+//! [`crate::CologneInstance::full_rebuilds`]).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use cologne_colog::{
     Analysis, Arg, BodyElem, CExpr, COp, GoalKind, Predicate, Program, ProgramParams, RuleClass,
     RuleDecl, VarDomain,
 };
-use cologne_datalog::{AggFunc, Bindings, Engine, SymId, Tuple, Value};
+use cologne_datalog::{AggFunc, Bindings, DeltaSummary, Engine, SymId, Tuple, Value};
 use cologne_solver::{LinExpr, Model, SearchConfig, SearchOutcome, SearchSpace, VarId};
 
 use crate::error::CologneError;
@@ -124,14 +159,19 @@ pub fn ground(
 
 /// Per-`var`-declaration layout cached by the plan.
 #[derive(Debug, Clone)]
-struct VarPlan {
+pub(crate) struct VarPlan {
     /// Index into `program.vars`.
     decl: usize,
+    /// Name of the declared solver table.
+    pub(crate) table: String,
+    /// Name of the `forall` relation the declaration joins against (its
+    /// cleanliness decides whether the declaration can be replayed).
+    forall_relation: String,
     /// Domain of the declared solver variables (from [`ProgramParams`]).
     domain: VarDomain,
     /// For every argument position of the declared table: is it a solver
     /// attribute (true) or bound by the `forall` predicate (false)?
-    is_solver_position: Vec<bool>,
+    pub(crate) is_solver_position: Vec<bool>,
 }
 
 /// Goal information cached by the plan.
@@ -144,7 +184,7 @@ struct GoalPlan {
     position: Option<usize>,
 }
 
-/// The per-program grounding stage: everything [`GroundingRun`] needs that
+/// The per-program grounding stage: everything the per-invocation run needs that
 /// does not depend on the current table contents. Built once per compiled
 /// program and reused across `invokeSolver` executions.
 #[derive(Debug, Clone)]
@@ -156,9 +196,13 @@ pub struct GroundingPlan {
     /// element list (built once instead of per invocation).
     constraint_elems: Vec<(usize, Vec<BodyElem>)>,
     /// Layout of each `var` declaration.
-    var_plans: Vec<VarPlan>,
+    pub(crate) var_plans: Vec<VarPlan>,
     /// Goal relation and objective position.
     goal: Option<GoalPlan>,
+    /// Every engine relation the grounding reads (the delta-awareness
+    /// contract — see the module docs): `forall` relations, non-solver-table
+    /// body predicates of solver rules, and the goal relation when regular.
+    relevant_relations: BTreeSet<String>,
 }
 
 impl GroundingPlan {
@@ -172,6 +216,8 @@ impl GroundingPlan {
                 let solver_positions = vd.solver_positions();
                 VarPlan {
                     decl,
+                    table: vd.table.name.clone(),
+                    forall_relation: vd.forall.name.clone(),
                     domain: params.var_domain(&vd.table.name),
                     is_solver_position: (0..vd.table.args.len())
                         .map(|i| solver_positions.contains(&i))
@@ -179,6 +225,26 @@ impl GroundingPlan {
                 }
             })
             .collect();
+        let mut relevant_relations: BTreeSet<String> = program
+            .vars
+            .iter()
+            .map(|vd| vd.forall.name.clone())
+            .collect();
+        for idx in analysis
+            .rules_in_class(RuleClass::SolverDerivation)
+            .chain(analysis.rules_in_class(RuleClass::SolverConstraint))
+        {
+            for name in program.rules[idx].body_relations() {
+                if !analysis.solver_tables.is_solver_table(name) {
+                    relevant_relations.insert(name.to_string());
+                }
+            }
+        }
+        if let Some(goal) = &program.goal {
+            if !analysis.solver_tables.is_solver_table(&goal.relation.name) {
+                relevant_relations.insert(goal.relation.name.clone());
+            }
+        }
         let constraint_elems = analysis
             .rules_in_class(RuleClass::SolverConstraint)
             .map(|idx| {
@@ -207,7 +273,24 @@ impl GroundingPlan {
             constraint_elems,
             var_plans,
             goal,
+            relevant_relations,
         }
+    }
+
+    /// Engine relations whose contents the grounding depends on. A delta
+    /// summary touching none of them means a re-grounding would reproduce
+    /// the previous [`GroundedCop`] byte for byte.
+    pub fn relevant_relations(&self) -> impl Iterator<Item = &str> {
+        self.relevant_relations.iter().map(String::as_str)
+    }
+
+    /// True when any relation the grounding reads is dirty in `delta` — a
+    /// retained [`GroundedCop`] from before the summary's window can only be
+    /// reused when this is false.
+    pub fn is_affected_by(&self, delta: &DeltaSummary) -> bool {
+        delta
+            .dirty_relations()
+            .any(|rel| self.relevant_relations.contains(rel))
     }
 
     /// Run the per-invocation stage against the current engine state,
@@ -227,6 +310,44 @@ impl GroundingPlan {
         engine: &Engine,
         scratch: &mut GroundingScratch,
     ) -> Result<GroundedCop, CologneError> {
+        // One-shot callers never replay, so capturing replay caches would
+        // be pure overhead: skip it.
+        self.ground_inner(program, analysis, params, engine, scratch, None, false)
+    }
+
+    /// [`GroundingPlan::ground`] with a delta summary covering everything
+    /// that changed in `engine` since the previous grounding with this same
+    /// `scratch`: `var` declarations whose `forall` relation is clean are
+    /// replayed from the scratch's caches instead of re-joined (see the
+    /// module docs), and the caches are refreshed for the next run. Passing
+    /// `None` (or a scratch without caches) grounds everything live; the
+    /// output is identical either way.
+    pub fn ground_delta(
+        &self,
+        program: &Program,
+        analysis: &Analysis,
+        params: &ProgramParams,
+        engine: &Engine,
+        scratch: &mut GroundingScratch,
+        delta: Option<&DeltaSummary>,
+    ) -> Result<GroundedCop, CologneError> {
+        self.ground_inner(program, analysis, params, engine, scratch, delta, true)
+    }
+
+    /// Shared body of [`GroundingPlan::ground`] / [`GroundingPlan::ground_delta`]:
+    /// `capture` controls whether `var`-declaration replay caches are
+    /// maintained in `scratch` (only delta-aware callers ever read them).
+    #[allow(clippy::too_many_arguments)]
+    fn ground_inner(
+        &self,
+        program: &Program,
+        analysis: &Analysis,
+        params: &ProgramParams,
+        engine: &Engine,
+        scratch: &mut GroundingScratch,
+        delta: Option<&DeltaSummary>,
+        capture: bool,
+    ) -> Result<GroundedCop, CologneError> {
         debug_assert!(
             self.var_plans.len() == program.vars.len()
                 && self
@@ -236,12 +357,16 @@ impl GroundingPlan {
                     .all(|&i| i < program.rules.len()),
             "GroundingPlan used with a program it was not built from"
         );
+        scratch.var_caches.resize_with(program.vars.len(), || None);
         let mut run = GroundingRun {
             plan: self,
             program,
             analysis,
             params,
             engine,
+            delta,
+            capture,
+            var_caches: &mut scratch.var_caches,
             model: std::mem::take(&mut scratch.model),
             syms: std::mem::take(&mut scratch.syms),
             solver_tables: BTreeMap::new(),
@@ -297,7 +422,7 @@ fn derivation_rule_order(program: &Program, analysis: &Analysis) -> Vec<usize> {
 /// Reusable per-invocation allocations: the solver model arena, the
 /// symbolic-attribute table, and the [`SearchSpace`] (trail-backed domain
 /// store + propagation queue + decision stack) the COP is searched in.
-/// [`GroundingRun`] takes the model and symbol table at the start of an
+/// The grounding run takes the model and symbol table at the start of an
 /// invocation; [`GroundingScratch::recycle`] reclaims them (resetting the
 /// model in place) once the caller is done with the [`GroundedCop`]. The
 /// search space is lent out per solve by [`crate::SolvePipeline::solve`] and
@@ -307,6 +432,10 @@ pub struct GroundingScratch {
     model: Model,
     syms: Vec<VarId>,
     pub(crate) space: SearchSpace,
+    /// Per-`var`-declaration replay caches (see [`VarDeclCache`]), refreshed
+    /// on every grounding. Cleared whenever the parameters change — a cache
+    /// is only meaningful against the plan it was captured under.
+    pub(crate) var_caches: Vec<Option<VarDeclCache>>,
 }
 
 impl GroundingScratch {
@@ -325,6 +454,29 @@ impl GroundingScratch {
         self.model = model;
         self.syms = syms;
     }
+
+    /// Drop every cross-invocation replay cache (parameters changed, or an
+    /// aborted grounding left them out of sync with the engine checkpoint).
+    pub(crate) fn clear_caches(&mut self) {
+        self.var_caches.clear();
+    }
+}
+
+/// Replay cache of one `var` declaration: everything its grounding produced
+/// last time — the variable names (in allocation order) and the emitted
+/// solver-table rows, whose [`Value::Sym`] attributes index the contiguous
+/// symbol block starting at `sym_start`. Replaying allocates the same
+/// variables in the same order (so the model stays byte-identical to a live
+/// grounding) while skipping the `forall` join and the per-variable name
+/// formatting.
+#[derive(Debug, Clone)]
+pub(crate) struct VarDeclCache {
+    /// First symbol id the declaration allocated when the cache was taken.
+    sym_start: usize,
+    /// Names of the declaration's variables, in allocation order.
+    names: Vec<String>,
+    /// Rows emitted into the declared solver table.
+    rows: Vec<Tuple>,
 }
 
 /// Objective of a grounded COP (`None` when there is nothing to optimize)
@@ -351,6 +503,14 @@ struct GroundingRun<'a> {
     analysis: &'a Analysis,
     params: &'a ProgramParams,
     engine: &'a Engine,
+    /// What changed since the previous grounding (`None` = assume everything
+    /// did). Only consulted for `var`-declaration replay.
+    delta: Option<&'a DeltaSummary>,
+    /// Whether to maintain the replay caches (false for one-shot callers
+    /// that will never replay them).
+    capture: bool,
+    /// Replay caches, one slot per `var` declaration (refreshed as we go).
+    var_caches: &'a mut Vec<Option<VarDeclCache>>,
     model: Model,
     syms: Vec<VarId>,
     solver_tables: BTreeMap<String, Vec<Tuple>>,
@@ -388,8 +548,18 @@ impl<'a> GroundingRun<'a> {
         let plan = self.plan;
         let program = self.program;
         for vp in &plan.var_plans {
+            // A declaration whose forall relation saw no visible change since
+            // the previous grounding reproduces last run's output exactly:
+            // replay it from the cache instead of re-joining.
+            let clean = self.delta.is_some_and(|d| d.is_clean(&vp.forall_relation));
+            if clean && self.var_caches[vp.decl].is_some() {
+                self.replay_var_decl(vp);
+                continue;
+            }
             let vd = &program.vars[vp.decl];
             let domain = vp.domain;
+            let sym_start = self.syms.len();
+            let row_start = self.solver_tables.get(&vd.table.name).map_or(0, Vec::len);
             let forall_tuples = self.engine.tuples(&vd.forall.name);
             for tuple in forall_tuples {
                 let mut bindings = Bindings::new();
@@ -446,8 +616,77 @@ impl<'a> GroundingRun<'a> {
             }
             // Make sure the table exists even if the forall relation is empty.
             self.solver_tables.entry(vd.table.name.clone()).or_default();
+            if self.capture {
+                self.capture_var_decl(vp, sym_start, row_start);
+            }
         }
         Ok(())
+    }
+
+    /// Refresh the replay cache of a declaration that was just grounded
+    /// live: its rows sit at the tail of its solver table (from `row_start`)
+    /// and its variables occupy the contiguous symbol block starting at
+    /// `sym_start`.
+    fn capture_var_decl(&mut self, vp: &VarPlan, sym_start: usize, row_start: usize) {
+        let names: Vec<String> = self.syms[sym_start..]
+            .iter()
+            .map(|&var| {
+                self.model
+                    .var_name(var)
+                    .expect("var-declared solver variables are named")
+                    .to_string()
+            })
+            .collect();
+        let rows = self
+            .solver_tables
+            .get(&vp.table)
+            .map(|rows| rows[row_start..].to_vec())
+            .unwrap_or_default();
+        self.var_caches[vp.decl] = Some(VarDeclCache {
+            sym_start,
+            names,
+            rows,
+        });
+    }
+
+    /// Replay a clean declaration from its cache: allocate the cached
+    /// variables in order (identical names, domain and decision marking to a
+    /// live grounding) and re-emit the cached rows with their symbolic
+    /// attributes shifted onto the freshly allocated symbol block.
+    fn replay_var_decl(&mut self, vp: &VarPlan) {
+        let cache = self.var_caches[vp.decl]
+            .take()
+            .expect("replay requires a cache");
+        let new_start = self.syms.len();
+        let domain = vp.domain;
+        for name in &cache.names {
+            let var = self
+                .model
+                .new_named_var(domain.lo, domain.hi, Some(name.clone()));
+            self.model.mark_decision(var);
+            self.syms.push(var);
+        }
+        let shift = |v: &Value| match v {
+            Value::Sym(s) => {
+                let local = s.0 as usize - cache.sym_start;
+                Value::Sym(SymId((new_start + local) as u32))
+            }
+            other => other.clone(),
+        };
+        let rows: Vec<Tuple> = cache
+            .rows
+            .iter()
+            .map(|row| row.iter().map(shift).collect())
+            .collect();
+        self.solver_tables
+            .entry(vp.table.clone())
+            .or_default()
+            .extend(rows.iter().cloned());
+        self.var_caches[vp.decl] = Some(VarDeclCache {
+            sym_start: new_start,
+            names: cache.names,
+            rows,
+        });
     }
 
     // ----- solver derivation rules -------------------------------------------

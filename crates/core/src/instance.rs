@@ -75,6 +75,11 @@ pub struct CologneInstance {
     cumulative_stats: SearchStats,
     last_stats: Option<SearchStats>,
     solver_invocations: u64,
+    /// The previous invocation's report, replayed verbatim when the
+    /// delta-aware grounding proves the COP unchanged (search is a
+    /// deterministic function of the COP and configuration, so re-solving
+    /// an identical COP reproduces it bit for bit).
+    last_report: Option<SolveReport>,
 }
 
 impl CologneInstance {
@@ -110,6 +115,7 @@ impl CologneInstance {
             cumulative_stats: SearchStats::default(),
             last_stats: None,
             solver_invocations: 0,
+            last_report: None,
         })
     }
 
@@ -139,6 +145,7 @@ impl CologneInstance {
     /// invocation.
     pub fn params_mut(&mut self) -> &mut ProgramParams {
         self.pipeline.invalidate();
+        self.last_report = None;
         &mut self.params
     }
 
@@ -148,6 +155,32 @@ impl CologneInstance {
     /// calls demonstrates plan reuse.
     pub fn plan_builds(&self) -> u64 {
         self.pipeline.plan_builds()
+    }
+
+    /// Number of groundings forced to run from scratch, without delta
+    /// information: the first invocation, every invocation right after a
+    /// [`CologneInstance::params_mut`] change, and recovery after a
+    /// grounding error. The counterpart of
+    /// [`CologneInstance::incremental_builds`].
+    pub fn full_rebuilds(&self) -> u64 {
+        self.pipeline.full_rebuilds()
+    }
+
+    /// Number of delta-aware groundings: invocations that compared the
+    /// engine's delta summary against the previous grounding and reused
+    /// whatever it proved unchanged — up to the entire previous COP when no
+    /// relevant relation was dirty. Steadily increasing across repeated
+    /// [`CologneInstance::invoke_solver`] calls demonstrates the
+    /// incremental re-optimization path is active (requires
+    /// [`ProgramParams::delta_grounding`], the default).
+    pub fn incremental_builds(&self) -> u64 {
+        self.pipeline.incremental_builds()
+    }
+
+    /// The engine's accumulated delta summary since the last grounding
+    /// (consumed — and reset — by the next solver invocation).
+    pub fn pending_delta(&self) -> &cologne_datalog::DeltaSummary {
+        self.engine.delta_summary()
     }
 
     /// Total solver statistics accumulated over all invocations.
@@ -179,6 +212,9 @@ impl CologneInstance {
     /// Mutable access to the search configuration, e.g. to switch the
     /// branching heuristic between invocations.
     pub fn search_config_mut(&mut self) -> &mut cologne_solver::SearchConfig {
+        // A heuristic change makes the memoized report unreproducible; drop
+        // it so the next unchanged-COP invocation re-solves.
+        self.last_report = None;
         self.pipeline.search_config_mut()
     }
 
@@ -244,8 +280,18 @@ impl CologneInstance {
     /// [`CologneInstance::recycle`] to keep the arena reuse of the pipeline.
     pub fn ground_only(&mut self) -> Result<GroundedCop, CologneError> {
         self.engine.run();
-        self.pipeline
-            .ground(&self.program, &self.analysis, &self.params, &self.engine)
+        let delta = self.engine.take_delta_summary();
+        // This grounding consumes the delta checkpoint, so the memoized
+        // report of the last invoke_solver no longer matches what the next
+        // clean-delta invocation would reuse: drop it.
+        self.last_report = None;
+        self.pipeline.ground(
+            &self.program,
+            &self.analysis,
+            &self.params,
+            &self.engine,
+            Some(&delta),
+        )
     }
 
     /// Reclaim a [`GroundedCop`] obtained from
@@ -268,19 +314,59 @@ impl CologneInstance {
 
     fn invoke_solver_inner(&mut self) -> Result<SolveReport, CologneError> {
         self.engine.run();
-        let cop =
-            self.pipeline
-                .ground(&self.program, &self.analysis, &self.params, &self.engine)?;
+        let delta = self.engine.take_delta_summary();
+        let cop = self.pipeline.ground(
+            &self.program,
+            &self.analysis,
+            &self.params,
+            &self.engine,
+            Some(&delta),
+        )?;
         self.solver_invocations += 1;
+
+        // Memoized re-solve: the grounding handed back the previous COP
+        // untouched and re-solving would provably reproduce the previous
+        // report — either that search completed (proved optimality or
+        // infeasibility), or only deterministic limits (node/fail, no wall
+        // clock) are configured. Re-apply the materialization (idempotent on
+        // an unchanged database) and return the cached report with this
+        // invocation's (empty) outgoing tuples. A wall-clock-limited
+        // *incomplete* solve is never replayed: a retry gets a fresh budget
+        // and may improve the incumbent.
+        if self.pipeline.last_ground_was_reuse() {
+            let replayable = self
+                .last_report
+                .as_ref()
+                .is_some_and(|r| r.proven_optimal || self.params.solver_max_time.is_none());
+            if replayable {
+                let cached = self.last_report.clone().expect("checked above");
+                let goal_relation = cop.goal_relation.clone();
+                self.pipeline.recycle(cop);
+                // Mirror the solve path exactly: trivial and infeasible
+                // reports never materialized anything (and never drained the
+                // outbox), so their replay must not either.
+                let outgoing = if cached.feasible && !cached.trivial {
+                    self.materialize(&cached.assignments, &goal_relation)
+                } else {
+                    Vec::new()
+                };
+                let report = SolveReport { outgoing, ..cached };
+                self.last_report = Some(report.clone());
+                return Ok(report);
+            }
+        }
+
         if cop.is_trivial() {
             self.pipeline.recycle(cop);
-            return Ok(SolveReport::empty(true));
+            let report = SolveReport::empty(true);
+            self.last_report = Some(report.clone());
+            return Ok(report);
         }
         let outcome = self.pipeline.solve(&cop, &self.params);
         self.cumulative_stats.merge(&outcome.stats);
         let Some(best) = outcome.best else {
             self.pipeline.recycle(cop);
-            return Ok(SolveReport {
+            let report = SolveReport {
                 feasible: false,
                 trivial: false,
                 objective: None,
@@ -288,7 +374,9 @@ impl CologneInstance {
                 stats: outcome.stats,
                 assignments: BTreeMap::new(),
                 outgoing: Vec::new(),
-            });
+            };
+            self.last_report = Some(report.clone());
+            return Ok(report);
         };
 
         // Materialize solver tables with concrete values and push the `var`
@@ -301,13 +389,41 @@ impl CologneInstance {
                 .collect();
             assignments.insert(name.clone(), resolved);
         }
+        let objective = outcome
+            .best_objective
+            .or_else(|| cop.objective.map(|(_, obj)| best.value(obj)));
+        let goal_relation = cop.goal_relation.clone();
+        self.pipeline.recycle(cop);
+        let outgoing = self.materialize(&assignments, &goal_relation);
+
+        let report = SolveReport {
+            feasible: true,
+            trivial: false,
+            objective,
+            proven_optimal: outcome.complete,
+            stats: outcome.stats,
+            assignments,
+            outgoing,
+        };
+        self.last_report = Some(report.clone());
+        Ok(report)
+    }
+
+    /// Push the `var` tables and the goal relation of a solve back into the
+    /// engine, run the regular rules to a fixpoint and collect the tuples
+    /// addressed to other nodes.
+    fn materialize(
+        &mut self,
+        assignments: &BTreeMap<String, Vec<Tuple>>,
+        goal_relation: &Option<String>,
+    ) -> Vec<RemoteTuple> {
         let mut to_materialize: Vec<String> = self
             .program
             .vars
             .iter()
             .map(|v| v.table.name.clone())
             .collect();
-        if let Some(goal_rel) = &cop.goal_relation {
+        if let Some(goal_rel) = goal_relation {
             to_materialize.push(goal_rel.clone());
         }
         for name in to_materialize {
@@ -316,22 +432,7 @@ impl CologneInstance {
             }
         }
         self.engine.run();
-        let outgoing = self.engine.take_outbox();
-
-        let objective = outcome
-            .best_objective
-            .or_else(|| cop.objective.map(|(_, obj)| best.value(obj)));
-        self.pipeline.recycle(cop);
-
-        Ok(SolveReport {
-            feasible: true,
-            trivial: false,
-            objective,
-            proven_optimal: outcome.complete,
-            stats: outcome.stats,
-            assignments,
-            outgoing,
-        })
+        self.engine.take_outbox()
     }
 }
 

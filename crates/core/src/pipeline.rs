@@ -1,5 +1,6 @@
 //! The staged solve pipeline: cached grounding plan, recycled solver arena,
-//! reusable search space and the per-program search configuration.
+//! reusable search space, delta-aware grounding reuse, warm-started solving
+//! and the per-program search configuration.
 //!
 //! `invokeSolver` executions recur on every epoch and after every input delta
 //! (Sec. 6 of the paper measures exactly this loop), so the runtime splits the
@@ -8,14 +9,42 @@
 //! | stage | lifetime | held by |
 //! |---|---|---|
 //! | [`GroundingPlan`] | per program (until params change) | `SolvePipeline` |
-//! | [`GroundingScratch`] (model arena + [`cologne_solver::SearchSpace`]) | across invocations (recycled) | `SolvePipeline` |
-//! | grounding run → [`GroundedCop`] | one invocation | caller |
+//! | [`GroundingScratch`] (model arena + [`cologne_solver::SearchSpace`] + replay caches) | across invocations (recycled) | `SolvePipeline` |
+//! | grounding run → [`GroundedCop`] | one invocation (retained when clean) | caller |
 //!
 //! [`crate::CologneInstance`] owns one `SolvePipeline`; the plan is built
 //! once at construction, reused by every invocation, and only rebuilt after
 //! [`crate::CologneInstance::params_mut`] invalidates it. The number of plan
 //! builds is observable through [`SolvePipeline::plan_builds`] so tests and
 //! benchmarks can assert that the cache actually hits.
+//!
+//! # Incremental re-optimization
+//!
+//! On top of the plan cache the pipeline carries two further pieces of state
+//! across invocations — the machinery behind the paper's *continuous*
+//! optimization story:
+//!
+//! * **Grounding reuse.** [`SolvePipeline::ground`] accepts the engine's
+//!   [`DeltaSummary`] since the previous grounding. When no relation the
+//!   plan marks relevant is dirty, the previous [`GroundedCop`] (retained at
+//!   [`SolvePipeline::recycle`] time) is returned as-is; otherwise the COP
+//!   is re-grounded with clean `var` declarations replayed from the
+//!   scratch's caches (see [`crate::ground`](mod@crate::ground)'s module docs). Either way the
+//!   run counts as an *incremental build*; runs without usable delta
+//!   information (first invocation, parameter change, a previous error)
+//!   count as *full rebuilds*. The [`SolvePipeline::full_rebuilds`] /
+//!   [`SolvePipeline::incremental_builds`] counter pair is the observable
+//!   analogue of [`SolvePipeline::plan_builds`].
+//! * **Warm-started solving.** After every feasible solve the pipeline
+//!   remembers the best assignment of each `var`-declared row, keyed by the
+//!   row's concrete attributes (so the memory survives structural change:
+//!   rows that persist across invocations keep their hint, arrived rows
+//!   simply have none). The next solve maps the memory onto the new model,
+//!   completes it into a full assignment with
+//!   [`cologne_solver::complete_hints`], and passes it to the search as
+//!   [`cologne_solver::SearchConfig::warm_start`] — the initial bound for
+//!   exact branch-and-bound, the initial incumbent for LNS. Disabled via
+//!   [`ProgramParams::warm_start`].
 //!
 //! The pipeline is also the [`SearchConfig`] surface for COP solving: the
 //! branching/value heuristics are seeded from
@@ -25,16 +54,27 @@
 //! so that parameter updates (e.g. dropping the wall-clock limit for
 //! deterministic tests) take effect immediately.
 
+use std::collections::BTreeMap;
+
 use cologne_colog::{
-    Analysis, Program, ProgramParams, SolverBranching, SolverMode as ParamsSolverMode,
+    Analysis, GoalKind, Program, ProgramParams, SolverBranching, SolverMode as ParamsSolverMode,
 };
-use cologne_datalog::Engine;
+use cologne_datalog::{DeltaSummary, Engine, Value};
 use cologne_solver::{
-    Branching, DestroyStrategy, LnsConfig, SearchConfig, SearchOutcome, SolverMode,
+    complete_hints, Branching, DestroyStrategy, LnsConfig, Objective, SearchConfig, SearchOutcome,
+    SolverMode, VarId,
 };
 
 use crate::error::CologneError;
 use crate::ground::{GroundedCop, GroundingPlan, GroundingScratch};
+
+/// Warm memory: for each (`var`-declaration index, solver-attribute
+/// position), the remembered value per concrete row key (the row's
+/// non-solver attribute values). Row keys are stable across invocations as
+/// long as the row itself persists, whatever happens to the rest of the
+/// COP; the two-level shape lets the per-solve lookups borrow one key built
+/// per row instead of allocating a key per (row, position).
+type WarmMemory = BTreeMap<(usize, usize), BTreeMap<Vec<Value>, i64>>;
 
 /// Cached grounding + search state for repeated solver invocations on one
 /// program.
@@ -44,6 +84,23 @@ pub struct SolvePipeline {
     plan_builds: u64,
     dirty: bool,
     search: SearchConfig,
+    /// The previous invocation's COP, kept whole (not recycled) so a clean
+    /// delta summary can reuse it without re-grounding.
+    retained: Option<GroundedCop>,
+    /// True once a grounding completed since the last invalidation — the
+    /// precondition for treating the next delta-aware grounding as
+    /// incremental.
+    grounded_before: bool,
+    /// True when the most recent [`SolvePipeline::ground`] handed back the
+    /// retained COP untouched (nothing relevant changed). Search is
+    /// deterministic given a COP and configuration, so callers may reuse
+    /// their previous solve result outright in that case.
+    last_was_reuse: bool,
+    full_rebuilds: u64,
+    incremental_builds: u64,
+    /// Best known value of each `var`-declared solver attribute, keyed by
+    /// row identity (see [`WarmMemory`]).
+    warm: WarmMemory,
 }
 
 /// Map the compiler-facing branching knob onto the solver heuristic.
@@ -90,19 +147,58 @@ impl SolvePipeline {
                 mode: mode_of(params),
                 ..Default::default()
             },
+            retained: None,
+            grounded_before: false,
+            last_was_reuse: false,
+            full_rebuilds: 0,
+            incremental_builds: 0,
+            warm: WarmMemory::new(),
         }
     }
 
     /// Mark the cached plan stale (parameters changed); it is rebuilt lazily
-    /// on the next [`SolvePipeline::ground`].
+    /// on the next [`SolvePipeline::ground`]. Every cross-invocation cache —
+    /// the retained COP, the replay caches, the warm-start memory — is
+    /// dropped with it: a parameter change may alter domains, constants or
+    /// rule layouts, so the next grounding is a forced full rebuild.
     pub fn invalidate(&mut self) {
         self.dirty = true;
+        self.grounded_before = false;
+        self.last_was_reuse = false;
+        if let Some(cop) = self.retained.take() {
+            self.scratch.recycle(cop);
+        }
+        self.scratch.clear_caches();
+        self.warm.clear();
     }
 
     /// Number of times a plan has been built over the pipeline's lifetime
     /// (1 after construction; +1 per rebuild triggered by invalidation).
     pub fn plan_builds(&self) -> u64 {
         self.plan_builds
+    }
+
+    /// Number of groundings that ran without usable delta information: the
+    /// first invocation, every invocation after a parameter change, and
+    /// recovery from a failed grounding.
+    pub fn full_rebuilds(&self) -> u64 {
+        self.full_rebuilds
+    }
+
+    /// True when the most recent [`SolvePipeline::ground`] returned the
+    /// retained previous COP untouched. Since the search is a deterministic
+    /// function of the COP and the search configuration, a caller holding
+    /// the previous solve's result may reuse it without re-solving.
+    pub fn last_ground_was_reuse(&self) -> bool {
+        self.last_was_reuse
+    }
+
+    /// Number of delta-aware groundings — runs that consulted the engine's
+    /// delta summary against the previous grounding, whether that led to
+    /// whole-COP reuse, partial replay, or (for a fully dirty summary) the
+    /// same work as a rebuild.
+    pub fn incremental_builds(&self) -> u64 {
+        self.incremental_builds
     }
 
     /// The current grounding plan.
@@ -126,12 +222,22 @@ impl SolvePipeline {
 
     /// Run the grounding stage against the current engine state, rebuilding
     /// the plan first if it was invalidated.
+    ///
+    /// `delta` is the engine's delta summary since the previous grounding
+    /// (see [`cologne_datalog::Engine::take_delta_summary`]); `None` forces
+    /// a full rebuild. With a summary and a previous grounding to reuse, the
+    /// run counts as incremental: a summary touching none of the plan's
+    /// relevant relations hands back the retained [`GroundedCop`] without
+    /// re-grounding, anything else re-grounds with clean `var` declarations
+    /// replayed. The produced COP is byte-identical to a full rebuild in
+    /// every case.
     pub fn ground(
         &mut self,
         program: &Program,
         analysis: &Analysis,
         params: &ProgramParams,
         engine: &Engine,
+        delta: Option<&DeltaSummary>,
     ) -> Result<GroundedCop, CologneError> {
         if self.dirty {
             self.plan = GroundingPlan::build(program, analysis, params);
@@ -145,22 +251,171 @@ impl SolvePipeline {
             self.plan_builds += 1;
             self.dirty = false;
         }
-        self.plan
-            .ground(program, analysis, params, engine, &mut self.scratch)
+        self.last_was_reuse = false;
+        let enabled = params.delta_grounding;
+        let delta = if enabled && self.grounded_before {
+            delta
+        } else {
+            None
+        };
+        if let Some(delta) = delta {
+            self.incremental_builds += 1;
+            if !self.plan.is_affected_by(delta) {
+                if let Some(cop) = self.retained.take() {
+                    self.last_was_reuse = true;
+                    return Ok(cop);
+                }
+            }
+        } else {
+            self.full_rebuilds += 1;
+        }
+        if let Some(cop) = self.retained.take() {
+            self.scratch.recycle(cop);
+        }
+        let result = if enabled {
+            self.plan
+                .ground_delta(program, analysis, params, engine, &mut self.scratch, delta)
+        } else {
+            // Delta grounding is off: ground without maintaining the replay
+            // caches the delta-aware path would consume.
+            self.plan
+                .ground(program, analysis, params, engine, &mut self.scratch)
+        };
+        match &result {
+            Ok(_) => self.grounded_before = true,
+            Err(_) => {
+                // The replay caches may be half-refreshed and the engine's
+                // delta checkpoint was already consumed: drop everything so
+                // the next grounding starts from scratch.
+                self.grounded_before = false;
+                self.scratch.clear_caches();
+                self.warm.clear();
+            }
+        }
+        result
     }
 
     /// Solve a grounded COP with the pipeline's search configuration (limits
-    /// taken live from `params`), reusing the scratch's [`cologne_solver::SearchSpace`] so
-    /// repeated invocations share one trail/store/queue allocation.
+    /// taken live from `params`), reusing the scratch's
+    /// [`cologne_solver::SearchSpace`] so repeated invocations share one
+    /// trail/store/queue allocation.
+    ///
+    /// When [`ProgramParams::warm_start`] is on and a previous solution is
+    /// remembered, the remembered values are mapped onto the COP's decision
+    /// variables by row identity, completed into a full assignment and
+    /// passed to the search as its warm start; a feasible outcome refreshes
+    /// the memory.
     pub fn solve(&mut self, cop: &GroundedCop, params: &ProgramParams) -> SearchOutcome {
         let mut config = self.search.clone();
         config.time_limit = params.solver_max_time;
         config.node_limit = params.solver_node_limit;
-        cop.solve_in(&config, &mut self.scratch.space)
+        if params.warm_start {
+            if let Some(objective) = cop_objective(cop) {
+                let hints = self.warm_hints(cop);
+                if !hints.is_empty() {
+                    // The probe's fail budget scales with the model: hint
+                    // completion only searches over the (typically few)
+                    // unhinted variables, so a budget this size trips only
+                    // when the remembered solution is badly obsolete.
+                    let fail_limit = 256 + 4 * cop.model.num_vars() as u64;
+                    config.warm_start = complete_hints(
+                        &cop.model,
+                        objective,
+                        &hints,
+                        &mut self.scratch.space,
+                        fail_limit,
+                    );
+                }
+            }
+        }
+        let outcome = cop.solve_in(&config, &mut self.scratch.space);
+        if params.warm_start {
+            if let Some(best) = &outcome.best {
+                self.remember(cop, best);
+            }
+        }
+        outcome
     }
 
-    /// Reclaim a finished invocation's model and symbol table for reuse.
-    pub fn recycle(&mut self, cop: GroundedCop) {
-        self.scratch.recycle(cop);
+    /// Map the warm memory onto the COP's decision variables: one hint per
+    /// remembered `var`-table row that still exists (by concrete-key
+    /// identity) in this grounding.
+    fn warm_hints(&self, cop: &GroundedCop) -> Vec<(VarId, i64)> {
+        if self.warm.is_empty() {
+            return Vec::new();
+        }
+        let mut hints = Vec::new();
+        for (decl, vp) in self.plan.var_plans.iter().enumerate() {
+            let Some(rows) = cop.solver_tables.get(&vp.table) else {
+                continue;
+            };
+            for row in rows {
+                let key = concrete_key(row, &vp.is_solver_position);
+                for (pos, value) in row.iter().enumerate() {
+                    let Value::Sym(sym) = value else { continue };
+                    if let Some(&hint) = self
+                        .warm
+                        .get(&(decl, pos))
+                        .and_then(|per_row| per_row.get(&key))
+                    {
+                        hints.push((cop.syms[sym.0 as usize], hint));
+                    }
+                }
+            }
+        }
+        hints
     }
+
+    /// Refresh the warm memory from a feasible solve: remember the assigned
+    /// value of every `var`-declared solver attribute, keyed by row
+    /// identity. The memory is replaced wholesale so departed rows do not
+    /// linger.
+    fn remember(&mut self, cop: &GroundedCop, best: &cologne_solver::Assignment) {
+        self.warm.clear();
+        for (decl, vp) in self.plan.var_plans.iter().enumerate() {
+            let Some(rows) = cop.solver_tables.get(&vp.table) else {
+                continue;
+            };
+            for row in rows {
+                let key = concrete_key(row, &vp.is_solver_position);
+                for (pos, value) in row.iter().enumerate() {
+                    let Value::Sym(sym) = value else { continue };
+                    let assigned = best.value(cop.syms[sym.0 as usize]);
+                    self.warm
+                        .entry((decl, pos))
+                        .or_default()
+                        .insert(key.clone(), assigned);
+                }
+            }
+        }
+    }
+
+    /// Reclaim a finished invocation's COP. The model arena is not reset
+    /// here: the COP is retained whole so the next grounding can hand it
+    /// back untouched when the delta summary proves nothing relevant
+    /// changed; it is recycled into the scratch the moment a re-grounding
+    /// becomes necessary.
+    pub fn recycle(&mut self, cop: GroundedCop) {
+        self.retained = Some(cop);
+    }
+}
+
+/// The COP's optimization objective in solver terms (`None` for satisfy /
+/// trivially-empty goals — warm starts do not apply there).
+fn cop_objective(cop: &GroundedCop) -> Option<Objective> {
+    match cop.objective {
+        Some((GoalKind::Minimize, obj)) => Some(Objective::Minimize(obj)),
+        Some((GoalKind::Maximize, obj)) => Some(Objective::Maximize(obj)),
+        _ => None,
+    }
+}
+
+/// The concrete (non-solver) attribute values of a `var`-table row — the
+/// row's cross-invocation identity.
+fn concrete_key(row: &[Value], is_solver_position: &[bool]) -> Vec<Value> {
+    row.iter()
+        .zip(is_solver_position.iter())
+        .filter(|(_, &solver)| !solver)
+        .map(|(v, _)| v.clone())
+        .collect()
 }

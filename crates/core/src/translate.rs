@@ -4,7 +4,7 @@
 //! directly on the incremental engine; this module lowers them, resolving
 //! named parameters from [`ProgramParams`] along the way. Solver rules are
 //! *not* lowered here — they are grounded per COP invocation by
-//! [`crate::ground`].
+//! [`crate::ground`](mod@crate::ground).
 
 use cologne_colog::{Arg, BodyElem, CExpr, COp, Literal, Predicate, ProgramParams, RuleDecl};
 use cologne_datalog::{Atom, BodyItem, Expr, Head, HeadArg, Op, Rule, Term, Value};

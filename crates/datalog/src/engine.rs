@@ -11,7 +11,7 @@
 //! are maintained by full re-evaluation followed by diffing — semantically
 //! identical, and the affected rules in the paper's programs are tiny.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 use crate::expr::{Bindings, Term};
 use crate::rule::{BodyItem, HeadArg, Rule};
@@ -55,6 +55,69 @@ pub struct EngineStats {
     pub aggregate_recomputes: u64,
 }
 
+/// Net visibility changes of one relation since a delta-summary checkpoint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RelationDelta {
+    /// Tuples that became visible.
+    pub inserted: u64,
+    /// Tuples that stopped being visible.
+    pub deleted: u64,
+}
+
+impl RelationDelta {
+    /// Total number of visibility changes.
+    pub fn total(&self) -> u64 {
+        self.inserted + self.deleted
+    }
+}
+
+/// Per-relation summary of everything that changed since the last checkpoint
+/// ([`Engine::take_delta_summary`]).
+///
+/// This is the contract the Cologne grounding stage consumes to decide
+/// between a full re-grounding and an incremental one: a relation absent
+/// from `changes` had no visible tuple inserted or deleted since the summary
+/// was last taken — its contents are byte-identical to what the previous
+/// grounding saw. Multiplicity-only changes (a duplicate insert of an
+/// already-visible tuple, or a delete that leaves copies) do not dirty a
+/// relation, matching the visibility semantics of [`Engine::tuples`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaSummary {
+    /// Relations with at least one visibility change, with their counts.
+    pub changes: BTreeMap<String, RelationDelta>,
+}
+
+impl DeltaSummary {
+    /// True when nothing changed since the checkpoint.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+
+    /// True when `relation` had no visibility change since the checkpoint.
+    pub fn is_clean(&self, relation: &str) -> bool {
+        !self.changes.contains_key(relation)
+    }
+
+    /// Names of the dirty relations, sorted.
+    pub fn dirty_relations(&self) -> impl Iterator<Item = &str> {
+        self.changes.keys().map(String::as_str)
+    }
+
+    /// Total visibility changes across all relations.
+    pub fn total_changes(&self) -> u64 {
+        self.changes.values().map(RelationDelta::total).sum()
+    }
+
+    fn record(&mut self, relation: &str, inserted: bool) {
+        let entry = self.changes.entry(relation.to_string()).or_default();
+        if inserted {
+            entry.inserted += 1;
+        } else {
+            entry.deleted += 1;
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Delta {
     relation: String,
@@ -77,6 +140,8 @@ pub struct Engine {
     pending: VecDeque<Delta>,
     outbox: Vec<RemoteTuple>,
     stats: EngineStats,
+    /// Visibility changes since the last [`Engine::take_delta_summary`].
+    delta: DeltaSummary,
 }
 
 impl Engine {
@@ -92,6 +157,7 @@ impl Engine {
             pending: VecDeque::new(),
             outbox: Vec::new(),
             stats: EngineStats::default(),
+            delta: DeltaSummary::default(),
         }
     }
 
@@ -103,6 +169,23 @@ impl Engine {
     /// Engine statistics so far.
     pub fn stats(&self) -> &EngineStats {
         &self.stats
+    }
+
+    /// Visibility changes accumulated since the last
+    /// [`Engine::take_delta_summary`] (cumulative, unlike the per-run
+    /// counters of [`EngineStats`], which never reset).
+    pub fn delta_summary(&self) -> &DeltaSummary {
+        &self.delta
+    }
+
+    /// Take the accumulated delta summary and start a fresh checkpoint.
+    ///
+    /// The Cologne runtime calls this right before grounding a COP: the
+    /// returned summary describes exactly what changed since the previous
+    /// grounding, so clean relations can keep their previously grounded
+    /// variables and constraints.
+    pub fn take_delta_summary(&mut self) -> DeltaSummary {
+        std::mem::take(&mut self.delta)
     }
 
     /// Install a rule. Rules may be added before or after facts.
@@ -248,6 +331,7 @@ impl Engine {
             None => return, // multiplicity changed but visibility did not
         };
         self.stats.updates += 1;
+        self.delta.record(&delta.relation, became_visible);
 
         let rule_indices: Vec<usize> = self
             .trigger
@@ -776,6 +860,69 @@ mod tests {
         assert!(s.external_deltas >= 2);
         assert!(s.derivations > 0);
         assert!(s.updates > 0);
+    }
+
+    #[test]
+    fn delta_summary_tracks_visibility_changes() {
+        let mut e = engine();
+        e.add_rules(transitive_closure_rules());
+        e.insert("link", int_tuple(&[1, 2]));
+        e.insert("link", int_tuple(&[2, 3]));
+        e.run();
+        let delta = e.take_delta_summary();
+        assert!(!delta.is_empty());
+        assert_eq!(delta.changes["link"].inserted, 2);
+        assert_eq!(delta.changes["link"].deleted, 0);
+        // derived updates are part of the summary too
+        assert_eq!(delta.changes["path"].inserted, 3);
+        assert!(!delta.is_clean("link"));
+        assert!(delta.is_clean("unrelated"));
+        assert_eq!(delta.total_changes(), 5);
+        assert_eq!(
+            delta.dirty_relations().collect::<Vec<_>>(),
+            vec!["link", "path"]
+        );
+        // the checkpoint resets the summary
+        assert!(e.delta_summary().is_empty());
+        // a deletion dirties both the base and the derived relation
+        e.delete("link", int_tuple(&[2, 3]));
+        e.run();
+        let delta = e.take_delta_summary();
+        assert_eq!(delta.changes["link"].deleted, 1);
+        assert_eq!(delta.changes["path"].deleted, 2);
+    }
+
+    #[test]
+    fn delta_summary_ignores_multiplicity_only_changes() {
+        let mut e = engine();
+        e.insert("in", int_tuple(&[1]));
+        e.run();
+        e.take_delta_summary();
+        // duplicate insert: multiplicity 2, visibility unchanged
+        e.insert("in", int_tuple(&[1]));
+        e.run();
+        assert!(e.delta_summary().is_empty());
+        // one delete: multiplicity 1, still visible
+        e.delete("in", int_tuple(&[1]));
+        e.run();
+        assert!(e.delta_summary().is_empty());
+        // second delete: tuple disappears
+        e.delete("in", int_tuple(&[1]));
+        e.run();
+        assert_eq!(e.delta_summary().changes["in"].deleted, 1);
+    }
+
+    #[test]
+    fn set_relation_with_identical_contents_is_clean() {
+        let mut e = engine();
+        e.insert("vm", int_tuple(&[1, 50]));
+        e.insert("vm", int_tuple(&[2, 60]));
+        e.run();
+        e.take_delta_summary();
+        // a monitoring refresh with unchanged contents produces no deltas
+        e.set_relation("vm", vec![int_tuple(&[1, 50]), int_tuple(&[2, 60])]);
+        e.run();
+        assert!(e.delta_summary().is_empty());
     }
 
     #[test]

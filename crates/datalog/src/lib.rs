@@ -38,7 +38,7 @@ pub mod rule;
 pub mod tuple;
 pub mod value;
 
-pub use engine::{Engine, EngineStats, RemoteTuple};
+pub use engine::{DeltaSummary, Engine, EngineStats, RelationDelta, RemoteTuple};
 pub use expr::{Bindings, EvalError, Expr, Op, Term};
 pub use rule::{AggFunc, Atom, BodyItem, Head, HeadArg, Rule};
 pub use tuple::{Relation, Tuple};

@@ -50,8 +50,8 @@ pub use model::{Model, VarId};
 pub use propagator::{PropStatus, Propagator, PropagatorContext};
 pub use restart::GeometricRestarts;
 pub use search::{
-    solve_reference, Assignment, Branching, Objective, SearchConfig, SearchOutcome, SearchSpace,
-    ValueChoice, DEFAULT_SPLIT_THRESHOLD,
+    complete_hints, solve_reference, Assignment, Branching, Objective, SearchConfig, SearchOutcome,
+    SearchSpace, ValueChoice, DEFAULT_SPLIT_THRESHOLD,
 };
 pub use stats::SearchStats;
 pub use store::{PropQueue, Store};

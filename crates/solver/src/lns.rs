@@ -28,7 +28,7 @@
 //!    [`DestroyStrategy::ConflictGuided`], the offending variable is
 //!    force-destroyed next round.
 //! 3. **Repair.** A bounded first-fail exact search
-//!    ([`crate::search::resolve_subtree`]) runs below the freeze level, with
+//!    (`search::resolve_subtree`, private) runs below the freeze level, with
 //!    the incumbent objective seeded as its branch-and-bound bound and a
 //!    fail budget drawn from a geometric restart schedule
 //!    ([`crate::restart::GeometricRestarts`]): the budget grows while
@@ -204,43 +204,61 @@ pub(crate) fn solve_lns(
 
     // ----- phase 1: incumbent dive(s) ---------------------------------------
     //
-    // A node-limited exact dive produces the first incumbent. Re-dives with
-    // geometrically larger budgets re-explore the same deterministic prefix,
-    // which the growth amortizes.
+    // A valid warm-start assignment (carried over from the previous solver
+    // invocation by the Cologne pipeline) replaces the dive entirely: it
+    // becomes the frozen-root incumbent and the whole budget goes to
+    // destroy/repair iterations. Otherwise a node-limited exact dive
+    // produces the first incumbent; re-dives with geometrically larger
+    // budgets re-explore the same deterministic prefix, which the growth
+    // amortizes.
+    let warm = match objective {
+        Objective::Minimize(o) | Objective::Maximize(o) => config
+            .warm_start
+            .as_ref()
+            .filter(|w| search::warm_start_valid(model, w))
+            .map(|w| (w.clone(), w.value(o))),
+        Objective::Satisfy => None,
+    };
     let mut dive_budgets = GeometricRestarts::new(lns.dive_node_limit, lns.repair_growth);
-    let (mut incumbent, mut best) = loop {
-        let budget = match remaining(config.node_limit, stats.nodes) {
-            Some(r) => r.min(dive_budgets.budget()),
-            None => dive_budgets.budget(),
-        };
-        let dive_cfg = SearchConfig {
-            mode: SolverMode::Exact,
-            node_limit: Some(budget),
-            time_limit: config.time_limit.map(|t| t.saturating_sub(start.elapsed())),
-            fail_limit: remaining(config.fail_limit, stats.fails),
-            max_solutions: remaining_solutions(&solutions),
-            ..config.clone()
-        };
-        let dive = search::solve_exact_in(model, objective, &dive_cfg, space);
-        stats.merge(&dive.stats);
-        if dive.best.is_some() {
-            solutions.extend(dive.solutions.iter().cloned());
-        }
-        if dive.complete {
-            // The dive already proved optimality (or infeasibility).
-            return finish(stats, dive.best, dive.best_objective, solutions, true);
-        }
-        if let (Some(assignment), Some(value)) = (dive.best, dive.best_objective) {
-            if solution_cap_hit(&solutions) {
-                return finish(stats, Some(assignment), Some(value), solutions, false);
+    let (mut incumbent, mut best) = if let Some((assignment, value)) = warm {
+        stats.warm_start = true;
+        (assignment, value)
+    } else {
+        loop {
+            let budget = match remaining(config.node_limit, stats.nodes) {
+                Some(r) => r.min(dive_budgets.budget()),
+                None => dive_budgets.budget(),
+            };
+            let dive_cfg = SearchConfig {
+                mode: SolverMode::Exact,
+                node_limit: Some(budget),
+                time_limit: config.time_limit.map(|t| t.saturating_sub(start.elapsed())),
+                fail_limit: remaining(config.fail_limit, stats.fails),
+                max_solutions: remaining_solutions(&solutions),
+                warm_start: None,
+                ..config.clone()
+            };
+            let dive = search::solve_exact_in(model, objective, &dive_cfg, space);
+            stats.merge(&dive.stats);
+            if dive.best.is_some() {
+                solutions.extend(dive.solutions.iter().cloned());
             }
-            break (assignment, value);
+            if dive.complete {
+                // The dive already proved optimality (or infeasibility).
+                return finish(stats, dive.best, dive.best_objective, solutions, true);
+            }
+            if let (Some(assignment), Some(value)) = (dive.best, dive.best_objective) {
+                if solution_cap_hit(&solutions) {
+                    return finish(stats, Some(assignment), Some(value), solutions, false);
+                }
+                break (assignment, value);
+            }
+            if out_of_time(&stats) {
+                // Budget exhausted before any incumbent appeared.
+                return finish(stats, None, None, solutions, false);
+            }
+            dive_budgets.grow();
         }
-        if out_of_time(&stats) {
-            // Budget exhausted before any incumbent appeared.
-            return finish(stats, None, None, solutions, false);
-        }
-        dive_budgets.grow();
     };
 
     // ----- phase 2: destroy / repair from a frozen root ---------------------
@@ -385,6 +403,7 @@ pub(crate) fn solve_lns(
             ),
             node_limit: remaining(config.node_limit, stats.nodes),
             max_solutions: remaining_solutions(&solutions),
+            warm_start: None,
         };
         let repair = search::resolve_subtree(model, objective, &repair_cfg, space, Some(best));
         stats.merge(&repair.stats);
@@ -521,6 +540,42 @@ mod tests {
             unlimited.solutions.len() > 2,
             "the cap must be the binding constraint in this scenario"
         );
+    }
+
+    #[test]
+    fn warm_start_replaces_the_incumbent_dive() {
+        let (m, obj) = balance_model(10);
+        let exact = m.minimize(obj, &SearchConfig::default());
+        let optimal = exact.best.clone().unwrap();
+        let cfg = SearchConfig {
+            warm_start: Some(optimal.clone()),
+            ..lns_config(11)
+        };
+        let out = m.minimize(obj, &cfg);
+        assert!(out.stats.warm_start);
+        // starting from the optimum, no repair can improve it
+        assert_eq!(out.best_objective, exact.best_objective);
+        assert_eq!(out.best, Some(optimal));
+        assert_eq!(out.stats.lns_improvements, 0);
+        // the dive was skipped: every node explored belongs to repairs, and
+        // the driver proves optimality once the full neighborhood exhausts
+        assert!(out.complete, "{}", out.stats);
+    }
+
+    #[test]
+    fn invalid_warm_start_falls_back_to_the_dive() {
+        let (m, obj) = balance_model(10);
+        let exact = m.minimize(obj, &SearchConfig::default());
+        let mut broken = exact.best.clone().unwrap();
+        // flip one decision without its complement: violates pick + inv == 1
+        broken.values[0] = 1 - broken.values[0];
+        let cfg = SearchConfig {
+            warm_start: Some(broken),
+            ..lns_config(11)
+        };
+        let out = m.minimize(obj, &cfg);
+        assert!(!out.stats.warm_start);
+        assert_eq!(out.best_objective, exact.best_objective);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! found. The queue is *seeded* either with every propagator (root
 //! propagation, or after the branch-and-bound objective bound tightens) or
 //! with only the propagators watching a just-branched variable
-//! ([`Model::props_watching`]), so a branching decision never rescans
+//! (`Model::props_watching`, private), so a branching decision never rescans
 //! unrelated constraints. All propagation state — the queue itself and the
 //! trail-backed domain [`Store`] it mutates — is owned by the caller (a
 //! [`crate::SearchSpace`]) and reused across nodes and invocations; the

@@ -14,10 +14,10 @@
 //! leaving it restores every touched domain from the trail
 //! ([`Store::backtrack`]) in O(changes). Nothing on the per-node path clones
 //! the domain vector. The decision tree itself is walked with an explicit
-//! stack of [`Frame`]s rather than recursion, so arbitrarily deep searches
+//! stack of `Frame`s rather than recursion, so arbitrarily deep searches
 //! (e.g. Follow-the-Sun value enumeration over wide migration domains)
 //! cannot overflow the call stack, and all limit checks happen in one place
-//! ([`Searcher::enter_node`]).
+//! (`Searcher::enter_node`).
 //!
 //! Invariants tying the pieces together:
 //!
@@ -120,6 +120,24 @@ pub struct SearchConfig {
     pub max_solutions: Option<usize>,
     /// Stop after this many search nodes.
     pub node_limit: Option<u64>,
+    /// A known feasible assignment that seeds the search — the incremental
+    /// re-optimization hook: the Cologne pipeline carries the previous
+    /// invocation's best assignment (completed against the new model by
+    /// [`complete_hints`]) across solver invocations.
+    ///
+    /// For exact optimization the warm assignment's objective value becomes
+    /// the initial branch-and-bound bound, applied *non-strictly* (solutions
+    /// equal to the warm objective are still accepted): the search explores
+    /// the same tree as a cold run minus the subtrees that cannot match the
+    /// warm objective, so with a static branching order it records the same
+    /// final incumbent as the cold run while skipping most of the
+    /// incumbent-discovery work. The warm assignment itself is returned only
+    /// when a limit stops the search before it finds any solution. For LNS
+    /// the warm assignment replaces the initial exact incumbent dive. An
+    /// assignment that does not cover the model or violates a constraint is
+    /// ignored (the search falls back to a cold start); `Satisfy` searches
+    /// ignore warm starts entirely.
+    pub warm_start: Option<Assignment>,
 }
 
 impl Default for SearchConfig {
@@ -133,6 +151,7 @@ impl Default for SearchConfig {
             fail_limit: None,
             max_solutions: None,
             node_limit: None,
+            warm_start: None,
         }
     }
 }
@@ -151,7 +170,7 @@ impl SearchConfig {
 /// A complete assignment of values to all model variables.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Assignment {
-    values: Vec<i64>,
+    pub(crate) values: Vec<i64>,
 }
 
 impl Assignment {
@@ -322,6 +341,10 @@ pub(crate) fn solve_exact_in(
     space: &mut SearchSpace,
 ) -> SearchOutcome {
     let mut searcher = Searcher::new(model, objective, config.clone());
+    let warm = validated_warm(model, objective, config);
+    if let Some((_, value)) = &warm {
+        searcher.seed_warm_bound(*value);
+    }
     space.store.reset_from(model.domains());
     space.frames.clear();
     space.values.clear();
@@ -336,7 +359,136 @@ pub(crate) fn solve_exact_in(
     if root_ok {
         searcher.run(space);
     }
-    searcher.finish()
+    finish_with_warm(searcher, warm)
+}
+
+/// Validate a configured warm start against the model: `Some((assignment,
+/// objective value))` when it is usable, `None` otherwise (no warm start
+/// configured, satisfaction objective, or an assignment that does not cover
+/// the model / falls outside a root domain / violates a propagator).
+fn validated_warm(
+    model: &Model,
+    objective: Objective,
+    config: &SearchConfig,
+) -> Option<(Assignment, i64)> {
+    let (Objective::Minimize(o) | Objective::Maximize(o)) = objective else {
+        return None;
+    };
+    let warm = config.warm_start.as_ref()?;
+    if !warm_start_valid(model, warm) {
+        return None;
+    }
+    Some((warm.clone(), warm.value(o)))
+}
+
+/// True when `warm` is a complete, feasible assignment of `model`: it covers
+/// every variable, every value lies inside the variable's root domain, and
+/// every propagator accepts the assignment.
+pub(crate) fn warm_start_valid(model: &Model, warm: &Assignment) -> bool {
+    if warm.len() != model.num_vars() || warm.is_empty() {
+        return false;
+    }
+    let domains = model.domains();
+    if (0..model.num_vars()).any(|i| !domains[i].contains(warm.value(VarId::from_index(i)))) {
+        return false;
+    }
+    model
+        .propagators()
+        .iter()
+        .all(|p| p.check(&|v| warm.value(v)))
+}
+
+/// Common tail of the exact searchers: when a limit stopped the search
+/// before any solution appeared but a valid warm assignment exists, report
+/// the warm assignment (it is feasible by validation) instead of "no
+/// solution found".
+fn finish_with_warm(searcher: Searcher<'_>, warm: Option<(Assignment, i64)>) -> SearchOutcome {
+    let mut outcome = searcher.finish();
+    if outcome.best.is_none() {
+        if let Some((assignment, value)) = warm {
+            outcome.best_objective = Some(value);
+            outcome.best = Some(assignment);
+        }
+    }
+    outcome
+}
+
+/// Complete a *partial* warm-start hint set into a full feasible assignment
+/// of `model` — the bridge between two solver invocations whose models
+/// differ structurally (the incremental re-optimization path).
+///
+/// The caller maps whatever survived from the previous solution onto the new
+/// model's variables (`hints`); this probe fixes those variables (abandoning
+/// the attempt on any conflict), then runs a small fail-bounded first-fail
+/// exact search over the remaining variables, minimizing/maximizing
+/// `objective` below the hints. The best completion found becomes the
+/// [`SearchConfig::warm_start`] assignment of the subsequent full search.
+/// Returns `None` when the hints are empty or inconsistent, or when the
+/// bounded completion search finds no leaf within `fail_limit` failures —
+/// the caller then falls back to a cold start.
+pub fn complete_hints(
+    model: &Model,
+    objective: Objective,
+    hints: &[(VarId, i64)],
+    space: &mut SearchSpace,
+    fail_limit: u64,
+) -> Option<Assignment> {
+    if hints.is_empty() || model.num_vars() == 0 {
+        return None;
+    }
+    let mut stats = SearchStats::default();
+    space.store.reset_from(model.domains());
+    space.frames.clear();
+    space.values.clear();
+    if model
+        .propagate_in(&mut space.store, &mut space.queue, &mut stats, None)
+        .is_err()
+    {
+        return None;
+    }
+    space.store.push_choice();
+    let mut consistent = true;
+    for &(var, value) in hints {
+        let idx = var.index();
+        match space.store.assign(idx, value) {
+            Err(()) => {
+                consistent = false;
+                break;
+            }
+            Ok(true) => {
+                if model
+                    .propagate_in(
+                        &mut space.store,
+                        &mut space.queue,
+                        &mut stats,
+                        Some(model.props_watching(idx)),
+                    )
+                    .is_err()
+                {
+                    consistent = false;
+                    break;
+                }
+            }
+            Ok(false) => {}
+        }
+    }
+    let best = if consistent {
+        let probe_cfg = SearchConfig {
+            mode: SolverMode::Exact,
+            branching: Branching::SmallestDomain,
+            fail_limit: Some(fail_limit),
+            ..Default::default()
+        };
+        resolve_subtree(model, objective, &probe_cfg, space, None).best
+    } else {
+        None
+    };
+    while space.store.level() > 0 {
+        space.store.backtrack();
+    }
+    space.frames.clear();
+    space.values.clear();
+    best
 }
 
 /// The retained copy-on-branch reference implementation: recursive DFS that
@@ -360,6 +512,10 @@ pub fn solve_reference(
     config: &SearchConfig,
 ) -> SearchOutcome {
     let mut searcher = Searcher::new(model, objective, config.clone());
+    let warm = validated_warm(model, objective, config);
+    if let Some((_, value)) = &warm {
+        searcher.seed_warm_bound(*value);
+    }
     let mut store = Store::from_domains(model.domains().to_vec());
     let mut queue = PropQueue::new();
     let root_ok = model
@@ -368,7 +524,7 @@ pub fn solve_reference(
     if root_ok {
         searcher.dfs_cloning(store, &mut queue, 0);
     }
-    searcher.finish()
+    finish_with_warm(searcher, warm)
 }
 
 /// Run a bounded exact search *below the current store state* — the repair
@@ -418,6 +574,21 @@ impl<'m> Searcher<'m> {
             solutions: Vec::new(),
             stopped: false,
         }
+    }
+
+    /// Seed the branch-and-bound bound from a warm assignment's objective
+    /// value. The bound is applied *non-strictly* (offset by one) so that
+    /// solutions matching the warm objective are still found and recorded —
+    /// this keeps the final incumbent identical to a cold run's under a
+    /// static branching order (see [`SearchConfig::warm_start`]).
+    fn seed_warm_bound(&mut self, value: i64) {
+        let seed = match self.objective {
+            Objective::Minimize(_) => value.saturating_add(1),
+            Objective::Maximize(_) => value.saturating_sub(1),
+            Objective::Satisfy => return,
+        };
+        self.best_objective = Some(seed);
+        self.stats.warm_start = true;
     }
 
     fn finish(self) -> SearchOutcome {
@@ -984,6 +1155,122 @@ mod tests {
         });
         assert_eq!(out.solutions.len(), 1);
         assert!(out.stats.max_depth >= 1000);
+    }
+
+    #[test]
+    fn warm_start_finds_same_optimum_with_fewer_nodes() {
+        let (m, _, _, obj) = sum_model();
+        let cold = m.minimize(obj, &SearchConfig::default());
+        let warm_cfg = SearchConfig {
+            warm_start: cold.best.clone(),
+            ..Default::default()
+        };
+        let warm = m.minimize(obj, &warm_cfg);
+        assert!(warm.stats.warm_start);
+        assert!(warm.complete);
+        assert_eq!(warm.best_objective, cold.best_objective);
+        assert_eq!(warm.best, cold.best, "warm must land on the cold incumbent");
+        assert!(
+            warm.stats.nodes <= cold.stats.nodes,
+            "warm {} vs cold {}",
+            warm.stats.nodes,
+            cold.stats.nodes
+        );
+    }
+
+    #[test]
+    fn invalid_warm_start_is_ignored() {
+        let (m, _, _, obj) = sum_model();
+        // wrong coverage: a one-variable assignment for a four-variable model
+        let bogus = Assignment { values: vec![0] };
+        let cfg = SearchConfig {
+            warm_start: Some(bogus),
+            ..Default::default()
+        };
+        let out = m.minimize(obj, &cfg);
+        assert!(!out.stats.warm_start);
+        assert_eq!(out.best_objective, Some(9));
+        // infeasible assignment: violates x + y == 9
+        let cold = m.minimize(obj, &SearchConfig::default());
+        let mut broken = cold.best.clone().unwrap();
+        broken.values[0] += 1;
+        let cfg = SearchConfig {
+            warm_start: Some(broken),
+            ..Default::default()
+        };
+        let out = m.minimize(obj, &cfg);
+        assert!(!out.stats.warm_start);
+        assert_eq!(out.best_objective, Some(9));
+    }
+
+    #[test]
+    fn warm_assignment_survives_a_zero_budget() {
+        let (m, _, _, obj) = sum_model();
+        let cold = m.minimize(obj, &SearchConfig::default());
+        let cfg = SearchConfig {
+            warm_start: cold.best.clone(),
+            node_limit: Some(0),
+            ..Default::default()
+        };
+        let out = m.minimize(obj, &cfg);
+        assert!(!out.complete);
+        // the search explored nothing, but the warm incumbent is reported
+        assert_eq!(out.best, cold.best);
+        assert_eq!(out.best_objective, cold.best_objective);
+    }
+
+    #[test]
+    fn warm_start_agrees_between_trail_and_reference_searchers() {
+        let (m, _, _, obj) = sum_model();
+        let cold = m.minimize(obj, &SearchConfig::default());
+        let cfg = SearchConfig {
+            warm_start: cold.best.clone(),
+            ..Default::default()
+        };
+        let trail = solve(&m, Objective::Minimize(obj), &cfg);
+        let reference = solve_reference(&m, Objective::Minimize(obj), &cfg);
+        assert_eq!(trail.best_objective, reference.best_objective);
+        assert_eq!(trail.solutions, reference.solutions);
+        assert_eq!(trail.stats.nodes, reference.stats.nodes);
+        assert_eq!(trail.stats.fails, reference.stats.fails);
+    }
+
+    #[test]
+    fn complete_hints_extends_a_partial_assignment() {
+        let (m, x, y, obj) = sum_model();
+        let mut space = SearchSpace::new();
+        // pin x = 3; propagation forces y = 6
+        let warm = complete_hints(&m, Objective::Minimize(obj), &[(x, 3)], &mut space, 64)
+            .expect("consistent hints complete");
+        assert_eq!(warm.value(x), 3);
+        assert_eq!(warm.value(y), 6);
+        assert_eq!(warm.value(obj), 15);
+        // the completion is a valid warm start for the full search
+        let cfg = SearchConfig {
+            warm_start: Some(warm),
+            ..Default::default()
+        };
+        let out = m.minimize(obj, &cfg);
+        assert!(out.stats.warm_start);
+        assert_eq!(out.best_objective, Some(9));
+    }
+
+    #[test]
+    fn complete_hints_rejects_conflicts_and_empty_hints() {
+        let (m, x, y, obj) = sum_model();
+        let mut space = SearchSpace::new();
+        assert!(complete_hints(&m, Objective::Minimize(obj), &[], &mut space, 64).is_none());
+        // x = 5 and y = 5 contradict x + y == 9
+        assert!(complete_hints(
+            &m,
+            Objective::Minimize(obj),
+            &[(x, 5), (y, 5)],
+            &mut space,
+            64
+        )
+        .is_none());
+        // out-of-domain hint
+        assert!(complete_hints(&m, Objective::Minimize(obj), &[(x, 42)], &mut space, 64).is_none());
     }
 
     #[test]

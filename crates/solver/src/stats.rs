@@ -32,6 +32,10 @@ pub struct SearchStats {
     /// True if the search stopped because of a limit (time, fails, solutions)
     /// rather than exhausting the tree.
     pub limit_reached: bool,
+    /// True if a [`crate::SearchConfig::warm_start`] assignment seeded this
+    /// search (the initial branch-and-bound bound for exact search, the
+    /// initial incumbent for LNS).
+    pub warm_start: bool,
 }
 
 impl SearchStats {
@@ -53,6 +57,7 @@ impl SearchStats {
         self.lns_improvements += other.lns_improvements;
         self.elapsed_micros += other.elapsed_micros;
         self.limit_reached |= other.limit_reached;
+        self.warm_start |= other.warm_start;
     }
 }
 
@@ -74,6 +79,9 @@ impl std::fmt::Display for SearchStats {
                 " lns_iters={} lns_improved={}",
                 self.lns_iterations, self.lns_improvements
             )?;
+        }
+        if self.warm_start {
+            write!(f, " warm")?;
         }
         write!(
             f,

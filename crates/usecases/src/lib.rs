@@ -19,6 +19,7 @@
 //! * [`table2`] — the code-compactness comparison (Table 2).
 
 pub mod acloud;
+pub mod churn;
 pub mod followsun;
 pub mod programs;
 pub mod table2;
@@ -28,6 +29,7 @@ pub use acloud::{
     large_acloud_instance, run_acloud_experiment, solve_large_acloud, AcloudConfig, AcloudPolicy,
     AcloudResults, LargeAcloudConfig,
 };
+pub use churn::{run_churn, ChurnConfig, ChurnOutcome, ChurnTick};
 pub use followsun::{
     build_followsun_deployment, run_followsun, run_followsun_sweep, FollowSunConfig,
     FollowSunOutcome, FollowSunWorkload,

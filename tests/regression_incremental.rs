@@ -1,0 +1,314 @@
+//! Regression tests for the incremental re-optimization path: after a
+//! single-tuple delta, `invoke_solver` must take the delta-aware grounding
+//! path (`incremental_builds`, not `full_rebuilds`) and still produce a
+//! report byte-for-byte identical — outcome flags, objective, materialized
+//! tables — to a from-scratch solve of the same database. Search statistics
+//! are intentionally exempt: exploring fewer nodes is the point.
+
+use cologne::datalog::{NodeId, Tuple, Value};
+use cologne::{CologneInstance, ProgramParams, SolveReport, SolverBranching, VarDomain};
+use cologne_usecases::programs::{ACLOUD_CENTRALIZED, WIRELESS_CENTRALIZED};
+
+fn ints(vals: &[i64]) -> Tuple {
+    vals.iter().map(|&v| Value::Int(v)).collect()
+}
+
+fn acloud_params() -> ProgramParams {
+    ProgramParams::new().with_var_domain("assign", VarDomain::BOOL)
+}
+
+fn acloud_base_facts() -> Vec<(&'static str, Tuple)> {
+    let mut facts = Vec::new();
+    for (vid, cpu, mem) in [(1, 40, 4), (2, 20, 4), (3, 30, 4)] {
+        facts.push(("vm", ints(&[vid, cpu, mem])));
+    }
+    for hid in [10, 11, 12] {
+        facts.push(("host", ints(&[hid, 0, 0])));
+        facts.push(("hostMemThres", ints(&[hid, 16])));
+    }
+    facts
+}
+
+fn wireless_params() -> ProgramParams {
+    ProgramParams::new()
+        .with_var_domain("assign", VarDomain::new(1, 3))
+        .with_constant("F_mindiff", 2)
+}
+
+fn wireless_base_facts() -> Vec<(&'static str, Tuple)> {
+    // A triangle of links (both directions) on nodes 1..=3, two interfaces
+    // per node, one primary-user restriction.
+    let mut facts = Vec::new();
+    for (a, b) in [(1, 2), (2, 3), (1, 3)] {
+        facts.push(("link", ints(&[a, b])));
+        facts.push(("link", ints(&[b, a])));
+    }
+    for n in 1..=3 {
+        facts.push(("numInterface", ints(&[n, 2])));
+    }
+    facts.push(("primaryUser", ints(&[1, 2])));
+    facts
+}
+
+fn instance(program: &str, params: &ProgramParams, facts: &[(&str, Tuple)]) -> CologneInstance {
+    let mut inst = CologneInstance::new(NodeId(0), program, params.clone()).unwrap();
+    for (rel, tuple) in facts {
+        inst.insert_fact(rel, tuple.clone());
+    }
+    inst
+}
+
+/// Byte-for-byte equality of everything a `SolveReport` asserts about the
+/// optimization problem. Stats are excluded (see module docs).
+fn assert_same_result(incremental: &SolveReport, cold: &SolveReport, context: &str) {
+    assert_eq!(incremental.feasible, cold.feasible, "{context}: feasible");
+    assert_eq!(incremental.trivial, cold.trivial, "{context}: trivial");
+    assert_eq!(
+        incremental.objective, cold.objective,
+        "{context}: objective"
+    );
+    assert_eq!(
+        incremental.proven_optimal, cold.proven_optimal,
+        "{context}: proven_optimal"
+    );
+    assert_eq!(
+        incremental.assignments, cold.assignments,
+        "{context}: assignments"
+    );
+    assert_eq!(incremental.outgoing, cold.outgoing, "{context}: outgoing");
+}
+
+/// Drive `program` through the incremental path (solve, apply one delta,
+/// re-solve) and compare the re-solve against a from-scratch solve of the
+/// final database.
+fn check_single_tuple_delta(
+    context: &str,
+    program: &str,
+    params: &ProgramParams,
+    base_facts: &[(&str, Tuple)],
+    delta: (&str, Tuple),
+) {
+    let mut warm = instance(program, params, base_facts);
+    let first = warm.invoke_solver().unwrap();
+    assert!(first.feasible, "{context}: base problem must be feasible");
+    assert_eq!(
+        warm.full_rebuilds(),
+        1,
+        "{context}: first grounding is cold"
+    );
+    assert_eq!(warm.incremental_builds(), 0, "{context}");
+
+    let (rel, tuple) = &delta;
+    warm.insert_fact(rel, tuple.clone());
+    let incremental = warm.invoke_solver().unwrap();
+    assert_eq!(
+        warm.full_rebuilds(),
+        1,
+        "{context}: the delta re-solve must not be a full rebuild"
+    );
+    assert_eq!(
+        warm.incremental_builds(),
+        1,
+        "{context}: the delta re-solve must take the incremental path"
+    );
+    assert!(
+        incremental.stats.warm_start,
+        "{context}: the re-solve must be warm-started"
+    );
+
+    // From-scratch reference: a brand-new instance over the final database.
+    let mut all_facts = base_facts.to_vec();
+    all_facts.push((rel, tuple.clone()));
+    let mut cold = instance(program, params, &all_facts);
+    let reference = cold.invoke_solver().unwrap();
+    assert_same_result(&incremental, &reference, context);
+
+    // The same equivalence must hold with the re-optimization machinery
+    // disabled outright — pinning that the knobs only change how much work
+    // a solve takes, never its result.
+    let disabled_params = params
+        .clone()
+        .with_warm_start(false)
+        .with_delta_grounding(false);
+    let mut disabled = instance(program, &disabled_params, &all_facts);
+    let plain = disabled.invoke_solver().unwrap();
+    assert_eq!(disabled.full_rebuilds(), 1, "{context}: knobs off = cold");
+    assert_eq!(disabled.incremental_builds(), 0, "{context}");
+    assert_same_result(&plain, &reference, &format!("{context} (knobs off)"));
+}
+
+#[test]
+fn acloud_single_vm_arrival_matches_cold_solve() {
+    check_single_tuple_delta(
+        "acloud insert",
+        ACLOUD_CENTRALIZED,
+        &acloud_params(),
+        &acloud_base_facts(),
+        ("vm", ints(&[4, 50, 4])),
+    );
+}
+
+#[test]
+fn wireless_single_link_arrival_matches_cold_solve() {
+    check_single_tuple_delta(
+        "wireless insert",
+        WIRELESS_CENTRALIZED,
+        &wireless_params(),
+        &wireless_base_facts(),
+        ("link", ints(&[3, 4])),
+    );
+}
+
+#[test]
+fn acloud_first_fail_single_vm_arrival_matches_cold_solve() {
+    // The ACloud controllers run with first-fail branching; pin the
+    // incremental/cold equivalence under that heuristic too.
+    check_single_tuple_delta(
+        "acloud first-fail insert",
+        ACLOUD_CENTRALIZED,
+        &acloud_params().with_solver_branching(SolverBranching::FirstFail),
+        &acloud_base_facts(),
+        ("vm", ints(&[4, 50, 4])),
+    );
+}
+
+#[test]
+fn wireless_first_fail_single_link_arrival_matches_cold_solve() {
+    check_single_tuple_delta(
+        "wireless first-fail insert",
+        WIRELESS_CENTRALIZED,
+        &wireless_params().with_solver_branching(SolverBranching::FirstFail),
+        &wireless_base_facts(),
+        ("link", ints(&[3, 4])),
+    );
+}
+
+#[test]
+fn acloud_single_vm_departure_matches_cold_solve() {
+    let params = acloud_params();
+    let base = acloud_base_facts();
+    let mut warm = instance(ACLOUD_CENTRALIZED, &params, &base);
+    warm.invoke_solver().unwrap();
+    warm.delete_fact("vm", ints(&[3, 30, 4]));
+    let incremental = warm.invoke_solver().unwrap();
+    assert_eq!(warm.incremental_builds(), 1);
+    assert_eq!(warm.full_rebuilds(), 1);
+
+    let remaining: Vec<(&str, Tuple)> = base
+        .into_iter()
+        .filter(|(rel, tuple)| !(*rel == "vm" && tuple == &ints(&[3, 30, 4])))
+        .collect();
+    let mut cold = instance(ACLOUD_CENTRALIZED, &params, &remaining);
+    let reference = cold.invoke_solver().unwrap();
+    assert_same_result(&incremental, &reference, "acloud delete");
+}
+
+#[test]
+fn unchanged_inputs_reuse_the_whole_grounded_cop() {
+    let mut inst = instance(ACLOUD_CENTRALIZED, &acloud_params(), &acloud_base_facts());
+    let first = inst.invoke_solver().unwrap();
+    assert!(first.proven_optimal);
+    let cumulative_after_first = inst.cumulative_solver_stats().nodes;
+    // Materialization dirties only solver tables (assign, hostStdevCpu) —
+    // none of them is a grounding input, so the next invocation reuses the
+    // retained COP without re-grounding anything, and (the first solve
+    // having proved optimality) replays the memoized report without
+    // searching.
+    let second = inst.invoke_solver().unwrap();
+    assert_eq!(inst.full_rebuilds(), 1);
+    assert_eq!(inst.incremental_builds(), 1);
+    assert_same_result(&second, &first, "no-op re-solve");
+    assert_eq!(
+        inst.cumulative_solver_stats().nodes,
+        cumulative_after_first,
+        "a memoized replay must not run a search"
+    );
+}
+
+#[test]
+fn ground_only_between_invocations_drops_the_memoized_report() {
+    let mut inst = instance(ACLOUD_CENTRALIZED, &acloud_params(), &acloud_base_facts());
+    let first = inst.invoke_solver().unwrap();
+    // Change the database, then consume the delta checkpoint through
+    // ground_only: the next invoke_solver sees an empty summary, but must
+    // NOT replay the pre-change report.
+    inst.insert_fact("vm", ints(&[4, 50, 4]));
+    let cop = inst.ground_only().unwrap();
+    inst.recycle(cop);
+    let report = inst.invoke_solver().unwrap();
+    assert_ne!(
+        report.table("assign").len(),
+        first.table("assign").len(),
+        "the re-solve must see the post-delta COP, not the memoized report"
+    );
+    assert_eq!(report.table("assign").len(), 12); // 4 VMs x 3 hosts
+}
+
+#[test]
+fn wall_clock_limited_incomplete_solves_are_not_memoized() {
+    // A node budget too small to prove optimality, combined with the
+    // default wall-clock limit: a retry on the unchanged database must
+    // re-run the search (a fresh budget may improve the incumbent), not
+    // replay the limit-stopped report.
+    let params = acloud_params().with_solver_node_limit(Some(3));
+    let mut inst = instance(ACLOUD_CENTRALIZED, &params, &acloud_base_facts());
+    for vid in 10..16i64 {
+        inst.insert_fact("vm", ints(&[vid, 10 + vid, 1]));
+    }
+    let first = inst.invoke_solver().unwrap();
+    assert!(!first.proven_optimal);
+    let cumulative_after_first = inst.cumulative_solver_stats().nodes;
+    inst.invoke_solver().unwrap();
+    assert!(
+        inst.cumulative_solver_stats().nodes > cumulative_after_first,
+        "an incomplete wall-clock-limited solve must be re-run on retry"
+    );
+    // With the wall clock disabled the same bounded search is deterministic
+    // and the replay is safe again.
+    let deterministic = params.clone().with_solver_max_time(None);
+    let mut inst = instance(ACLOUD_CENTRALIZED, &deterministic, &acloud_base_facts());
+    for vid in 10..16i64 {
+        inst.insert_fact("vm", ints(&[vid, 10 + vid, 1]));
+    }
+    inst.invoke_solver().unwrap();
+    let cumulative_after_first = inst.cumulative_solver_stats().nodes;
+    inst.invoke_solver().unwrap();
+    assert_eq!(
+        inst.cumulative_solver_stats().nodes,
+        cumulative_after_first,
+        "deterministically-limited solves replay without searching"
+    );
+}
+
+#[test]
+fn params_change_forces_a_full_rebuild() {
+    let mut inst = instance(ACLOUD_CENTRALIZED, &acloud_params(), &acloud_base_facts());
+    inst.invoke_solver().unwrap();
+    inst.invoke_solver().unwrap();
+    assert_eq!((inst.full_rebuilds(), inst.incremental_builds()), (1, 1));
+    // A parameter change drops every cross-invocation cache: the next
+    // grounding is cold (and not warm-started), the one after is
+    // incremental again.
+    inst.params_mut().solver_node_limit = Some(1_000_000);
+    let after = inst.invoke_solver().unwrap();
+    assert_eq!((inst.full_rebuilds(), inst.incremental_builds()), (2, 1));
+    assert!(
+        !after.stats.warm_start,
+        "a params change must clear the warm memory"
+    );
+    inst.invoke_solver().unwrap();
+    assert_eq!((inst.full_rebuilds(), inst.incremental_builds()), (2, 2));
+}
+
+#[test]
+fn irrelevant_relation_churn_stays_on_the_reuse_path() {
+    let mut inst = instance(ACLOUD_CENTRALIZED, &acloud_params(), &acloud_base_facts());
+    let first = inst.invoke_solver().unwrap();
+    // A relation no solver rule reads: deltas on it must not trigger any
+    // re-grounding.
+    inst.insert_fact("monitoringHeartbeat", ints(&[1, 2, 3]));
+    let second = inst.invoke_solver().unwrap();
+    assert_eq!(inst.full_rebuilds(), 1);
+    assert_eq!(inst.incremental_builds(), 1);
+    assert_same_result(&second, &first, "irrelevant churn");
+}
