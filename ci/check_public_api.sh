@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Deny-list guard for the typed relation API: no *new* `pub fn` may take a
+# raw `&str` relation name outside the audited set below. The audited set is
+# (a) the deprecated legacy shims kept for one release, (b) the validated
+# lookup/read entry points whose whole job is to turn a name into a checked
+# handle or iterator, and (c) the datalog engine's own ingestion layer.
+#
+# The scan is multiline-aware (rustfmt-wrapped signatures are folded before
+# matching) and keys on the `relation: &str` parameter-name convention every
+# relation-name-taking function in this workspace follows.
+#
+# If this check fails, either route the new function through
+# `RelationHandle` / `SchemaCatalog`, or — if it genuinely belongs in the
+# audited set — add it to ci/public_api_allowlist.txt with a reviewer's
+# blessing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+found=$(mktemp)
+python3 - <<'EOF' > "$found"
+import pathlib, re
+
+sig = re.compile(r"pub fn (\w+)\s*\(([^()]*)\)")
+hits = set()
+for root in ("crates", "src"):
+    for path in sorted(pathlib.Path(root).rglob("*.rs")):
+        if "vendor" in path.parts or "target" in path.parts:
+            continue
+        text = path.read_text()
+        # strip line comments, then fold whitespace so wrapped signatures
+        # match as a single line
+        text = re.sub(r"//[^\n]*", "", text)
+        text = re.sub(r"\s+", " ", text)
+        for name, params in sig.findall(text):
+            if re.search(r"relation: &\s*str", params):
+                hits.add(f"{path}: pub fn {name}")
+for hit in sorted(hits):
+    print(hit)
+EOF
+
+echo "--- pub fns taking a raw relation name ---"
+cat "$found"
+echo "-------------------------------------------"
+
+if ! diff -u ci/public_api_allowlist.txt "$found"; then
+  echo
+  echo "ERROR: the set of pub fns taking a raw '&str' relation name changed." >&2
+  echo "New stringly-typed entry points are not allowed outside the shim" >&2
+  echo "modules; see ci/check_public_api.sh for what to do." >&2
+  exit 1
+fi
+echo "public-api deny-list check passed"

@@ -59,18 +59,24 @@ fn acloud_instance(vms: usize, hosts: usize, incremental: bool) -> CologneInstan
         .with_delta_grounding(incremental);
     let mut inst = CologneInstance::new(NodeId(0), ACLOUD_CENTRALIZED, params).unwrap();
     for vid in 0..vms as i64 {
-        inst.insert_fact(
-            "vm",
-            vec![
+        inst.relation("vm")
+            .unwrap()
+            .insert(vec![
                 Value::Int(vid),
                 Value::Int(20 + (vid * 7) % 60),
                 Value::Int(1),
-            ],
-        );
+            ])
+            .unwrap();
     }
     for hid in 0..hosts as i64 {
-        inst.insert_fact("host", vec![Value::Int(hid), Value::Int(0), Value::Int(0)]);
-        inst.insert_fact("hostMemThres", vec![Value::Int(hid), Value::Int(100)]);
+        inst.relation("host")
+            .unwrap()
+            .insert(vec![Value::Int(hid), Value::Int(0), Value::Int(0)])
+            .unwrap();
+        inst.relation("hostMemThres")
+            .unwrap()
+            .insert(vec![Value::Int(hid), Value::Int(100)])
+            .unwrap();
     }
     inst
 }
@@ -107,9 +113,9 @@ fn bench_single_tuple_exact(c: &mut Criterion) {
         let mut present = false;
         b.iter(|| {
             if present {
-                inst.delete_fact("vm", delta());
+                inst.relation("vm").unwrap().delete(delta()).unwrap();
             } else {
-                inst.insert_fact("vm", delta());
+                inst.relation("vm").unwrap().insert(delta()).unwrap();
             }
             present = !present;
             black_box(inst.invoke_solver().unwrap().objective)
@@ -121,9 +127,9 @@ fn bench_single_tuple_exact(c: &mut Criterion) {
         let mut present = false;
         b.iter(|| {
             if present {
-                inst.delete_fact("vm", delta());
+                inst.relation("vm").unwrap().delete(delta()).unwrap();
             } else {
-                inst.insert_fact("vm", delta());
+                inst.relation("vm").unwrap().insert(delta()).unwrap();
             }
             present = !present;
             black_box(inst.invoke_solver().unwrap().objective)

@@ -17,18 +17,24 @@ fn acloud_instance(vms: usize, hosts: usize) -> CologneInstance {
         .with_solver_node_limit(Some(20_000));
     let mut inst = CologneInstance::new(NodeId(0), ACLOUD_CENTRALIZED, params).unwrap();
     for vid in 0..vms as i64 {
-        inst.insert_fact(
-            "vm",
-            vec![
+        inst.relation("vm")
+            .unwrap()
+            .insert(vec![
                 Value::Int(vid),
                 Value::Int(20 + (vid * 7) % 60),
                 Value::Int(1),
-            ],
-        );
+            ])
+            .unwrap();
     }
     for hid in 0..hosts as i64 {
-        inst.insert_fact("host", vec![Value::Int(hid), Value::Int(0), Value::Int(0)]);
-        inst.insert_fact("hostMemThres", vec![Value::Int(hid), Value::Int(100)]);
+        inst.relation("host")
+            .unwrap()
+            .insert(vec![Value::Int(hid), Value::Int(0), Value::Int(0)])
+            .unwrap();
+        inst.relation("hostMemThres")
+            .unwrap()
+            .insert(vec![Value::Int(hid), Value::Int(100)])
+            .unwrap();
     }
     inst
 }

@@ -44,6 +44,7 @@ pub mod lexer;
 pub mod localize;
 pub mod params;
 pub mod parser;
+pub mod schema;
 
 pub use analysis::{analyze, Analysis, AnalysisError, RuleClass, SolverTables};
 pub use ast::{
@@ -55,3 +56,4 @@ pub use lexer::{tokenize, LexError, Token};
 pub use localize::{localize_rule, localize_rules, LocalizeError};
 pub use params::{LnsParams, ProgramParams, SolverBranching, SolverMode, VarDomain};
 pub use parser::{parse_program, ParseError};
+pub use schema::{RelationSchema, SchemaCatalog};

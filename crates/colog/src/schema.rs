@@ -1,0 +1,301 @@
+//! Relation schemas derived from a compiled Colog program.
+//!
+//! The [`SchemaCatalog`] is the compiler-facing contract behind the typed
+//! relation API of the runtime: for every relation a program mentions —
+//! goal relation, `var`-declared solver tables, `forall` bindings, rule
+//! heads and rule bodies — it records the relation's arity, the kind of
+//! each column ([`ValueKind`]), the location-specifier position (the `@Loc`
+//! column of distributed relations) and which columns are solver
+//! attributes. The runtime uses it to hand out schema-checked relation
+//! handles, to validate tuples received from remote nodes, and to produce
+//! did-you-mean diagnostics for misspelled relation names.
+//!
+//! Derive the catalog from the *localized* program (the same rule set the
+//! runtime executes) so the shipping relations introduced by the
+//! localization rewrite are covered too.
+
+use std::collections::BTreeMap;
+
+use cologne_datalog::{did_you_mean, SchemaError, SchemaSet, Tuple, TupleSchema, ValueKind};
+
+use crate::analysis::Analysis;
+use crate::ast::{Arg, BodyElem, Predicate, Program};
+
+/// Everything the runtime knows about the shape of one relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationSchema {
+    /// Relation name.
+    pub name: String,
+    /// Number of columns.
+    pub arity: usize,
+    /// Kind of each column: [`ValueKind::Addr`] for the location specifier,
+    /// [`ValueKind::Sym`] for solver attributes, [`ValueKind::Any`]
+    /// elsewhere.
+    pub columns: Vec<ValueKind>,
+    /// Position of the `@Loc` location-specifier column, if the relation is
+    /// located (always 0 in Colog).
+    pub loc_position: Option<usize>,
+    /// Per-column flag: true for solver-attribute columns (the `var`-decl
+    /// columns and everything the analysis marked downstream of them).
+    pub solver_positions: Vec<bool>,
+    /// True when the relation is declared by a `var` statement (its rows are
+    /// created by the grounding stage, not by facts).
+    pub declared_by_var: bool,
+    /// False when the program uses the relation with conflicting arities;
+    /// validation is skipped for such relations.
+    pub strict: bool,
+}
+
+impl RelationSchema {
+    /// Check a tuple against the schema (no-op for non-strict schemas).
+    pub fn check(&self, tuple: &Tuple) -> Result<(), SchemaError> {
+        if !self.strict {
+            return Ok(());
+        }
+        TupleSchema {
+            relation: self.name.clone(),
+            columns: self.columns.clone(),
+        }
+        .check(tuple)
+    }
+}
+
+/// The schemas of every relation a program mentions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SchemaCatalog {
+    relations: BTreeMap<String, RelationSchema>,
+}
+
+impl SchemaCatalog {
+    /// Derive the catalog from a program and its analysis.
+    pub fn derive(program: &Program, analysis: &Analysis) -> SchemaCatalog {
+        let mut catalog = SchemaCatalog::default();
+        if let Some(goal) = &program.goal {
+            catalog.observe(&goal.relation);
+        }
+        for var in &program.vars {
+            catalog.observe(&var.table);
+            catalog.observe(&var.forall);
+        }
+        for rule in &program.rules {
+            catalog.observe(&rule.head);
+            for b in &rule.body {
+                if let BodyElem::Pred(p) = b {
+                    catalog.observe(p);
+                }
+            }
+        }
+        // Overlay the analysis' solver-attribute marks: they are a fixpoint
+        // over the whole program, so they are authoritative over whatever a
+        // single occurrence suggested.
+        for schema in catalog.relations.values_mut() {
+            let flags = analysis.solver_tables.positions(&schema.name);
+            for (i, &solver) in flags.iter().enumerate() {
+                if i >= schema.arity {
+                    break;
+                }
+                schema.solver_positions[i] = solver;
+                if solver {
+                    schema.columns[i] = ValueKind::Sym;
+                }
+            }
+            schema.declared_by_var = program.vars.iter().any(|v| v.table.name == schema.name);
+        }
+        catalog
+    }
+
+    /// Merge one predicate occurrence into the catalog.
+    fn observe(&mut self, pred: &Predicate) {
+        let arity = pred.args.len();
+        let entry = self
+            .relations
+            .entry(pred.name.clone())
+            .or_insert_with(|| RelationSchema {
+                name: pred.name.clone(),
+                arity,
+                columns: vec![ValueKind::Any; arity],
+                loc_position: None,
+                solver_positions: vec![false; arity],
+                declared_by_var: false,
+                strict: true,
+            });
+        if entry.arity != arity {
+            // Conflicting arities across occurrences: stop validating this
+            // relation rather than guessing which occurrence is right.
+            entry.strict = false;
+            return;
+        }
+        for (i, arg) in pred.args.iter().enumerate() {
+            if matches!(arg, Arg::Loc(_)) {
+                entry.loc_position = Some(i);
+                entry.columns[i] = ValueKind::Addr;
+            }
+        }
+    }
+
+    /// Schema of one relation.
+    pub fn get(&self, relation: &str) -> Option<&RelationSchema> {
+        self.relations.get(relation)
+    }
+
+    /// True when the program mentions the relation anywhere.
+    pub fn contains(&self, relation: &str) -> bool {
+        self.relations.contains_key(relation)
+    }
+
+    /// All relation names, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.relations.keys().map(String::as_str)
+    }
+
+    /// Number of relations in the catalog.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// True when the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// A known relation with a name similar to `relation`, for did-you-mean
+    /// diagnostics.
+    pub fn suggest(&self, relation: &str) -> Option<String> {
+        did_you_mean(relation, self.names())
+    }
+
+    /// The datalog-level schema set (strict relations only), ready for
+    /// [`cologne_datalog::Engine::set_schemas`].
+    pub fn schema_set(&self) -> SchemaSet {
+        let mut set = SchemaSet::new();
+        for schema in self.relations.values() {
+            if schema.strict {
+                set.insert(TupleSchema {
+                    relation: schema.name.clone(),
+                    columns: schema.columns.clone(),
+                });
+            }
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use crate::parser::parse_program;
+    use cologne_datalog::{NodeId, Value};
+
+    const ACLOUD: &str = r#"
+        goal minimize C in hostStdevCpu(C).
+        var assign(Vid,Hid,V) forall toAssign(Vid,Hid).
+        r1 toAssign(Vid,Hid) <- vm(Vid,Cpu,Mem), host(Hid,Cpu2,Mem2).
+        d1 hostCpu(Hid,SUM<C>) <- assign(Vid,Hid,V), vm(Vid,Cpu,Mem), C==V*Cpu.
+        d2 hostStdevCpu(STDEV<C>) <- host(Hid,Cpu,Mem), hostCpu(Hid,Cpu2), C==Cpu+Cpu2.
+        d3 assignCount(Vid,SUM<V>) <- assign(Vid,Hid,V).
+        c1 assignCount(Vid,V) -> V==1.
+        d4 hostMem(Hid,SUM<M>) <- assign(Vid,Hid,V), vm(Vid,Cpu,Mem), M==V*Mem.
+        c2 hostMem(Hid,Mem) -> hostMemThres(Hid,M), Mem<=M.
+    "#;
+
+    fn acloud_catalog() -> SchemaCatalog {
+        let program = parse_program(ACLOUD).unwrap();
+        let analysis = analyze(&program).unwrap();
+        SchemaCatalog::derive(&program, &analysis)
+    }
+
+    #[test]
+    fn catalog_covers_every_mentioned_relation() {
+        let catalog = acloud_catalog();
+        for rel in [
+            "hostStdevCpu",
+            "assign",
+            "toAssign",
+            "vm",
+            "host",
+            "hostCpu",
+            "assignCount",
+            "hostMem",
+            "hostMemThres",
+        ] {
+            assert!(catalog.contains(rel), "{rel} missing");
+        }
+        assert!(!catalog.is_empty());
+        assert_eq!(catalog.len(), 9);
+        assert!(!catalog.contains("vmCpu"));
+    }
+
+    #[test]
+    fn arity_and_solver_columns_derived() {
+        let catalog = acloud_catalog();
+        let vm = catalog.get("vm").unwrap();
+        assert_eq!(vm.arity, 3);
+        assert_eq!(vm.columns, vec![ValueKind::Any; 3]);
+        assert!(!vm.declared_by_var);
+        let assign = catalog.get("assign").unwrap();
+        assert_eq!(assign.arity, 3);
+        assert_eq!(assign.solver_positions, vec![false, false, true]);
+        assert_eq!(
+            assign.columns,
+            vec![ValueKind::Any, ValueKind::Any, ValueKind::Sym]
+        );
+        assert!(assign.declared_by_var);
+        let host_cpu = catalog.get("hostCpu").unwrap();
+        assert_eq!(host_cpu.columns, vec![ValueKind::Any, ValueKind::Sym]);
+    }
+
+    #[test]
+    fn location_specifier_column_is_addr() {
+        let src = r#"
+            r1 pong(@Y,X) <- ping(@X,Y).
+        "#;
+        let program = parse_program(src).unwrap();
+        let analysis = analyze(&program).unwrap();
+        let catalog = SchemaCatalog::derive(&program, &analysis);
+        let ping = catalog.get("ping").unwrap();
+        assert_eq!(ping.loc_position, Some(0));
+        assert_eq!(ping.columns, vec![ValueKind::Addr, ValueKind::Any]);
+        // tuples validate accordingly
+        ping.check(&vec![Value::Addr(NodeId(0)), Value::Int(1)])
+            .unwrap();
+        assert!(ping.check(&vec![Value::Int(0), Value::Int(1)]).is_err());
+        assert!(ping.check(&vec![Value::Addr(NodeId(0))]).is_err());
+    }
+
+    #[test]
+    fn conflicting_arity_turns_off_validation() {
+        let src = r#"
+            r1 out(X) <- a(X,Y).
+            r2 out(X,Y) <- a(X,Y).
+        "#;
+        let program = parse_program(src).unwrap();
+        let analysis = analyze(&program).unwrap();
+        let catalog = SchemaCatalog::derive(&program, &analysis);
+        let out = catalog.get("out").unwrap();
+        assert!(!out.strict);
+        out.check(&vec![Value::Int(1)]).unwrap();
+        out.check(&vec![Value::Int(1), Value::Int(2)]).unwrap();
+        // non-strict schemas are excluded from the engine-level set
+        assert!(!catalog.schema_set().contains("out"));
+        assert!(catalog.schema_set().contains("a"));
+    }
+
+    #[test]
+    fn suggestions_catch_typos() {
+        let catalog = acloud_catalog();
+        assert_eq!(catalog.suggest("hostCpi").as_deref(), Some("hostCpu"));
+        assert_eq!(catalog.suggest("asign").as_deref(), Some("assign"));
+        assert_eq!(catalog.suggest("somethingElse"), None);
+    }
+
+    #[test]
+    fn schema_set_round_trips_into_engine() {
+        let catalog = acloud_catalog();
+        let set = catalog.schema_set();
+        assert_eq!(set.len(), catalog.len());
+        set.check("vm", &vec![Value::Int(1), Value::Int(40), Value::Int(2)])
+            .unwrap();
+        assert!(set.check("vm", &vec![Value::Int(1)]).is_err());
+    }
+}

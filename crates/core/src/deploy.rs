@@ -1,0 +1,533 @@
+//! The unified deployment surface: [`SolverSettings`], [`DeploymentBuilder`]
+//! and [`Deployment`].
+//!
+//! Historically, standing up a Cologne system meant three different dances:
+//! `CologneInstance::new` for a single node,
+//! `DistributedCologne::homogeneous` or `from_instances` for a simulated
+//! network, and a `params_mut`-then-invalidate / `search_config_mut`
+//! backdoor pair for solver tuning split across two structures. The
+//! [`DeploymentBuilder`] subsumes all of them: one builder takes the program
+//! source, the base [`ProgramParams`], a [`Topology`] (defaulting to
+//! [`Topology::single`]), optional per-node parameter overrides and one
+//! validated [`SolverSettings`] view — and produces a [`Deployment`] that
+//! owns the single-node and distributed cases behind the same
+//! `tick`/`invoke`/`handle` API.
+//!
+//! A `Deployment` dereferences to its inner [`DistributedCologne`], so the
+//! full simulation surface (timers, traffic accounting, `run_until`) remains
+//! available without duplication.
+
+use std::collections::BTreeMap;
+use std::ops::{Deref, DerefMut};
+use std::time::Duration;
+
+use cologne_colog::{ProgramParams, SolverBranching, SolverMode};
+use cologne_datalog::{NodeId, Tuple};
+use cologne_net::{SimTime, Topology};
+use cologne_solver::{SolveObserver, ValueChoice};
+
+use crate::distributed::DistributedCologne;
+use crate::error::CologneError;
+use crate::handle::RelationHandle;
+use crate::instance::{CologneInstance, SolveReport};
+
+/// The merged, validated solver-configuration view.
+///
+/// [`ProgramParams`] carries the compiler-facing solver knobs (limits,
+/// branching, mode, re-optimization toggles) while the search *shape*
+/// (value choice, split threshold) historically hid behind the
+/// `search_config_mut` backdoor. This view holds both halves; apply it with
+/// [`DeploymentBuilder::solver`] or
+/// [`CologneInstance::apply_solver_settings`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverSettings {
+    /// Wall-clock budget per COP execution (the paper's `SOLVER_MAX_TIME`).
+    pub max_time: Option<Duration>,
+    /// Node budget per COP execution (the deterministic alternative).
+    pub node_limit: Option<u64>,
+    /// Variable-selection heuristic.
+    pub branching: SolverBranching,
+    /// Value-selection heuristic.
+    pub value_choice: ValueChoice,
+    /// Domain size above which value enumeration switches to bisection
+    /// (`None` = never bisect implicitly).
+    pub split_threshold: Option<u64>,
+    /// Exact branch-and-bound or LNS.
+    pub mode: SolverMode,
+    /// Carry the previous best assignment into the next solve.
+    pub warm_start: bool,
+    /// Consult the engine's delta summary when grounding.
+    pub delta_grounding: bool,
+}
+
+impl Default for SolverSettings {
+    fn default() -> Self {
+        let params = ProgramParams::default();
+        let search = cologne_solver::SearchConfig::default();
+        SolverSettings {
+            max_time: params.solver_max_time,
+            node_limit: params.solver_node_limit,
+            branching: params.solver_branching,
+            value_choice: search.value_choice,
+            split_threshold: search.split_threshold,
+            mode: params.solver_mode,
+            warm_start: params.warm_start,
+            delta_grounding: params.delta_grounding,
+        }
+    }
+}
+
+impl SolverSettings {
+    /// The settings currently in effect on an instance (params + search
+    /// config merged back into one view).
+    pub(crate) fn of_instance(
+        params: &ProgramParams,
+        search: &cologne_solver::SearchConfig,
+    ) -> SolverSettings {
+        SolverSettings {
+            max_time: params.solver_max_time,
+            node_limit: params.solver_node_limit,
+            branching: params.solver_branching,
+            value_choice: search.value_choice,
+            split_threshold: search.split_threshold,
+            mode: params.solver_mode.clone(),
+            warm_start: params.warm_start,
+            delta_grounding: params.delta_grounding,
+        }
+    }
+
+    /// Check the settings for values that would misbehave at solve time.
+    pub fn validate(&self) -> Result<(), CologneError> {
+        if let Some(t) = self.split_threshold {
+            if t < 2 {
+                return Err(CologneError::InvalidConfig(format!(
+                    "split_threshold must be at least 2, got {t}"
+                )));
+            }
+        }
+        if let SolverMode::Lns(lns) = &self.mode {
+            if !(lns.destroy_fraction.is_finite()
+                && lns.destroy_fraction > 0.0
+                && lns.destroy_fraction <= 1.0)
+            {
+                return Err(CologneError::InvalidConfig(format!(
+                    "LNS destroy_fraction must be in (0, 1], got {}",
+                    lns.destroy_fraction
+                )));
+            }
+            if !(lns.repair_growth.is_finite() && lns.repair_growth >= 1.0) {
+                return Err(CologneError::InvalidConfig(format!(
+                    "LNS repair_growth must be >= 1, got {}",
+                    lns.repair_growth
+                )));
+            }
+            if lns.dive_node_limit == 0 {
+                return Err(CologneError::InvalidConfig(
+                    "LNS dive_node_limit must be positive".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Write the params-backed half of the view into `params`.
+    pub(crate) fn apply_to_params(&self, params: &mut ProgramParams) {
+        params.solver_max_time = self.max_time;
+        params.solver_node_limit = self.node_limit;
+        params.solver_branching = self.branching;
+        params.solver_mode = self.mode.clone();
+        params.warm_start = self.warm_start;
+        params.delta_grounding = self.delta_grounding;
+    }
+}
+
+/// Builder for a [`Deployment`] — the one way to stand up Cologne, single
+/// node or distributed.
+#[derive(Debug, Clone)]
+pub struct DeploymentBuilder {
+    source: String,
+    params: ProgramParams,
+    topology: Option<Topology>,
+    node_params: BTreeMap<NodeId, ProgramParams>,
+    solver: Option<SolverSettings>,
+}
+
+impl DeploymentBuilder {
+    /// Start a builder for the given Colog program source.
+    pub fn new(source: &str) -> Self {
+        DeploymentBuilder {
+            source: source.to_string(),
+            params: ProgramParams::new(),
+            topology: None,
+            node_params: BTreeMap::new(),
+            solver: None,
+        }
+    }
+
+    /// Base program parameters for every node (defaults to
+    /// [`ProgramParams::new`]).
+    pub fn params(mut self, params: ProgramParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// The network topology; one instance is created per topology node.
+    /// Defaults to [`Topology::single`] (a centralized deployment).
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Replace the parameters of one node (the base parameters apply to
+    /// every node without an override; [`DeploymentBuilder::solver`]
+    /// settings apply on top of either).
+    pub fn node_params(mut self, node: NodeId, params: ProgramParams) -> Self {
+        self.node_params.insert(node, params);
+        self
+    }
+
+    /// The merged solver-configuration view, validated at build time and
+    /// applied to every node.
+    pub fn solver(mut self, settings: SolverSettings) -> Self {
+        self.solver = Some(settings);
+        self
+    }
+
+    /// Compile the program on every topology node and wire the instances to
+    /// the simulated network. Fails eagerly on an invalid configuration or a
+    /// program that does not compile.
+    pub fn build(self) -> Result<Deployment, CologneError> {
+        let topology = self.topology.unwrap_or_else(Topology::single);
+        if topology.num_nodes() == 0 {
+            return Err(CologneError::InvalidConfig(
+                "topology has no nodes; a deployment needs at least one".into(),
+            ));
+        }
+        if let Some(settings) = &self.solver {
+            settings.validate()?;
+        }
+        for node in self.node_params.keys() {
+            if !topology.nodes().contains(&node.0) {
+                return Err(CologneError::InvalidConfig(format!(
+                    "node_params given for {node}, which is not in the topology"
+                )));
+            }
+        }
+        let mut instances = Vec::with_capacity(topology.num_nodes());
+        for n in topology.nodes() {
+            let node = NodeId(n);
+            let mut params = self
+                .node_params
+                .get(&node)
+                .cloned()
+                .unwrap_or_else(|| self.params.clone());
+            if let Some(settings) = &self.solver {
+                settings.apply_to_params(&mut params);
+            }
+            let mut inst = CologneInstance::new(node, &self.source, params)?;
+            if let Some(settings) = &self.solver {
+                inst.set_search_shape(settings.value_choice, settings.split_threshold);
+            }
+            instances.push(inst);
+        }
+        Ok(Deployment {
+            inner: DistributedCologne::assemble(topology, instances),
+        })
+    }
+}
+
+/// A built Cologne system: one instance per topology node over the simulated
+/// network, with the single-node case being a one-node topology. Dereferences
+/// to [`DistributedCologne`] for the full simulation surface.
+pub struct Deployment {
+    inner: DistributedCologne,
+}
+
+impl std::fmt::Debug for Deployment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Deployment")
+            .field("nodes", &self.inner.nodes())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Deref for Deployment {
+    type Target = DistributedCologne;
+    fn deref(&self) -> &DistributedCologne {
+        &self.inner
+    }
+}
+
+impl DerefMut for Deployment {
+    fn deref_mut(&mut self) -> &mut DistributedCologne {
+        &mut self.inner
+    }
+}
+
+impl Deployment {
+    /// Start a [`DeploymentBuilder`] for a program.
+    pub fn builder(source: &str) -> DeploymentBuilder {
+        DeploymentBuilder::new(source)
+    }
+
+    /// The sole node of a single-node deployment, or `None` when the
+    /// deployment is distributed.
+    pub fn single_node(&self) -> Option<NodeId> {
+        let nodes = self.inner.nodes();
+        match nodes.as_slice() {
+            [only] => Some(*only),
+            _ => None,
+        }
+    }
+
+    /// The instance on `node`, or an error naming the missing node.
+    fn instance_checked(&mut self, node: NodeId) -> Result<&mut CologneInstance, CologneError> {
+        self.inner.instance_mut(node).ok_or_else(|| {
+            CologneError::InvalidConfig(format!("deployment has no instance on {node}"))
+        })
+    }
+
+    /// Schema-checked handle on one relation of one node.
+    pub fn handle(
+        &mut self,
+        node: NodeId,
+        relation: &str,
+    ) -> Result<RelationHandle<'_>, CologneError> {
+        self.instance_checked(node)?.relation(relation)
+    }
+
+    /// Schema-checked handle on one relation of a *single-node* deployment
+    /// (errors on distributed deployments — name the node with
+    /// [`Deployment::handle`] there).
+    pub fn relation(&mut self, relation: &str) -> Result<RelationHandle<'_>, CologneError> {
+        let node = self.single_node().ok_or_else(|| {
+            CologneError::InvalidConfig(
+                "relation() works on single-node deployments; use handle(node, name)".into(),
+            )
+        })?;
+        self.handle(node, relation)
+    }
+
+    /// Run one node's regular rules to a fixpoint and ship any produced
+    /// remote tuples into the network — the follow-up to a batch of handle
+    /// writes.
+    pub fn sync(&mut self, node: NodeId) {
+        if let Some(inst) = self.inner.instance_mut(node) {
+            let outgoing = inst.run_rules();
+            self.inner.ship(node, outgoing);
+        }
+    }
+
+    /// Invoke every node's solver in ascending node order and ship the
+    /// outputs (see [`DistributedCologne::invoke_solvers`]).
+    pub fn invoke(&mut self) -> Result<BTreeMap<NodeId, SolveReport>, CologneError> {
+        self.inner.invoke_solvers()
+    }
+
+    /// [`Deployment::invoke`] with the per-node solves running concurrently
+    /// (see [`DistributedCologne::invoke_solvers_parallel`]).
+    pub fn invoke_parallel(&mut self) -> Result<BTreeMap<NodeId, SolveReport>, CologneError> {
+        self.inner.invoke_solvers_parallel()
+    }
+
+    /// [`Deployment::invoke`] with a streaming [`SolveObserver`] threaded
+    /// through every node's search, sequentially in ascending node order (so
+    /// the event stream is deterministic under deterministic limits).
+    pub fn invoke_with_observer(
+        &mut self,
+        observer: &mut dyn SolveObserver,
+    ) -> Result<BTreeMap<NodeId, SolveReport>, CologneError> {
+        self.inner.invoke_solvers_observed(observer)
+    }
+
+    /// Invoke the solver of one node without shipping its outputs (the
+    /// per-node equivalent of [`CologneInstance::invoke_solver`]; the
+    /// returned report keeps its `outgoing` tuples for the caller to route).
+    pub fn invoke_at(&mut self, node: NodeId) -> Result<SolveReport, CologneError> {
+        self.instance_checked(node)?.invoke_solver()
+    }
+
+    /// [`Deployment::invoke_at`] with a streaming [`SolveObserver`].
+    pub fn invoke_at_with_observer(
+        &mut self,
+        node: NodeId,
+        observer: &mut dyn SolveObserver,
+    ) -> Result<SolveReport, CologneError> {
+        self.instance_checked(node)?
+            .invoke_solver_with_observer(observer)
+    }
+
+    /// Advance the simulated network until `limit`, delivering messages
+    /// (alias of [`DistributedCologne::run_messages_until`]).
+    pub fn tick(&mut self, limit: SimTime) -> u64 {
+        self.inner.run_messages_until(limit)
+    }
+
+    /// Convenience: insert one validated fact at a node and immediately
+    /// [`Deployment::sync`] it (run rules, ship remote tuples) — the typed
+    /// equivalent of the deprecated `DistributedCologne::insert_fact`.
+    pub fn insert(
+        &mut self,
+        node: NodeId,
+        relation: &str,
+        tuple: Tuple,
+    ) -> Result<(), CologneError> {
+        self.handle(node, relation)?.insert(tuple)?;
+        self.sync(node);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cologne_colog::{LnsParams, VarDomain};
+    use cologne_datalog::Value;
+    use cologne_net::LinkProps;
+
+    const ACLOUD: &str = r#"
+        goal minimize C in hostStdevCpu(C).
+        var assign(Vid,Hid,V) forall toAssign(Vid,Hid).
+        r1 toAssign(Vid,Hid) <- vm(Vid,Cpu,Mem), host(Hid,Cpu2,Mem2).
+        d1 hostCpu(Hid,SUM<C>) <- assign(Vid,Hid,V), vm(Vid,Cpu,Mem), C==V*Cpu.
+        d2 hostStdevCpu(STDEV<C>) <- host(Hid,Cpu,Mem), hostCpu(Hid,Cpu2), C==Cpu+Cpu2.
+        d3 assignCount(Vid,SUM<V>) <- assign(Vid,Hid,V).
+        c1 assignCount(Vid,V) -> V==1.
+    "#;
+
+    const PING: &str = r#"
+        r1 pong(@Y,X) <- ping(@X,Y).
+    "#;
+
+    #[test]
+    fn single_node_deployment_solves() {
+        let mut d = DeploymentBuilder::new(ACLOUD)
+            .params(ProgramParams::new().with_var_domain("assign", VarDomain::BOOL))
+            .build()
+            .unwrap();
+        let node = d.single_node().expect("one node");
+        for (vid, cpu) in [(1, 40), (2, 20)] {
+            d.relation("vm")
+                .unwrap()
+                .insert(vec![Value::Int(vid), Value::Int(cpu), Value::Int(1)])
+                .unwrap();
+        }
+        for hid in [10, 11] {
+            d.relation("host")
+                .unwrap()
+                .insert(vec![Value::Int(hid), Value::Int(0), Value::Int(0)])
+                .unwrap();
+        }
+        let report = d.invoke_at(node).unwrap();
+        assert!(report.feasible);
+        assert_eq!(report.table("assign").len(), 4);
+        // handle() with the explicit node reaches the same relation
+        assert_eq!(d.handle(node, "vm").unwrap().len(), 2);
+        assert!(d.relation("bogus").is_err());
+    }
+
+    #[test]
+    fn distributed_deployment_ships_messages() {
+        let mut d = DeploymentBuilder::new(PING)
+            .topology(Topology::line(2, LinkProps::default()))
+            .build()
+            .unwrap();
+        assert_eq!(d.num_instances(), 2);
+        assert!(d.single_node().is_none());
+        assert!(d.relation("ping").is_err(), "multi-node needs handle()");
+        d.insert(
+            NodeId(0),
+            "ping",
+            vec![Value::Addr(NodeId(0)), Value::Addr(NodeId(1))],
+        )
+        .unwrap();
+        let handled = d.tick(SimTime::from_secs(5));
+        assert_eq!(handled, 1);
+        assert!(d.instance(NodeId(1)).unwrap().contains(
+            "pong",
+            &vec![Value::Addr(NodeId(1)), Value::Addr(NodeId(0))]
+        ));
+    }
+
+    #[test]
+    fn builder_validates_settings_and_topology() {
+        let err = DeploymentBuilder::new(ACLOUD)
+            .solver(SolverSettings {
+                split_threshold: Some(1),
+                ..Default::default()
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CologneError::InvalidConfig(_)));
+
+        let err = DeploymentBuilder::new(ACLOUD)
+            .solver(SolverSettings {
+                mode: SolverMode::Lns(LnsParams {
+                    destroy_fraction: 1.5,
+                    ..Default::default()
+                }),
+                ..Default::default()
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CologneError::InvalidConfig(_)));
+
+        let err = DeploymentBuilder::new(ACLOUD)
+            .topology(Topology::new())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CologneError::InvalidConfig(_)));
+
+        let err = DeploymentBuilder::new(ACLOUD)
+            .node_params(NodeId(7), ProgramParams::new())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CologneError::InvalidConfig(_)));
+
+        // a broken program fails at build
+        assert!(DeploymentBuilder::new("goal bogus").build().is_err());
+    }
+
+    #[test]
+    fn solver_settings_apply_to_every_node() {
+        let settings = SolverSettings {
+            node_limit: Some(1234),
+            max_time: None,
+            branching: SolverBranching::FirstFail,
+            value_choice: ValueChoice::Max,
+            split_threshold: None,
+            ..Default::default()
+        };
+        let d = DeploymentBuilder::new(ACLOUD)
+            .topology(Topology::line(2, LinkProps::default()))
+            .solver(settings.clone())
+            .build()
+            .unwrap();
+        for node in d.nodes() {
+            let inst = d.instance(node).unwrap();
+            assert_eq!(inst.params().solver_node_limit, Some(1234));
+            assert_eq!(inst.params().solver_max_time, None);
+            assert_eq!(inst.solver_settings(), settings);
+        }
+    }
+
+    #[test]
+    fn per_node_params_override_base() {
+        let base = ProgramParams::new().with_var_domain("assign", VarDomain::BOOL);
+        let special = base.clone().with_constant("tag", 7);
+        let d = DeploymentBuilder::new(ACLOUD)
+            .topology(Topology::line(2, LinkProps::default()))
+            .params(base)
+            .node_params(NodeId(1), special)
+            .build()
+            .unwrap();
+        assert_eq!(
+            d.instance(NodeId(0)).unwrap().params().constant("tag"),
+            None
+        );
+        assert_eq!(
+            d.instance(NodeId(1)).unwrap().params().constant("tag"),
+            Some(7)
+        );
+    }
+}

@@ -31,36 +31,43 @@ pub struct TimerOutcome {
 pub struct DistributedCologne {
     instances: BTreeMap<NodeId, CologneInstance>,
     sim: Simulator<RemoteTuple>,
+    rejected_remote_tuples: u64,
 }
 
 impl DistributedCologne {
+    /// Wire explicitly constructed instances to a simulator (the shared tail
+    /// of the [`crate::DeploymentBuilder`] and the legacy constructors).
+    pub(crate) fn assemble(topology: Topology, instances: Vec<CologneInstance>) -> Self {
+        let map = instances.into_iter().map(|i| (i.node(), i)).collect();
+        DistributedCologne {
+            instances: map,
+            sim: Simulator::new(topology),
+            rejected_remote_tuples: 0,
+        }
+    }
+
     /// Create one instance per topology node, all running the same Colog
     /// program with the same parameters.
+    #[deprecated(note = "use `DeploymentBuilder::new(source).topology(t).build()` instead")]
     pub fn homogeneous(
         topology: Topology,
         source: &str,
         params: &ProgramParams,
     ) -> Result<Self, CologneError> {
-        let mut instances = BTreeMap::new();
+        let mut instances = Vec::new();
         for n in topology.nodes() {
             let node = NodeId(n);
-            instances.insert(node, CologneInstance::new(node, source, params.clone())?);
+            instances.push(CologneInstance::new(node, source, params.clone())?);
         }
-        Ok(DistributedCologne {
-            instances,
-            sim: Simulator::new(topology),
-        })
+        Ok(DistributedCologne::assemble(topology, instances))
     }
 
     /// Create a deployment from explicitly constructed instances (e.g. with
     /// per-node parameters). Topology nodes without an instance are allowed;
     /// messages addressed to them are dropped.
+    #[deprecated(note = "use `DeploymentBuilder` with `node_params` overrides instead")]
     pub fn from_instances(topology: Topology, instances: Vec<CologneInstance>) -> Self {
-        let map = instances.into_iter().map(|i| (i.node(), i)).collect();
-        DistributedCologne {
-            instances: map,
-            sim: Simulator::new(topology),
-        }
+        DistributedCologne::assemble(topology, instances)
     }
 
     /// Number of nodes with an instance.
@@ -105,12 +112,21 @@ impl DistributedCologne {
 
     /// Insert a fact at a node and run its rules, shipping any produced
     /// remote tuples into the network.
+    #[deprecated(note = "use `Deployment::insert` (schema-checked) instead")]
     pub fn insert_fact(&mut self, node: NodeId, relation: &str, tuple: Tuple) {
         if let Some(inst) = self.instances.get_mut(&node) {
+            #[allow(deprecated)]
             inst.insert_fact(relation, tuple);
             let outgoing = inst.run_rules();
             self.ship(node, outgoing);
         }
+    }
+
+    /// Number of received remote tuples rejected by schema validation (an
+    /// unknown relation or a malformed tuple shipped by a peer). Rejected
+    /// tuples are dropped instead of corrupting instance state.
+    pub fn rejected_remote_tuples(&self) -> u64 {
+        self.rejected_remote_tuples
     }
 
     /// Schedule a timer at a node.
@@ -141,6 +157,24 @@ impl DistributedCologne {
         let mut results = Vec::with_capacity(self.instances.len());
         for (node, inst) in self.instances.iter_mut() {
             results.push((*node, inst.invoke_solver()));
+        }
+        self.finish_invocations(results)
+    }
+
+    /// [`DistributedCologne::invoke_solvers`] with a streaming
+    /// [`cologne_solver::SolveObserver`] threaded through every node's
+    /// search. Nodes run sequentially in ascending node order, so under
+    /// deterministic limits the merged event stream is deterministic too.
+    /// An observer cancellation stops the node being solved (its instance
+    /// forgets its incremental caches) and still cancels every later node's
+    /// search as soon as it starts, since the observer keeps breaking.
+    pub fn invoke_solvers_observed(
+        &mut self,
+        observer: &mut dyn cologne_solver::SolveObserver,
+    ) -> Result<BTreeMap<NodeId, SolveReport>, CologneError> {
+        let mut results = Vec::with_capacity(self.instances.len());
+        for (node, inst) in self.instances.iter_mut() {
+            results.push((*node, inst.invoke_solver_with_observer(observer)));
         }
         self.finish_invocations(results)
     }
@@ -221,9 +255,15 @@ impl DistributedCologne {
                 Event::Message { dest, payload, .. } => {
                     let node = NodeId(dest);
                     if let Some(inst) = self.instances.get_mut(&node) {
-                        inst.receive(&payload);
-                        let outgoing = inst.run_rules();
-                        self.ship(node, outgoing);
+                        // Malformed remote tuples are rejected (counted),
+                        // not applied: a misbehaving peer cannot corrupt
+                        // this node's tables.
+                        if inst.try_receive(&payload).is_err() {
+                            self.rejected_remote_tuples += 1;
+                        } else {
+                            let outgoing = inst.run_rules();
+                            self.ship(node, outgoing);
+                        }
                     }
                 }
                 Event::Timer { node, tag } => {
@@ -255,6 +295,7 @@ impl DistributedCologne {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::deploy::{Deployment, DeploymentBuilder};
     use cologne_datalog::Value;
 
     /// A two-rule ping/pong program: every `ping` received at a node derives a
@@ -263,9 +304,11 @@ mod tests {
         r1 pong(@Y,X) <- ping(@X,Y).
     "#;
 
-    fn two_node_driver() -> DistributedCologne {
-        let topo = Topology::line(2, LinkProps::default());
-        DistributedCologne::homogeneous(topo, PING, &ProgramParams::new()).unwrap()
+    fn two_node_driver() -> Deployment {
+        DeploymentBuilder::new(PING)
+            .topology(Topology::line(2, LinkProps::default()))
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -273,11 +316,12 @@ mod tests {
         let mut d = two_node_driver();
         assert_eq!(d.num_instances(), 2);
         // node 0 learns ping(@0, 1): rule head pong(@1, 0) must be shipped to node 1
-        d.insert_fact(
+        d.insert(
             NodeId(0),
             "ping",
             vec![Value::Addr(NodeId(0)), Value::Addr(NodeId(1))],
-        );
+        )
+        .unwrap();
         let handled = d.run_messages_until(SimTime::from_secs(5));
         assert_eq!(handled, 1);
         let inst1 = d.instance(NodeId(1)).unwrap();
@@ -289,6 +333,25 @@ mod tests {
         assert!(d.traffic(NodeId(0)).bytes_sent > 0);
         assert!(d.traffic(NodeId(1)).bytes_received > 0);
         assert!(d.per_node_overhead_kbps() > 0.0);
+        assert_eq!(d.rejected_remote_tuples(), 0);
+    }
+
+    #[test]
+    fn malformed_remote_tuples_are_rejected_on_delivery() {
+        let mut d = two_node_driver();
+        // a peer ships a tuple with the wrong arity for `ping`
+        d.ship(
+            NodeId(0),
+            vec![RemoteTuple {
+                dest: NodeId(1),
+                relation: "ping".into(),
+                tuple: vec![Value::Addr(NodeId(1))],
+                insert: true,
+            }],
+        );
+        d.run_messages_until(SimTime::from_secs(5));
+        assert_eq!(d.rejected_remote_tuples(), 1);
+        assert_eq!(d.instance(NodeId(1)).unwrap().scan("ping").count(), 0);
     }
 
     #[test]
@@ -333,7 +396,9 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn from_instances_and_accessors() {
+        // The deprecated constructors stay functional for one release.
         let topo = Topology::line(3, LinkProps::default());
         let instances = vec![
             CologneInstance::new(NodeId(0), PING, ProgramParams::new()).unwrap(),

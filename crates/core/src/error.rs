@@ -24,6 +24,26 @@ pub enum CologneError {
     GoalRelationEmpty(String),
     /// A program without a goal was asked to run constraint optimization.
     NoGoal,
+    /// A relation name that the compiled program never mentions — almost
+    /// always a typo. Carries a did-you-mean suggestion when a known
+    /// relation has a similar name.
+    UnknownRelation {
+        /// The unrecognized relation name.
+        relation: String,
+        /// A known relation with a similar name, if any.
+        suggestion: Option<String>,
+    },
+    /// A tuple does not match the relation's schema (wrong arity, or a value
+    /// of the wrong kind in a typed column).
+    SchemaMismatch {
+        /// The relation being written.
+        relation: String,
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// A configuration value failed validation (e.g. an out-of-range LNS
+    /// destroy fraction in [`crate::SolverSettings`]).
+    InvalidConfig(String),
 }
 
 impl std::fmt::Display for CologneError {
@@ -48,6 +68,22 @@ impl std::fmt::Display for CologneError {
                 write!(f, "goal relation {rel} is empty after grounding")
             }
             CologneError::NoGoal => write!(f, "program has no goal declaration"),
+            CologneError::UnknownRelation {
+                relation,
+                suggestion,
+            } => {
+                write!(f, "unknown relation '{relation}'")?;
+                if let Some(s) = suggestion {
+                    write!(f, "; did you mean '{s}'?")?;
+                }
+                Ok(())
+            }
+            CologneError::SchemaMismatch { relation, detail } => {
+                write!(f, "schema mismatch on relation '{relation}': {detail}")
+            }
+            CologneError::InvalidConfig(detail) => {
+                write!(f, "invalid configuration: {detail}")
+            }
         }
     }
 }
@@ -69,6 +105,27 @@ impl From<AnalysisError> for CologneError {
 impl From<LocalizeError> for CologneError {
     fn from(e: LocalizeError) -> Self {
         CologneError::Localize(e)
+    }
+}
+
+impl From<cologne_datalog::IngestError> for CologneError {
+    fn from(e: cologne_datalog::IngestError) -> Self {
+        match e {
+            cologne_datalog::IngestError::UnknownRelation {
+                relation,
+                suggestion,
+            } => CologneError::UnknownRelation {
+                relation,
+                suggestion,
+            },
+            cologne_datalog::IngestError::Schema(s) => CologneError::SchemaMismatch {
+                relation: match &s {
+                    cologne_datalog::SchemaError::Arity { relation, .. } => relation.clone(),
+                    cologne_datalog::SchemaError::Kind { relation, .. } => relation.clone(),
+                },
+                detail: s.to_string(),
+            },
+        }
     }
 }
 

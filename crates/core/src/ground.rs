@@ -122,11 +122,37 @@ impl GroundedCop {
     /// [`crate::SolvePipeline::solve`] drives this with the space held by
     /// its [`GroundingScratch`].
     pub fn solve_in(&self, config: &SearchConfig, space: &mut SearchSpace) -> SearchOutcome {
-        match self.objective {
-            Some((GoalKind::Minimize, obj)) => self.model.minimize_in(obj, config, space),
-            Some((GoalKind::Maximize, obj)) => self.model.maximize_in(obj, config, space),
-            Some((GoalKind::Satisfy, _)) | None => self.model.satisfy_in(config, space),
-        }
+        self.solve_in_observed(config, space, None)
+    }
+
+    /// [`GroundedCop::solve_in`] with a streaming
+    /// [`cologne_solver::SolveObserver`] receiving incumbents, restarts, LNS
+    /// iterations, budget exhaustion and periodic progress while the search
+    /// runs.
+    pub fn solve_in_observed(
+        &self,
+        config: &SearchConfig,
+        space: &mut SearchSpace,
+        observer: Option<&mut dyn cologne_solver::SolveObserver>,
+    ) -> SearchOutcome {
+        let (objective, config) = match self.objective {
+            Some((GoalKind::Minimize, obj)) => {
+                (cologne_solver::Objective::Minimize(obj), config.clone())
+            }
+            Some((GoalKind::Maximize, obj)) => {
+                (cologne_solver::Objective::Maximize(obj), config.clone())
+            }
+            // `satisfy` keeps the `Model::satisfy_in` semantics: find one
+            // solution unless the caller asked for more.
+            Some((GoalKind::Satisfy, _)) | None => (
+                cologne_solver::Objective::Satisfy,
+                SearchConfig {
+                    max_solutions: Some(config.max_solutions.unwrap_or(1)),
+                    ..config.clone()
+                },
+            ),
+        };
+        cologne_solver::solve_in_observed(&self.model, objective, &config, space, observer)
     }
 }
 

@@ -14,13 +14,16 @@ use std::collections::BTreeMap;
 
 use cologne_colog::{
     analyze, localize_rules, parse_program, Analysis, Program, ProgramParams, RuleClass,
+    SchemaCatalog,
 };
 use cologne_datalog::{Engine, NodeId, RemoteTuple, Tuple};
-use cologne_solver::SearchStats;
+use cologne_solver::{SearchStats, SolveObserver};
 
+use crate::deploy::SolverSettings;
 use crate::error::CologneError;
 use crate::ground::GroundedCop;
-use crate::pipeline::SolvePipeline;
+use crate::handle::RelationHandle;
+use crate::pipeline::{PipelineStats, SolvePipeline};
 use crate::translate::rule_to_datalog;
 
 /// Result of one `invokeSolver` execution.
@@ -69,8 +72,9 @@ pub struct CologneInstance {
     node: NodeId,
     program: Program,
     analysis: Analysis,
+    catalog: SchemaCatalog,
     params: ProgramParams,
-    engine: Engine,
+    pub(crate) engine: Engine,
     pipeline: SolvePipeline,
     cumulative_stats: SearchStats,
     last_stats: Option<SearchStats>,
@@ -98,7 +102,9 @@ impl CologneInstance {
             rules: localized_rules,
         };
         let analysis = analyze(&program)?;
+        let catalog = SchemaCatalog::derive(&program, &analysis);
         let mut engine = Engine::new(node);
+        engine.set_schemas(catalog.schema_set());
         for (idx, rule) in program.rules.iter().enumerate() {
             if analysis.class_of(idx) == RuleClass::Regular {
                 engine.add_rule(rule_to_datalog(rule, &params)?);
@@ -109,6 +115,7 @@ impl CologneInstance {
             node,
             program,
             analysis,
+            catalog,
             params,
             engine,
             pipeline,
@@ -149,32 +156,30 @@ impl CologneInstance {
         &mut self.params
     }
 
-    /// Number of grounding-plan builds over the instance's lifetime: 1 after
-    /// construction, +1 for every rebuild forced by a parameter change. A
-    /// constant value across repeated [`CologneInstance::invoke_solver`]
-    /// calls demonstrates plan reuse.
+    /// Snapshot of the grounding-pipeline counters (plan builds, full
+    /// rebuilds, incremental builds) — the one observability surface for
+    /// plan caching and incremental re-optimization, shared with
+    /// [`SolvePipeline::stats`].
+    pub fn pipeline_stats(&self) -> PipelineStats {
+        self.pipeline.stats()
+    }
+
+    /// Number of grounding-plan builds over the instance's lifetime.
+    #[deprecated(note = "use `pipeline_stats().plan_builds` instead")]
     pub fn plan_builds(&self) -> u64 {
-        self.pipeline.plan_builds()
+        self.pipeline.stats().plan_builds
     }
 
-    /// Number of groundings forced to run from scratch, without delta
-    /// information: the first invocation, every invocation right after a
-    /// [`CologneInstance::params_mut`] change, and recovery after a
-    /// grounding error. The counterpart of
-    /// [`CologneInstance::incremental_builds`].
+    /// Number of groundings forced to run from scratch.
+    #[deprecated(note = "use `pipeline_stats().full_rebuilds` instead")]
     pub fn full_rebuilds(&self) -> u64 {
-        self.pipeline.full_rebuilds()
+        self.pipeline.stats().full_rebuilds
     }
 
-    /// Number of delta-aware groundings: invocations that compared the
-    /// engine's delta summary against the previous grounding and reused
-    /// whatever it proved unchanged — up to the entire previous COP when no
-    /// relevant relation was dirty. Steadily increasing across repeated
-    /// [`CologneInstance::invoke_solver`] calls demonstrates the
-    /// incremental re-optimization path is active (requires
-    /// [`ProgramParams::delta_grounding`], the default).
+    /// Number of delta-aware groundings.
+    #[deprecated(note = "use `pipeline_stats().incremental_builds` instead")]
     pub fn incremental_builds(&self) -> u64 {
-        self.pipeline.incremental_builds()
+        self.pipeline.stats().incremental_builds
     }
 
     /// The engine's accumulated delta summary since the last grounding
@@ -211,6 +216,8 @@ impl CologneInstance {
 
     /// Mutable access to the search configuration, e.g. to switch the
     /// branching heuristic between invocations.
+    #[deprecated(note = "use `apply_solver_settings` (or configure the \
+                         `DeploymentBuilder`) instead")]
     pub fn search_config_mut(&mut self) -> &mut cologne_solver::SearchConfig {
         // A heuristic change makes the memoized report unreproducible; drop
         // it so the next unchanged-COP invocation re-solves.
@@ -218,36 +225,97 @@ impl CologneInstance {
         self.pipeline.search_config_mut()
     }
 
+    /// The merged solver-configuration view: the solver knobs of
+    /// [`CologneInstance::params`] (limits, branching, mode, warm start,
+    /// delta grounding) plus the search-shape knobs historically reachable
+    /// only through the `search_config_mut` backdoor (value choice, split
+    /// threshold) in one coherent structure.
+    pub fn solver_settings(&self) -> SolverSettings {
+        SolverSettings::of_instance(&self.params, self.pipeline.search_config())
+    }
+
+    /// Validate and apply a [`SolverSettings`] view: equivalent to the old
+    /// `params_mut`-then-`search_config_mut` dance, with eager validation
+    /// and a single invalidation. Like [`CologneInstance::params_mut`], this
+    /// invalidates the cached grounding plan and every cross-invocation
+    /// cache; the next invocation is a full rebuild.
+    pub fn apply_solver_settings(&mut self, settings: &SolverSettings) -> Result<(), CologneError> {
+        settings.validate()?;
+        self.pipeline.invalidate();
+        self.last_report = None;
+        settings.apply_to_params(&mut self.params);
+        let search = self.pipeline.search_config_mut();
+        search.value_choice = settings.value_choice;
+        search.split_threshold = settings.split_threshold;
+        Ok(())
+    }
+
+    /// Set the search-shape knobs without invalidating the pipeline (used by
+    /// the deployment builder before the first grounding exists).
+    pub(crate) fn set_search_shape(
+        &mut self,
+        value_choice: cologne_solver::ValueChoice,
+        split_threshold: Option<u64>,
+    ) {
+        let search = self.pipeline.search_config_mut();
+        search.value_choice = value_choice;
+        search.split_threshold = split_threshold;
+    }
+
     /// Statistics of the underlying Datalog engine.
     pub fn engine_stats(&self) -> &cologne_datalog::EngineStats {
         self.engine.stats()
     }
 
-    // ----- facts ------------------------------------------------------------
+    // ----- relations (typed handles + borrowing reads) ----------------------
 
-    /// Insert a base fact.
-    pub fn insert_fact(&mut self, relation: &str, tuple: Tuple) {
-        self.engine.insert(relation, tuple);
+    /// The relation schemas derived from the compiled (localized) program:
+    /// one entry per relation the program mentions, with per-column kinds,
+    /// the location-specifier position and the solver-attribute columns.
+    pub fn schema_catalog(&self) -> &SchemaCatalog {
+        &self.catalog
     }
 
-    /// Delete a base fact.
-    pub fn delete_fact(&mut self, relation: &str, tuple: Tuple) {
-        self.engine.delete(relation, tuple);
+    /// A schema-checked handle on one relation — the typed write surface.
+    ///
+    /// The name is validated eagerly: a relation the program never mentions
+    /// is rejected here with [`CologneError::UnknownRelation`] (including a
+    /// did-you-mean suggestion), instead of silently creating a table no
+    /// rule will ever read. All writes through the handle validate arity and
+    /// column kinds against the derived schema.
+    pub fn relation(&mut self, relation: &str) -> Result<RelationHandle<'_>, CologneError> {
+        if !self.catalog.contains(relation) {
+            return Err(CologneError::UnknownRelation {
+                relation: relation.to_string(),
+                suggestion: self
+                    .catalog
+                    .suggest(relation)
+                    .or_else(|| self.engine.suggest_relation(relation)),
+            });
+        }
+        Ok(RelationHandle::new(self, relation))
     }
 
-    /// Replace the contents of a base relation (monitoring refresh).
-    pub fn set_table(&mut self, relation: &str, tuples: Vec<Tuple>) {
-        self.engine.set_relation(relation, tuples);
+    /// Validate one tuple against the derived schema of `relation`.
+    pub(crate) fn check_tuple(&self, relation: &str, tuple: &Tuple) -> Result<(), CologneError> {
+        if let Some(schema) = self.catalog.get(relation) {
+            schema
+                .check(tuple)
+                .map_err(cologne_datalog::IngestError::from)?;
+        }
+        Ok(())
     }
 
-    /// Visible tuples of a relation.
-    pub fn tuples(&self, relation: &str) -> Vec<Tuple> {
-        self.engine.tuples(relation)
+    /// Borrowing iterator over the visible tuples of a relation, in
+    /// unspecified order (sort, or use [`RelationHandle::snapshot`], when a
+    /// deterministic order matters). No per-call allocation or cloning.
+    pub fn scan(&self, relation: &str) -> impl Iterator<Item = &Tuple> {
+        self.engine.scan(relation)
     }
 
-    /// Names of every relation the engine has seen, sorted.
-    pub fn relations(&self) -> Vec<String> {
-        self.engine.relation_names()
+    /// Borrowed names of every relation the engine has seen, sorted.
+    pub fn relation_names(&self) -> Vec<&str> {
+        self.engine.relation_names_ref()
     }
 
     /// True if a relation contains the tuple.
@@ -255,13 +323,62 @@ impl CologneInstance {
         self.engine.contains(relation, tuple)
     }
 
-    /// Accept a tuple shipped from another node.
-    pub fn receive(&mut self, remote: &RemoteTuple) {
-        if remote.insert {
-            self.engine.insert(&remote.relation, remote.tuple.clone());
+    // ----- legacy stringly-typed shims --------------------------------------
+
+    /// Insert a base fact without schema checking.
+    #[deprecated(note = "use `relation(name)?.insert(tuple)` instead")]
+    pub fn insert_fact(&mut self, relation: &str, tuple: Tuple) {
+        self.engine.insert(relation, tuple);
+    }
+
+    /// Delete a base fact without schema checking.
+    #[deprecated(note = "use `relation(name)?.delete(tuple)` instead")]
+    pub fn delete_fact(&mut self, relation: &str, tuple: Tuple) {
+        self.engine.delete(relation, tuple);
+    }
+
+    /// Replace the contents of a base relation without schema checking.
+    #[deprecated(note = "use `relation(name)?.set(tuples)` instead")]
+    pub fn set_table(&mut self, relation: &str, tuples: Vec<Tuple>) {
+        self.engine.set_relation(relation, tuples);
+    }
+
+    /// Visible tuples of a relation (sorted), cloned eagerly.
+    #[deprecated(note = "use `scan(name)` (or `relation(name)?.snapshot()`) instead")]
+    pub fn tuples(&self, relation: &str) -> Vec<Tuple> {
+        self.engine.tuples(relation)
+    }
+
+    /// Names of every relation the engine has seen, cloned eagerly.
+    #[deprecated(note = "use `relation_names()` instead")]
+    pub fn relations(&self) -> Vec<String> {
+        self.engine.relation_names()
+    }
+
+    // ----- distribution ------------------------------------------------------
+
+    /// Accept a tuple shipped from another node, validating it against the
+    /// program's relation schemas first: a remote tuple naming an unknown
+    /// relation, or violating the relation's arity/kinds, is rejected with
+    /// an error instead of corrupting local state.
+    pub fn try_receive(&mut self, remote: &RemoteTuple) -> Result<(), CologneError> {
+        // The engine carries the schemas derived from this program (installed
+        // at construction), so its validated ingest is the single gate here.
+        let result = if remote.insert {
+            self.engine
+                .try_insert(&remote.relation, remote.tuple.clone())
         } else {
-            self.engine.delete(&remote.relation, remote.tuple.clone());
-        }
+            self.engine
+                .try_delete(&remote.relation, remote.tuple.clone())
+        };
+        result.map_err(CologneError::from)
+    }
+
+    /// Accept a tuple shipped from another node, silently dropping it when
+    /// it fails validation.
+    #[deprecated(note = "use `try_receive` and handle the rejection instead")]
+    pub fn receive(&mut self, remote: &RemoteTuple) {
+        let _ = self.try_receive(remote);
     }
 
     /// Run the regular rules to a local fixpoint and return any tuples
@@ -307,12 +424,34 @@ impl CologneInstance {
     /// branch-and-bound in the pipeline's reused search space under the
     /// configured limits, materialize the result and re-run the rules.
     pub fn invoke_solver(&mut self) -> Result<SolveReport, CologneError> {
-        let report = self.invoke_solver_inner()?;
+        let report = self.invoke_solver_inner(None)?;
         self.last_stats = Some(report.stats.clone());
         Ok(report)
     }
 
-    fn invoke_solver_inner(&mut self) -> Result<SolveReport, CologneError> {
+    /// [`CologneInstance::invoke_solver`] with a streaming
+    /// [`SolveObserver`]: incumbents, restarts, LNS iterations, budget
+    /// exhaustion and periodic progress are reported while the search runs,
+    /// and the observer can cancel it cooperatively (the report then carries
+    /// the best incumbent found so far and
+    /// [`cologne_solver::SearchStats::cancelled`]).
+    ///
+    /// Cancellation never poisons the instance: every cross-invocation cache
+    /// (retained COP, replay caches, warm memory, memoized report) is
+    /// dropped, so the next invocation is a clean full rebuild.
+    pub fn invoke_solver_with_observer(
+        &mut self,
+        observer: &mut dyn SolveObserver,
+    ) -> Result<SolveReport, CologneError> {
+        let report = self.invoke_solver_inner(Some(observer))?;
+        self.last_stats = Some(report.stats.clone());
+        Ok(report)
+    }
+
+    fn invoke_solver_inner(
+        &mut self,
+        observer: Option<&mut dyn SolveObserver>,
+    ) -> Result<SolveReport, CologneError> {
         self.engine.run();
         let delta = self.engine.take_delta_summary();
         let cop = self.pipeline.ground(
@@ -362,10 +501,14 @@ impl CologneInstance {
             self.last_report = Some(report.clone());
             return Ok(report);
         }
-        let outcome = self.pipeline.solve(&cop, &self.params);
+        let outcome = self.pipeline.solve_observed(&cop, &self.params, observer);
         self.cumulative_stats.merge(&outcome.stats);
+        let cancelled = outcome.stats.cancelled;
         let Some(best) = outcome.best else {
             self.pipeline.recycle(cop);
+            if cancelled {
+                self.forget_after_cancellation();
+            }
             let report = SolveReport {
                 feasible: false,
                 trivial: false,
@@ -375,7 +518,11 @@ impl CologneInstance {
                 assignments: BTreeMap::new(),
                 outgoing: Vec::new(),
             };
-            self.last_report = Some(report.clone());
+            self.last_report = if cancelled {
+                None
+            } else {
+                Some(report.clone())
+            };
             return Ok(report);
         };
 
@@ -394,6 +541,9 @@ impl CologneInstance {
             .or_else(|| cop.objective.map(|(_, obj)| best.value(obj)));
         let goal_relation = cop.goal_relation.clone();
         self.pipeline.recycle(cop);
+        if cancelled {
+            self.forget_after_cancellation();
+        }
         let outgoing = self.materialize(&assignments, &goal_relation);
 
         let report = SolveReport {
@@ -405,8 +555,21 @@ impl CologneInstance {
             assignments,
             outgoing,
         };
-        self.last_report = Some(report.clone());
+        self.last_report = if cancelled {
+            None
+        } else {
+            Some(report.clone())
+        };
         Ok(report)
+    }
+
+    /// Drop every cross-invocation cache after an observer cancelled a
+    /// search mid-way: a cancelled solve is not reproducible, so nothing of
+    /// it may seed the next invocation. The next grounding is a clean full
+    /// rebuild.
+    fn forget_after_cancellation(&mut self) {
+        self.pipeline.forget();
+        self.last_report = None;
     }
 
     /// Push the `var` tables and the goal relation of a solve back into the
@@ -458,14 +621,20 @@ mod tests {
         let params = ProgramParams::new().with_var_domain("assign", VarDomain::BOOL);
         let mut inst = CologneInstance::new(NodeId(0), ACLOUD, params).unwrap();
         for (vid, cpu, mem) in [(1, 40, 4), (2, 20, 4), (3, 30, 4)] {
-            inst.insert_fact(
-                "vm",
-                vec![Value::Int(vid), Value::Int(cpu), Value::Int(mem)],
-            );
+            inst.relation("vm")
+                .unwrap()
+                .insert(vec![Value::Int(vid), Value::Int(cpu), Value::Int(mem)])
+                .unwrap();
         }
         for hid in [10, 11, 12] {
-            inst.insert_fact("host", vec![Value::Int(hid), Value::Int(0), Value::Int(0)]);
-            inst.insert_fact("hostMemThres", vec![Value::Int(hid), Value::Int(16)]);
+            inst.relation("host")
+                .unwrap()
+                .insert(vec![Value::Int(hid), Value::Int(0), Value::Int(0)])
+                .unwrap();
+            inst.relation("hostMemThres")
+                .unwrap()
+                .insert(vec![Value::Int(hid), Value::Int(16)])
+                .unwrap();
         }
         inst
     }
@@ -504,7 +673,7 @@ mod tests {
             .collect();
         assert_eq!(used_hosts.len(), 3);
         // the assignment was materialized back into the engine
-        assert_eq!(inst.tuples("assign").len(), 9);
+        assert_eq!(inst.scan("assign").count(), 9);
         assert_eq!(inst.solver_invocations(), 1);
         assert!(inst.cumulative_solver_stats().nodes > 0);
     }
@@ -514,7 +683,10 @@ mod tests {
         let mut inst = acloud_instance();
         inst.invoke_solver().unwrap();
         // a new VM arrives
-        inst.insert_fact("vm", vec![Value::Int(4), Value::Int(50), Value::Int(4)]);
+        inst.relation("vm")
+            .unwrap()
+            .insert(vec![Value::Int(4), Value::Int(50), Value::Int(4)])
+            .unwrap();
         let report = inst.invoke_solver().unwrap();
         let assign = report.table("assign");
         assert_eq!(assign.len(), 12); // 4 VMs x 3 hosts
@@ -541,9 +713,18 @@ mod tests {
         // be assigned exactly once -> infeasible.
         let params = ProgramParams::new();
         let mut inst = CologneInstance::new(NodeId(0), ACLOUD, params).unwrap();
-        inst.insert_fact("vm", vec![Value::Int(1), Value::Int(40), Value::Int(4)]);
-        inst.insert_fact("host", vec![Value::Int(10), Value::Int(0), Value::Int(0)]);
-        inst.insert_fact("hostMemThres", vec![Value::Int(10), Value::Int(0)]);
+        inst.relation("vm")
+            .unwrap()
+            .insert(vec![Value::Int(1), Value::Int(40), Value::Int(4)])
+            .unwrap();
+        inst.relation("host")
+            .unwrap()
+            .insert(vec![Value::Int(10), Value::Int(0), Value::Int(0)])
+            .unwrap();
+        inst.relation("hostMemThres")
+            .unwrap()
+            .insert(vec![Value::Int(10), Value::Int(0)])
+            .unwrap();
         let report = inst.invoke_solver().unwrap();
         assert!(!report.feasible);
         assert!(report.assignments.is_empty());
@@ -554,14 +735,20 @@ mod tests {
         let params = ProgramParams::new().with_solver_node_limit(Some(3));
         let mut inst = CologneInstance::new(NodeId(0), ACLOUD, params).unwrap();
         for vid in 0..6i64 {
-            inst.insert_fact(
-                "vm",
-                vec![Value::Int(vid), Value::Int(10 + vid), Value::Int(1)],
-            );
+            inst.relation("vm")
+                .unwrap()
+                .insert(vec![Value::Int(vid), Value::Int(10 + vid), Value::Int(1)])
+                .unwrap();
         }
         for hid in [10, 11] {
-            inst.insert_fact("host", vec![Value::Int(hid), Value::Int(0), Value::Int(0)]);
-            inst.insert_fact("hostMemThres", vec![Value::Int(hid), Value::Int(100)]);
+            inst.relation("host")
+                .unwrap()
+                .insert(vec![Value::Int(hid), Value::Int(0), Value::Int(0)])
+                .unwrap();
+            inst.relation("hostMemThres")
+                .unwrap()
+                .insert(vec![Value::Int(hid), Value::Int(100)])
+                .unwrap();
         }
         let report = inst.invoke_solver().unwrap();
         assert!(!report.proven_optimal);
@@ -571,17 +758,50 @@ mod tests {
     fn facts_can_be_updated_and_queried() {
         let mut inst = acloud_instance();
         inst.run_rules();
-        assert_eq!(inst.tuples("vm").len(), 3);
-        inst.delete_fact("vm", vec![Value::Int(3), Value::Int(30), Value::Int(4)]);
+        assert_eq!(inst.scan("vm").count(), 3);
+        inst.relation("vm")
+            .unwrap()
+            .delete(vec![Value::Int(3), Value::Int(30), Value::Int(4)])
+            .unwrap();
         inst.run_rules();
-        assert_eq!(inst.tuples("vm").len(), 2);
-        inst.set_table(
-            "vm",
-            vec![vec![Value::Int(9), Value::Int(5), Value::Int(1)]],
-        );
+        assert_eq!(inst.scan("vm").count(), 2);
+        inst.relation("vm")
+            .unwrap()
+            .set(vec![vec![Value::Int(9), Value::Int(5), Value::Int(1)]])
+            .unwrap();
         inst.run_rules();
-        assert_eq!(inst.tuples("vm").len(), 1);
+        assert_eq!(inst.relation("vm").unwrap().snapshot().len(), 1);
         assert!(inst.contains("vm", &vec![Value::Int(9), Value::Int(5), Value::Int(1)]));
         assert!(inst.engine_stats().external_deltas > 0);
+        assert!(inst.relation_names().contains(&"vm"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_shims_still_work() {
+        // The deprecated stringly-typed surface keeps compiling and behaving
+        // for one release; this is its pin.
+        let mut inst = acloud_instance();
+        inst.insert_fact("vm", vec![Value::Int(4), Value::Int(50), Value::Int(4)]);
+        inst.run_rules();
+        assert_eq!(inst.tuples("vm").len(), 4);
+        inst.delete_fact("vm", vec![Value::Int(4), Value::Int(50), Value::Int(4)]);
+        inst.set_table(
+            "host",
+            vec![vec![Value::Int(10), Value::Int(0), Value::Int(0)]],
+        );
+        inst.run_rules();
+        assert_eq!(inst.tuples("vm").len(), 3);
+        assert_eq!(inst.tuples("host").len(), 1);
+        assert!(inst.relations().contains(&"vm".to_string()));
+        // legacy receive drops a malformed tuple instead of corrupting state
+        inst.receive(&cologne_datalog::RemoteTuple {
+            dest: NodeId(0),
+            relation: "vm".into(),
+            tuple: vec![Value::Int(1)],
+            insert: true,
+        });
+        inst.run_rules();
+        assert_eq!(inst.tuples("vm").len(), 3);
     }
 }

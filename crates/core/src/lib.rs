@@ -23,9 +23,15 @@
 //!
 //! ## Quickstart
 //!
+//! The public API is built around three pillars: the
+//! [`DeploymentBuilder`] (one way to stand up single-node and distributed
+//! systems alike), schema-checked [`RelationHandle`]s (typos and arity
+//! mistakes error eagerly, with did-you-mean suggestions), and streaming
+//! [`solver::SolveObserver`] events for long solves.
+//!
 //! ```
-//! use cologne::{CologneInstance, ProgramParams, VarDomain};
-//! use cologne::datalog::{NodeId, Value};
+//! use cologne::{DeploymentBuilder, ProgramParams, VarDomain};
+//! use cologne::datalog::Value;
 //!
 //! // The ACloud load-balancing policy from Sec. 4.2, verbatim.
 //! let program = r#"
@@ -40,16 +46,25 @@
 //!     c2 hostMem(Hid,Mem) -> hostMemThres(Hid,M), Mem<=M.
 //! "#;
 //!
-//! let params = ProgramParams::new().with_var_domain("assign", VarDomain::BOOL);
-//! let mut node = CologneInstance::new(NodeId(0), program, params).unwrap();
-//! node.insert_fact("vm", vec![Value::Int(1), Value::Int(40), Value::Int(2)]);
-//! node.insert_fact("vm", vec![Value::Int(2), Value::Int(20), Value::Int(2)]);
-//! node.insert_fact("host", vec![Value::Int(10), Value::Int(0), Value::Int(0)]);
-//! node.insert_fact("host", vec![Value::Int(11), Value::Int(0), Value::Int(0)]);
-//! node.insert_fact("hostMemThres", vec![Value::Int(10), Value::Int(8)]);
-//! node.insert_fact("hostMemThres", vec![Value::Int(11), Value::Int(8)]);
+//! let mut node = DeploymentBuilder::new(program)
+//!     .params(ProgramParams::new().with_var_domain("assign", VarDomain::BOOL))
+//!     .build()
+//!     .unwrap();
+//! // Schema-checked writes: a typo'd relation or a malformed tuple errors
+//! // here instead of silently never matching a rule.
+//! let mut vm = node.relation("vm").unwrap();
+//! vm.insert(vec![Value::Int(1), Value::Int(40), Value::Int(2)]).unwrap();
+//! vm.insert(vec![Value::Int(2), Value::Int(20), Value::Int(2)]).unwrap();
+//! for hid in [10, 11] {
+//!     node.relation("host").unwrap()
+//!         .insert(vec![Value::Int(hid), Value::Int(0), Value::Int(0)]).unwrap();
+//!     node.relation("hostMemThres").unwrap()
+//!         .insert(vec![Value::Int(hid), Value::Int(8)]).unwrap();
+//! }
+//! assert!(node.relation("vmm").is_err()); // did you mean 'vm'?
 //!
-//! let report = node.invoke_solver().unwrap();
+//! let target = node.single_node().unwrap();
+//! let report = node.invoke_at(target).unwrap();
 //! assert!(report.feasible);
 //! // every VM placed exactly once
 //! for vid in [1i64, 2] {
@@ -61,23 +76,30 @@
 //! }
 //! ```
 
+pub mod deploy;
 pub mod distributed;
 pub mod error;
 pub mod ground;
+pub mod handle;
 pub mod instance;
 pub mod pipeline;
 pub mod translate;
 
+pub use deploy::{Deployment, DeploymentBuilder, SolverSettings};
 pub use distributed::{DistributedCologne, TimerOutcome};
 pub use error::CologneError;
 pub use ground::{ground, GroundedCop, GroundingPlan, GroundingScratch};
+pub use handle::RelationHandle;
 pub use instance::{CologneInstance, SolveReport};
-pub use pipeline::SolvePipeline;
+pub use pipeline::{PipelineStats, SolvePipeline};
 
 // Re-export the compiler-facing types users need to drive the runtime.
 pub use cologne_colog::{
-    GoalKind, LnsParams, Program, ProgramParams, RuleClass, SolverBranching, SolverMode, VarDomain,
+    GoalKind, LnsParams, Program, ProgramParams, RelationSchema, RuleClass, SchemaCatalog,
+    SolverBranching, SolverMode, VarDomain,
 };
+// Re-export the observer surface so streaming consumers need only `cologne`.
+pub use cologne_solver::{EventLog, SolveEvent, SolveObserver};
 
 /// Re-export of the Datalog substrate (values, tuples, engine).
 pub mod datalog {

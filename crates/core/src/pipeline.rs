@@ -62,7 +62,7 @@ use cologne_colog::{
 use cologne_datalog::{DeltaSummary, Engine, Value};
 use cologne_solver::{
     complete_hints, Branching, DestroyStrategy, LnsConfig, Objective, SearchConfig, SearchOutcome,
-    SolverMode, VarId,
+    SolveObserver, SolverMode, VarId,
 };
 
 use crate::error::CologneError;
@@ -75,6 +75,26 @@ use crate::ground::{GroundedCop, GroundingPlan, GroundingScratch};
 /// COP; the two-level shape lets the per-solve lookups borrow one key built
 /// per row instead of allocating a key per (row, position).
 type WarmMemory = BTreeMap<(usize, usize), BTreeMap<Vec<Value>, i64>>;
+
+/// Snapshot of the pipeline's grounding counters — the single observability
+/// surface for plan caching and incremental re-optimization, shared by
+/// [`SolvePipeline::stats`] and [`crate::CologneInstance::pipeline_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Grounding-plan builds over the pipeline's lifetime: 1 after
+    /// construction, +1 per rebuild forced by invalidation. A constant value
+    /// across repeated invocations demonstrates plan reuse.
+    pub plan_builds: u64,
+    /// Groundings that ran without usable delta information: the first
+    /// invocation, every invocation after a parameter change, recovery from
+    /// a grounding error, and the invocation after a cancelled solve.
+    pub full_rebuilds: u64,
+    /// Delta-aware groundings: runs that consulted the engine's delta
+    /// summary and reused whatever it proved unchanged — up to the entire
+    /// previous COP. Steadily increasing counts demonstrate the incremental
+    /// re-optimization path is active.
+    pub incremental_builds: u64,
+}
 
 /// Cached grounding + search state for repeated solver invocations on one
 /// program.
@@ -172,8 +192,33 @@ impl SolvePipeline {
         self.warm.clear();
     }
 
+    /// Drop every cross-invocation cache — the retained COP, the replay
+    /// caches, the warm memory and the incremental precondition — without
+    /// invalidating the grounding plan. Called after an observer cancelled a
+    /// solve: the cancelled run is not reproducible, so the next grounding
+    /// must be a clean full rebuild.
+    pub fn forget(&mut self) {
+        self.grounded_before = false;
+        self.last_was_reuse = false;
+        if let Some(cop) = self.retained.take() {
+            self.scratch.recycle(cop);
+        }
+        self.scratch.clear_caches();
+        self.warm.clear();
+    }
+
+    /// Snapshot of the grounding counters.
+    pub fn stats(&self) -> PipelineStats {
+        PipelineStats {
+            plan_builds: self.plan_builds,
+            full_rebuilds: self.full_rebuilds,
+            incremental_builds: self.incremental_builds,
+        }
+    }
+
     /// Number of times a plan has been built over the pipeline's lifetime
     /// (1 after construction; +1 per rebuild triggered by invalidation).
+    #[deprecated(note = "use `stats().plan_builds` instead")]
     pub fn plan_builds(&self) -> u64 {
         self.plan_builds
     }
@@ -181,6 +226,7 @@ impl SolvePipeline {
     /// Number of groundings that ran without usable delta information: the
     /// first invocation, every invocation after a parameter change, and
     /// recovery from a failed grounding.
+    #[deprecated(note = "use `stats().full_rebuilds` instead")]
     pub fn full_rebuilds(&self) -> u64 {
         self.full_rebuilds
     }
@@ -197,6 +243,7 @@ impl SolvePipeline {
     /// delta summary against the previous grounding, whether that led to
     /// whole-COP reuse, partial replay, or (for a fully dirty summary) the
     /// same work as a rebuild.
+    #[deprecated(note = "use `stats().incremental_builds` instead")]
     pub fn incremental_builds(&self) -> u64 {
         self.incremental_builds
     }
@@ -306,6 +353,19 @@ impl SolvePipeline {
     /// passed to the search as its warm start; a feasible outcome refreshes
     /// the memory.
     pub fn solve(&mut self, cop: &GroundedCop, params: &ProgramParams) -> SearchOutcome {
+        self.solve_observed(cop, params, None)
+    }
+
+    /// [`SolvePipeline::solve`] with a streaming
+    /// [`cologne_solver::SolveObserver`] threaded into the search (exact and
+    /// LNS alike). The warm-start completion probe runs unobserved — its
+    /// incumbents are hint candidates, not solutions of this solve.
+    pub fn solve_observed(
+        &mut self,
+        cop: &GroundedCop,
+        params: &ProgramParams,
+        observer: Option<&mut dyn SolveObserver>,
+    ) -> SearchOutcome {
         let mut config = self.search.clone();
         config.time_limit = params.solver_max_time;
         config.node_limit = params.solver_node_limit;
@@ -328,7 +388,7 @@ impl SolvePipeline {
                 }
             }
         }
-        let outcome = cop.solve_in(&config, &mut self.scratch.space);
+        let outcome = cop.solve_in_observed(&config, &mut self.scratch.space, observer);
         if params.warm_start {
             if let Some(best) = &outcome.best {
                 self.remember(cop, best);

@@ -15,6 +15,7 @@ use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 use crate::expr::{Bindings, Term};
 use crate::rule::{BodyItem, HeadArg, Rule};
+use crate::schema::{did_you_mean, IngestError, SchemaSet};
 use crate::tuple::{Relation, Tuple};
 use crate::value::{NodeId, Value};
 
@@ -53,6 +54,12 @@ pub struct EngineStats {
     pub remote_sends: u64,
     /// Number of full aggregate re-evaluations.
     pub aggregate_recomputes: u64,
+    /// Number of [`Engine::insert`]/[`Engine::delete`] calls that targeted a
+    /// relation absent from both the EDB and the IDB (no stored facts, no
+    /// rule mentions it, no schema declares it) — almost always a typo in
+    /// the relation name. The legacy entry points still queue the tuple for
+    /// compatibility; [`Engine::try_insert`] rejects it instead.
+    pub unknown_relation_inserts: u64,
 }
 
 /// Net visibility changes of one relation since a delta-summary checkpoint.
@@ -142,6 +149,13 @@ pub struct Engine {
     stats: EngineStats,
     /// Visibility changes since the last [`Engine::take_delta_summary`].
     delta: DeltaSummary,
+    /// Relation names mentioned by any installed rule (head or body) — the
+    /// IDB part of the unknown-relation check.
+    rule_relations: HashSet<String>,
+    /// Declared relation schemas, checked by the validated ingest path.
+    schemas: SchemaSet,
+    /// Unknown relations already warned about (log-once).
+    warned_unknown: HashSet<String>,
 }
 
 impl Engine {
@@ -158,6 +172,9 @@ impl Engine {
             outbox: Vec::new(),
             stats: EngineStats::default(),
             delta: DeltaSummary::default(),
+            rule_relations: HashSet::new(),
+            schemas: SchemaSet::new(),
+            warned_unknown: HashSet::new(),
         }
     }
 
@@ -188,9 +205,25 @@ impl Engine {
         std::mem::take(&mut self.delta)
     }
 
+    /// Install (or replace) the declared relation schemas. Tuples entering
+    /// through [`Engine::try_insert`]/[`Engine::try_delete`] are validated
+    /// against them; relations without a schema accept any tuple shape.
+    pub fn set_schemas(&mut self, schemas: SchemaSet) {
+        self.schemas = schemas;
+    }
+
+    /// The declared relation schemas.
+    pub fn schemas(&self) -> &SchemaSet {
+        &self.schemas
+    }
+
     /// Install a rule. Rules may be added before or after facts.
     pub fn add_rule(&mut self, rule: Rule) {
         let idx = self.rules.len();
+        self.rule_relations.insert(rule.head.relation.clone());
+        for rel in rule.body_relations() {
+            self.rule_relations.insert(rel.to_string());
+        }
         let mut body_rels: Vec<&str> = rule.body_relations();
         let repeats = {
             let mut sorted = body_rels.clone();
@@ -220,21 +253,101 @@ impl Engine {
         self.rules.len()
     }
 
-    /// Queue an insertion of a base (or received) tuple.
-    pub fn insert(&mut self, relation: &str, tuple: Tuple) {
-        self.pending.push_back(Delta {
-            relation: relation.to_string(),
-            tuple,
-            insert: true,
-        });
+    /// True when the engine has any reason to believe the relation exists:
+    /// facts are stored under it, a rule mentions it, or a schema declares
+    /// it.
+    pub fn known_relation(&self, relation: &str) -> bool {
+        self.relations.contains_key(relation)
+            || self.rule_relations.contains(relation)
+            || self.schemas.contains(relation)
     }
 
-    /// Queue a deletion of a base (or received) tuple.
+    /// A declared relation with a name similar to `relation`, for
+    /// did-you-mean diagnostics.
+    pub fn suggest_relation(&self, relation: &str) -> Option<String> {
+        let mut names: Vec<&str> = self
+            .relations
+            .keys()
+            .map(String::as_str)
+            .chain(self.rule_relations.iter().map(String::as_str))
+            .chain(self.schemas.names())
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        did_you_mean(relation, names)
+    }
+
+    /// Validate a tuple for ingestion: the relation must be known (see
+    /// [`Engine::known_relation`]) and the tuple must match its schema.
+    pub fn validate(&self, relation: &str, tuple: &Tuple) -> Result<(), IngestError> {
+        if !self.known_relation(relation) {
+            return Err(IngestError::UnknownRelation {
+                relation: relation.to_string(),
+                suggestion: self.suggest_relation(relation),
+            });
+        }
+        self.schemas.check(relation, tuple)?;
+        Ok(())
+    }
+
+    /// Queue an insertion after validating it (see [`Engine::validate`]).
+    /// Nothing is queued on error, so malformed input — above all tuples
+    /// received from remote nodes — cannot corrupt engine state.
+    pub fn try_insert(&mut self, relation: &str, tuple: Tuple) -> Result<(), IngestError> {
+        self.validate(relation, &tuple)?;
+        self.queue(relation, tuple, true);
+        Ok(())
+    }
+
+    /// Queue a deletion after validating it (see [`Engine::try_insert`]).
+    pub fn try_delete(&mut self, relation: &str, tuple: Tuple) -> Result<(), IngestError> {
+        self.validate(relation, &tuple)?;
+        self.queue(relation, tuple, false);
+        Ok(())
+    }
+
+    /// Queue an insertion of a base (or received) tuple.
+    ///
+    /// Legacy unchecked entry point: the tuple is queued whether or not the
+    /// relation is known, but an unknown relation is counted into
+    /// [`EngineStats::unknown_relation_inserts`] and warned about once —
+    /// historically such a typo created a silent, never-read relation.
+    /// Prefer [`Engine::try_insert`].
+    pub fn insert(&mut self, relation: &str, tuple: Tuple) {
+        self.note_unknown(relation);
+        self.queue(relation, tuple, true);
+    }
+
+    /// Queue a deletion of a base (or received) tuple. Legacy unchecked
+    /// entry point; see [`Engine::insert`] and prefer [`Engine::try_delete`].
     pub fn delete(&mut self, relation: &str, tuple: Tuple) {
+        self.note_unknown(relation);
+        self.queue(relation, tuple, false);
+    }
+
+    /// Count (and warn once about) a legacy ingest into an unknown relation.
+    fn note_unknown(&mut self, relation: &str) {
+        if self.known_relation(relation) {
+            return;
+        }
+        self.stats.unknown_relation_inserts += 1;
+        if self.warned_unknown.insert(relation.to_string()) {
+            let suggestion = match self.suggest_relation(relation) {
+                Some(s) => format!("; did you mean '{s}'?"),
+                None => String::new(),
+            };
+            eprintln!(
+                "[cologne-datalog] warning: tuple queued into unknown relation \
+                 '{relation}' (no rule or schema mentions it){suggestion}"
+            );
+        }
+    }
+
+    fn queue(&mut self, relation: &str, tuple: Tuple, insert: bool) {
         self.pending.push_back(Delta {
             relation: relation.to_string(),
             tuple,
-            insert: false,
+            insert,
         });
     }
 
@@ -242,6 +355,7 @@ impl Engine {
     /// necessary insertions and deletions (used when a monitoring layer
     /// refreshes tables such as `vm` or `host`).
     pub fn set_relation(&mut self, relation: &str, tuples: Vec<Tuple>) {
+        self.note_unknown(relation);
         let current: Vec<Tuple> = self
             .relations
             .get(relation)
@@ -251,12 +365,12 @@ impl Engine {
         let old_set: HashSet<&Tuple> = current.iter().collect();
         for t in &current {
             if !new_set.contains(t) {
-                self.delete(relation, t.clone());
+                self.queue(relation, t.clone(), false);
             }
         }
         for t in &tuples {
             if !old_set.contains(t) {
-                self.insert(relation, t.clone());
+                self.queue(relation, t.clone(), true);
             }
         }
     }
@@ -284,10 +398,28 @@ impl Engine {
             .unwrap_or(0)
     }
 
+    /// Borrowing iterator over the visible tuples of a relation, in
+    /// unspecified order (use [`Engine::tuples`] when a deterministic order
+    /// matters). No allocation, no cloning.
+    pub fn scan(&self, relation: &str) -> impl Iterator<Item = &Tuple> {
+        self.relations
+            .get(relation)
+            .into_iter()
+            .flat_map(|r| r.iter())
+    }
+
     /// Names of all relations that currently exist.
     pub fn relation_names(&self) -> Vec<String> {
         let mut names: Vec<String> = self.relations.keys().cloned().collect();
         names.sort();
+        names
+    }
+
+    /// Borrowed names of all relations that currently exist, sorted. The
+    /// allocation-light counterpart of [`Engine::relation_names`].
+    pub fn relation_names_ref(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.relations.keys().map(String::as_str).collect();
+        names.sort_unstable();
         names
     }
 
@@ -596,6 +728,7 @@ mod tests {
     use super::*;
     use crate::expr::{Expr, Op};
     use crate::rule::{AggFunc, Atom, Head};
+    use crate::schema::SchemaError;
 
     fn int_tuple(vals: &[i64]) -> Tuple {
         vals.iter().map(|&v| Value::Int(v)).collect()
@@ -923,6 +1056,99 @@ mod tests {
         e.set_relation("vm", vec![int_tuple(&[1, 50]), int_tuple(&[2, 60])]);
         e.run();
         assert!(e.delta_summary().is_empty());
+    }
+
+    #[test]
+    fn unknown_relation_inserts_are_counted_not_dropped() {
+        let mut e = engine();
+        e.add_rules(transitive_closure_rules());
+        // "lnik" is a typo: no rule mentions it, no facts exist under it.
+        e.insert("lnik", int_tuple(&[1, 2]));
+        e.delete("lnik", int_tuple(&[1, 2]));
+        assert_eq!(e.stats().unknown_relation_inserts, 2);
+        // known relations (rule bodies/heads) do not count
+        e.insert("link", int_tuple(&[1, 2]));
+        e.insert("path", int_tuple(&[9, 9]));
+        assert_eq!(e.stats().unknown_relation_inserts, 2);
+        // legacy behavior preserved: the tuple was still queued
+        e.run();
+        assert!(e.contains("lnik", &int_tuple(&[1, 2])) || e.relation_len("lnik") == 0);
+        assert_eq!(e.relation_len("link"), 1);
+    }
+
+    #[test]
+    fn try_insert_rejects_unknown_relation_with_suggestion() {
+        let mut e = engine();
+        e.add_rules(transitive_closure_rules());
+        let err = e.try_insert("lnik", int_tuple(&[1, 2])).unwrap_err();
+        match err {
+            IngestError::UnknownRelation {
+                relation,
+                suggestion,
+            } => {
+                assert_eq!(relation, "lnik");
+                assert_eq!(suggestion.as_deref(), Some("link"));
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
+        // nothing was queued
+        e.run();
+        assert_eq!(e.relation_len("lnik"), 0);
+        assert_eq!(e.stats().unknown_relation_inserts, 0);
+        // valid ingest goes through
+        e.try_insert("link", int_tuple(&[1, 2])).unwrap();
+        e.run();
+        assert!(e.contains("path", &int_tuple(&[1, 2])));
+        e.try_delete("link", int_tuple(&[1, 2])).unwrap();
+        e.run();
+        assert!(!e.contains("path", &int_tuple(&[1, 2])));
+    }
+
+    #[test]
+    fn try_insert_enforces_schemas() {
+        use crate::schema::{SchemaSet, TupleSchema};
+        use crate::value::ValueKind;
+        let mut e = engine();
+        let mut schemas = SchemaSet::new();
+        schemas.insert(TupleSchema::new(
+            "link",
+            vec![ValueKind::Addr, ValueKind::Addr],
+        ));
+        e.set_schemas(schemas);
+        assert!(e.schemas().contains("link"));
+        // wrong arity
+        let err = e
+            .try_insert("link", vec![Value::Addr(NodeId(0))])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            IngestError::Schema(SchemaError::Arity { .. })
+        ));
+        // wrong kind
+        let err = e
+            .try_insert("link", vec![Value::Addr(NodeId(0)), Value::Int(1)])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            IngestError::Schema(SchemaError::Kind { position: 1, .. })
+        ));
+        // well-formed tuple accepted (schema also makes the relation known)
+        e.try_insert("link", vec![Value::Addr(NodeId(0)), Value::Addr(NodeId(1))])
+            .unwrap();
+        e.run();
+        assert_eq!(e.relation_len("link"), 1);
+    }
+
+    #[test]
+    fn scan_and_relation_names_ref_borrow() {
+        let mut e = engine();
+        e.insert("b", int_tuple(&[2]));
+        e.insert("a", int_tuple(&[1]));
+        e.run();
+        assert_eq!(e.relation_names_ref(), vec!["a", "b"]);
+        let scanned: Vec<&Tuple> = e.scan("a").collect();
+        assert_eq!(scanned, vec![&int_tuple(&[1])]);
+        assert_eq!(e.scan("missing").count(), 0);
     }
 
     #[test]

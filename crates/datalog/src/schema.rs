@@ -1,0 +1,366 @@
+//! Relation schemas and eager tuple validation.
+//!
+//! The engine historically accepted any `(relation, tuple)` pair: a typo in a
+//! relation name created a fresh, never-read relation, and an arity or kind
+//! mismatch surfaced only as a rule that silently never matched. This module
+//! is the datalog-level half of the typed-ingestion contract: a
+//! [`SchemaSet`] describes the expected shape of each relation (one
+//! [`TupleSchema`] per relation: arity plus a [`ValueKind`] per column), and
+//! [`crate::Engine::try_insert`]/[`crate::Engine::try_delete`] check tuples
+//! against it *before* they are queued, so malformed input — above all
+//! tuples received from a remote node — is rejected instead of corrupting
+//! state.
+//!
+//! Schemas are usually derived from a compiled Colog program (the
+//! `SchemaCatalog` of the `cologne-colog` crate) and installed with
+//! [`crate::Engine::set_schemas`]; hand-built sets work the same way.
+
+use std::collections::BTreeMap;
+
+use crate::tuple::Tuple;
+use crate::value::ValueKind;
+
+/// Expected shape of one relation: its arity and the kind of each column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TupleSchema {
+    /// Relation name.
+    pub relation: String,
+    /// One [`ValueKind`] per column; the length is the relation's arity.
+    pub columns: Vec<ValueKind>,
+}
+
+impl TupleSchema {
+    /// Build a schema.
+    pub fn new(relation: &str, columns: Vec<ValueKind>) -> Self {
+        TupleSchema {
+            relation: relation.to_string(),
+            columns,
+        }
+    }
+
+    /// The relation's arity.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Check a tuple against the schema: the arity must match and every
+    /// column kind must admit the corresponding value.
+    pub fn check(&self, tuple: &Tuple) -> Result<(), SchemaError> {
+        if tuple.len() != self.columns.len() {
+            return Err(SchemaError::Arity {
+                relation: self.relation.clone(),
+                expected: self.columns.len(),
+                found: tuple.len(),
+            });
+        }
+        for (position, (kind, value)) in self.columns.iter().zip(tuple.iter()).enumerate() {
+            if !kind.admits(value) {
+                return Err(SchemaError::Kind {
+                    relation: self.relation.clone(),
+                    position,
+                    expected: *kind,
+                    found: value.kind(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Why a tuple failed schema validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// The tuple's length does not match the relation's arity.
+    Arity {
+        /// Relation being checked.
+        relation: String,
+        /// Declared arity.
+        expected: usize,
+        /// Length of the offending tuple.
+        found: usize,
+    },
+    /// A column holds a value of the wrong kind.
+    Kind {
+        /// Relation being checked.
+        relation: String,
+        /// Zero-based column index.
+        position: usize,
+        /// Declared column kind.
+        expected: ValueKind,
+        /// Kind of the offending value.
+        found: ValueKind,
+    },
+}
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchemaError::Arity {
+                relation,
+                expected,
+                found,
+            } => write!(
+                f,
+                "relation '{relation}' has arity {expected}, got a tuple of length {found}"
+            ),
+            SchemaError::Kind {
+                relation,
+                position,
+                expected,
+                found,
+            } => write!(
+                f,
+                "relation '{relation}' column {position} expects {expected}, got {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// Why the engine refused to ingest a tuple on the validated path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestError {
+    /// The relation is not declared anywhere: no rule mentions it, no schema
+    /// describes it and no fact was ever stored under it.
+    UnknownRelation {
+        /// The unrecognized relation name.
+        relation: String,
+        /// A known relation with a similar name, if one exists.
+        suggestion: Option<String>,
+    },
+    /// The relation is known but the tuple does not match its schema.
+    Schema(SchemaError),
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::UnknownRelation {
+                relation,
+                suggestion,
+            } => {
+                write!(f, "unknown relation '{relation}'")?;
+                if let Some(s) = suggestion {
+                    write!(f, "; did you mean '{s}'?")?;
+                }
+                Ok(())
+            }
+            IngestError::Schema(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+impl From<SchemaError> for IngestError {
+    fn from(e: SchemaError) -> Self {
+        IngestError::Schema(e)
+    }
+}
+
+/// A set of relation schemas, keyed by relation name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SchemaSet {
+    schemas: BTreeMap<String, TupleSchema>,
+}
+
+impl SchemaSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        SchemaSet::default()
+    }
+
+    /// Install (or replace) the schema of one relation.
+    pub fn insert(&mut self, schema: TupleSchema) {
+        self.schemas.insert(schema.relation.clone(), schema);
+    }
+
+    /// Schema of a relation, if declared.
+    pub fn get(&self, relation: &str) -> Option<&TupleSchema> {
+        self.schemas.get(relation)
+    }
+
+    /// True if the relation has a schema.
+    pub fn contains(&self, relation: &str) -> bool {
+        self.schemas.contains_key(relation)
+    }
+
+    /// Declared relation names, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.schemas.keys().map(String::as_str)
+    }
+
+    /// Number of declared relations.
+    pub fn len(&self) -> usize {
+        self.schemas.len()
+    }
+
+    /// True when no relation is declared.
+    pub fn is_empty(&self) -> bool {
+        self.schemas.is_empty()
+    }
+
+    /// Check a tuple against the relation's schema; relations without a
+    /// schema accept everything.
+    pub fn check(&self, relation: &str, tuple: &Tuple) -> Result<(), SchemaError> {
+        match self.schemas.get(relation) {
+            Some(schema) => schema.check(tuple),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Edit distance with early cutoff, for did-you-mean suggestions.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = usize::from(!ca.eq_ignore_ascii_case(cb));
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// The candidate most similar to `name`, when the similarity is close
+/// enough to plausibly be a typo (edit distance at most 2, and strictly
+/// less than the name's length so short names do not match everything).
+pub fn did_you_mean<'a>(
+    name: &str,
+    candidates: impl IntoIterator<Item = &'a str>,
+) -> Option<String> {
+    let mut best: Option<(usize, &str)> = None;
+    for candidate in candidates {
+        if candidate == name {
+            continue;
+        }
+        let d = edit_distance(name, candidate);
+        let better = match best {
+            None => true,
+            Some((bd, bc)) => d < bd || (d == bd && candidate < bc),
+        };
+        if better {
+            best = Some((d, candidate));
+        }
+    }
+    let (d, c) = best?;
+    (d <= 2 && d < name.chars().count()).then(|| c.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{NodeId, Value};
+
+    fn schema() -> TupleSchema {
+        TupleSchema::new(
+            "assign",
+            vec![ValueKind::Addr, ValueKind::Any, ValueKind::Sym],
+        )
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let err = schema()
+            .check(&vec![Value::Addr(NodeId(0)), Value::Int(1)])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SchemaError::Arity {
+                relation: "assign".into(),
+                expected: 3,
+                found: 2
+            }
+        );
+        assert!(err.to_string().contains("arity 3"));
+    }
+
+    #[test]
+    fn kind_mismatch_detected() {
+        let err = schema()
+            .check(&vec![Value::Int(0), Value::Int(1), Value::Int(1)])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SchemaError::Kind {
+                position: 0,
+                expected: ValueKind::Addr,
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("column 0"));
+    }
+
+    #[test]
+    fn sym_columns_admit_materialized_integers() {
+        // A solver attribute is symbolic during grounding and an integer
+        // after materialization; both must validate.
+        let ok = vec![
+            Value::Addr(NodeId(1)),
+            Value::Str("vm1".into()),
+            Value::Int(1),
+        ];
+        schema().check(&ok).unwrap();
+        let sym = vec![
+            Value::Addr(NodeId(1)),
+            Value::Int(7),
+            Value::Sym(crate::value::SymId(0)),
+        ];
+        schema().check(&sym).unwrap();
+    }
+
+    #[test]
+    fn schema_set_checks_and_passes_unknown() {
+        let mut set = SchemaSet::new();
+        set.insert(schema());
+        assert!(set.contains("assign"));
+        assert_eq!(set.len(), 1);
+        assert!(set
+            .check("assign", &vec![Value::Int(0), Value::Int(1), Value::Int(1)])
+            .is_err());
+        // relations without a schema accept everything
+        set.check("unconstrained", &vec![Value::Int(1)]).unwrap();
+        assert_eq!(set.names().collect::<Vec<_>>(), vec!["assign"]);
+    }
+
+    #[test]
+    fn did_you_mean_suggests_close_names() {
+        let names = ["hostCpu", "hostMem", "assign", "vm"];
+        assert_eq!(
+            did_you_mean("hostCpi", names.iter().copied()),
+            Some("hostCpu".into())
+        );
+        assert_eq!(
+            did_you_mean("hostcpu", names.iter().copied()),
+            Some("hostCpu".into())
+        );
+        assert_eq!(
+            did_you_mean("totallyDifferent", names.iter().copied()),
+            None
+        );
+        // short names must not match everything
+        assert_eq!(did_you_mean("x", ["vm"].iter().copied()), None);
+    }
+
+    #[test]
+    fn ingest_error_displays() {
+        let e = IngestError::UnknownRelation {
+            relation: "vmCpu".into(),
+            suggestion: Some("hostCpu".into()),
+        };
+        let s = e.to_string();
+        assert!(s.contains("vmCpu") && s.contains("did you mean 'hostCpu'"));
+        let e = IngestError::from(SchemaError::Arity {
+            relation: "vm".into(),
+            expected: 3,
+            found: 1,
+        });
+        assert!(e.to_string().contains("arity"));
+    }
+}

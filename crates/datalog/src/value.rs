@@ -68,6 +68,61 @@ impl Ord for F64 {
     }
 }
 
+/// The kind of a [`Value`] — the unit of per-column schema checking.
+///
+/// Schemas derived from a Colog program ([`crate::SchemaSet`]) use `Addr`
+/// for location-specifier columns, `Sym` for solver-attribute columns and
+/// `Any` everywhere else; the remaining kinds exist so hand-built schemas
+/// can pin concrete column types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ValueKind {
+    /// Any value is admitted.
+    Any,
+    /// Signed integer (booleans are admitted too: they evaluate as 0/1).
+    Int,
+    /// Floating-point measurement (integers are admitted: they widen).
+    Float,
+    /// String constant.
+    Str,
+    /// Node address — the value of a `@Loc` location-specifier column.
+    Addr,
+    /// Boolean (integers are admitted: non-zero is true).
+    Bool,
+    /// Solver attribute: symbolic during grounding ([`Value::Sym`]),
+    /// concrete integer after materialization — both are admitted.
+    Sym,
+}
+
+impl ValueKind {
+    /// True when `value` is acceptable in a column of this kind.
+    pub fn admits(&self, value: &Value) -> bool {
+        match self {
+            ValueKind::Any => true,
+            ValueKind::Int => matches!(value, Value::Int(_) | Value::Bool(_)),
+            ValueKind::Float => matches!(value, Value::Float(_) | Value::Int(_)),
+            ValueKind::Str => matches!(value, Value::Str(_)),
+            ValueKind::Addr => matches!(value, Value::Addr(_)),
+            ValueKind::Bool => matches!(value, Value::Bool(_) | Value::Int(_)),
+            ValueKind::Sym => matches!(value, Value::Sym(_) | Value::Int(_) | Value::Bool(_)),
+        }
+    }
+}
+
+impl fmt::Display for ValueKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ValueKind::Any => "any",
+            ValueKind::Int => "int",
+            ValueKind::Float => "float",
+            ValueKind::Str => "str",
+            ValueKind::Addr => "addr",
+            ValueKind::Bool => "bool",
+            ValueKind::Sym => "solver",
+        };
+        write!(f, "{name}")
+    }
+}
+
 /// A Datalog attribute value.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Value {
@@ -140,6 +195,18 @@ impl Value {
     /// True if this value refers to a solver expression.
     pub fn is_symbolic(&self) -> bool {
         matches!(self, Value::Sym(_))
+    }
+
+    /// The kind of this value (used in schema-mismatch diagnostics).
+    pub fn kind(&self) -> ValueKind {
+        match self {
+            Value::Int(_) => ValueKind::Int,
+            Value::Float(_) => ValueKind::Float,
+            Value::Str(_) => ValueKind::Str,
+            Value::Addr(_) => ValueKind::Addr,
+            Value::Bool(_) => ValueKind::Bool,
+            Value::Sym(_) => ValueKind::Sym,
+        }
     }
 }
 

@@ -143,6 +143,14 @@ impl Topology {
 
     // ---- builders ----------------------------------------------------------
 
+    /// A single isolated node (node 0) — the topology of a centralized,
+    /// non-distributed deployment.
+    pub fn single() -> Topology {
+        let mut t = Topology::new();
+        t.add_node(0);
+        t
+    }
+
     /// A chain `0 — 1 — ... — n-1`.
     pub fn line(n: u32, props: LinkProps) -> Topology {
         let mut t = Topology::new();

@@ -36,6 +36,7 @@ pub mod domain;
 pub mod expr;
 pub mod lns;
 pub mod model;
+pub mod observe;
 pub mod propagator;
 pub mod propagators;
 pub mod restart;
@@ -47,11 +48,12 @@ pub use domain::Domain;
 pub use expr::LinExpr;
 pub use lns::{DestroyStrategy, LnsConfig, SolverMode};
 pub use model::{Model, VarId};
+pub use observe::{EventLog, SolveEvent, SolveObserver, PROGRESS_NODE_INTERVAL};
 pub use propagator::{PropStatus, Propagator, PropagatorContext};
 pub use restart::GeometricRestarts;
 pub use search::{
-    complete_hints, solve_reference, Assignment, Branching, Objective, SearchConfig, SearchOutcome,
-    SearchSpace, ValueChoice, DEFAULT_SPLIT_THRESHOLD,
+    complete_hints, solve_in_observed, solve_reference, Assignment, Branching, Objective,
+    SearchConfig, SearchOutcome, SearchSpace, ValueChoice, DEFAULT_SPLIT_THRESHOLD,
 };
 pub use stats::SearchStats;
 pub use store::{PropQueue, Store};

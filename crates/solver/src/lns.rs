@@ -67,6 +67,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::model::{Model, VarId};
+use crate::observe::{notify, SolveObserver};
 use crate::restart::GeometricRestarts;
 use crate::search::{self, Branching, Objective, SearchConfig, SearchOutcome, SearchSpace};
 use crate::stats::SearchStats;
@@ -165,10 +166,14 @@ pub(crate) fn solve_lns(
     config: &SearchConfig,
     lns: &LnsConfig,
     space: &mut SearchSpace,
+    observer: &mut Option<&mut dyn SolveObserver>,
 ) -> SearchOutcome {
     let start = Instant::now();
     let mut stats = SearchStats::default();
     let mut solutions: Vec<Assignment> = Vec::new();
+    // Restart events (geometric budget growths) share one counter across the
+    // dive and repair phases.
+    let mut restarts: u64 = 0;
 
     let finish = |mut stats: SearchStats,
                   best: Option<Assignment>,
@@ -238,7 +243,7 @@ pub(crate) fn solve_lns(
                 warm_start: None,
                 ..config.clone()
             };
-            let dive = search::solve_exact_in(model, objective, &dive_cfg, space);
+            let dive = search::solve_exact_in(model, objective, &dive_cfg, space, &mut *observer);
             stats.merge(&dive.stats);
             if dive.best.is_some() {
                 solutions.extend(dive.solutions.iter().cloned());
@@ -246,6 +251,9 @@ pub(crate) fn solve_lns(
             if dive.complete {
                 // The dive already proved optimality (or infeasibility).
                 return finish(stats, dive.best, dive.best_objective, solutions, true);
+            }
+            if stats.cancelled {
+                return finish(stats, dive.best, dive.best_objective, solutions, false);
             }
             if let (Some(assignment), Some(value)) = (dive.best, dive.best_objective) {
                 if solution_cap_hit(&solutions) {
@@ -258,6 +266,13 @@ pub(crate) fn solve_lns(
                 return finish(stats, None, None, solutions, false);
             }
             dive_budgets.grow();
+            restarts += 1;
+            if notify(&mut *observer, |o| {
+                o.on_restart(restarts, dive_budgets.budget())
+            }) {
+                stats.cancelled = true;
+                return finish(stats, None, None, solutions, false);
+            }
         }
     };
 
@@ -387,6 +402,16 @@ pub(crate) fn solve_lns(
             }
             destroy_count = grow_destroy(destroy_count);
             repair_budgets.grow();
+            restarts += 1;
+            let cancel = notify(&mut *observer, |o| {
+                o.on_restart(restarts, repair_budgets.budget())
+            }) || notify(&mut *observer, |o| {
+                o.on_lns_iteration(stats.lns_iterations, false, Some(best))
+            });
+            if cancel {
+                stats.cancelled = true;
+                break;
+            }
             continue;
         }
 
@@ -405,7 +430,14 @@ pub(crate) fn solve_lns(
             max_solutions: remaining_solutions(&solutions),
             warm_start: None,
         };
-        let repair = search::resolve_subtree(model, objective, &repair_cfg, space, Some(best));
+        let repair = search::resolve_subtree(
+            model,
+            objective,
+            &repair_cfg,
+            space,
+            Some(best),
+            &mut *observer,
+        );
         stats.merge(&repair.stats);
 
         // --- destroy (for the next iteration): unwind to the frozen root ---
@@ -415,13 +447,15 @@ pub(crate) fn solve_lns(
         space.frames.clear();
         space.values.clear();
 
-        if let (Some(assignment), Some(value)) = (repair.best, repair.best_objective) {
+        let improved = if let (Some(assignment), Some(value)) = (repair.best, repair.best_objective)
+        {
             stats.lns_improvements += 1;
             solutions.extend(repair.solutions);
             incumbent = assignment;
             best = value;
             destroy_count = base_destroy;
             repair_budgets.reset();
+            true
         } else {
             if repair.complete && destroy.len() >= candidates.len() {
                 // Full neighborhood, search exhausted without a budget stop:
@@ -431,6 +465,25 @@ pub(crate) fn solve_lns(
             }
             destroy_count = grow_destroy(destroy_count);
             repair_budgets.grow();
+            restarts += 1;
+            if notify(&mut *observer, |o| {
+                o.on_restart(restarts, repair_budgets.budget())
+            }) {
+                stats.cancelled = true;
+                break;
+            }
+            false
+        };
+        if notify(&mut *observer, |o| {
+            o.on_lns_iteration(stats.lns_iterations, improved, Some(best))
+        }) {
+            stats.cancelled = true;
+            break;
+        }
+        if stats.cancelled {
+            // An observer cancelled inside the repair search: stop the
+            // driver, keeping the incumbent.
+            break;
         }
     }
 
@@ -591,6 +644,53 @@ mod tests {
         let out = m.solve_all(&cfg);
         assert_eq!(out.solutions.len(), 1);
         assert_eq!(out.stats.lns_iterations, 0);
+    }
+
+    #[test]
+    fn lns_emits_a_deterministic_event_stream() {
+        use crate::observe::{EventLog, SolveEvent};
+        use crate::search::{solve_in_observed, SearchSpace};
+        let run = |seed| {
+            let (m, obj) = balance_model(10);
+            let mut log = EventLog::bounded(65536);
+            let mut space = SearchSpace::new();
+            let out = solve_in_observed(
+                &m,
+                Objective::Minimize(obj),
+                &lns_config(seed),
+                &mut space,
+                Some(&mut log),
+            );
+            assert_eq!(log.dropped(), 0);
+            (out.best_objective, log.drain())
+        };
+        let (b1, e1) = run(3);
+        let (b2, e2) = run(3);
+        assert_eq!(b1, b2);
+        assert_eq!(e1, e2, "same seed must replay the same event sequence");
+        assert!(e1
+            .iter()
+            .any(|e| matches!(e, SolveEvent::LnsIteration { .. })));
+        assert!(e1.iter().any(|e| matches!(e, SolveEvent::Incumbent { .. })));
+    }
+
+    #[test]
+    fn lns_cancellation_keeps_the_incumbent() {
+        use crate::observe::EventLog;
+        use crate::search::{solve_in_observed, SearchSpace};
+        let (m, obj) = balance_model(10);
+        let mut log = EventLog::bounded(4096).cancel_after_incumbents(1);
+        let mut space = SearchSpace::new();
+        let out = solve_in_observed(
+            &m,
+            Objective::Minimize(obj),
+            &lns_config(7),
+            &mut space,
+            Some(&mut log),
+        );
+        assert!(out.stats.cancelled);
+        assert!(!out.complete);
+        assert!(out.best.is_some(), "the first incumbent survives");
     }
 
     #[test]

@@ -43,6 +43,7 @@ use std::time::{Duration, Instant};
 use crate::domain::Domain;
 use crate::lns::SolverMode;
 use crate::model::{Model, VarId};
+use crate::observe::{notify, SolveObserver, PROGRESS_NODE_INTERVAL};
 use crate::stats::SearchStats;
 use crate::store::{PropQueue, Store};
 
@@ -294,7 +295,7 @@ impl SearchSpace {
     }
 }
 
-struct Searcher<'m> {
+struct Searcher<'m, 'o, 'p> {
     model: &'m Model,
     objective: Objective,
     config: SearchConfig,
@@ -304,6 +305,11 @@ struct Searcher<'m> {
     best_objective: Option<i64>,
     solutions: Vec<Assignment>,
     stopped: bool,
+    /// Streaming event sink slot; `ControlFlow::Break` from any hook cancels
+    /// the search cooperatively (see [`crate::observe`]). Held as a slot
+    /// reference so nested searches (LNS dives and repairs) can share one
+    /// observer without fighting the trait object's invariant lifetime.
+    observer: &'o mut Option<&'p mut dyn SolveObserver>,
 }
 
 /// Run a search over `model` with the given objective.
@@ -323,13 +329,29 @@ pub fn solve_in(
     config: &SearchConfig,
     space: &mut SearchSpace,
 ) -> SearchOutcome {
+    solve_in_observed(model, objective, config, space, None)
+}
+
+/// [`solve_in`] with a streaming [`SolveObserver`]: incumbents, restarts,
+/// LNS iterations, budget exhaustion and periodic progress are reported as
+/// they happen, and the observer can cancel the search cooperatively by
+/// returning [`std::ops::ControlFlow::Break`] (the outcome then carries the
+/// best incumbent found and [`SearchStats::cancelled`]).
+pub fn solve_in_observed(
+    model: &Model,
+    objective: Objective,
+    config: &SearchConfig,
+    space: &mut SearchSpace,
+    observer: Option<&mut dyn SolveObserver>,
+) -> SearchOutcome {
+    let mut observer = observer;
     if let SolverMode::Lns(lns) = &config.mode {
         if !matches!(objective, Objective::Satisfy) {
             let lns = lns.clone();
-            return crate::lns::solve_lns(model, objective, config, &lns, space);
+            return crate::lns::solve_lns(model, objective, config, &lns, space, &mut observer);
         }
     }
-    solve_exact_in(model, objective, config, space)
+    solve_exact_in(model, objective, config, space, &mut observer)
 }
 
 /// The exact branch-and-bound search (ignores [`SearchConfig::mode`]); the
@@ -339,8 +361,9 @@ pub(crate) fn solve_exact_in(
     objective: Objective,
     config: &SearchConfig,
     space: &mut SearchSpace,
+    observer: &mut Option<&mut dyn SolveObserver>,
 ) -> SearchOutcome {
-    let mut searcher = Searcher::new(model, objective, config.clone());
+    let mut searcher = Searcher::new(model, objective, config.clone(), observer);
     let warm = validated_warm(model, objective, config);
     if let Some((_, value)) = &warm {
         searcher.seed_warm_bound(*value);
@@ -402,7 +425,10 @@ pub(crate) fn warm_start_valid(model: &Model, warm: &Assignment) -> bool {
 /// before any solution appeared but a valid warm assignment exists, report
 /// the warm assignment (it is feasible by validation) instead of "no
 /// solution found".
-fn finish_with_warm(searcher: Searcher<'_>, warm: Option<(Assignment, i64)>) -> SearchOutcome {
+fn finish_with_warm(
+    searcher: Searcher<'_, '_, '_>,
+    warm: Option<(Assignment, i64)>,
+) -> SearchOutcome {
     let mut outcome = searcher.finish();
     if outcome.best.is_none() {
         if let Some((assignment, value)) = warm {
@@ -448,6 +474,8 @@ pub fn complete_hints(
     }
     space.store.push_choice();
     let mut consistent = true;
+    // (The completion probe runs unobserved: its incumbents are warm-start
+    // candidates, not solutions of the caller's search.)
     for &(var, value) in hints {
         let idx = var.index();
         match space.store.assign(idx, value) {
@@ -479,7 +507,7 @@ pub fn complete_hints(
             fail_limit: Some(fail_limit),
             ..Default::default()
         };
-        resolve_subtree(model, objective, &probe_cfg, space, None).best
+        resolve_subtree(model, objective, &probe_cfg, space, None, &mut None).best
     } else {
         None
     };
@@ -511,7 +539,8 @@ pub fn solve_reference(
     objective: Objective,
     config: &SearchConfig,
 ) -> SearchOutcome {
-    let mut searcher = Searcher::new(model, objective, config.clone());
+    let mut no_observer: Option<&mut dyn SolveObserver> = None;
+    let mut searcher = Searcher::new(model, objective, config.clone(), &mut no_observer);
     let warm = validated_warm(model, objective, config);
     if let Some((_, value)) = &warm {
         searcher.seed_warm_bound(*value);
@@ -548,12 +577,13 @@ pub(crate) fn resolve_subtree(
     config: &SearchConfig,
     space: &mut SearchSpace,
     incumbent: Option<i64>,
+    observer: &mut Option<&mut dyn SolveObserver>,
 ) -> SearchOutcome {
     debug_assert!(
         space.store.level() > 0,
         "resolve_subtree requires an open freeze level"
     );
-    let mut searcher = Searcher::new(model, objective, config.clone());
+    let mut searcher = Searcher::new(model, objective, config.clone(), observer);
     searcher.best_objective = incumbent;
     space.frames.clear();
     space.values.clear();
@@ -561,8 +591,13 @@ pub(crate) fn resolve_subtree(
     searcher.finish()
 }
 
-impl<'m> Searcher<'m> {
-    fn new(model: &'m Model, objective: Objective, config: SearchConfig) -> Self {
+impl<'m, 'o, 'p> Searcher<'m, 'o, 'p> {
+    fn new(
+        model: &'m Model,
+        objective: Objective,
+        config: SearchConfig,
+        observer: &'o mut Option<&'p mut dyn SolveObserver>,
+    ) -> Self {
         Searcher {
             model,
             objective,
@@ -573,6 +608,7 @@ impl<'m> Searcher<'m> {
             best_objective: None,
             solutions: Vec::new(),
             stopped: false,
+            observer,
         }
     }
 
@@ -604,6 +640,13 @@ impl<'m> Searcher<'m> {
         }
     }
 
+    /// Mark the search cancelled by the observer: it stops like a limit hit,
+    /// keeping whatever incumbent exists.
+    fn cancel(&mut self) {
+        self.stopped = true;
+        self.stats.cancelled = true;
+    }
+
     fn check_limits(&mut self) -> bool {
         if self.stopped {
             return true;
@@ -616,17 +659,20 @@ impl<'m> Searcher<'m> {
                 return true;
             }
         }
-        if let Some(f) = self.config.fail_limit {
-            if self.stats.fails >= f {
-                self.stopped = true;
-                return true;
+        let budget_hit = self
+            .config
+            .fail_limit
+            .is_some_and(|f| self.stats.fails >= f)
+            || self
+                .config
+                .node_limit
+                .is_some_and(|n| self.stats.nodes >= n);
+        if budget_hit {
+            self.stopped = true;
+            if notify(&mut *self.observer, |o| o.on_node_budget(&self.stats)) {
+                self.stats.cancelled = true;
             }
-        }
-        if let Some(n) = self.config.node_limit {
-            if self.stats.nodes >= n {
-                self.stopped = true;
-                return true;
-            }
+            return true;
         }
         false
     }
@@ -658,18 +704,24 @@ impl<'m> Searcher<'m> {
     fn record_solution(&mut self, domains: &[Domain]) {
         let assignment = Assignment::from_domains(domains);
         self.stats.solutions += 1;
-        match self.objective {
+        let objective_value = match self.objective {
             Objective::Satisfy => {
                 self.best.get_or_insert_with(|| assignment.clone());
-                self.solutions.push(assignment);
+                None
             }
             Objective::Minimize(o) | Objective::Maximize(o) => {
                 let value = assignment.value(o);
                 self.best_objective = Some(value);
                 self.best = Some(assignment.clone());
-                self.solutions.push(assignment);
+                Some(value)
             }
+        };
+        if notify(&mut *self.observer, |o| {
+            o.on_incumbent(objective_value, &assignment)
+        }) {
+            self.cancel();
         }
+        self.solutions.push(assignment);
     }
 
     /// Should this node bisect the domain instead of enumerating values?
@@ -713,6 +765,12 @@ impl<'m> Searcher<'m> {
         }
         self.stats.nodes += 1;
         self.stats.max_depth = self.stats.max_depth.max(depth);
+        if self.stats.nodes % PROGRESS_NODE_INTERVAL == 0
+            && notify(&mut *self.observer, |o| o.on_progress(&self.stats))
+        {
+            self.cancel();
+            return false;
+        }
 
         // Branch-and-bound: tighten the objective with the incumbent. The
         // tightening happens inside this node's trail level, so it is undone

@@ -32,6 +32,9 @@ pub struct SearchStats {
     /// True if the search stopped because of a limit (time, fails, solutions)
     /// rather than exhausting the tree.
     pub limit_reached: bool,
+    /// True if a [`crate::SolveObserver`] cancelled the search cooperatively
+    /// (implies `limit_reached`).
+    pub cancelled: bool,
     /// True if a [`crate::SearchConfig::warm_start`] assignment seeded this
     /// search (the initial branch-and-bound bound for exact search, the
     /// initial incumbent for LNS).
@@ -57,6 +60,7 @@ impl SearchStats {
         self.lns_improvements += other.lns_improvements;
         self.elapsed_micros += other.elapsed_micros;
         self.limit_reached |= other.limit_reached;
+        self.cancelled |= other.cancelled;
         self.warm_start |= other.warm_start;
     }
 }
@@ -82,6 +86,9 @@ impl std::fmt::Display for SearchStats {
         }
         if self.warm_start {
             write!(f, " warm")?;
+        }
+        if self.cancelled {
+            write!(f, " cancelled")?;
         }
         write!(
             f,

@@ -381,7 +381,8 @@ impl AcloudController {
                 ]
             })
             .collect();
-        self.instance.set_table("vm", vm_rows);
+        let mut vm = self.instance.relation("vm").expect("vm is in the schema");
+        vm.set(vm_rows).expect("vm rows match the schema");
         let hosts = dc_hosts(config, dc);
         let host_rows: Vec<Vec<Value>> = hosts
             .iter()
@@ -393,18 +394,30 @@ impl AcloudController {
                 ]
             })
             .collect();
-        self.instance.set_table("host", host_rows);
+        self.instance
+            .relation("host")
+            .expect("host is in the schema")
+            .set(host_rows)
+            .expect("host rows match the schema");
         let mem_rows: Vec<Vec<Value>> = hosts
             .iter()
             .map(|h| vec![Value::Int(*h), Value::Int(config.host_mem_gb)])
             .collect();
-        self.instance.set_table("hostMemThres", mem_rows);
+        self.instance
+            .relation("hostMemThres")
+            .expect("hostMemThres is in the schema")
+            .set(mem_rows)
+            .expect("hostMemThres rows match the schema");
         if self.limited {
             let origin_rows: Vec<Vec<Value>> = hot
                 .iter()
                 .map(|vm| vec![Value::Int(vm.id), Value::Int(placement.host_of(vm.id))])
                 .collect();
-            self.instance.set_table("origin", origin_rows);
+            self.instance
+                .relation("origin")
+                .expect("origin is in the schema")
+                .set(origin_rows)
+                .expect("origin rows match the schema");
         }
 
         let report = match self.instance.invoke_solver() {
@@ -495,10 +508,11 @@ pub fn large_acloud_instance(config: &LargeAcloudConfig, mode: SolverMode) -> Co
         let cpu = rng.gen_range(5i64..60);
         let mem = rng.gen_range(1i64..4);
         total_mem += mem;
-        instance.insert_fact(
-            "vm",
-            vec![Value::Int(vid), Value::Int(cpu), Value::Int(mem)],
-        );
+        instance
+            .relation("vm")
+            .expect("vm is in the schema")
+            .insert(vec![Value::Int(vid), Value::Int(cpu), Value::Int(mem)])
+            .expect("vm rows match the schema");
     }
     // Heterogeneous hosts: uneven background CPU load and uneven memory
     // capacity, with ~2x aggregate memory slack so the instance is feasible
@@ -507,18 +521,20 @@ pub fn large_acloud_instance(config: &LargeAcloudConfig, mode: SolverMode) -> Co
     for hid in 0..config.hosts as i64 {
         let background = rng.gen_range(0i64..40);
         let capacity = base_mem + rng.gen_range(0i64..=base_mem);
-        instance.insert_fact(
-            "host",
-            vec![
+        instance
+            .relation("host")
+            .expect("host is in the schema")
+            .insert(vec![
                 Value::Int(1000 + hid),
                 Value::Int(background),
                 Value::Int(0),
-            ],
-        );
-        instance.insert_fact(
-            "hostMemThres",
-            vec![Value::Int(1000 + hid), Value::Int(capacity)],
-        );
+            ])
+            .expect("host rows match the schema");
+        instance
+            .relation("hostMemThres")
+            .expect("hostMemThres is in the schema")
+            .insert(vec![Value::Int(1000 + hid), Value::Int(capacity)])
+            .expect("hostMemThres rows match the schema");
     }
     instance
 }

@@ -6,7 +6,7 @@
 //! triggers a re-solve. The Fig. 2/3 experiment approximates this with
 //! wholesale table refreshes every 10 minutes; this scenario instead drives
 //! genuine per-tick deltas — VM arrivals, VM departures and host-capacity
-//! drift — through a [`DistributedCologne`] deployment (one ACloud
+//! drift — through a [`cologne::Deployment`] (one ACloud
 //! controller per data center, ticked by the net simulator's timers), so
 //! that consecutive `invokeSolver` executions differ by a handful of tuples.
 //!
@@ -23,7 +23,7 @@ use std::collections::BTreeMap;
 use cologne::datalog::{NodeId, Tuple, Value};
 use cologne::net::{LinkProps, SimTime, Topology};
 use cologne::{
-    DistributedCologne, ProgramParams, SolverBranching, SolverMode, TimerOutcome, VarDomain,
+    DeploymentBuilder, ProgramParams, SolverBranching, SolverMode, TimerOutcome, VarDomain,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -154,13 +154,9 @@ pub struct ChurnTick {
 pub struct ChurnOutcome {
     /// One entry per (tick, data center), in simulation order.
     pub ticks: Vec<ChurnTick>,
-    /// Sum of [`CologneInstance::full_rebuilds`] over all nodes.
-    ///
-    /// [`CologneInstance::full_rebuilds`]: cologne::CologneInstance::full_rebuilds
+    /// Sum of [`cologne::PipelineStats::full_rebuilds`] over all nodes.
     pub full_rebuilds: u64,
-    /// Sum of [`CologneInstance::incremental_builds`] over all nodes.
-    ///
-    /// [`CologneInstance::incremental_builds`]: cologne::CologneInstance::incremental_builds
+    /// Sum of [`cologne::PipelineStats::incremental_builds`] over all nodes.
     pub incremental_builds: u64,
     /// Total search nodes explored across every invocation.
     pub total_search_nodes: u64,
@@ -267,23 +263,30 @@ pub fn run_churn(config: &ChurnConfig) -> ChurnOutcome {
         .with_warm_start(config.incremental)
         .with_delta_grounding(config.incremental);
     let topology = Topology::line(config.data_centers as u32, LinkProps::default());
-    let mut driver = DistributedCologne::homogeneous(topology, ACLOUD_CENTRALIZED, &params)
+    let mut driver = DeploymentBuilder::new(ACLOUD_CENTRALIZED)
+        .params(params)
+        .topology(topology)
+        .build()
         .expect("ACloud program compiles");
 
     let traces = build_traces(config);
     for (dc, trace) in traces.iter().enumerate() {
         let node = NodeId(dc as u32);
         let inst = driver.instance_mut(node).expect("node exists");
-        for vm in &trace.initial_vms {
-            inst.insert_fact("vm", vm.row());
+        let mut vm = inst.relation("vm").expect("vm is in the schema");
+        for row in &trace.initial_vms {
+            vm.insert(row.row()).expect("vm rows match the schema");
         }
         for host in 0..config.hosts_per_dc {
             let hid = churn_host_id(config, dc, host);
-            inst.insert_fact("host", vec![Value::Int(hid), Value::Int(0), Value::Int(0)]);
-            inst.insert_fact(
-                "hostMemThres",
-                vec![Value::Int(hid), Value::Int(trace.initial_capacity)],
-            );
+            inst.relation("host")
+                .expect("host is in the schema")
+                .insert(vec![Value::Int(hid), Value::Int(0), Value::Int(0)])
+                .expect("host rows match the schema");
+            inst.relation("hostMemThres")
+                .expect("hostMemThres is in the schema")
+                .insert(vec![Value::Int(hid), Value::Int(trace.initial_capacity)])
+                .expect("hostMemThres rows match the schema");
         }
         driver.schedule_timer(node, config.tick_interval, 0);
     }
@@ -301,16 +304,24 @@ pub fn run_churn(config: &ChurnConfig) -> ChurnOutcome {
             return TimerOutcome::default();
         };
         let dc = inst.node().0 as usize;
+        let mut vm = inst.relation("vm").expect("vm is in the schema");
         for row in &delta.delete_vms {
-            inst.delete_fact("vm", row.clone());
+            vm.delete(row.clone()).expect("vm rows match the schema");
         }
         for row in &delta.insert_vms {
-            inst.insert_fact("vm", row.clone());
+            vm.insert(row.clone()).expect("vm rows match the schema");
         }
         for &(host, old, new) in &delta.capacity_updates {
             let hid = churn_host_id(config, dc, host as usize);
-            inst.delete_fact("hostMemThres", vec![Value::Int(hid), Value::Int(old)]);
-            inst.insert_fact("hostMemThres", vec![Value::Int(hid), Value::Int(new)]);
+            let mut thres = inst
+                .relation("hostMemThres")
+                .expect("hostMemThres is in the schema");
+            thres
+                .delete(vec![Value::Int(hid), Value::Int(old)])
+                .expect("hostMemThres rows match the schema");
+            thres
+                .insert(vec![Value::Int(hid), Value::Int(new)])
+                .expect("hostMemThres rows match the schema");
         }
         let report = inst.invoke_solver().expect("churn COP grounds");
         ticks.push(ChurnTick {
@@ -331,9 +342,9 @@ pub fn run_churn(config: &ChurnConfig) -> ChurnOutcome {
     let mut full_rebuilds = 0;
     let mut incremental_builds = 0;
     for node in driver.nodes() {
-        let inst = driver.instance(node).expect("node exists");
-        full_rebuilds += inst.full_rebuilds();
-        incremental_builds += inst.incremental_builds();
+        let stats = driver.instance(node).expect("node exists").pipeline_stats();
+        full_rebuilds += stats.full_rebuilds;
+        incremental_builds += stats.incremental_builds;
     }
     let total_search_nodes = ticks.iter().map(|t| t.search_nodes).sum();
     ChurnOutcome {

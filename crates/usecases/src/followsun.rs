@@ -19,7 +19,7 @@ use std::collections::BTreeMap;
 use cologne::datalog::{NodeId, RemoteTuple, Value};
 use cologne::net::{LinkProps, SimTime, Topology};
 use cologne::solver::SearchStats;
-use cologne::{DistributedCologne, ProgramParams, VarDomain};
+use cologne::{Deployment, DeploymentBuilder, DistributedCologne, ProgramParams, VarDomain};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -270,7 +270,10 @@ fn refresh_curvm(driver: &mut DistributedCologne, workload: &FollowSunWorkload, 
         })
         .collect();
     if let Some(inst) = driver.instance_mut(NodeId(node)) {
-        inst.set_table("curVm", rows);
+        inst.relation("curVm")
+            .expect("curVm is in the schema")
+            .set(rows)
+            .expect("curVm rows match the schema");
         let out = inst.run_rules();
         driver.ship(NodeId(node), out);
     }
@@ -287,7 +290,7 @@ fn refresh_curvm(driver: &mut DistributedCologne, workload: &FollowSunWorkload, 
 pub fn build_followsun_deployment(
     config: &FollowSunConfig,
     workload: &FollowSunWorkload,
-) -> DistributedCologne {
+) -> Deployment {
     let source = match config.migration_limit {
         Some(_) => followsun_with_migration_limit(),
         None => FOLLOWSUN_DISTRIBUTED.to_string(),
@@ -300,14 +303,19 @@ pub fn build_followsun_deployment(
         params = params.with_constant("max_migrates", limit);
     }
 
-    let mut driver = DistributedCologne::homogeneous(workload.topology.clone(), &source, &params)
+    let mut driver = DeploymentBuilder::new(&source)
+        .params(params)
+        .topology(workload.topology.clone())
+        .build()
         .expect("Follow-the-Sun program compiles");
 
     // Install the per-node base facts and let the shipping rules distribute
     // neighbour state.
     for node in workload.topology.nodes() {
         for (rel, tuple) in node_facts(workload, node) {
-            driver.insert_fact(NodeId(node), rel, tuple);
+            driver
+                .insert(NodeId(node), rel, tuple)
+                .expect("base facts match the schema");
         }
     }
     driver.run_messages_until(SimTime::from_secs(1));
@@ -339,7 +347,9 @@ pub fn run_followsun(config: &FollowSunConfig) -> FollowSunOutcome {
 
         // Start the negotiation: setLink at the initiator triggers r1.
         let set_link = vec![Value::Addr(NodeId(initiator)), Value::Addr(NodeId(peer))];
-        driver.insert_fact(NodeId(initiator), "setLink", set_link.clone());
+        driver
+            .insert(NodeId(initiator), "setLink", set_link.clone())
+            .expect("setLink matches the schema");
         driver.run_messages_until(deadline);
 
         // Local COP at the initiator. The local objective (aggCost) covers
@@ -405,7 +415,10 @@ pub fn run_followsun(config: &FollowSunConfig) -> FollowSunOutcome {
         driver
             .instance_mut(NodeId(initiator))
             .expect("initiator")
-            .set_table("setLink", vec![]);
+            .relation("setLink")
+            .expect("setLink is in the schema")
+            .set(vec![])
+            .expect("empty refresh is valid");
         driver.run_messages_until(deadline);
 
         let total = workload.allocation_cost() + cumulative_migration_cost;

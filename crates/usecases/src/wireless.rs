@@ -429,22 +429,30 @@ pub fn centralized_assignment(mesh: &MeshNetwork, channels: &[i64]) -> ChannelAs
     let params = centralized_params(config, channels);
     let mut instance = CologneInstance::new(NodeId(0), WIRELESS_CENTRALIZED, params)
         .expect("wireless centralized program compiles");
+    let mut link = instance.relation("link").expect("link is in the schema");
     for (a, b) in mesh.links() {
-        instance.insert_fact("link", vec![Value::Int(a as i64), Value::Int(b as i64)]);
-        instance.insert_fact("link", vec![Value::Int(b as i64), Value::Int(a as i64)]);
+        link.insert(vec![Value::Int(a as i64), Value::Int(b as i64)])
+            .expect("link rows match the schema");
+        link.insert(vec![Value::Int(b as i64), Value::Int(a as i64)])
+            .expect("link rows match the schema");
     }
     for n in mesh.topology.nodes() {
-        instance.insert_fact(
-            "numInterface",
-            vec![Value::Int(n as i64), Value::Int(config.interfaces_per_node)],
-        );
+        instance
+            .relation("numInterface")
+            .expect("numInterface is in the schema")
+            .insert(vec![
+                Value::Int(n as i64),
+                Value::Int(config.interfaces_per_node),
+            ])
+            .expect("numInterface rows match the schema");
         for banned in mesh.primary_users.get(&n).cloned().unwrap_or_default() {
             // only ban channels that are actually in the candidate set
             if channels.contains(&banned) && channels.len() > 1 {
-                instance.insert_fact(
-                    "primaryUser",
-                    vec![Value::Int(n as i64), Value::Int(banned)],
-                );
+                instance
+                    .relation("primaryUser")
+                    .expect("primaryUser is in the schema")
+                    .insert(vec![Value::Int(n as i64), Value::Int(banned)])
+                    .expect("primaryUser rows match the schema");
             }
         }
     }
@@ -494,12 +502,17 @@ pub fn distributed_assignment_with_stats(
         let mut inst = CologneInstance::new(NodeId(n), WIRELESS_DISTRIBUTED, params.clone())
             .expect("wireless distributed program compiles");
         let x = Value::Addr(NodeId(n));
+        let mut link = inst.relation("link").expect("link is in the schema");
         for m in mesh.topology.neighbors(n) {
-            inst.insert_fact("link", vec![x.clone(), Value::Addr(NodeId(m))]);
+            link.insert(vec![x.clone(), Value::Addr(NodeId(m))])
+                .expect("link rows match the schema");
         }
         for banned in mesh.primary_users.get(&n).cloned().unwrap_or_default() {
             if channels.contains(&banned) && channels.len() > 1 {
-                inst.insert_fact("primaryUser", vec![x.clone(), Value::Int(banned)]);
+                inst.relation("primaryUser")
+                    .expect("primaryUser is in the schema")
+                    .insert(vec![x.clone(), Value::Int(banned)])
+                    .expect("primaryUser rows match the schema");
             }
         }
         instances.insert(n, inst);
@@ -582,16 +595,25 @@ fn negotiate_link(
         }
     }
     let inst = instances.get_mut(&initiator).expect("instance exists");
-    inst.set_table("nborChosen", nbor_rows);
-    inst.set_table("nborPrimaryUser", nbor_pu_rows);
-    inst.set_table("chosen", chosen_rows);
-    inst.set_table(
-        "setLink",
-        vec![vec![
+    inst.relation("nborChosen")
+        .expect("nborChosen is in the schema")
+        .set(nbor_rows)
+        .expect("nborChosen rows match the schema");
+    inst.relation("nborPrimaryUser")
+        .expect("nborPrimaryUser is in the schema")
+        .set(nbor_pu_rows)
+        .expect("nborPrimaryUser rows match the schema");
+    inst.relation("chosen")
+        .expect("chosen is in the schema")
+        .set(chosen_rows)
+        .expect("chosen rows match the schema");
+    inst.relation("setLink")
+        .expect("setLink is in the schema")
+        .set(vec![vec![
             Value::Addr(NodeId(initiator)),
             Value::Addr(NodeId(peer)),
-        ]],
-    );
+        ]])
+        .expect("setLink rows match the schema");
     inst.invoke_solver()
         .ok()
         .filter(|r| r.feasible && !r.trivial)
@@ -751,8 +773,10 @@ pub fn one_hop_assignment(mesh: &MeshNetwork) -> ChannelAssignment {
             CologneInstance::new(NodeId(initiator), WIRELESS_DISTRIBUTED, params.clone())
                 .expect("wireless distributed program compiles");
         let x = Value::Addr(NodeId(initiator));
+        let mut link = inst.relation("link").expect("link is in the schema");
         for m in mesh.topology.neighbors(initiator) {
-            inst.insert_fact("link", vec![x.clone(), Value::Addr(NodeId(m))]);
+            link.insert(vec![x.clone(), Value::Addr(NodeId(m))])
+                .expect("link rows match the schema");
         }
         let chosen_rows: Vec<Vec<Value>> = assignment
             .iter()
@@ -762,8 +786,14 @@ pub fn one_hop_assignment(mesh: &MeshNetwork) -> ChannelAssignment {
                 vec![x.clone(), Value::Addr(NodeId(w)), Value::Int(c)]
             })
             .collect();
-        inst.set_table("chosen", chosen_rows);
-        inst.set_table("setLink", vec![vec![x.clone(), Value::Addr(NodeId(peer))]]);
+        inst.relation("chosen")
+            .expect("chosen is in the schema")
+            .set(chosen_rows)
+            .expect("chosen rows match the schema");
+        inst.relation("setLink")
+            .expect("setLink is in the schema")
+            .set(vec![vec![x.clone(), Value::Addr(NodeId(peer))]])
+            .expect("setLink rows match the schema");
         let channel = inst
             .invoke_solver()
             .ok()

@@ -8,8 +8,8 @@
 //!
 //! Run with: `cargo run --release --example lns_large_acloud`
 
-use cologne::SolverMode;
-use cologne_usecases::{solve_large_acloud, LargeAcloudConfig};
+use cologne::{EventLog, SolveEvent, SolverMode};
+use cologne_usecases::{large_acloud_instance, solve_large_acloud, LargeAcloudConfig};
 
 fn main() {
     let config = LargeAcloudConfig::default();
@@ -24,10 +24,34 @@ fn main() {
         exact.objective, exact.proven_optimal, exact.stats
     );
 
-    let lns = solve_large_acloud(&config, SolverMode::Lns(config.lns_params()));
+    // The LNS run streams its progress: every improving incumbent and every
+    // destroy/repair iteration is observable while the search runs.
+    let mut instance = large_acloud_instance(&config, SolverMode::Lns(config.lns_params()));
+    let mut log = EventLog::bounded(65536);
+    let lns = instance
+        .invoke_solver_with_observer(&mut log)
+        .expect("LNS solve runs");
     println!(
         "lns   : objective={:?} proven_optimal={} [{}]",
         lns.objective, lns.proven_optimal, lns.stats
+    );
+    let events = log.drain();
+    let incumbents: Vec<i64> = events
+        .iter()
+        .filter_map(|e| match e {
+            SolveEvent::Incumbent { objective } => *objective,
+            _ => None,
+        })
+        .collect();
+    let iterations = events
+        .iter()
+        .filter(|e| matches!(e, SolveEvent::LnsIteration { .. }))
+        .count();
+    println!(
+        "lns incumbent stream ({} improvements over {} iterations): {:?}",
+        incumbents.len(),
+        iterations,
+        incumbents
     );
 
     let (e, l) = (

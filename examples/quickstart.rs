@@ -1,15 +1,20 @@
 //! Quickstart: write a Colog constraint-optimization policy, feed it system
-//! state, invoke the solver, and read back the optimized configuration.
+//! state through schema-checked relation handles, invoke the solver with a
+//! streaming observer, and read back the optimized configuration.
 //!
 //! This is the centralized ACloud load-balancing program of Sec. 4.2 of the
-//! paper, run on a hand-written five-VM / three-host snapshot.
+//! paper, run on a hand-written five-VM / three-host snapshot through the
+//! typed public API: [`cologne::DeploymentBuilder`] to stand the system up,
+//! [`cologne::RelationHandle`] for validated writes, and
+//! [`cologne::EventLog`] to watch the incumbent stream while the solver
+//! runs.
 //!
 //! ```text
 //! cargo run -p cologne-bench --example quickstart
 //! ```
 
-use cologne::datalog::{NodeId, Value};
-use cologne::{CologneInstance, ProgramParams, VarDomain};
+use cologne::datalog::Value;
+use cologne::{DeploymentBuilder, EventLog, ProgramParams, SolveEvent, VarDomain};
 
 const PROGRAM: &str = r#"
     goal minimize C in hostStdevCpu(C).
@@ -25,30 +30,57 @@ const PROGRAM: &str = r#"
 "#;
 
 fn main() {
-    // 1. Compile the policy. The assignment variables are 0/1.
-    let params = ProgramParams::new().with_var_domain("assign", VarDomain::BOOL);
-    let mut node = CologneInstance::new(NodeId(0), PROGRAM, params).expect("program compiles");
+    // 1. Compile the policy into a (single-node) deployment. The assignment
+    //    variables are 0/1.
+    let mut node = DeploymentBuilder::new(PROGRAM)
+        .params(ProgramParams::new().with_var_domain("assign", VarDomain::BOOL))
+        .build()
+        .expect("program compiles");
+    let target = node.single_node().expect("single-node deployment");
 
-    // 2. Feed the monitored system state: five VMs with their CPU (%) and
-    //    memory (GB), three hosts with 16 GB of memory each.
+    // 2. Feed the monitored system state through schema-checked handles:
+    //    five VMs with their CPU (%) and memory (GB), three hosts with 16 GB
+    //    of memory each. A typo'd relation name or a malformed tuple errors
+    //    here, eagerly — it cannot silently miss every rule.
     let vms = [(1, 42, 2), (2, 35, 4), (3, 18, 2), (4, 55, 4), (5, 27, 2)];
+    let mut vm = node.relation("vm").expect("vm is in the program");
     for (vid, cpu, mem) in vms {
-        node.insert_fact(
-            "vm",
-            vec![Value::Int(vid), Value::Int(cpu), Value::Int(mem)],
-        );
+        vm.insert(vec![Value::Int(vid), Value::Int(cpu), Value::Int(mem)])
+            .expect("vm row matches the schema");
     }
     for hid in [100, 101, 102] {
-        node.insert_fact("host", vec![Value::Int(hid), Value::Int(0), Value::Int(0)]);
-        node.insert_fact("hostMemThres", vec![Value::Int(hid), Value::Int(16)]);
+        node.relation("host")
+            .expect("host is in the program")
+            .insert(vec![Value::Int(hid), Value::Int(0), Value::Int(0)])
+            .expect("host row matches the schema");
+        node.relation("hostMemThres")
+            .expect("hostMemThres is in the program")
+            .insert(vec![Value::Int(hid), Value::Int(16)])
+            .expect("hostMemThres row matches the schema");
     }
+    let typo = node.relation("vmm").expect_err("typos are caught eagerly");
+    println!("schema catalog in action: {typo}");
 
-    // 3. Invoke the solver (the paper's `invokeSolver` event).
-    let report = node.invoke_solver().expect("solver runs");
+    // 3. Invoke the solver (the paper's `invokeSolver` event) with an event
+    //    log attached: every improving incumbent streams out as the search
+    //    runs instead of arriving all-or-nothing at the end.
+    let mut log = EventLog::bounded(1024);
+    let report = node
+        .invoke_at_with_observer(target, &mut log)
+        .expect("solver runs");
     assert!(report.feasible, "the placement problem must be feasible");
 
+    println!("\nincumbent stream (objective = scaled CPU variance):");
+    let mut n = 0u32;
+    for event in log.drain() {
+        if let SolveEvent::Incumbent { objective } = event {
+            n += 1;
+            println!("  on_incumbent #{n}: objective={}", objective.unwrap_or(0));
+        }
+    }
+
     // 4. Read back the optimized VM placement.
-    println!("optimal VM placement (CPU-balanced across hosts):");
+    println!("\noptimal VM placement (CPU-balanced across hosts):");
     let mut per_host: std::collections::BTreeMap<i64, Vec<i64>> = Default::default();
     for row in report.table("assign") {
         let (vid, hid, assigned) = (
@@ -74,6 +106,9 @@ fn main() {
         report.proven_optimal
     );
     // Per-invocation solver effort is also retained on the instance itself.
-    let effort = node.last_solver_stats().expect("solver was invoked");
+    let effort = node
+        .instance(target)
+        .and_then(|i| i.last_solver_stats())
+        .expect("solver was invoked");
     println!("solver effort: {effort}");
 }

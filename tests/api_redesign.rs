@@ -1,0 +1,392 @@
+//! Acceptance tests for the typed session API: schema-checked relation
+//! handles, the unified `DeploymentBuilder`, and streaming solve events.
+//!
+//! Pins the three contracts the redesign introduced:
+//!
+//! 1. **Eager validation** — unknown relations and schema mismatches error
+//!    at the write (with did-you-mean suggestions), including tuples
+//!    received from remote nodes;
+//! 2. **Builder/legacy equivalence** — a deployment built through
+//!    [`DeploymentBuilder`] produces `SolveReport`s byte-identical (modulo
+//!    wall-clock micros) to the legacy `CologneInstance::new` /
+//!    `DistributedCologne::homogeneous` construction on all three paper use
+//!    cases;
+//! 3. **Observer determinism and safe cancellation** — a seeded LNS run on
+//!    the large ACloud instance emits the same event sequence twice, and an
+//!    observer cancellation never poisons the instance (the next invocation
+//!    is a clean full rebuild).
+
+use cologne::datalog::{NodeId, RemoteTuple, Tuple, Value};
+use cologne::net::{LinkProps, SimTime, Topology};
+use cologne::{
+    CologneError, CologneInstance, DeploymentBuilder, EventLog, ProgramParams, SolveEvent,
+    SolveReport, SolverMode, VarDomain,
+};
+use cologne_usecases::programs::{ACLOUD_CENTRALIZED, FOLLOWSUN_DISTRIBUTED, WIRELESS_CENTRALIZED};
+use cologne_usecases::{large_acloud_instance, LargeAcloudConfig};
+
+fn ints(vals: &[i64]) -> Tuple {
+    vals.iter().map(|&v| Value::Int(v)).collect()
+}
+
+/// Debug rendering of a report with the wall-clock component zeroed — the
+/// "byte-identical" comparison unit (every other field, including all
+/// deterministic search counters, participates).
+fn normalized(report: &SolveReport) -> String {
+    let mut r = report.clone();
+    r.stats.elapsed_micros = 0;
+    format!("{r:?}")
+}
+
+// ---------------------------------------------------------------------------
+// 1. error paths
+// ---------------------------------------------------------------------------
+
+fn acloud_params() -> ProgramParams {
+    ProgramParams::new()
+        .with_var_domain("assign", VarDomain::BOOL)
+        .with_solver_max_time(None)
+}
+
+#[test]
+fn unknown_relation_and_schema_mismatch_error_eagerly() {
+    let mut inst = CologneInstance::new(NodeId(0), ACLOUD_CENTRALIZED, acloud_params()).unwrap();
+    // typo in the relation name: rejected at handle acquisition
+    match inst.relation("hostMemThress").unwrap_err() {
+        CologneError::UnknownRelation {
+            relation,
+            suggestion,
+        } => {
+            assert_eq!(relation, "hostMemThress");
+            assert_eq!(suggestion.as_deref(), Some("hostMemThres"));
+        }
+        other => panic!("unexpected error: {other:?}"),
+    }
+    // wrong arity: rejected at the write, nothing queued
+    let err = inst.relation("vm").unwrap_err_on_insert(ints(&[1, 40]));
+    assert!(matches!(err, CologneError::SchemaMismatch { .. }));
+    assert_eq!(inst.scan("vm").count(), 0);
+    // the error message names the relation and the violation
+    assert!(err.to_string().contains("vm"));
+    assert!(err.to_string().contains("arity"));
+}
+
+/// Helper so the test above reads linearly.
+trait UnwrapErrOnInsert {
+    fn unwrap_err_on_insert(self, tuple: Tuple) -> CologneError;
+}
+impl UnwrapErrOnInsert for Result<cologne::RelationHandle<'_>, CologneError> {
+    fn unwrap_err_on_insert(self, tuple: Tuple) -> CologneError {
+        self.unwrap().insert(tuple).unwrap_err()
+    }
+}
+
+#[test]
+fn receive_rejects_malformed_remote_tuples() {
+    let mut inst = CologneInstance::new(NodeId(0), ACLOUD_CENTRALIZED, acloud_params()).unwrap();
+    inst.relation("vm")
+        .unwrap()
+        .insert(ints(&[1, 40, 4]))
+        .unwrap();
+    inst.run_rules();
+
+    // unknown relation from a peer
+    let err = inst
+        .try_receive(&RemoteTuple {
+            dest: NodeId(0),
+            relation: "vn".into(),
+            tuple: ints(&[2, 20, 4]),
+            insert: true,
+        })
+        .unwrap_err();
+    assert!(matches!(err, CologneError::UnknownRelation { .. }));
+
+    // malformed tuple (wrong arity) for a known relation
+    let err = inst
+        .try_receive(&RemoteTuple {
+            dest: NodeId(0),
+            relation: "vm".into(),
+            tuple: ints(&[2]),
+            insert: true,
+        })
+        .unwrap_err();
+    assert!(matches!(err, CologneError::SchemaMismatch { .. }));
+
+    // state was not corrupted by either rejection
+    inst.run_rules();
+    assert_eq!(inst.scan("vm").count(), 1);
+    assert_eq!(inst.scan("vn").count(), 0);
+
+    // a well-formed remote tuple is applied
+    inst.try_receive(&RemoteTuple {
+        dest: NodeId(0),
+        relation: "vm".into(),
+        tuple: ints(&[2, 20, 4]),
+        insert: true,
+    })
+    .unwrap();
+    inst.run_rules();
+    assert_eq!(inst.scan("vm").count(), 2);
+}
+
+#[test]
+fn engine_counts_unknown_relation_inserts() {
+    // Satellite regression: the legacy unchecked path must at least count
+    // (and warn once about) typo'd ingestion instead of staying silent.
+    let mut inst = CologneInstance::new(NodeId(0), ACLOUD_CENTRALIZED, acloud_params()).unwrap();
+    assert_eq!(inst.engine_stats().unknown_relation_inserts, 0);
+    #[allow(deprecated)]
+    inst.insert_fact("vmCpu", ints(&[1, 2]));
+    assert_eq!(inst.engine_stats().unknown_relation_inserts, 1);
+    #[allow(deprecated)]
+    inst.insert_fact("vm", ints(&[1, 40, 4]));
+    assert_eq!(inst.engine_stats().unknown_relation_inserts, 1);
+}
+
+// ---------------------------------------------------------------------------
+// 2. builder-vs-legacy equivalence
+// ---------------------------------------------------------------------------
+
+#[test]
+fn acloud_builder_matches_legacy_byte_for_byte() {
+    let facts: Vec<(&str, Tuple)> = vec![
+        ("vm", ints(&[1, 40, 4])),
+        ("vm", ints(&[2, 20, 4])),
+        ("vm", ints(&[3, 30, 4])),
+        ("host", ints(&[10, 0, 0])),
+        ("host", ints(&[11, 0, 0])),
+        ("host", ints(&[12, 0, 0])),
+        ("hostMemThres", ints(&[10, 16])),
+        ("hostMemThres", ints(&[11, 16])),
+        ("hostMemThres", ints(&[12, 16])),
+    ];
+
+    // legacy surface
+    #[allow(deprecated)]
+    let legacy = {
+        let mut inst =
+            CologneInstance::new(NodeId(0), ACLOUD_CENTRALIZED, acloud_params()).unwrap();
+        for (rel, tuple) in &facts {
+            inst.insert_fact(rel, tuple.clone());
+        }
+        inst.invoke_solver().unwrap()
+    };
+
+    // builder surface
+    let new = {
+        let mut d = DeploymentBuilder::new(ACLOUD_CENTRALIZED)
+            .params(acloud_params())
+            .build()
+            .unwrap();
+        let node = d.single_node().unwrap();
+        for (rel, tuple) in &facts {
+            d.relation(rel).unwrap().insert(tuple.clone()).unwrap();
+        }
+        d.invoke_at(node).unwrap()
+    };
+
+    assert_eq!(normalized(&legacy), normalized(&new), "acloud");
+}
+
+#[test]
+fn wireless_builder_matches_legacy_byte_for_byte() {
+    let params = ProgramParams::new()
+        .with_var_domain("assign", VarDomain::new(1, 3))
+        .with_constant("F_mindiff", 2)
+        .with_solver_max_time(None);
+    let mut facts: Vec<(&str, Tuple)> = Vec::new();
+    for (a, b) in [(1, 2), (2, 3), (1, 3)] {
+        facts.push(("link", ints(&[a, b])));
+        facts.push(("link", ints(&[b, a])));
+    }
+    for n in 1..=3 {
+        facts.push(("numInterface", ints(&[n, 2])));
+    }
+    facts.push(("primaryUser", ints(&[1, 2])));
+
+    #[allow(deprecated)]
+    let legacy = {
+        let mut inst =
+            CologneInstance::new(NodeId(0), WIRELESS_CENTRALIZED, params.clone()).unwrap();
+        for (rel, tuple) in &facts {
+            inst.insert_fact(rel, tuple.clone());
+        }
+        inst.invoke_solver().unwrap()
+    };
+
+    let new = {
+        let mut d = DeploymentBuilder::new(WIRELESS_CENTRALIZED)
+            .params(params)
+            .build()
+            .unwrap();
+        let node = d.single_node().unwrap();
+        for (rel, tuple) in &facts {
+            d.relation(rel).unwrap().insert(tuple.clone()).unwrap();
+        }
+        d.invoke_at(node).unwrap()
+    };
+
+    assert_eq!(normalized(&legacy), normalized(&new), "wireless");
+}
+
+/// Per-node Follow-the-Sun base facts for a 2-DC deployment.
+fn followsun_facts(node: u32) -> Vec<(&'static str, Tuple)> {
+    let x = Value::Addr(NodeId(node));
+    let other = Value::Addr(NodeId(1 - node));
+    let mut facts: Vec<(&'static str, Tuple)> = vec![
+        ("link", vec![x.clone(), other.clone()]),
+        ("opCost", vec![x.clone(), Value::Int(10)]),
+        ("resource", vec![x.clone(), Value::Int(20)]),
+        ("migCost", vec![x.clone(), other, Value::Int(10)]),
+    ];
+    for d in 0..2i64 {
+        facts.push(("dc", vec![x.clone(), Value::Int(d)]));
+        facts.push((
+            "curVm",
+            vec![
+                x.clone(),
+                Value::Int(d),
+                Value::Int(if node == 0 { 6 } else { 1 }),
+            ],
+        ));
+        facts.push((
+            "commCost",
+            vec![
+                x.clone(),
+                Value::Int(d),
+                Value::Int(if node as i64 == d { 10 } else { 80 }),
+            ],
+        ));
+    }
+    facts
+}
+
+#[test]
+fn followsun_builder_matches_legacy_byte_for_byte() {
+    let params = ProgramParams::new()
+        .with_var_domain("migVm", VarDomain::new(-10, 10))
+        .with_solver_node_limit(Some(5_000))
+        .with_solver_max_time(None);
+    let set_link = |n: u32| {
+        (
+            "setLink",
+            vec![Value::Addr(NodeId(1)), Value::Addr(NodeId(n))],
+        )
+    };
+
+    #[allow(deprecated)]
+    let legacy = {
+        let topo = Topology::line(2, LinkProps::default());
+        let mut driver =
+            cologne::DistributedCologne::homogeneous(topo, FOLLOWSUN_DISTRIBUTED, &params).unwrap();
+        for node in [0u32, 1] {
+            for (rel, tuple) in followsun_facts(node) {
+                driver.insert_fact(NodeId(node), rel, tuple);
+            }
+        }
+        let (rel, tuple) = set_link(0);
+        driver.insert_fact(NodeId(1), rel, tuple);
+        driver.run_messages_until(SimTime::from_secs(2));
+        driver.invoke_solvers().unwrap()
+    };
+
+    let new = {
+        let mut d = DeploymentBuilder::new(FOLLOWSUN_DISTRIBUTED)
+            .params(params)
+            .topology(Topology::line(2, LinkProps::default()))
+            .build()
+            .unwrap();
+        for node in [0u32, 1] {
+            for (rel, tuple) in followsun_facts(node) {
+                d.insert(NodeId(node), rel, tuple).unwrap();
+            }
+        }
+        let (rel, tuple) = set_link(0);
+        d.insert(NodeId(1), rel, tuple).unwrap();
+        d.tick(SimTime::from_secs(2));
+        d.invoke().unwrap()
+    };
+
+    assert_eq!(legacy.len(), new.len());
+    for (node, legacy_report) in &legacy {
+        assert_eq!(
+            normalized(legacy_report),
+            normalized(&new[node]),
+            "follow-the-sun node {node:?}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3. observer determinism + cancellation
+// ---------------------------------------------------------------------------
+
+fn lns_config() -> LargeAcloudConfig {
+    LargeAcloudConfig {
+        vms: 60,
+        hosts: 6,
+        node_limit: 6_000,
+        seed: 23,
+    }
+}
+
+#[test]
+fn seeded_lns_observer_stream_is_deterministic() {
+    let run = || {
+        let config = lns_config();
+        let mut inst = large_acloud_instance(&config, SolverMode::Lns(config.lns_params()));
+        let mut log = EventLog::bounded(1 << 16);
+        let report = inst.invoke_solver_with_observer(&mut log).unwrap();
+        assert_eq!(log.dropped(), 0, "the log must capture every event");
+        (normalized(&report), log.drain())
+    };
+    let (report1, events1) = run();
+    let (report2, events2) = run();
+    assert_eq!(report1, report2, "reports must be byte-identical");
+    assert_eq!(events1, events2, "event sequences must be identical");
+    let incumbents = events1
+        .iter()
+        .filter(|e| matches!(e, SolveEvent::Incumbent { .. }))
+        .count();
+    assert!(incumbents >= 1, "at least one incumbent must stream out");
+    assert!(
+        events1
+            .iter()
+            .any(|e| matches!(e, SolveEvent::LnsIteration { .. })),
+        "LNS iterations must be observable"
+    );
+}
+
+#[test]
+fn cancellation_leaves_the_instance_reusable() {
+    let config = lns_config();
+    let mut inst = large_acloud_instance(&config, SolverMode::Lns(config.lns_params()));
+
+    // Cancel mid-search, right after the first incumbent.
+    let mut log = EventLog::bounded(4096).cancel_after_incumbents(1);
+    let cancelled = inst.invoke_solver_with_observer(&mut log).unwrap();
+    assert!(cancelled.stats.cancelled);
+    assert!(!cancelled.proven_optimal);
+    assert!(cancelled.feasible, "the first incumbent is kept");
+    assert_eq!(inst.pipeline_stats().full_rebuilds, 1);
+
+    // The next invocation is a clean full rebuild: no warm start, no
+    // memoized replay, no retained COP — and it completes normally.
+    let report = inst.invoke_solver().unwrap();
+    let stats = inst.pipeline_stats();
+    assert_eq!(
+        stats.full_rebuilds, 2,
+        "the post-cancellation invocation must be a full rebuild"
+    );
+    assert!(
+        !report.stats.warm_start,
+        "a cancelled solve must not seed the warm memory"
+    );
+    assert!(report.feasible);
+    assert!(
+        report.stats.nodes > 0,
+        "the re-solve must actually search, not replay the cancelled report"
+    );
+    // and the cancelled run's objective is reachable again (same COP)
+    assert!(report.objective.is_some());
+}

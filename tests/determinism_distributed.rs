@@ -10,8 +10,8 @@ use std::collections::BTreeMap;
 use cologne::datalog::{NodeId, Value};
 use cologne::net::{NodeTraffic, SimTime, Topology};
 use cologne::{
-    CologneInstance, DistributedCologne, LnsParams, ProgramParams, SolverBranching, SolverMode,
-    VarDomain,
+    CologneInstance, DeploymentBuilder, DistributedCologne, LnsParams, ProgramParams,
+    SolverBranching, SolverMode, VarDomain,
 };
 use cologne_usecases::programs::ACLOUD_CENTRALIZED;
 use cologne_usecases::{build_followsun_deployment, FollowSunConfig, FollowSunWorkload};
@@ -77,11 +77,13 @@ fn run_followsun_parallel(config: &FollowSunConfig) -> Fingerprint {
     for (a, b) in workload.topology.links() {
         let initiator = a.max(b);
         let peer = a.min(b);
-        driver.insert_fact(
-            NodeId(initiator),
-            "setLink",
-            vec![Value::Addr(NodeId(initiator)), Value::Addr(NodeId(peer))],
-        );
+        driver
+            .insert(
+                NodeId(initiator),
+                "setLink",
+                vec![Value::Addr(NodeId(initiator)), Value::Addr(NodeId(peer))],
+            )
+            .unwrap();
     }
     driver.run_messages_until(SimTime::from_secs(60));
     let reports = driver
@@ -125,25 +127,34 @@ fn run_lns_deployment(lns_seed: u64) -> Fingerprint {
             ..Default::default()
         }));
     let topology = Topology::line(2, DistributedCologne::default_link());
-    let mut driver =
-        DistributedCologne::homogeneous(topology, ACLOUD_CENTRALIZED, &params).unwrap();
+    let mut driver = DeploymentBuilder::new(ACLOUD_CENTRALIZED)
+        .params(params)
+        .topology(topology)
+        .build()
+        .unwrap();
     for node in [NodeId(0), NodeId(1)] {
         let inst: &mut CologneInstance = driver.instance_mut(node).unwrap();
         // Distinct workloads per node so the two COPs differ.
         for vid in 0..12i64 {
             let cpu = 10 + 7 * ((vid + node.0 as i64 * 5) % 8);
-            inst.insert_fact("vm", vec![Value::Int(vid), Value::Int(cpu), Value::Int(1)]);
+            inst.relation("vm")
+                .unwrap()
+                .insert(vec![Value::Int(vid), Value::Int(cpu), Value::Int(1)])
+                .unwrap();
         }
         for hid in 0..4i64 {
-            inst.insert_fact(
-                "host",
-                vec![
+            inst.relation("host")
+                .unwrap()
+                .insert(vec![
                     Value::Int(hid),
                     Value::Int(5 * hid * (node.0 as i64 + 1)),
                     Value::Int(0),
-                ],
-            );
-            inst.insert_fact("hostMemThres", vec![Value::Int(hid), Value::Int(8)]);
+                ])
+                .unwrap();
+            inst.relation("hostMemThres")
+                .unwrap()
+                .insert(vec![Value::Int(hid), Value::Int(8)])
+                .unwrap();
         }
     }
     let reports = driver

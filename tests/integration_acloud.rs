@@ -13,12 +13,20 @@ fn instance_with(source: &str, params: ProgramParams) -> CologneInstance {
 }
 
 fn feed_snapshot(inst: &mut CologneInstance, vms: &[(i64, i64, i64)], hosts: &[i64], mem: i64) {
+    let mut vm = inst.relation("vm").unwrap();
     for &(vid, cpu, m) in vms {
-        inst.insert_fact("vm", vec![Value::Int(vid), Value::Int(cpu), Value::Int(m)]);
+        vm.insert(vec![Value::Int(vid), Value::Int(cpu), Value::Int(m)])
+            .unwrap();
     }
     for &hid in hosts {
-        inst.insert_fact("host", vec![Value::Int(hid), Value::Int(0), Value::Int(0)]);
-        inst.insert_fact("hostMemThres", vec![Value::Int(hid), Value::Int(mem)]);
+        inst.relation("host")
+            .unwrap()
+            .insert(vec![Value::Int(hid), Value::Int(0), Value::Int(0)])
+            .unwrap();
+        inst.relation("hostMemThres")
+            .unwrap()
+            .insert(vec![Value::Int(hid), Value::Int(mem)])
+            .unwrap();
     }
 }
 
@@ -63,7 +71,10 @@ fn acloud_migration_limit_enforced_end_to_end() {
     feed_snapshot(&mut inst, &vms, &[10, 11], 16);
     // everything currently on host 10
     for &(vid, _, _) in &vms {
-        inst.insert_fact("origin", vec![Value::Int(vid), Value::Int(10)]);
+        inst.relation("origin")
+            .unwrap()
+            .insert(vec![Value::Int(vid), Value::Int(10)])
+            .unwrap();
     }
     let report = inst.invoke_solver().expect("solve succeeds");
     assert!(report.feasible);
@@ -83,14 +94,14 @@ fn acloud_reoptimizes_incrementally_as_load_changes() {
     let first = inst.invoke_solver().expect("first solve");
     assert!(first.feasible);
     // VM 2's load spikes; the monitoring layer refreshes the vm table
-    inst.set_table(
-        "vm",
-        vec![
+    inst.relation("vm")
+        .unwrap()
+        .set(vec![
             vec![Value::Int(1), Value::Int(80), Value::Int(1)],
             vec![Value::Int(2), Value::Int(85), Value::Int(1)],
             vec![Value::Int(3), Value::Int(75), Value::Int(1)],
-        ],
-    );
+        ])
+        .unwrap();
     let second = inst.invoke_solver().expect("second solve");
     assert!(second.feasible);
     assert_eq!(second.table("assign").len(), 6); // 3 VMs x 2 hosts now

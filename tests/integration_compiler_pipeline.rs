@@ -4,7 +4,7 @@
 
 use cologne::datalog::{NodeId, Value};
 use cologne::net::{LinkProps, SimTime, Topology};
-use cologne::{DistributedCologne, ProgramParams, RuleClass, VarDomain};
+use cologne::{DeploymentBuilder, ProgramParams, RuleClass, VarDomain};
 use cologne_colog::{analyze, generate_cpp, localize_rules, parse_program};
 use cologne_usecases::compactness_table;
 use cologne_usecases::programs::{table2_programs, FOLLOWSUN_DISTRIBUTED};
@@ -38,40 +38,54 @@ fn distributed_followsun_rules_ship_neighbour_state() {
     let params = ProgramParams::new()
         .with_var_domain("migVm", VarDomain::new(-10, 10))
         .with_solver_node_limit(Some(5_000));
-    let topo = Topology::line(2, LinkProps::default());
-    let mut driver = DistributedCologne::homogeneous(topo, FOLLOWSUN_DISTRIBUTED, &params).unwrap();
+    let mut driver = DeploymentBuilder::new(FOLLOWSUN_DISTRIBUTED)
+        .params(params)
+        .topology(Topology::line(2, LinkProps::default()))
+        .build()
+        .unwrap();
 
     for node in [0u32, 1] {
         let x = Value::Addr(NodeId(node));
         let other = Value::Addr(NodeId(1 - node));
-        driver.insert_fact(NodeId(node), "link", vec![x.clone(), other.clone()]);
-        driver.insert_fact(NodeId(node), "opCost", vec![x.clone(), Value::Int(10)]);
-        driver.insert_fact(NodeId(node), "resource", vec![x.clone(), Value::Int(20)]);
-        driver.insert_fact(
-            NodeId(node),
-            "migCost",
-            vec![x.clone(), other, Value::Int(10)],
-        );
+        let n = NodeId(node);
+        driver
+            .insert(n, "link", vec![x.clone(), other.clone()])
+            .unwrap();
+        driver
+            .insert(n, "opCost", vec![x.clone(), Value::Int(10)])
+            .unwrap();
+        driver
+            .insert(n, "resource", vec![x.clone(), Value::Int(20)])
+            .unwrap();
+        driver
+            .insert(n, "migCost", vec![x.clone(), other, Value::Int(10)])
+            .unwrap();
         for d in 0..2i64 {
-            driver.insert_fact(NodeId(node), "dc", vec![x.clone(), Value::Int(d)]);
-            driver.insert_fact(
-                NodeId(node),
-                "curVm",
-                vec![
-                    x.clone(),
-                    Value::Int(d),
-                    Value::Int(if node == 0 { 6 } else { 1 }),
-                ],
-            );
-            driver.insert_fact(
-                NodeId(node),
-                "commCost",
-                vec![
-                    x.clone(),
-                    Value::Int(d),
-                    Value::Int(if node as i64 == d { 10 } else { 80 }),
-                ],
-            );
+            driver
+                .insert(n, "dc", vec![x.clone(), Value::Int(d)])
+                .unwrap();
+            driver
+                .insert(
+                    n,
+                    "curVm",
+                    vec![
+                        x.clone(),
+                        Value::Int(d),
+                        Value::Int(if node == 0 { 6 } else { 1 }),
+                    ],
+                )
+                .unwrap();
+            driver
+                .insert(
+                    n,
+                    "commCost",
+                    vec![
+                        x.clone(),
+                        Value::Int(d),
+                        Value::Int(if node as i64 == d { 10 } else { 80 }),
+                    ],
+                )
+                .unwrap();
         }
     }
     driver.run_messages_until(SimTime::from_secs(2));
@@ -91,7 +105,7 @@ fn distributed_followsun_rules_ship_neighbour_state() {
     );
     let populated = tmp_relations
         .iter()
-        .filter(|rel| !inst0.tuples(rel).is_empty())
+        .filter(|rel| inst0.scan(rel).next().is_some())
         .count();
     assert!(
         populated > 0,

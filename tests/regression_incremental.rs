@@ -53,7 +53,7 @@ fn wireless_base_facts() -> Vec<(&'static str, Tuple)> {
 fn instance(program: &str, params: &ProgramParams, facts: &[(&str, Tuple)]) -> CologneInstance {
     let mut inst = CologneInstance::new(NodeId(0), program, params.clone()).unwrap();
     for (rel, tuple) in facts {
-        inst.insert_fact(rel, tuple.clone());
+        inst.relation(rel).unwrap().insert(tuple.clone()).unwrap();
     }
     inst
 }
@@ -92,22 +92,22 @@ fn check_single_tuple_delta(
     let first = warm.invoke_solver().unwrap();
     assert!(first.feasible, "{context}: base problem must be feasible");
     assert_eq!(
-        warm.full_rebuilds(),
+        warm.pipeline_stats().full_rebuilds,
         1,
         "{context}: first grounding is cold"
     );
-    assert_eq!(warm.incremental_builds(), 0, "{context}");
+    assert_eq!(warm.pipeline_stats().incremental_builds, 0, "{context}");
 
     let (rel, tuple) = &delta;
-    warm.insert_fact(rel, tuple.clone());
+    warm.relation(rel).unwrap().insert(tuple.clone()).unwrap();
     let incremental = warm.invoke_solver().unwrap();
     assert_eq!(
-        warm.full_rebuilds(),
+        warm.pipeline_stats().full_rebuilds,
         1,
         "{context}: the delta re-solve must not be a full rebuild"
     );
     assert_eq!(
-        warm.incremental_builds(),
+        warm.pipeline_stats().incremental_builds,
         1,
         "{context}: the delta re-solve must take the incremental path"
     );
@@ -132,8 +132,12 @@ fn check_single_tuple_delta(
         .with_delta_grounding(false);
     let mut disabled = instance(program, &disabled_params, &all_facts);
     let plain = disabled.invoke_solver().unwrap();
-    assert_eq!(disabled.full_rebuilds(), 1, "{context}: knobs off = cold");
-    assert_eq!(disabled.incremental_builds(), 0, "{context}");
+    assert_eq!(
+        disabled.pipeline_stats().full_rebuilds,
+        1,
+        "{context}: knobs off = cold"
+    );
+    assert_eq!(disabled.pipeline_stats().incremental_builds, 0, "{context}");
     assert_same_result(&plain, &reference, &format!("{context} (knobs off)"));
 }
 
@@ -189,10 +193,13 @@ fn acloud_single_vm_departure_matches_cold_solve() {
     let base = acloud_base_facts();
     let mut warm = instance(ACLOUD_CENTRALIZED, &params, &base);
     warm.invoke_solver().unwrap();
-    warm.delete_fact("vm", ints(&[3, 30, 4]));
+    warm.relation("vm")
+        .unwrap()
+        .delete(ints(&[3, 30, 4]))
+        .unwrap();
     let incremental = warm.invoke_solver().unwrap();
-    assert_eq!(warm.incremental_builds(), 1);
-    assert_eq!(warm.full_rebuilds(), 1);
+    assert_eq!(warm.pipeline_stats().incremental_builds, 1);
+    assert_eq!(warm.pipeline_stats().full_rebuilds, 1);
 
     let remaining: Vec<(&str, Tuple)> = base
         .into_iter()
@@ -215,8 +222,8 @@ fn unchanged_inputs_reuse_the_whole_grounded_cop() {
     // having proved optimality) replays the memoized report without
     // searching.
     let second = inst.invoke_solver().unwrap();
-    assert_eq!(inst.full_rebuilds(), 1);
-    assert_eq!(inst.incremental_builds(), 1);
+    assert_eq!(inst.pipeline_stats().full_rebuilds, 1);
+    assert_eq!(inst.pipeline_stats().incremental_builds, 1);
     assert_same_result(&second, &first, "no-op re-solve");
     assert_eq!(
         inst.cumulative_solver_stats().nodes,
@@ -232,7 +239,10 @@ fn ground_only_between_invocations_drops_the_memoized_report() {
     // Change the database, then consume the delta checkpoint through
     // ground_only: the next invoke_solver sees an empty summary, but must
     // NOT replay the pre-change report.
-    inst.insert_fact("vm", ints(&[4, 50, 4]));
+    inst.relation("vm")
+        .unwrap()
+        .insert(ints(&[4, 50, 4]))
+        .unwrap();
     let cop = inst.ground_only().unwrap();
     inst.recycle(cop);
     let report = inst.invoke_solver().unwrap();
@@ -253,7 +263,10 @@ fn wall_clock_limited_incomplete_solves_are_not_memoized() {
     let params = acloud_params().with_solver_node_limit(Some(3));
     let mut inst = instance(ACLOUD_CENTRALIZED, &params, &acloud_base_facts());
     for vid in 10..16i64 {
-        inst.insert_fact("vm", ints(&[vid, 10 + vid, 1]));
+        inst.relation("vm")
+            .unwrap()
+            .insert(ints(&[vid, 10 + vid, 1]))
+            .unwrap();
     }
     let first = inst.invoke_solver().unwrap();
     assert!(!first.proven_optimal);
@@ -268,7 +281,10 @@ fn wall_clock_limited_incomplete_solves_are_not_memoized() {
     let deterministic = params.clone().with_solver_max_time(None);
     let mut inst = instance(ACLOUD_CENTRALIZED, &deterministic, &acloud_base_facts());
     for vid in 10..16i64 {
-        inst.insert_fact("vm", ints(&[vid, 10 + vid, 1]));
+        inst.relation("vm")
+            .unwrap()
+            .insert(ints(&[vid, 10 + vid, 1]))
+            .unwrap();
     }
     inst.invoke_solver().unwrap();
     let cumulative_after_first = inst.cumulative_solver_stats().nodes;
@@ -285,30 +301,37 @@ fn params_change_forces_a_full_rebuild() {
     let mut inst = instance(ACLOUD_CENTRALIZED, &acloud_params(), &acloud_base_facts());
     inst.invoke_solver().unwrap();
     inst.invoke_solver().unwrap();
-    assert_eq!((inst.full_rebuilds(), inst.incremental_builds()), (1, 1));
+    let stats = inst.pipeline_stats();
+    assert_eq!((stats.full_rebuilds, stats.incremental_builds), (1, 1));
     // A parameter change drops every cross-invocation cache: the next
     // grounding is cold (and not warm-started), the one after is
     // incremental again.
     inst.params_mut().solver_node_limit = Some(1_000_000);
     let after = inst.invoke_solver().unwrap();
-    assert_eq!((inst.full_rebuilds(), inst.incremental_builds()), (2, 1));
+    let stats = inst.pipeline_stats();
+    assert_eq!((stats.full_rebuilds, stats.incremental_builds), (2, 1));
     assert!(
         !after.stats.warm_start,
         "a params change must clear the warm memory"
     );
     inst.invoke_solver().unwrap();
-    assert_eq!((inst.full_rebuilds(), inst.incremental_builds()), (2, 2));
+    let stats = inst.pipeline_stats();
+    assert_eq!((stats.full_rebuilds, stats.incremental_builds), (2, 2));
 }
 
 #[test]
 fn irrelevant_relation_churn_stays_on_the_reuse_path() {
     let mut inst = instance(ACLOUD_CENTRALIZED, &acloud_params(), &acloud_base_facts());
     let first = inst.invoke_solver().unwrap();
-    // A relation no solver rule reads: deltas on it must not trigger any
-    // re-grounding.
+    // A relation the program never mentions: the typed handle refuses it
+    // (that is the point of the schema catalog), so this test exercises the
+    // legacy unchecked path deliberately — irrelevant engine churn must not
+    // trigger any re-grounding.
+    assert!(inst.relation("monitoringHeartbeat").is_err());
+    #[allow(deprecated)]
     inst.insert_fact("monitoringHeartbeat", ints(&[1, 2, 3]));
     let second = inst.invoke_solver().unwrap();
-    assert_eq!(inst.full_rebuilds(), 1);
-    assert_eq!(inst.incremental_builds(), 1);
+    assert_eq!(inst.pipeline_stats().full_rebuilds, 1);
+    assert_eq!(inst.pipeline_stats().incremental_builds, 1);
     assert_same_result(&second, &first, "irrelevant churn");
 }

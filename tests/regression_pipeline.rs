@@ -4,7 +4,7 @@
 //! to the sequential one on the Follow-the-Sun deployment.
 
 use cologne::datalog::{NodeId, Value};
-use cologne::{CologneInstance, DistributedCologne, ProgramParams, SolveReport, VarDomain};
+use cologne::{CologneInstance, Deployment, ProgramParams, SolveReport, VarDomain};
 use cologne_usecases::{build_followsun_deployment, FollowSunConfig, FollowSunWorkload};
 
 const ACLOUD: &str = r#"
@@ -23,14 +23,20 @@ fn acloud_instance() -> CologneInstance {
     let params = ProgramParams::new().with_var_domain("assign", VarDomain::BOOL);
     let mut inst = CologneInstance::new(NodeId(0), ACLOUD, params).unwrap();
     for (vid, cpu, mem) in [(1, 40, 4), (2, 20, 4), (3, 30, 4)] {
-        inst.insert_fact(
-            "vm",
-            vec![Value::Int(vid), Value::Int(cpu), Value::Int(mem)],
-        );
+        inst.relation("vm")
+            .unwrap()
+            .insert(vec![Value::Int(vid), Value::Int(cpu), Value::Int(mem)])
+            .unwrap();
     }
     for hid in [10, 11] {
-        inst.insert_fact("host", vec![Value::Int(hid), Value::Int(0), Value::Int(0)]);
-        inst.insert_fact("hostMemThres", vec![Value::Int(hid), Value::Int(16)]);
+        inst.relation("host")
+            .unwrap()
+            .insert(vec![Value::Int(hid), Value::Int(0), Value::Int(0)])
+            .unwrap();
+        inst.relation("hostMemThres")
+            .unwrap()
+            .insert(vec![Value::Int(hid), Value::Int(16)])
+            .unwrap();
     }
     inst
 }
@@ -79,7 +85,11 @@ fn assert_reports_identical(a: &SolveReport, b: &SolveReport, context: &str) {
 #[test]
 fn repeated_invocations_reuse_plan_and_repeat_reports() {
     let mut inst = acloud_instance();
-    assert_eq!(inst.plan_builds(), 1, "plan built once at construction");
+    assert_eq!(
+        inst.pipeline_stats().plan_builds,
+        1,
+        "plan built once at construction"
+    );
 
     let first = inst.invoke_solver().unwrap();
     assert!(first.feasible && !first.trivial);
@@ -100,15 +110,14 @@ fn repeated_invocations_reuse_plan_and_repeat_reports() {
     // repeats ride the delta-aware path (nothing relevant changed, so the
     // retained COP is reused outright).
     assert_eq!(inst.solver_invocations(), 3);
+    let stats = inst.pipeline_stats();
     assert_eq!(
-        inst.plan_builds(),
-        1,
+        stats.plan_builds, 1,
         "plan must not be rebuilt between invocations"
     );
-    assert_eq!(inst.full_rebuilds(), 1, "only the first grounding is cold");
+    assert_eq!(stats.full_rebuilds, 1, "only the first grounding is cold");
     assert_eq!(
-        inst.incremental_builds(),
-        2,
+        stats.incremental_builds, 2,
         "both repeats take the delta-aware path"
     );
 }
@@ -117,7 +126,7 @@ fn repeated_invocations_reuse_plan_and_repeat_reports() {
 fn parameter_changes_rebuild_the_plan_lazily() {
     let mut inst = acloud_instance();
     inst.invoke_solver().unwrap();
-    assert_eq!(inst.plan_builds(), 1);
+    assert_eq!(inst.pipeline_stats().plan_builds, 1);
 
     // Touching the parameters invalidates the plan; the rebuild happens on
     // the next invocation, not immediately.
@@ -125,14 +134,22 @@ fn parameter_changes_rebuild_the_plan_lazily() {
         .params()
         .clone()
         .with_var_domain("assign", VarDomain::new(0, 1));
-    assert_eq!(inst.plan_builds(), 1, "rebuild is lazy");
+    assert_eq!(inst.pipeline_stats().plan_builds, 1, "rebuild is lazy");
     inst.invoke_solver().unwrap();
-    assert_eq!(inst.plan_builds(), 2, "invalidated plan rebuilt once");
+    assert_eq!(
+        inst.pipeline_stats().plan_builds,
+        2,
+        "invalidated plan rebuilt once"
+    );
     inst.invoke_solver().unwrap();
-    assert_eq!(inst.plan_builds(), 2, "clean plan reused again");
+    assert_eq!(
+        inst.pipeline_stats().plan_builds,
+        2,
+        "clean plan reused again"
+    );
 }
 
-fn deployment_with_negotiations() -> DistributedCologne {
+fn deployment_with_negotiations() -> Deployment {
     let config = FollowSunConfig {
         data_centers: 4,
         capacity: 30,
@@ -156,11 +173,13 @@ fn deployment_with_negotiations() -> DistributedCologne {
     // neighbour), so every per-node COP is non-trivial.
     for node in workload.topology.nodes() {
         let peer = workload.topology.neighbors(node)[0];
-        driver.insert_fact(
-            NodeId(node),
-            "setLink",
-            vec![Value::Addr(NodeId(node)), Value::Addr(NodeId(peer))],
-        );
+        driver
+            .insert(
+                NodeId(node),
+                "setLink",
+                vec![Value::Addr(NodeId(node)), Value::Addr(NodeId(peer))],
+            )
+            .unwrap();
     }
     driver.run_messages_until(cologne::net::SimTime::from_secs(2));
     driver
@@ -201,13 +220,17 @@ fn parallel_solver_invocation_matches_sequential_byte_for_byte() {
     for node in sequential.nodes() {
         let s = sequential.instance(node).unwrap();
         let p = parallel.instance(node).unwrap();
-        assert_eq!(s.relations(), p.relations(), "node {node:?}: relation sets");
-        for rel in s.relations() {
-            assert_eq!(
-                s.tuples(&rel),
-                p.tuples(&rel),
-                "node {node:?}: relation {rel} diverged"
-            );
+        assert_eq!(
+            s.relation_names(),
+            p.relation_names(),
+            "node {node:?}: relation sets"
+        );
+        for rel in s.relation_names() {
+            let mut st: Vec<_> = s.scan(rel).cloned().collect();
+            let mut pt: Vec<_> = p.scan(rel).cloned().collect();
+            st.sort();
+            pt.sort();
+            assert_eq!(st, pt, "node {node:?}: relation {rel} diverged");
         }
     }
 

@@ -74,14 +74,20 @@ fn acloud_instance() -> CologneInstance {
         .with_solver_node_limit(Some(50_000));
     let mut inst = CologneInstance::new(NodeId(0), ACLOUD_CENTRALIZED, params).unwrap();
     for (vid, cpu, mem) in [(1, 40, 4), (2, 20, 4), (3, 30, 4), (4, 25, 4)] {
-        inst.insert_fact(
-            "vm",
-            vec![Value::Int(vid), Value::Int(cpu), Value::Int(mem)],
-        );
+        inst.relation("vm")
+            .unwrap()
+            .insert(vec![Value::Int(vid), Value::Int(cpu), Value::Int(mem)])
+            .unwrap();
     }
     for hid in [10, 11, 12] {
-        inst.insert_fact("host", vec![Value::Int(hid), Value::Int(0), Value::Int(0)]);
-        inst.insert_fact("hostMemThres", vec![Value::Int(hid), Value::Int(8)]);
+        inst.relation("host")
+            .unwrap()
+            .insert(vec![Value::Int(hid), Value::Int(0), Value::Int(0)])
+            .unwrap();
+        inst.relation("hostMemThres")
+            .unwrap()
+            .insert(vec![Value::Int(hid), Value::Int(8)])
+            .unwrap();
     }
     inst
 }
@@ -123,9 +129,12 @@ fn branching_param_change_applies_on_next_invocation() {
     inst.params_mut().solver_branching = SolverBranching::InputOrder;
     inst.invoke_solver().unwrap();
     assert_eq!(inst.search_config().branching, Branching::InputOrder);
-    // Manual overrides through the live surface stick until the next
-    // parameter change.
-    inst.search_config_mut().branching = Branching::LargestDomain;
+    // The merged settings view applies heuristics through one validated
+    // entry point; like a params change, it invalidates the pipeline.
+    let mut settings = inst.solver_settings();
+    assert_eq!(settings.branching, SolverBranching::InputOrder);
+    settings.branching = SolverBranching::LargestDomain;
+    inst.apply_solver_settings(&settings).unwrap();
     inst.invoke_solver().unwrap();
     assert_eq!(inst.search_config().branching, Branching::LargestDomain);
 }
@@ -140,14 +149,21 @@ fn wireless_instance() -> CologneInstance {
         .with_solver_node_limit(Some(50_000));
     let mut inst = CologneInstance::new(NodeId(0), WIRELESS_CENTRALIZED, params).unwrap();
     // A 4-node line topology with one primary user.
+    let mut link = inst.relation("link").unwrap();
     for (a, b) in [(0i64, 1i64), (1, 2), (2, 3)] {
-        inst.insert_fact("link", vec![Value::Int(a), Value::Int(b)]);
-        inst.insert_fact("link", vec![Value::Int(b), Value::Int(a)]);
+        link.insert(vec![Value::Int(a), Value::Int(b)]).unwrap();
+        link.insert(vec![Value::Int(b), Value::Int(a)]).unwrap();
     }
     for n in 0..4i64 {
-        inst.insert_fact("numInterface", vec![Value::Int(n), Value::Int(2)]);
+        inst.relation("numInterface")
+            .unwrap()
+            .insert(vec![Value::Int(n), Value::Int(2)])
+            .unwrap();
     }
-    inst.insert_fact("primaryUser", vec![Value::Int(1), Value::Int(channels[0])]);
+    inst.relation("primaryUser")
+        .unwrap()
+        .insert(vec![Value::Int(1), Value::Int(channels[0])])
+        .unwrap();
     inst
 }
 
@@ -176,11 +192,13 @@ fn followsun_cop_trail_matches_reference() {
     let initiator = {
         let (a, b) = workload.topology.links()[0];
         let (initiator, peer) = (a.max(b), a.min(b));
-        driver.insert_fact(
-            NodeId(initiator),
-            "setLink",
-            vec![Value::Addr(NodeId(initiator)), Value::Addr(NodeId(peer))],
-        );
+        driver
+            .insert(
+                NodeId(initiator),
+                "setLink",
+                vec![Value::Addr(NodeId(initiator)), Value::Addr(NodeId(peer))],
+            )
+            .unwrap();
         driver.run_messages_until(cologne::net::SimTime::from_secs(2));
         initiator
     };
