@@ -1,0 +1,134 @@
+//! Scale benchmarks of the rewritten Datalog engine: grounding 10^5–10^6
+//! tuples through the bulk-ingest path and evaluating chain- and
+//! cloud-shaped joins with the compiled rule plans. Complements
+//! `bench_datalog` (small-input latency) with the throughput regime the
+//! PR 6 rewrite targets: interned rows, lazy hash join indexes and
+//! batched delta application.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cologne_datalog::{
+    AggFunc, Atom, BodyItem, Engine, Expr, Head, HeadArg, NodeId, Op, Rule, Term, Tuple, Value,
+};
+
+/// Two-hop reachability over a long chain: `hop2(X,Z) <- edge(X,Y),
+/// edge(Y,Z)` then `hop4(X,Z) <- hop2(X,Y), hop2(Y,Z)`. Output stays
+/// linear in the edge count, so the bench measures join/index throughput
+/// rather than quadratic closure blowup.
+fn chain_engine() -> Engine {
+    let mut e = Engine::new(NodeId(0));
+    e.add_rule(Rule::new(
+        "h2",
+        Head::simple("hop2", vec![Term::var("X"), Term::var("Z")]),
+        vec![
+            BodyItem::Atom(Atom::new("edge", vec![Term::var("X"), Term::var("Y")])),
+            BodyItem::Atom(Atom::new("edge", vec![Term::var("Y"), Term::var("Z")])),
+        ],
+    ));
+    e.add_rule(Rule::new(
+        "h4",
+        Head::simple("hop4", vec![Term::var("X"), Term::var("Z")]),
+        vec![
+            BodyItem::Atom(Atom::new("hop2", vec![Term::var("X"), Term::var("Y")])),
+            BodyItem::Atom(Atom::new("hop2", vec![Term::var("Y"), Term::var("Z")])),
+        ],
+    ));
+    e
+}
+
+fn chain_edges(n: usize) -> Vec<Tuple> {
+    (0..n as i64)
+        .map(|i| vec![Value::Int(i), Value::Int(i + 1)])
+        .collect()
+}
+
+fn bench_chain_ground(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datalog_scale/chain_hops");
+    for n in [100_000usize, 1_000_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut e = chain_engine();
+                e.try_insert_all("edge", chain_edges(n)).unwrap();
+                e.run();
+                black_box((e.relation_len("hop2"), e.relation_len("hop4")))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Cloud-shaped workload from the ACloud use case: `assign(V,H,C)` facts
+/// fan in onto hosts, `hostSpec(H,S)` joins per host, a SUM aggregate
+/// maintains per-host load and a filter flags overloaded hosts.
+fn cloud_engine(threshold: i64) -> Engine {
+    let mut e = Engine::new(NodeId(0));
+    e.add_rule(Rule::new(
+        "p1",
+        Head::simple(
+            "placement",
+            vec![Term::var("V"), Term::var("H"), Term::var("S")],
+        ),
+        vec![
+            BodyItem::Atom(Atom::new(
+                "assign",
+                vec![Term::var("V"), Term::var("H"), Term::var("C")],
+            )),
+            BodyItem::Atom(Atom::new("hostSpec", vec![Term::var("H"), Term::var("S")])),
+        ],
+    ));
+    e.add_rule(Rule::new(
+        "a1",
+        Head {
+            relation: "hostCpu".into(),
+            args: vec![
+                HeadArg::Term(Term::var("H")),
+                HeadArg::Agg(AggFunc::Sum, "C".into()),
+            ],
+            located: false,
+        },
+        vec![BodyItem::Atom(Atom::new(
+            "assign",
+            vec![Term::var("V"), Term::var("H"), Term::var("C")],
+        ))],
+    ));
+    e.add_rule(Rule::new(
+        "o1",
+        Head::simple("overloaded", vec![Term::var("H")]),
+        vec![
+            BodyItem::Atom(Atom::new("hostCpu", vec![Term::var("H"), Term::var("L")])),
+            BodyItem::Filter(Expr::bin(Op::Gt, Expr::var("L"), Expr::int(threshold))),
+        ],
+    ));
+    e
+}
+
+fn bench_cloud_ground(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datalog_scale/cloud_join_agg");
+    for n in [100_000usize, 1_000_000] {
+        let hosts = (n / 100) as i64;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let assigns: Vec<Tuple> = (0..n as i64)
+                .map(|v| vec![Value::Int(v), Value::Int(v % hosts), Value::Int(v % 40)])
+                .collect();
+            let specs: Vec<Tuple> = (0..hosts)
+                .map(|h| vec![Value::Int(h), Value::Int(h % 4)])
+                .collect();
+            b.iter(|| {
+                let mut e = cloud_engine(30 * 100);
+                e.try_insert_all("hostSpec", specs.clone()).unwrap();
+                e.try_insert_all("assign", assigns.clone()).unwrap();
+                e.run();
+                black_box((e.relation_len("placement"), e.relation_len("overloaded")))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_chain_ground, bench_cloud_ground
+}
+criterion_main!(benches);

@@ -151,6 +151,30 @@ fn pred_args_comment(p: &Predicate) -> String {
     format!("{}({})", p.name, args.join(","))
 }
 
+/// How the Datalog engine will evaluate a regular rule, mirroring the
+/// classification in `cologne_datalog::Engine::add_rule`: rules with an
+/// aggregate head or a repeated body relation are recomputed and diffed
+/// against the previous output; everything else is maintained
+/// incrementally with pipelined per-delta counting.
+fn engine_eval_mode(rule: &RuleDecl) -> &'static str {
+    let aggregate = rule.head.args.iter().any(|a| matches!(a, Arg::Agg(_, _)));
+    let mut names: Vec<&str> = rule
+        .body
+        .iter()
+        .filter_map(|b| match b {
+            BodyElem::Pred(p) => Some(p.name.as_str()),
+            _ => None,
+        })
+        .collect();
+    names.sort_unstable();
+    let repeats = names.windows(2).any(|w| w[0] == w[1]);
+    if aggregate || repeats {
+        "recompute-diff"
+    } else {
+        "pipelined-delta"
+    }
+}
+
 fn emit_regular_rule(out: &mut String, rule: &RuleDecl) {
     let preds: Vec<&Predicate> = rule
         .body
@@ -162,9 +186,10 @@ fn emit_regular_rule(out: &mut String, rule: &RuleDecl) {
         .collect();
     let exprs = rule.body.len() - preds.len();
     out.push_str(&format!(
-        "// rule {}: {} <- ...\n",
+        "// rule {}: {} <- ...  [engine: {}]\n",
         rule.label,
-        pred_args_comment(&rule.head)
+        pred_args_comment(&rule.head),
+        engine_eval_mode(rule)
     ));
     for (ti, trigger) in preds.iter().enumerate() {
         out.push_str(&format!(

@@ -67,7 +67,9 @@
 //! constants and rule layouts may shift (see
 //! [`crate::CologneInstance::full_rebuilds`]).
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::rc::Rc;
 
 use cologne_colog::{
     Analysis, Arg, BodyElem, CExpr, COp, GoalKind, Predicate, Program, ProgramParams, RuleClass,
@@ -396,6 +398,7 @@ impl GroundingPlan {
             model: std::mem::take(&mut scratch.model),
             syms: std::mem::take(&mut scratch.syms),
             solver_tables: BTreeMap::new(),
+            table_cache: RefCell::new(HashMap::new()),
         };
         run.ground_var_decls()?;
         run.ground_derivation_rules()?;
@@ -540,6 +543,12 @@ struct GroundingRun<'a> {
     model: Model,
     syms: Vec<VarId>,
     solver_tables: BTreeMap<String, Vec<Tuple>>,
+    /// Per-run memo of engine tables: the engine is immutable for the
+    /// duration of a grounding, and the same relation is read once per rule
+    /// that mentions it, so sorting and cloning it each time is pure waste
+    /// on large groundings. Solver tables are never cached here — they grow
+    /// while the run progresses.
+    table_cache: RefCell<HashMap<String, Rc<Vec<Tuple>>>>,
 }
 
 impl<'a> GroundingRun<'a> {
@@ -557,14 +566,23 @@ impl<'a> GroundingRun<'a> {
             || self.solver_tables.contains_key(relation)
     }
 
-    fn table_tuples(&self, relation: &str) -> Vec<Tuple> {
+    fn table_tuples(&self, relation: &str) -> Rc<Vec<Tuple>> {
         if self.is_solver_table(relation) {
-            self.solver_tables
-                .get(relation)
-                .cloned()
-                .unwrap_or_default()
+            Rc::new(
+                self.solver_tables
+                    .get(relation)
+                    .cloned()
+                    .unwrap_or_default(),
+            )
         } else {
-            self.engine.tuples(relation)
+            if let Some(hit) = self.table_cache.borrow().get(relation) {
+                return Rc::clone(hit);
+            }
+            let tuples = Rc::new(self.engine.tuples(relation));
+            self.table_cache
+                .borrow_mut()
+                .insert(relation.to_string(), Rc::clone(&tuples));
+            tuples
         }
     }
 
@@ -586,10 +604,10 @@ impl<'a> GroundingRun<'a> {
             let domain = vp.domain;
             let sym_start = self.syms.len();
             let row_start = self.solver_tables.get(&vd.table.name).map_or(0, Vec::len);
-            let forall_tuples = self.engine.tuples(&vd.forall.name);
-            for tuple in forall_tuples {
+            let forall_tuples = self.table_tuples(&vd.forall.name);
+            for tuple in forall_tuples.iter() {
                 let mut bindings = Bindings::new();
-                if !match_predicate(&vd.forall, &tuple, &mut bindings, self.params) {
+                if !match_predicate(&vd.forall, tuple, &mut bindings, self.params) {
                     continue;
                 }
                 let mut row = Vec::with_capacity(vd.table.args.len());
@@ -919,7 +937,7 @@ impl<'a> GroundingRun<'a> {
                 BodyElem::Pred(pred) => {
                     let tuples = self.table_tuples(&pred.name);
                     for b in &frontier {
-                        for t in &tuples {
+                        for t in tuples.iter() {
                             let mut nb = b.clone();
                             if self.match_with_symbolic(pred, t, &mut nb, force) {
                                 next.push(nb);
@@ -1286,7 +1304,7 @@ impl<'a> GroundingRun<'a> {
         let tuples = self.table_tuples(&goal.relation);
         let mut terms: Vec<(i64, VarId)> = Vec::new();
         let mut constant = 0i64;
-        for t in &tuples {
+        for t in tuples.iter() {
             match t.get(position) {
                 Some(Value::Sym(s)) => terms.push((1, self.sym_var(*s))),
                 Some(other) => constant += other.as_f64().unwrap_or(0.0).round() as i64,

@@ -10,16 +10,58 @@
 //! Rules whose head contains aggregates (or whose body repeats a relation)
 //! are maintained by full re-evaluation followed by diffing — semantically
 //! identical, and the affected rules in the paper's programs are tiny.
+//!
+//! ## Evaluation-core architecture
+//!
+//! The engine is built for the 10^5–10^6-tuple groundings of the paper's
+//! scaling experiments; four layers cooperate:
+//!
+//! * **Interning** ([`crate::intern`]) — relation names and `Value::Str`
+//!   payloads are mapped to dense `u32` ids at the API boundary, so every
+//!   internal structure is keyed by [`crate::RelId`]-style indexes instead
+//!   of `String` hash maps and stored rows are flat arrays of copyable
+//!   words ([`crate::tuple::IRow`]).
+//! * **Indexed stores** ([`crate::tuple::RelStore`]) — each relation is a
+//!   deduplicating arena with counted multiplicities, an O(1) visible
+//!   count, and per-(arity, bound-column-set) hash indexes built lazily the
+//!   first time a compiled plan probes that column set.
+//! * **Compiled plans** ([`crate::plan`]) — `add_rule` compiles each rule
+//!   once into a [`crate::plan::RulePlan`]: positional slot bindings,
+//!   per-column match actions, probe keys, and a safety-checked join order
+//!   (selections and index probes replace the interpreted
+//!   `Atom::match_tuple`/`Bindings` walk). The pipelined delta loop fires
+//!   the pinned variant of a plan for each delta tuple, joining only
+//!   against indexed stabilized relations.
+//! * **Batched delta bookkeeping** — visibility changes are accumulated in
+//!   dense per-relation counters during a run and folded into the
+//!   name-keyed [`DeltaSummary`] once at the end, so the hot loop never
+//!   touches a `BTreeMap<String, _>`.
+//!
+//! The original interpreted engine is preserved as [`reference`] (the
+//! executable specification); the equivalence test-suite asserts both
+//! engines agree on fixpoint tables, delta summaries and outbox contents.
+
+pub mod reference;
 
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
-use crate::expr::{Bindings, Term};
-use crate::rule::{BodyItem, HeadArg, Rule};
+use crate::expr::Bindings;
+use crate::intern::Interner;
+use crate::plan::{self, HeadCol, HeadPlan, RulePlan};
+use crate::rule::{BodyItem, Rule};
 use crate::schema::{did_you_mean, IngestError, SchemaSet};
-use crate::tuple::{Relation, Tuple};
+use crate::tuple::{IRow, IVal, RelStore, Tuple};
 use crate::value::{NodeId, Value};
 
+pub use reference::ReferenceEngine;
+
 /// A tuple addressed to another Cologne instance.
+///
+/// Remote tuples always carry the *resolved* relation name and string
+/// values: interner ids are engine-local, so content (not ids) crosses the
+/// wire and the receiving engine re-interns on ingest. Two nodes therefore
+/// converge to identical tables even when their insertion orders — and thus
+/// their id assignments — differ.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RemoteTuple {
     /// Destination node.
@@ -125,30 +167,44 @@ impl DeltaSummary {
     }
 }
 
+/// An internal pending delta: interned relation id plus interned row.
 #[derive(Debug, Clone)]
-struct Delta {
-    relation: String,
-    tuple: Tuple,
+struct IDelta {
+    rel: u32,
+    row: IRow,
     insert: bool,
 }
 
 /// The per-node Datalog engine.
 pub struct Engine {
     node: NodeId,
-    relations: HashMap<String, Relation>,
+    interner: Interner,
+    /// Relation stores, indexed by relation id (always sized to the
+    /// interner's relation count).
+    stores: Vec<RelStore>,
+    /// Whether the relation "exists" in the legacy sense: a delta has been
+    /// applied to it (mirrors the reference engine's lazily created
+    /// `HashMap` entries, which persist even when no visibility changed).
+    exists: Vec<bool>,
     rules: Vec<Rule>,
-    /// relation name -> indices of rules that mention it in their body
-    trigger: HashMap<String, Vec<usize>>,
-    /// rules maintained by recompute-and-diff (aggregates, repeated body
-    /// relations)
-    recompute_rules: HashSet<usize>,
-    /// previous output of recompute rules
-    prev_output: HashMap<usize, Vec<Tuple>>,
-    pending: VecDeque<Delta>,
+    /// Compiled plan per rule (parallel to `rules`).
+    plans: Vec<RulePlan>,
+    /// relation id -> indices of rules that mention it in their body
+    trigger: Vec<Vec<usize>>,
+    /// previous output of recompute rules (interned rows, sorted)
+    prev_output: HashMap<usize, Vec<IRow>>,
+    pending: VecDeque<IDelta>,
     outbox: Vec<RemoteTuple>,
     stats: EngineStats,
-    /// Visibility changes since the last [`Engine::take_delta_summary`].
+    /// Visibility changes since the last [`Engine::take_delta_summary`],
+    /// folded from the dense counters at the end of each run.
     delta: DeltaSummary,
+    /// Dense per-relation insert/delete counters for the current run —
+    /// the batched form of [`DeltaSummary`] bookkeeping.
+    delta_ins: Vec<u64>,
+    delta_del: Vec<u64>,
+    /// Relations touched by the dense counters, in first-touch order.
+    delta_touched: Vec<u32>,
     /// Relation names mentioned by any installed rule (head or body) — the
     /// IDB part of the unknown-relation check.
     rule_relations: HashSet<String>,
@@ -163,15 +219,20 @@ impl Engine {
     pub fn new(node: NodeId) -> Self {
         Engine {
             node,
-            relations: HashMap::new(),
+            interner: Interner::default(),
+            stores: Vec::new(),
+            exists: Vec::new(),
             rules: Vec::new(),
-            trigger: HashMap::new(),
-            recompute_rules: HashSet::new(),
+            plans: Vec::new(),
+            trigger: Vec::new(),
             prev_output: HashMap::new(),
             pending: VecDeque::new(),
             outbox: Vec::new(),
             stats: EngineStats::default(),
             delta: DeltaSummary::default(),
+            delta_ins: Vec::new(),
+            delta_del: Vec::new(),
+            delta_touched: Vec::new(),
             rule_relations: HashSet::new(),
             schemas: SchemaSet::new(),
             warned_unknown: HashSet::new(),
@@ -202,6 +263,7 @@ impl Engine {
     /// grounding, so clean relations can keep their previously grounded
     /// variables and constraints.
     pub fn take_delta_summary(&mut self) -> DeltaSummary {
+        self.flush_delta();
         std::mem::take(&mut self.delta)
     }
 
@@ -217,7 +279,41 @@ impl Engine {
         &self.schemas
     }
 
+    /// Grow the dense per-relation vectors to the interner's relation count.
+    fn grow(&mut self) {
+        let n = self.interner.rels.len();
+        if self.stores.len() < n {
+            self.stores.resize_with(n, RelStore::default);
+            self.exists.resize(n, false);
+            self.trigger.resize_with(n, Vec::new);
+            self.delta_ins.resize(n, 0);
+            self.delta_del.resize(n, 0);
+        }
+    }
+
+    /// Intern a relation name and make sure the dense vectors cover it.
+    fn rel_id(&mut self, relation: &str) -> u32 {
+        let id = self.interner.rels.intern(relation);
+        self.grow();
+        id
+    }
+
+    /// Store of an existing relation (one that has seen a delta), if any.
+    fn store_by_name(&self, relation: &str) -> Option<&RelStore> {
+        let id = self.interner.rels.lookup(relation)? as usize;
+        if *self.exists.get(id)? {
+            self.stores.get(id)
+        } else {
+            None
+        }
+    }
+
     /// Install a rule. Rules may be added before or after facts.
+    ///
+    /// The rule is compiled once into a [`RulePlan`]; aggregate rules and
+    /// rules whose body repeats a relation are classified for maintenance
+    /// by recompute-and-diff, everything else gets pinned delta plans for
+    /// pipelined firing.
     pub fn add_rule(&mut self, rule: Rule) {
         let idx = self.rules.len();
         self.rule_relations.insert(rule.head.relation.clone());
@@ -230,14 +326,20 @@ impl Engine {
             sorted.sort_unstable();
             sorted.windows(2).any(|w| w[0] == w[1])
         };
-        if rule.is_aggregate() || repeats {
-            self.recompute_rules.insert(idx);
-        }
+        let recompute = rule.is_aggregate() || repeats;
+        let compiled = plan::compile(&rule, recompute, &mut self.interner);
+        self.grow();
         body_rels.sort_unstable();
         body_rels.dedup();
         for rel in body_rels {
-            self.trigger.entry(rel.to_string()).or_default().push(idx);
+            let id = self
+                .interner
+                .rels
+                .lookup(rel)
+                .expect("compile interns every body relation");
+            self.trigger[id as usize].push(idx);
         }
+        self.plans.push(compiled);
         self.rules.push(rule);
     }
 
@@ -257,7 +359,7 @@ impl Engine {
     /// facts are stored under it, a rule mentions it, or a schema declares
     /// it.
     pub fn known_relation(&self, relation: &str) -> bool {
-        self.relations.contains_key(relation)
+        self.store_by_name(relation).is_some()
             || self.rule_relations.contains(relation)
             || self.schemas.contains(relation)
     }
@@ -266,9 +368,11 @@ impl Engine {
     /// did-you-mean diagnostics.
     pub fn suggest_relation(&self, relation: &str) -> Option<String> {
         let mut names: Vec<&str> = self
-            .relations
-            .keys()
-            .map(String::as_str)
+            .exists
+            .iter()
+            .enumerate()
+            .filter(|(_, &e)| e)
+            .map(|(i, _)| self.interner.rels.resolve(i as u32))
             .chain(self.rule_relations.iter().map(String::as_str))
             .chain(self.schemas.names())
             .collect();
@@ -304,6 +408,53 @@ impl Engine {
         self.validate(relation, &tuple)?;
         self.queue(relation, tuple, false);
         Ok(())
+    }
+
+    /// Queue a batch of insertions with batched validation: the relation
+    /// name is resolved and its schema looked up once for the whole batch
+    /// instead of per tuple. Returns the number of tuples queued; nothing
+    /// is queued on error. The bulk counterpart of [`Engine::try_insert`]
+    /// for 10^5+-tuple loads.
+    pub fn try_insert_all(
+        &mut self,
+        relation: &str,
+        tuples: Vec<Tuple>,
+    ) -> Result<usize, IngestError> {
+        if !self.known_relation(relation) {
+            return Err(IngestError::UnknownRelation {
+                relation: relation.to_string(),
+                suggestion: self.suggest_relation(relation),
+            });
+        }
+        self.schemas.check_all(relation, tuples.iter())?;
+        let rel = self.rel_id(relation);
+        let n = tuples.len();
+        self.pending.reserve(n);
+        for tuple in tuples {
+            let row = IRow::from_tuple(&tuple, &mut self.interner.strs);
+            self.pending.push_back(IDelta {
+                rel,
+                row,
+                insert: true,
+            });
+        }
+        Ok(n)
+    }
+
+    /// Queue a batch of insertions through the legacy unchecked path (see
+    /// [`Engine::insert`]): one unknown-relation check and one relation-id
+    /// resolution for the whole batch.
+    pub fn insert_all(&mut self, relation: &str, tuples: impl IntoIterator<Item = Tuple>) {
+        self.note_unknown(relation);
+        let rel = self.rel_id(relation);
+        for tuple in tuples {
+            let row = IRow::from_tuple(&tuple, &mut self.interner.strs);
+            self.pending.push_back(IDelta {
+                rel,
+                row,
+                insert: true,
+            });
+        }
     }
 
     /// Queue an insertion of a base (or received) tuple.
@@ -343,12 +494,11 @@ impl Engine {
         }
     }
 
+    /// Intern and enqueue one external delta.
     fn queue(&mut self, relation: &str, tuple: Tuple, insert: bool) {
-        self.pending.push_back(Delta {
-            relation: relation.to_string(),
-            tuple,
-            insert,
-        });
+        let rel = self.rel_id(relation);
+        let row = IRow::from_tuple(&tuple, &mut self.interner.strs);
+        self.pending.push_back(IDelta { rel, row, insert });
     }
 
     /// Replace the contents of a base relation with `tuples`, queueing the
@@ -357,9 +507,8 @@ impl Engine {
     pub fn set_relation(&mut self, relation: &str, tuples: Vec<Tuple>) {
         self.note_unknown(relation);
         let current: Vec<Tuple> = self
-            .relations
-            .get(relation)
-            .map(|r| r.sorted_tuples())
+            .store_by_name(relation)
+            .map(|s| s.sorted_pubs(&self.interner.strs))
             .unwrap_or_default();
         let new_set: HashSet<&Tuple> = tuples.iter().collect();
         let old_set: HashSet<&Tuple> = current.iter().collect();
@@ -377,24 +526,28 @@ impl Engine {
 
     /// Visible tuples of a relation (sorted, deterministic).
     pub fn tuples(&self, relation: &str) -> Vec<Tuple> {
-        self.relations
-            .get(relation)
-            .map(|r| r.sorted_tuples())
+        self.store_by_name(relation)
+            .map(|s| s.sorted_pubs(&self.interner.strs))
             .unwrap_or_default()
     }
 
     /// True if the relation currently contains the tuple.
     pub fn contains(&self, relation: &str, tuple: &Tuple) -> bool {
-        self.relations
-            .get(relation)
-            .is_some_and(|r| r.contains(tuple))
+        let Some(store) = self.store_by_name(relation) else {
+            return false;
+        };
+        // A tuple containing a never-interned string cannot be stored.
+        match IRow::lookup_tuple(tuple, &self.interner.strs) {
+            Some(row) => store.contains_row(&row),
+            None => false,
+        }
     }
 
-    /// Number of visible tuples in a relation.
+    /// Number of visible tuples in a relation — O(1) from the store's
+    /// maintained visible count.
     pub fn relation_len(&self, relation: &str) -> usize {
-        self.relations
-            .get(relation)
-            .map(|r| r.iter().count())
+        self.store_by_name(relation)
+            .map(|s| s.visible_len())
             .unwrap_or(0)
     }
 
@@ -402,15 +555,21 @@ impl Engine {
     /// unspecified order (use [`Engine::tuples`] when a deterministic order
     /// matters). No allocation, no cloning.
     pub fn scan(&self, relation: &str) -> impl Iterator<Item = &Tuple> {
-        self.relations
-            .get(relation)
+        let strs = &self.interner.strs;
+        self.store_by_name(relation)
             .into_iter()
-            .flat_map(|r| r.iter())
+            .flat_map(move |s| s.scan_pubs(strs))
     }
 
     /// Names of all relations that currently exist.
     pub fn relation_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.relations.keys().cloned().collect();
+        let mut names: Vec<String> = self
+            .exists
+            .iter()
+            .enumerate()
+            .filter(|(_, &e)| e)
+            .map(|(i, _)| self.interner.rels.resolve(i as u32).to_string())
+            .collect();
         names.sort();
         names
     }
@@ -418,7 +577,13 @@ impl Engine {
     /// Borrowed names of all relations that currently exist, sorted. The
     /// allocation-light counterpart of [`Engine::relation_names`].
     pub fn relation_names_ref(&self) -> Vec<&str> {
-        let mut names: Vec<&str> = self.relations.keys().map(String::as_str).collect();
+        let mut names: Vec<&str> = self
+            .exists
+            .iter()
+            .enumerate()
+            .filter(|(_, &e)| e)
+            .map(|(i, _)| self.interner.rels.resolve(i as u32))
+            .collect();
         names.sort_unstable();
         names
     }
@@ -452,55 +617,80 @@ impl Engine {
                 break;
             }
         }
+        self.flush_delta();
         self.stats.updates - before
     }
 
-    fn apply_delta(&mut self, delta: Delta, dirty: &mut HashSet<usize>) {
-        let rel = self.relations.entry(delta.relation.clone()).or_default();
-        let change = rel.adjust(delta.tuple.clone(), if delta.insert { 1 } else { -1 });
+    /// Fold the dense per-run delta counters into the name-keyed summary.
+    fn flush_delta(&mut self) {
+        for &rel in &self.delta_touched {
+            let iu = rel as usize;
+            let entry = self
+                .delta
+                .changes
+                .entry(self.interner.rels.resolve(rel).to_string())
+                .or_default();
+            entry.inserted += self.delta_ins[iu];
+            entry.deleted += self.delta_del[iu];
+            self.delta_ins[iu] = 0;
+            self.delta_del[iu] = 0;
+        }
+        self.delta_touched.clear();
+    }
+
+    fn apply_delta(&mut self, delta: IDelta, dirty: &mut HashSet<usize>) {
+        let iu = delta.rel as usize;
+        self.exists[iu] = true;
+        let adj = if delta.insert { 1 } else { -1 };
+        let change = self.stores[iu].adjust(delta.row.clone(), adj);
         let became_visible = match change {
             Some(v) => v,
             None => return, // multiplicity changed but visibility did not
         };
         self.stats.updates += 1;
-        self.delta.record(&delta.relation, became_visible);
+        if self.delta_ins[iu] == 0 && self.delta_del[iu] == 0 {
+            self.delta_touched.push(delta.rel);
+        }
+        if became_visible {
+            self.delta_ins[iu] += 1;
+        } else {
+            self.delta_del[iu] += 1;
+        }
 
-        let rule_indices: Vec<usize> = self
-            .trigger
-            .get(&delta.relation)
-            .cloned()
-            .unwrap_or_default();
+        let rule_indices = self.trigger[iu].clone();
         for rule_idx in rule_indices {
-            if self.recompute_rules.contains(&rule_idx) {
+            if self.plans[rule_idx].recompute {
                 dirty.insert(rule_idx);
                 continue;
             }
-            self.fire_incremental(rule_idx, &delta.relation, &delta.tuple, became_visible);
+            self.fire_plan(rule_idx, delta.rel, &delta.row, became_visible);
         }
     }
 
-    /// Fire a non-aggregate rule with the delta tuple pinned at its (unique)
-    /// occurrence of `relation`.
-    fn fire_incremental(&mut self, rule_idx: usize, relation: &str, tuple: &Tuple, insert: bool) {
-        let rule = self.rules[rule_idx].clone();
-        let pin_pos = rule.body.iter().position(|b| match b {
-            BodyItem::Atom(a) => a.relation == relation,
-            _ => false,
-        });
-        let pin_pos = match pin_pos {
-            Some(p) => p,
-            None => return,
-        };
-        let bindings_list = self.join_body(&rule.body, Some((pin_pos, tuple)));
-        let mut head_changes: Vec<(Tuple, bool)> = Vec::new();
-        for b in bindings_list {
-            self.stats.derivations += 1;
-            if let Ok(head_tuple) = self.instantiate_simple_head(&rule, &b) {
-                head_changes.push((head_tuple, insert));
+    /// Fire a non-recompute rule's pinned plan for one delta row.
+    fn fire_plan(&mut self, rule_idx: usize, rel: u32, row: &IRow, insert: bool) {
+        let mut results: Vec<IVal> = Vec::new();
+        let n_slots = self.plans[rule_idx].n_slots;
+        {
+            let plans = &self.plans;
+            let stores = &mut self.stores;
+            let Some((_, ops)) = plans[rule_idx].pinned.iter().find(|(r, _)| *r == rel) else {
+                return;
+            };
+            plan::execute(ops, n_slots, Some(row), stores, &mut results);
+        }
+        let mut head_changes: Vec<IRow> = Vec::new();
+        {
+            let head = &self.plans[rule_idx].head;
+            for chunk in results.chunks(n_slots) {
+                self.stats.derivations += 1;
+                if let Some(out) = build_head_row(head, chunk) {
+                    head_changes.push(out);
+                }
             }
         }
-        for (head_tuple, ins) in head_changes {
-            self.emit(&rule, head_tuple, ins);
+        for out in head_changes {
+            self.emit(rule_idx, out, insert);
         }
     }
 
@@ -508,78 +698,94 @@ impl Engine {
     /// apply the diff against its previous output.
     fn recompute_rule(&mut self, rule_idx: usize) {
         self.stats.aggregate_recomputes += 1;
-        let rule = self.rules[rule_idx].clone();
-        let bindings_list = self.join_body(&rule.body, None);
-        let new_output: Vec<Tuple> = if rule.is_aggregate() {
-            self.aggregate_head(&rule, &bindings_list)
+        let mut results: Vec<IVal> = Vec::new();
+        let n_slots = self.plans[rule_idx].n_slots;
+        {
+            let plans = &self.plans;
+            let stores = &mut self.stores;
+            plan::execute(&plans[rule_idx].full, n_slots, None, stores, &mut results);
+        }
+        let new_output: Vec<IRow> = if self.plans[rule_idx].aggregate {
+            self.aggregate_head(rule_idx, &results, n_slots)
         } else {
             let mut out = Vec::new();
-            for b in &bindings_list {
-                self.stats.derivations += 1;
-                if let Ok(t) = self.instantiate_simple_head(&rule, b) {
-                    out.push(t);
+            {
+                let head = &self.plans[rule_idx].head;
+                for chunk in results.chunks(n_slots) {
+                    self.stats.derivations += 1;
+                    if let Some(row) = build_head_row(head, chunk) {
+                        out.push(row);
+                    }
                 }
             }
-            out.sort();
+            out.sort_by(|a, b| a.cmp_public(b, &self.interner.strs));
             out.dedup();
             out
         };
-        let prev = self
-            .prev_output
-            .insert(rule_idx, new_output.clone())
-            .unwrap_or_default();
-        let prev_set: HashSet<&Tuple> = prev.iter().collect();
-        let new_set: HashSet<&Tuple> = new_output.iter().collect();
-        let deletions: Vec<Tuple> = prev
-            .iter()
-            .filter(|t| !new_set.contains(*t))
-            .cloned()
-            .collect();
-        let insertions: Vec<Tuple> = new_output
-            .iter()
-            .filter(|t| !prev_set.contains(*t))
-            .cloned()
-            .collect();
+        // Both the previous and the new output are sorted (and deduplicated)
+        // under `cmp_public`, so the diff is a single merge walk — no hash
+        // sets, no per-row rehashing.
+        let mut deletions: Vec<IRow> = Vec::new();
+        let mut insertions: Vec<IRow> = Vec::new();
+        {
+            let prev = self
+                .prev_output
+                .get(&rule_idx)
+                .map_or(&[][..], Vec::as_slice);
+            let strs = &self.interner.strs;
+            let (mut i, mut j) = (0, 0);
+            while i < prev.len() && j < new_output.len() {
+                match prev[i].cmp_public(&new_output[j], strs) {
+                    std::cmp::Ordering::Less => {
+                        deletions.push(prev[i].clone());
+                        i += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        insertions.push(new_output[j].clone());
+                        j += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            deletions.extend_from_slice(&prev[i..]);
+            insertions.extend_from_slice(&new_output[j..]);
+        }
+        self.prev_output.insert(rule_idx, new_output);
         for t in deletions {
-            self.emit(&rule, t, false);
+            self.emit(rule_idx, t, false);
         }
         for t in insertions {
-            self.emit(&rule, t, true);
+            self.emit(rule_idx, t, true);
         }
     }
 
-    /// Compute the grouped, aggregated head tuples of a rule.
-    fn aggregate_head(&mut self, rule: &Rule, bindings_list: &[Bindings]) -> Vec<Tuple> {
-        // group key -> per-aggregate collected values
-        let mut groups: HashMap<Vec<Value>, Vec<Vec<Value>>> = HashMap::new();
-        let agg_count = rule
-            .head
-            .args
+    /// Compute the grouped, aggregated head rows of a rule.
+    fn aggregate_head(&mut self, rule_idx: usize, results: &[IVal], n_slots: usize) -> Vec<IRow> {
+        let head = &self.plans[rule_idx].head;
+        let agg_count = head
+            .cols
             .iter()
-            .filter(|a| matches!(a, HeadArg::Agg(_, _)))
+            .filter(|c| matches!(c, HeadCol::Agg(_, _) | HeadCol::AggUnbound))
             .count();
-        for b in bindings_list {
+        // group key -> per-aggregate collected values
+        let mut groups: HashMap<Vec<IVal>, Vec<Vec<IVal>>> = HashMap::new();
+        for chunk in results.chunks(n_slots) {
             self.stats.derivations += 1;
             let mut key = Vec::new();
             let mut ok = true;
-            let mut collected: Vec<Value> = Vec::with_capacity(agg_count);
-            for arg in &rule.head.args {
-                match arg {
-                    HeadArg::Term(Term::Const(c)) => key.push(c.clone()),
-                    HeadArg::Term(Term::Var(v)) => match b.get(v) {
-                        Some(val) => key.push(val.clone()),
-                        None => {
-                            ok = false;
-                            break;
-                        }
-                    },
-                    HeadArg::Agg(_, over) => match b.get(over) {
-                        Some(val) => collected.push(val.clone()),
-                        None => {
-                            ok = false;
-                            break;
-                        }
-                    },
+            let mut collected: Vec<IVal> = Vec::with_capacity(agg_count);
+            for col in &head.cols {
+                match col {
+                    HeadCol::Const(v) => key.push(*v),
+                    HeadCol::Slot(s) => key.push(chunk[*s as usize]),
+                    HeadCol::Agg(_, s) => collected.push(chunk[*s as usize]),
+                    HeadCol::Unbound | HeadCol::AggUnbound => {
+                        ok = false;
+                        break;
+                    }
                 }
             }
             if !ok {
@@ -592,100 +798,81 @@ impl Engine {
                 slot.push(v);
             }
         }
+        let strs = &self.interner.strs;
         let mut out = Vec::with_capacity(groups.len());
         for (key, values_per_agg) in groups {
-            let mut tuple = Vec::with_capacity(rule.head.args.len());
+            let mut vals = Vec::with_capacity(head.cols.len());
             let mut key_iter = key.into_iter();
             let mut agg_iter = values_per_agg.into_iter();
-            for arg in &rule.head.args {
-                match arg {
-                    HeadArg::Term(_) => tuple.push(key_iter.next().expect("group key arity")),
-                    HeadArg::Agg(func, _) => {
-                        let vals = agg_iter.next().expect("aggregate arity");
-                        tuple.push(func.compute(&vals));
+            for col in &head.cols {
+                match col {
+                    HeadCol::Const(_) | HeadCol::Slot(_) => {
+                        vals.push(key_iter.next().expect("group key arity"))
+                    }
+                    HeadCol::Agg(func, _) => {
+                        let collected: Vec<Value> = agg_iter
+                            .next()
+                            .expect("aggregate arity")
+                            .into_iter()
+                            .map(|v| v.to_value(strs))
+                            .collect();
+                        let result = func.compute(&collected);
+                        vals.push(
+                            IVal::lookup(&result, strs)
+                                .expect("aggregates cannot mint new strings"),
+                        );
+                    }
+                    HeadCol::Unbound | HeadCol::AggUnbound => {
+                        unreachable!("rows with unbound head columns were skipped")
                     }
                 }
             }
-            out.push(tuple);
+            out.push(IRow::from_vals(&vals));
         }
-        out.sort();
+        out.sort_by(|a, b| a.cmp_public(b, strs));
         out
     }
 
-    fn instantiate_simple_head(
-        &self,
-        rule: &Rule,
-        bindings: &Bindings,
-    ) -> Result<Tuple, crate::expr::EvalError> {
-        let mut out = Vec::with_capacity(rule.head.args.len());
-        for arg in &rule.head.args {
-            match arg {
-                HeadArg::Term(Term::Const(c)) => out.push(c.clone()),
-                HeadArg::Term(Term::Var(v)) => match bindings.get(v) {
-                    Some(val) => out.push(val.clone()),
-                    None => {
-                        return Err(crate::expr::EvalError::UnboundVariable(v.clone()));
-                    }
-                },
-                HeadArg::Agg(_, _) => {
-                    unreachable!("aggregate heads are handled by recompute_rule")
-                }
-            }
-        }
-        Ok(out)
-    }
-
-    /// Apply a head-tuple change: local insert/delete, or remote send when
+    /// Apply a head-row change: local insert/delete, or remote send when
     /// the head is located at another node.
-    fn emit(&mut self, rule: &Rule, tuple: Tuple, insert: bool) {
-        if rule.head.located {
-            if let Some(Value::Addr(dest)) = tuple.first() {
-                if *dest != self.node {
+    fn emit(&mut self, rule_idx: usize, row: IRow, insert: bool) {
+        let head: &HeadPlan = &self.plans[rule_idx].head;
+        if head.located {
+            if let Some(IVal::Addr(dest)) = row.as_slice().first() {
+                if *dest != self.node.0 {
                     self.stats.remote_sends += 1;
                     self.outbox.push(RemoteTuple {
-                        dest: *dest,
-                        relation: rule.head.relation.clone(),
-                        tuple,
+                        dest: NodeId(*dest),
+                        relation: self.interner.rels.resolve(head.rel).to_string(),
+                        tuple: row.to_tuple(&self.interner.strs),
                         insert,
                     });
                     return;
                 }
             }
         }
-        self.pending.push_back(Delta {
-            relation: rule.head.relation.clone(),
-            tuple,
-            insert,
-        });
+        let rel = head.rel;
+        self.pending.push_back(IDelta { rel, row, insert });
     }
 
-    /// Join the body items against the current database. If `pin` is given,
-    /// the atom at that body position matches only the pinned tuple.
-    fn join_body(&self, body: &[BodyItem], pin: Option<(usize, &Tuple)>) -> Vec<Bindings> {
+    /// Evaluate an ad-hoc body (query) against the current database and
+    /// return the resulting bindings. Used by the Cologne runtime when
+    /// grounding solver rules.
+    ///
+    /// Queries are interpreted (reference-style) over the public tuple
+    /// forms: they are rare, ad-hoc and uncompiled, so plan compilation
+    /// would cost more than it saves.
+    pub fn query(&self, body: &[BodyItem]) -> Vec<Bindings> {
         let mut frontier = vec![Bindings::new()];
-        for (idx, item) in body.iter().enumerate() {
+        for item in body {
             if frontier.is_empty() {
                 return frontier;
             }
             let mut next = Vec::with_capacity(frontier.len());
             match item {
                 BodyItem::Atom(atom) => {
-                    if let Some((pinned_idx, pinned_tuple)) = pin {
-                        if pinned_idx == idx {
-                            for b in &frontier {
-                                let mut nb = b.clone();
-                                if atom.match_tuple(pinned_tuple, &mut nb) {
-                                    next.push(nb);
-                                }
-                            }
-                            frontier = next;
-                            continue;
-                        }
-                    }
-                    let empty = Relation::new();
-                    let rel = self.relations.get(&atom.relation).unwrap_or(&empty);
                     for b in &frontier {
-                        for t in rel.iter() {
+                        for t in self.scan(&atom.relation) {
                             let mut nb = b.clone();
                             if atom.match_tuple(t, &mut nb) {
                                 next.push(nb);
@@ -714,20 +901,29 @@ impl Engine {
         }
         frontier
     }
-
-    /// Evaluate an ad-hoc body (query) against the current database and
-    /// return the resulting bindings. Used by the Cologne runtime when
-    /// grounding solver rules.
-    pub fn query(&self, body: &[BodyItem]) -> Vec<Bindings> {
-        self.join_body(body, None)
-    }
 }
 
+/// Instantiate a simple (non-aggregate) head row; `None` when a head
+/// variable is unbound, matching the reference's failed instantiation.
+fn build_head_row(head: &HeadPlan, chunk: &[IVal]) -> Option<IRow> {
+    let mut vals = Vec::with_capacity(head.cols.len());
+    for col in &head.cols {
+        match col {
+            HeadCol::Const(v) => vals.push(*v),
+            HeadCol::Slot(s) => vals.push(chunk[*s as usize]),
+            HeadCol::Unbound => return None,
+            HeadCol::Agg(_, _) | HeadCol::AggUnbound => {
+                unreachable!("aggregate heads are handled by recompute_rule")
+            }
+        }
+    }
+    Some(IRow::from_vals(&vals))
+}
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::expr::{Expr, Op};
-    use crate::rule::{AggFunc, Atom, Head};
+    use crate::expr::{Expr, Op, Term};
+    use crate::rule::{AggFunc, Atom, Head, HeadArg};
     use crate::schema::SchemaError;
 
     fn int_tuple(vals: &[i64]) -> Tuple {

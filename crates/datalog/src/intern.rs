@@ -1,0 +1,91 @@
+//! Engine-local symbol interning.
+//!
+//! Each [`crate::Engine`] owns one [`Interner`] with two id spaces: relation
+//! names ([`RelId`]) and string attribute values ([`StrId`]). Interning is a
+//! boundary operation — everything inside the evaluation core works on the
+//! `u32` ids, and names are resolved back to strings only when tuples leave
+//! the engine (public reads, the remote outbox, diagnostics).
+//!
+//! Ids are assigned densely in first-seen order, which makes them usable as
+//! direct indexes into the engine's relation-store and trigger vectors. They
+//! are deliberately *not* stable across engines: a tuple shipped to another
+//! node carries real strings (see [`crate::RemoteTuple`]) and is re-interned
+//! on receipt, so distributed runs agree on content, not on ids.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One id space: a dense `u32 -> str` table with its reverse map.
+///
+/// Strings are stored as `Arc<str>` so the table and the reverse map share
+/// one allocation per symbol.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SymbolTable {
+    names: Vec<Arc<str>>,
+    ids: HashMap<Arc<str>, u32>,
+}
+
+impl SymbolTable {
+    /// Id of `name`, allocating the next dense id if unseen.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        let shared: Arc<str> = Arc::from(name);
+        self.names.push(Arc::clone(&shared));
+        self.ids.insert(shared, id);
+        id
+    }
+
+    /// Id of `name` if already interned (read-only lookup).
+    pub fn lookup(&self, name: &str) -> Option<u32> {
+        self.ids.get(name).copied()
+    }
+
+    /// The string behind an id. Panics on an id this table never issued.
+    pub fn resolve(&self, id: u32) -> &str {
+        &self.names[id as usize]
+    }
+
+    /// Number of interned symbols (also the next id to be issued).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+}
+
+/// The engine's two id spaces: relation names and string values.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Interner {
+    /// Relation names ([`crate::value::RelId`] space).
+    pub rels: SymbolTable,
+    /// `Value::Str` payloads ([`crate::value::StrId`] space).
+    pub strs: SymbolTable,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_dense_and_idempotent() {
+        let mut t = SymbolTable::default();
+        assert_eq!(t.intern("link"), 0);
+        assert_eq!(t.intern("path"), 1);
+        assert_eq!(t.intern("link"), 0);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.resolve(1), "path");
+        assert_eq!(t.lookup("path"), Some(1));
+        assert_eq!(t.lookup("missing"), None);
+    }
+
+    #[test]
+    fn id_spaces_are_independent() {
+        let mut i = Interner::default();
+        assert_eq!(i.rels.intern("assign"), 0);
+        assert_eq!(i.strs.intern("assign"), 0);
+        assert_eq!(i.strs.intern("vm1"), 1);
+        assert_eq!(i.rels.len(), 1);
+        assert_eq!(i.strs.len(), 2);
+    }
+}

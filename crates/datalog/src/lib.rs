@@ -34,14 +34,16 @@
 
 pub mod engine;
 pub mod expr;
+pub(crate) mod intern;
+pub(crate) mod plan;
 pub mod rule;
 pub mod schema;
 pub mod tuple;
 pub mod value;
 
-pub use engine::{DeltaSummary, Engine, EngineStats, RelationDelta, RemoteTuple};
+pub use engine::{DeltaSummary, Engine, EngineStats, ReferenceEngine, RelationDelta, RemoteTuple};
 pub use expr::{Bindings, EvalError, Expr, Op, Term};
 pub use rule::{AggFunc, Atom, BodyItem, Head, HeadArg, Rule};
 pub use schema::{did_you_mean, IngestError, SchemaError, SchemaSet, TupleSchema};
 pub use tuple::{Relation, Tuple};
-pub use value::{NodeId, SymId, Value, ValueKind, F64};
+pub use value::{NodeId, RelId, StrId, SymId, Value, ValueKind, F64};

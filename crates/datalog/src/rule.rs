@@ -5,6 +5,33 @@
 //! is `head <- body` where the body is an ordered list of predicate atoms,
 //! boolean filters and assignments, and the head may carry aggregate
 //! functions over grouped variables (e.g. `hostCpu(Hid, SUM<C>)`).
+//!
+//! ## Relationship to compiled plans
+//!
+//! This IR is *name-based*: atoms refer to relations by string and to
+//! variables by name, and [`Atom::match_tuple`] unifies against a
+//! [`Bindings`] map. The engine does not evaluate rules in this form.
+//! When a rule is registered with [`crate::Engine::add_rule`] it is
+//! compiled once into a `RulePlan` (module `plan`, crate-private): relation
+//! names become interned `RelId`s, variable names become dense `u16` slots,
+//! and the body atoms are reordered into an explicit join order with a
+//! per-atom index probe strategy. The [`crate::engine::ReferenceEngine`]
+//! keeps interpreting this IR directly, which is what makes it a useful
+//! equivalence oracle for the compiled path.
+//!
+//! Invariants the compiler relies on (and `plan::compile` checks or
+//! preserves):
+//!
+//! * body atoms bind variables left-to-right; a filter or assignment may
+//!   only read variables bound by atoms (or assignments) before it, and
+//!   reordering never moves an atom across an expression that reads one of
+//!   its variables;
+//! * a located head's first argument is the destination address and must be
+//!   bound by the body;
+//! * aggregate heads group by their non-aggregate arguments; such rules
+//!   (and rules whose body mentions the same relation twice) are evaluated
+//!   by recompute-and-diff rather than per-delta counting, because a single
+//!   delta can participate in several derivations of the same head tuple.
 
 use crate::expr::{Bindings, EvalError, Expr, Term};
 use crate::value::Value;

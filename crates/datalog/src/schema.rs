@@ -209,6 +209,25 @@ impl SchemaSet {
             None => Ok(()),
         }
     }
+
+    /// Check a whole batch of tuples against one relation's schema, with a
+    /// single name lookup for the batch instead of one per tuple. The bulk
+    /// counterpart of [`SchemaSet::check`], used by
+    /// [`crate::Engine::try_insert_all`]-style ingest of 10^5+ tuple loads.
+    /// Fails on the first offending tuple.
+    pub fn check_all<'t>(
+        &self,
+        relation: &str,
+        tuples: impl IntoIterator<Item = &'t Tuple>,
+    ) -> Result<(), SchemaError> {
+        let Some(schema) = self.schemas.get(relation) else {
+            return Ok(());
+        };
+        for tuple in tuples {
+            schema.check(tuple)?;
+        }
+        Ok(())
+    }
 }
 
 /// Edit distance with early cutoff, for did-you-mean suggestions.

@@ -24,6 +24,25 @@ impl fmt::Display for NodeId {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SymId(pub u32);
 
+/// Interned identifier of a relation name.
+///
+/// The engine keys its relation stores, rule triggers and compiled plans by
+/// `RelId` instead of `String`-keyed hash maps; the id ↔ name mapping lives
+/// in the engine's interner and is resolved only at the public API boundary
+/// (ingest, `tuples`, the outbox).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelId(pub u32);
+
+/// Interned identifier of a [`Value::Str`] payload.
+///
+/// Inside the engine, string attribute values are represented by `StrId`s so
+/// stored rows are flat arrays of copyable words and join-key comparisons
+/// never touch string data. Ids are engine-local: tuples crossing the wire
+/// carry the real string and are re-interned by the receiving engine, so two
+/// nodes agree on *content* even when their id assignments differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StrId(pub u32);
+
 /// A totally-ordered, hashable wrapper around `f64`.
 ///
 /// Datalog tables must support equality and hashing; IEEE floats do not, so
@@ -33,7 +52,7 @@ pub struct SymId(pub u32);
 pub struct F64(pub f64);
 
 impl F64 {
-    fn canonical_bits(self) -> u64 {
+    pub(crate) fn canonical_bits(self) -> u64 {
         if self.0.is_nan() {
             f64::NAN.to_bits()
         } else if self.0 == 0.0 {

@@ -14,10 +14,23 @@
 //! trail-backed domain [`Store`] it mutates — is owned by the caller (a
 //! [`crate::SearchSpace`]) and reused across nodes and invocations; the
 //! engine performs no per-node allocation.
+//!
+//! Two classic run-count optimizations sit on top of the plain fixpoint
+//! loop, both preserving the fixpoint exactly (bounds-consistent propagators
+//! are monotone, so the fixpoint is unique regardless of scheduling):
+//!
+//! * **Entailment**: a propagator returning [`PropStatus::Entailed`]
+//!   is skipped until the search backtracks above the node that marked it
+//!   (the mark is trailed on the [`Store`]). An entailed constraint can
+//!   neither prune nor conflict on any descendant, so the skips are free.
+//! * **Idempotence**: a propagator whose single `prune` call reaches its own
+//!   fixpoint ([`crate::Propagator::idempotent`]) is not re-enqueued by its
+//!   own prunings — on linear-heavy models roughly half of all propagator
+//!   runs used to be exactly such no-op self-wakeups.
 
 use crate::domain::Domain;
 use crate::expr::LinExpr;
-use crate::propagator::{Conflict, PropagatorContext};
+use crate::propagator::{Conflict, PropStatus, PropagatorContext};
 use crate::propagators::{
     AbsVal, LinearEq, LinearLe, LinearNe, MaxOfArray, MinOfArray, MulVar, NValues, ReifLinearEq,
     ReifLinearLe, Square,
@@ -362,6 +375,7 @@ impl Model {
         seed: Option<&[usize]>,
     ) -> Result<(), Conflict> {
         queue.ensure_capacity(self.propagators.len());
+        store.ensure_entailed_capacity(self.propagators.len());
         match seed {
             None => {
                 for p in 0..self.propagators.len() {
@@ -375,6 +389,11 @@ impl Model {
             }
         }
         while let Some(pidx) = queue.pop() {
+            // An entailed propagator cannot prune or conflict anywhere below
+            // the node that marked it; skip until backtrack clears the mark.
+            if store.is_entailed(pidx) {
+                continue;
+            }
             stats.propagations += 1;
             // Temporarily detach the changed-variable scratch so the context
             // can borrow it alongside the queue's other fields.
@@ -385,10 +404,21 @@ impl Model {
                 self.propagators[pidx].prune(&mut ctx)
             };
             match result {
-                Ok(_status) => {
+                Ok(status) => {
+                    if status == PropStatus::Entailed {
+                        store.mark_entailed(pidx);
+                    }
+                    // A propagator whose single run reaches its own fixpoint
+                    // (and an entailed one, which can never prune again on
+                    // this subtree) skips the wakeup its own prunings would
+                    // otherwise trigger.
+                    let skip_self =
+                        status == PropStatus::Entailed || self.propagators[pidx].idempotent();
                     for v in changed.drain(..) {
                         for &dep in &self.subscriptions[v.index()] {
-                            queue.enqueue(dep);
+                            if !(skip_self && dep == pidx) {
+                                queue.enqueue(dep);
+                            }
                         }
                     }
                     queue.changed = changed;

@@ -205,6 +205,15 @@ impl Propagator for AbsVal {
         Ok(PropStatus::Active)
     }
 
+    // One pass reaches the propagator's fixpoint: clipping `x` to
+    // `[-z_max, z_max]` either leaves an endpoint whose magnitude is exactly
+    // `z_max` (so the recomputed `z` upper bound cannot drop further) or does
+    // not move it, and a clip never changes which side of zero `x` sits on
+    // (so the recomputed `z` lower bound is unchanged too).
+    fn idempotent(&self) -> bool {
+        true
+    }
+
     fn check(&self, values: &dyn Fn(VarId) -> i64) -> bool {
         values(self.z) == values(self.x).abs()
     }

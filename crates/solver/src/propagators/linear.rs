@@ -59,15 +59,29 @@ impl Propagator for LinearLe {
             }
             let rest_min = total_min - term_min(c, ctx, v);
             let slack = self.bound - rest_min;
-            if c > 0 {
-                // c*x <= slack  =>  x <= floor(slack / c)
+            // Unit coefficients (the overwhelmingly common case in the
+            // models the Colog lowering produces) skip the division.
+            if c == 1 {
+                ctx.set_max(v, slack)?;
+            } else if c == -1 {
+                ctx.set_min(v, -slack)?;
+            } else if c > 0 {
+                // c*x <= slack  =>  x <= slack / c
                 ctx.set_max(v, slack.div_euclid(c))?;
             } else {
-                // c*x <= slack with c < 0  =>  x >= ceil(slack / c)
+                // c*x <= slack with c < 0  =>  x >= slack / c
                 ctx.set_min(v, ceil_div(slack, c))?;
             }
         }
         Ok(PropStatus::Active)
+    }
+
+    // A pruning pass only moves the bound that does NOT feed `term_min`
+    // (the max of positive-coefficient vars, the min of negative ones), so
+    // every slack is unchanged by the pass itself and a re-run replays the
+    // exact same bounds.
+    fn idempotent(&self) -> bool {
+        true
     }
 
     fn check(&self, values: &dyn Fn(VarId) -> i64) -> bool {
@@ -112,31 +126,51 @@ impl Propagator for LinearEq {
     }
 
     fn prune(&self, ctx: &mut PropagatorContext<'_>) -> Result<PropStatus, Conflict> {
-        let total_min: i64 = self.terms.iter().map(|&(c, v)| term_min(c, ctx, v)).sum();
-        let total_max: i64 = self.terms.iter().map(|&(c, v)| term_max(c, ctx, v)).sum();
-        if total_min > self.bound || total_max < self.bound {
-            return Err(Conflict);
-        }
-        if total_min == self.bound && total_max == self.bound {
-            return Ok(PropStatus::Entailed);
-        }
-        for &(c, v) in &self.terms {
-            if c == 0 {
-                continue;
+        // Iterate to this propagator's own fixpoint: a pass prunes with the
+        // totals computed at its start, and any pruning it makes tightens
+        // those totals, so the loop repeats until a pass changes nothing.
+        // (That inner loop is what makes `idempotent` sound — the queue never
+        // needs to wake the propagator for its own prunings.)
+        loop {
+            let total_min: i64 = self.terms.iter().map(|&(c, v)| term_min(c, ctx, v)).sum();
+            let total_max: i64 = self.terms.iter().map(|&(c, v)| term_max(c, ctx, v)).sum();
+            if total_min > self.bound || total_max < self.bound {
+                return Err(Conflict);
             }
-            let rest_min = total_min - term_min(c, ctx, v);
-            let rest_max = total_max - term_max(c, ctx, v);
-            // c*x must lie within [bound - rest_max, bound - rest_min]
-            let lo_c = self.bound - rest_max;
-            let hi_c = self.bound - rest_min;
-            let (lo, hi) = if c > 0 {
-                (ceil_div(lo_c, c), hi_c.div_euclid(c))
-            } else {
-                (ceil_div(hi_c, c), lo_c.div_euclid(c))
-            };
-            ctx.intersect(v, lo, hi)?;
+            if total_min == self.bound && total_max == self.bound {
+                return Ok(PropStatus::Entailed);
+            }
+            let mut changed = false;
+            for &(c, v) in &self.terms {
+                if c == 0 {
+                    continue;
+                }
+                let rest_min = total_min - term_min(c, ctx, v);
+                let rest_max = total_max - term_max(c, ctx, v);
+                // c*x must lie within [bound - rest_max, bound - rest_min]
+                let lo_c = self.bound - rest_max;
+                let hi_c = self.bound - rest_min;
+                // Unit coefficients dominate in lowered models; skip the
+                // divisions for them.
+                let (lo, hi) = if c == 1 {
+                    (lo_c, hi_c)
+                } else if c == -1 {
+                    (-hi_c, -lo_c)
+                } else if c > 0 {
+                    (ceil_div(lo_c, c), hi_c.div_euclid(c))
+                } else {
+                    (ceil_div(hi_c, c), lo_c.div_euclid(c))
+                };
+                changed |= ctx.intersect(v, lo, hi)?;
+            }
+            if !changed {
+                return Ok(PropStatus::Active);
+            }
         }
-        Ok(PropStatus::Active)
+    }
+
+    fn idempotent(&self) -> bool {
+        true
     }
 
     fn check(&self, values: &dyn Fn(VarId) -> i64) -> bool {

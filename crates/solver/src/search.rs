@@ -71,6 +71,37 @@ pub enum ValueChoice {
     Max,
     /// Split the domain at its median (domain bisection).
     Split,
+    /// Try the value with the smallest absolute magnitude first (ties break
+    /// toward the negative value); bisection branches descend into the half
+    /// nearer to zero. On cost models built from absolute values — the
+    /// `SUMABS` migration objectives of the paper's Follow-the-Sun COP,
+    /// where `migVm = 0` means "don't migrate" — this reaches a cheap
+    /// incumbent almost immediately, so branch-and-bound prunes with a tight
+    /// bound from the start instead of improving through a long chain of
+    /// expensive incumbents.
+    ClosestToZero,
+}
+
+/// Reorder a frame's enumeration values (produced in ascending domain
+/// order) according to the configured value choice.
+fn order_values(choice: ValueChoice, values: &mut [i64]) {
+    match choice {
+        ValueChoice::Min | ValueChoice::Split => {}
+        ValueChoice::Max => values.reverse(),
+        ValueChoice::ClosestToZero => values.sort_by_key(|&v| (v.unsigned_abs(), v)),
+    }
+}
+
+/// Which half a bisection branch explores first: `true` tries `> mid`
+/// before `<= mid`.
+fn split_hi_first(choice: ValueChoice, mid: i64) -> bool {
+    match choice {
+        ValueChoice::Max => true,
+        // The half nearer zero: `<= mid` contains zero (or is uniformly
+        // closer to it) exactly when the median is non-negative.
+        ValueChoice::ClosestToZero => mid < 0,
+        ValueChoice::Min | ValueChoice::Split => false,
+    }
 }
 
 /// What the search should optimize.
@@ -226,7 +257,9 @@ enum BranchKind {
     /// Branch `i` assigns the `i`-th value of the frame's arena slice.
     Values,
     /// Domain bisection at `mid`: one branch keeps `<= mid`, the other
-    /// `> mid`; `hi_first` tries the upper half first ([`ValueChoice::Max`]).
+    /// `> mid`; `hi_first` tries the upper half first ([`ValueChoice::Max`]
+    /// always; [`ValueChoice::ClosestToZero`] when the upper half is the one
+    /// nearer zero).
     Split { mid: i64, hi_first: bool },
 }
 
@@ -819,14 +852,12 @@ impl<'m, 'o, 'p> Searcher<'m, 'o, 'p> {
                 values_start,
                 kind: BranchKind::Split {
                     mid: domain.median(),
-                    hi_first: matches!(self.config.value_choice, ValueChoice::Max),
+                    hi_first: split_hi_first(self.config.value_choice, domain.median()),
                 },
             }
         } else {
             space.values.extend(domain.iter());
-            if matches!(self.config.value_choice, ValueChoice::Max) {
-                space.values[values_start..].reverse();
-            }
+            order_values(self.config.value_choice, &mut space.values[values_start..]);
             Frame {
                 var_idx,
                 next: 0,
@@ -948,7 +979,7 @@ impl<'m, 'o, 'p> Searcher<'m, 'o, 'p> {
         let seed = model.props_watching(var_idx);
         if self.use_split(domain.size()) {
             let mid = domain.median();
-            let hi_first = matches!(self.config.value_choice, ValueChoice::Max);
+            let hi_first = split_hi_first(self.config.value_choice, mid);
             for i in 0..2 {
                 let mut branch = store.clone();
                 let ok = if (i == 0) == hi_first {
@@ -974,9 +1005,7 @@ impl<'m, 'o, 'p> Searcher<'m, 'o, 'p> {
             }
         } else {
             let mut values: Vec<i64> = domain.iter().collect();
-            if matches!(self.config.value_choice, ValueChoice::Max) {
-                values.reverse();
-            }
+            order_values(self.config.value_choice, &mut values);
             for v in values {
                 let mut branch = store.clone();
                 if branch.assign(var_idx, v).is_err() {

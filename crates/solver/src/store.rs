@@ -46,6 +46,17 @@ pub struct Store {
     saved_at: Vec<u32>,
     /// Trail length at the opening of each decision level.
     marks: Vec<usize>,
+    /// Per-propagator entailment flags: once a propagator reports
+    /// [`crate::PropStatus::Entailed`], it cannot prune (or conflict) anywhere
+    /// below the current node, so the fixpoint loop skips it until the mark is
+    /// undone. Marks set above the root are trailed (`entailed_trail` /
+    /// `entailed_marks`) and cleared by [`Store::backtrack`]; root-level marks
+    /// are permanent for the search, like root domain mutations.
+    entailed: Vec<bool>,
+    /// Propagators marked entailed since each open level, grouped by level.
+    entailed_trail: Vec<u32>,
+    /// `entailed_trail` length at the opening of each decision level.
+    entailed_marks: Vec<usize>,
 }
 
 // Mutations mirror the `Domain` API: `Err(())` means the domain was wiped
@@ -65,6 +76,9 @@ impl Store {
             trail: Vec::new(),
             saved_at: vec![UNSAVED; n],
             marks: Vec::new(),
+            entailed: Vec::new(),
+            entailed_trail: Vec::new(),
+            entailed_marks: Vec::new(),
         }
     }
 
@@ -80,6 +94,9 @@ impl Store {
         self.marks.clear();
         self.saved_at.clear();
         self.saved_at.resize(root.len(), UNSAVED);
+        self.entailed.clear();
+        self.entailed_trail.clear();
+        self.entailed_marks.clear();
         let shared = self.domains.len().min(root.len());
         self.domains.truncate(root.len());
         for (d, r) in self.domains.iter_mut().zip(&root[..shared]) {
@@ -120,6 +137,7 @@ impl Store {
     /// Open a new decision level.
     pub fn push_choice(&mut self) {
         self.marks.push(self.trail.len());
+        self.entailed_marks.push(self.entailed_trail.len());
     }
 
     /// Undo every change made since the matching [`Store::push_choice`].
@@ -132,6 +150,38 @@ impl Store {
         for (var, old) in self.trail.drain(mark..).rev() {
             self.saved_at[var as usize] = UNSAVED;
             self.domains[var as usize] = old;
+        }
+        let emark = self.entailed_marks.pop().expect("entailed mark underflow");
+        for p in self.entailed_trail.drain(emark..) {
+            self.entailed[p as usize] = false;
+        }
+    }
+
+    /// Grow the entailment table to cover `num_props` propagators (called by
+    /// the propagation loop before draining the queue).
+    pub(crate) fn ensure_entailed_capacity(&mut self, num_props: usize) {
+        if self.entailed.len() < num_props {
+            self.entailed.resize(num_props, false);
+        }
+    }
+
+    /// True if propagator `p` reported entailment at this node or an
+    /// ancestor: it cannot prune or conflict until the marking level is
+    /// backtracked, so propagation skips it.
+    #[inline]
+    pub(crate) fn is_entailed(&self, p: usize) -> bool {
+        self.entailed[p]
+    }
+
+    /// Record that propagator `p` is entailed on the current subtree. Undone
+    /// by the [`Store::backtrack`] matching the currently open level;
+    /// permanent when set at the root.
+    pub(crate) fn mark_entailed(&mut self, p: usize) {
+        if !self.entailed[p] {
+            self.entailed[p] = true;
+            if !self.marks.is_empty() {
+                self.entailed_trail.push(p as u32);
+            }
         }
     }
 

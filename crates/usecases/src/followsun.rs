@@ -18,8 +18,10 @@ use std::collections::BTreeMap;
 
 use cologne::datalog::{NodeId, RemoteTuple, Value};
 use cologne::net::{LinkProps, SimTime, Topology};
-use cologne::solver::SearchStats;
-use cologne::{Deployment, DeploymentBuilder, DistributedCologne, ProgramParams, VarDomain};
+use cologne::solver::{SearchStats, ValueChoice};
+use cologne::{
+    Deployment, DeploymentBuilder, DistributedCologne, ProgramParams, SolverSettings, VarDomain,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -302,9 +304,24 @@ pub fn build_followsun_deployment(
     if let Some(limit) = config.migration_limit {
         params = params.with_constant("max_migrates", limit);
     }
+    // The COP cost is a SUMABS over the migration variables, so `migVm = 0`
+    // (ship nothing) is both feasible and cheap: branching toward zero first
+    // hands branch-and-bound a near-optimal incumbent right away, and the
+    // rest of the search is bound pruning instead of incumbent discovery.
+    // Bisection (`split_threshold: 2`) pairs with that: once the incumbent is
+    // tight, the half of a domain far from zero is refuted in a single
+    // conflict instead of one failed propagation per candidate value.
+    let solver = SolverSettings {
+        max_time: Some(std::time::Duration::from_secs(10)),
+        node_limit: Some(config.solver_node_limit),
+        value_choice: ValueChoice::ClosestToZero,
+        split_threshold: Some(2),
+        ..SolverSettings::default()
+    };
 
     let mut driver = DeploymentBuilder::new(&source)
         .params(params)
+        .solver(solver)
         .topology(workload.topology.clone())
         .build()
         .expect("Follow-the-Sun program compiles");

@@ -173,8 +173,12 @@ proptest! {
                 Branching::SmallestDomain,
                 Branching::LargestDomain,
             ][heuristics.0 as usize % 3],
-            value_choice: [ValueChoice::Min, ValueChoice::Max, ValueChoice::Split]
-                [heuristics.1 as usize % 3],
+            value_choice: [
+                ValueChoice::Min,
+                ValueChoice::Max,
+                ValueChoice::Split,
+                ValueChoice::ClosestToZero,
+            ][heuristics.1 as usize % 4],
             split_threshold: [None, Some(4), Some(16)][heuristics.2 as usize % 3],
             ..Default::default()
         };
