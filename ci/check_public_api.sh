@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Deny-list guard for the typed relation API: no *new* `pub fn` may take a
 # raw `&str` relation name outside the audited set below. The audited set is
-# (a) the deprecated legacy shims kept for one release, (b) the validated
-# lookup/read entry points whose whole job is to turn a name into a checked
-# handle or iterator, and (c) the datalog engine's own ingestion layer.
+# (a) the validated lookup/read entry points whose whole job is to turn a
+# name into a checked handle or iterator, and (b) the datalog engine's own
+# ingestion layer. (The deprecated legacy shims kept for one release after
+# the API redesign have since been removed.)
 #
 # The scan is multiline-aware (rustfmt-wrapped signatures are folded before
 # matching) and keys on the `relation: &str` parameter-name convention every

@@ -15,6 +15,7 @@ fn scenario(vms: usize, hosts: usize) -> LargeAcloudConfig {
         hosts,
         node_limit: 6_000,
         seed: 23,
+        workers: None,
     }
 }
 

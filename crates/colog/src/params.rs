@@ -7,6 +7,7 @@
 //! changing the Colog surface syntax.
 
 use std::collections::BTreeMap;
+use std::num::NonZeroUsize;
 use std::time::Duration;
 
 /// Domain `[lo, hi]` for the solver variables of one `var`-declared table.
@@ -130,6 +131,12 @@ pub struct ProgramParams {
     /// Like the branching heuristic, it seeds the pipeline's search
     /// configuration and follows parameter updates.
     pub solver_mode: SolverMode,
+    /// Worker threads for each COP search (`None` = sequential, the paper's
+    /// setup). With `Some(n)`, exact goals run the spine-splitting parallel
+    /// branch-and-bound and LNS goals run the multi-seed portfolio — both
+    /// return results identical to the sequential engines (see the solver's
+    /// `parallel` module for the determinism contract).
+    pub solver_workers: Option<NonZeroUsize>,
     /// Carry the previous invocation's best assignment into the next solve
     /// (the warm-start half of incremental re-optimization): persisting rows
     /// seed the initial branch-and-bound bound for exact search and the
@@ -156,6 +163,7 @@ impl Default for ProgramParams {
             solver_node_limit: None,
             solver_branching: SolverBranching::default(),
             solver_mode: SolverMode::default(),
+            solver_workers: None,
             warm_start: true,
             delta_grounding: true,
         }
@@ -205,6 +213,13 @@ impl ProgramParams {
         self
     }
 
+    /// Set the COP search worker-thread count (builder style). `None` keeps
+    /// the sequential engines.
+    pub fn with_solver_workers(mut self, workers: Option<NonZeroUsize>) -> Self {
+        self.solver_workers = workers;
+        self
+    }
+
     /// Enable or disable warm-started solving (builder style).
     pub fn with_warm_start(mut self, on: bool) -> Self {
         self.warm_start = on;
@@ -244,6 +259,7 @@ mod tests {
         assert_eq!(p.var_domain("assign"), VarDomain::BOOL);
         assert_eq!(p.constant("max_migrates"), None);
         assert_eq!(p.solver_branching, SolverBranching::InputOrder);
+        assert_eq!(p.solver_workers, None);
         assert!(p.warm_start);
         assert!(p.delta_grounding);
     }
@@ -274,6 +290,14 @@ mod tests {
         };
         let p = p.with_solver_mode(SolverMode::Lns(lns.clone()));
         assert_eq!(p.solver_mode, SolverMode::Lns(lns));
+    }
+
+    #[test]
+    fn solver_workers_builder_roundtrips() {
+        let p = ProgramParams::new().with_solver_workers(NonZeroUsize::new(4));
+        assert_eq!(p.solver_workers, NonZeroUsize::new(4));
+        let p = p.with_solver_workers(None);
+        assert_eq!(p.solver_workers, None);
     }
 
     #[test]

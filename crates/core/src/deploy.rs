@@ -2,10 +2,9 @@
 //! and [`Deployment`].
 //!
 //! Historically, standing up a Cologne system meant three different dances:
-//! `CologneInstance::new` for a single node,
-//! `DistributedCologne::homogeneous` or `from_instances` for a simulated
-//! network, and a `params_mut`-then-invalidate / `search_config_mut`
-//! backdoor pair for solver tuning split across two structures. The
+//! `CologneInstance::new` for a single node, per-node constructor plumbing
+//! for a simulated network, and a `params_mut`-then-invalidate backdoor pair
+//! for solver tuning split across two structures. The
 //! [`DeploymentBuilder`] subsumes all of them: one builder takes the program
 //! source, the base [`ProgramParams`], a [`Topology`] (defaulting to
 //! [`Topology::single`]), optional per-node parameter overrides and one
@@ -54,6 +53,10 @@ pub struct SolverSettings {
     pub split_threshold: Option<u64>,
     /// Exact branch-and-bound or LNS.
     pub mode: SolverMode,
+    /// Worker threads per COP search (`None` = sequential). Parallel runs
+    /// return the same result as the sequential engines — see the solver's
+    /// `parallel` module for the determinism contract.
+    pub workers: Option<std::num::NonZeroUsize>,
     /// Carry the previous best assignment into the next solve.
     pub warm_start: bool,
     /// Consult the engine's delta summary when grounding.
@@ -71,6 +74,7 @@ impl Default for SolverSettings {
             value_choice: search.value_choice,
             split_threshold: search.split_threshold,
             mode: params.solver_mode,
+            workers: params.solver_workers,
             warm_start: params.warm_start,
             delta_grounding: params.delta_grounding,
         }
@@ -91,6 +95,7 @@ impl SolverSettings {
             value_choice: search.value_choice,
             split_threshold: search.split_threshold,
             mode: params.solver_mode.clone(),
+            workers: params.solver_workers,
             warm_start: params.warm_start,
             delta_grounding: params.delta_grounding,
         }
@@ -136,6 +141,7 @@ impl SolverSettings {
         params.solver_node_limit = self.node_limit;
         params.solver_branching = self.branching;
         params.solver_mode = self.mode.clone();
+        params.solver_workers = self.workers;
         params.warm_start = self.warm_start;
         params.delta_grounding = self.delta_grounding;
     }
@@ -364,8 +370,7 @@ impl Deployment {
     }
 
     /// Convenience: insert one validated fact at a node and immediately
-    /// [`Deployment::sync`] it (run rules, ship remote tuples) — the typed
-    /// equivalent of the deprecated `DistributedCologne::insert_fact`.
+    /// [`Deployment::sync`] it (run rules, ship remote tuples).
     pub fn insert(
         &mut self,
         node: NodeId,
@@ -496,6 +501,7 @@ mod tests {
             branching: SolverBranching::FirstFail,
             value_choice: ValueChoice::Max,
             split_threshold: None,
+            workers: std::num::NonZeroUsize::new(2),
             ..Default::default()
         };
         let d = DeploymentBuilder::new(ACLOUD)

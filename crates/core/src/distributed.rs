@@ -10,8 +10,7 @@
 
 use std::collections::BTreeMap;
 
-use cologne_colog::ProgramParams;
-use cologne_datalog::{NodeId, RemoteTuple, Tuple};
+use cologne_datalog::{NodeId, RemoteTuple};
 use cologne_net::{Event, LinkProps, NodeTraffic, SimTime, Simulator, Topology};
 
 use crate::error::CologneError;
@@ -44,30 +43,6 @@ impl DistributedCologne {
             sim: Simulator::new(topology),
             rejected_remote_tuples: 0,
         }
-    }
-
-    /// Create one instance per topology node, all running the same Colog
-    /// program with the same parameters.
-    #[deprecated(note = "use `DeploymentBuilder::new(source).topology(t).build()` instead")]
-    pub fn homogeneous(
-        topology: Topology,
-        source: &str,
-        params: &ProgramParams,
-    ) -> Result<Self, CologneError> {
-        let mut instances = Vec::new();
-        for n in topology.nodes() {
-            let node = NodeId(n);
-            instances.push(CologneInstance::new(node, source, params.clone())?);
-        }
-        Ok(DistributedCologne::assemble(topology, instances))
-    }
-
-    /// Create a deployment from explicitly constructed instances (e.g. with
-    /// per-node parameters). Topology nodes without an instance are allowed;
-    /// messages addressed to them are dropped.
-    #[deprecated(note = "use `DeploymentBuilder` with `node_params` overrides instead")]
-    pub fn from_instances(topology: Topology, instances: Vec<CologneInstance>) -> Self {
-        DistributedCologne::assemble(topology, instances)
     }
 
     /// Number of nodes with an instance.
@@ -108,18 +83,6 @@ impl DistributedCologne {
     /// The network topology.
     pub fn topology(&self) -> &Topology {
         self.sim.topology()
-    }
-
-    /// Insert a fact at a node and run its rules, shipping any produced
-    /// remote tuples into the network.
-    #[deprecated(note = "use `Deployment::insert` (schema-checked) instead")]
-    pub fn insert_fact(&mut self, node: NodeId, relation: &str, tuple: Tuple) {
-        if let Some(inst) = self.instances.get_mut(&node) {
-            #[allow(deprecated)]
-            inst.insert_fact(relation, tuple);
-            let outgoing = inst.run_rules();
-            self.ship(node, outgoing);
-        }
     }
 
     /// Number of received remote tuples rejected by schema validation (an
@@ -296,6 +259,7 @@ impl DistributedCologne {
 mod tests {
     use super::*;
     use crate::deploy::{Deployment, DeploymentBuilder};
+    use cologne_colog::ProgramParams;
     use cologne_datalog::Value;
 
     /// A two-rule ping/pong program: every `ping` received at a node derives a
@@ -396,25 +360,29 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn from_instances_and_accessors() {
-        // The deprecated constructors stay functional for one release.
+    fn sparse_deployments_drop_messages_to_missing_nodes() {
+        // Topology nodes without an instance are allowed; messages addressed
+        // to them are dropped without panicking.
         let topo = Topology::line(3, LinkProps::default());
         let instances = vec![
             CologneInstance::new(NodeId(0), PING, ProgramParams::new()).unwrap(),
             CologneInstance::new(NodeId(2), PING, ProgramParams::new()).unwrap(),
         ];
-        let mut d = DistributedCologne::from_instances(topo, instances);
+        let mut d = DistributedCologne::assemble(topo, instances);
         assert_eq!(d.nodes(), vec![NodeId(0), NodeId(2)]);
         assert!(d.instance(NodeId(1)).is_none());
         assert!(d.instance_mut(NodeId(2)).is_some());
         assert_eq!(d.topology().num_nodes(), 3);
-        // a message to the missing node 1 is dropped without panicking
-        d.insert_fact(
+        d.ship(
             NodeId(0),
-            "ping",
-            vec![Value::Addr(NodeId(0)), Value::Addr(NodeId(1))],
+            vec![RemoteTuple {
+                dest: NodeId(1),
+                relation: "ping".into(),
+                tuple: vec![Value::Addr(NodeId(1)), Value::Addr(NodeId(0))],
+                insert: true,
+            }],
         );
         d.run_messages_until(SimTime::from_secs(1));
+        assert_eq!(d.rejected_remote_tuples(), 0);
     }
 }

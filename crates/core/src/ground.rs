@@ -47,7 +47,7 @@
 //!   [`GroundedCop`] is byte-identical to what a re-grounding would produce;
 //!   [`crate::SolvePipeline`] retains it across invocations and hands it
 //!   back without running any stage (see
-//!   [`crate::SolvePipeline::incremental_builds`]).
+//!   [`crate::PipelineStats::incremental_builds`]).
 //! * **Clean `var`-declaration replay** — a declaration whose `forall`
 //!   relation is clean produces exactly the rows and variables of the
 //!   previous run. The [`GroundingScratch`] caches each declaration's rows
@@ -65,7 +65,7 @@
 //! tracked per relation by visibility (multiplicity-only changes stay
 //! clean), and a parameter change invalidates every cache because domains,
 //! constants and rule layouts may shift (see
-//! [`crate::CologneInstance::full_rebuilds`]).
+//! [`crate::PipelineStats::full_rebuilds`]).
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, HashMap};

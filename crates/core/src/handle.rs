@@ -6,9 +6,9 @@
 //! [`crate::CologneError::UnknownRelation`] with a did-you-mean suggestion,
 //! not a silent no-op); every write through the handle then validates the
 //! tuple's arity and column kinds against the schema derived from the
-//! compiled program ([`cologne_colog::SchemaCatalog`]). Contrast with the
-//! deprecated stringly-typed shims (`insert_fact`, `set_table`, ...), which
-//! accept anything and let mistakes surface as empty solver tables.
+//! compiled program ([`cologne_colog::SchemaCatalog`]). This replaced the
+//! old stringly-typed write surface, which accepted anything and let
+//! mistakes surface as empty solver tables.
 
 use cologne_colog::RelationSchema;
 use cologne_datalog::Tuple;

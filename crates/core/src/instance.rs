@@ -164,24 +164,6 @@ impl CologneInstance {
         self.pipeline.stats()
     }
 
-    /// Number of grounding-plan builds over the instance's lifetime.
-    #[deprecated(note = "use `pipeline_stats().plan_builds` instead")]
-    pub fn plan_builds(&self) -> u64 {
-        self.pipeline.stats().plan_builds
-    }
-
-    /// Number of groundings forced to run from scratch.
-    #[deprecated(note = "use `pipeline_stats().full_rebuilds` instead")]
-    pub fn full_rebuilds(&self) -> u64 {
-        self.pipeline.stats().full_rebuilds
-    }
-
-    /// Number of delta-aware groundings.
-    #[deprecated(note = "use `pipeline_stats().incremental_builds` instead")]
-    pub fn incremental_builds(&self) -> u64 {
-        self.pipeline.stats().incremental_builds
-    }
-
     /// The engine's accumulated delta summary since the last grounding
     /// (consumed — and reset — by the next solver invocation).
     pub fn pending_delta(&self) -> &cologne_datalog::DeltaSummary {
@@ -212,17 +194,6 @@ impl CologneInstance {
     /// [`CologneInstance::params`] at each invocation, not from here.
     pub fn search_config(&self) -> &cologne_solver::SearchConfig {
         self.pipeline.search_config()
-    }
-
-    /// Mutable access to the search configuration, e.g. to switch the
-    /// branching heuristic between invocations.
-    #[deprecated(note = "use `apply_solver_settings` (or configure the \
-                         `DeploymentBuilder`) instead")]
-    pub fn search_config_mut(&mut self) -> &mut cologne_solver::SearchConfig {
-        // A heuristic change makes the memoized report unreproducible; drop
-        // it so the next unchanged-COP invocation re-solves.
-        self.last_report = None;
-        self.pipeline.search_config_mut()
     }
 
     /// The merged solver-configuration view: the solver knobs of
@@ -323,38 +294,6 @@ impl CologneInstance {
         self.engine.contains(relation, tuple)
     }
 
-    // ----- legacy stringly-typed shims --------------------------------------
-
-    /// Insert a base fact without schema checking.
-    #[deprecated(note = "use `relation(name)?.insert(tuple)` instead")]
-    pub fn insert_fact(&mut self, relation: &str, tuple: Tuple) {
-        self.engine.insert(relation, tuple);
-    }
-
-    /// Delete a base fact without schema checking.
-    #[deprecated(note = "use `relation(name)?.delete(tuple)` instead")]
-    pub fn delete_fact(&mut self, relation: &str, tuple: Tuple) {
-        self.engine.delete(relation, tuple);
-    }
-
-    /// Replace the contents of a base relation without schema checking.
-    #[deprecated(note = "use `relation(name)?.set(tuples)` instead")]
-    pub fn set_table(&mut self, relation: &str, tuples: Vec<Tuple>) {
-        self.engine.set_relation(relation, tuples);
-    }
-
-    /// Visible tuples of a relation (sorted), cloned eagerly.
-    #[deprecated(note = "use `scan(name)` (or `relation(name)?.snapshot()`) instead")]
-    pub fn tuples(&self, relation: &str) -> Vec<Tuple> {
-        self.engine.tuples(relation)
-    }
-
-    /// Names of every relation the engine has seen, cloned eagerly.
-    #[deprecated(note = "use `relation_names()` instead")]
-    pub fn relations(&self) -> Vec<String> {
-        self.engine.relation_names()
-    }
-
     // ----- distribution ------------------------------------------------------
 
     /// Accept a tuple shipped from another node, validating it against the
@@ -372,13 +311,6 @@ impl CologneInstance {
                 .try_delete(&remote.relation, remote.tuple.clone())
         };
         result.map_err(CologneError::from)
-    }
-
-    /// Accept a tuple shipped from another node, silently dropping it when
-    /// it fails validation.
-    #[deprecated(note = "use `try_receive` and handle the rejection instead")]
-    pub fn receive(&mut self, remote: &RemoteTuple) {
-        let _ = self.try_receive(remote);
     }
 
     /// Run the regular rules to a local fixpoint and return any tuples
@@ -777,31 +709,18 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn legacy_shims_still_work() {
-        // The deprecated stringly-typed surface keeps compiling and behaving
-        // for one release; this is its pin.
+    fn malformed_remote_tuple_is_rejected_not_ingested() {
         let mut inst = acloud_instance();
-        inst.insert_fact("vm", vec![Value::Int(4), Value::Int(50), Value::Int(4)]);
         inst.run_rules();
-        assert_eq!(inst.tuples("vm").len(), 4);
-        inst.delete_fact("vm", vec![Value::Int(4), Value::Int(50), Value::Int(4)]);
-        inst.set_table(
-            "host",
-            vec![vec![Value::Int(10), Value::Int(0), Value::Int(0)]],
-        );
-        inst.run_rules();
-        assert_eq!(inst.tuples("vm").len(), 3);
-        assert_eq!(inst.tuples("host").len(), 1);
-        assert!(inst.relations().contains(&"vm".to_string()));
-        // legacy receive drops a malformed tuple instead of corrupting state
-        inst.receive(&cologne_datalog::RemoteTuple {
+        let before = inst.scan("vm").count();
+        let err = inst.try_receive(&cologne_datalog::RemoteTuple {
             dest: NodeId(0),
             relation: "vm".into(),
             tuple: vec![Value::Int(1)],
             insert: true,
         });
+        assert!(err.is_err(), "arity-1 tuple must fail the vm schema");
         inst.run_rules();
-        assert_eq!(inst.tuples("vm").len(), 3);
+        assert_eq!(inst.scan("vm").count(), before);
     }
 }

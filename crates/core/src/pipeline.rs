@@ -15,7 +15,7 @@
 //! [`crate::CologneInstance`] owns one `SolvePipeline`; the plan is built
 //! once at construction, reused by every invocation, and only rebuilt after
 //! [`crate::CologneInstance::params_mut`] invalidates it. The number of plan
-//! builds is observable through [`SolvePipeline::plan_builds`] so tests and
+//! builds is observable through [`SolvePipeline::stats`] so tests and
 //! benchmarks can assert that the cache actually hits.
 //!
 //! # Incremental re-optimization
@@ -32,9 +32,9 @@
 //!   scratch's caches (see [`crate::ground`](mod@crate::ground)'s module docs). Either way the
 //!   run counts as an *incremental build*; runs without usable delta
 //!   information (first invocation, parameter change, a previous error)
-//!   count as *full rebuilds*. The [`SolvePipeline::full_rebuilds`] /
-//!   [`SolvePipeline::incremental_builds`] counter pair is the observable
-//!   analogue of [`SolvePipeline::plan_builds`].
+//!   count as *full rebuilds*. The [`PipelineStats::full_rebuilds`] /
+//!   [`PipelineStats::incremental_builds`] counter pair is the observable
+//!   analogue of [`PipelineStats::plan_builds`].
 //! * **Warm-started solving.** After every feasible solve the pipeline
 //!   remembers the best assignment of each `var`-declared row, keyed by the
 //!   row's concrete attributes (so the memory survives structural change:
@@ -216,21 +216,6 @@ impl SolvePipeline {
         }
     }
 
-    /// Number of times a plan has been built over the pipeline's lifetime
-    /// (1 after construction; +1 per rebuild triggered by invalidation).
-    #[deprecated(note = "use `stats().plan_builds` instead")]
-    pub fn plan_builds(&self) -> u64 {
-        self.plan_builds
-    }
-
-    /// Number of groundings that ran without usable delta information: the
-    /// first invocation, every invocation after a parameter change, and
-    /// recovery from a failed grounding.
-    #[deprecated(note = "use `stats().full_rebuilds` instead")]
-    pub fn full_rebuilds(&self) -> u64 {
-        self.full_rebuilds
-    }
-
     /// True when the most recent [`SolvePipeline::ground`] returned the
     /// retained previous COP untouched. Since the search is a deterministic
     /// function of the COP and the search configuration, a caller holding
@@ -239,24 +224,15 @@ impl SolvePipeline {
         self.last_was_reuse
     }
 
-    /// Number of delta-aware groundings — runs that consulted the engine's
-    /// delta summary against the previous grounding, whether that led to
-    /// whole-COP reuse, partial replay, or (for a fully dirty summary) the
-    /// same work as a rebuild.
-    #[deprecated(note = "use `stats().incremental_builds` instead")]
-    pub fn incremental_builds(&self) -> u64 {
-        self.incremental_builds
-    }
-
     /// The current grounding plan.
     pub fn plan(&self) -> &GroundingPlan {
         &self.plan
     }
 
     /// The search configuration used by [`SolvePipeline::solve`]. Its
-    /// time/node limits are overridden from the live [`ProgramParams`] at
-    /// each solve; the heuristics (branching, value choice, split threshold)
-    /// are authoritative here.
+    /// time/node limits and worker count are overridden from the live
+    /// [`ProgramParams`] at each solve; the heuristics (branching, value
+    /// choice, split threshold) are authoritative here.
     pub fn search_config(&self) -> &SearchConfig {
         &self.search
     }
@@ -369,6 +345,7 @@ impl SolvePipeline {
         let mut config = self.search.clone();
         config.time_limit = params.solver_max_time;
         config.node_limit = params.solver_node_limit;
+        config.workers = params.solver_workers;
         if params.warm_start {
             if let Some(objective) = cop_objective(cop) {
                 let hints = self.warm_hints(cop);

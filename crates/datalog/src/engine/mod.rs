@@ -16,17 +16,17 @@
 //! The engine is built for the 10^5–10^6-tuple groundings of the paper's
 //! scaling experiments; four layers cooperate:
 //!
-//! * **Interning** ([`crate::intern`]) — relation names and `Value::Str`
+//! * **Interning** (`crate::intern`) — relation names and `Value::Str`
 //!   payloads are mapped to dense `u32` ids at the API boundary, so every
 //!   internal structure is keyed by [`crate::RelId`]-style indexes instead
 //!   of `String` hash maps and stored rows are flat arrays of copyable
-//!   words ([`crate::tuple::IRow`]).
-//! * **Indexed stores** ([`crate::tuple::RelStore`]) — each relation is a
+//!   words (`crate::tuple::IRow`).
+//! * **Indexed stores** (`crate::tuple::RelStore`) — each relation is a
 //!   deduplicating arena with counted multiplicities, an O(1) visible
 //!   count, and per-(arity, bound-column-set) hash indexes built lazily the
 //!   first time a compiled plan probes that column set.
-//! * **Compiled plans** ([`crate::plan`]) — `add_rule` compiles each rule
-//!   once into a [`crate::plan::RulePlan`]: positional slot bindings,
+//! * **Compiled plans** (`crate::plan`) — `add_rule` compiles each rule
+//!   once into a `crate::plan::RulePlan`: positional slot bindings,
 //!   per-column match actions, probe keys, and a safety-checked join order
 //!   (selections and index probes replace the interpreted
 //!   `Atom::match_tuple`/`Bindings` walk). The pipelined delta loop fires
@@ -37,7 +37,7 @@
 //!   name-keyed [`DeltaSummary`] once at the end, so the hot loop never
 //!   touches a `BTreeMap<String, _>`.
 //!
-//! The original interpreted engine is preserved as [`reference`] (the
+//! The original interpreted engine is preserved as [`reference`](mod@reference) (the
 //! executable specification); the equivalence test-suite asserts both
 //! engines agree on fixpoint tables, delta summaries and outbox contents.
 
@@ -310,7 +310,7 @@ impl Engine {
 
     /// Install a rule. Rules may be added before or after facts.
     ///
-    /// The rule is compiled once into a [`RulePlan`]; aggregate rules and
+    /// The rule is compiled once into a `RulePlan`; aggregate rules and
     /// rules whose body repeats a relation are classified for maintenance
     /// by recompute-and-diff, everything else gets pinned delta plans for
     /// pipelined firing.

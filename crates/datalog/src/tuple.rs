@@ -11,8 +11,8 @@
 //!
 //! * [`Relation`] — the public `HashMap<Tuple, count>` form, still used by
 //!   the test-only reference interpreter ([`crate::engine::reference`]);
-//! * [`RelStore`] (crate-internal) — the indexed arena the production engine
-//!   evaluates against: rows are flat arrays of copyable [`IVal`] words,
+//! * `RelStore` (crate-internal) — the indexed arena the production engine
+//!   evaluates against: rows are flat arrays of copyable `IVal` words,
 //!   distinct rows live once in an arena keyed by hash, the visible-row
 //!   count is maintained incrementally (O(1) `relation_len`), and secondary
 //!   hash indexes over bound-column sets are built lazily on first probe and

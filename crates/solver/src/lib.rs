@@ -37,6 +37,7 @@ pub mod expr;
 pub mod lns;
 pub mod model;
 pub mod observe;
+pub mod parallel;
 pub mod propagator;
 pub mod propagators;
 pub mod restart;

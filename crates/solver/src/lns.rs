@@ -429,6 +429,7 @@ pub(crate) fn solve_lns(
             node_limit: remaining(config.node_limit, stats.nodes),
             max_solutions: remaining_solutions(&solutions),
             warm_start: None,
+            workers: None,
         };
         let repair = search::resolve_subtree(
             model,

@@ -38,6 +38,7 @@
 //! searcher's behaviour: both must produce identical incumbents, solution
 //! sets and fail counts on every model.
 
+use std::num::NonZeroUsize;
 use std::time::{Duration, Instant};
 
 use crate::domain::Domain;
@@ -170,6 +171,17 @@ pub struct SearchConfig {
     /// ignored (the search falls back to a cold start); `Satisfy` searches
     /// ignore warm starts entirely.
     pub warm_start: Option<Assignment>,
+    /// Number of worker threads for the parallel engines of
+    /// [`crate::parallel`]. `None` (the default) or `Some(1)` runs the
+    /// sequential searchers, bit-identical to previous releases. With two or
+    /// more workers, exact searches split the top decision levels into
+    /// independent subtrees drained by scoped worker threads sharing an
+    /// incumbent bound, and LNS runs a multi-seed portfolio sharing
+    /// incumbents at round boundaries. The reported result (objective, best
+    /// assignment, incumbent sequence) stays identical to the sequential
+    /// search; see the module docs of [`crate::parallel`] for the exact
+    /// determinism contract and its node-count caveat.
+    pub workers: Option<NonZeroUsize>,
 }
 
 impl Default for SearchConfig {
@@ -184,6 +196,7 @@ impl Default for SearchConfig {
             max_solutions: None,
             node_limit: None,
             warm_start: None,
+            workers: None,
         }
     }
 }
@@ -206,7 +219,7 @@ pub struct Assignment {
 }
 
 impl Assignment {
-    fn from_domains(domains: &[Domain]) -> Self {
+    pub(crate) fn from_domains(domains: &[Domain]) -> Self {
         Assignment {
             values: domains.iter().map(|d| d.min()).collect(),
         }
@@ -263,12 +276,84 @@ enum BranchKind {
     Split { mid: i64, hi_first: bool },
 }
 
-/// One concrete branching decision.
-#[derive(Debug, Clone, Copy)]
-enum BranchOp {
+/// One concrete branching decision. `pub(crate)` because the parallel
+/// frontier enumerator ([`crate::parallel`]) records the decision path of
+/// each subtree as a sequence of these ops and replays them on worker-local
+/// stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BranchOp {
     Assign(i64),
     Le(i64),
     Gt(i64),
+}
+
+/// Apply one branching decision to `store` — the single definition shared by
+/// the sequential driver and the parallel subtree replay, so the two cannot
+/// drift apart.
+pub(crate) fn apply_branch(store: &mut Store, var_idx: usize, op: BranchOp) -> Result<bool, ()> {
+    match op {
+        BranchOp::Assign(v) => store.assign(var_idx, v),
+        BranchOp::Le(mid) => store.remove_above(var_idx, mid),
+        BranchOp::Gt(mid) => store.remove_below(var_idx, mid + 1),
+    }
+}
+
+/// Mirror of the searcher's per-node branching logic as a pure function of
+/// the configuration and the current (propagated) domains: the variable the
+/// node branches on and the ordered branch decisions it would try, or `None`
+/// when every variable is fixed (the node is a solution leaf).
+///
+/// The parallel frontier enumerator uses this to expand a node into subtree
+/// seeds; it must stay in lock-step with `Searcher::enter_node` /
+/// `Frame::branch_op` so that the enumerated frontier is exactly the set of
+/// branches the sequential search would try, in the same order.
+pub(crate) fn node_branches(
+    config: &SearchConfig,
+    domains: &[Domain],
+) -> Option<(usize, Vec<BranchOp>)> {
+    let var_idx = select_var_with(config.branching, domains)?;
+    let domain = &domains[var_idx];
+    let ops = if use_split_with(config, domain.size()) {
+        let mid = domain.median();
+        if split_hi_first(config.value_choice, mid) {
+            vec![BranchOp::Gt(mid), BranchOp::Le(mid)]
+        } else {
+            vec![BranchOp::Le(mid), BranchOp::Gt(mid)]
+        }
+    } else {
+        let mut values: Vec<i64> = domain.iter().collect();
+        order_values(config.value_choice, &mut values);
+        values.into_iter().map(BranchOp::Assign).collect()
+    };
+    Some((var_idx, ops))
+}
+
+/// Variable selection as a free function (shared by the searcher and the
+/// parallel frontier enumerator).
+fn select_var_with(branching: Branching, domains: &[Domain]) -> Option<usize> {
+    let unfixed = domains.iter().enumerate().filter(|(_, d)| !d.is_fixed());
+    match branching {
+        Branching::InputOrder => unfixed.map(|(i, _)| i).next(),
+        Branching::SmallestDomain => unfixed.min_by_key(|(_, d)| d.size()).map(|(i, _)| i),
+        Branching::LargestDomain => unfixed.max_by_key(|(_, d)| d.size()).map(|(i, _)| i),
+    }
+}
+
+/// Should a node with this domain size bisect instead of enumerating values?
+fn use_split_with(config: &SearchConfig, size: u64) -> bool {
+    let forced = matches!(config.value_choice, ValueChoice::Split);
+    (forced || config.split_threshold.is_some_and(|t| size > t)) && size > 2
+}
+
+/// The initial branch-and-bound bound seeded by a warm assignment's
+/// objective value: applied *non-strictly* (offset by one) so solutions
+/// matching the warm objective are still recorded. `None` for `Satisfy`.
+pub(crate) fn warm_bound_seed(objective: Objective, value: i64) -> Option<i64> {
+    match objective {
+        Objective::Minimize(_) => Some(value.saturating_add(1)),
+        Objective::Maximize(_) => Some(value.saturating_sub(1)),
+        Objective::Satisfy => None,
+    }
 }
 
 /// One open node of the explicit decision stack.
@@ -319,6 +404,12 @@ pub struct SearchSpace {
     /// frame's slice starts at its `values_start` and is truncated away when
     /// the frame is popped.
     pub(crate) values: Vec<i64>,
+    /// Worker-private spaces for the parallel engines ([`crate::parallel`]),
+    /// lazily grown to the configured worker count and retained across
+    /// invocations so repeated parallel solves reuse their trails, queues and
+    /// arenas the same way sequential solves reuse this space. Empty unless
+    /// [`SearchConfig::workers`] ever enabled parallelism.
+    pub(crate) pool: Vec<SearchSpace>,
 }
 
 impl SearchSpace {
@@ -343,6 +434,11 @@ struct Searcher<'m, 'o, 'p> {
     /// reference so nested searches (LNS dives and repairs) can share one
     /// observer without fighting the trait object's invariant lifetime.
     observer: &'o mut Option<&'p mut dyn SolveObserver>,
+    /// Coupling to a parallel-search coordinator, when this searcher runs as
+    /// a subtree worker (see [`crate::parallel`]): cooperative cancellation,
+    /// the shared node budget, the shared incumbent-bound slots. `None` on
+    /// every sequential path.
+    link: Option<&'m crate::parallel::SearchLink<'m>>,
 }
 
 /// Run a search over `model` with the given objective.
@@ -378,11 +474,33 @@ pub fn solve_in_observed(
     observer: Option<&mut dyn SolveObserver>,
 ) -> SearchOutcome {
     let mut observer = observer;
+    let workers = crate::parallel::worker_count(config);
     if let SolverMode::Lns(lns) = &config.mode {
         if !matches!(objective, Objective::Satisfy) {
             let lns = lns.clone();
+            if workers > 1 {
+                return crate::parallel::solve_lns_portfolio(
+                    model,
+                    objective,
+                    config,
+                    &lns,
+                    workers,
+                    space,
+                    &mut observer,
+                );
+            }
             return crate::lns::solve_lns(model, objective, config, &lns, space, &mut observer);
         }
+    }
+    if workers > 1 {
+        return crate::parallel::solve_exact_parallel(
+            model,
+            objective,
+            config,
+            workers,
+            space,
+            &mut observer,
+        );
     }
     solve_exact_in(model, objective, config, space, &mut observer)
 }
@@ -422,7 +540,7 @@ pub(crate) fn solve_exact_in(
 /// objective value))` when it is usable, `None` otherwise (no warm start
 /// configured, satisfaction objective, or an assignment that does not cover
 /// the model / falls outside a root domain / violates a propagator).
-fn validated_warm(
+pub(crate) fn validated_warm(
     model: &Model,
     objective: Objective,
     config: &SearchConfig,
@@ -624,6 +742,34 @@ pub(crate) fn resolve_subtree(
     searcher.finish()
 }
 
+/// [`resolve_subtree`] for a parallel subtree worker: unobserved (the
+/// [`SolveObserver`] is not `Send`, so events are sequenced on the
+/// coordinator thread from the merged result instead), coupled to the
+/// coordinator through `link` for cancellation, the shared node budget and
+/// entry-bound invalidation (`incumbent` is the worker's speculative entry
+/// bound; the coordinator validates it against the sequential bound).
+pub(crate) fn resolve_subtree_linked(
+    model: &Model,
+    objective: Objective,
+    config: &SearchConfig,
+    space: &mut SearchSpace,
+    incumbent: Option<i64>,
+    link: &crate::parallel::SearchLink<'_>,
+) -> SearchOutcome {
+    debug_assert!(
+        space.store.level() > 0,
+        "resolve_subtree_linked requires an open subtree level"
+    );
+    let mut no_observer: Option<&mut dyn SolveObserver> = None;
+    let mut searcher = Searcher::new(model, objective, config.clone(), &mut no_observer);
+    searcher.link = Some(link);
+    searcher.best_objective = incumbent;
+    space.frames.clear();
+    space.values.clear();
+    searcher.run(space);
+    searcher.finish()
+}
+
 impl<'m, 'o, 'p> Searcher<'m, 'o, 'p> {
     fn new(
         model: &'m Model,
@@ -642,6 +788,7 @@ impl<'m, 'o, 'p> Searcher<'m, 'o, 'p> {
             solutions: Vec::new(),
             stopped: false,
             observer,
+            link: None,
         }
     }
 
@@ -651,10 +798,8 @@ impl<'m, 'o, 'p> Searcher<'m, 'o, 'p> {
     /// this keeps the final incumbent identical to a cold run's under a
     /// static branching order (see [`SearchConfig::warm_start`]).
     fn seed_warm_bound(&mut self, value: i64) {
-        let seed = match self.objective {
-            Objective::Minimize(_) => value.saturating_add(1),
-            Objective::Maximize(_) => value.saturating_sub(1),
-            Objective::Satisfy => return,
+        let Some(seed) = warm_bound_seed(self.objective, value) else {
+            return;
         };
         self.best_objective = Some(seed);
         self.stats.warm_start = true;
@@ -683,6 +828,24 @@ impl<'m, 'o, 'p> Searcher<'m, 'o, 'p> {
     fn check_limits(&mut self) -> bool {
         if self.stopped {
             return true;
+        }
+        if let Some(link) = self.link {
+            if link.cancelled() {
+                self.cancel();
+                return true;
+            }
+            // A published prefix incumbent has beaten this worker's entry
+            // bound: the speculative run is doomed to fail validation, so
+            // abandon it early (the coordinator redoes the subtree with the
+            // exact sequential entry bound).
+            if self.stats.nodes % 64 == 0 && link.invalidated() {
+                self.stopped = true;
+                return true;
+            }
+            if link.node_budget_exhausted() {
+                self.stopped = true;
+                return true;
+            }
         }
         if let Some(t) = self.config.time_limit {
             // Only check the clock periodically; Instant::elapsed is cheap but
@@ -718,12 +881,7 @@ impl<'m, 'o, 'p> Searcher<'m, 'o, 'p> {
     }
 
     fn select_var(&self, domains: &[Domain]) -> Option<usize> {
-        let unfixed = domains.iter().enumerate().filter(|(_, d)| !d.is_fixed());
-        match self.config.branching {
-            Branching::InputOrder => unfixed.map(|(i, _)| i).next(),
-            Branching::SmallestDomain => unfixed.min_by_key(|(_, d)| d.size()).map(|(i, _)| i),
-            Branching::LargestDomain => unfixed.max_by_key(|(_, d)| d.size()).map(|(i, _)| i),
-        }
+        select_var_with(self.config.branching, domains)
     }
 
     fn objective_bound_ok(&self, domains: &[Domain]) -> bool {
@@ -759,8 +917,7 @@ impl<'m, 'o, 'p> Searcher<'m, 'o, 'p> {
 
     /// Should this node bisect the domain instead of enumerating values?
     fn use_split(&self, size: u64) -> bool {
-        let forced = matches!(self.config.value_choice, ValueChoice::Split);
-        (forced || self.config.split_threshold.is_some_and(|t| size > t)) && size > 2
+        use_split_with(&self.config, size)
     }
 
     /// Tighten the objective domain with the incumbent bound at node entry.
@@ -798,6 +955,9 @@ impl<'m, 'o, 'p> Searcher<'m, 'o, 'p> {
         }
         self.stats.nodes += 1;
         self.stats.max_depth = self.stats.max_depth.max(depth);
+        if let Some(link) = self.link {
+            link.count_node();
+        }
         if self.stats.nodes % PROGRESS_NODE_INTERVAL == 0
             && notify(&mut *self.observer, |o| o.on_progress(&self.stats))
         {
@@ -894,12 +1054,8 @@ impl<'m, 'o, 'p> Searcher<'m, 'o, 'p> {
             space.frames[top].next += 1;
 
             space.store.push_choice();
-            let applied = match frame.branch_op(frame.next, &space.values) {
-                BranchOp::Assign(v) => space.store.assign(frame.var_idx, v),
-                BranchOp::Le(mid) => space.store.remove_above(frame.var_idx, mid),
-                BranchOp::Gt(mid) => space.store.remove_below(frame.var_idx, mid + 1),
-            };
-            if applied.is_err() {
+            let op = frame.branch_op(frame.next, &space.values);
+            if apply_branch(&mut space.store, frame.var_idx, op).is_err() {
                 self.stats.fails += 1;
                 space.store.backtrack();
                 continue;

@@ -39,6 +39,15 @@ pub struct SearchStats {
     /// search (the initial branch-and-bound bound for exact search, the
     /// initial incumbent for LNS).
     pub warm_start: bool,
+    /// Number of worker threads the search ran on (0 for the sequential
+    /// engines; see [`crate::SearchConfig::workers`]).
+    pub parallel_workers: u64,
+    /// Number of independent subtrees the parallel exact engine split the
+    /// search into (0 for sequential and LNS searches).
+    pub subtrees: u64,
+    /// Number of synchronized portfolio rounds the parallel LNS engine ran
+    /// (0 for sequential and exact searches).
+    pub portfolio_rounds: u64,
 }
 
 impl SearchStats {
@@ -47,8 +56,12 @@ impl SearchStats {
         Duration::from_micros(self.elapsed_micros)
     }
 
-    /// Merge another stats record into this one (used when a distributed
-    /// execution runs many local COPs and we want aggregate totals).
+    /// Merge another stats record into this one. Used wherever many searches
+    /// contribute to one aggregate figure: the parallel engines merge their
+    /// per-worker counters in a fixed reduction order, the LNS driver merges
+    /// dive and repair stats, and distributed executions merge per-node COP
+    /// totals. Counters sum; depth and worker counts take the maximum; flags
+    /// or together.
     pub fn merge(&mut self, other: &SearchStats) {
         self.nodes += other.nodes;
         self.fails += other.fails;
@@ -62,6 +75,9 @@ impl SearchStats {
         self.limit_reached |= other.limit_reached;
         self.cancelled |= other.cancelled;
         self.warm_start |= other.warm_start;
+        self.parallel_workers = self.parallel_workers.max(other.parallel_workers);
+        self.subtrees += other.subtrees;
+        self.portfolio_rounds += other.portfolio_rounds;
     }
 }
 
@@ -83,6 +99,15 @@ impl std::fmt::Display for SearchStats {
                 " lns_iters={} lns_improved={}",
                 self.lns_iterations, self.lns_improvements
             )?;
+        }
+        if self.parallel_workers > 0 {
+            write!(f, " workers={}", self.parallel_workers)?;
+            if self.subtrees > 0 {
+                write!(f, " subtrees={}", self.subtrees)?;
+            }
+            if self.portfolio_rounds > 0 {
+                write!(f, " rounds={}", self.portfolio_rounds)?;
+            }
         }
         if self.warm_start {
             write!(f, " warm")?;
@@ -125,6 +150,79 @@ mod tests {
         assert_eq!(a.max_depth, 9);
         assert!(a.limit_reached);
         assert_eq!(a.elapsed(), Duration::from_micros(1500));
+    }
+
+    /// Every field of `SearchStats` must participate in `merge`. The
+    /// exhaustive destructuring below fails to compile when a field is added,
+    /// and the assertions fail when a field is added to the struct but
+    /// forgotten in `merge` (a non-zero source value must leave a trace in
+    /// the merged record).
+    #[test]
+    fn merge_covers_every_field() {
+        let source = SearchStats {
+            nodes: 1,
+            fails: 2,
+            propagations: 3,
+            prunings: 4,
+            solutions: 5,
+            max_depth: 6,
+            lns_iterations: 7,
+            lns_improvements: 8,
+            elapsed_micros: 9,
+            limit_reached: true,
+            cancelled: true,
+            warm_start: true,
+            parallel_workers: 10,
+            subtrees: 11,
+            portfolio_rounds: 12,
+        };
+        let mut merged = SearchStats::default();
+        merged.merge(&source);
+        // Exhaustive destructuring: adding a field without extending this
+        // test (and `merge`) is a compile error here.
+        let SearchStats {
+            nodes,
+            fails,
+            propagations,
+            prunings,
+            solutions,
+            max_depth,
+            lns_iterations,
+            lns_improvements,
+            elapsed_micros,
+            limit_reached,
+            cancelled,
+            warm_start,
+            parallel_workers,
+            subtrees,
+            portfolio_rounds,
+        } = merged;
+        assert_eq!(nodes, 1);
+        assert_eq!(fails, 2);
+        assert_eq!(propagations, 3);
+        assert_eq!(prunings, 4);
+        assert_eq!(solutions, 5);
+        assert_eq!(max_depth, 6);
+        assert_eq!(lns_iterations, 7);
+        assert_eq!(lns_improvements, 8);
+        assert_eq!(elapsed_micros, 9);
+        assert!(limit_reached);
+        assert!(cancelled);
+        assert!(warm_start);
+        assert_eq!(parallel_workers, 10);
+        assert_eq!(subtrees, 11);
+        assert_eq!(portfolio_rounds, 12);
+        // Merging into a populated record keeps every field monotone: the
+        // merged Debug output must differ from the pre-merge one whenever
+        // the source is non-trivial (catches "merge ignores field" bugs for
+        // fields whose merged value coincides with the default).
+        let mut twice = source.clone();
+        twice.merge(&source);
+        assert_ne!(format!("{source:?}"), format!("{twice:?}"));
+        assert_eq!(twice.nodes, 2);
+        assert_eq!(twice.parallel_workers, 10, "worker count merges by max");
+        assert_eq!(twice.subtrees, 22);
+        assert_eq!(twice.portfolio_rounds, 24);
     }
 
     #[test]

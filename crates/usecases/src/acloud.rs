@@ -463,6 +463,10 @@ pub struct LargeAcloudConfig {
     pub node_limit: u64,
     /// RNG seed for the synthetic workload.
     pub seed: u64,
+    /// Worker threads for the COP search (`None` = sequential). Parallel
+    /// runs of this scenario return the same incumbent as sequential ones;
+    /// see the solver's `parallel` module for the determinism contract.
+    pub workers: Option<std::num::NonZeroUsize>,
 }
 
 impl Default for LargeAcloudConfig {
@@ -472,6 +476,7 @@ impl Default for LargeAcloudConfig {
             hosts: 10,
             node_limit: 30_000,
             seed: 23,
+            workers: None,
         }
     }
 }
@@ -498,6 +503,7 @@ pub fn large_acloud_instance(config: &LargeAcloudConfig, mode: SolverMode) -> Co
         .with_solver_branching(SolverBranching::FirstFail)
         .with_solver_node_limit(Some(config.node_limit))
         .with_solver_max_time(None)
+        .with_solver_workers(config.workers)
         .with_solver_mode(mode);
     let mut instance = CologneInstance::new(NodeId(0), ACLOUD_CENTRALIZED, params)
         .expect("ACloud program compiles");

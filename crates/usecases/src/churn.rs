@@ -62,6 +62,9 @@ pub struct ChurnConfig {
     /// or force every tick onto the cold full-rebuild path (the baseline
     /// the `bench_incremental` group compares against).
     pub incremental: bool,
+    /// Worker threads per COP search (`None` = sequential). The per-tick
+    /// results are identical either way; see the solver's `parallel` module.
+    pub solver_workers: Option<std::num::NonZeroUsize>,
     /// RNG seed for the churn trace.
     pub seed: u64,
 }
@@ -80,6 +83,7 @@ impl Default for ChurnConfig {
             solver_node_limit: None,
             solver_mode: SolverMode::Exact,
             incremental: true,
+            solver_workers: None,
             seed: 42,
         }
     }
@@ -260,6 +264,7 @@ pub fn run_churn(config: &ChurnConfig) -> ChurnOutcome {
         .with_solver_max_time(None)
         .with_solver_node_limit(config.solver_node_limit)
         .with_solver_mode(config.solver_mode.clone())
+        .with_solver_workers(config.solver_workers)
         .with_warm_start(config.incremental)
         .with_delta_grounding(config.incremental);
     let topology = Topology::line(config.data_centers as u32, LinkProps::default());

@@ -51,6 +51,10 @@ pub struct FollowSunConfig {
     pub solver_node_limit: u64,
     /// Optional per-link migration cap (the `d11`/`c5` policy of Sec. 4.3).
     pub migration_limit: Option<i64>,
+    /// Worker threads per local COP search (`None` = sequential). The
+    /// negotiated allocations are identical either way; see the solver's
+    /// `parallel` module for the determinism contract.
+    pub solver_workers: Option<std::num::NonZeroUsize>,
     /// RNG seed.
     pub seed: u64,
 }
@@ -68,6 +72,7 @@ impl Default for FollowSunConfig {
             negotiation_period_secs: 5,
             solver_node_limit: 50_000,
             migration_limit: None,
+            solver_workers: None,
             seed: 11,
         }
     }
@@ -316,6 +321,7 @@ pub fn build_followsun_deployment(
         node_limit: Some(config.solver_node_limit),
         value_choice: ValueChoice::ClosestToZero,
         split_threshold: Some(2),
+        workers: config.solver_workers,
         ..SolverSettings::default()
     };
 

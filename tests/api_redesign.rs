@@ -6,10 +6,10 @@
 //! 1. **Eager validation** — unknown relations and schema mismatches error
 //!    at the write (with did-you-mean suggestions), including tuples
 //!    received from remote nodes;
-//! 2. **Builder/legacy equivalence** — a deployment built through
+//! 2. **Builder equivalence** — a deployment built through
 //!    [`DeploymentBuilder`] produces `SolveReport`s byte-identical (modulo
-//!    wall-clock micros) to the legacy `CologneInstance::new` /
-//!    `DistributedCologne::homogeneous` construction on all three paper use
+//!    wall-clock micros) to a directly-constructed `CologneInstance` (and,
+//!    distributed, to per-node parameter overrides) on all three paper use
 //!    cases;
 //! 3. **Observer determinism and safe cancellation** — a seeded LNS run on
 //!    the large ACloud instance emits the same event sequence twice, and an
@@ -129,26 +129,12 @@ fn receive_rejects_malformed_remote_tuples() {
     assert_eq!(inst.scan("vm").count(), 2);
 }
 
-#[test]
-fn engine_counts_unknown_relation_inserts() {
-    // Satellite regression: the legacy unchecked path must at least count
-    // (and warn once about) typo'd ingestion instead of staying silent.
-    let mut inst = CologneInstance::new(NodeId(0), ACLOUD_CENTRALIZED, acloud_params()).unwrap();
-    assert_eq!(inst.engine_stats().unknown_relation_inserts, 0);
-    #[allow(deprecated)]
-    inst.insert_fact("vmCpu", ints(&[1, 2]));
-    assert_eq!(inst.engine_stats().unknown_relation_inserts, 1);
-    #[allow(deprecated)]
-    inst.insert_fact("vm", ints(&[1, 40, 4]));
-    assert_eq!(inst.engine_stats().unknown_relation_inserts, 1);
-}
-
 // ---------------------------------------------------------------------------
-// 2. builder-vs-legacy equivalence
+// 2. builder equivalence
 // ---------------------------------------------------------------------------
 
 #[test]
-fn acloud_builder_matches_legacy_byte_for_byte() {
+fn acloud_builder_matches_direct_instance_byte_for_byte() {
     let facts: Vec<(&str, Tuple)> = vec![
         ("vm", ints(&[1, 40, 4])),
         ("vm", ints(&[2, 20, 4])),
@@ -161,13 +147,12 @@ fn acloud_builder_matches_legacy_byte_for_byte() {
         ("hostMemThres", ints(&[12, 16])),
     ];
 
-    // legacy surface
-    #[allow(deprecated)]
-    let legacy = {
+    // direct instance construction
+    let direct = {
         let mut inst =
             CologneInstance::new(NodeId(0), ACLOUD_CENTRALIZED, acloud_params()).unwrap();
         for (rel, tuple) in &facts {
-            inst.insert_fact(rel, tuple.clone());
+            inst.relation(rel).unwrap().insert(tuple.clone()).unwrap();
         }
         inst.invoke_solver().unwrap()
     };
@@ -185,11 +170,11 @@ fn acloud_builder_matches_legacy_byte_for_byte() {
         d.invoke_at(node).unwrap()
     };
 
-    assert_eq!(normalized(&legacy), normalized(&new), "acloud");
+    assert_eq!(normalized(&direct), normalized(&new), "acloud");
 }
 
 #[test]
-fn wireless_builder_matches_legacy_byte_for_byte() {
+fn wireless_builder_matches_direct_instance_byte_for_byte() {
     let params = ProgramParams::new()
         .with_var_domain("assign", VarDomain::new(1, 3))
         .with_constant("F_mindiff", 2)
@@ -204,12 +189,11 @@ fn wireless_builder_matches_legacy_byte_for_byte() {
     }
     facts.push(("primaryUser", ints(&[1, 2])));
 
-    #[allow(deprecated)]
-    let legacy = {
+    let direct = {
         let mut inst =
             CologneInstance::new(NodeId(0), WIRELESS_CENTRALIZED, params.clone()).unwrap();
         for (rel, tuple) in &facts {
-            inst.insert_fact(rel, tuple.clone());
+            inst.relation(rel).unwrap().insert(tuple.clone()).unwrap();
         }
         inst.invoke_solver().unwrap()
     };
@@ -226,7 +210,7 @@ fn wireless_builder_matches_legacy_byte_for_byte() {
         d.invoke_at(node).unwrap()
     };
 
-    assert_eq!(normalized(&legacy), normalized(&new), "wireless");
+    assert_eq!(normalized(&direct), normalized(&new), "wireless");
 }
 
 /// Per-node Follow-the-Sun base facts for a 2-DC deployment.
@@ -262,7 +246,9 @@ fn followsun_facts(node: u32) -> Vec<(&'static str, Tuple)> {
 }
 
 #[test]
-fn followsun_builder_matches_legacy_byte_for_byte() {
+fn followsun_base_params_match_per_node_overrides_byte_for_byte() {
+    // Per-node overrides that all equal the base parameters must produce a
+    // deployment byte-identical to the homogeneous one.
     let params = ProgramParams::new()
         .with_var_domain("migVm", VarDomain::new(-10, 10))
         .with_solver_node_limit(Some(5_000))
@@ -273,26 +259,8 @@ fn followsun_builder_matches_legacy_byte_for_byte() {
             vec![Value::Addr(NodeId(1)), Value::Addr(NodeId(n))],
         )
     };
-
-    #[allow(deprecated)]
-    let legacy = {
-        let topo = Topology::line(2, LinkProps::default());
-        let mut driver =
-            cologne::DistributedCologne::homogeneous(topo, FOLLOWSUN_DISTRIBUTED, &params).unwrap();
-        for node in [0u32, 1] {
-            for (rel, tuple) in followsun_facts(node) {
-                driver.insert_fact(NodeId(node), rel, tuple);
-            }
-        }
-        let (rel, tuple) = set_link(0);
-        driver.insert_fact(NodeId(1), rel, tuple);
-        driver.run_messages_until(SimTime::from_secs(2));
-        driver.invoke_solvers().unwrap()
-    };
-
-    let new = {
-        let mut d = DeploymentBuilder::new(FOLLOWSUN_DISTRIBUTED)
-            .params(params)
+    let run = |builder: DeploymentBuilder| {
+        let mut d = builder
             .topology(Topology::line(2, LinkProps::default()))
             .build()
             .unwrap();
@@ -307,11 +275,16 @@ fn followsun_builder_matches_legacy_byte_for_byte() {
         d.invoke().unwrap()
     };
 
-    assert_eq!(legacy.len(), new.len());
-    for (node, legacy_report) in &legacy {
+    let homogeneous = run(DeploymentBuilder::new(FOLLOWSUN_DISTRIBUTED).params(params.clone()));
+    let overridden = run(DeploymentBuilder::new(FOLLOWSUN_DISTRIBUTED)
+        .node_params(NodeId(0), params.clone())
+        .node_params(NodeId(1), params));
+
+    assert_eq!(homogeneous.len(), overridden.len());
+    for (node, report) in &homogeneous {
         assert_eq!(
-            normalized(legacy_report),
-            normalized(&new[node]),
+            normalized(report),
+            normalized(&overridden[node]),
             "follow-the-sun node {node:?}"
         );
     }
@@ -327,6 +300,7 @@ fn lns_config() -> LargeAcloudConfig {
         hosts: 6,
         node_limit: 6_000,
         seed: 23,
+        workers: None,
     }
 }
 

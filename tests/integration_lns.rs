@@ -17,6 +17,7 @@ fn test_config() -> LargeAcloudConfig {
         hosts: 8,
         node_limit: 8_000,
         seed: 23,
+        workers: None,
     }
 }
 

@@ -320,18 +320,24 @@ fn params_change_forces_a_full_rebuild() {
 }
 
 #[test]
-fn irrelevant_relation_churn_stays_on_the_reuse_path() {
+fn rejected_writes_stay_on_the_reuse_path() {
     let mut inst = instance(ACLOUD_CENTRALIZED, &acloud_params(), &acloud_base_facts());
     let first = inst.invoke_solver().unwrap();
-    // A relation the program never mentions: the typed handle refuses it
-    // (that is the point of the schema catalog), so this test exercises the
-    // legacy unchecked path deliberately — irrelevant engine churn must not
-    // trigger any re-grounding.
+    // A relation the program never mentions is refused on every write
+    // surface (that is the point of the schema catalog), and the rejected
+    // writes must not dirty anything: the next invocation reuses the
+    // previous COP instead of re-grounding.
     assert!(inst.relation("monitoringHeartbeat").is_err());
-    #[allow(deprecated)]
-    inst.insert_fact("monitoringHeartbeat", ints(&[1, 2, 3]));
+    assert!(inst
+        .try_receive(&cologne::datalog::RemoteTuple {
+            dest: NodeId(0),
+            relation: "monitoringHeartbeat".into(),
+            tuple: ints(&[1, 2, 3]),
+            insert: true,
+        })
+        .is_err());
     let second = inst.invoke_solver().unwrap();
     assert_eq!(inst.pipeline_stats().full_rebuilds, 1);
     assert_eq!(inst.pipeline_stats().incremental_builds, 1);
-    assert_same_result(&second, &first, "irrelevant churn");
+    assert_same_result(&second, &first, "rejected writes");
 }
