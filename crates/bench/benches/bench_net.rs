@@ -1,0 +1,108 @@
+//! Benchmarks of the simulated network and its delivery layers: raw
+//! exactly-once churn through the discrete-event simulator (the fault-free
+//! fast path every pre-existing experiment rides on), the at-least-once
+//! ack/retransmit layer on a quiet fault plan (sequencing + ack overhead,
+//! no faults injected), and the same layer under seeded loss, duplication
+//! and reorder (retransmit and dedup machinery actually firing). The
+//! `net/` groups feed the bench-regression gate next to the solver and
+//! Datalog benches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cologne::datalog::{NodeId, RemoteTuple, Value};
+use cologne::net::{FaultPlan, LinkFaults, SimTime, Topology};
+use cologne::{Deployment, DeploymentBuilder, DistributedCologne};
+
+const TUPLE_SWEEP: [i64; 2] = [64, 256];
+
+/// One relay rule so the program compiles; the benches drive traffic by
+/// shipping tuples directly.
+const PING: &str = r#"
+    r1 pong(@Y,X) <- ping(@X,Y).
+"#;
+
+fn deployment(plan: Option<FaultPlan>) -> Deployment {
+    let mut builder = DeploymentBuilder::new(PING)
+        .topology(Topology::full_mesh(4, DistributedCologne::default_link()));
+    if let Some(plan) = plan {
+        builder = builder.faults(plan);
+    }
+    builder.build().expect("ping program compiles")
+}
+
+/// Ship `n` distinct tuples from node 0 to every other node and drain the
+/// network; returns the receiver-side row count as the black-boxed result.
+fn churn(driver: &mut Deployment, n: i64) -> usize {
+    for i in 0..n {
+        for dest in 1..4u32 {
+            driver.ship(
+                NodeId(0),
+                vec![RemoteTuple {
+                    dest: NodeId(dest),
+                    relation: "ping".into(),
+                    tuple: vec![Value::Addr(NodeId(0)), Value::Int(i)],
+                    insert: true,
+                }],
+            );
+        }
+    }
+    driver.settle(SimTime::from_secs(600));
+    (1..4u32)
+        .map(|n| driver.instance(NodeId(n)).unwrap().scan("ping").count())
+        .sum()
+}
+
+fn lossy_plan() -> FaultPlan {
+    FaultPlan::seeded(7).link_faults(LinkFaults {
+        loss: 0.2,
+        duplicate: 0.1,
+        jitter_us: 20_000,
+    })
+}
+
+fn bench_raw_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("net/raw_exactly_once");
+    for &n in &TUPLE_SWEEP {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut driver = deployment(None);
+                black_box(churn(&mut driver, n))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_reliable_quiet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("net/reliable_quiet");
+    for &n in &TUPLE_SWEEP {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut driver = deployment(Some(FaultPlan::default()));
+                black_box(churn(&mut driver, n))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_reliable_hostile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("net/reliable_loss_dup_reorder");
+    for &n in &TUPLE_SWEEP {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut driver = deployment(Some(lossy_plan()));
+                black_box(churn(&mut driver, n))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_raw_sim, bench_reliable_quiet, bench_reliable_hostile
+}
+criterion_main!(benches);

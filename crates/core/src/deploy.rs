@@ -156,6 +156,7 @@ pub struct DeploymentBuilder {
     topology: Option<Topology>,
     node_params: BTreeMap<NodeId, ProgramParams>,
     solver: Option<SolverSettings>,
+    faults: Option<cologne_net::FaultPlan>,
 }
 
 impl DeploymentBuilder {
@@ -167,6 +168,7 @@ impl DeploymentBuilder {
             topology: None,
             node_params: BTreeMap::new(),
             solver: None,
+            faults: None,
         }
     }
 
@@ -196,6 +198,16 @@ impl DeploymentBuilder {
     /// applied to every node.
     pub fn solver(mut self, settings: SolverSettings) -> Self {
         self.solver = Some(settings);
+        self
+    }
+
+    /// Install a seeded fault plan on the simulated network (loss,
+    /// duplication, jitter, partitions, crash/rejoin — see
+    /// `cologne_net::fault`). This also switches shipping to the
+    /// at-least-once delivery layer, as
+    /// [`DistributedCologne::set_fault_plan`] does.
+    pub fn faults(mut self, plan: cologne_net::FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 
@@ -236,9 +248,11 @@ impl DeploymentBuilder {
             }
             instances.push(inst);
         }
-        Ok(Deployment {
-            inner: DistributedCologne::assemble(topology, instances),
-        })
+        let mut inner = DistributedCologne::assemble(topology, instances);
+        if let Some(plan) = self.faults {
+            inner.set_fault_plan(plan);
+        }
+        Ok(Deployment { inner })
     }
 }
 

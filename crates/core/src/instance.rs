@@ -10,7 +10,7 @@
 //! goal relation) is materialized back into the engine, possibly triggering
 //! further rule evaluation and distributed messages.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use cologne_colog::{
     analyze, localize_rules, parse_program, Analysis, Program, ProgramParams, RuleClass,
@@ -84,6 +84,15 @@ pub struct CologneInstance {
     /// deterministic function of the COP and configuration, so re-solving
     /// an identical COP reproduces it bit for bit).
     last_report: Option<SolveReport>,
+    /// Every tuple currently held because a peer shipped it (inserts minus
+    /// deletes through [`CologneInstance::try_receive`]), with the set of
+    /// peers currently asserting it — the state a crash wipes and a rejoin
+    /// re-syncs from neighbors. The engine underneath counts multiplicities,
+    /// so this ledger keeps ingest idempotent *per sender* (at-least-once
+    /// delivery redelivers: duplicate packets, rejoin resyncs) while still
+    /// holding one multiplicity per distinct asserting peer (one peer's
+    /// retraction must not drop a row another peer still asserts).
+    remote_rows: BTreeMap<String, BTreeMap<Tuple, BTreeSet<NodeId>>>,
 }
 
 impl CologneInstance {
@@ -123,6 +132,7 @@ impl CologneInstance {
             last_stats: None,
             solver_invocations: 0,
             last_report: None,
+            remote_rows: BTreeMap::new(),
         })
     }
 
@@ -296,21 +306,69 @@ impl CologneInstance {
 
     // ----- distribution ------------------------------------------------------
 
-    /// Accept a tuple shipped from another node, validating it against the
+    /// Accept a tuple shipped by peer `from`, validating it against the
     /// program's relation schemas first: a remote tuple naming an unknown
     /// relation, or violating the relation's arity/kinds, is rejected with
     /// an error instead of corrupting local state.
-    pub fn try_receive(&mut self, remote: &RemoteTuple) -> Result<(), CologneError> {
+    ///
+    /// Ingest is idempotent per sender. At-least-once delivery redelivers —
+    /// duplicated packets, rejoin resyncs — and the engine underneath counts
+    /// multiplicities, so naively re-inserting an assertion this peer
+    /// already delivered would inflate the count and leave the row visible
+    /// after its one legitimate retraction. Re-assertions and retractions of
+    /// rows the peer never asserted are therefore no-ops; a row asserted by
+    /// several distinct peers keeps one multiplicity per asserting peer.
+    pub fn try_receive(&mut self, from: NodeId, remote: &RemoteTuple) -> Result<(), CologneError> {
         // The engine carries the schemas derived from this program (installed
-        // at construction), so its validated ingest is the single gate here.
-        let result = if remote.insert {
-            self.engine
-                .try_insert(&remote.relation, remote.tuple.clone())
-        } else {
-            self.engine
-                .try_delete(&remote.relation, remote.tuple.clone())
-        };
-        result.map_err(CologneError::from)
+        // at construction), so its validation is the single gate here.
+        self.engine
+            .validate(&remote.relation, &remote.tuple)
+            .map_err(CologneError::from)?;
+        // Track what this node only knows because a peer shipped it — the
+        // state a crash must drop — and apply only the visibility changes.
+        let rows = self.remote_rows.entry(remote.relation.clone()).or_default();
+        if remote.insert {
+            if rows.entry(remote.tuple.clone()).or_default().insert(from) {
+                self.engine
+                    .try_insert(&remote.relation, remote.tuple.clone())
+                    .map_err(CologneError::from)?;
+            }
+        } else if let Some(senders) = rows.get_mut(&remote.tuple) {
+            if senders.remove(&from) {
+                if senders.is_empty() {
+                    rows.remove(&remote.tuple);
+                }
+                self.engine
+                    .try_delete(&remote.relation, remote.tuple.clone())
+                    .map_err(CologneError::from)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Simulate a process crash and restart: every tuple ingested from peers
+    /// is retracted (local base facts survive — a restarted process re-reads
+    /// its local configuration), the rules re-run so derived state unwinds,
+    /// and all cross-invocation solver caches are dropped. Tuples the crash
+    /// produced for other nodes are discarded — a dead node sends nothing.
+    /// The driver re-syncs the instance from its neighbors on rejoin.
+    pub fn crash_reset(&mut self) {
+        let remote = std::mem::take(&mut self.remote_rows);
+        for (relation, rows) in remote {
+            for (row, senders) in rows {
+                // One engine multiplicity per asserting peer (see
+                // `remote_rows`), so unwind one retraction per peer. Only
+                // tuples that passed validated ingest are tracked, so
+                // retraction cannot fail; ignore errors defensively anyway.
+                for _ in 0..senders.len() {
+                    let _ = self.engine.try_delete(&relation, row.clone());
+                }
+            }
+        }
+        self.engine.run();
+        let _ = self.engine.take_outbox();
+        self.pipeline.forget();
+        self.last_report = None;
     }
 
     /// Run the regular rules to a local fixpoint and return any tuples
@@ -713,12 +771,15 @@ mod tests {
         let mut inst = acloud_instance();
         inst.run_rules();
         let before = inst.scan("vm").count();
-        let err = inst.try_receive(&cologne_datalog::RemoteTuple {
-            dest: NodeId(0),
-            relation: "vm".into(),
-            tuple: vec![Value::Int(1)],
-            insert: true,
-        });
+        let err = inst.try_receive(
+            NodeId(1),
+            &cologne_datalog::RemoteTuple {
+                dest: NodeId(0),
+                relation: "vm".into(),
+                tuple: vec![Value::Int(1)],
+                insert: true,
+            },
+        );
         assert!(err.is_err(), "arity-1 tuple must fail the vm schema");
         inst.run_rules();
         assert_eq!(inst.scan("vm").count(), before);

@@ -86,7 +86,9 @@ pub mod pipeline;
 pub mod translate;
 
 pub use deploy::{Deployment, DeploymentBuilder, SolverSettings};
-pub use distributed::{DistributedCologne, TimerOutcome};
+pub use distributed::{
+    CrashEvent, DeliveryStats, DistributedCologne, TimerOutcome, RETX_TIMER_TAG,
+};
 pub use error::CologneError;
 pub use ground::{ground, GroundedCop, GroundingPlan, GroundingScratch};
 pub use handle::RelationHandle;

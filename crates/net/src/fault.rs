@@ -1,0 +1,287 @@
+//! Seeded, deterministic fault injection for the discrete-event simulator.
+//!
+//! The paper evaluates Cologne over simulated UDP (Sec. 6) — a transport
+//! that loses, duplicates and reorders datagrams, and whose nodes can fail.
+//! A [`FaultPlan`] describes exactly those hazards for one simulation run:
+//! per-link message loss and duplication probabilities, latency jitter
+//! (which reorders messages relative to their send order), temporary
+//! partitions, and node crash/rejoin windows at scheduled [`SimTime`]s.
+//!
+//! # Determinism contract
+//!
+//! Every random decision is drawn from a splitmix64 stream (the same
+//! generator the LNS portfolio uses for seed derivation) keyed by the plan
+//! seed *and the directed link*: the n-th message sent over link `src → dest`
+//! always sees the same loss/duplication/jitter draws, no matter what other
+//! links do in between. Two runs of the same workload under the same plan
+//! are therefore byte-identical — the property the hostile-network
+//! reconvergence tests pin.
+//!
+//! The default plan ([`FaultPlan::default`]) injects nothing; a simulator
+//! without a plan installed behaves identically to one with the quiet plan.
+
+use std::collections::BTreeMap;
+
+use crate::sim::SimTime;
+use crate::topology::NodeIdx;
+
+/// The splitmix64 finalizer: statistically independent outputs from
+/// consecutive inputs, no state beyond the input itself.
+pub(crate) fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One directed link's per-message fault profile.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LinkFaults {
+    /// Probability in `[0, 1]` that a message is silently lost.
+    pub loss: f64,
+    /// Probability in `[0, 1]` that a second copy of the message is
+    /// delivered (after its own independent jitter draw).
+    pub duplicate: f64,
+    /// Maximum extra delivery delay in microseconds, drawn uniformly from
+    /// `[0, jitter_us]` per message. Jitter reorders messages relative to
+    /// their send order.
+    pub jitter_us: u64,
+}
+
+impl LinkFaults {
+    /// True when this profile injects nothing.
+    pub fn is_quiet(&self) -> bool {
+        self.loss == 0.0 && self.duplicate == 0.0 && self.jitter_us == 0
+    }
+}
+
+/// A scheduled node outage: the node crashes at `down` and rejoins at `up`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashWindow {
+    /// The node that fails.
+    pub node: NodeIdx,
+    /// Crash instant.
+    pub down: SimTime,
+    /// Rejoin instant (must be after `down`).
+    pub up: SimTime,
+}
+
+/// A temporary partition: while active, messages between `group` and the
+/// rest of the network are dropped (messages within either side still flow).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// One side of the cut.
+    pub group: Vec<NodeIdx>,
+    /// Partition start (inclusive).
+    pub from: SimTime,
+    /// Partition end (exclusive).
+    pub until: SimTime,
+}
+
+impl Partition {
+    /// True when the partition separates `a` from `b` at time `now`.
+    fn cuts(&self, a: NodeIdx, b: NodeIdx, now: SimTime) -> bool {
+        if now < self.from || now >= self.until {
+            return false;
+        }
+        self.group.contains(&a) != self.group.contains(&b)
+    }
+}
+
+/// A deterministic, seeded schedule of network hazards for one simulation.
+///
+/// Built with the fluent methods and installed via
+/// `Simulator::set_fault_plan`. See the module docs for the determinism
+/// contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    default_link: LinkFaults,
+    links: BTreeMap<(NodeIdx, NodeIdx), LinkFaults>,
+    partitions: Vec<Partition>,
+    crashes: Vec<CrashWindow>,
+}
+
+impl Default for FaultPlan {
+    /// The quiet plan: no faults of any kind.
+    fn default() -> Self {
+        FaultPlan::seeded(0)
+    }
+}
+
+impl FaultPlan {
+    /// An empty plan drawing from the given seed. Without further
+    /// configuration it injects nothing.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            default_link: LinkFaults::default(),
+            links: BTreeMap::new(),
+            partitions: Vec::new(),
+            crashes: Vec::new(),
+        }
+    }
+
+    /// Apply a fault profile to every link without an explicit override.
+    pub fn link_faults(mut self, faults: LinkFaults) -> Self {
+        self.default_link = faults;
+        self
+    }
+
+    /// Override the fault profile of the undirected link `a — b`.
+    pub fn link_faults_on(mut self, a: NodeIdx, b: NodeIdx, faults: LinkFaults) -> Self {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.links.insert(key, faults);
+        self
+    }
+
+    /// Cut `group` off from the rest of the network during `[from, until)`.
+    pub fn partition(mut self, group: Vec<NodeIdx>, from: SimTime, until: SimTime) -> Self {
+        debug_assert!(from < until, "partition window must be non-empty");
+        self.partitions.push(Partition { group, from, until });
+        self
+    }
+
+    /// Crash `node` at `down` and rejoin it at `up`.
+    pub fn crash(mut self, node: NodeIdx, down: SimTime, up: SimTime) -> Self {
+        debug_assert!(down < up, "crash window must be non-empty");
+        self.crashes.push(CrashWindow { node, down, up });
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// True when the plan injects nothing (the default).
+    pub fn is_quiet(&self) -> bool {
+        self.default_link.is_quiet()
+            && self.links.values().all(LinkFaults::is_quiet)
+            && self.partitions.is_empty()
+            && self.crashes.is_empty()
+    }
+
+    /// The scheduled crash windows.
+    pub fn crashes(&self) -> &[CrashWindow] {
+        &self.crashes
+    }
+
+    /// The fault profile in effect on the link `a — b` (either direction).
+    pub(crate) fn faults_for(&self, a: NodeIdx, b: NodeIdx) -> LinkFaults {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.links.get(&key).copied().unwrap_or(self.default_link)
+    }
+
+    /// True when some active partition separates `a` from `b` at `now`.
+    pub(crate) fn partitioned(&self, a: NodeIdx, b: NodeIdx, now: SimTime) -> bool {
+        self.partitions.iter().any(|p| p.cuts(a, b, now))
+    }
+
+    /// Initial RNG state of the directed link `src → dest`: a function of
+    /// the plan seed and the link alone, so each link's draw sequence is
+    /// independent of global event interleaving.
+    pub(crate) fn stream_for(&self, src: NodeIdx, dest: NodeIdx) -> u64 {
+        splitmix64(self.seed ^ ((u64::from(src) << 32) | u64::from(dest)))
+    }
+}
+
+/// Advance a per-link stream and return a probability draw in `[0, 1)`.
+pub(crate) fn draw_unit(state: &mut u64) -> f64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    (splitmix64(*state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Advance a per-link stream and return a uniform draw in `[0, bound]`.
+pub(crate) fn draw_up_to(state: &mut u64, bound: u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    if bound == u64::MAX {
+        return splitmix64(*state);
+    }
+    splitmix64(*state) % (bound + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_matches_reference_vector() {
+        // Same reference vector the LNS portfolio pins.
+        assert_eq!(splitmix64(0), 0xE220_A839_7B1D_CDAF);
+    }
+
+    #[test]
+    fn default_plan_is_quiet() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_quiet());
+        assert!(plan.faults_for(0, 1).is_quiet());
+        assert!(!plan.partitioned(0, 1, SimTime::from_secs(1)));
+        assert!(plan.crashes().is_empty());
+    }
+
+    #[test]
+    fn link_overrides_and_defaults() {
+        let noisy = LinkFaults {
+            loss: 0.25,
+            ..Default::default()
+        };
+        let worse = LinkFaults {
+            loss: 0.5,
+            duplicate: 0.1,
+            jitter_us: 100,
+        };
+        let plan = FaultPlan::seeded(7)
+            .link_faults(noisy)
+            .link_faults_on(2, 1, worse);
+        assert!(!plan.is_quiet());
+        assert_eq!(plan.faults_for(0, 1), noisy);
+        // undirected override, queried in either direction
+        assert_eq!(plan.faults_for(1, 2), worse);
+        assert_eq!(plan.faults_for(2, 1), worse);
+    }
+
+    #[test]
+    fn partitions_cut_across_groups_only_inside_window() {
+        let plan = FaultPlan::seeded(1).partition(
+            vec![0, 1],
+            SimTime::from_secs(2),
+            SimTime::from_secs(4),
+        );
+        assert!(!plan.partitioned(0, 2, SimTime::from_secs(1)));
+        assert!(plan.partitioned(0, 2, SimTime::from_secs(2)));
+        assert!(plan.partitioned(2, 1, SimTime::from_secs(3)));
+        // within one side of the cut, traffic flows
+        assert!(!plan.partitioned(0, 1, SimTime::from_secs(3)));
+        // window end is exclusive
+        assert!(!plan.partitioned(0, 2, SimTime::from_secs(4)));
+    }
+
+    #[test]
+    fn per_link_streams_are_independent_and_deterministic() {
+        let plan = FaultPlan::seeded(42);
+        let mut a1 = plan.stream_for(0, 1);
+        let mut a2 = plan.stream_for(0, 1);
+        let mut b = plan.stream_for(1, 0);
+        let draws1: Vec<f64> = (0..8).map(|_| draw_unit(&mut a1)).collect();
+        let draws2: Vec<f64> = (0..8).map(|_| draw_unit(&mut a2)).collect();
+        assert_eq!(draws1, draws2, "same link => same stream");
+        assert_ne!(
+            draws1[0],
+            draw_unit(&mut b),
+            "directed links use distinct streams"
+        );
+        for d in draws1 {
+            assert!((0.0..1.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn bounded_draws_stay_in_range() {
+        let mut s = FaultPlan::seeded(3).stream_for(4, 5);
+        for _ in 0..100 {
+            assert!(draw_up_to(&mut s, 10) <= 10);
+        }
+        assert_eq!(draw_up_to(&mut s, 0), 0);
+    }
+}

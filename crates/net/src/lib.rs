@@ -16,7 +16,12 @@
 //!   tests);
 //! * [`Simulator`] — a virtual clock, an event queue, message delivery with
 //!   latency + transmission delay, per-node timers, and per-node traffic
-//!   statistics.
+//!   statistics;
+//! * [`FaultPlan`] — a seeded, deterministic schedule of network hazards
+//!   (per-link loss/duplication/jitter, partitions, node crash/rejoin) that
+//!   turns the simulated transport into the hostile UDP the paper's
+//!   evaluation implies. The default plan injects nothing and leaves every
+//!   run byte-identical.
 //!
 //! ```
 //! use cologne_net::{Simulator, Topology, LinkProps, SimTime, Event};
@@ -28,8 +33,10 @@
 //! assert!(matches!(event, Event::Message { dest: 1, .. }));
 //! ```
 
+pub mod fault;
 pub mod sim;
 pub mod topology;
 
+pub use fault::{CrashWindow, FaultPlan, LinkFaults, Partition};
 pub use sim::{Event, NodeTraffic, SimTime, Simulator};
 pub use topology::{LinkProps, NodeIdx, Topology};

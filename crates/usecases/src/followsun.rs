@@ -17,7 +17,9 @@
 use std::collections::BTreeMap;
 
 use cologne::datalog::{NodeId, RemoteTuple, Value};
-use cologne::net::{LinkProps, SimTime, Topology};
+use cologne::net::{FaultPlan, LinkProps, SimTime, Topology};
+
+use crate::hostile::hostile_barrier;
 use cologne::solver::{SearchStats, ValueChoice};
 use cologne::{
     Deployment, DeploymentBuilder, DistributedCologne, ProgramParams, SolverSettings, VarDomain,
@@ -57,6 +59,16 @@ pub struct FollowSunConfig {
     pub solver_workers: Option<std::num::NonZeroUsize>,
     /// RNG seed.
     pub seed: u64,
+    /// Optional network fault plan (loss, duplication, jitter, partitions,
+    /// crash/rejoin). `None` keeps the original perfect network byte for
+    /// byte; `Some` switches shipping to the at-least-once delivery layer
+    /// and makes the negotiation wait for crashed endpoints and for network
+    /// quiescence before each local solve, so the execution reconverges to
+    /// the fault-free fixpoint. Fault-plan runs also drop the wall-clock
+    /// solver cutoff (the node budget alone bounds each search): hostile
+    /// executions are compared byte for byte against quiet ones and across
+    /// reruns, and a wall clock is schedule-dependent.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for FollowSunConfig {
@@ -74,6 +86,7 @@ impl Default for FollowSunConfig {
             migration_limit: None,
             solver_workers: None,
             seed: 11,
+            fault_plan: None,
         }
     }
 }
@@ -302,10 +315,16 @@ pub fn build_followsun_deployment(
         Some(_) => followsun_with_migration_limit(),
         None => FOLLOWSUN_DISTRIBUTED.to_string(),
     };
+    // See `FollowSunConfig::fault_plan`: hostile runs must be deterministic,
+    // so the wall clock only applies to the fault-free path.
+    let max_time = match config.fault_plan {
+        Some(_) => None,
+        None => Some(std::time::Duration::from_secs(10)),
+    };
     let mut params = ProgramParams::new()
         .with_var_domain("migVm", VarDomain::new(-config.capacity, config.capacity))
         .with_solver_node_limit(Some(config.solver_node_limit))
-        .with_solver_max_time(Some(std::time::Duration::from_secs(10)));
+        .with_solver_max_time(max_time);
     if let Some(limit) = config.migration_limit {
         params = params.with_constant("max_migrates", limit);
     }
@@ -317,20 +336,26 @@ pub fn build_followsun_deployment(
     // tight, the half of a domain far from zero is refuted in a single
     // conflict instead of one failed propagation per candidate value.
     let solver = SolverSettings {
-        max_time: Some(std::time::Duration::from_secs(10)),
+        max_time,
         node_limit: Some(config.solver_node_limit),
         value_choice: ValueChoice::ClosestToZero,
         split_threshold: Some(2),
         workers: config.solver_workers,
+        // A crashed node re-solves from a cold pipeline; under a fault plan
+        // warm incumbents are disabled everywhere so quiet and hostile runs
+        // tie-break identically.
+        warm_start: config.fault_plan.is_none(),
         ..SolverSettings::default()
     };
 
-    let mut driver = DeploymentBuilder::new(&source)
+    let mut builder = DeploymentBuilder::new(&source)
         .params(params)
         .solver(solver)
-        .topology(workload.topology.clone())
-        .build()
-        .expect("Follow-the-Sun program compiles");
+        .topology(workload.topology.clone());
+    if let Some(plan) = &config.fault_plan {
+        builder = builder.faults(plan.clone());
+    }
+    let mut driver = builder.build().expect("Follow-the-Sun program compiles");
 
     // Install the per-node base facts and let the shipping rules distribute
     // neighbour state.
@@ -362,18 +387,51 @@ pub fn run_followsun(config: &FollowSunConfig) -> FollowSunOutcome {
     }];
     let mut convergence_secs = 0.0;
 
+    // Under a fault plan, negotiations must not read a half-synced view:
+    // wait out crash windows on the link being negotiated and drive the
+    // delivery layer to quiescence (every shipped tuple acked) before each
+    // local solve. `fault_horizon` bounds how long a wait can be pushed past
+    // a round's nominal deadline by the last scheduled rejoin.
+    let hostile = config.fault_plan.is_some();
+    let fault_horizon = config
+        .fault_plan
+        .as_ref()
+        .and_then(|p| p.crashes().iter().map(|c| c.up).max())
+        .unwrap_or(SimTime::ZERO);
+    let period_us = SimTime::from_secs(config.negotiation_period_secs).0;
+
     for (round, &(a, b)) in links.iter().enumerate() {
         let initiator = a.max(b);
         let peer = a.min(b);
-        let deadline = SimTime::from_secs((round as u64 + 1) * config.negotiation_period_secs);
-        driver.run_messages_until(deadline);
+        let mut deadline = SimTime::from_secs((round as u64 + 1) * config.negotiation_period_secs);
+        if hostile {
+            deadline = hostile_barrier(
+                &mut driver,
+                deadline,
+                fault_horizon,
+                period_us,
+                [initiator, peer],
+            );
+        } else {
+            driver.run_messages_until(deadline);
+        }
 
         // Start the negotiation: setLink at the initiator triggers r1.
         let set_link = vec![Value::Addr(NodeId(initiator)), Value::Addr(NodeId(peer))];
         driver
             .insert(NodeId(initiator), "setLink", set_link.clone())
             .expect("setLink matches the schema");
-        driver.run_messages_until(deadline);
+        if hostile {
+            deadline = hostile_barrier(
+                &mut driver,
+                deadline,
+                fault_horizon,
+                period_us,
+                [initiator, peer],
+            );
+        } else {
+            driver.run_messages_until(deadline);
+        }
 
         // Local COP at the initiator. The local objective (aggCost) covers
         // operating + communication cost of both endpoints plus migration
@@ -442,7 +500,17 @@ pub fn run_followsun(config: &FollowSunConfig) -> FollowSunOutcome {
             .expect("setLink is in the schema")
             .set(vec![])
             .expect("empty refresh is valid");
-        driver.run_messages_until(deadline);
+        if hostile {
+            deadline = hostile_barrier(
+                &mut driver,
+                deadline,
+                fault_horizon,
+                period_us,
+                [initiator, peer],
+            );
+        } else {
+            driver.run_messages_until(deadline);
+        }
 
         let total = workload.allocation_cost() + cumulative_migration_cost;
         let time_secs = driver.now().as_secs_f64().max(deadline.as_secs_f64());

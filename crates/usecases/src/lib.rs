@@ -21,6 +21,7 @@
 pub mod acloud;
 pub mod churn;
 pub mod followsun;
+mod hostile;
 pub mod programs;
 pub mod table2;
 pub mod wireless;
@@ -35,4 +36,7 @@ pub use followsun::{
     FollowSunOutcome, FollowSunWorkload,
 };
 pub use table2::{compactness_table, render_table, CompactnessRow};
-pub use wireless::{run_fig6, run_fig7, WirelessConfig, WirelessPolicy, WirelessProtocol};
+pub use wireless::{
+    networked_distributed_assignment, run_fig6, run_fig7, NetworkedAssignment, WirelessConfig,
+    WirelessPolicy, WirelessProtocol,
+};

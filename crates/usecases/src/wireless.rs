@@ -18,11 +18,15 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use cologne::datalog::{NodeId, Value};
-use cologne::net::{LinkProps, Topology};
-use cologne::{CologneInstance, ProgramParams, SolverBranching, VarDomain};
+use cologne::net::{FaultPlan, LinkProps, NodeTraffic, SimTime, Topology};
+use cologne::{
+    CologneInstance, CrashEvent, DeliveryStats, Deployment, DeploymentBuilder, ProgramParams,
+    SolverBranching, VarDomain,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::hostile::hostile_barrier;
 use crate::programs::{WIRELESS_CENTRALIZED, WIRELESS_DISTRIBUTED};
 
 /// An undirected link identified by its (smaller, larger) endpoints.
@@ -626,6 +630,198 @@ fn negotiate_link(
         .unwrap_or(channels[0])
 }
 
+// ----- networked distributed negotiation ---------------------------------------
+
+/// Half a second of virtual time per quiescence barrier: generous against
+/// the 25–400ms retransmit window, cheap because the clock is event-driven.
+const STEP_US: u64 = 500_000;
+
+/// Outcome of [`networked_distributed_assignment`]: the converged channels
+/// plus the network-level evidence of how they were reached.
+#[derive(Debug, Clone)]
+pub struct NetworkedAssignment {
+    /// Converged per-link channels (same shape as [`distributed_assignment`]).
+    pub assignment: ChannelAssignment,
+    /// At-least-once delivery counters: retransmits, dedups, buffered
+    /// reorders, crash/rejoin resyncs.
+    pub delivery: DeliveryStats,
+    /// Per-node traffic, including `messages_dropped` / `messages_duplicated`.
+    pub traffic: BTreeMap<u32, NodeTraffic>,
+    /// Crash and rejoin events observed while negotiating.
+    pub crash_log: Vec<CrashEvent>,
+    /// Negotiation passes run before the fixpoint (or the safety cap).
+    pub passes: usize,
+}
+
+/// Distributed per-link negotiation **over the simulated network**: unlike
+/// [`distributed_assignment`], which hand-feeds each initiator its
+/// neighbourhood state, every `chosen` / `primaryUser` update here travels
+/// as located tuples through the program's own shipping rules (r2/r3 of
+/// `WIRELESS_DISTRIBUTED`) on top of the at-least-once delivery layer, under
+/// the given [`FaultPlan`].
+///
+/// A quiet plan (`FaultPlan::default()`) exercises the exact same code path
+/// as a hostile one, which is what makes the reconvergence tests meaningful:
+/// under seeded loss/duplication/jitter/crash schedules the negotiation must
+/// reach the same fixpoint assignment as the fault-free run. Local solves
+/// run without a wall-clock cutoff so each one is a deterministic function
+/// of its (settled) inputs.
+pub fn networked_distributed_assignment(
+    mesh: &MeshNetwork,
+    channels: &[i64],
+    plan: FaultPlan,
+) -> NetworkedAssignment {
+    let config = &mesh.config;
+    // No wall-clock cutoff (schedule-dependent) and no warm starts: a node
+    // that crashed solves from a cold pipeline, and a warm incumbent could
+    // tie-break the re-solve differently from the quiet run's.
+    let params = distributed_params(config, channels)
+        .with_solver_max_time(None)
+        .with_warm_start(false);
+    let mut driver = DeploymentBuilder::new(WIRELESS_DISTRIBUTED)
+        .params(params)
+        .topology(mesh.topology.clone())
+        .faults(plan)
+        .build()
+        .expect("wireless distributed program compiles");
+
+    let fault_horizon = driver
+        .fault_plan()
+        .and_then(|p| p.crashes().iter().map(|c| c.up).max())
+        .unwrap_or(SimTime::ZERO);
+
+    // Base facts: each node knows its incident links and its own
+    // primary-user restrictions; r3 ships the latter to the neighbours.
+    for n in mesh.topology.nodes() {
+        let x = Value::Addr(NodeId(n));
+        for m in mesh.topology.neighbors(n) {
+            driver
+                .insert(NodeId(n), "link", vec![x.clone(), Value::Addr(NodeId(m))])
+                .expect("link rows match the schema");
+        }
+        for banned in mesh.primary_users.get(&n).cloned().unwrap_or_default() {
+            if channels.contains(&banned) && channels.len() > 1 {
+                driver
+                    .insert(
+                        NodeId(n),
+                        "primaryUser",
+                        vec![x.clone(), Value::Int(banned)],
+                    )
+                    .expect("primaryUser rows match the schema");
+            }
+        }
+    }
+    barrier(&mut driver, fault_horizon, [0, 0]);
+
+    let mut assignment = ChannelAssignment::new();
+    let mut passes = 0;
+    for pass in 0..8 {
+        passes = pass + 1;
+        let mut changed = false;
+        for (a, b) in mesh.links() {
+            let initiator = a.max(b);
+            let peer = a.min(b);
+            // Wait out any crash window on this link's endpoints: a down
+            // initiator cannot solve, a down peer cannot receive the
+            // outcome, and writing relations at a down node would ship
+            // nothing. Third-party crashes are the delivery layer's problem.
+            barrier(&mut driver, fault_horizon, [initiator, peer]);
+
+            // Renegotiation: the link's previous choice must not constrain
+            // its own new negotiation.
+            let previous = assignment.remove(&link_key(initiator, peer));
+            refresh_chosen(&mut driver, &assignment, initiator);
+            refresh_chosen(&mut driver, &assignment, peer);
+            set_and_sync(
+                &mut driver,
+                initiator,
+                "setLink",
+                vec![vec![
+                    Value::Addr(NodeId(initiator)),
+                    Value::Addr(NodeId(peer)),
+                ]],
+            );
+            // Quiescence barrier: every shipped nborChosen/nborPrimaryUser
+            // tuple must be delivered and acked before the local solve reads
+            // the neighbourhood view (and any mid-settle crash waited out,
+            // so the rejoin re-sync has landed too).
+            barrier(&mut driver, fault_horizon, [initiator, peer]);
+
+            let channel = driver
+                .invoke_at(NodeId(initiator))
+                .ok()
+                .filter(|r| r.feasible && !r.trivial)
+                .and_then(|r| {
+                    r.table("assign")
+                        .iter()
+                        .find(|row| row[1].as_addr() == Some(NodeId(peer)))
+                        .and_then(|row| row[2].as_int())
+                })
+                .unwrap_or(channels[0]);
+            changed |= previous != Some(channel);
+            assignment.insert(link_key(initiator, peer), channel);
+
+            // Publish the outcome — both endpoints record the channel, which
+            // r2 ships to their neighbourhoods — and disarm the negotiation.
+            refresh_chosen(&mut driver, &assignment, initiator);
+            refresh_chosen(&mut driver, &assignment, peer);
+            set_and_sync(&mut driver, initiator, "setLink", vec![]);
+            barrier(&mut driver, fault_horizon, [initiator, peer]);
+        }
+        if pass > 0 && !changed {
+            break;
+        }
+    }
+
+    let traffic = mesh
+        .topology
+        .nodes()
+        .into_iter()
+        .map(|n| (n, driver.traffic(NodeId(n))))
+        .collect();
+    NetworkedAssignment {
+        assignment,
+        delivery: driver.delivery_stats(),
+        traffic,
+        crash_log: driver.take_crash_log(),
+        passes,
+    }
+}
+
+/// One negotiation-step barrier (see [`hostile_barrier`]), anchored at
+/// "one step from now".
+fn barrier(driver: &mut Deployment, fault_horizon: SimTime, endpoints: [u32; 2]) {
+    let deadline = driver.now().plus_us(STEP_US);
+    hostile_barrier(driver, deadline, fault_horizon, STEP_US, endpoints);
+}
+
+/// Refresh one node's `chosen` table from the in-progress assignment and
+/// ship the resulting r2 deltas.
+fn refresh_chosen(driver: &mut Deployment, assignment: &ChannelAssignment, node: u32) {
+    let rows: Vec<Vec<Value>> = assignment
+        .iter()
+        .filter(|((la, lb), _)| *la == node || *lb == node)
+        .map(|((la, lb), &c)| {
+            let w = if *la == node { *lb } else { *la };
+            vec![
+                Value::Addr(NodeId(node)),
+                Value::Addr(NodeId(w)),
+                Value::Int(c),
+            ]
+        })
+        .collect();
+    set_and_sync(driver, node, "chosen", rows);
+}
+
+fn set_and_sync(driver: &mut Deployment, node: u32, rel: &str, rows: Vec<Vec<Value>>) {
+    driver
+        .handle(NodeId(node), rel)
+        .expect("relation is in the schema")
+        .set(rows)
+        .expect("rows match the schema");
+    driver.sync(NodeId(node));
+}
+
 /// Identical-Ch baseline: the same two channels on every node, assigned by
 /// the centralized solver restricted to that set.
 pub fn identical_channels_assignment(mesh: &MeshNetwork) -> ChannelAssignment {
@@ -913,6 +1109,29 @@ mod tests {
             t_distributed >= t_single,
             "distributed ({t_distributed:.2}) must be at least 1-interface ({t_single:.2})"
         );
+    }
+
+    #[test]
+    fn networked_negotiation_converges_on_quiet_network() {
+        let config = WirelessConfig::tiny();
+        let mesh = MeshNetwork::generate(&config);
+        let out = networked_distributed_assignment(&mesh, &config.channels, FaultPlan::default());
+        assert_eq!(out.assignment.len(), mesh.links().len());
+        for ch in out.assignment.values() {
+            assert!(config.channels.contains(ch));
+        }
+        // The quiet plan still runs the reliable delivery layer…
+        assert!(out.delivery.data_packets_sent > 0);
+        assert!(out.delivery.acks_sent > 0);
+        // …but a perfect network never retransmits, drops or crashes.
+        assert_eq!(out.delivery.retransmits, 0);
+        assert_eq!(out.delivery.duplicates_dropped, 0);
+        assert!(out.crash_log.is_empty());
+        for t in out.traffic.values() {
+            assert_eq!(t.messages_dropped, 0);
+            assert_eq!(t.messages_duplicated, 0);
+        }
+        assert!(out.passes >= 2, "at least one refinement pass runs");
     }
 
     #[test]

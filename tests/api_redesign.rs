@@ -92,23 +92,29 @@ fn receive_rejects_malformed_remote_tuples() {
 
     // unknown relation from a peer
     let err = inst
-        .try_receive(&RemoteTuple {
-            dest: NodeId(0),
-            relation: "vn".into(),
-            tuple: ints(&[2, 20, 4]),
-            insert: true,
-        })
+        .try_receive(
+            NodeId(1),
+            &RemoteTuple {
+                dest: NodeId(0),
+                relation: "vn".into(),
+                tuple: ints(&[2, 20, 4]),
+                insert: true,
+            },
+        )
         .unwrap_err();
     assert!(matches!(err, CologneError::UnknownRelation { .. }));
 
     // malformed tuple (wrong arity) for a known relation
     let err = inst
-        .try_receive(&RemoteTuple {
-            dest: NodeId(0),
-            relation: "vm".into(),
-            tuple: ints(&[2]),
-            insert: true,
-        })
+        .try_receive(
+            NodeId(1),
+            &RemoteTuple {
+                dest: NodeId(0),
+                relation: "vm".into(),
+                tuple: ints(&[2]),
+                insert: true,
+            },
+        )
         .unwrap_err();
     assert!(matches!(err, CologneError::SchemaMismatch { .. }));
 
@@ -118,12 +124,15 @@ fn receive_rejects_malformed_remote_tuples() {
     assert_eq!(inst.scan("vn").count(), 0);
 
     // a well-formed remote tuple is applied
-    inst.try_receive(&RemoteTuple {
-        dest: NodeId(0),
-        relation: "vm".into(),
-        tuple: ints(&[2, 20, 4]),
-        insert: true,
-    })
+    inst.try_receive(
+        NodeId(1),
+        &RemoteTuple {
+            dest: NodeId(0),
+            relation: "vm".into(),
+            tuple: ints(&[2, 20, 4]),
+            insert: true,
+        },
+    )
     .unwrap();
     inst.run_rules();
     assert_eq!(inst.scan("vm").count(), 2);

@@ -7,14 +7,15 @@
 
 use std::collections::BTreeMap;
 
-use cologne::datalog::{NodeId, Value};
-use cologne::net::{NodeTraffic, SimTime, Topology};
+use cologne::datalog::{NodeId, RemoteTuple, Value};
+use cologne::net::{FaultPlan, LinkFaults, NodeTraffic, SimTime, Topology};
 use cologne::{
     CologneInstance, DeploymentBuilder, DistributedCologne, LnsParams, ProgramParams,
     SolverBranching, SolverMode, VarDomain,
 };
 use cologne_usecases::programs::ACLOUD_CENTRALIZED;
 use cologne_usecases::{build_followsun_deployment, FollowSunConfig, FollowSunWorkload};
+use proptest::prelude::*;
 
 /// Everything observable about one distributed execution.
 type Fingerprint = BTreeMap<
@@ -111,6 +112,145 @@ fn parallel_followsun_execution_is_deterministic() {
         "negotiations must produce network traffic"
     );
     assert_eq!(first, second, "same seed => byte-identical execution");
+}
+
+/// Ping relay used by the fault-plan property below: one rule so the
+/// deployment compiles, traffic driven by hand-shipped tuples.
+const PING: &str = r#"
+    r1 pong(@Y,X) <- ping(@X,Y).
+"#;
+
+/// One hostile execution of a hand-driven three-node deployment: `n`
+/// distinct pings shipped from node 0 to node 2 through the at-least-once
+/// delivery layer while the fault plan injects loss, duplication, reorder
+/// and (possibly) a crash of a node. Returns everything observable.
+#[allow(clippy::type_complexity)]
+fn run_hostile_pings(
+    plan: &FaultPlan,
+    n: i64,
+) -> (
+    bool,
+    cologne::DeliveryStats,
+    Vec<NodeTraffic>,
+    Vec<Vec<Value>>,
+    Vec<cologne::CrashEvent>,
+) {
+    let mut driver = DeploymentBuilder::new(PING)
+        .topology(Topology::full_mesh(3, DistributedCologne::default_link()))
+        .faults(plan.clone())
+        .build()
+        .unwrap();
+    for i in 0..n {
+        driver.ship(
+            NodeId(0),
+            vec![RemoteTuple {
+                dest: NodeId(2),
+                relation: "ping".into(),
+                tuple: vec![Value::Addr(NodeId(0)), Value::Int(i)],
+                insert: true,
+            }],
+        );
+    }
+    let settled = driver.settle(SimTime::from_secs(600));
+    let mut pings: Vec<Vec<Value>> = driver
+        .instance(NodeId(2))
+        .unwrap()
+        .scan("ping")
+        .cloned()
+        .collect();
+    pings.sort();
+    let traffic = driver
+        .nodes()
+        .into_iter()
+        .map(|node| driver.traffic(node))
+        .collect();
+    let stats = driver.delivery_stats();
+    let log = driver.take_crash_log();
+    (settled, stats, traffic, pings, log)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Under *any* seeded fault plan — random loss, duplication, reorder
+    /// jitter, and an optional crash/rejoin of a node on the path — the
+    /// at-least-once delivery layer (a) reconverges to the full fault-free
+    /// assertion set and (b) replays byte-identically under the same seed.
+    #[test]
+    fn random_fault_plans_replay_and_reconverge(
+        seed in 1u64..u64::MAX,
+        loss in 0.0f64..0.5,
+        duplicate in 0.0f64..0.5,
+        jitter_us in 0u64..50_000,
+        // crash_node 0 means "no crash"; 1 or 2 crashes that node
+        crash_node in 0u32..3,
+        down in 1u64..4,
+        outage in 1u64..6,
+        n in 5i64..20,
+    ) {
+        let mut plan = FaultPlan::seeded(seed).link_faults(LinkFaults {
+            loss,
+            duplicate,
+            jitter_us,
+        });
+        if crash_node > 0 {
+            plan = plan.crash(
+                crash_node,
+                SimTime::from_secs(down),
+                SimTime::from_secs(down + outage),
+            );
+        }
+        let first = run_hostile_pings(&plan, n);
+        let second = run_hostile_pings(&plan, n);
+        prop_assert_eq!(&first, &second);
+        let (settled, _, _, pings, log) = first;
+        prop_assert!(settled, "the network must quiesce after the fault horizon");
+        let expected: Vec<Vec<Value>> = (0..n)
+            .map(|i| vec![Value::Addr(NodeId(0)), Value::Int(i)])
+            .collect();
+        prop_assert_eq!(pings, expected);
+        prop_assert_eq!(log.len(), if crash_node > 0 { 2 } else { 0 });
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// `invoke_solvers_parallel` composed with hostile delivery stays a pure
+    /// function of (workload, fault seed): the whole Follow-the-Sun parallel
+    /// negotiation — base-fact shipping through loss/duplication/reorder, an
+    /// optional crash/rejoin resync, scoped-thread solving, solver-output
+    /// delivery — must replay identical traffic, outcomes and tables.
+    #[test]
+    fn hostile_parallel_solves_are_deterministic(
+        seed in 1u64..u64::MAX,
+        loss in 0.0f64..0.3,
+        duplicate in 0.0f64..0.3,
+        jitter_us in 0u64..30_000,
+        crash_node in 0u32..3,
+    ) {
+        let mut plan = FaultPlan::seeded(seed).link_faults(LinkFaults {
+            loss,
+            duplicate,
+            jitter_us,
+        });
+        if crash_node > 0 {
+            plan = plan.crash(crash_node, SimTime::from_secs(2), SimTime::from_secs(6));
+        }
+        let config = FollowSunConfig {
+            data_centers: 3,
+            solver_node_limit: 2_000,
+            fault_plan: Some(plan),
+            ..Default::default()
+        };
+        let first = run_followsun_parallel(&config);
+        let second = run_followsun_parallel(&config);
+        prop_assert_eq!(&first, &second);
+        prop_assert!(
+            first.values().any(|(t, ..)| t.bytes_sent > 0),
+            "negotiations must produce network traffic"
+        );
+    }
 }
 
 /// A two-node deployment whose per-node ACloud COPs run in LNS mode.

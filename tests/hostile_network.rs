@@ -1,0 +1,160 @@
+//! Reconvergence under a hostile network: seeded loss / duplication /
+//! reorder / partition / crash-rejoin schedules must not change *what* the
+//! distributed protocols compute — only how the network got there. Each test
+//! compares a hostile execution against the fault-free (quiet-plan) run of
+//! the same workload and pins that seeded hostile executions are themselves
+//! byte-identical across reruns.
+//!
+//! The fault seed can be swept from CI via `COLOGNE_TEST_FAULT_SEED` (the
+//! fault-matrix job runs seeds 1–3); it defaults to 1.
+
+use cologne::net::{FaultPlan, LinkFaults, SimTime};
+use cologne_usecases::wireless::{networked_distributed_assignment, MeshNetwork, WirelessConfig};
+use cologne_usecases::{run_followsun, FollowSunConfig};
+
+fn fault_seed() -> u64 {
+    std::env::var("COLOGNE_TEST_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+/// Loss + duplication + reordering jitter on every link, plus one node that
+/// crashes mid-negotiation and rejoins a few seconds later.
+fn hostile_plan(seed: u64, crash_node: u32) -> FaultPlan {
+    FaultPlan::seeded(seed)
+        .link_faults(LinkFaults {
+            loss: 0.15,
+            duplicate: 0.10,
+            jitter_us: 20_000,
+        })
+        .crash(crash_node, SimTime::from_secs(3), SimTime::from_secs(9))
+}
+
+#[test]
+fn wireless_negotiation_reconverges_under_hostile_network() {
+    let config = WirelessConfig::tiny();
+    let mesh = MeshNetwork::generate(&config);
+    // crash the centre node of the 3x3 grid: it participates in 4 links
+    let plan = hostile_plan(fault_seed(), 4);
+
+    let quiet = networked_distributed_assignment(&mesh, &config.channels, FaultPlan::default());
+    let hostile = networked_distributed_assignment(&mesh, &config.channels, plan);
+
+    assert_eq!(
+        quiet.assignment, hostile.assignment,
+        "hostile run must reach the fault-free fixpoint assignment"
+    );
+    // The network genuinely misbehaved on the way there…
+    assert!(hostile.delivery.retransmits > 0, "loss forces retransmits");
+    assert!(
+        hostile.delivery.duplicates_dropped > 0,
+        "duplication is deduplicated at the receivers"
+    );
+    assert_eq!(hostile.delivery.crashes, 1);
+    assert_eq!(hostile.delivery.rejoins, 1);
+    assert!(
+        hostile.delivery.resync_tuples > 0,
+        "the rejoining node re-syncs neighbour state through ingest"
+    );
+    assert_eq!(hostile.crash_log.len(), 2, "one down + one up event");
+    let dropped: u64 = hostile.traffic.values().map(|t| t.messages_dropped).sum();
+    assert!(dropped > 0, "lost messages are counted at the senders");
+    // …while the quiet run never needed the machinery.
+    assert_eq!(quiet.delivery.retransmits, 0);
+    assert_eq!(quiet.delivery.crashes, 0);
+}
+
+#[test]
+fn seeded_hostile_wireless_runs_are_byte_identical() {
+    let config = WirelessConfig::tiny();
+    let mesh = MeshNetwork::generate(&config);
+    let seed = fault_seed();
+    let first = networked_distributed_assignment(&mesh, &config.channels, hostile_plan(seed, 4));
+    let second = networked_distributed_assignment(&mesh, &config.channels, hostile_plan(seed, 4));
+    assert_eq!(first.assignment, second.assignment);
+    assert_eq!(first.delivery, second.delivery);
+    assert_eq!(first.traffic, second.traffic);
+    assert_eq!(first.crash_log, second.crash_log);
+    assert_eq!(first.passes, second.passes);
+    // A different seed draws a different schedule (traffic will differ), but
+    // the protocol still reconverges to the same assignment.
+    let other = networked_distributed_assignment(
+        &mesh,
+        &config.channels,
+        hostile_plan(seed.wrapping_add(1), 4),
+    );
+    assert_eq!(first.assignment, other.assignment);
+}
+
+fn followsun_config(plan: Option<FaultPlan>) -> FollowSunConfig {
+    FollowSunConfig {
+        data_centers: 3,
+        solver_node_limit: 5_000,
+        ..Default::default()
+    }
+    .with_faults(plan)
+}
+
+trait WithFaults {
+    fn with_faults(self, plan: Option<FaultPlan>) -> Self;
+}
+impl WithFaults for FollowSunConfig {
+    fn with_faults(mut self, plan: Option<FaultPlan>) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+}
+
+#[test]
+fn followsun_negotiation_reconverges_under_hostile_network() {
+    // Fault-free baseline = the quiet plan: same at-least-once delivery
+    // path and deterministic (uncapped) solves, no faults injected.
+    let quiet = run_followsun(&followsun_config(Some(FaultPlan::default())));
+    let hostile = run_followsun(&followsun_config(Some(hostile_plan(fault_seed(), 1))));
+
+    assert_eq!(
+        hostile.final_cost, quiet.final_cost,
+        "hostile run must converge to the fault-free allocation cost"
+    );
+    assert_eq!(hostile.migrated_vms, quiet.migrated_vms);
+    assert_eq!(hostile.initial_cost, quiet.initial_cost);
+    assert_eq!(hostile.solver_invocations, quiet.solver_invocations);
+    assert!(
+        quiet.final_cost <= quiet.initial_cost,
+        "negotiation never worsens the allocation"
+    );
+}
+
+#[test]
+fn seeded_hostile_followsun_runs_are_byte_identical() {
+    let seed = fault_seed();
+    let first = run_followsun(&followsun_config(Some(hostile_plan(seed, 1))));
+    let second = run_followsun(&followsun_config(Some(hostile_plan(seed, 1))));
+    // The whole outcome — cost series time stamps, overhead, solver search
+    // counters — must replay exactly under the same fault seed. Only the
+    // wall-clock `elapsed_micros` of the solver stats is measurement, not
+    // computation.
+    let digest = |o: &cologne_usecases::FollowSunOutcome| {
+        (
+            o.cost_series
+                .iter()
+                .map(|p| (p.time_secs.to_bits(), p.normalized_cost.to_bits()))
+                .collect::<Vec<_>>(),
+            o.per_node_overhead_kbps.to_bits(),
+            o.convergence_secs.to_bits(),
+            o.migrated_vms,
+            o.initial_cost,
+            o.final_cost,
+            o.solver_invocations,
+            (
+                o.solver_stats.nodes,
+                o.solver_stats.fails,
+                o.solver_stats.propagations,
+                o.solver_stats.solutions,
+                o.solver_stats.max_depth,
+            ),
+        )
+    };
+    assert_eq!(digest(&first), digest(&second));
+}

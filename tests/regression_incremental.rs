@@ -329,12 +329,15 @@ fn rejected_writes_stay_on_the_reuse_path() {
     // previous COP instead of re-grounding.
     assert!(inst.relation("monitoringHeartbeat").is_err());
     assert!(inst
-        .try_receive(&cologne::datalog::RemoteTuple {
-            dest: NodeId(0),
-            relation: "monitoringHeartbeat".into(),
-            tuple: ints(&[1, 2, 3]),
-            insert: true,
-        })
+        .try_receive(
+            NodeId(1),
+            &cologne::datalog::RemoteTuple {
+                dest: NodeId(0),
+                relation: "monitoringHeartbeat".into(),
+                tuple: ints(&[1, 2, 3]),
+                insert: true,
+            }
+        )
         .is_err());
     let second = inst.invoke_solver().unwrap();
     assert_eq!(inst.pipeline_stats().full_rebuilds, 1);
