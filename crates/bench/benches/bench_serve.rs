@@ -1,0 +1,212 @@
+//! Benchmarks of the `cologne-serve` serving layer.
+//!
+//! Three tiers:
+//!
+//! * `serve/wire/*` — pure codec cost: encode+decode round-trips of the
+//!   hot frame types (ingest batches, solve responses);
+//! * `serve/session/*` — one session's end-to-end solve round-trip over
+//!   loopback TCP (frame IO + scheduling + solve, warm pipeline);
+//! * `serve/load/*` — the load generator: `COLOGNE_SERVE_SESSIONS`
+//!   concurrent tenant sessions (default 1024) connect, ingest and solve
+//!   through the bounded worker pool at once. Reported through the
+//!   standard bench-JSON statistics over per-solve latencies (min / mean
+//!   / max), with two extra fields the regression gate ignores:
+//!   `p99_ns` (99th-percentile solve latency) and `solves_per_sec`
+//!   (aggregate throughput over the measurement wall-clock).
+//!
+//! ```text
+//! COLOGNE_SERVE_SESSIONS=1024 COLOGNE_BENCH_JSON=BENCH_pr9.json \
+//!     cargo bench -p cologne-bench --bench bench_serve
+//! ```
+
+use std::io::Write as _;
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use criterion::Criterion;
+use std::hint::black_box;
+
+use cologne::datalog::{NodeId, Value};
+use cologne::{ProgramParams, SolveRequest, VarDomain};
+use cologne_serve::{
+    decode_client, decode_server, encode_client, encode_server, Client, ClientError, ClientMsg,
+    ErrorCode, IngestOp, Server, ServerConfig, ServerMsg, ACLOUD_DEMO,
+};
+
+/// Deterministic, node-limit-bounded demo parameters (the load numbers
+/// must measure the serving layer, not wall-clock solver jitter).
+fn bench_config() -> ServerConfig {
+    let mut cfg = ServerConfig::new(ACLOUD_DEMO);
+    cfg.params = ProgramParams::new()
+        .with_var_domain("assign", VarDomain::BOOL)
+        .with_solver_max_time(None)
+        .with_solver_node_limit(Some(100_000));
+    cfg
+}
+
+/// One tenant's tiny workload: 3 VMs over 2 hosts.
+fn tenant_facts() -> Vec<(&'static str, Vec<Value>)> {
+    let mut facts = Vec::new();
+    for (vid, cpu) in [(1, 40), (2, 20), (3, 10)] {
+        facts.push(("vm", vec![Value::Int(vid), Value::Int(cpu), Value::Int(2)]));
+    }
+    for hid in [10, 11] {
+        facts.push(("host", vec![Value::Int(hid), Value::Int(0), Value::Int(0)]));
+        facts.push(("hostMemThres", vec![Value::Int(hid), Value::Int(8)]));
+    }
+    facts
+}
+
+fn ingest_ops() -> ClientMsg {
+    ClientMsg::Ingest {
+        node: NodeId(0),
+        relation: "vm".into(),
+        ops: (0..32)
+            .map(|i| IngestOp::insert(vec![Value::Int(i), Value::Int(i * 3), Value::Int(2)]))
+            .collect(),
+        sync: false,
+    }
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve/wire");
+    let ingest = ingest_ops();
+    group.bench_function("ingest_batch_roundtrip", |b| {
+        b.iter(|| {
+            let bytes = encode_client(black_box(&ingest));
+            black_box(decode_client(&bytes).expect("round-trip"))
+        });
+    });
+    // a realistic event frame, the hottest streamed message
+    let event = ServerMsg::Event {
+        node: NodeId(0),
+        event: cologne::SolveEvent::Incumbent {
+            objective: Some(1234),
+        },
+    };
+    group.bench_function("event_frame_roundtrip", |b| {
+        b.iter(|| {
+            let bytes = encode_server(black_box(&event));
+            black_box(decode_server(&bytes).expect("round-trip"))
+        });
+    });
+    group.finish();
+}
+
+fn bench_session_solve(c: &mut Criterion) {
+    let server = Server::bind("127.0.0.1:0", bench_config()).expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    client.hello("bench").expect("hello");
+    for (rel, tuple) in tenant_facts() {
+        client.insert(NodeId(0), rel, tuple).expect("insert");
+    }
+    let request = SolveRequest::all();
+    let mut group = c.benchmark_group("serve/session");
+    group.bench_function("solve_roundtrip", |b| {
+        b.iter(|| black_box(client.solve(&request).expect("solve")));
+    });
+    group.finish();
+    client.bye().expect("bye");
+    server.shutdown();
+}
+
+/// The load generator: `sessions` concurrent tenants, one solve each,
+/// through one server. Per-solve latencies feed the bench statistics;
+/// aggregate throughput and p99 ride along as extra JSON fields.
+fn bench_load() {
+    let sessions: usize = std::env::var("COLOGNE_SERVE_SESSIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1024);
+    let mut cfg = bench_config();
+    cfg.max_sessions = sessions + 8;
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind");
+    let addr = server.local_addr();
+
+    let barrier = Arc::new(Barrier::new(sessions + 1));
+    let handles: Vec<_> = (0..sessions)
+        .map(|i| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                // the connect stampede can outrun the accept loop; retry
+                let mut client = None;
+                for _ in 0..100 {
+                    match Client::connect(addr) {
+                        Ok(c) => {
+                            client = Some(c);
+                            break;
+                        }
+                        Err(_) => std::thread::sleep(std::time::Duration::from_millis(5)),
+                    }
+                }
+                let mut client = client.expect("connect with retries");
+                client.hello(&format!("tenant-{i}")).expect("hello");
+                for (rel, tuple) in tenant_facts() {
+                    client.insert(NodeId(0), rel, tuple).expect("insert");
+                }
+                let request = SolveRequest::all();
+                barrier.wait();
+                // the queue is bounded; an Overloaded refusal means "retry
+                // later", and the backoff counts toward the solve latency
+                let t0 = Instant::now();
+                let response = loop {
+                    match client.solve(&request) {
+                        Ok(response) => break response,
+                        Err(ClientError::Server {
+                            code: ErrorCode::Overloaded,
+                            ..
+                        }) => std::thread::sleep(std::time::Duration::from_micros(500)),
+                        Err(e) => panic!("solve: {e}"),
+                    }
+                };
+                let latency = t0.elapsed();
+                assert!(response.single().expect("one node").feasible);
+                client.bye().expect("bye");
+                latency.as_nanos() as u64
+            })
+        })
+        .collect();
+
+    barrier.wait();
+    let wall_start = Instant::now();
+    let mut latencies: Vec<u64> = handles
+        .into_iter()
+        .map(|h| h.join().expect("session thread"))
+        .collect();
+    let wall_ns = wall_start.elapsed().as_nanos() as u64;
+    latencies.sort_unstable();
+
+    let iters = latencies.len() as u64;
+    let min = latencies[0];
+    let max = *latencies.last().expect("nonempty");
+    let mean = latencies.iter().sum::<u64>() / iters;
+    let p99 = latencies[(latencies.len() * 99 / 100).min(latencies.len() - 1)];
+    let solves_per_sec = iters as f64 * 1e9 / wall_ns.max(1) as f64;
+    let name = format!("serve/load/{sessions}_sessions_solve_latency");
+    println!(
+        "{name:<60} min {min}ns mean {mean}ns p99 {p99}ns max {max}ns  \
+         {solves_per_sec:.1} solves/sec ({iters} sessions)"
+    );
+    if let Ok(path) = std::env::var("COLOGNE_BENCH_JSON") {
+        let line = format!(
+            "{{\"name\":\"{name}\",\"iters\":{iters},\"min_ns\":{min},\"mean_ns\":{mean},\
+             \"max_ns\":{max},\"p99_ns\":{p99},\"solves_per_sec\":{solves_per_sec:.1}}}\n"
+        );
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            let _ = f.write_all(line.as_bytes());
+        }
+    }
+    server.shutdown();
+}
+
+fn main() {
+    let mut c = Criterion::default().sample_size(20);
+    bench_wire(&mut c);
+    bench_session_solve(&mut c);
+    bench_load();
+}

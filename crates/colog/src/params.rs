@@ -232,6 +232,21 @@ impl ProgramParams {
         self
     }
 
+    /// Clamp the solver budgets to per-tenant caps: the effective node
+    /// limit (resp. time limit) becomes the minimum of the configured limit
+    /// and the cap, and an unlimited budget becomes the cap itself. A
+    /// serving layer applies this once per session so no tenant can buy
+    /// more search than its quota, whatever its program or solver settings
+    /// ask for. `None` caps leave the corresponding budget untouched.
+    pub fn clamp_solver_budget(&mut self, node_cap: Option<u64>, time_cap: Option<Duration>) {
+        if let Some(cap) = node_cap {
+            self.solver_node_limit = Some(self.solver_node_limit.map_or(cap, |l| l.min(cap)));
+        }
+        if let Some(cap) = time_cap {
+            self.solver_max_time = Some(self.solver_max_time.map_or(cap, |l| l.min(cap)));
+        }
+    }
+
     /// Look up a named constant.
     pub fn constant(&self, name: &str) -> Option<i64> {
         self.constants.get(name).copied()
@@ -320,5 +335,27 @@ mod tests {
     #[should_panic]
     fn empty_domain_rejected() {
         let _ = VarDomain::new(5, 4);
+    }
+
+    #[test]
+    fn budget_clamp_takes_the_minimum_and_fills_unlimited() {
+        // a configured limit below the cap survives
+        let mut p = ProgramParams::new().with_solver_node_limit(Some(500));
+        p.clamp_solver_budget(Some(1_000), None);
+        assert_eq!(p.solver_node_limit, Some(500));
+        // a limit above the cap is clamped down
+        p.clamp_solver_budget(Some(200), None);
+        assert_eq!(p.solver_node_limit, Some(200));
+        // an unlimited budget becomes the cap
+        let mut p = ProgramParams::new().with_solver_node_limit(None);
+        p.clamp_solver_budget(Some(64), None);
+        assert_eq!(p.solver_node_limit, Some(64));
+        // time budgets clamp the same way; None caps change nothing
+        let mut p = ProgramParams::new().with_solver_max_time(Some(Duration::from_secs(30)));
+        p.clamp_solver_budget(None, Some(Duration::from_secs(2)));
+        assert_eq!(p.solver_max_time, Some(Duration::from_secs(2)));
+        p.clamp_solver_budget(None, None);
+        assert_eq!(p.solver_max_time, Some(Duration::from_secs(2)));
+        assert_eq!(p.solver_node_limit, None);
     }
 }

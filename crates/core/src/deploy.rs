@@ -12,9 +12,15 @@
 //! owns the single-node and distributed cases behind the same
 //! `tick`/`invoke`/`handle` API.
 //!
-//! A `Deployment` dereferences to its inner [`DistributedCologne`], so the
-//! full simulation surface (timers, traffic accounting, `run_until`) remains
-//! available without duplication.
+//! Solves go through the typed [`SolveRequest`] → [`SolveResponse`] entry
+//! point ([`Deployment::solve`] / [`Deployment::solve_streaming`]), the same
+//! request shape the `cologne-serve` wire protocol carries. The historical
+//! `Deref<Target = DistributedCologne>` escape hatch still compiles but is
+//! **deprecated**: every simulation-surface method a deployment needs is now
+//! an explicit named forwarder (`run_until`, `ship`, `delivery_stats`, ...),
+//! and anything more exotic should go through [`Deployment::network`] /
+//! [`Deployment::network_mut`] so the dependency is visible at the call
+//! site. The `Deref` impls will be removed in the release after next.
 
 use std::collections::BTreeMap;
 use std::ops::{Deref, DerefMut};
@@ -22,13 +28,17 @@ use std::time::Duration;
 
 use cologne_colog::{ProgramParams, SolverBranching, SolverMode};
 use cologne_datalog::{NodeId, Tuple};
-use cologne_net::{SimTime, Topology};
+use cologne_net::{NodeTraffic, SimTime, Topology};
 use cologne_solver::{SolveObserver, ValueChoice};
 
-use crate::distributed::DistributedCologne;
+use crate::distributed::{CrashEvent, DeliveryStats, DistributedCologne, TimerOutcome};
 use crate::error::CologneError;
 use crate::handle::RelationHandle;
 use crate::instance::{CologneInstance, SolveReport};
+use crate::solve_api::{
+    BufferSink, EventOptions, EventSink, SinkObserver, SolveRequest, SolveResponse, SolveTarget,
+};
+use crate::stats::{NodeStats, StatsSnapshot};
 
 /// The merged, validated solver-configuration view.
 ///
@@ -257,8 +267,14 @@ impl DeploymentBuilder {
 }
 
 /// A built Cologne system: one instance per topology node over the simulated
-/// network, with the single-node case being a one-node topology. Dereferences
-/// to [`DistributedCologne`] for the full simulation surface.
+/// network, with the single-node case being a one-node topology.
+///
+/// The full simulation surface is exposed through named forwarders
+/// ([`Deployment::run_until`], [`Deployment::ship`],
+/// [`Deployment::delivery_stats`], ...) and, for anything not forwarded,
+/// through [`Deployment::network`] / [`Deployment::network_mut`]. The
+/// `Deref<Target = DistributedCologne>` impls are a **deprecated** escape
+/// hatch kept for one release; see the README migration table.
 pub struct Deployment {
     inner: DistributedCologne,
 }
@@ -271,6 +287,11 @@ impl std::fmt::Debug for Deployment {
     }
 }
 
+/// **Deprecated escape hatch** — reach the network through the named
+/// forwarders or [`Deployment::network`] instead. `#[deprecated]` cannot be
+/// attached to a trait impl, so this deprecation is enforced by
+/// documentation and the README migration table; the impl will be removed
+/// in the release after next.
 impl Deref for Deployment {
     type Target = DistributedCologne;
     fn deref(&self) -> &DistributedCologne {
@@ -278,6 +299,7 @@ impl Deref for Deployment {
     }
 }
 
+/// **Deprecated escape hatch** — see the [`Deref`] impl above.
 impl DerefMut for Deployment {
     fn deref_mut(&mut self) -> &mut DistributedCologne {
         &mut self.inner
@@ -338,21 +360,179 @@ impl Deployment {
         }
     }
 
+    /// Execute one typed [`SolveRequest`], buffering any requested events
+    /// into the returned [`SolveResponse`] — the single solve entry point,
+    /// used identically in-process and by the `cologne-serve` wire protocol.
+    ///
+    /// All-nodes targets solve in ascending node order and ship solver
+    /// outputs into the network afterwards (in node order); single-node
+    /// targets keep their `outgoing` tuples in the report for the caller to
+    /// route. Under deterministic limits (node budgets rather than
+    /// wall-clock) the response is byte-identical across runs once
+    /// normalized with [`SolveResponse::normalized`].
+    pub fn solve(&mut self, request: &SolveRequest) -> Result<SolveResponse, CologneError> {
+        request.validate()?;
+        let mut events = Vec::new();
+        let mut dropped = 0u64;
+        let reports = match request.events {
+            None => self.solve_plain(request)?,
+            Some(opts) => {
+                let mut sink = BufferSink {
+                    events: &mut events,
+                    capacity: opts.capacity,
+                    dropped: &mut dropped,
+                };
+                self.solve_observed(request, opts, &mut sink)?
+            }
+        };
+        Ok(SolveResponse {
+            reports,
+            events,
+            dropped_events: dropped,
+        })
+    }
+
+    /// [`Deployment::solve`] with events pushed to `sink` as they happen
+    /// instead of buffered (the response's `events` stays empty). The sink
+    /// can return `false` to cancel the remaining search cooperatively —
+    /// this is how the server cancels a solve whose client disconnected.
+    /// Requests without event options run unobserved, exactly like
+    /// [`Deployment::solve`].
+    pub fn solve_streaming(
+        &mut self,
+        request: &SolveRequest,
+        sink: &mut dyn EventSink,
+    ) -> Result<SolveResponse, CologneError> {
+        request.validate()?;
+        let reports = match request.events {
+            None => self.solve_plain(request)?,
+            Some(opts) => self.solve_observed(request, opts, sink)?,
+        };
+        Ok(SolveResponse {
+            reports,
+            events: Vec::new(),
+            dropped_events: 0,
+        })
+    }
+
+    /// The unobserved dispatch: plain sequential, parallel, or single-node.
+    fn solve_plain(
+        &mut self,
+        request: &SolveRequest,
+    ) -> Result<BTreeMap<NodeId, SolveReport>, CologneError> {
+        match request.target {
+            SolveTarget::All if request.parallel => self.inner.invoke_solvers_parallel(),
+            SolveTarget::All => self.inner.invoke_solvers(),
+            SolveTarget::Node(node) => {
+                let report = self.instance_checked(node)?.invoke_solver()?;
+                Ok(BTreeMap::from([(node, report)]))
+            }
+        }
+    }
+
+    /// The observed dispatch: thread a per-node [`SinkObserver`] through
+    /// every targeted search, sharing the incumbent counter and cancel flag
+    /// so `cancel_after_incumbents` counts globally and a cancellation keeps
+    /// cancelling later nodes — then finish exactly like the unobserved
+    /// paths (first error in node order aborts shipping, otherwise outgoing
+    /// tuples ship in ascending node order).
+    fn solve_observed(
+        &mut self,
+        request: &SolveRequest,
+        opts: EventOptions,
+        sink: &mut dyn EventSink,
+    ) -> Result<BTreeMap<NodeId, SolveReport>, CologneError> {
+        let mut incumbents = 0u64;
+        let mut cancelled = false;
+        match request.target {
+            SolveTarget::Node(node) => {
+                let mut observer = SinkObserver {
+                    node,
+                    sink,
+                    incumbents: &mut incumbents,
+                    cancel_after: opts.cancel_after_incumbents,
+                    cancelled: &mut cancelled,
+                };
+                let report = self
+                    .instance_checked(node)?
+                    .invoke_solver_with_observer(&mut observer)?;
+                Ok(BTreeMap::from([(node, report)]))
+            }
+            SolveTarget::All => {
+                let mut results = Vec::with_capacity(self.inner.num_instances());
+                for node in self.inner.nodes() {
+                    let mut observer = SinkObserver {
+                        node,
+                        sink,
+                        incumbents: &mut incumbents,
+                        cancel_after: opts.cancel_after_incumbents,
+                        cancelled: &mut cancelled,
+                    };
+                    let inst = self
+                        .inner
+                        .instance_mut(node)
+                        .expect("nodes() lists only existing instances");
+                    results.push((node, inst.invoke_solver_with_observer(&mut observer)));
+                }
+                let mut reports = BTreeMap::new();
+                for (node, result) in results {
+                    reports.insert(node, result?);
+                }
+                for (node, report) in reports.iter_mut() {
+                    let outgoing = std::mem::take(&mut report.outgoing);
+                    self.inner.ship(*node, outgoing);
+                }
+                Ok(reports)
+            }
+        }
+    }
+
+    /// Every counter of the deployment in one serializable value: per-node
+    /// pipeline/engine/search statistics plus the network-wide delivery
+    /// counters. This is the snapshot the `cologne-serve` stats frame ships
+    /// per tenant.
+    pub fn stats(&self) -> StatsSnapshot {
+        let mut nodes = Vec::with_capacity(self.inner.num_instances());
+        for node in self.inner.nodes() {
+            let inst = self
+                .inner
+                .instance(node)
+                .expect("nodes() lists only existing instances");
+            nodes.push(NodeStats {
+                node,
+                solver_invocations: inst.solver_invocations(),
+                pipeline: inst.pipeline_stats(),
+                engine: inst.engine_stats().clone(),
+                search_total: inst.cumulative_solver_stats().clone(),
+                last_search: inst.last_solver_stats().cloned(),
+            });
+        }
+        StatsSnapshot {
+            nodes,
+            delivery: self.inner.delivery_stats(),
+            rejected_remote_tuples: self.inner.rejected_remote_tuples(),
+        }
+    }
+
     /// Invoke every node's solver in ascending node order and ship the
-    /// outputs (see [`DistributedCologne::invoke_solvers`]).
+    /// outputs — shorthand for [`Deployment::solve`] with
+    /// [`SolveRequest::all`].
     pub fn invoke(&mut self) -> Result<BTreeMap<NodeId, SolveReport>, CologneError> {
         self.inner.invoke_solvers()
     }
 
     /// [`Deployment::invoke`] with the per-node solves running concurrently
-    /// (see [`DistributedCologne::invoke_solvers_parallel`]).
+    /// — shorthand for [`SolveRequest::all`]`.parallel()`.
     pub fn invoke_parallel(&mut self) -> Result<BTreeMap<NodeId, SolveReport>, CologneError> {
         self.inner.invoke_solvers_parallel()
     }
 
-    /// [`Deployment::invoke`] with a streaming [`SolveObserver`] threaded
-    /// through every node's search, sequentially in ascending node order (so
-    /// the event stream is deterministic under deterministic limits).
+    /// Deprecated spelling of [`Deployment::solve`] with
+    /// [`SolveRequest::all`] plus event options and a raw observer.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Deployment::solve(&SolveRequest::all().with_events(..)) or solve_streaming"
+    )]
     pub fn invoke_with_observer(
         &mut self,
         observer: &mut dyn SolveObserver,
@@ -362,12 +542,18 @@ impl Deployment {
 
     /// Invoke the solver of one node without shipping its outputs (the
     /// per-node equivalent of [`CologneInstance::invoke_solver`]; the
-    /// returned report keeps its `outgoing` tuples for the caller to route).
+    /// returned report keeps its `outgoing` tuples for the caller to route)
+    /// — shorthand for [`Deployment::solve`] with [`SolveRequest::at`].
     pub fn invoke_at(&mut self, node: NodeId) -> Result<SolveReport, CologneError> {
         self.instance_checked(node)?.invoke_solver()
     }
 
-    /// [`Deployment::invoke_at`] with a streaming [`SolveObserver`].
+    /// Deprecated spelling of [`Deployment::solve`] with
+    /// [`SolveRequest::at`] plus event options.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Deployment::solve(&SolveRequest::at(node).with_events(..)) or solve_streaming"
+    )]
     pub fn invoke_at_with_observer(
         &mut self,
         node: NodeId,
@@ -394,6 +580,138 @@ impl Deployment {
         self.handle(node, relation)?.insert(tuple)?;
         self.sync(node);
         Ok(())
+    }
+
+    // ----- named simulation-surface forwarders ------------------------------
+    //
+    // These shadow the deprecated `Deref<Target = DistributedCologne>`
+    // methods, so existing call sites keep compiling against an explicit
+    // inherent API instead of an invisible deref. Anything not forwarded
+    // here is reachable through `network()` / `network_mut()`.
+
+    /// The underlying simulated network and instance map — the explicit
+    /// replacement for the deprecated `Deref` escape hatch.
+    pub fn network(&self) -> &DistributedCologne {
+        &self.inner
+    }
+
+    /// Mutable access to the underlying simulated network.
+    pub fn network_mut(&mut self) -> &mut DistributedCologne {
+        &mut self.inner
+    }
+
+    /// Number of instances (one per topology node).
+    pub fn num_instances(&self) -> usize {
+        self.inner.num_instances()
+    }
+
+    /// The instance on `node`, if any.
+    pub fn instance(&self, node: NodeId) -> Option<&CologneInstance> {
+        self.inner.instance(node)
+    }
+
+    /// Mutable access to the instance on `node`, if any.
+    pub fn instance_mut(&mut self, node: NodeId) -> Option<&mut CologneInstance> {
+        self.inner.instance_mut(node)
+    }
+
+    /// Every node, in ascending order.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        self.inner.nodes()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.inner.now()
+    }
+
+    /// Per-node traffic accounting.
+    pub fn traffic(&self, node: NodeId) -> NodeTraffic {
+        self.inner.traffic(node)
+    }
+
+    /// Mean per-node communication overhead (Fig. 5's metric).
+    pub fn per_node_overhead_kbps(&self) -> f64 {
+        self.inner.per_node_overhead_kbps()
+    }
+
+    /// The network topology.
+    pub fn topology(&self) -> &Topology {
+        self.inner.topology()
+    }
+
+    /// Remote tuples rejected at reception by the destination's schema check.
+    pub fn rejected_remote_tuples(&self) -> u64 {
+        self.inner.rejected_remote_tuples()
+    }
+
+    /// Switch shipping to the at-least-once delivery layer.
+    pub fn enable_reliable_delivery(&mut self) {
+        self.inner.enable_reliable_delivery()
+    }
+
+    /// Install a seeded fault plan (also enables reliable delivery).
+    pub fn set_fault_plan(&mut self, plan: cologne_net::FaultPlan) {
+        self.inner.set_fault_plan(plan)
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&cologne_net::FaultPlan> {
+        self.inner.fault_plan()
+    }
+
+    /// Counters of the reliable-delivery layer.
+    pub fn delivery_stats(&self) -> DeliveryStats {
+        self.inner.delivery_stats()
+    }
+
+    /// Packets currently awaiting acknowledgement.
+    pub fn reliable_in_flight(&self) -> u64 {
+        self.inner.reliable_in_flight()
+    }
+
+    /// True while `node` is crashed under the fault plan.
+    pub fn is_down(&self, node: NodeId) -> bool {
+        self.inner.is_down(node)
+    }
+
+    /// Drain the crash/rejoin event log.
+    pub fn take_crash_log(&mut self) -> Vec<CrashEvent> {
+        self.inner.take_crash_log()
+    }
+
+    /// Run the network until `deadline` or quiescence; true on quiescence.
+    pub fn settle(&mut self, deadline: SimTime) -> bool {
+        self.inner.settle(deadline)
+    }
+
+    /// Wait for a crashed node to rejoin and resync, up to `deadline`.
+    pub fn await_node(&mut self, node: NodeId, deadline: SimTime) -> bool {
+        self.inner.await_node(node, deadline)
+    }
+
+    /// Schedule an application timer on `node`.
+    pub fn schedule_timer(&mut self, node: NodeId, delay: SimTime, tag: u64) {
+        self.inner.schedule_timer(node, delay, tag)
+    }
+
+    /// Ship located tuples from `from` into the network.
+    pub fn ship(&mut self, from: NodeId, tuples: Vec<cologne_datalog::RemoteTuple>) {
+        self.inner.ship(from, tuples)
+    }
+
+    /// Run the event loop until `limit`, delivering messages and invoking
+    /// `on_timer` for timer events; returns the number of events processed.
+    pub fn run_until<F>(&mut self, limit: SimTime, on_timer: F) -> u64
+    where
+        F: FnMut(&mut CologneInstance, u64) -> TimerOutcome,
+    {
+        self.inner.run_until(limit, on_timer)
+    }
+
+    /// Run the event loop until `limit`, delivering messages only.
+    pub fn run_messages_until(&mut self, limit: SimTime) -> u64 {
+        self.inner.run_messages_until(limit)
     }
 }
 

@@ -27,7 +27,7 @@ use crate::pipeline::{PipelineStats, SolvePipeline};
 use crate::translate::rule_to_datalog;
 
 /// Result of one `invokeSolver` execution.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SolveReport {
     /// False when the constraints could not be satisfied.
     pub feasible: bool,

@@ -83,6 +83,8 @@ pub mod ground;
 pub mod handle;
 pub mod instance;
 pub mod pipeline;
+pub mod solve_api;
+pub mod stats;
 pub mod translate;
 
 pub use deploy::{Deployment, DeploymentBuilder, SolverSettings};
@@ -94,6 +96,8 @@ pub use ground::{ground, GroundedCop, GroundingPlan, GroundingScratch};
 pub use handle::RelationHandle;
 pub use instance::{CologneInstance, SolveReport};
 pub use pipeline::{PipelineStats, SolvePipeline};
+pub use solve_api::{EventOptions, EventSink, SolveRequest, SolveResponse, SolveTarget};
+pub use stats::{NodeStats, StatsSnapshot};
 
 // Re-export the compiler-facing types users need to drive the runtime.
 pub use cologne_colog::{

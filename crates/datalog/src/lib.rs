@@ -38,6 +38,7 @@ pub(crate) mod intern;
 pub(crate) mod plan;
 pub mod rule;
 pub mod schema;
+pub mod serde;
 pub mod tuple;
 pub mod value;
 
@@ -45,5 +46,6 @@ pub use engine::{DeltaSummary, Engine, EngineStats, ReferenceEngine, RelationDel
 pub use expr::{Bindings, EvalError, Expr, Op, Term};
 pub use rule::{AggFunc, Atom, BodyItem, Head, HeadArg, Rule};
 pub use schema::{did_you_mean, IngestError, SchemaError, SchemaSet, TupleSchema};
+pub use serde::{decode_tuple, decode_value, encode_tuple, encode_value, DecodeError};
 pub use tuple::{Relation, Tuple};
 pub use value::{NodeId, RelId, StrId, SymId, Value, ValueKind, F64};

@@ -1,0 +1,241 @@
+//! Binary serialization of [`Value`]s and [`Tuple`]s for the wire.
+//!
+//! The `cologne-serve` protocol ships tuples between client and server as
+//! length-prefixed binary frames; this module owns the innermost layer —
+//! how one value is laid out in bytes — so the encoding lives next to the
+//! [`Value`] type it describes and every consumer agrees on it.
+//!
+//! Layout (all integers little-endian):
+//!
+//! | tag | variant | payload |
+//! |-----|---------|---------|
+//! | 0   | `Int`   | i64     |
+//! | 1   | `Float` | f64 canonical bits (NaN normalized, `-0.0` → `+0.0`) |
+//! | 2   | `Str`   | u32 length + UTF-8 bytes |
+//! | 3   | `Addr`  | u32 node id |
+//! | 4   | `Bool`  | u8 (0 or 1) |
+//! | 5   | `Sym`   | u32 symbol id |
+//!
+//! A tuple is a u32 arity followed by its values. Decoding is total: any
+//! byte sequence either decodes or returns a typed [`DecodeError`] — it
+//! never panics and never allocates proportionally to a corrupt length
+//! field (lengths are checked against the remaining input first).
+
+use crate::value::{NodeId, SymId, Value, F64};
+use crate::Tuple;
+
+/// Why a byte sequence failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input ended before the value did.
+    Truncated,
+    /// An unknown value tag.
+    BadTag(u8),
+    /// A string payload was not valid UTF-8.
+    BadUtf8,
+    /// A boolean byte was neither 0 nor 1.
+    BadBool(u8),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "input truncated mid-value"),
+            DecodeError::BadTag(t) => write!(f, "unknown value tag {t}"),
+            DecodeError::BadUtf8 => write!(f, "string payload is not valid UTF-8"),
+            DecodeError::BadBool(b) => write!(f, "boolean byte must be 0 or 1, got {b}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Append the encoding of one value.
+pub fn encode_value(value: &Value, out: &mut Vec<u8>) {
+    match value {
+        Value::Int(i) => {
+            out.push(0);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(x) => {
+            out.push(1);
+            out.extend_from_slice(&x.to_wire_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(2);
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Addr(n) => {
+            out.push(3);
+            out.extend_from_slice(&n.0.to_le_bytes());
+        }
+        Value::Bool(b) => {
+            out.push(4);
+            out.push(u8::from(*b));
+        }
+        Value::Sym(s) => {
+            out.push(5);
+            out.extend_from_slice(&s.0.to_le_bytes());
+        }
+    }
+}
+
+/// Append the encoding of one tuple (u32 arity + values).
+pub fn encode_tuple(tuple: &Tuple, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(tuple.len() as u32).to_le_bytes());
+    for value in tuple {
+        encode_value(value, out);
+    }
+}
+
+fn take<'a>(buf: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], DecodeError> {
+    let end = pos.checked_add(n).ok_or(DecodeError::Truncated)?;
+    if end > buf.len() {
+        return Err(DecodeError::Truncated);
+    }
+    let slice = &buf[*pos..end];
+    *pos = end;
+    Ok(slice)
+}
+
+fn take_u32(buf: &[u8], pos: &mut usize) -> Result<u32, DecodeError> {
+    Ok(u32::from_le_bytes(take(buf, pos, 4)?.try_into().unwrap()))
+}
+
+/// Decode one value starting at `*pos`, advancing it past the value.
+pub fn decode_value(buf: &[u8], pos: &mut usize) -> Result<Value, DecodeError> {
+    let tag = take(buf, pos, 1)?[0];
+    match tag {
+        0 => {
+            let raw = take(buf, pos, 8)?;
+            Ok(Value::Int(i64::from_le_bytes(raw.try_into().unwrap())))
+        }
+        1 => {
+            let raw = take(buf, pos, 8)?;
+            let bits = u64::from_le_bytes(raw.try_into().unwrap());
+            Ok(Value::Float(F64(f64::from_bits(bits))))
+        }
+        2 => {
+            let len = take_u32(buf, pos)? as usize;
+            let raw = take(buf, pos, len)?;
+            let s = std::str::from_utf8(raw).map_err(|_| DecodeError::BadUtf8)?;
+            Ok(Value::Str(s.to_string()))
+        }
+        3 => Ok(Value::Addr(NodeId(take_u32(buf, pos)?))),
+        4 => match take(buf, pos, 1)?[0] {
+            0 => Ok(Value::Bool(false)),
+            1 => Ok(Value::Bool(true)),
+            b => Err(DecodeError::BadBool(b)),
+        },
+        5 => Ok(Value::Sym(SymId(take_u32(buf, pos)?))),
+        t => Err(DecodeError::BadTag(t)),
+    }
+}
+
+/// Decode one tuple starting at `*pos`, advancing it past the tuple.
+pub fn decode_tuple(buf: &[u8], pos: &mut usize) -> Result<Tuple, DecodeError> {
+    let arity = take_u32(buf, pos)? as usize;
+    // The smallest value is 2 bytes (tag + bool), so a corrupt arity larger
+    // than half the remaining input cannot possibly decode — reject before
+    // reserving memory for it.
+    if arity > buf.len().saturating_sub(*pos) {
+        return Err(DecodeError::Truncated);
+    }
+    let mut tuple = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        tuple.push(decode_value(buf, pos)?);
+    }
+    Ok(tuple)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: Value) -> Value {
+        let mut buf = Vec::new();
+        encode_value(&v, &mut buf);
+        let mut pos = 0;
+        let back = decode_value(&buf, &mut pos).unwrap();
+        assert_eq!(pos, buf.len(), "no trailing bytes");
+        back
+    }
+
+    #[test]
+    fn values_round_trip() {
+        for v in [
+            Value::Int(0),
+            Value::Int(i64::MIN),
+            Value::Int(i64::MAX),
+            Value::Float(F64(2.5)),
+            Value::Float(F64(-1.0e300)),
+            Value::Str(String::new()),
+            Value::Str("héllo wörld".into()),
+            Value::Addr(NodeId(u32::MAX)),
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Sym(SymId(7)),
+        ] {
+            assert_eq!(roundtrip(v.clone()), v);
+        }
+    }
+
+    #[test]
+    fn float_canonicalization_survives_the_wire() {
+        // -0.0 and NaN encode as their canonical bits, so equality semantics
+        // are preserved across a round trip.
+        assert_eq!(roundtrip(Value::Float(F64(-0.0))), Value::Float(F64(0.0)));
+        let nan = roundtrip(Value::Float(F64(f64::NAN)));
+        assert_eq!(nan, Value::Float(F64(f64::NAN)));
+    }
+
+    #[test]
+    fn tuples_round_trip() {
+        let t: Tuple = vec![Value::Int(1), Value::Str("x".into()), Value::Bool(true)];
+        let mut buf = Vec::new();
+        encode_tuple(&t, &mut buf);
+        let mut pos = 0;
+        assert_eq!(decode_tuple(&buf, &mut pos).unwrap(), t);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn corrupt_input_errors_instead_of_panicking() {
+        // unknown tag
+        let mut pos = 0;
+        assert_eq!(decode_value(&[9], &mut pos), Err(DecodeError::BadTag(9)));
+        // truncated int
+        let mut pos = 0;
+        assert_eq!(
+            decode_value(&[0, 1, 2], &mut pos),
+            Err(DecodeError::Truncated)
+        );
+        // string length past the end of input
+        let mut buf = vec![2];
+        buf.extend_from_slice(&100u32.to_le_bytes());
+        buf.push(b'a');
+        let mut pos = 0;
+        assert_eq!(decode_value(&buf, &mut pos), Err(DecodeError::Truncated));
+        // invalid UTF-8
+        let mut buf = vec![2];
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(0xFF);
+        let mut pos = 0;
+        assert_eq!(decode_value(&buf, &mut pos), Err(DecodeError::BadUtf8));
+        // bad bool byte
+        let mut pos = 0;
+        assert_eq!(
+            decode_value(&[4, 3], &mut pos),
+            Err(DecodeError::BadBool(3))
+        );
+        // huge declared arity on a short buffer must not allocate or panic
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut pos = 0;
+        assert_eq!(decode_tuple(&buf, &mut pos), Err(DecodeError::Truncated));
+        // empty input
+        let mut pos = 0;
+        assert_eq!(decode_value(&[], &mut pos), Err(DecodeError::Truncated));
+    }
+}

@@ -11,7 +11,7 @@ use std::fmt;
 use std::hash::{Hash, Hasher};
 
 /// Identifier of a node (a Cologne instance) in the distributed deployment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
 
 impl fmt::Display for NodeId {
@@ -52,6 +52,14 @@ pub struct StrId(pub u32);
 pub struct F64(pub f64);
 
 impl F64 {
+    /// The canonical IEEE-754 bits used for equality, hashing and the wire
+    /// encoding (`crate::serde`): every NaN normalizes to the same payload
+    /// and `-0.0` encodes as `+0.0`, so a value that round-trips through
+    /// bytes compares equal to the original.
+    pub fn to_wire_bits(self) -> u64 {
+        self.canonical_bits()
+    }
+
     pub(crate) fn canonical_bits(self) -> u64 {
         if self.0.is_nan() {
             f64::NAN.to_bits()

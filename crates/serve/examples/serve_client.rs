@@ -1,0 +1,59 @@
+//! End-to-end client example: connect to a `cologne-serve` server (or spin
+//! one up in-process), ingest ACloud facts, solve with streamed events, and
+//! print the incumbent trail plus the unified stats snapshot.
+//!
+//! With `COLOGNE_SERVE_ADDR` set, connects there (the CI smoke job starts
+//! the binary first); otherwise binds an in-process server on a free port.
+
+use cologne::datalog::{NodeId, Value};
+use cologne::{SolveEvent, SolveRequest};
+use cologne_serve::{demo_config, Client, ClientError, Server};
+
+fn main() -> Result<(), ClientError> {
+    let (addr, _server) = match std::env::var("COLOGNE_SERVE_ADDR") {
+        Ok(addr) => (addr, None),
+        Err(_) => {
+            let server = Server::bind("127.0.0.1:0", demo_config()).expect("bind demo server");
+            (server.local_addr().to_string(), Some(server))
+        }
+    };
+    println!("connecting to {addr}");
+    let mut client = Client::connect(addr.as_str())?;
+    let session = client.hello("example-tenant")?;
+    println!("session {session} open");
+
+    let node = NodeId(0);
+    for (vid, cpu, mem) in [(1, 40, 2), (2, 20, 2), (3, 10, 1)] {
+        client.insert(
+            node,
+            "vm",
+            vec![Value::Int(vid), Value::Int(cpu), Value::Int(mem)],
+        )?;
+    }
+    for hid in [10, 11] {
+        client.insert(
+            node,
+            "host",
+            vec![Value::Int(hid), Value::Int(0), Value::Int(0)],
+        )?;
+        client.insert(node, "hostMemThres", vec![Value::Int(hid), Value::Int(8)])?;
+    }
+
+    let request = SolveRequest::all().with_events(256);
+    let response = client.solve_streaming(&request, &mut |node, event| {
+        if let SolveEvent::Incumbent { objective, .. } = &event {
+            println!("on_incumbent node={node} objective={objective:?}");
+        }
+    })?;
+
+    let report = response.single().expect("one node");
+    println!(
+        "solved: feasible={} objective={:?} proven_optimal={}",
+        report.feasible, report.objective, report.proven_optimal
+    );
+
+    let stats = client.stats()?;
+    println!("{stats}");
+    client.bye()?;
+    Ok(())
+}

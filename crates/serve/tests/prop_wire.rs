@@ -1,0 +1,221 @@
+//! Property tests for the `cologne-serve` wire codec.
+//!
+//! The decoder is total: *any* byte string — truncated, oversized, or
+//! outright garbage — must produce a typed error, never a panic or an
+//! unbounded allocation. Round-trips must be lossless for every message
+//! the encoder can produce.
+
+use proptest::prelude::*;
+
+use cologne::datalog::{NodeId, SymId, Value, F64};
+use cologne::{EventOptions, SolveEvent, SolveRequest};
+use cologne_serve::{
+    decode_client, decode_server, encode_client, encode_server, read_frame, write_frame, ClientMsg,
+    FrameError, IngestOp, ServerMsg,
+};
+
+/// Deterministically map two sampled integers onto one `Value`, covering
+/// every variant (floats canonicalized — the codec only ever sees
+/// canonical bits, which `F64` construction already guarantees).
+fn mk_value(tag: u8, payload: i64) -> Value {
+    match tag % 6 {
+        0 => Value::Int(payload),
+        1 => Value::Float(F64(payload as f64 / 7.0)),
+        2 => Value::Str(format!("s{payload}\u{00e9}")),
+        3 => Value::Addr(NodeId(payload as u32)),
+        4 => Value::Bool(payload & 1 == 1),
+        _ => Value::Sym(SymId(payload as u32)),
+    }
+}
+
+fn mk_tuple(cells: &[(u8, i64)]) -> Vec<Value> {
+    cells.iter().map(|&(t, p)| mk_value(t, p)).collect()
+}
+
+fn mk_request(
+    target_node: Option<u32>,
+    parallel: bool,
+    events: Option<(u64, Option<u64>)>,
+) -> SolveRequest {
+    let mut request = match target_node {
+        Some(n) => SolveRequest::at(NodeId(n)),
+        None => SolveRequest::all(),
+    };
+    request.parallel = parallel;
+    request.events = events.map(|(capacity, cancel)| {
+        let mut opts = EventOptions::buffered(capacity as usize);
+        opts.cancel_after_incumbents = cancel;
+        opts
+    });
+    request
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Ingest batches of arbitrary tuples round-trip exactly.
+    #[test]
+    fn ingest_round_trips(
+        node in 0u32..1000,
+        sync in prop::bool::ANY,
+        ops in prop::collection::vec((prop::bool::ANY, prop::collection::vec((0u8..6, -1000i64..1000), 0..6)), 0..8),
+    ) {
+        let msg = ClientMsg::Ingest {
+            node: NodeId(node),
+            relation: "link".to_string(),
+            ops: ops
+                .iter()
+                .map(|(insert, cells)| IngestOp {
+                    insert: *insert,
+                    tuple: mk_tuple(cells),
+                })
+                .collect(),
+            sync,
+        };
+        let decoded = decode_client(&encode_client(&msg));
+        prop_assert_eq!(decoded.as_ref().ok(), Some(&msg));
+    }
+
+    /// Every shape of solve request round-trips exactly.
+    #[test]
+    fn solve_requests_round_trip(
+        target in 0u32..5,
+        node in 0u32..100,
+        parallel in prop::bool::ANY,
+        has_events in prop::bool::ANY,
+        capacity in 0u64..100_000,
+        cancel in 0u64..10,
+    ) {
+        let request = mk_request(
+            (target % 2 == 0).then_some(node),
+            parallel,
+            has_events.then_some((capacity, (cancel % 2 == 0).then_some(cancel))),
+        );
+        let msg = ClientMsg::Solve(request.clone());
+        let decoded = decode_client(&encode_client(&msg));
+        prop_assert_eq!(decoded.as_ref().ok(), Some(&msg));
+        match decoded {
+            Ok(ClientMsg::Solve(r)) => {
+                prop_assert_eq!(r.target, request.target);
+                prop_assert_eq!(r.parallel, request.parallel);
+                prop_assert_eq!(r.events, request.events);
+            }
+            other => prop_assert!(false, "decoded to {other:?}"),
+        }
+    }
+
+    /// Streamed event frames round-trip exactly.
+    #[test]
+    fn event_frames_round_trip(
+        node in 0u32..100,
+        kind in 0u8..5,
+        a in -100_000i64..100_000,
+        b in 0u64..1_000_000,
+    ) {
+        let event = match kind {
+            0 => SolveEvent::Incumbent { objective: (a % 2 == 0).then_some(a) },
+            1 => SolveEvent::Restart { restarts: b, next_budget: b * 2 },
+            2 => SolveEvent::LnsIteration {
+                iteration: b,
+                improved: a % 2 == 0,
+                best_objective: (a % 3 == 0).then_some(a),
+            },
+            3 => SolveEvent::NodeBudget { nodes: b, fails: b / 3 },
+            _ => SolveEvent::Progress { nodes: b, fails: b / 2, solutions: b % 17 },
+        };
+        let msg = ServerMsg::Event { node: NodeId(node), event };
+        let decoded = decode_server(&encode_server(&msg));
+        prop_assert_eq!(decoded.as_ref().ok(), Some(&msg));
+    }
+
+    /// A strict prefix of a valid message never decodes and never panics:
+    /// the codec notices the truncation and reports a typed error.
+    #[test]
+    fn truncation_always_errors(
+        node in 0u32..100,
+        cells in prop::collection::vec((0u8..6, -50i64..50), 1..5),
+        cut in 0usize..10_000,
+    ) {
+        let msg = ClientMsg::Ingest {
+            node: NodeId(node),
+            relation: "r".to_string(),
+            ops: vec![IngestOp { insert: true, tuple: mk_tuple(&cells) }],
+            sync: false,
+        };
+        let bytes = encode_client(&msg);
+        let cut = cut % bytes.len();
+        prop_assert!(
+            decode_client(&bytes[..cut]).is_err(),
+            "strict prefix of length {cut} decoded"
+        );
+    }
+
+    /// Arbitrary garbage bytes never panic either decoder; they produce
+    /// `Ok` (if they happen to spell a message) or a typed error.
+    #[test]
+    fn garbage_never_panics(raw in prop::collection::vec(0u32..256, 0..64)) {
+        let bytes: Vec<u8> = raw.iter().map(|&b| b as u8).collect();
+        let _ = decode_client(&bytes);
+        let _ = decode_server(&bytes);
+    }
+
+    /// One flipped byte in a valid encoding never panics the decoder.
+    #[test]
+    fn bit_flips_never_panic(
+        cells in prop::collection::vec((0u8..6, -50i64..50), 1..5),
+        at in 0usize..10_000,
+        flip in 1u8..255,
+    ) {
+        let msg = ClientMsg::Ingest {
+            node: NodeId(7),
+            relation: "lnk".to_string(),
+            ops: vec![IngestOp { insert: false, tuple: mk_tuple(&cells) }],
+            sync: true,
+        };
+        let mut bytes = encode_client(&msg);
+        let at = at % bytes.len();
+        bytes[at] ^= flip;
+        let _ = decode_client(&bytes);
+        let _ = decode_server(&bytes);
+    }
+
+    /// Frame transport round-trips arbitrary payloads and refuses
+    /// oversized ones *before* allocating.
+    #[test]
+    fn frames_round_trip_and_cap(payload in prop::collection::vec(0u8..200, 0..300)) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).expect("vec write");
+        let mut cursor = &buf[..];
+        let read = read_frame(&mut cursor, 1 << 20).expect("well-formed frame");
+        prop_assert_eq!(read.as_deref(), Some(&payload[..]));
+
+        // same bytes under a tiny cap: typed Oversized, not an allocation
+        if payload.len() > 4 {
+            let mut cursor = &buf[..];
+            match read_frame(&mut cursor, 4) {
+                Err(FrameError::Oversized { len, max }) => {
+                    prop_assert_eq!(len as usize, payload.len());
+                    prop_assert_eq!(max, 4);
+                }
+                other => prop_assert!(false, "expected Oversized, got {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn clean_eof_is_none() {
+    let empty: &[u8] = &[];
+    let mut cursor = empty;
+    assert!(matches!(read_frame(&mut cursor, 1024), Ok(None)));
+}
+
+#[test]
+fn eof_inside_length_prefix_is_io_error() {
+    let partial: &[u8] = &[3, 0];
+    let mut cursor = partial;
+    assert!(matches!(
+        read_frame(&mut cursor, 1024),
+        Err(FrameError::Io(_))
+    ));
+}

@@ -5,16 +5,16 @@
 //! This is the centralized ACloud load-balancing program of Sec. 4.2 of the
 //! paper, run on a hand-written five-VM / three-host snapshot through the
 //! typed public API: [`cologne::DeploymentBuilder`] to stand the system up,
-//! [`cologne::RelationHandle`] for validated writes, and
-//! [`cologne::EventLog`] to watch the incumbent stream while the solver
-//! runs.
+//! [`cologne::RelationHandle`] for validated writes, and a
+//! [`cologne::SolveRequest`] with buffered events to watch the incumbent
+//! stream while the solver runs.
 //!
 //! ```text
 //! cargo run -p cologne-bench --example quickstart
 //! ```
 
 use cologne::datalog::Value;
-use cologne::{DeploymentBuilder, EventLog, ProgramParams, SolveEvent, VarDomain};
+use cologne::{DeploymentBuilder, ProgramParams, SolveEvent, SolveRequest, VarDomain};
 
 const PROGRAM: &str = r#"
     goal minimize C in hostStdevCpu(C).
@@ -61,18 +61,20 @@ fn main() {
     let typo = node.relation("vmm").expect_err("typos are caught eagerly");
     println!("schema catalog in action: {typo}");
 
-    // 3. Invoke the solver (the paper's `invokeSolver` event) with an event
-    //    log attached: every improving incumbent streams out as the search
-    //    runs instead of arriving all-or-nothing at the end.
-    let mut log = EventLog::bounded(1024);
-    let report = node
-        .invoke_at_with_observer(target, &mut log)
+    // 3. Invoke the solver (the paper's `invokeSolver` event) through the
+    //    typed solve entry point, with buffered events: every improving
+    //    incumbent streams into the response as the search runs instead of
+    //    arriving all-or-nothing at the end. The same request drives remote
+    //    solves through `cologne-serve`.
+    let response = node
+        .solve(&SolveRequest::at(target).with_events(1024))
         .expect("solver runs");
+    let report = response.report(target).expect("report for the target node");
     assert!(report.feasible, "the placement problem must be feasible");
 
     println!("\nincumbent stream (objective = scaled CPU variance):");
     let mut n = 0u32;
-    for event in log.drain() {
+    for (_, event) in &response.events {
         if let SolveEvent::Incumbent { objective } = event {
             n += 1;
             println!("  on_incumbent #{n}: objective={}", objective.unwrap_or(0));

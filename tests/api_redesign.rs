@@ -303,6 +303,126 @@ fn followsun_base_params_match_per_node_overrides_byte_for_byte() {
 // 3. observer determinism + cancellation
 // ---------------------------------------------------------------------------
 
+// ---------------------------------------------------------------------------
+// 4. the typed solve entry point vs the deprecated observer shims
+// ---------------------------------------------------------------------------
+
+use cologne::{SolveRequest, StatsSnapshot};
+
+fn acloud_deployment_with_facts() -> cologne::Deployment {
+    let mut d = DeploymentBuilder::new(ACLOUD_CENTRALIZED)
+        .params(acloud_params())
+        .build()
+        .unwrap();
+    for (rel, tuple) in [
+        ("vm", ints(&[1, 40, 4])),
+        ("vm", ints(&[2, 20, 4])),
+        ("vm", ints(&[3, 30, 4])),
+        ("host", ints(&[10, 0, 0])),
+        ("host", ints(&[11, 0, 0])),
+        ("hostMemThres", ints(&[10, 16])),
+        ("hostMemThres", ints(&[11, 16])),
+    ] {
+        d.relation(rel).unwrap().insert(tuple).unwrap();
+    }
+    d
+}
+
+#[test]
+fn solve_request_matches_deprecated_observer_entry_point() {
+    // the deprecated per-node observer shim...
+    let (old_report, old_events) = {
+        let mut d = acloud_deployment_with_facts();
+        let node = d.single_node().unwrap();
+        let mut log = EventLog::bounded(1024);
+        #[allow(deprecated)]
+        let report = d.invoke_at_with_observer(node, &mut log).unwrap();
+        (normalized(&report), log.drain())
+    };
+
+    // ...and the typed request must produce the identical report and the
+    // identical event sequence
+    let (new_report, new_events) = {
+        let mut d = acloud_deployment_with_facts();
+        let node = d.single_node().unwrap();
+        let response = d.solve(&SolveRequest::at(node).with_events(1024)).unwrap();
+        assert_eq!(response.dropped_events, 0);
+        let report = normalized(response.report(node).unwrap());
+        let events: Vec<SolveEvent> = response.events.into_iter().map(|(_, e)| e).collect();
+        (report, events)
+    };
+
+    assert_eq!(old_report, new_report, "reports must be byte-identical");
+    assert_eq!(old_events, new_events, "event sequences must be identical");
+    assert!(!new_events.is_empty(), "events must actually stream");
+}
+
+#[test]
+fn solve_request_without_events_matches_invoke() {
+    let plain = {
+        let mut d = acloud_deployment_with_facts();
+        let node = d.single_node().unwrap();
+        normalized(&d.invoke_at(node).unwrap())
+    };
+    let typed = {
+        let mut d = acloud_deployment_with_facts();
+        let node = d.single_node().unwrap();
+        let response = d.solve(&SolveRequest::at(node)).unwrap();
+        assert!(response.events.is_empty());
+        normalized(response.report(node).unwrap())
+    };
+    assert_eq!(plain, typed);
+}
+
+#[test]
+fn cancel_after_incumbents_via_request_keeps_first_solution() {
+    let mut d = acloud_deployment_with_facts();
+    let node = d.single_node().unwrap();
+    let response = d
+        .solve(&SolveRequest::at(node).cancel_after_incumbents(1))
+        .unwrap();
+    let report = response.report(node).unwrap();
+    assert!(report.stats.cancelled);
+    assert!(report.feasible, "the first incumbent is kept");
+    assert!(!report.proven_optimal);
+    let incumbents = response
+        .events
+        .iter()
+        .filter(|(_, e)| matches!(e, SolveEvent::Incumbent { .. }))
+        .count();
+    assert_eq!(incumbents, 1, "exactly one incumbent before cancellation");
+}
+
+#[test]
+fn unified_stats_snapshot_reflects_the_session() {
+    let mut d = acloud_deployment_with_facts();
+    let node = d.single_node().unwrap();
+
+    let before: StatsSnapshot = d.stats();
+    assert_eq!(before.total_invocations(), 0);
+    assert_eq!(before.nodes.len(), 1);
+
+    d.solve(&SolveRequest::at(node)).unwrap();
+    d.solve(&SolveRequest::at(node)).unwrap();
+
+    let after = d.stats();
+    assert_eq!(after.total_invocations(), 2);
+    let node_stats = after.node(node).unwrap();
+    assert_eq!(node_stats.solver_invocations, 2);
+    assert!(node_stats.search_total.nodes > 0, "search effort recorded");
+    assert!(
+        node_stats.last_search.is_some(),
+        "last solve's stats retained"
+    );
+    assert!(
+        node_stats.pipeline.full_rebuilds >= 1,
+        "pipeline activity visible in the snapshot"
+    );
+    // the snapshot renders for operators
+    let rendered = format!("{after}");
+    assert!(rendered.contains("invocation"), "display impl: {rendered}");
+}
+
 fn lns_config() -> LargeAcloudConfig {
     LargeAcloudConfig {
         vms: 60,

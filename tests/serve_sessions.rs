@@ -1,0 +1,292 @@
+//! Integration tests for the `cologne-serve` serving layer: concurrent
+//! multi-tenant sessions, per-tenant isolation, admission control and
+//! backpressure, per-tenant budgets, and the headline contract of the wire
+//! protocol — a remote solve returns a `SolveResponse` byte-identical
+//! (elapsed-normalized) to the same solve executed in-process.
+
+use std::num::NonZeroU64;
+use std::sync::mpsc;
+use std::thread;
+
+use cologne::datalog::{NodeId, Value};
+use cologne::{DeploymentBuilder, ProgramParams, SolveRequest, SolveResponse, VarDomain};
+use cologne_serve::{
+    Client, ClientError, ErrorCode, Server, ServerConfig, TenantBudget, ACLOUD_DEMO,
+};
+
+/// Deterministic parameters for the demo program: node-limit-bounded, no
+/// wall-clock budget, so a solve's report is byte-reproducible.
+fn det_params() -> ProgramParams {
+    ProgramParams::new()
+        .with_var_domain("assign", VarDomain::BOOL)
+        .with_solver_max_time(None)
+        .with_solver_node_limit(Some(200_000))
+}
+
+fn det_config() -> ServerConfig {
+    let mut cfg = ServerConfig::new(ACLOUD_DEMO);
+    cfg.params = det_params();
+    cfg
+}
+
+/// The facts of one tenant: `vms` VMs (sizes derived from the tenant id so
+/// every tenant's optimum differs) over two 16-GB hosts.
+fn tenant_facts(vms: u32) -> Vec<(&'static str, Vec<Value>)> {
+    let mut facts = Vec::new();
+    for vid in 0..vms {
+        facts.push((
+            "vm",
+            vec![
+                Value::Int(i64::from(vid)),
+                Value::Int(i64::from(10 + 7 * (vid % 5))),
+                Value::Int(2),
+            ],
+        ));
+    }
+    for hid in [100, 101] {
+        facts.push(("host", vec![Value::Int(hid), Value::Int(0), Value::Int(0)]));
+        facts.push(("hostMemThres", vec![Value::Int(hid), Value::Int(16)]));
+    }
+    facts
+}
+
+/// The same tenant workload executed in-process through the public
+/// `Deployment::solve` entry point.
+fn solve_in_process(
+    params: ProgramParams,
+    facts: &[(&'static str, Vec<Value>)],
+    request: &SolveRequest,
+) -> SolveResponse {
+    let mut d = DeploymentBuilder::new(ACLOUD_DEMO)
+        .params(params)
+        .build()
+        .expect("demo program compiles");
+    for (rel, tuple) in facts {
+        d.relation(rel)
+            .expect("relation exists")
+            .insert(tuple.clone())
+            .expect("tuple matches schema");
+    }
+    d.solve(request).expect("in-process solve succeeds")
+}
+
+/// The same workload through the wire.
+fn solve_remote(
+    addr: std::net::SocketAddr,
+    tenant: &str,
+    facts: &[(&'static str, Vec<Value>)],
+    request: &SolveRequest,
+) -> SolveResponse {
+    let mut client = Client::connect(addr).expect("connect");
+    client.hello(tenant).expect("hello");
+    for (rel, tuple) in facts {
+        client
+            .insert(NodeId(0), rel, tuple.clone())
+            .expect("remote insert succeeds");
+    }
+    let response = client.solve(request).expect("remote solve succeeds");
+    client.bye().expect("clean close");
+    response
+}
+
+#[test]
+fn remote_solve_is_byte_identical_to_in_process() {
+    let server = Server::bind("127.0.0.1:0", det_config()).expect("bind");
+    let request = SolveRequest::all().with_events(1024);
+    let facts = tenant_facts(4);
+
+    let remote = solve_remote(server.local_addr(), "t0", &facts, &request);
+    let local = solve_in_process(det_params(), &facts, &request);
+
+    assert!(remote.single().expect("one node").feasible);
+    assert!(
+        !remote.events.is_empty(),
+        "events must stream over the wire"
+    );
+    assert_eq!(
+        remote.normalized(),
+        local.normalized(),
+        "wire and in-process responses must be byte-identical modulo wall-clock"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_tenants_are_isolated() {
+    let server = Server::bind("127.0.0.1:0", det_config()).expect("bind");
+    let addr = server.local_addr();
+    let request = SolveRequest::all().with_events(256);
+
+    // Eight tenants with different workloads solve concurrently; each must
+    // get exactly the answer its own facts produce in isolation.
+    let handles: Vec<_> = (0..8u32)
+        .map(|i| {
+            let request = request.clone();
+            thread::spawn(move || {
+                let facts = tenant_facts(2 + (i % 4));
+                let remote = solve_remote(addr, &format!("tenant-{i}"), &facts, &request);
+                (i, facts, remote)
+            })
+        })
+        .collect();
+
+    for handle in handles {
+        let (i, facts, remote) = handle.join().expect("tenant thread");
+        let local = solve_in_process(det_params(), &facts, &request);
+        assert_eq!(
+            remote.normalized(),
+            local.normalized(),
+            "tenant {i} must see only its own facts"
+        );
+        // the assignment table covers exactly this tenant's VMs × hosts
+        let report = remote.single().expect("one node");
+        assert_eq!(
+            report.table("assign").len(),
+            (2 + (i % 4)) as usize * 2,
+            "tenant {i} assignment grid"
+        );
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.accepted, 8);
+    assert_eq!(stats.solves, 8);
+    assert_eq!(stats.rejected_busy, 0);
+    server.shutdown();
+}
+
+#[test]
+fn admission_control_rejects_beyond_session_limit() {
+    let mut cfg = det_config();
+    cfg.max_sessions = 1;
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind");
+
+    let mut first = Client::connect(server.local_addr()).expect("first connect");
+    first.hello("first").expect("first session admitted");
+
+    // the second connection is refused with one typed Busy frame
+    let mut second = Client::connect(server.local_addr()).expect("tcp connect still works");
+    match second.hello("second") {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::Busy),
+        other => panic!("expected Busy, got {other:?}"),
+    }
+
+    // once the first session closes, a slot frees up
+    first.bye().expect("clean close");
+    for _ in 0..200 {
+        let mut retry = Client::connect(server.local_addr()).expect("reconnect");
+        if retry.hello("third").is_ok() {
+            let busy = server.stats().rejected_busy;
+            assert!(busy >= 1, "the refused connection must be counted");
+            server.shutdown();
+            return;
+        }
+        thread::sleep(std::time::Duration::from_millis(10));
+    }
+    panic!("slot never freed after the first session closed");
+}
+
+#[test]
+fn full_solve_queue_reports_overloaded() {
+    let mut cfg = det_config();
+    // one worker, rendezvous queue: a solve is admitted only when the
+    // worker is idle, so a second solve while the first runs is refused
+    cfg.workers = 1;
+    cfg.queue_depth = 0;
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind");
+    let addr = server.local_addr();
+
+    // a workload big enough to keep the single worker busy after its
+    // first incumbent streams out (exact search, generous node budget)
+    let facts = tenant_facts(10);
+    let request = SolveRequest::all().with_events(1024);
+    let (started_tx, started_rx) = mpsc::channel();
+    let solver_thread = thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("connect");
+        client.hello("busy-tenant").expect("hello");
+        for (rel, tuple) in &facts {
+            client
+                .insert(NodeId(0), rel, tuple.clone())
+                .expect("insert");
+        }
+        let response = client
+            .solve_streaming(&request, &mut |_, _| {
+                let _ = started_tx.send(());
+            })
+            .expect("long solve succeeds");
+        client.bye().expect("clean close");
+        response
+    });
+
+    // first streamed event ⇒ the worker is mid-solve right now
+    started_rx.recv().expect("solve must stream events");
+    let mut other = Client::connect(addr).expect("connect second");
+    other.hello("impatient").expect("hello");
+    match other.solve(&SolveRequest::all()) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::Overloaded),
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+
+    let response = solver_thread.join().expect("solver thread");
+    assert!(response.single().expect("one node").feasible);
+    assert!(server.stats().overloaded >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn tenant_budget_caps_search_effort() {
+    let mut cfg = det_config();
+    cfg.budget = TenantBudget {
+        max_nodes: NonZeroU64::new(50),
+        max_solve_time: None,
+    };
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind");
+
+    let facts = tenant_facts(8);
+    let request = SolveRequest::all();
+    let remote = solve_remote(server.local_addr(), "capped", &facts, &request);
+    let report = remote.single().expect("one node");
+    assert!(
+        report.stats.nodes <= 50,
+        "the tenant budget must cap search nodes, got {}",
+        report.stats.nodes
+    );
+
+    // the budget clamp is itself deterministic: in-process with the same
+    // clamped parameters gives the identical truncated search
+    let mut params = det_params();
+    params.clamp_solver_budget(Some(50), None);
+    let local = solve_in_process(params, &facts, &request);
+    assert_eq!(remote.normalized(), local.normalized());
+    server.shutdown();
+}
+
+#[test]
+fn schema_errors_surface_as_typed_frames_and_session_survives() {
+    let server = Server::bind("127.0.0.1:0", det_config()).expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    client.hello("t").expect("hello");
+
+    // unknown relation → typed error frame, session stays usable
+    match client.insert(NodeId(0), "vmm", vec![Value::Int(1)]) {
+        Err(ClientError::Server { code, message }) => {
+            assert_eq!(code, ErrorCode::UnknownRelation);
+            assert!(message.contains("vm"), "did-you-mean detail: {message}");
+        }
+        other => panic!("expected UnknownRelation, got {other:?}"),
+    }
+
+    // schema mismatch (wrong arity) → typed error frame
+    match client.insert(NodeId(0), "vm", vec![Value::Int(1)]) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::SchemaMismatch),
+        other => panic!("expected SchemaMismatch, got {other:?}"),
+    }
+
+    // the session still works end to end after both rejections
+    for (rel, tuple) in tenant_facts(2) {
+        client.insert(NodeId(0), rel, tuple).expect("valid insert");
+    }
+    let response = client.solve(&SolveRequest::all()).expect("solve succeeds");
+    assert!(response.single().expect("one node").feasible);
+    client.bye().expect("clean close");
+    server.shutdown();
+}
