@@ -54,6 +54,8 @@ pub use ast::{
 pub use codegen::{count_loc, generate_cpp, GeneratedCode};
 pub use lexer::{tokenize, LexError, Token};
 pub use localize::{localize_rule, localize_rules, LocalizeError};
-pub use params::{LnsParams, ProgramParams, SolverBranching, SolverMode, VarDomain};
+pub use params::{
+    LnsParams, ProgramParams, SolverBoundMode, SolverBranching, SolverMode, VarDomain,
+};
 pub use parser::{parse_program, ParseError};
 pub use schema::{RelationSchema, SchemaCatalog};

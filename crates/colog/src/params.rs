@@ -95,6 +95,26 @@ impl Default for LnsParams {
     }
 }
 
+/// Dual-bound engine selection for COP invocations.
+///
+/// Compiler-facing mirror of the solver's `BoundMode` (the compiler crate
+/// does not depend on the solver); the runtime maps it onto the solver's
+/// search configuration when an instance is built. See the solver's
+/// `bounds` module for the engine semantics and soundness contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverBoundMode {
+    /// No dual bound: every run stays byte-identical to a build without the
+    /// bounds subsystem (the default).
+    #[default]
+    Off,
+    /// Linear/packing relaxation over the grounded COP's exactly-one groups.
+    Linear,
+    /// Relaxed decision-diagram bound (merge-based, width-limited).
+    Relaxed,
+    /// Run both engines and keep the tighter bound.
+    Auto,
+}
+
 /// How COP invocations explore the search space: exact branch-and-bound (the
 /// paper's mode) or incomplete large neighborhood search for instances exact
 /// search cannot close within its budget.
@@ -137,6 +157,20 @@ pub struct ProgramParams {
     /// return results identical to the sequential engines (see the solver's
     /// `parallel` module for the determinism contract).
     pub solver_workers: Option<NonZeroUsize>,
+    /// Dual-bound engine for COP invocations. Anything but
+    /// [`SolverBoundMode::Off`] computes a certified dual bound at the
+    /// frozen root of every solve and reports the optimality gap in the
+    /// solve statistics. Off by default — the default keeps every run
+    /// byte-identical to a build without the bounds subsystem.
+    pub solver_bound_mode: SolverBoundMode,
+    /// Relative optimality-gap threshold for early termination. With
+    /// `Some(eps)` (and a bound mode that is not `Off`), a COP search stops
+    /// as soon as its certified gap drops strictly below `eps`; the solve is
+    /// then reported as budget-limited rather than proved optimal.
+    /// `Some(0.0)` never stops early (the gap is never negative), so it
+    /// reproduces the full search byte-for-byte. `None` (the default)
+    /// disables gap-driven termination.
+    pub solver_gap_limit: Option<f64>,
     /// Carry the previous invocation's best assignment into the next solve
     /// (the warm-start half of incremental re-optimization): persisting rows
     /// seed the initial branch-and-bound bound for exact search and the
@@ -164,6 +198,8 @@ impl Default for ProgramParams {
             solver_branching: SolverBranching::default(),
             solver_mode: SolverMode::default(),
             solver_workers: None,
+            solver_bound_mode: SolverBoundMode::default(),
+            solver_gap_limit: None,
             warm_start: true,
             delta_grounding: true,
         }
@@ -217,6 +253,19 @@ impl ProgramParams {
     /// the sequential engines.
     pub fn with_solver_workers(mut self, workers: Option<NonZeroUsize>) -> Self {
         self.solver_workers = workers;
+        self
+    }
+
+    /// Set the dual-bound engine for COP invocations (builder style).
+    pub fn with_solver_bound_mode(mut self, mode: SolverBoundMode) -> Self {
+        self.solver_bound_mode = mode;
+        self
+    }
+
+    /// Set the relative optimality-gap threshold for early termination
+    /// (builder style). `None` disables gap-driven termination.
+    pub fn with_solver_gap_limit(mut self, limit: Option<f64>) -> Self {
+        self.solver_gap_limit = limit;
         self
     }
 
@@ -275,8 +324,21 @@ mod tests {
         assert_eq!(p.constant("max_migrates"), None);
         assert_eq!(p.solver_branching, SolverBranching::InputOrder);
         assert_eq!(p.solver_workers, None);
+        assert_eq!(p.solver_bound_mode, SolverBoundMode::Off);
+        assert_eq!(p.solver_gap_limit, None);
         assert!(p.warm_start);
         assert!(p.delta_grounding);
+    }
+
+    #[test]
+    fn bound_builders_set_engine_and_gap() {
+        let p = ProgramParams::new()
+            .with_solver_bound_mode(SolverBoundMode::Auto)
+            .with_solver_gap_limit(Some(0.05));
+        assert_eq!(p.solver_bound_mode, SolverBoundMode::Auto);
+        assert_eq!(p.solver_gap_limit, Some(0.05));
+        let p = p.with_solver_gap_limit(None);
+        assert_eq!(p.solver_gap_limit, None);
     }
 
     #[test]

@@ -14,22 +14,22 @@
 //!
 //! Solves go through the typed [`SolveRequest`] → [`SolveResponse`] entry
 //! point ([`Deployment::solve`] / [`Deployment::solve_streaming`]), the same
-//! request shape the `cologne-serve` wire protocol carries. The historical
-//! `Deref<Target = DistributedCologne>` escape hatch still compiles but is
-//! **deprecated**: every simulation-surface method a deployment needs is now
-//! an explicit named forwarder (`run_until`, `ship`, `delivery_stats`, ...),
-//! and anything more exotic should go through [`Deployment::network`] /
+//! request shape the `cologne-serve` wire protocol carries. Every
+//! simulation-surface method a deployment needs is an explicit named
+//! forwarder (`run_until`, `ship`, `delivery_stats`, ...), and anything more
+//! exotic goes through [`Deployment::network`] /
 //! [`Deployment::network_mut`] so the dependency is visible at the call
-//! site. The `Deref` impls will be removed in the release after next.
+//! site. (The historical `Deref<Target = DistributedCologne>` escape hatch
+//! and the `invoke_*_with_observer` spellings have been removed; see the
+//! README migration table.)
 
 use std::collections::BTreeMap;
-use std::ops::{Deref, DerefMut};
 use std::time::Duration;
 
-use cologne_colog::{ProgramParams, SolverBranching, SolverMode};
+use cologne_colog::{ProgramParams, SolverBoundMode, SolverBranching, SolverMode};
 use cologne_datalog::{NodeId, Tuple};
 use cologne_net::{NodeTraffic, SimTime, Topology};
-use cologne_solver::{SolveObserver, ValueChoice};
+use cologne_solver::ValueChoice;
 
 use crate::distributed::{CrashEvent, DeliveryStats, DistributedCologne, TimerOutcome};
 use crate::error::CologneError;
@@ -67,6 +67,11 @@ pub struct SolverSettings {
     /// return the same result as the sequential engines — see the solver's
     /// `parallel` module for the determinism contract.
     pub workers: Option<std::num::NonZeroUsize>,
+    /// Dual-bound engine for COP searches (`Off` = no bound, the default).
+    pub bound_mode: SolverBoundMode,
+    /// Relative optimality-gap threshold for early termination (`None` =
+    /// never stop on the gap). Must be finite and non-negative.
+    pub gap_limit: Option<f64>,
     /// Carry the previous best assignment into the next solve.
     pub warm_start: bool,
     /// Consult the engine's delta summary when grounding.
@@ -85,6 +90,8 @@ impl Default for SolverSettings {
             split_threshold: search.split_threshold,
             mode: params.solver_mode,
             workers: params.solver_workers,
+            bound_mode: params.solver_bound_mode,
+            gap_limit: params.solver_gap_limit,
             warm_start: params.warm_start,
             delta_grounding: params.delta_grounding,
         }
@@ -106,6 +113,8 @@ impl SolverSettings {
             split_threshold: search.split_threshold,
             mode: params.solver_mode.clone(),
             workers: params.solver_workers,
+            bound_mode: params.solver_bound_mode,
+            gap_limit: params.solver_gap_limit,
             warm_start: params.warm_start,
             delta_grounding: params.delta_grounding,
         }
@@ -142,6 +151,13 @@ impl SolverSettings {
                 ));
             }
         }
+        if let Some(gap) = self.gap_limit {
+            if !(gap.is_finite() && gap >= 0.0) {
+                return Err(CologneError::InvalidConfig(format!(
+                    "gap_limit must be finite and non-negative, got {gap}"
+                )));
+            }
+        }
         Ok(())
     }
 
@@ -152,6 +168,8 @@ impl SolverSettings {
         params.solver_branching = self.branching;
         params.solver_mode = self.mode.clone();
         params.solver_workers = self.workers;
+        params.solver_bound_mode = self.bound_mode;
+        params.solver_gap_limit = self.gap_limit;
         params.warm_start = self.warm_start;
         params.delta_grounding = self.delta_grounding;
     }
@@ -272,9 +290,7 @@ impl DeploymentBuilder {
 /// The full simulation surface is exposed through named forwarders
 /// ([`Deployment::run_until`], [`Deployment::ship`],
 /// [`Deployment::delivery_stats`], ...) and, for anything not forwarded,
-/// through [`Deployment::network`] / [`Deployment::network_mut`]. The
-/// `Deref<Target = DistributedCologne>` impls are a **deprecated** escape
-/// hatch kept for one release; see the README migration table.
+/// through [`Deployment::network`] / [`Deployment::network_mut`].
 pub struct Deployment {
     inner: DistributedCologne,
 }
@@ -284,25 +300,6 @@ impl std::fmt::Debug for Deployment {
         f.debug_struct("Deployment")
             .field("nodes", &self.inner.nodes())
             .finish_non_exhaustive()
-    }
-}
-
-/// **Deprecated escape hatch** — reach the network through the named
-/// forwarders or [`Deployment::network`] instead. `#[deprecated]` cannot be
-/// attached to a trait impl, so this deprecation is enforced by
-/// documentation and the README migration table; the impl will be removed
-/// in the release after next.
-impl Deref for Deployment {
-    type Target = DistributedCologne;
-    fn deref(&self) -> &DistributedCologne {
-        &self.inner
-    }
-}
-
-/// **Deprecated escape hatch** — see the [`Deref`] impl above.
-impl DerefMut for Deployment {
-    fn deref_mut(&mut self) -> &mut DistributedCologne {
-        &mut self.inner
     }
 }
 
@@ -527,40 +524,12 @@ impl Deployment {
         self.inner.invoke_solvers_parallel()
     }
 
-    /// Deprecated spelling of [`Deployment::solve`] with
-    /// [`SolveRequest::all`] plus event options and a raw observer.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use Deployment::solve(&SolveRequest::all().with_events(..)) or solve_streaming"
-    )]
-    pub fn invoke_with_observer(
-        &mut self,
-        observer: &mut dyn SolveObserver,
-    ) -> Result<BTreeMap<NodeId, SolveReport>, CologneError> {
-        self.inner.invoke_solvers_observed(observer)
-    }
-
     /// Invoke the solver of one node without shipping its outputs (the
     /// per-node equivalent of [`CologneInstance::invoke_solver`]; the
     /// returned report keeps its `outgoing` tuples for the caller to route)
     /// — shorthand for [`Deployment::solve`] with [`SolveRequest::at`].
     pub fn invoke_at(&mut self, node: NodeId) -> Result<SolveReport, CologneError> {
         self.instance_checked(node)?.invoke_solver()
-    }
-
-    /// Deprecated spelling of [`Deployment::solve`] with
-    /// [`SolveRequest::at`] plus event options.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use Deployment::solve(&SolveRequest::at(node).with_events(..)) or solve_streaming"
-    )]
-    pub fn invoke_at_with_observer(
-        &mut self,
-        node: NodeId,
-        observer: &mut dyn SolveObserver,
-    ) -> Result<SolveReport, CologneError> {
-        self.instance_checked(node)?
-            .invoke_solver_with_observer(observer)
     }
 
     /// Advance the simulated network until `limit`, delivering messages
@@ -584,13 +553,11 @@ impl Deployment {
 
     // ----- named simulation-surface forwarders ------------------------------
     //
-    // These shadow the deprecated `Deref<Target = DistributedCologne>`
-    // methods, so existing call sites keep compiling against an explicit
-    // inherent API instead of an invisible deref. Anything not forwarded
-    // here is reachable through `network()` / `network_mut()`.
+    // Explicit inherent forwarders onto the simulated network, so the
+    // dependency is visible at every call site. Anything not forwarded here
+    // is reachable through `network()` / `network_mut()`.
 
-    /// The underlying simulated network and instance map — the explicit
-    /// replacement for the deprecated `Deref` escape hatch.
+    /// The underlying simulated network and instance map.
     pub fn network(&self) -> &DistributedCologne {
         &self.inner
     }

@@ -902,7 +902,7 @@ mod tests {
             loss: 0.5,
             ..Default::default()
         }));
-        ship_ping(&mut d, 20);
+        ship_ping(d.network_mut(), 20);
         assert!(d.settle(SimTime::from_secs(60)), "must reach quiescence");
         assert_eq!(d.instance(NodeId(1)).unwrap().scan("ping").count(), 20);
         let stats = d.delivery_stats();
@@ -918,7 +918,7 @@ mod tests {
             duplicate: 1.0,
             ..Default::default()
         }));
-        ship_ping(&mut d, 10);
+        ship_ping(d.network_mut(), 10);
         assert!(d.settle(SimTime::from_secs(60)));
         assert_eq!(d.instance(NodeId(1)).unwrap().scan("ping").count(), 10);
         let stats = d.delivery_stats();
@@ -933,7 +933,7 @@ mod tests {
             jitter_us: 200_000,
             ..Default::default()
         }));
-        ship_ping(&mut d, 30);
+        ship_ping(d.network_mut(), 30);
         assert!(d.settle(SimTime::from_secs(60)));
         assert_eq!(d.instance(NodeId(1)).unwrap().scan("ping").count(), 30);
         assert!(
@@ -950,7 +950,7 @@ mod tests {
             SimTime::ZERO,
             SimTime::from_secs(2),
         ));
-        ship_ping(&mut d, 5);
+        ship_ping(d.network_mut(), 5);
         // cannot settle inside the partition window
         assert!(!d.settle(SimTime::from_secs(1)));
         assert_eq!(d.instance(NodeId(1)).unwrap().scan("ping").count(), 0);
@@ -967,7 +967,7 @@ mod tests {
             SimTime::from_secs(5),
             SimTime::from_secs(10),
         ));
-        ship_ping(&mut d, 4);
+        ship_ping(d.network_mut(), 4);
         assert!(d.settle(SimTime::from_secs(3)));
         assert_eq!(d.instance(NodeId(1)).unwrap().scan("ping").count(), 4);
 
@@ -1049,7 +1049,7 @@ mod tests {
                     })
                     .crash(1, SimTime::from_secs(2), SimTime::from_secs(4)),
             );
-            ship_ping(&mut d, 25);
+            ship_ping(d.network_mut(), 25);
             let settled = d.settle(SimTime::from_secs(120));
             (
                 settled,

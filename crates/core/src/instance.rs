@@ -17,7 +17,7 @@ use cologne_colog::{
     SchemaCatalog,
 };
 use cologne_datalog::{Engine, NodeId, RemoteTuple, Tuple};
-use cologne_solver::{SearchStats, SolveObserver};
+use cologne_solver::{BoundCertificate, SearchStats, SolveObserver};
 
 use crate::deploy::SolverSettings;
 use crate::error::CologneError;
@@ -41,6 +41,11 @@ pub struct SolveReport {
     pub proven_optimal: bool,
     /// Search statistics for this invocation.
     pub stats: SearchStats,
+    /// Certified dual bound computed at the frozen root of this invocation's
+    /// search, naming the engine and the binding constraints. `None` when
+    /// the bound mode is off (the default), the goal is `satisfy`, or no
+    /// engine produced a bound.
+    pub certificate: Option<BoundCertificate>,
     /// Materialized solver tables (symbolic attributes resolved to integers).
     pub assignments: BTreeMap<String, Vec<Tuple>>,
     /// Tuples addressed to other nodes produced while re-running the regular
@@ -56,6 +61,7 @@ impl SolveReport {
             objective: None,
             proven_optimal: true,
             stats: SearchStats::default(),
+            certificate: None,
             assignments: BTreeMap::new(),
             outgoing: Vec::new(),
         }
@@ -505,6 +511,7 @@ impl CologneInstance {
                 objective: None,
                 proven_optimal: outcome.complete,
                 stats: outcome.stats,
+                certificate: outcome.certificate,
                 assignments: BTreeMap::new(),
                 outgoing: Vec::new(),
             };
@@ -542,6 +549,7 @@ impl CologneInstance {
             objective,
             proven_optimal: outcome.complete,
             stats: outcome.stats,
+            certificate: outcome.certificate,
             assignments,
             outgoing,
         };

@@ -102,10 +102,11 @@ pub use stats::{NodeStats, StatsSnapshot};
 // Re-export the compiler-facing types users need to drive the runtime.
 pub use cologne_colog::{
     GoalKind, LnsParams, Program, ProgramParams, RelationSchema, RuleClass, SchemaCatalog,
-    SolverBranching, SolverMode, VarDomain,
+    SolverBoundMode, SolverBranching, SolverMode, VarDomain,
 };
-// Re-export the observer surface so streaming consumers need only `cologne`.
-pub use cologne_solver::{EventLog, SolveEvent, SolveObserver};
+// Re-export the observer surface so streaming consumers need only `cologne`,
+// plus the bound-certificate types `SolveReport` embeds.
+pub use cologne_solver::{BoundCertificate, EventLog, SolveEvent, SolveObserver};
 
 /// Re-export of the Datalog substrate (values, tuples, engine).
 pub mod datalog {

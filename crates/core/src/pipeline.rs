@@ -57,12 +57,13 @@
 use std::collections::BTreeMap;
 
 use cologne_colog::{
-    Analysis, GoalKind, Program, ProgramParams, SolverBranching, SolverMode as ParamsSolverMode,
+    Analysis, GoalKind, Program, ProgramParams, SolverBoundMode, SolverBranching,
+    SolverMode as ParamsSolverMode,
 };
 use cologne_datalog::{DeltaSummary, Engine, Value};
 use cologne_solver::{
-    complete_hints, Branching, DestroyStrategy, LnsConfig, Objective, SearchConfig, SearchOutcome,
-    SolveObserver, SolverMode, VarId,
+    complete_hints, BoundMode, Branching, DestroyStrategy, LnsConfig, Objective, SearchConfig,
+    SearchOutcome, SolveObserver, SolverMode, VarId,
 };
 
 use crate::error::CologneError;
@@ -129,6 +130,16 @@ fn branching_of(params: &ProgramParams) -> Branching {
         SolverBranching::InputOrder => Branching::InputOrder,
         SolverBranching::FirstFail => Branching::SmallestDomain,
         SolverBranching::LargestDomain => Branching::LargestDomain,
+    }
+}
+
+/// Map the compiler-facing dual-bound knob onto the solver's bound mode.
+fn bound_mode_of(params: &ProgramParams) -> BoundMode {
+    match params.solver_bound_mode {
+        SolverBoundMode::Off => BoundMode::Off,
+        SolverBoundMode::Linear => BoundMode::Linear,
+        SolverBoundMode::Relaxed => BoundMode::Relaxed,
+        SolverBoundMode::Auto => BoundMode::Auto,
     }
 }
 
@@ -230,9 +241,9 @@ impl SolvePipeline {
     }
 
     /// The search configuration used by [`SolvePipeline::solve`]. Its
-    /// time/node limits and worker count are overridden from the live
-    /// [`ProgramParams`] at each solve; the heuristics (branching, value
-    /// choice, split threshold) are authoritative here.
+    /// time/node limits, worker count and dual-bound knobs are overridden
+    /// from the live [`ProgramParams`] at each solve; the heuristics
+    /// (branching, value choice, split threshold) are authoritative here.
     pub fn search_config(&self) -> &SearchConfig {
         &self.search
     }
@@ -346,6 +357,8 @@ impl SolvePipeline {
         config.time_limit = params.solver_max_time;
         config.node_limit = params.solver_node_limit;
         config.workers = params.solver_workers;
+        config.bound_mode = bound_mode_of(params);
+        config.gap_limit = params.solver_gap_limit;
         if params.warm_start {
             if let Some(objective) = cop_objective(cop) {
                 let hints = self.warm_hints(cop);

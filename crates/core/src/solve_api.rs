@@ -300,6 +300,8 @@ impl SolveObserver for SinkObserver<'_> {
             nodes: stats.nodes,
             fails: stats.fails,
             solutions: stats.solutions,
+            dual_bound: stats.dual_bound,
+            gap: stats.gap,
         });
         self.flow()
     }
@@ -373,6 +375,7 @@ mod tests {
             objective: Some(7),
             proven_optimal: true,
             stats: Default::default(),
+            certificate: None,
             assignments: BTreeMap::new(),
             outgoing: Vec::new(),
         };

@@ -51,6 +51,11 @@ fn main() -> Result<(), ClientError> {
         "solved: feasible={} objective={:?} proven_optimal={}",
         report.feasible, report.objective, report.proven_optimal
     );
+    // The demo server solves with a bound mode on: the certified gap and
+    // its certificate round-trip through the wire protocol.
+    if let Some(cert) = &report.certificate {
+        println!("certified: gap={:?} [{cert}]", report.stats.gap);
+    }
 
     let stats = client.stats()?;
     println!("{stats}");

@@ -56,6 +56,10 @@ pub const ACLOUD_DEMO: &str = r#"
 /// it needs — the one-liner used by the binary, example and benches.
 pub fn demo_config() -> ServerConfig {
     let mut cfg = ServerConfig::new(ACLOUD_DEMO);
-    cfg.params = cologne::ProgramParams::new().with_var_domain("assign", cologne::VarDomain::BOOL);
+    // Bounds on: demo reports carry a certified optimality gap over the
+    // wire (no gap limit, so search behavior is unchanged).
+    cfg.params = cologne::ProgramParams::new()
+        .with_var_domain("assign", cologne::VarDomain::BOOL)
+        .with_solver_bound_mode(cologne::SolverBoundMode::Auto);
     cfg
 }

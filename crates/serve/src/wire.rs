@@ -25,12 +25,16 @@ use cologne::datalog::serde::{decode_tuple, encode_tuple, DecodeError};
 use cologne::datalog::{EngineStats, NodeId, RemoteTuple, Tuple};
 use cologne::solver::SearchStats;
 use cologne::{
-    CologneError, DeliveryStats, EventOptions, NodeStats, PipelineStats, SolveEvent, SolveReport,
-    SolveRequest, SolveResponse, SolveTarget, StatsSnapshot,
+    BoundCertificate, CologneError, DeliveryStats, EventOptions, NodeStats, PipelineStats,
+    SolveEvent, SolveReport, SolveRequest, SolveResponse, SolveTarget, StatsSnapshot,
 };
 
 /// Protocol version carried in every payload's first byte.
-pub const PROTOCOL_VERSION: u8 = 1;
+///
+/// Version 2 added the dual-bound fields: `dual_bound`/`gap` on search
+/// stats and `Progress` events, and the optional `BoundCertificate` on
+/// solve reports.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Default cap on a frame's payload length (16 MiB).
 pub const DEFAULT_MAX_FRAME: u32 = 16 * 1024 * 1024;
@@ -437,6 +441,17 @@ impl<'a> Dec<'a> {
         }
     }
 
+    fn opt_f64(&mut self) -> Result<Option<f64>, WireError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(f64::from_bits(self.u64()?))),
+            tag => Err(WireError::BadTag {
+                what: "option",
+                tag,
+            }),
+        }
+    }
+
     fn str_(&mut self) -> Result<String, WireError> {
         let len = self.u32()? as usize;
         let raw = self.bytes(len)?;
@@ -482,6 +497,32 @@ fn put_opt_i64(out: &mut Vec<u8>, v: Option<i64>) {
     }
 }
 
+/// Floats travel as their IEEE-754 bit pattern so the round trip is exact.
+fn put_opt_f64(out: &mut Vec<u8>, v: Option<f64>) {
+    match v {
+        None => out.push(0),
+        Some(v) => {
+            out.push(1);
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+}
+
+fn put_certificate(out: &mut Vec<u8>, cert: &Option<BoundCertificate>) {
+    match cert {
+        None => out.push(0),
+        Some(cert) => {
+            out.push(1);
+            put_str(out, &cert.engine);
+            out.extend_from_slice(&cert.dual_bound.to_le_bytes());
+            put_u32(out, cert.binding.len() as u32);
+            for name in &cert.binding {
+                put_str(out, name);
+            }
+        }
+    }
+}
+
 fn put_event(out: &mut Vec<u8>, event: &SolveEvent) {
     match event {
         SolveEvent::Incumbent { objective } => {
@@ -515,11 +556,15 @@ fn put_event(out: &mut Vec<u8>, event: &SolveEvent) {
             nodes,
             fails,
             solutions,
+            dual_bound,
+            gap,
         } => {
             out.push(4);
             put_u64(out, *nodes);
             put_u64(out, *fails);
             put_u64(out, *solutions);
+            put_opt_i64(out, *dual_bound);
+            put_opt_f64(out, *gap);
         }
     }
 }
@@ -546,6 +591,8 @@ fn dec_event(d: &mut Dec) -> Result<SolveEvent, WireError> {
             nodes: d.u64()?,
             fails: d.u64()?,
             solutions: d.u64()?,
+            dual_bound: d.opt_i64()?,
+            gap: d.opt_f64()?,
         },
         tag => return Err(WireError::BadTag { what: "event", tag }),
     })
@@ -567,6 +614,8 @@ fn put_search_stats(out: &mut Vec<u8>, s: &SearchStats) {
     put_u64(out, s.parallel_workers);
     put_u64(out, s.subtrees);
     put_u64(out, s.portfolio_rounds);
+    put_opt_i64(out, s.dual_bound);
+    put_opt_f64(out, s.gap);
 }
 
 fn dec_search_stats(d: &mut Dec) -> Result<SearchStats, WireError> {
@@ -586,7 +635,32 @@ fn dec_search_stats(d: &mut Dec) -> Result<SearchStats, WireError> {
         parallel_workers: d.u64()?,
         subtrees: d.u64()?,
         portfolio_rounds: d.u64()?,
+        dual_bound: d.opt_i64()?,
+        gap: d.opt_f64()?,
     })
+}
+
+fn dec_certificate(d: &mut Dec) -> Result<Option<BoundCertificate>, WireError> {
+    match d.u8()? {
+        0 => Ok(None),
+        1 => {
+            let engine = d.str_()?;
+            let dual_bound = d.i64()?;
+            let mut binding = Vec::new();
+            for _ in 0..d.count()? {
+                binding.push(d.str_()?);
+            }
+            Ok(Some(BoundCertificate {
+                engine,
+                dual_bound,
+                binding,
+            }))
+        }
+        tag => Err(WireError::BadTag {
+            what: "option",
+            tag,
+        }),
+    }
 }
 
 fn put_report(out: &mut Vec<u8>, r: &SolveReport) {
@@ -595,6 +669,7 @@ fn put_report(out: &mut Vec<u8>, r: &SolveReport) {
     put_opt_i64(out, r.objective);
     put_bool(out, r.proven_optimal);
     put_search_stats(out, &r.stats);
+    put_certificate(out, &r.certificate);
     put_u32(out, r.assignments.len() as u32);
     for (name, rows) in &r.assignments {
         put_str(out, name);
@@ -618,6 +693,7 @@ fn dec_report(d: &mut Dec) -> Result<SolveReport, WireError> {
     let objective = d.opt_i64()?;
     let proven_optimal = d.bool()?;
     let stats = dec_search_stats(d)?;
+    let certificate = dec_certificate(d)?;
     let mut assignments = BTreeMap::new();
     for _ in 0..d.count()? {
         let name = d.str_()?;
@@ -642,6 +718,7 @@ fn dec_report(d: &mut Dec) -> Result<SolveReport, WireError> {
         objective,
         proven_optimal,
         stats,
+        certificate,
         assignments,
         outgoing,
     })
@@ -1046,6 +1123,8 @@ mod tests {
             nodes: 42,
             elapsed_micros: 7,
             limit_reached: true,
+            dual_bound: Some(-5),
+            gap: Some(0.125),
             ..Default::default()
         };
         let mut assignments = BTreeMap::new();
@@ -1059,6 +1138,11 @@ mod tests {
             objective: Some(-3),
             proven_optimal: false,
             stats,
+            certificate: Some(BoundCertificate {
+                engine: "linear_relaxation".into(),
+                dual_bound: -5,
+                binding: vec!["LinearEq#0 (objective)".into(), "LinearEq#2".into()],
+            }),
             assignments,
             outgoing: vec![RemoteTuple {
                 dest: NodeId(2),
@@ -1151,6 +1235,26 @@ mod tests {
                     iteration: 3,
                     improved: true,
                     best_objective: None,
+                },
+            },
+            ServerMsg::Event {
+                node: NodeId(2),
+                event: SolveEvent::Progress {
+                    nodes: 64,
+                    fails: 8,
+                    solutions: 1,
+                    dual_bound: Some(17),
+                    gap: Some(0.0625),
+                },
+            },
+            ServerMsg::Event {
+                node: NodeId(2),
+                event: SolveEvent::Progress {
+                    nodes: 1,
+                    fails: 0,
+                    solutions: 0,
+                    dual_bound: None,
+                    gap: None,
                 },
             },
             ServerMsg::SolveOk {

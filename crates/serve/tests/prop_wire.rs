@@ -121,7 +121,13 @@ proptest! {
                 best_objective: (a % 3 == 0).then_some(a),
             },
             3 => SolveEvent::NodeBudget { nodes: b, fails: b / 3 },
-            _ => SolveEvent::Progress { nodes: b, fails: b / 2, solutions: b % 17 },
+            _ => SolveEvent::Progress {
+                nodes: b,
+                fails: b / 2,
+                solutions: b % 17,
+                dual_bound: (a % 2 == 0).then_some(a),
+                gap: (a % 3 == 0).then_some(a.unsigned_abs() as f64 / 100_000.0),
+            },
         };
         let msg = ServerMsg::Event { node: NodeId(node), event };
         let decoded = decode_server(&encode_server(&msg));

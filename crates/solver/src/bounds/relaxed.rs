@@ -1,0 +1,241 @@
+//! The ddo-style relaxed-merge engine.
+//!
+//! Expands a small breadth-first decision diagram from the propagated root
+//! using the search's own branching heuristic. Each child is propagated;
+//! infeasible children are dropped (they contain no solutions), and when a
+//! layer grows wider than the width cap the worst nodes are *merged* into a
+//! single interval-hull node — a superset of their union, hence a
+//! relaxation. After the level cap the best objective bound over the
+//! surviving nodes (plus any exact leaves met on the way) is a sound dual
+//! bound: the layers at every step cover all solutions of the root.
+
+use super::{BoundResult, DualBound};
+use crate::domain::Domain;
+use crate::model::Model;
+use crate::search::{self, Objective, SearchConfig};
+use crate::stats::SearchStats;
+use crate::store::{PropQueue, Store};
+
+/// Relaxed decision-diagram bound over the top decision levels (see the
+/// module docs). The defaults keep the diagram deliberately tiny — the
+/// bound must stay cheap next to the search it informs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RelaxedMerge {
+    /// Maximum nodes kept per layer; wider layers merge their worst nodes.
+    pub max_width: usize,
+    /// Number of decision levels to expand before reading off the bound.
+    pub max_levels: usize,
+}
+
+impl Default for RelaxedMerge {
+    fn default() -> Self {
+        RelaxedMerge {
+            max_width: 16,
+            max_levels: 8,
+        }
+    }
+}
+
+impl DualBound for RelaxedMerge {
+    fn name(&self) -> &'static str {
+        "relaxed_merge"
+    }
+
+    fn compute(
+        &self,
+        model: &Model,
+        objective: Objective,
+        config: &SearchConfig,
+        domains: &[Domain],
+    ) -> Option<BoundResult> {
+        let z = match objective {
+            Objective::Minimize(v) | Objective::Maximize(v) => v,
+            Objective::Satisfy => return None,
+        };
+        if self.max_width == 0 || self.max_levels == 0 {
+            return None;
+        }
+        let minimize = matches!(objective, Objective::Minimize(_));
+        let obj_of = |node: &[Domain]| {
+            if minimize {
+                node[z.index()].min()
+            } else {
+                node[z.index()].max()
+            }
+        };
+
+        let mut queue = PropQueue::new();
+        let mut scratch = SearchStats::default();
+        let mut layer: Vec<Vec<Domain>> = vec![domains.to_vec()];
+        // Bounds of nodes with every variable fixed: exact by construction.
+        let mut leaf_bounds: Vec<i64> = Vec::new();
+        let mut merged_nodes = 0usize;
+        let mut levels = 0usize;
+
+        for _ in 0..self.max_levels {
+            if layer.is_empty() {
+                break;
+            }
+            levels += 1;
+            let mut next: Vec<Vec<Domain>> = Vec::new();
+            for node in &layer {
+                // The same branching the search would take, so the diagram
+                // relaxes the actual tree rather than an arbitrary one.
+                let Some((var_idx, ops)) = search::node_branches(config, node) else {
+                    leaf_bounds.push(obj_of(node));
+                    continue;
+                };
+                for op in ops {
+                    let mut store = Store::from_domains(node.clone());
+                    if search::apply_branch(&mut store, var_idx, op).is_err() {
+                        continue;
+                    }
+                    // Full (unseeded) propagation: merged parents are not at
+                    // fixpoint, so watcher seeding could miss tightenings.
+                    if model
+                        .propagate_in(&mut store, &mut queue, &mut scratch, None)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    next.push(store.into_domains());
+                }
+            }
+            if next.len() > self.max_width {
+                // Deterministic merge: stable-sort by bound (best first,
+                // ties keep expansion order), keep the best nodes exact and
+                // hull the rest into one relaxed node.
+                if minimize {
+                    next.sort_by_key(|n| obj_of(n));
+                } else {
+                    next.sort_by_key(|n| std::cmp::Reverse(obj_of(n)));
+                }
+                let tail = next.split_off(self.max_width - 1);
+                merged_nodes += tail.len();
+                next.push(hull(&tail));
+            }
+            layer = next;
+        }
+
+        leaf_bounds.extend(layer.iter().map(|n| obj_of(n)));
+        // No surviving node and no leaf: the whole root is infeasible; the
+        // search will discover that itself — claim nothing here.
+        let bound = if minimize {
+            leaf_bounds.iter().copied().min()
+        } else {
+            leaf_bounds.iter().copied().max()
+        }?;
+        Some(BoundResult {
+            bound,
+            binding: vec![format!(
+                "relaxed diagram: {levels} levels, width {}, {merged_nodes} merged nodes",
+                self.max_width
+            )],
+        })
+    }
+}
+
+/// Interval hull of a set of nodes: per variable, the enclosing interval.
+/// A superset of the nodes' union (holes are deliberately forgotten), which
+/// is exactly what makes the merge a relaxation.
+fn hull(nodes: &[Vec<Domain>]) -> Vec<Domain> {
+    let mut merged = nodes[0].clone();
+    for node in &nodes[1..] {
+        for (m, d) in merged.iter_mut().zip(node) {
+            *m = Domain::new(m.min().min(d.min()), m.max().max(d.max()));
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::BoundMode;
+    use crate::model::Model;
+    use crate::search::SearchConfig;
+
+    fn cfg() -> SearchConfig {
+        SearchConfig {
+            bound_mode: BoundMode::Relaxed,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn tiny_model_is_solved_exactly_by_the_diagram() {
+        // Four bools + objective fit entirely inside the default diagram,
+        // so the relaxed bound equals the true optimum.
+        let mut m = Model::new();
+        let a = m.new_bool();
+        let b = m.new_bool();
+        m.linear_eq(&[(1, a), (1, b)], 1);
+        let z = m.linear_var(&[(6, a), (4, b)], 0);
+        let optimum = m
+            .minimize(z, &SearchConfig::default())
+            .best_objective
+            .unwrap();
+        let cert = crate::bounds::compute_at_root(&m, Objective::Minimize(z), &cfg()).unwrap();
+        assert_eq!(cert.dual_bound, optimum);
+        assert!(cert.binding[0].contains("relaxed diagram"));
+    }
+
+    #[test]
+    fn width_one_still_sound_via_hull_merge() {
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..6).map(|_| m.new_var(0, 3)).collect();
+        let terms: Vec<_> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i as i64 + 1, v))
+            .collect();
+        m.linear_le(&terms, 14);
+        let z = m.linear_var(&terms, 0);
+        let optimum = m
+            .maximize(z, &SearchConfig::default())
+            .best_objective
+            .unwrap();
+        let engine = RelaxedMerge {
+            max_width: 1,
+            max_levels: 3,
+        };
+        let bound = engine
+            .compute(&m, Objective::Maximize(z), &cfg(), m.domains())
+            .unwrap()
+            .bound;
+        assert!(
+            bound >= optimum,
+            "hull-merged bound {bound} below optimum {optimum}"
+        );
+    }
+
+    #[test]
+    fn zero_budget_engine_declines() {
+        let mut m = Model::new();
+        let z = m.new_var(0, 5);
+        let engine = RelaxedMerge {
+            max_width: 0,
+            max_levels: 0,
+        };
+        assert!(engine
+            .compute(&m, Objective::Minimize(z), &cfg(), m.domains())
+            .is_none());
+    }
+
+    #[test]
+    fn infeasible_root_children_yield_no_bound() {
+        // x + y == 10 over two 0..2 domains: the root itself is infeasible,
+        // so every child dies in propagation and the engine claims nothing.
+        let mut m = Model::new();
+        let x = m.new_var(0, 2);
+        let y = m.new_var(0, 2);
+        m.linear_eq(&[(1, x), (1, y)], 10);
+        let z = m.linear_var(&[(1, x), (1, y)], 0);
+        // Hand the *unpropagated* root straight to the engine (compute_at_root
+        // would already fail in propagation).
+        let engine = RelaxedMerge::default();
+        assert!(engine
+            .compute(&m, Objective::Minimize(z), &cfg(), m.domains())
+            .is_none());
+    }
+}

@@ -32,6 +32,7 @@
 //! assert_eq!(best.value(obj), 5);
 //! ```
 
+pub mod bounds;
 pub mod domain;
 pub mod expr;
 pub mod lns;
@@ -45,12 +46,16 @@ pub mod search;
 pub mod stats;
 pub mod store;
 
+pub use bounds::{
+    compute_root_bound, optimality_gap, BoundCertificate, BoundMode, DualBound, LinearRelaxation,
+    RelaxedMerge,
+};
 pub use domain::Domain;
 pub use expr::LinExpr;
 pub use lns::{DestroyStrategy, LnsConfig, SolverMode};
 pub use model::{Model, VarId};
 pub use observe::{EventLog, SolveEvent, SolveObserver, PROGRESS_NODE_INTERVAL};
-pub use propagator::{PropStatus, Propagator, PropagatorContext};
+pub use propagator::{LinearView, PropStatus, Propagator, PropagatorContext};
 pub use restart::GeometricRestarts;
 pub use search::{
     complete_hints, solve_in_observed, solve_reference, Assignment, Branching, Objective,

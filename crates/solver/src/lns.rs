@@ -66,6 +66,7 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::bounds::{self, BoundCertificate, BoundMode};
 use crate::model::{Model, VarId};
 use crate::observe::{notify, SolveObserver};
 use crate::restart::GeometricRestarts;
@@ -179,7 +180,8 @@ pub(crate) fn solve_lns(
                   best: Option<Assignment>,
                   best_objective: Option<i64>,
                   solutions: Vec<Assignment>,
-                  complete: bool| {
+                  complete: bool,
+                  certificate: Option<BoundCertificate>| {
         stats.elapsed_micros = start.elapsed().as_micros() as u64;
         stats.limit_reached = !complete;
         SearchOutcome {
@@ -188,6 +190,7 @@ pub(crate) fn solve_lns(
             solutions,
             stats,
             complete,
+            certificate,
         }
     };
 
@@ -196,6 +199,10 @@ pub(crate) fn solve_lns(
             || remaining(config.node_limit, stats.nodes) == Some(0)
             || remaining(config.fail_limit, stats.fails) == Some(0)
     };
+    // Gap-driven termination, checked at iteration boundaries — the same
+    // deterministic points as the budget checks above. Strict comparison:
+    // `gap_limit = Some(0.0)` never stops the driver early.
+    let gap_hit = |stats: &SearchStats| matches!((config.gap_limit, stats.gap), (Some(limit), Some(gap)) if gap < limit);
     // `max_solutions` keeps its exact-mode meaning for optimization — stop
     // improving after this many incumbents — counted across the dive and
     // every repair.
@@ -250,20 +257,44 @@ pub(crate) fn solve_lns(
             }
             if dive.complete {
                 // The dive already proved optimality (or infeasibility).
-                return finish(stats, dive.best, dive.best_objective, solutions, true);
+                return finish(
+                    stats,
+                    dive.best,
+                    dive.best_objective,
+                    solutions,
+                    true,
+                    dive.certificate,
+                );
             }
             if stats.cancelled {
-                return finish(stats, dive.best, dive.best_objective, solutions, false);
+                return finish(
+                    stats,
+                    dive.best,
+                    dive.best_objective,
+                    solutions,
+                    false,
+                    dive.certificate,
+                );
             }
             if let (Some(assignment), Some(value)) = (dive.best, dive.best_objective) {
+                // The dive itself may have gap-terminated (it inherits
+                // `gap_limit`/`bound_mode`); the loop below re-checks at its
+                // first iteration boundary and stops immediately.
                 if solution_cap_hit(&solutions) {
-                    return finish(stats, Some(assignment), Some(value), solutions, false);
+                    return finish(
+                        stats,
+                        Some(assignment),
+                        Some(value),
+                        solutions,
+                        false,
+                        dive.certificate,
+                    );
                 }
                 break (assignment, value);
             }
             if out_of_time(&stats) {
                 // Budget exhausted before any incumbent appeared.
-                return finish(stats, None, None, solutions, false);
+                return finish(stats, None, None, solutions, false, dive.certificate);
             }
             dive_budgets.grow();
             restarts += 1;
@@ -271,7 +302,7 @@ pub(crate) fn solve_lns(
                 o.on_restart(restarts, dive_budgets.budget())
             }) {
                 stats.cancelled = true;
-                return finish(stats, None, None, solutions, false);
+                return finish(stats, None, None, solutions, false, dive.certificate);
             }
         }
     };
@@ -286,7 +317,17 @@ pub(crate) fn solve_lns(
     {
         // Unreachable in practice (the dive found a solution through this
         // very fixpoint), but degrade gracefully: keep the incumbent.
-        return finish(stats, Some(incumbent), Some(best), solutions, false);
+        return finish(stats, Some(incumbent), Some(best), solutions, false, None);
+    }
+
+    // The dual bound of this LNS run, computed against the frozen-root
+    // fixpoint every iteration searches below. Overwrites whatever a dive
+    // recorded (same root, same engines — same bound) and refreshes the gap
+    // against the current incumbent on every improvement below.
+    let certificate = bounds::compute_root_bound(model, objective, config, space.store.domains());
+    if let Some(cert) = &certificate {
+        stats.dual_bound = Some(cert.dual_bound);
+        stats.gap = Some(bounds::optimality_gap(objective, best, cert.dual_bound));
     }
 
     // The neighborhood pool: marked decision variables, or every variable
@@ -305,7 +346,14 @@ pub(crate) fn solve_lns(
             .collect()
     };
     if candidates.is_empty() {
-        return finish(stats, Some(incumbent), Some(best), solutions, false);
+        return finish(
+            stats,
+            Some(incumbent),
+            Some(best),
+            solutions,
+            false,
+            certificate,
+        );
     }
 
     let mut rng = StdRng::seed_from_u64(lns.seed);
@@ -324,6 +372,7 @@ pub(crate) fn solve_lns(
 
     loop {
         if out_of_time(&stats)
+            || gap_hit(&stats)
             || solution_cap_hit(&solutions)
             || lns
                 .max_iterations
@@ -430,6 +479,12 @@ pub(crate) fn solve_lns(
             max_solutions: remaining_solutions(&solutions),
             warm_start: None,
             workers: None,
+            // Repairs search a frozen subproblem: a bound computed there
+            // would certify the neighborhood, not the COP. The driver owns
+            // the root certificate; repairs carry `None` and the stats merge
+            // keeps the driver's values.
+            gap_limit: None,
+            bound_mode: BoundMode::Off,
         };
         let repair = search::resolve_subtree(
             model,
@@ -454,6 +509,9 @@ pub(crate) fn solve_lns(
             solutions.extend(repair.solutions);
             incumbent = assignment;
             best = value;
+            if let Some(dual) = stats.dual_bound {
+                stats.gap = Some(bounds::optimality_gap(objective, best, dual));
+            }
             destroy_count = base_destroy;
             repair_budgets.reset();
             true
@@ -481,6 +539,14 @@ pub(crate) fn solve_lns(
             stats.cancelled = true;
             break;
         }
+        // Driver-level heartbeat: repairs run bounds-stripped (the root
+        // certificate is the driver's), so the live gap is only visible on
+        // the driver's own stats. Emitted only when a bound exists — with
+        // `BoundMode::Off` the observer stream is byte-identical to before.
+        if stats.dual_bound.is_some() && notify(&mut *observer, |o| o.on_progress(&stats)) {
+            stats.cancelled = true;
+            break;
+        }
         if stats.cancelled {
             // An observer cancelled inside the repair search: stop the
             // driver, keeping the incumbent.
@@ -488,7 +554,14 @@ pub(crate) fn solve_lns(
         }
     }
 
-    finish(stats, Some(incumbent), Some(best), solutions, complete)
+    finish(
+        stats,
+        Some(incumbent),
+        Some(best),
+        solutions,
+        complete,
+        certificate,
+    )
 }
 
 #[cfg(test)]

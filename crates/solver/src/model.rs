@@ -73,6 +73,13 @@ pub struct Model {
     /// the neighborhood pool of the LNS mode. Empty means "no marking" —
     /// LNS then treats every root-unfixed variable as a decision variable.
     decisions: Vec<VarId>,
+    /// Mathematically proven objective floors interval propagation cannot
+    /// derive (var index → lower bound). Recorded by composite constructors
+    /// — today [`Model::scaled_variance_var`], whose `n·Σx² − (Σx)²` is
+    /// nonnegative by Cauchy–Schwarz while its interval bound goes deeply
+    /// negative — and consulted by the dual-bound engines to clamp
+    /// relaxation bounds (see [`crate::bounds`]).
+    semantic_floors: std::collections::BTreeMap<usize, i64>,
 }
 
 impl Default for Model {
@@ -90,6 +97,7 @@ impl Model {
             propagators: Vec::new(),
             subscriptions: Vec::new(),
             decisions: Vec::new(),
+            semantic_floors: std::collections::BTreeMap::new(),
         }
     }
 
@@ -181,7 +189,10 @@ impl Model {
         &self.domains[v.index()]
     }
 
-    pub(crate) fn domains(&self) -> &[Domain] {
+    /// Root domains of every variable, indexed by [`VarId`]. This is the
+    /// domain slice external [`crate::bounds::DualBound`] callers hand to an
+    /// engine when they have not propagated a tighter root themselves.
+    pub fn domains(&self) -> &[Domain] {
         &self.domains
     }
 
@@ -355,7 +366,18 @@ impl Model {
         let sum_sq = self.square_var(sum);
         let mut terms: Vec<(i64, VarId)> = squares.into_iter().map(|v| (n, v)).collect();
         terms.push((-1, sum_sq));
-        self.linear_var(&terms, 0)
+        let z = self.linear_var(&terms, 0);
+        // n·Σx² ≥ (Σx)² by Cauchy–Schwarz: the scaled variance is
+        // nonnegative even though its interval bound is deeply negative.
+        self.semantic_floors.insert(z.index(), 0);
+        z
+    }
+
+    /// A proven lower bound on a composite variable that interval
+    /// propagation cannot derive (see the `semantic_floors` field), used by
+    /// the [`crate::bounds`] engines to clamp relaxation bounds.
+    pub fn semantic_floor(&self, v: VarId) -> Option<i64> {
+        self.semantic_floors.get(&v.index()).copied()
     }
 
     // ----- propagation -----------------------------------------------------

@@ -96,7 +96,10 @@ pub(crate) fn notify(
 
 /// One recorded solve event (the [`EventLog`] materialization of the
 /// [`SolveObserver`] hooks).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Not `Eq`: [`SolveEvent::Progress`] carries the live optimality gap as an
+/// `f64` (never `NaN`, so `PartialEq` behaves totally in practice).
+#[derive(Debug, Clone, PartialEq)]
 pub enum SolveEvent {
     /// A new best solution; see [`SolveObserver::on_incumbent`].
     Incumbent {
@@ -135,6 +138,11 @@ pub enum SolveEvent {
         fails: u64,
         /// Solutions recorded so far.
         solutions: u64,
+        /// Certified dual bound, when [`crate::SearchConfig::bound_mode`]
+        /// enabled one (see [`SearchStats::dual_bound`]).
+        dual_bound: Option<i64>,
+        /// Live optimality gap (see [`SearchStats::gap`]).
+        gap: Option<f64>,
     },
 }
 
@@ -245,6 +253,8 @@ impl SolveObserver for EventLog {
             nodes: stats.nodes,
             fails: stats.fails,
             solutions: stats.solutions,
+            dual_bound: stats.dual_bound,
+            gap: stats.gap,
         });
         ControlFlow::Continue(())
     }

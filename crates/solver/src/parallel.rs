@@ -88,6 +88,7 @@ use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering}
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
+use crate::bounds::{self, BoundMode};
 use crate::domain::Domain;
 use crate::lns::LnsConfig;
 use crate::model::Model;
@@ -500,6 +501,7 @@ fn run_position(
         solutions: Vec::new(),
         stats,
         complete,
+        certificate: None,
     };
     let mut pre = SearchStats::default();
     if link.cancelled() || link.node_budget_exhausted() {
@@ -541,6 +543,10 @@ fn run_position(
             _ => None,
         },
         time_limit: config.time_limit.map(|t| t.saturating_sub(start.elapsed())),
+        // The coordinator owns the certificate and all gap checks (at cell
+        // commits, where the global incumbent lives); workers run bound-free.
+        gap_limit: None,
+        bound_mode: BoundMode::Off,
         ..config.clone()
     };
     let mut outcome = resolve_subtree_linked(model, objective, &worker_cfg, space, entry, &link);
@@ -642,6 +648,10 @@ pub(crate) fn solve_exact_parallel(
         .and_then(|(_, value)| warm_bound_seed(objective, *value));
     let sense = Sense::of(objective);
     let target = (workers * CELLS_PER_WORKER).min(MAX_CELLS);
+    // One certificate for the whole parallel search, computed on the
+    // coordinator against the propagated root in a scratch store so the
+    // merged propagation counters stay comparable to the sequential run.
+    let certificate = bounds::compute_at_root(model, objective, config);
 
     let (items, mut stats) =
         match enumerate_spine(model, objective, config, warm_seed, space, target) {
@@ -652,12 +662,17 @@ pub(crate) fn solve_exact_parallel(
                     Some((a, v)) => (Some(a), Some(v)),
                     None => (None, None),
                 };
+                stats.dual_bound = certificate.as_ref().map(|c| c.dual_bound);
+                if let (Some(dual), Some(v)) = (stats.dual_bound, best_objective) {
+                    stats.gap = Some(bounds::optimality_gap(objective, v, dual));
+                }
                 return SearchOutcome {
                     best,
                     best_objective,
                     solutions: Vec::new(),
                     stats,
                     complete: true,
+                    certificate,
                 };
             }
             Frontier::Sequential => {
@@ -668,6 +683,12 @@ pub(crate) fn solve_exact_parallel(
 
     stats.warm_start = warm.is_some();
     stats.parallel_workers = workers as u64;
+    stats.dual_bound = certificate.as_ref().map(|c| c.dual_bound);
+    if let (Some(dual), Some((_, v))) = (stats.dual_bound, warm.as_ref()) {
+        // Mirror the sequential searcher: a validated warm assignment is a
+        // real primal, so the gap is live before any cell finishes.
+        stats.gap = Some(bounds::optimality_gap(objective, *v, dual));
+    }
     let positions: Vec<usize> = items
         .iter()
         .enumerate()
@@ -716,6 +737,12 @@ pub(crate) fn solve_exact_parallel(
         halted: false,
     };
     let mut all_complete = true;
+    // Set when the certified gap drops strictly below `gap_limit` at a cell
+    // commit: remaining cells stop committing and the workers are signalled,
+    // exactly like a budget stop (the run reports `limit_reached`, not
+    // `cancelled`). Commit order is sequential, so the decision — and the
+    // reported incumbent — is rerun-deterministic.
+    let mut gap_stopped = false;
 
     std::thread::scope(|s| {
         for wspace in pool.iter_mut().take(workers) {
@@ -751,7 +778,7 @@ pub(crate) fn solve_exact_parallel(
                 Seed::Subtree(_) => {
                     let (outcome, entry) = wait_result(&results, &slot_filled, cursor);
                     cursor += 1;
-                    if merge.halted || merge.capped() {
+                    if merge.halted || merge.capped() || gap_stopped {
                         continue;
                     }
                     let accepted = if entry == merge.bound {
@@ -773,6 +800,23 @@ pub(crate) fn solve_exact_parallel(
                         merge.offer(a, observer, &ctx);
                     }
                     ctx.publish_final(idx, merge.bound);
+                    if let (Some(limit), Some(cert)) = (config.gap_limit, certificate.as_ref()) {
+                        // The primal must be a real solution: the committed
+                        // chain's objective, or the warm value before any
+                        // cell produced one (`merge.bound` alone would be
+                        // the off-by-one warm *seed*).
+                        let primal = if merge.chain.is_empty() {
+                            warm.as_ref().map(|(_, v)| *v)
+                        } else {
+                            merge.bound
+                        };
+                        if primal.is_some_and(|p| {
+                            bounds::optimality_gap(objective, p, cert.dual_bound) < limit
+                        }) {
+                            gap_stopped = true;
+                            ctx.cancel.store(true, Ordering::Relaxed);
+                        }
+                    }
                 }
             }
         }
@@ -788,8 +832,10 @@ pub(crate) fn solve_exact_parallel(
     stats.solutions = merge.chain.len() as u64;
     stats.cancelled = cancelled;
     // Mirror the sequential `finish`: a hit solution cap still reports a
-    // complete search (the cap is not a `stopped` condition there).
-    let complete = !cancelled && (capped || all_complete);
+    // complete search (the cap is not a `stopped` condition there). A gap
+    // stop is a limit stop — the sequential searcher would also have stopped
+    // without a full proof once the gap dropped below the threshold.
+    let complete = !cancelled && (capped || all_complete) && !gap_stopped;
     stats.limit_reached = !complete;
     stats.elapsed_micros = start.elapsed().as_micros() as u64;
 
@@ -807,12 +853,16 @@ pub(crate) fn solve_exact_parallel(
             best_objective = None;
         }
     }
+    if let (Some(cert), Some(v)) = (certificate.as_ref(), best_objective) {
+        stats.gap = Some(bounds::optimality_gap(objective, v, cert.dual_bound));
+    }
     SearchOutcome {
         best,
         best_objective,
         solutions: merge.chain,
         stats,
         complete,
+        certificate,
     }
 }
 
@@ -867,6 +917,11 @@ pub(crate) fn solve_lns_portfolio(
             warm_start: None,
             node_limit: config.node_limit,
             max_solutions: Some(1),
+            // The portfolio coordinator owns the one certificate and the
+            // round-boundary gap checks; the construction dive runs
+            // bound-free like every worker.
+            gap_limit: None,
+            bound_mode: BoundMode::Off,
             ..config.clone()
         };
         let dive = solve_exact_in(model, objective, &dive_cfg, space, &mut *observer);
@@ -905,6 +960,11 @@ pub(crate) fn solve_lns_portfolio(
         halted_in_construction = true;
     }
 
+    // One root certificate for the whole portfolio, computed on the
+    // coordinator in a scratch store (worker counters stay comparable).
+    let certificate = bounds::compute_at_root(model, objective, config);
+    stats.dual_bound = certificate.as_ref().map(|c| c.dual_bound);
+
     let mut round: u64 = 0;
     loop {
         // The construction phase may already have settled the outcome
@@ -912,6 +972,18 @@ pub(crate) fn solve_lns_portfolio(
         // satisfied `max_solutions`, or got cancelled): skip the rounds.
         if halted_in_construction {
             break;
+        }
+        // Gap-driven termination at the round boundary — the same
+        // deterministic synchronization point where incumbents are adopted.
+        // Strict comparison: `gap_limit = Some(0.0)` never stops a round.
+        if let (Some(gap_limit), Some(dual)) = (config.gap_limit, stats.dual_bound) {
+            if incumbent
+                .as_ref()
+                .is_some_and(|(_, v)| bounds::optimality_gap(objective, *v, dual) < gap_limit)
+            {
+                limit = true;
+                break;
+            }
         }
         if let Some(t) = config.time_limit {
             if start.elapsed() >= t {
@@ -978,6 +1050,8 @@ pub(crate) fn solve_lns_portfolio(
                             .map(|f| f.saturating_sub(fails_so_far).max(1)),
                         max_solutions: None,
                         time_limit: config.time_limit.map(|t| t.saturating_sub(start.elapsed())),
+                        gap_limit: None,
+                        bound_mode: BoundMode::Off,
                         ..config.clone()
                     };
                     let mut worker_lns = lns.clone();
@@ -1078,12 +1152,16 @@ pub(crate) fn solve_lns_portfolio(
         Some((a, v)) => (Some(a), Some(v)),
         None => (None, None),
     };
+    if let (Some(dual), Some(v)) = (stats.dual_bound, best_objective) {
+        stats.gap = Some(bounds::optimality_gap(objective, v, dual));
+    }
     SearchOutcome {
         best,
         best_objective,
         solutions: chain,
         stats,
         complete: complete && !cancelled,
+        certificate,
     }
 }
 

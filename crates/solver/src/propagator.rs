@@ -130,6 +130,32 @@ impl<'a> PropagatorContext<'a> {
     }
 }
 
+/// Structural view of a propagator's linear form, when it has one.
+///
+/// The dual-bound engines of [`crate::bounds`] inspect the model's
+/// constraints to recognize the objective-defining equality and the
+/// exactly-one packing groups they relax; propagators are stored as trait
+/// objects, so this view is the introspection hook that exposes the linear
+/// shape without downcasting. Propagators with no linear form simply return
+/// `None` from [`Propagator::linear_view`].
+#[derive(Debug, Clone, Copy)]
+pub enum LinearView<'a> {
+    /// `Σ coeff_i · x_i <= bound`
+    Le {
+        /// The `(coefficient, variable)` terms.
+        terms: &'a [(i64, VarId)],
+        /// The right-hand side.
+        bound: i64,
+    },
+    /// `Σ coeff_i · x_i == bound`
+    Eq {
+        /// The `(coefficient, variable)` terms.
+        terms: &'a [(i64, VarId)],
+        /// The right-hand side.
+        bound: i64,
+    },
+}
+
 /// A constraint propagator.
 pub trait Propagator: Send + Sync {
     /// Human-readable name used in debug output.
@@ -155,6 +181,13 @@ pub trait Propagator: Send + Sync {
     /// Check the constraint on a complete assignment (all dependency
     /// variables fixed). Used by tests and by the final solution validator.
     fn check(&self, values: &dyn Fn(VarId) -> i64) -> bool;
+
+    /// The propagator's linear structure, if it has one (see [`LinearView`]).
+    /// The conservative default — no linear form — only costs the dual-bound
+    /// engines a missed strengthening opportunity, never soundness.
+    fn linear_view(&self) -> Option<LinearView<'_>> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -1,7 +1,7 @@
 //! Linear arithmetic propagators with bounds-consistency.
 
 use crate::model::VarId;
-use crate::propagator::{Conflict, PropStatus, Propagator, PropagatorContext};
+use crate::propagator::{Conflict, LinearView, PropStatus, Propagator, PropagatorContext};
 
 fn term_min(coeff: i64, ctx: &PropagatorContext<'_>, v: VarId) -> i64 {
     if coeff >= 0 {
@@ -87,6 +87,13 @@ impl Propagator for LinearLe {
     fn check(&self, values: &dyn Fn(VarId) -> i64) -> bool {
         let s: i64 = self.terms.iter().map(|&(c, v)| c * values(v)).sum();
         s <= self.bound
+    }
+
+    fn linear_view(&self) -> Option<LinearView<'_>> {
+        Some(LinearView::Le {
+            terms: &self.terms,
+            bound: self.bound,
+        })
     }
 }
 
@@ -176,6 +183,13 @@ impl Propagator for LinearEq {
     fn check(&self, values: &dyn Fn(VarId) -> i64) -> bool {
         let s: i64 = self.terms.iter().map(|&(c, v)| c * values(v)).sum();
         s == self.bound
+    }
+
+    fn linear_view(&self) -> Option<LinearView<'_>> {
+        Some(LinearView::Eq {
+            terms: &self.terms,
+            bound: self.bound,
+        })
     }
 }
 

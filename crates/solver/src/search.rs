@@ -41,6 +41,7 @@
 use std::num::NonZeroUsize;
 use std::time::{Duration, Instant};
 
+use crate::bounds::{self, BoundCertificate, BoundMode};
 use crate::domain::Domain;
 use crate::lns::SolverMode;
 use crate::model::{Model, VarId};
@@ -182,6 +183,19 @@ pub struct SearchConfig {
     /// search; see the module docs of [`crate::parallel`] for the exact
     /// determinism contract and its node-count caveat.
     pub workers: Option<NonZeroUsize>,
+    /// Stop as soon as the certified optimality gap drops *strictly below*
+    /// this threshold (requires [`SearchConfig::bound_mode`] ≠
+    /// [`BoundMode::Off`], otherwise no gap ever exists and the limit is
+    /// inert). The comparison is strict, so `Some(0.0)` never stops a search
+    /// early — the gap is never negative — and such a run explores exactly
+    /// the tree an unlimited run explores. Gap checks happen only at the
+    /// points where budget limits are already checked, so gap-limited runs
+    /// remain rerun-deterministic.
+    pub gap_limit: Option<f64>,
+    /// Which dual-bound engine (if any) runs at the frozen root; see
+    /// [`crate::bounds`]. The default [`BoundMode::Off`] computes nothing and
+    /// keeps every search byte-identical to previous releases.
+    pub bound_mode: BoundMode,
 }
 
 impl Default for SearchConfig {
@@ -197,6 +211,8 @@ impl Default for SearchConfig {
             node_limit: None,
             warm_start: None,
             workers: None,
+            gap_limit: None,
+            bound_mode: BoundMode::default(),
         }
     }
 }
@@ -262,6 +278,10 @@ pub struct SearchOutcome {
     /// True if the search space was fully explored (the result is proven
     /// optimal / complete), false if a limit stopped it early.
     pub complete: bool,
+    /// The dual-bound certificate computed at the frozen root, when
+    /// [`SearchConfig::bound_mode`] enabled one (see [`crate::bounds`]).
+    /// A gap-terminated search documents its solution quality here.
+    pub certificate: Option<BoundCertificate>,
 }
 
 /// How the two branches of a decision frame are generated.
@@ -429,6 +449,15 @@ struct Searcher<'m, 'o, 'p> {
     best_objective: Option<i64>,
     solutions: Vec<Assignment>,
     stopped: bool,
+    /// Dual-bound certificate computed at this search's frozen root, when
+    /// [`SearchConfig::bound_mode`] enabled an engine.
+    certificate: Option<BoundCertificate>,
+    /// Objective value of the best *feasible* assignment known — the warm
+    /// start's value or the latest incumbent's. Tracked separately from
+    /// `best_objective`, which warm seeding offsets by one to keep the
+    /// branch-and-bound bound non-strict; the gap must measure a real
+    /// solution, not the offset bound.
+    primal: Option<i64>,
     /// Streaming event sink slot; `ControlFlow::Break` from any hook cancels
     /// the search cooperatively (see [`crate::observe`]). Held as a slot
     /// reference so nested searches (LNS dives and repairs) can share one
@@ -531,6 +560,15 @@ pub(crate) fn solve_exact_in(
         )
         .is_ok();
     if root_ok {
+        // The root fixpoint is this search's frozen root; the dual bound is
+        // computed against exactly these domains and stays valid for every
+        // node below. `BoundMode::Off` (the default) computes nothing.
+        searcher.install_certificate(bounds::compute_root_bound(
+            model,
+            objective,
+            config,
+            space.store.domains(),
+        ));
         searcher.run(space);
     }
     finish_with_warm(searcher, warm)
@@ -787,6 +825,8 @@ impl<'m, 'o, 'p> Searcher<'m, 'o, 'p> {
             best_objective: None,
             solutions: Vec::new(),
             stopped: false,
+            certificate: None,
+            primal: None,
             observer,
             link: None,
         }
@@ -802,7 +842,31 @@ impl<'m, 'o, 'p> Searcher<'m, 'o, 'p> {
             return;
         };
         self.best_objective = Some(seed);
+        // The warm assignment is feasible by validation, so its objective
+        // value is a sound primal for the optimality gap.
+        self.primal = Some(value);
         self.stats.warm_start = true;
+    }
+
+    /// Install a certified dual bound computed at the (propagated) root this
+    /// search runs below: record it in the stats and refresh the live gap
+    /// against whatever primal is already known (a warm-start value).
+    fn install_certificate(&mut self, certificate: Option<BoundCertificate>) {
+        let Some(certificate) = certificate else {
+            return;
+        };
+        self.stats.dual_bound = Some(certificate.dual_bound);
+        self.certificate = Some(certificate);
+        self.refresh_gap();
+    }
+
+    /// Recompute [`SearchStats::gap`] from the current primal and dual
+    /// bound. A no-op until both exist, so with [`BoundMode::Off`] the gap
+    /// stays `None` forever.
+    fn refresh_gap(&mut self) {
+        if let (Some(primal), Some(dual)) = (self.primal, self.stats.dual_bound) {
+            self.stats.gap = Some(bounds::optimality_gap(self.objective, primal, dual));
+        }
     }
 
     fn finish(self) -> SearchOutcome {
@@ -815,6 +879,7 @@ impl<'m, 'o, 'p> Searcher<'m, 'o, 'p> {
             solutions: self.solutions,
             stats,
             complete: !self.stopped,
+            certificate: self.certificate,
         }
     }
 
@@ -843,6 +908,17 @@ impl<'m, 'o, 'p> Searcher<'m, 'o, 'p> {
                 return true;
             }
             if link.node_budget_exhausted() {
+                self.stopped = true;
+                return true;
+            }
+        }
+        // Gap-driven termination: the gap only changes when the incumbent or
+        // the dual bound does (both deterministic events), and it is checked
+        // here — the same place every budget limit is checked — so a
+        // gap-limited run is rerun-deterministic. Strict comparison: a zero
+        // threshold never stops early (the gap is never negative).
+        if let (Some(limit), Some(gap)) = (self.config.gap_limit, self.stats.gap) {
+            if gap < limit {
                 self.stopped = true;
                 return true;
             }
@@ -904,6 +980,8 @@ impl<'m, 'o, 'p> Searcher<'m, 'o, 'p> {
                 let value = assignment.value(o);
                 self.best_objective = Some(value);
                 self.best = Some(assignment.clone());
+                self.primal = Some(value);
+                self.refresh_gap();
                 Some(value)
             }
         };

@@ -7,7 +7,10 @@
 use std::time::Duration;
 
 /// Counters accumulated during a search.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Not `Eq`: `gap` is an `f64`. It is never `NaN` (the gap formula divides
+/// by `max(1, |primal|)`), so `PartialEq` behaves totally in practice.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SearchStats {
     /// Number of search-tree nodes explored.
     pub nodes: u64,
@@ -48,6 +51,14 @@ pub struct SearchStats {
     /// Number of synchronized portfolio rounds the parallel LNS engine ran
     /// (0 for sequential and exact searches).
     pub portfolio_rounds: u64,
+    /// Certified dual bound on the objective (lower bound for minimization,
+    /// upper for maximization), when [`crate::SearchConfig::bound_mode`]
+    /// enabled a [`crate::bounds`] engine. `None` with bounds off.
+    pub dual_bound: Option<i64>,
+    /// Relative optimality gap between the incumbent and `dual_bound` (see
+    /// [`crate::bounds::optimality_gap`]). `None` until both an incumbent
+    /// and a dual bound exist; `Some(0.0)` certifies optimality.
+    pub gap: Option<f64>,
 }
 
 impl SearchStats {
@@ -78,6 +89,11 @@ impl SearchStats {
         self.parallel_workers = self.parallel_workers.max(other.parallel_workers);
         self.subtrees += other.subtrees;
         self.portfolio_rounds += other.portfolio_rounds;
+        // Bound fields are not counters: the most recent certified value
+        // wins. Workers and LNS repairs carry `None`, so merging them into a
+        // driver record preserves the driver's bound and gap.
+        self.dual_bound = other.dual_bound.or(self.dual_bound);
+        self.gap = other.gap.or(self.gap);
     }
 }
 
@@ -107,6 +123,12 @@ impl std::fmt::Display for SearchStats {
             }
             if self.portfolio_rounds > 0 {
                 write!(f, " rounds={}", self.portfolio_rounds)?;
+            }
+        }
+        if let Some(dual) = self.dual_bound {
+            write!(f, " dual={dual}")?;
+            if let Some(gap) = self.gap {
+                write!(f, " gap={:.2}%", gap * 100.0)?;
             }
         }
         if self.warm_start {
@@ -175,6 +197,8 @@ mod tests {
             parallel_workers: 10,
             subtrees: 11,
             portfolio_rounds: 12,
+            dual_bound: Some(13),
+            gap: Some(0.25),
         };
         let mut merged = SearchStats::default();
         merged.merge(&source);
@@ -196,6 +220,8 @@ mod tests {
             parallel_workers,
             subtrees,
             portfolio_rounds,
+            dual_bound,
+            gap,
         } = merged;
         assert_eq!(nodes, 1);
         assert_eq!(fails, 2);
@@ -212,6 +238,8 @@ mod tests {
         assert_eq!(parallel_workers, 10);
         assert_eq!(subtrees, 11);
         assert_eq!(portfolio_rounds, 12);
+        assert_eq!(dual_bound, Some(13));
+        assert_eq!(gap, Some(0.25));
         // Merging into a populated record keeps every field monotone: the
         // merged Debug output must differ from the pre-merge one whenever
         // the source is non-trivial (catches "merge ignores field" bugs for
@@ -223,6 +251,40 @@ mod tests {
         assert_eq!(twice.parallel_workers, 10, "worker count merges by max");
         assert_eq!(twice.subtrees, 22);
         assert_eq!(twice.portfolio_rounds, 24);
+    }
+
+    #[test]
+    fn merge_keeps_bound_fields_most_recent() {
+        // A populated driver record merging a `None` worker record keeps its
+        // bound; merging a newer certified record adopts the newer values.
+        let mut driver = SearchStats {
+            dual_bound: Some(40),
+            gap: Some(0.5),
+            ..Default::default()
+        };
+        driver.merge(&SearchStats::default());
+        assert_eq!(driver.dual_bound, Some(40));
+        assert_eq!(driver.gap, Some(0.5));
+        driver.merge(&SearchStats {
+            dual_bound: Some(45),
+            gap: Some(0.1),
+            ..Default::default()
+        });
+        assert_eq!(driver.dual_bound, Some(45));
+        assert_eq!(driver.gap, Some(0.1));
+    }
+
+    #[test]
+    fn display_shows_bound_and_gap() {
+        let s = SearchStats {
+            dual_bound: Some(95),
+            gap: Some(0.05),
+            ..Default::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("dual=95"));
+        assert!(text.contains("gap=5.00%"));
+        assert!(!SearchStats::default().to_string().contains("dual="));
     }
 
     #[test]

@@ -491,8 +491,8 @@ pub fn run_followsun(config: &FollowSunConfig) -> FollowSunOutcome {
         driver.ship(NodeId(initiator), outgoing);
 
         // Paper rule r3: both endpoints update their allocations.
-        refresh_curvm(&mut driver, &workload, initiator);
-        refresh_curvm(&mut driver, &workload, peer);
+        refresh_curvm(driver.network_mut(), &workload, initiator);
+        refresh_curvm(driver.network_mut(), &workload, peer);
         driver
             .instance_mut(NodeId(initiator))
             .expect("initiator")

@@ -304,7 +304,7 @@ fn followsun_base_params_match_per_node_overrides_byte_for_byte() {
 // ---------------------------------------------------------------------------
 
 // ---------------------------------------------------------------------------
-// 4. the typed solve entry point vs the deprecated observer shims
+// 4. the typed solve entry point vs the raw per-instance observer
 // ---------------------------------------------------------------------------
 
 use cologne::{SolveRequest, StatsSnapshot};
@@ -329,14 +329,17 @@ fn acloud_deployment_with_facts() -> cologne::Deployment {
 }
 
 #[test]
-fn solve_request_matches_deprecated_observer_entry_point() {
-    // the deprecated per-node observer shim...
+fn solve_request_matches_raw_observer_entry_point() {
+    // the raw per-instance observer entry point...
     let (old_report, old_events) = {
         let mut d = acloud_deployment_with_facts();
         let node = d.single_node().unwrap();
         let mut log = EventLog::bounded(1024);
-        #[allow(deprecated)]
-        let report = d.invoke_at_with_observer(node, &mut log).unwrap();
+        let report = d
+            .instance_mut(node)
+            .unwrap()
+            .invoke_solver_with_observer(&mut log)
+            .unwrap();
         (normalized(&report), log.drain())
     };
 

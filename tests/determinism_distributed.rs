@@ -87,11 +87,9 @@ fn run_followsun_parallel(config: &FollowSunConfig) -> Fingerprint {
             .unwrap();
     }
     driver.run_messages_until(SimTime::from_secs(60));
-    let reports = driver
-        .invoke_solvers_parallel()
-        .expect("per-node COPs solve");
+    let reports = driver.invoke_parallel().expect("per-node COPs solve");
     driver.run_messages_until(SimTime::from_secs(120));
-    fingerprint(&driver, &reports)
+    fingerprint(driver.network(), &reports)
 }
 
 #[test]
@@ -297,10 +295,8 @@ fn run_lns_deployment(lns_seed: u64) -> Fingerprint {
                 .unwrap();
         }
     }
-    let reports = driver
-        .invoke_solvers_parallel()
-        .expect("per-node LNS COPs solve");
-    fingerprint(&driver, &reports)
+    let reports = driver.invoke_parallel().expect("per-node LNS COPs solve");
+    fingerprint(driver.network(), &reports)
 }
 
 #[test]

@@ -192,11 +192,9 @@ fn parallel_solver_invocation_matches_sequential_byte_for_byte() {
     let mut sequential = deployment_with_negotiations();
     let mut parallel = deployment_with_negotiations();
 
-    let seq_reports = sequential
-        .invoke_solvers()
-        .expect("sequential invocation succeeds");
+    let seq_reports = sequential.invoke().expect("sequential invocation succeeds");
     let par_reports = parallel
-        .invoke_solvers_parallel()
+        .invoke_parallel()
         .expect("parallel invocation succeeds");
 
     assert_eq!(seq_reports.len(), 4);
@@ -251,9 +249,7 @@ fn parallel_solver_invocation_matches_sequential_byte_for_byte() {
 #[test]
 fn parallel_invocation_ships_solver_outputs_once() {
     let mut driver = deployment_with_negotiations();
-    let reports = driver
-        .invoke_solvers_parallel()
-        .expect("invocation succeeds");
+    let reports = driver.invoke_parallel().expect("invocation succeeds");
     // Outgoing tuples are drained into the network by the call itself.
     for report in reports.values() {
         assert!(
